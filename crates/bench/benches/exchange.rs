@@ -1,0 +1,70 @@
+//! Criterion benchmarks of the parallelization machinery itself: face
+//! gather/scatter, ghost exchange across thread-ranks, and the parallel
+//! operator application in both communication strategies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quda_dirac::WilsonParams;
+use quda_fields::gauge_gen::{random_spinor_field, weak_field};
+use quda_fields::precision::Single;
+use quda_fields::SpinorFieldCb;
+use quda_lattice::geometry::{LatticeDims, Parity};
+use quda_lattice::partition::TimePartition;
+use quda_lattice::stencil::Stencil;
+use quda_math::gamma::{GammaBasis, SpinBasis};
+use quda_multigpu::rank_op::{CommStrategy, ParallelWilsonCloverOp};
+use std::hint::black_box;
+
+fn dims() -> LatticeDims {
+    LatticeDims::new(8, 8, 8, 8)
+}
+
+fn bench_ghost_exchange(c: &mut Criterion) {
+    let d = dims();
+    let host = random_spinor_field(d, 1);
+    let basis = SpinBasis::new(GammaBasis::NonRelativistic);
+    let stencil = Stencil::new(d, true);
+    let mut group = c.benchmark_group("ghost");
+    group.sample_size(20);
+    group.bench_function("self_exchange_single", |b| {
+        let mut world = quda_comm::comm_world(1);
+        let mut comm = world.pop().unwrap();
+        let mut f = SpinorFieldCb::<Single>::new(d, true);
+        f.upload(&host, Parity::Odd);
+        b.iter(|| {
+            quda_multigpu::exchange_spinor_ghosts(
+                black_box(&mut comm),
+                &mut f,
+                &basis,
+                &stencil,
+                false,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_parallel_matpc(c: &mut Criterion) {
+    let d = dims();
+    let cfg = weak_field(d, 0.1, 5);
+    let wp = WilsonParams { mass: 0.2, c_sw: 1.0 };
+    let part = TimePartition::new(d, 1);
+    let mut group = c.benchmark_group("parallel_matpc");
+    group.sample_size(10);
+    for strategy in [CommStrategy::NoOverlap, CommStrategy::Overlap] {
+        let mut world = quda_comm::comm_world(1);
+        let comm = world.pop().unwrap();
+        let mut op = ParallelWilsonCloverOp::<Single>::new(&cfg, part, 0, comm, wp, strategy);
+        let host = random_spinor_field(d, 6);
+        let mut x = quda_solvers::operator::LinearOperator::alloc(&op);
+        x.upload(&host, Parity::Odd);
+        let mut out = quda_solvers::operator::LinearOperator::alloc(&op);
+        let name = format!("{strategy:?}");
+        group.bench_function(&name, |b| {
+            b.iter(|| op.apply_matpc_par(black_box(&mut out), &mut x, false))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ghost_exchange, bench_parallel_matpc);
+criterion_main!(benches);

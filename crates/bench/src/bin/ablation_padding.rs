@@ -1,0 +1,53 @@
+//! Ablation: partition camping vs field padding (Section V-B).
+//!
+//! "For certain problem sizes performance may be affected by partition
+//! camping. The simple solution QUDA takes ... is to pad the gauge, spinor,
+//! and clover fields by one spatial volume." This harness diagnoses which
+//! lattice volumes camp under the 8x256-byte partition model, what the
+//! paper's Vs pad does to them, and what the minimal de-camping pad is.
+
+use quda_gpusim::camping::{camping_factor, camps, minimal_decamping_pad};
+use quda_lattice::geometry::LatticeDims;
+
+fn main() {
+    println!("partition camping of single-precision spinor blocks (float4, 6 blocks)");
+    println!(
+        "{:<12} {:>10} {:>11} {:>12} {:>13} {:>13}",
+        "volume", "sites/par", "no-pad eff", "Vs-pad eff", "camps w/o", "min pad"
+    );
+    let volumes = [
+        LatticeDims::new(16, 16, 16, 32),
+        LatticeDims::new(16, 16, 16, 64),
+        LatticeDims::spatial_cube(24, 32),
+        LatticeDims::spatial_cube(24, 128),
+        LatticeDims::hypercubic(32),
+        LatticeDims::spatial_cube(32, 256),
+        LatticeDims::new(20, 20, 20, 64),
+    ];
+    for d in volumes {
+        let sites = d.half_volume();
+        let pad = d.half_spatial_volume();
+        let no_pad = camping_factor(sites * 4 * 4, 6);
+        let with_pad = camping_factor((sites + pad) * 4 * 4, 6);
+        let camped = camps(sites, 0, 4, 4, 6);
+        let min_pad = minimal_decamping_pad(sites, 4, 4, 6, 1 << 20)
+            .map(|p| p.to_string())
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<12} {:>10} {:>11.3} {:>12.3} {:>13} {:>13}",
+            d.to_string(),
+            sites,
+            no_pad,
+            with_pad,
+            if camped { "yes" } else { "no" },
+            min_pad
+        );
+    }
+    println!("\npaper: camping was 'a problem for certain lattice volumes' and QUDA pads");
+    println!("every field by one spatial volume. Under this start-address model the");
+    println!("power-of-two production volumes keep 2048-byte alignment even with the Vs");
+    println!("pad (it is itself 2048-aligned there) — a tiny 16-site (256 B) stagger is");
+    println!("what breaks camping; non-power-of-two volumes (e.g. 20^3) are fixed by Vs");
+    println!("directly. Either way the Vs pad earns its keep as the gauge ghost slice");
+    println!("(Section VI-B).");
+}

@@ -1,0 +1,23 @@
+//! Table I: specifications of representative NVIDIA graphics cards.
+
+use quda_gpusim::cards::card_table;
+
+fn main() {
+    println!("Table I — specifications of representative NVIDIA graphics cards");
+    println!(
+        "{:<18} {:>6} {:>10} {:>9} {:>9} {:>8}",
+        "Card", "Cores", "GB/s BW", "SP Gflop", "DP Gflop", "GiB RAM"
+    );
+    for c in card_table() {
+        println!(
+            "{:<18} {:>6} {:>10.1} {:>9.0} {:>9} {:>8.2}",
+            c.name,
+            c.cores,
+            c.bandwidth_gbs,
+            c.gflops_sp,
+            c.gflops_dp.map(|d| format!("{d:.0}")).unwrap_or_else(|| "N/A".into()),
+            c.ram_gib
+        );
+    }
+    println!("\nTestbed: the \"9g\" cluster uses the GeForce GTX 285 (2 GiB variant).");
+}

@@ -1,0 +1,90 @@
+//! Byte-level packing of face payloads.
+//!
+//! Ghost faces travel between ranks as raw byte messages, exactly like MPI
+//! buffers. These helpers pack and unpack the three storage element types
+//! (f64, f32, i16-fixed-point) plus the f32 normalization arrays that ride
+//! with half-precision faces.
+
+use bytes::{Bytes, BytesMut};
+
+/// Pack a slice of f64 into little-endian bytes.
+pub fn pack_f64(data: &[f64]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(data.len() * 8);
+    for &x in data {
+        buf.extend_from_slice(&x.to_le_bytes());
+    }
+    buf.freeze()
+}
+
+/// Unpack little-endian f64.
+pub fn unpack_f64(bytes: &[u8]) -> Vec<f64> {
+    assert!(bytes.len() % 8 == 0, "payload not a whole number of f64");
+    bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect()
+}
+
+/// Pack a slice of f32 into little-endian bytes.
+pub fn pack_f32(data: &[f32]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(data.len() * 4);
+    for &x in data {
+        buf.extend_from_slice(&x.to_le_bytes());
+    }
+    buf.freeze()
+}
+
+/// Unpack little-endian f32.
+pub fn unpack_f32(bytes: &[u8]) -> Vec<f32> {
+    assert!(bytes.len() % 4 == 0, "payload not a whole number of f32");
+    bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect()
+}
+
+/// Pack a slice of i16 (the half-precision storage integers).
+pub fn pack_i16(data: &[i16]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(data.len() * 2);
+    for &x in data {
+        buf.extend_from_slice(&x.to_le_bytes());
+    }
+    buf.freeze()
+}
+
+/// Unpack little-endian i16.
+pub fn unpack_i16(bytes: &[u8]) -> Vec<i16> {
+    assert!(bytes.len() % 2 == 0, "payload not a whole number of i16");
+    bytes.chunks_exact(2).map(|c| i16::from_le_bytes(c.try_into().unwrap())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip() {
+        let data = vec![0.0, 1.5, -2.25e300, f64::MIN_POSITIVE];
+        assert_eq!(unpack_f64(&pack_f64(&data)), data);
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        let data = vec![0.0f32, -1.5, 3.25e30];
+        assert_eq!(unpack_f32(&pack_f32(&data)), data);
+    }
+
+    #[test]
+    fn i16_roundtrip() {
+        let data = vec![0i16, 32767, -32768, 123];
+        assert_eq!(unpack_i16(&pack_i16(&data)), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number")]
+    fn ragged_payload_rejected() {
+        unpack_f64(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn sizes_match_mpi_buffer_sizes() {
+        // A single-precision 12-component face site is 48 bytes on the wire.
+        assert_eq!(pack_f32(&[0.0; 12]).len(), 48);
+        // Half precision: 24 bytes + (separately) one 4-byte norm.
+        assert_eq!(pack_i16(&[0; 12]).len(), 24);
+    }
+}

@@ -1,0 +1,16 @@
+//! # quda-comm
+//!
+//! The message-passing substrate (the QMP/MPI substitute — see DESIGN.md
+//! §2): thread-ranks exchanging byte messages over channels with `(from,
+//! tag)` matching, deterministic allreduce collectives, and byte codecs for
+//! the three storage precisions. Traffic is counted per rank so the
+//! performance model can price every face exchange with the InfiniBand
+//! model from `quda-gpusim`.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod world;
+
+pub use codec::{pack_f32, pack_f64, pack_i16, unpack_f32, unpack_f64, unpack_i16};
+pub use world::{comm_world, Communicator};

@@ -1,0 +1,297 @@
+//! A QMP-like message-passing world over OS threads.
+//!
+//! The paper uses QMP — "an API built on top of MPI that provides convenient
+//! functionality for LQCD computations" (Section VI-A) — with one MPI
+//! process bound to each GPU. Here each *rank* is a thread holding a
+//! [`Communicator`]; point-to-point messages travel over crossbeam channels
+//! with `(from, tag)` matching, and reductions are performed
+//! deterministically (fixed summation order by rank), which keeps multi-rank
+//! solves bit-reproducible run to run.
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+
+/// Reserved tag base for internal collective traffic.
+const TAG_COLLECTIVE: u32 = 0xffff_0000;
+
+#[derive(Clone, Debug)]
+struct Message {
+    from: usize,
+    tag: u32,
+    payload: Bytes,
+}
+
+/// One rank's endpoint in the communicator world.
+pub struct Communicator {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Message>>,
+    receiver: Receiver<Message>,
+    // Messages received but not yet matched by a recv call.
+    stash: VecDeque<Message>,
+    // Bytes sent, for traffic accounting.
+    sent_bytes: u64,
+    sent_messages: u64,
+}
+
+/// Create a world of `size` ranks. Returns one [`Communicator`] per rank;
+/// move each into its rank's thread.
+pub fn comm_world(size: usize) -> Vec<Communicator> {
+    assert!(size >= 1);
+    let mut senders = Vec::with_capacity(size);
+    let mut receivers = Vec::with_capacity(size);
+    for _ in 0..size {
+        let (s, r) = unbounded();
+        senders.push(s);
+        receivers.push(r);
+    }
+    receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, receiver)| Communicator {
+            rank,
+            size,
+            senders: senders.clone(),
+            receiver,
+            stash: VecDeque::new(),
+            sent_bytes: 0,
+            sent_messages: 0,
+        })
+        .collect()
+}
+
+impl Communicator {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Rank of the forward neighbor on the periodic ring (the time-sliced
+    /// decomposition's topology).
+    pub fn forward(&self) -> usize {
+        (self.rank + 1) % self.size
+    }
+
+    /// Rank of the backward neighbor.
+    pub fn backward(&self) -> usize {
+        (self.rank + self.size - 1) % self.size
+    }
+
+    /// Non-blocking send (channel buffered, like an eager-protocol MPI
+    /// send of a face-sized message).
+    pub fn send(&mut self, to: usize, tag: u32, payload: Bytes) {
+        self.sent_bytes += payload.len() as u64;
+        self.sent_messages += 1;
+        self.senders[to]
+            .send(Message { from: self.rank, tag, payload })
+            .expect("rank channel closed");
+    }
+
+    /// Blocking receive matching `(from, tag)`; out-of-order messages are
+    /// stashed until asked for.
+    pub fn recv(&mut self, from: usize, tag: u32) -> Bytes {
+        if let Some(pos) = self.stash.iter().position(|m| m.from == from && m.tag == tag) {
+            return self.stash.remove(pos).unwrap().payload;
+        }
+        loop {
+            let m = self.receiver.recv().expect("rank channel closed");
+            if m.from == from && m.tag == tag {
+                return m.payload;
+            }
+            self.stash.push_back(m);
+        }
+    }
+
+    /// Total bytes sent by this rank.
+    pub fn sent_bytes(&self) -> u64 {
+        self.sent_bytes
+    }
+
+    /// Total messages sent by this rank.
+    pub fn sent_messages(&self) -> u64 {
+        self.sent_messages
+    }
+
+    /// Deterministic allreduce-sum over f64: gather to rank 0 (summed in
+    /// rank order), broadcast back. This is the "insertion of MPI
+    /// reductions for each of the linear algebra reduction kernels"
+    /// (Section VI-E).
+    pub fn allreduce_sum_f64(&mut self, local: f64) -> f64 {
+        self.allreduce_vec(&[local])[0]
+    }
+
+    /// Allreduce-sum over a small vector of f64 (e.g. complex re/im pairs).
+    pub fn allreduce_vec(&mut self, local: &[f64]) -> Vec<f64> {
+        if self.size == 1 {
+            return local.to_vec();
+        }
+        let tag = TAG_COLLECTIVE;
+        if self.rank == 0 {
+            let mut acc = local.to_vec();
+            for from in 1..self.size {
+                let contrib = crate::codec::unpack_f64(&self.recv(from, tag));
+                assert_eq!(contrib.len(), acc.len());
+                for (a, c) in acc.iter_mut().zip(&contrib) {
+                    *a += c;
+                }
+            }
+            let packed = crate::codec::pack_f64(&acc);
+            for to in 1..self.size {
+                self.send(to, tag + 1, packed.clone());
+            }
+            acc
+        } else {
+            let packed = crate::codec::pack_f64(local);
+            self.send(0, tag, packed);
+            crate::codec::unpack_f64(&self.recv(0, tag + 1))
+        }
+    }
+
+    /// Allreduce-max over f64.
+    pub fn allreduce_max_f64(&mut self, local: f64) -> f64 {
+        if self.size == 1 {
+            return local;
+        }
+        let tag = TAG_COLLECTIVE + 2;
+        if self.rank == 0 {
+            let mut acc = local;
+            for from in 1..self.size {
+                let v = crate::codec::unpack_f64(&self.recv(from, tag))[0];
+                acc = acc.max(v);
+            }
+            let packed = crate::codec::pack_f64(&[acc]);
+            for to in 1..self.size {
+                self.send(to, tag + 1, packed.clone());
+            }
+            acc
+        } else {
+            self.send(0, tag, crate::codec::pack_f64(&[local]));
+            crate::codec::unpack_f64(&self.recv(0, tag + 1))[0]
+        }
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&mut self) {
+        self.allreduce_sum_f64(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{pack_f64, unpack_f64};
+    use std::thread;
+
+    #[test]
+    fn ring_topology() {
+        let world = comm_world(4);
+        assert_eq!(world[0].backward(), 3);
+        assert_eq!(world[3].forward(), 0);
+        assert_eq!(world[2].forward(), 3);
+    }
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let mut world = comm_world(2);
+        let mut c1 = world.pop().unwrap();
+        let mut c0 = world.pop().unwrap();
+        let t = thread::spawn(move || {
+            c1.send(0, 7, pack_f64(&[1.0, 2.0]));
+            let back = unpack_f64(&c1.recv(0, 8));
+            assert_eq!(back, vec![3.0]);
+        });
+        let data = unpack_f64(&c0.recv(1, 7));
+        assert_eq!(data, vec![1.0, 2.0]);
+        c0.send(1, 8, pack_f64(&[3.0]));
+        t.join().unwrap();
+        assert_eq!(c0.sent_messages(), 1);
+        assert_eq!(c0.sent_bytes(), 8);
+    }
+
+    #[test]
+    fn out_of_order_messages_are_matched_by_tag() {
+        let mut world = comm_world(2);
+        let mut c1 = world.pop().unwrap();
+        let mut c0 = world.pop().unwrap();
+        let t = thread::spawn(move || {
+            // Send tag 2 first, then tag 1.
+            c1.send(0, 2, pack_f64(&[2.0]));
+            c1.send(0, 1, pack_f64(&[1.0]));
+        });
+        // Receive in the opposite order.
+        assert_eq!(unpack_f64(&c0.recv(1, 1)), vec![1.0]);
+        assert_eq!(unpack_f64(&c0.recv(1, 2)), vec![2.0]);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let world = comm_world(4);
+        let handles: Vec<_> = world
+            .into_iter()
+            .map(|mut c| {
+                thread::spawn(move || {
+                    let r = c.rank() as f64;
+                    let total = c.allreduce_sum_f64(r + 1.0);
+                    assert_eq!(total, 10.0); // 1+2+3+4
+                    let m = c.allreduce_max_f64(r);
+                    assert_eq!(m, 3.0);
+                    c.barrier();
+                    total
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 10.0);
+        }
+    }
+
+    #[test]
+    fn allreduce_is_deterministic_summation() {
+        // Fixed rank-order summation: repeated runs give bit-identical
+        // results even with non-associative f64 addition.
+        for _ in 0..3 {
+            let world = comm_world(3);
+            let vals = [1e16, 1.0, -1e16];
+            let handles: Vec<_> = world
+                .into_iter()
+                .map(|mut c| {
+                    let v = vals[c.rank()];
+                    thread::spawn(move || c.allreduce_sum_f64(v))
+                })
+                .collect();
+            let results: Vec<f64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            // All ranks agree...
+            assert!(results.windows(2).all(|w| w[0] == w[1]));
+            // ...on the rank-ordered sum (1e16 + 1.0 loses the 1.0 first).
+            assert_eq!(results[0], 0.0);
+        }
+    }
+
+    #[test]
+    fn vector_allreduce() {
+        let world = comm_world(2);
+        let handles: Vec<_> = world
+            .into_iter()
+            .map(|mut c| thread::spawn(move || c.allreduce_vec(&[1.0, -2.0])))
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), vec![2.0, -4.0]);
+        }
+    }
+
+    #[test]
+    fn single_rank_world_shortcuts() {
+        let mut world = comm_world(1);
+        let c = &mut world[0];
+        assert_eq!(c.allreduce_sum_f64(5.0), 5.0);
+        assert_eq!(c.allreduce_max_f64(-1.0), -1.0);
+        c.barrier();
+    }
+}

@@ -1,0 +1,138 @@
+//! Parameter structs of the public interface, mirroring QUDA's
+//! `QudaGaugeParam` / `QudaInvertParam` C structs in Rust style.
+
+use quda_gpusim::cards::GpuSpec;
+use quda_gpusim::transfer::NumaPlacement;
+use quda_lattice::geometry::LatticeDims;
+use quda_multigpu::driver::SolverKind;
+use quda_multigpu::rank_op::CommStrategy;
+use quda_multigpu::PrecisionMode;
+use quda_solvers::params::SolverParams;
+
+/// Gauge-loading parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct QudaGaugeParam {
+    /// Lattice extents.
+    pub dims: LatticeDims,
+    /// Whether to validate SU(3)-ness of every link on load.
+    pub check_unitarity: bool,
+    /// Unitarity tolerance.
+    pub unitarity_tol: f64,
+}
+
+impl QudaGaugeParam {
+    /// Defaults for a given lattice.
+    pub fn new(dims: LatticeDims) -> Self {
+        QudaGaugeParam { dims, check_unitarity: true, unitarity_tol: 1e-8 }
+    }
+}
+
+/// Inversion parameters — the knobs Section VII-A reports.
+#[derive(Copy, Clone, Debug)]
+pub struct QudaInvertParam {
+    /// Quark mass `m`.
+    pub mass: f64,
+    /// Clover coefficient `c_sw` (0 = plain Wilson).
+    pub c_sw: f64,
+    /// Relative residual target.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iter: usize,
+    /// Reliable-update δ.
+    pub delta: f64,
+    /// Precision mode.
+    pub mode: PrecisionMode,
+    /// Krylov method.
+    pub solver: SolverKind,
+    /// Face-exchange strategy.
+    pub strategy: CommStrategy,
+    /// GPUs to parallelize over (T must divide evenly).
+    pub num_gpus: usize,
+}
+
+impl QudaInvertParam {
+    /// The paper's production settings for a precision mode.
+    pub fn paper_mode(mode: PrecisionMode, num_gpus: usize) -> Self {
+        let sp = SolverParams::paper_defaults(mode.name());
+        QudaInvertParam {
+            mass: 0.1,
+            c_sw: 1.0,
+            tol: sp.tol,
+            max_iter: sp.max_iter,
+            delta: sp.delta,
+            mode,
+            solver: SolverKind::BiCgStab,
+            strategy: CommStrategy::Overlap,
+            num_gpus,
+        }
+    }
+
+    /// Convert to the solver-layer parameter struct.
+    pub fn solver_params(&self) -> SolverParams {
+        SolverParams { tol: self.tol, max_iter: self.max_iter, delta: self.delta }
+    }
+}
+
+/// Statistics returned by an inversion: functional results plus the
+/// calibrated performance model's view of the same run on the "9g" cluster.
+#[derive(Clone, Debug)]
+pub struct InvertStats {
+    /// Whether the residual target was met.
+    pub converged: bool,
+    /// Krylov iterations (sloppy precision for mixed modes).
+    pub iterations: usize,
+    /// Operator applications.
+    pub matvecs: u64,
+    /// Reliable updates performed.
+    pub reliable_updates: u64,
+    /// Solver-reported relative residual of the preconditioned system.
+    pub solver_residual: f64,
+    /// Independently verified relative residual of the *full* system,
+    /// computed with the dense host reference operator.
+    pub true_residual: f64,
+    /// Effective flops of the solve (paper counting).
+    pub effective_flops: u64,
+    /// Modeled wall time of this solve on `num_gpus` GTX 285s (s).
+    pub modeled_seconds: f64,
+    /// Modeled sustained effective Gflops (aggregate).
+    pub modeled_gflops: f64,
+    /// Modeled device memory per GPU (bytes).
+    pub memory_per_gpu: usize,
+}
+
+/// Hardware context for the performance model.
+#[derive(Copy, Clone, Debug)]
+pub struct QudaDeviceParam {
+    /// Card model (Table I).
+    pub gpu: GpuSpec,
+    /// Process placement (Section VII-D).
+    pub numa: NumaPlacement,
+}
+
+impl Default for QudaDeviceParam {
+    fn default() -> Self {
+        QudaDeviceParam { gpu: quda_gpusim::cards::gtx285(), numa: NumaPlacement::Good }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mode_settings() {
+        let p = QudaInvertParam::paper_mode(PrecisionMode::SingleHalf, 8);
+        assert_eq!(p.tol, 1e-7);
+        assert_eq!(p.delta, 1e-1);
+        assert_eq!(p.num_gpus, 8);
+        let d = QudaInvertParam::paper_mode(PrecisionMode::Double, 4);
+        assert_eq!(d.tol, 1e-14);
+        assert_eq!(d.delta, 1e-5);
+    }
+
+    #[test]
+    fn default_device_is_gtx285() {
+        let d = QudaDeviceParam::default();
+        assert_eq!(d.gpu.name, "GeForce GTX 285");
+    }
+}

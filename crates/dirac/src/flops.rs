@@ -1,0 +1,84 @@
+//! Operation and byte counts for the Wilson-clover kernels.
+//!
+//! All performance numbers in the paper are "effective Gflops": the
+//! operation count of the *logical* algorithm, excluding the extra
+//! arithmetic spent reconstructing the third gauge row (Section VII-A).
+//! These constants define that effective count and the memory traffic used
+//! by the bandwidth model.
+
+/// Effective flops per site of one Wilson dslash application
+/// (8 gathers: spin project, SU(3) multiply, reconstruct, accumulate).
+pub const DSLASH_FLOPS_PER_SITE: u64 = 1320;
+
+/// Effective flops per site of one packed clover (6×6 Hermitian × 2 blocks)
+/// multiply.
+pub const CLOVER_FLOPS_PER_SITE: u64 = 504;
+
+/// Flops per site for the final combination `T ψ − ¼ (…)` of the even-odd
+/// preconditioned operator (a fused scale-and-subtract over 24 reals).
+pub const MATPC_COMBINE_FLOPS_PER_SITE: u64 = 48;
+
+/// Effective flops per (odd) site of one even-odd preconditioned
+/// Wilson-clover application `M̂ = T_oo − ¼ D_oe T_ee⁻¹ D_eo`:
+/// two dslashes, one clover, one clover inverse, one combine.
+///
+/// `2·1320 + 2·504 + 48 = 3696` — the figure quoted in Section V-A.
+pub const MATPC_FLOPS_PER_SITE: u64 =
+    2 * DSLASH_FLOPS_PER_SITE + 2 * CLOVER_FLOPS_PER_SITE + MATPC_COMBINE_FLOPS_PER_SITE;
+
+/// Reals moved per site by one dslash (single-parity output):
+/// 8 neighbor spinors at 24 reals, minus the two temporal neighbors that
+/// need only 12 (diagonalized `P±4`), plus 8 compressed links at 12 reals,
+/// plus the 24-real output store.
+pub const DSLASH_REALS_PER_SITE: u64 = 8 * 24 - 2 * 12 + 8 * 12 + 24;
+
+/// Reals moved per site by one clover multiply: 72 packed + 24 in + 24 out.
+pub const CLOVER_REALS_PER_SITE: u64 = 72 + 24 + 24;
+
+/// Reals moved per (odd) site of the fused even-odd operator. With kernel
+/// fusion the intermediate spinor stays in registers/shared memory, so the
+/// count is two dslashes + two clover terms + one extra input read for the
+/// `T_oo ψ` term.
+pub const MATPC_REALS_PER_SITE: u64 = 2 * DSLASH_REALS_PER_SITE + 2 * 72 + 24;
+
+/// Bytes per site of the fused even-odd operator at a given storage width.
+///
+/// At 4 bytes (single precision) this evaluates to `2976` — the paper's
+/// "2976 bytes of memory traffic in single precision" (Section V-A).
+pub const fn matpc_bytes_per_site(storage_bytes: u64) -> u64 {
+    MATPC_REALS_PER_SITE * storage_bytes
+}
+
+/// Arithmetic intensity (flops per byte) of the fused operator.
+pub fn matpc_intensity(storage_bytes: u64) -> f64 {
+    MATPC_FLOPS_PER_SITE as f64 / matpc_bytes_per_site(storage_bytes) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_flop_count() {
+        assert_eq!(MATPC_FLOPS_PER_SITE, 3696);
+    }
+
+    #[test]
+    fn matches_paper_byte_count_in_single() {
+        assert_eq!(matpc_bytes_per_site(4), 2976);
+    }
+
+    #[test]
+    fn intensity_matches_paper_ratio() {
+        // 3696 flops / 2976 bytes ≈ 1.24 flop/byte — strongly bandwidth
+        // bound on a GTX 285 (1062 Gflops / 159 GB/s ≈ 6.7 flop/byte).
+        let i = matpc_intensity(4);
+        assert!((i - 3696.0 / 2976.0).abs() < 1e-12);
+        assert!(i < 6.7);
+    }
+
+    #[test]
+    fn double_doubles_traffic() {
+        assert_eq!(matpc_bytes_per_site(8), 2 * matpc_bytes_per_site(4));
+    }
+}

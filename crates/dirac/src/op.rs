@@ -1,0 +1,408 @@
+//! The single-device Wilson-clover operator: full matrix and even-odd
+//! (Schur) preconditioned form.
+//!
+//! With `M = (4+m+A) − ½D ≡ T − ½D` and sites split by parity,
+//!
+//! ```text
+//! M = [ T_ee     −½ D_eo ]
+//!     [ −½ D_oe   T_oo   ]
+//! ```
+//!
+//! the odd-odd Schur complement is `M̂ = T_oo − ¼ D_oe T_ee⁻¹ D_eo`
+//! (Section II: "even-odd preconditioning is used to accelerate the
+//! solution finding process ... to solve the Schur complement system").
+//! Solving `M̂ x_o = b̂_o` with `b̂_o = b_o + ½ D_oe T_ee⁻¹ b_e` and
+//! reconstructing `x_e = T_ee⁻¹ (b_e + ½ D_eo x_o)` solves the full system.
+
+use crate::clover_apply::{clover_apply_cb, clover_axpy_cb};
+use crate::dslash::{dslash_cb, DslashRegion};
+use crate::flops;
+use crate::reference::WilsonParams;
+use quda_fields::clover_build::clover_both_parities;
+use quda_fields::precision::Precision;
+use quda_fields::{CloverFieldCb, GaugeConfig, GaugeFieldCb, SpinorFieldCb};
+use quda_lattice::geometry::{LatticeDims, Parity};
+use quda_lattice::stencil::Stencil;
+use quda_math::clover::CloverBasisMap;
+use quda_math::gamma::{GammaBasis, SpinBasis};
+use quda_math::real::Real;
+
+/// Which parity the preconditioned system lives on.
+pub const SOLVE_PARITY: Parity = Parity::Odd;
+/// The inner (eliminated) parity.
+pub const INNER_PARITY: Parity = Parity::Even;
+
+/// The single-device Wilson-clover operator with all device-side fields.
+pub struct WilsonCloverOp<P: Precision> {
+    /// Lattice extents.
+    pub dims: LatticeDims,
+    /// Mass and clover coefficient.
+    pub params: WilsonParams,
+    /// Device gauge field (2-row compressed).
+    pub gauge: GaugeFieldCb<P>,
+    /// Shifted clover term `T = (4+m) + A` per parity.
+    pub clover: [CloverFieldCb<P>; 2],
+    /// Inverse `T⁻¹` per parity.
+    pub clover_inv: [CloverFieldCb<P>; 2],
+    /// Neighbor tables (closed boundaries for the single-device op).
+    pub stencil: Stencil,
+    /// Non-relativistic spin basis.
+    pub basis: SpinBasis,
+    /// Chiral↔NR conversion for the clover application.
+    pub map: CloverBasisMap,
+    /// Count of even-odd operator applications (for Gflops reporting).
+    pub matpc_count: std::cell::Cell<u64>,
+}
+
+impl<P: Precision> WilsonCloverOp<P> {
+    /// Build the operator from a host gauge configuration: computes the
+    /// clover field, shifts, inverts, and uploads everything at precision
+    /// `P`.
+    pub fn from_config(cfg: &GaugeConfig, params: WilsonParams) -> Self {
+        Self::from_config_with(cfg, params, false, None)
+    }
+
+    /// As [`WilsonCloverOp::from_config`], but with control over the
+    /// temporal boundary (`t_open = true` for a rank of a partitioned run)
+    /// and an optional externally computed clover field (per parity, in
+    /// checkerboard order) — needed on a partitioned run because clover
+    /// leaves at the slice boundary reach into neighboring domains.
+    pub fn from_config_with(
+        cfg: &GaugeConfig,
+        params: WilsonParams,
+        t_open: bool,
+        clover_override: Option<[Vec<quda_math::clover::CloverSite<f64>>; 2]>,
+    ) -> Self {
+        let dims = cfg.dims;
+        let mut gauge = GaugeFieldCb::<P>::new(dims, true);
+        gauge.upload(cfg);
+        let clover_sites = clover_override.unwrap_or_else(|| clover_both_parities(cfg, params.c_sw));
+        let shift = params.diag_shift();
+        let mut clover = [CloverFieldCb::<P>::new(dims), CloverFieldCb::<P>::new(dims)];
+        let mut clover_inv = [CloverFieldCb::<P>::new(dims), CloverFieldCb::<P>::new(dims)];
+        for p in 0..2 {
+            for cb in 0..dims.half_volume() {
+                let t = clover_sites[p][cb].shifted(shift);
+                clover[p].set(cb, &t);
+                clover_inv[p].set(
+                    cb,
+                    &t.invert().expect("shifted clover term must be invertible"),
+                );
+            }
+        }
+        WilsonCloverOp {
+            dims,
+            params,
+            gauge,
+            clover,
+            clover_inv,
+            stencil: Stencil::new(dims, t_open),
+            basis: SpinBasis::new(GammaBasis::NonRelativistic),
+            map: CloverBasisMap::new(),
+            matpc_count: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Allocate a workspace spinor field matching this operator. On a
+    /// partitioned run (open temporal boundary) every vector the hopping
+    /// term may read carries a ghost end zone.
+    pub fn alloc_spinor(&self) -> SpinorFieldCb<P> {
+        SpinorFieldCb::new(self.dims, self.stencil.t_open)
+    }
+
+    /// Apply the hopping term `D` with output on `out_parity`.
+    pub fn dslash(
+        &self,
+        out: &mut SpinorFieldCb<P>,
+        input: &SpinorFieldCb<P>,
+        out_parity: Parity,
+        dagger: bool,
+    ) {
+        dslash_cb(
+            out,
+            &self.gauge,
+            input,
+            out_parity,
+            &self.stencil,
+            &self.basis,
+            dagger,
+            DslashRegion::All,
+        );
+    }
+
+    /// The even-odd preconditioned operator
+    /// `out = M̂ ψ = T_oo ψ − ¼ D_oe T_ee⁻¹ D_eo ψ` (dagger variant swaps
+    /// the hopping adjoints; `T` terms are Hermitian).
+    ///
+    /// `tmp` is a caller-provided workspace (the intermediate even-parity
+    /// vector); using external workspaces keeps allocation out of the
+    /// solver's inner loop.
+    pub fn apply_matpc(
+        &self,
+        out: &mut SpinorFieldCb<P>,
+        input: &SpinorFieldCb<P>,
+        tmp: &mut SpinorFieldCb<P>,
+        tmp2: &mut SpinorFieldCb<P>,
+        dagger: bool,
+    ) {
+        // tmp <- D_eo ψ (even output from odd input).
+        self.dslash(tmp, input, INNER_PARITY, dagger);
+        // tmp2 <- T_ee⁻¹ tmp.
+        clover_apply_cb(tmp2, &self.clover_inv[INNER_PARITY.as_usize()], tmp, &self.map);
+        // tmp <- D_oe tmp2 (odd output).
+        self.dslash(tmp, tmp2, SOLVE_PARITY, dagger);
+        // out <- T_oo ψ − ¼ tmp.
+        clover_axpy_cb(
+            out,
+            &self.clover[SOLVE_PARITY.as_usize()],
+            input,
+            P::Arith::from_f64(-0.25),
+            tmp,
+            &self.map,
+        );
+        self.matpc_count.set(self.matpc_count.get() + 1);
+    }
+
+    /// Normal-equations operator `M̂† M̂` (for CGNR).
+    pub fn apply_matpc_dag_mat(
+        &self,
+        out: &mut SpinorFieldCb<P>,
+        input: &SpinorFieldCb<P>,
+        mid: &mut SpinorFieldCb<P>,
+        tmp: &mut SpinorFieldCb<P>,
+        tmp2: &mut SpinorFieldCb<P>,
+    ) {
+        self.apply_matpc(mid, input, tmp, tmp2, false);
+        self.apply_matpc(out, mid, tmp, tmp2, true);
+    }
+
+    /// Apply the *full* (unpreconditioned) matrix to a two-parity field:
+    /// `out_p = T_p ψ_p − ½ D_p,p̄ ψ_p̄` for both parities.
+    pub fn apply_full(
+        &self,
+        out: &mut [SpinorFieldCb<P>; 2],
+        input: &[SpinorFieldCb<P>; 2],
+        tmp: &mut SpinorFieldCb<P>,
+    ) {
+        for parity in [Parity::Even, Parity::Odd] {
+            let p = parity.as_usize();
+            let other = parity.other().as_usize();
+            self.dslash(tmp, &input[other], parity, false);
+            clover_axpy_cb(
+                &mut out[p],
+                &self.clover[p],
+                &input[p],
+                P::Arith::from_f64(-0.5),
+                tmp,
+                &self.map,
+            );
+        }
+    }
+
+    /// Build the preconditioned source `b̂_o = b_o + ½ D_oe T_ee⁻¹ b_e`.
+    pub fn prepare_source(
+        &self,
+        out: &mut SpinorFieldCb<P>,
+        b_even: &SpinorFieldCb<P>,
+        b_odd: &SpinorFieldCb<P>,
+        tmp: &mut SpinorFieldCb<P>,
+        tmp2: &mut SpinorFieldCb<P>,
+    ) {
+        clover_apply_cb(tmp, &self.clover_inv[INNER_PARITY.as_usize()], b_even, &self.map);
+        self.dslash(tmp2, tmp, SOLVE_PARITY, false);
+        for cb in 0..out.sites() {
+            let v = b_odd.get(cb) + tmp2.get(cb).scale_re(P::Arith::from_f64(0.5));
+            out.set(cb, &v);
+        }
+    }
+
+    /// Reconstruct the even-parity solution
+    /// `x_e = T_ee⁻¹ (b_e + ½ D_eo x_o)`.
+    pub fn reconstruct_even(
+        &self,
+        x_even: &mut SpinorFieldCb<P>,
+        b_even: &SpinorFieldCb<P>,
+        x_odd: &SpinorFieldCb<P>,
+        tmp: &mut SpinorFieldCb<P>,
+    ) {
+        self.dslash(tmp, x_odd, INNER_PARITY, false);
+        for cb in 0..tmp.sites() {
+            let v = b_even.get(cb) + tmp.get(cb).scale_re(P::Arith::from_f64(0.5));
+            tmp.set(cb, &v);
+        }
+        clover_apply_cb(x_even, &self.clover_inv[INNER_PARITY.as_usize()], tmp, &self.map);
+    }
+
+    /// Effective flops performed so far by `apply_matpc` calls.
+    pub fn matpc_flops(&self) -> u64 {
+        self.matpc_count.get() * self.dims.half_volume() as u64 * flops::MATPC_FLOPS_PER_SITE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::apply_wilson_clover_host;
+    use quda_fields::clover_build::clover_both_parities;
+    use quda_fields::gauge_gen::{random_spinor_field, weak_field};
+    use quda_fields::precision::{Double, Single};
+    use quda_fields::HostSpinorField;
+    use quda_math::clover::CloverSite;
+    use quda_math::complex::C64;
+
+    fn dims() -> LatticeDims {
+        LatticeDims::new(4, 4, 4, 4)
+    }
+
+    fn params() -> WilsonParams {
+        WilsonParams { mass: 0.2, c_sw: 1.0 }
+    }
+
+    fn clover_by_lex(cfg: &GaugeConfig, c_sw: f64) -> Vec<CloverSite<f64>> {
+        let d = cfg.dims;
+        let both = clover_both_parities(cfg, c_sw);
+        let mut out = vec![CloverSite::identity(); d.volume()];
+        for p in [Parity::Even, Parity::Odd] {
+            for cb in 0..d.half_volume() {
+                out[d.lex_index(d.cb_coord(p, cb))] = both[p.as_usize()][cb];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn full_operator_matches_host_reference() {
+        let d = dims();
+        let cfg = weak_field(d, 0.15, 31);
+        let op = WilsonCloverOp::<Double>::from_config(&cfg, params());
+        let host = random_spinor_field(d, 7);
+        let mut input = [op.alloc_spinor(), op.alloc_spinor()];
+        input[0].upload(&host, Parity::Even);
+        input[1].upload(&host, Parity::Odd);
+        let mut out = [op.alloc_spinor(), op.alloc_spinor()];
+        let mut tmp = op.alloc_spinor();
+        op.apply_full(&mut out, &input, &mut tmp);
+        let reference = apply_wilson_clover_host(&cfg, &clover_by_lex(&cfg, 1.0), &params(), &host);
+        let mut host_out = HostSpinorField::zero(d);
+        out[0].download(&mut host_out, Parity::Even);
+        out[1].download(&mut host_out, Parity::Odd);
+        let dist = host_out.max_site_dist(&reference);
+        assert!(dist < 1e-10, "max site distance {dist}");
+    }
+
+    #[test]
+    fn schur_solution_solves_full_system() {
+        // Verify algebra: for any x_o, set b = M [x_e(x_o), x_o] and check
+        // M̂ x_o = b̂_o.
+        let d = dims();
+        let cfg = weak_field(d, 0.1, 13);
+        let op = WilsonCloverOp::<Double>::from_config(&cfg, params());
+        let host = random_spinor_field(d, 21);
+        let mut x = [op.alloc_spinor(), op.alloc_spinor()];
+        x[0].upload(&host, Parity::Even);
+        x[1].upload(&host, Parity::Odd);
+        let mut b = [op.alloc_spinor(), op.alloc_spinor()];
+        let mut tmp = op.alloc_spinor();
+        op.apply_full(&mut b, &x, &mut tmp);
+        // b̂_o.
+        let mut bhat = op.alloc_spinor();
+        let mut t1 = op.alloc_spinor();
+        let mut t2 = op.alloc_spinor();
+        op.prepare_source(&mut bhat, &b[0], &b[1], &mut t1, &mut t2);
+        // M̂ x_o.
+        let mut mx = op.alloc_spinor();
+        op.apply_matpc(&mut mx, &x[1], &mut t1, &mut t2, false);
+        for cb in 0..mx.sites() {
+            let diff = (mx.get(cb) - bhat.get(cb)).norm_sqr();
+            assert!(diff < 1e-18, "cb={cb} diff={diff}");
+        }
+        // And reconstruction returns x_e.
+        let mut xe = op.alloc_spinor();
+        op.reconstruct_even(&mut xe, &b[0], &x[1], &mut t1);
+        for cb in 0..xe.sites() {
+            let diff = (xe.get(cb) - x[0].get(cb)).norm_sqr();
+            assert!(diff < 1e-18, "cb={cb} diff={diff}");
+        }
+    }
+
+    #[test]
+    fn matpc_dagger_is_adjoint() {
+        let d = dims();
+        let cfg = weak_field(d, 0.2, 3);
+        let op = WilsonCloverOp::<Double>::from_config(&cfg, params());
+        let hx = random_spinor_field(d, 1);
+        let hy = random_spinor_field(d, 2);
+        let mut x = op.alloc_spinor();
+        let mut y = op.alloc_spinor();
+        x.upload(&hx, SOLVE_PARITY);
+        y.upload(&hy, SOLVE_PARITY);
+        let mut t1 = op.alloc_spinor();
+        let mut t2 = op.alloc_spinor();
+        let mut my = op.alloc_spinor();
+        op.apply_matpc(&mut my, &y, &mut t1, &mut t2, false);
+        let mut mdx = op.alloc_spinor();
+        op.apply_matpc(&mut mdx, &x, &mut t1, &mut t2, true);
+        let mut lhs = C64::zero();
+        let mut rhs = C64::zero();
+        for cb in 0..x.sites() {
+            lhs += x.get(cb).dot(&my.get(cb));
+            rhs += mdx.get(cb).dot(&y.get(cb));
+        }
+        assert!((lhs.re - rhs.re).abs() < 1e-9 * lhs.re.abs().max(1.0));
+        assert!((lhs.im - rhs.im).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_operator_is_positive() {
+        let d = dims();
+        let cfg = weak_field(d, 0.15, 41);
+        let op = WilsonCloverOp::<Double>::from_config(&cfg, params());
+        let hx = random_spinor_field(d, 33);
+        let mut x = op.alloc_spinor();
+        x.upload(&hx, SOLVE_PARITY);
+        let mut out = op.alloc_spinor();
+        let (mut m, mut t1, mut t2) = (op.alloc_spinor(), op.alloc_spinor(), op.alloc_spinor());
+        op.apply_matpc_dag_mat(&mut out, &x, &mut m, &mut t1, &mut t2);
+        let mut dot = C64::zero();
+        for cb in 0..x.sites() {
+            dot += x.get(cb).dot(&out.get(cb));
+        }
+        assert!(dot.re > 0.0, "<x, M†M x> must be positive, got {}", dot.re);
+        assert!(dot.im.abs() < 1e-9 * dot.re);
+    }
+
+    #[test]
+    fn single_precision_matpc_close_to_double() {
+        let d = dims();
+        let cfg = weak_field(d, 0.1, 8);
+        let op64 = WilsonCloverOp::<Double>::from_config(&cfg, params());
+        let op32 = WilsonCloverOp::<Single>::from_config(&cfg, params());
+        let host = random_spinor_field(d, 55);
+        let mut x64 = op64.alloc_spinor();
+        x64.upload(&host, SOLVE_PARITY);
+        let mut x32 = op32.alloc_spinor();
+        x32.upload(&host, SOLVE_PARITY);
+        let (mut o64, mut a64, mut b64) = (op64.alloc_spinor(), op64.alloc_spinor(), op64.alloc_spinor());
+        op64.apply_matpc(&mut o64, &x64, &mut a64, &mut b64, false);
+        let (mut o32, mut a32, mut b32) = (op32.alloc_spinor(), op32.alloc_spinor(), op32.alloc_spinor());
+        op32.apply_matpc(&mut o32, &x32, &mut a32, &mut b32, false);
+        for cb in 0..o64.sites() {
+            let hi = o64.get(cb);
+            let lo = o32.get(cb).cast::<f64>();
+            let rel = (hi - lo).norm_sqr().sqrt() / hi.norm_sqr().sqrt().max(1e-30);
+            assert!(rel < 5e-5, "cb={cb} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn flop_accounting_counts_applications() {
+        let d = dims();
+        let cfg = weak_field(d, 0.1, 8);
+        let op = WilsonCloverOp::<Double>::from_config(&cfg, params());
+        let x = op.alloc_spinor();
+        let (mut o, mut a, mut b) = (op.alloc_spinor(), op.alloc_spinor(), op.alloc_spinor());
+        op.apply_matpc(&mut o, &x, &mut a, &mut b, false);
+        op.apply_matpc(&mut o, &x, &mut a, &mut b, false);
+        assert_eq!(op.matpc_flops(), 2 * d.half_volume() as u64 * 3696);
+    }
+}

@@ -1,0 +1,297 @@
+//! Gauge (link) fields in the QUDA device layout, with 2-row compression
+//! and the pad-resident ghost slice of Section VI-B.
+//!
+//! Storage is per parity and per direction: `data[parity][mu]` is one
+//! Eq. 5-blocked array of 12 (compressed) or 18 (full) reals per site. The
+//! pad of every block is one half spatial volume — exactly the size of one
+//! time-slice of links — so the ghost copy of `U_μ(x−T̂)` from the backward
+//! neighbor is written into the pad at the face index of the site
+//! ("the ghost zone of link matrices can be hidden entirely in the padding",
+//! Fig. 2).
+
+use crate::host::GaugeConfig;
+use crate::precision::Precision;
+use quda_lattice::geometry::{LatticeDims, Parity};
+use quda_lattice::layout::{species, FieldLayout, NVec};
+use quda_math::complex::Complex;
+use quda_math::real::Real;
+use quda_math::su3::{Su3, Su3Compressed};
+
+/// A both-parity gauge field with precision-`P` device storage.
+#[derive(Clone, Debug)]
+pub struct GaugeFieldCb<P: Precision> {
+    /// Lattice extents.
+    pub dims: LatticeDims,
+    /// Per-direction layout (identical for all directions).
+    pub layout: FieldLayout,
+    /// Whether 2-row compression is active.
+    pub compressed: bool,
+    /// `data[parity][mu]`.
+    pub data: [[Vec<P::Elem>; 4]; 2],
+}
+
+impl<P: Precision> GaugeFieldCb<P> {
+    /// Allocate a unit (identity-link) field.
+    pub fn new(dims: LatticeDims, compressed: bool) -> Self {
+        let n_vec = NVec::optimal_for_bytes(P::STORAGE_BYTES);
+        let layout = species::gauge_cb(&dims, n_vec, compressed);
+        let make = || vec![P::Elem::default(); layout.total_len()];
+        let mut field = GaugeFieldCb {
+            dims,
+            layout,
+            compressed,
+            data: [
+                [make(), make(), make(), make()],
+                [make(), make(), make(), make()],
+            ],
+        };
+        let id = Su3::<f64>::identity();
+        for parity in [Parity::Even, Parity::Odd] {
+            for mu in 0..4 {
+                for cb in 0..layout.sites {
+                    field.set_link(parity, mu, cb, &id);
+                }
+            }
+        }
+        field
+    }
+
+    /// Number of sites per parity.
+    #[inline(always)]
+    pub fn sites(&self) -> usize {
+        self.layout.sites
+    }
+
+    /// Reals stored per link.
+    #[inline(always)]
+    pub fn link_reals(&self) -> usize {
+        self.layout.n_int
+    }
+
+    fn write_reals(buf: &mut [P::Elem], layout: &FieldLayout, site_or_pad: (bool, usize), reals: &[f64]) {
+        for (n, &r) in reals.iter().enumerate() {
+            let i = match site_or_pad {
+                (false, site) => layout.index(site, n),
+                (true, slot) => layout.pad_index(slot, n),
+            };
+            buf[i] = P::store(P::Arith::from_f64(r));
+        }
+    }
+
+    fn read_reals(buf: &[P::Elem], layout: &FieldLayout, site_or_pad: (bool, usize), out: &mut [f64]) {
+        for (n, r) in out.iter_mut().enumerate() {
+            let i = match site_or_pad {
+                (false, site) => layout.index(site, n),
+                (true, slot) => layout.pad_index(slot, n),
+            };
+            *r = P::load(buf[i]).to_f64();
+        }
+    }
+
+    fn link_to_reals(&self, u: &Su3<f64>) -> Vec<f64> {
+        let rows = if self.compressed { 2 } else { 3 };
+        let mut reals = Vec::with_capacity(rows * 6);
+        for i in 0..rows {
+            for j in 0..3 {
+                reals.push(u.m[i][j].re);
+                reals.push(u.m[i][j].im);
+            }
+        }
+        reals
+    }
+
+    fn reals_to_link(&self, reals: &[f64]) -> Su3<P::Arith> {
+        if self.compressed {
+            let mut c = Su3Compressed::<P::Arith>::default();
+            let mut k = 0;
+            for i in 0..2 {
+                for j in 0..3 {
+                    c.rows[i][j] = Complex::new(
+                        P::Arith::from_f64(reals[k]),
+                        P::Arith::from_f64(reals[k + 1]),
+                    );
+                    k += 2;
+                }
+            }
+            c.reconstruct()
+        } else {
+            let mut u = Su3::zero();
+            let mut k = 0;
+            for i in 0..3 {
+                for j in 0..3 {
+                    u.m[i][j] = Complex::new(
+                        P::Arith::from_f64(reals[k]),
+                        P::Arith::from_f64(reals[k + 1]),
+                    );
+                    k += 2;
+                }
+            }
+            u
+        }
+    }
+
+    /// Store the link `U_μ` at checkerboard site `cb` of `parity`.
+    pub fn set_link(&mut self, parity: Parity, mu: usize, cb: usize, u: &Su3<f64>) {
+        let reals = self.link_to_reals(u);
+        let layout = self.layout;
+        Self::write_reals(&mut self.data[parity.as_usize()][mu], &layout, (false, cb), &reals);
+    }
+
+    /// Load (and, if compressed, reconstruct) the link `U_μ` at `cb`.
+    pub fn link(&self, parity: Parity, mu: usize, cb: usize) -> Su3<P::Arith> {
+        let mut reals = vec![0.0; self.link_reals()];
+        Self::read_reals(&self.data[parity.as_usize()][mu], &self.layout, (false, cb), &mut reals);
+        self.reals_to_link(&reals)
+    }
+
+    /// Store a ghost link into the pad region at `face` (Section VI-B).
+    pub fn set_ghost_link(&mut self, parity: Parity, mu: usize, face: usize, u: &Su3<f64>) {
+        let reals = self.link_to_reals(u);
+        let layout = self.layout;
+        Self::write_reals(&mut self.data[parity.as_usize()][mu], &layout, (true, face), &reals);
+    }
+
+    /// Load a ghost link from the pad region.
+    pub fn ghost_link(&self, parity: Parity, mu: usize, face: usize) -> Su3<P::Arith> {
+        let mut reals = vec![0.0; self.link_reals()];
+        Self::read_reals(&self.data[parity.as_usize()][mu], &self.layout, (true, face), &mut reals);
+        self.reals_to_link(&reals)
+    }
+
+    /// Upload an entire host configuration (both parities, all directions).
+    pub fn upload(&mut self, config: &GaugeConfig) {
+        assert_eq!(config.dims, self.dims);
+        for parity in [Parity::Even, Parity::Odd] {
+            for cb in 0..self.sites() {
+                let c = self.dims.cb_coord(parity, cb);
+                for mu in 0..4 {
+                    let u = *config.link(c, mu);
+                    self.set_link(parity, mu, cb, &u);
+                }
+            }
+        }
+    }
+
+    /// Device bytes occupied by all 8 arrays.
+    pub fn device_bytes(&self) -> usize {
+        8 * self.layout.device_bytes(P::STORAGE_BYTES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precision::{Double, Half, Single};
+    use quda_math::complex::C64;
+
+    fn dims() -> LatticeDims {
+        LatticeDims::new(4, 4, 2, 4)
+    }
+
+    fn sample_link(seed: usize) -> Su3<f64> {
+        let mut u = Su3::identity();
+        let k = seed as f64;
+        u.m[0][1] = C64::new(0.1 * (k * 0.7).sin(), 0.2 * (k * 0.3).cos());
+        u.m[1][2] = C64::new(-0.15, 0.1 * (k * 0.9).sin());
+        u.m[2][0] = C64::new(0.05 * (k).cos(), -0.12);
+        u.reunitarize()
+    }
+
+    #[test]
+    fn new_field_is_unit() {
+        let g = GaugeFieldCb::<Double>::new(dims(), true);
+        for p in [Parity::Even, Parity::Odd] {
+            for mu in 0..4 {
+                let u = g.link(p, mu, 5);
+                assert!((u - Su3::identity()).norm_sqr() < 1e-24);
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_roundtrip_reconstructs_third_row() {
+        let mut g = GaugeFieldCb::<Double>::new(dims(), true);
+        for cb in 0..g.sites() {
+            g.set_link(Parity::Odd, 2, cb, &sample_link(cb));
+        }
+        for cb in 0..g.sites() {
+            let expect = sample_link(cb);
+            let got = g.link(Parity::Odd, 2, cb);
+            assert!((got - expect).norm_sqr() < 1e-20, "cb={cb}");
+        }
+    }
+
+    #[test]
+    fn full_storage_roundtrip() {
+        let mut g = GaugeFieldCb::<Double>::new(dims(), false);
+        assert_eq!(g.link_reals(), 18);
+        g.set_link(Parity::Even, 0, 3, &sample_link(9));
+        let got = g.link(Parity::Even, 0, 3);
+        assert!((got - sample_link(9)).norm_sqr() < 1e-28);
+    }
+
+    #[test]
+    fn half_precision_links_stay_unitary_enough() {
+        // Unitarity bounds elements to [-1,1], so direct quantization works
+        // (Section V-C3) and the reconstructed link is near-unitary.
+        let mut g = GaugeFieldCb::<Half>::new(dims(), true);
+        for cb in 0..g.sites() {
+            g.set_link(Parity::Even, 3, cb, &sample_link(cb));
+        }
+        for cb in 0..g.sites() {
+            let u: Su3<f64> = g.link(Parity::Even, 3, cb).cast();
+            assert!(u.is_special_unitary(1e-3), "cb={cb}");
+            assert!((u - sample_link(cb)).norm_sqr().sqrt() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn ghost_links_live_in_pad_and_do_not_clobber_sites() {
+        let mut g = GaugeFieldCb::<Single>::new(dims(), true);
+        for cb in 0..g.sites() {
+            g.set_link(Parity::Odd, 3, cb, &sample_link(cb));
+        }
+        let faces = g.layout.pad;
+        for f in 0..faces {
+            g.set_ghost_link(Parity::Odd, 3, f, &sample_link(1000 + f));
+        }
+        for cb in 0..g.sites() {
+            let got: Su3<f64> = g.link(Parity::Odd, 3, cb).cast();
+            assert!((got - sample_link(cb)).norm_sqr() < 1e-10, "site clobbered at {cb}");
+        }
+        for f in 0..faces {
+            let got: Su3<f64> = g.ghost_link(Parity::Odd, 3, f).cast();
+            assert!((got - sample_link(1000 + f)).norm_sqr() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn upload_matches_host_config() {
+        let d = dims();
+        let mut cfg = GaugeConfig::unit(d);
+        for (i, u) in cfg.links.iter_mut().enumerate() {
+            *u = sample_link(i);
+        }
+        let mut g = GaugeFieldCb::<Double>::new(d, true);
+        g.upload(&cfg);
+        for p in [Parity::Even, Parity::Odd] {
+            for cb in 0..g.sites() {
+                let c = d.cb_coord(p, cb);
+                for mu in 0..4 {
+                    let got = g.link(p, mu, cb);
+                    assert!((got - *cfg.link(c, mu)).norm_sqr() < 1e-20);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compression_halves_link_storage_not_quite() {
+        // 12 vs 18 reals per link.
+        let c = GaugeFieldCb::<Single>::new(dims(), true);
+        let f = GaugeFieldCb::<Single>::new(dims(), false);
+        assert_eq!(c.link_reals(), 12);
+        assert_eq!(f.link_reals(), 18);
+        assert!(c.device_bytes() < f.device_bytes());
+    }
+}

@@ -1,0 +1,128 @@
+//! Gauge configuration generators.
+//!
+//! The paper's performance runs use *weak-field* configurations: "starting
+//! with all link matrices set to the identity, mixing in a small amount of
+//! random noise, and re-unitarizing the links to bring the links back to the
+//! SU(3) manifold" (Section VII-A). We also provide fully random (strongly
+//! disordered) configurations for stress-testing the solver.
+
+use crate::host::GaugeConfig;
+use quda_lattice::geometry::LatticeDims;
+use quda_math::complex::C64;
+use quda_math::su3::Su3;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Perturb a matrix with uniform noise of amplitude `eps` in every complex
+/// component, then project back onto SU(3).
+fn noisy_link(rng: &mut SmallRng, eps: f64) -> Su3<f64> {
+    let mut u = Su3::identity();
+    for i in 0..3 {
+        for j in 0..3 {
+            let dre: f64 = rng.gen_range(-eps..=eps);
+            let dim: f64 = rng.gen_range(-eps..=eps);
+            u.m[i][j] += C64::new(dre, dim);
+        }
+    }
+    u.reunitarize()
+}
+
+/// A weak-field configuration as described in Section VII-A.
+///
+/// `eps` controls the noise amplitude; the paper's configurations are "not
+/// physical" but exercise every code path of the solver with realistic
+/// (near-1) plaquettes and a well-conditioned Dirac matrix.
+pub fn weak_field(dims: LatticeDims, eps: f64, seed: u64) -> GaugeConfig {
+    let mut cfg = GaugeConfig::unit(dims);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for u in cfg.links.iter_mut() {
+        *u = noisy_link(&mut rng, eps);
+    }
+    cfg
+}
+
+/// A strongly disordered configuration: links drawn by re-unitarizing dense
+/// uniform random matrices. Produces a much worse-conditioned Dirac matrix
+/// than a weak field — useful for iteration-count stress tests.
+pub fn random_field(dims: LatticeDims, seed: u64) -> GaugeConfig {
+    let mut cfg = GaugeConfig::unit(dims);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for u in cfg.links.iter_mut() {
+        let mut m = Su3::zero();
+        for i in 0..3 {
+            for j in 0..3 {
+                m.m[i][j] = C64::new(rng.gen_range(-1.0..=1.0), rng.gen_range(-1.0..=1.0));
+            }
+        }
+        *u = m.reunitarize();
+    }
+    cfg
+}
+
+/// Fill a host spinor field with uniform random components in `[-1, 1]` —
+/// a generic right-hand side for solver tests.
+pub fn random_spinor_field(
+    dims: LatticeDims,
+    seed: u64,
+) -> crate::host::HostSpinorField {
+    let mut f = crate::host::HostSpinorField::zero(dims);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for sp in f.data.iter_mut() {
+        for s in 0..4 {
+            for c in 0..3 {
+                sp.s[s].c[c] = C64::new(rng.gen_range(-1.0..=1.0), rng.gen_range(-1.0..=1.0));
+            }
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weak_field_is_unitary() {
+        let cfg = weak_field(LatticeDims::new(4, 4, 4, 4), 0.1, 7);
+        assert!(cfg.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn weak_field_plaquette_near_one() {
+        let cfg = weak_field(LatticeDims::new(4, 4, 4, 4), 0.05, 11);
+        let p = cfg.average_plaquette();
+        assert!(p > 0.98 && p < 1.0, "plaquette {p}");
+    }
+
+    #[test]
+    fn plaquette_decreases_with_noise() {
+        let d = LatticeDims::new(4, 4, 4, 4);
+        let p_small = weak_field(d, 0.02, 3).average_plaquette();
+        let p_big = weak_field(d, 0.3, 3).average_plaquette();
+        assert!(p_small > p_big, "{p_small} vs {p_big}");
+    }
+
+    #[test]
+    fn random_field_is_unitary_but_disordered() {
+        let cfg = random_field(LatticeDims::new(4, 4, 4, 4), 19);
+        assert!(cfg.is_unitary(1e-10));
+        let p = cfg.average_plaquette();
+        assert!(p.abs() < 0.5, "random field should have small plaquette, got {p}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let d = LatticeDims::new(4, 4, 2, 2);
+        let a = weak_field(d, 0.1, 42);
+        let b = weak_field(d, 0.1, 42);
+        let c = weak_field(d, 0.1, 43);
+        assert_eq!(a.links[5], b.links[5]);
+        assert!((a.links[5] - c.links[5]).norm_sqr() > 0.0);
+    }
+
+    #[test]
+    fn random_spinor_is_nonzero_everywhere() {
+        let f = random_spinor_field(LatticeDims::new(2, 2, 2, 2), 5);
+        assert!(f.data.iter().all(|sp| sp.norm_sqr() > 0.0));
+    }
+}

@@ -1,0 +1,222 @@
+//! Gauge configuration I/O.
+//!
+//! A minimal binary format in the spirit of the NERSC archive format used
+//! throughout lattice QCD: an ASCII-ish header carrying the dimensions and
+//! a plaquette/trace checksum, followed by the raw little-endian f64 link
+//! data in lexicographic site order, direction fastest. Loads validate the
+//! checksum and (optionally) re-unitarize — the ingest path a production
+//! analysis campaign would use for its thousands of configurations.
+
+use crate::host::GaugeConfig;
+use quda_lattice::geometry::LatticeDims;
+use std::io::{self, Read, Write};
+
+/// File magic.
+const MAGIC: &[u8; 8] = b"QUDARS01";
+
+/// Errors while reading a configuration.
+#[derive(Debug)]
+pub enum GaugeIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a quda-rs gauge file.
+    BadMagic,
+    /// Header metadata malformed.
+    BadHeader(String),
+    /// Plaquette or link-trace checksum mismatch — corrupt data.
+    ChecksumMismatch {
+        /// Expected value from the header.
+        expected: f64,
+        /// Value recomputed from the payload.
+        actual: f64,
+    },
+}
+
+impl From<io::Error> for GaugeIoError {
+    fn from(e: io::Error) -> Self {
+        GaugeIoError::Io(e)
+    }
+}
+
+impl std::fmt::Display for GaugeIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GaugeIoError::Io(e) => write!(f, "i/o error: {e}"),
+            GaugeIoError::BadMagic => write!(f, "not a quda-rs gauge file"),
+            GaugeIoError::BadHeader(s) => write!(f, "bad header: {s}"),
+            GaugeIoError::ChecksumMismatch { expected, actual } => {
+                write!(f, "checksum mismatch: header {expected}, payload {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GaugeIoError {}
+
+/// Serialize a configuration.
+pub fn write_gauge<W: Write>(cfg: &GaugeConfig, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    for ext in [cfg.dims.x, cfg.dims.y, cfg.dims.z, cfg.dims.t] {
+        w.write_all(&(ext as u32).to_le_bytes())?;
+    }
+    // Checksums: average plaquette and the global sum of link traces.
+    w.write_all(&cfg.average_plaquette().to_le_bytes())?;
+    let trace_sum: f64 = cfg.links.iter().map(|u| u.trace().re).sum();
+    w.write_all(&trace_sum.to_le_bytes())?;
+    for u in &cfg.links {
+        for i in 0..3 {
+            for j in 0..3 {
+                w.write_all(&u.m[i][j].re.to_le_bytes())?;
+                w.write_all(&u.m[i][j].im.to_le_bytes())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Deserialize and validate a configuration.
+pub fn read_gauge<R: Read>(mut r: R) -> Result<GaugeConfig, GaugeIoError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(GaugeIoError::BadMagic);
+    }
+    let mut ext = [0usize; 4];
+    for e in ext.iter_mut() {
+        let mut b = [0u8; 4];
+        r.read_exact(&mut b)?;
+        *e = u32::from_le_bytes(b) as usize;
+        if *e < 2 || *e % 2 != 0 || *e > 1 << 16 {
+            return Err(GaugeIoError::BadHeader(format!("extent {e}")));
+        }
+    }
+    let dims = LatticeDims::new(ext[0], ext[1], ext[2], ext[3]);
+    let mut f64buf = [0u8; 8];
+    r.read_exact(&mut f64buf)?;
+    let plaq_expected = f64::from_le_bytes(f64buf);
+    r.read_exact(&mut f64buf)?;
+    let trace_expected = f64::from_le_bytes(f64buf);
+    let mut cfg = GaugeConfig::unit(dims);
+    for u in cfg.links.iter_mut() {
+        for i in 0..3 {
+            for j in 0..3 {
+                r.read_exact(&mut f64buf)?;
+                let re = f64::from_le_bytes(f64buf);
+                r.read_exact(&mut f64buf)?;
+                let im = f64::from_le_bytes(f64buf);
+                if !re.is_finite() || !im.is_finite() {
+                    return Err(GaugeIoError::BadHeader("non-finite link data".into()));
+                }
+                u.m[i][j] = quda_math::complex::C64::new(re, im);
+            }
+        }
+    }
+    let trace_actual: f64 = cfg.links.iter().map(|u| u.trace().re).sum();
+    if (trace_actual - trace_expected).abs() > 1e-8 * trace_expected.abs().max(1.0) {
+        return Err(GaugeIoError::ChecksumMismatch { expected: trace_expected, actual: trace_actual });
+    }
+    let plaq_actual = cfg.average_plaquette();
+    if (plaq_actual - plaq_expected).abs() > 1e-10 {
+        return Err(GaugeIoError::ChecksumMismatch { expected: plaq_expected, actual: plaq_actual });
+    }
+    Ok(cfg)
+}
+
+/// Convenience: round-trip through a file path.
+pub fn save_gauge_file(cfg: &GaugeConfig, path: &std::path::Path) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_gauge(cfg, io::BufWriter::new(f))
+}
+
+/// Convenience: load from a file path.
+pub fn load_gauge_file(path: &std::path::Path) -> Result<GaugeConfig, GaugeIoError> {
+    let f = std::fs::File::open(path)?;
+    read_gauge(io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gauge_gen::weak_field;
+
+    fn sample() -> GaugeConfig {
+        weak_field(LatticeDims::new(4, 4, 2, 4), 0.12, 99)
+    }
+
+    #[test]
+    fn roundtrip_through_memory() {
+        let cfg = sample();
+        let mut buf = Vec::new();
+        write_gauge(&cfg, &mut buf).unwrap();
+        let back = read_gauge(buf.as_slice()).unwrap();
+        assert_eq!(back.dims, cfg.dims);
+        for (a, b) in back.links.iter().zip(&cfg.links) {
+            assert_eq!(a, b, "links must round-trip bit-exactly");
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let cfg = sample();
+        let path = std::env::temp_dir().join("quda_rs_io_test.cfg");
+        save_gauge_file(&cfg, &path).unwrap();
+        let back = load_gauge_file(&path).unwrap();
+        assert_eq!(back.links, cfg.links);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_gauge(&b"NOTQUDA0restoffile"[..]).unwrap_err();
+        assert!(matches!(err, GaugeIoError::BadMagic));
+    }
+
+    #[test]
+    fn corrupt_payload_fails_checksum() {
+        let cfg = sample();
+        let mut buf = Vec::new();
+        write_gauge(&cfg, &mut buf).unwrap();
+        // Overwrite the last link element with a large finite value.
+        let k = buf.len() - 8;
+        buf[k..].copy_from_slice(&1e10f64.to_le_bytes());
+        let err = read_gauge(buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, GaugeIoError::ChecksumMismatch { .. }),
+            "expected checksum failure, got {err}"
+        );
+    }
+
+    #[test]
+    fn truncated_file_is_io_error() {
+        let cfg = sample();
+        let mut buf = Vec::new();
+        write_gauge(&cfg, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        let err = read_gauge(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, GaugeIoError::Io(_)));
+    }
+
+    #[test]
+    fn non_finite_data_rejected() {
+        let cfg = sample();
+        let mut buf = Vec::new();
+        write_gauge(&cfg, &mut buf).unwrap();
+        let k = buf.len() - 8;
+        buf[k..].copy_from_slice(&f64::NAN.to_le_bytes());
+        let err = read_gauge(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, GaugeIoError::BadHeader(_)), "got {err}");
+    }
+
+    #[test]
+    fn bad_extent_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        for e in [3u32, 4, 4, 4] {
+            buf.extend_from_slice(&e.to_le_bytes());
+        }
+        buf.extend_from_slice(&0.0f64.to_le_bytes());
+        buf.extend_from_slice(&0.0f64.to_le_bytes());
+        let err = read_gauge(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, GaugeIoError::BadHeader(_)));
+    }
+}

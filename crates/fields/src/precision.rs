@@ -1,0 +1,194 @@
+//! Storage precisions: double, single, and 16-bit fixed-point half.
+//!
+//! QUDA's solvers are parameterized by a *storage* precision per field; half
+//! precision stores normalized `i16` and computes in `f32` (Section V-C3).
+//! The [`Precision`] trait carries both the storage element and the
+//! arithmetic type so field containers and kernels can be written once.
+
+use quda_math::half::{Fixed16, Fixed8};
+use quda_math::real::Real;
+
+/// A storage precision for device fields.
+pub trait Precision: Copy + Clone + Send + Sync + 'static {
+    /// The arithmetic type kernels compute in.
+    type Arith: Real;
+    /// The element actually stored per real component.
+    type Elem: Copy + Clone + Default + Send + Sync + 'static;
+    /// Bytes per stored real.
+    const STORAGE_BYTES: usize;
+    /// Whether fields of this precision carry a normalization array.
+    const NEEDS_NORM: bool;
+    /// Name as the paper uses it ("double", "single", "half").
+    const NAME: &'static str;
+
+    /// Store a value already normalized to the representable range
+    /// (for half: `[-1, 1]`; for float types: any value).
+    fn store(x: Self::Arith) -> Self::Elem;
+    /// Load a stored element back to the arithmetic type.
+    fn load(e: Self::Elem) -> Self::Arith;
+}
+
+/// IEEE double precision storage (`f64`).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Double;
+
+/// IEEE single precision storage (`f32`).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Single;
+
+/// 16-bit fixed-point storage with shared normalization, computing in `f32`.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Half;
+
+/// 8-bit fixed-point storage with shared normalization — the "(or even
+/// 8-bit)" texture mode of Section V-C3, provided as an extension.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Quarter;
+
+impl Precision for Double {
+    type Arith = f64;
+    type Elem = f64;
+    const STORAGE_BYTES: usize = 8;
+    const NEEDS_NORM: bool = false;
+    const NAME: &'static str = "double";
+
+    #[inline(always)]
+    fn store(x: f64) -> f64 {
+        x
+    }
+    #[inline(always)]
+    fn load(e: f64) -> f64 {
+        e
+    }
+}
+
+impl Precision for Single {
+    type Arith = f32;
+    type Elem = f32;
+    const STORAGE_BYTES: usize = 4;
+    const NEEDS_NORM: bool = false;
+    const NAME: &'static str = "single";
+
+    #[inline(always)]
+    fn store(x: f32) -> f32 {
+        x
+    }
+    #[inline(always)]
+    fn load(e: f32) -> f32 {
+        e
+    }
+}
+
+impl Precision for Half {
+    type Arith = f32;
+    type Elem = Fixed16;
+    const STORAGE_BYTES: usize = 2;
+    const NEEDS_NORM: bool = true;
+    const NAME: &'static str = "half";
+
+    #[inline(always)]
+    fn store(x: f32) -> Fixed16 {
+        Fixed16::quantize(x)
+    }
+    #[inline(always)]
+    fn load(e: Fixed16) -> f32 {
+        e.dequantize()
+    }
+}
+
+impl Precision for Quarter {
+    type Arith = f32;
+    type Elem = Fixed8;
+    const STORAGE_BYTES: usize = 1;
+    const NEEDS_NORM: bool = true;
+    const NAME: &'static str = "quarter";
+
+    #[inline(always)]
+    fn store(x: f32) -> Fixed8 {
+        Fixed8::quantize(x)
+    }
+    #[inline(always)]
+    fn load(e: Fixed8) -> f32 {
+        e.dequantize()
+    }
+}
+
+/// Runtime tag for a precision, used by solver parameters and the
+/// performance model (which needs byte counts without generics).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum PrecisionTag {
+    /// 8-byte storage.
+    Double,
+    /// 4-byte storage.
+    Single,
+    /// 2-byte storage + normalization array.
+    Half,
+    /// 1-byte storage + normalization array (extension).
+    Quarter,
+}
+
+impl PrecisionTag {
+    /// Bytes per stored real.
+    pub fn storage_bytes(self) -> usize {
+        match self {
+            PrecisionTag::Double => 8,
+            PrecisionTag::Single => 4,
+            PrecisionTag::Half => 2,
+            PrecisionTag::Quarter => 1,
+        }
+    }
+
+    /// Paper-style name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrecisionTag::Double => "double",
+            PrecisionTag::Single => "single",
+            PrecisionTag::Half => "half",
+            PrecisionTag::Quarter => "quarter",
+        }
+    }
+
+    /// Whether a normalization array accompanies the data.
+    pub fn needs_norm(self) -> bool {
+        matches!(self, PrecisionTag::Half | PrecisionTag::Quarter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_match_generics() {
+        assert_eq!(PrecisionTag::Double.storage_bytes(), Double::STORAGE_BYTES);
+        assert_eq!(PrecisionTag::Single.storage_bytes(), Single::STORAGE_BYTES);
+        assert_eq!(PrecisionTag::Half.storage_bytes(), Half::STORAGE_BYTES);
+        assert_eq!(PrecisionTag::Double.name(), Double::NAME);
+        assert_eq!(PrecisionTag::Half.needs_norm(), Half::NEEDS_NORM);
+        assert!(!PrecisionTag::Single.needs_norm());
+    }
+
+    #[test]
+    fn float_precisions_store_exactly() {
+        assert_eq!(Double::load(Double::store(0.1)), 0.1);
+        assert_eq!(Single::load(Single::store(0.25f32)), 0.25);
+    }
+
+    #[test]
+    fn quarter_stores_with_bounded_error() {
+        for &x in &[0.0f32, 0.5, -0.99, 1.0] {
+            let err = (Quarter::load(Quarter::store(x)) - x).abs();
+            assert!(err <= 0.5 / 127.0 + f32::EPSILON);
+        }
+        assert_eq!(PrecisionTag::Quarter.storage_bytes(), Quarter::STORAGE_BYTES);
+        assert!(PrecisionTag::Quarter.needs_norm());
+    }
+
+    #[test]
+    fn half_stores_with_bounded_error() {
+        for &x in &[0.0f32, 0.5, -0.999, 1.0] {
+            let err = (Half::load(Half::store(x)) - x).abs();
+            assert!(err <= 0.5 / 32767.0 + f32::EPSILON);
+        }
+    }
+}

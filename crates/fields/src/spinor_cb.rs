@@ -1,0 +1,342 @@
+//! Single-parity ("checkerboard") spinor fields in the QUDA device layout.
+//!
+//! The even-odd preconditioned solver works entirely on one parity, so this
+//! is the workhorse vector type. Storage follows Fig. 2: `24 / N_vec` blocks
+//! of `stride = V/2 + pad` short vectors, with the optional ghost end zone of
+//! Section VI-C appended after the blocks (`2 × Vs/2` half spinors, backward
+//! half first). In half precision a per-site `f32` normalization array rides
+//! along, extended by `2 × Vs/2` entries for the ghost half spinors.
+
+use crate::host::HostSpinorField;
+use crate::precision::Precision;
+use quda_lattice::geometry::{LatticeDims, Parity};
+use quda_lattice::layout::{species, FieldLayout, NVec};
+use quda_math::real::Real;
+use quda_math::spinor::{HalfSpinor, Spinor, HALF_SPINOR_REALS, SPINOR_REALS};
+
+/// A single-parity spinor field with precision-`P` device storage.
+#[derive(Clone, Debug)]
+pub struct SpinorFieldCb<P: Precision> {
+    /// Lattice extents (of the full lattice; the field covers one parity).
+    pub dims: LatticeDims,
+    /// Memory layout (Eq. 5).
+    pub layout: FieldLayout,
+    /// Blocked, padded element storage (plus ghost end zone when present).
+    pub data: Vec<P::Elem>,
+    /// Per-site normalization constants (half precision only; otherwise
+    /// empty). Ghost entries follow the site entries: backward face first.
+    pub norm: Vec<f32>,
+}
+
+impl<P: Precision> SpinorFieldCb<P> {
+    /// Allocate a zero field; `with_ghost` reserves the end zone needed by a
+    /// multi-GPU operand.
+    pub fn new(dims: LatticeDims, with_ghost: bool) -> Self {
+        let n_vec = NVec::optimal_for_bytes(P::STORAGE_BYTES);
+        let layout = species::spinor_cb(&dims, n_vec, with_ghost);
+        let data = vec![P::Elem::default(); layout.total_len()];
+        let norm = if P::NEEDS_NORM {
+            vec![1.0; layout.sites + layout.ghost_sites]
+        } else {
+            Vec::new()
+        };
+        SpinorFieldCb { dims, layout, data, norm }
+    }
+
+    /// Number of data sites (half volume).
+    #[inline(always)]
+    pub fn sites(&self) -> usize {
+        self.layout.sites
+    }
+
+    /// Whether the field carries a ghost end zone.
+    #[inline(always)]
+    pub fn has_ghost(&self) -> bool {
+        self.layout.ghost_sites > 0
+    }
+
+    /// Face sites per temporal ghost (Vs/2).
+    #[inline(always)]
+    pub fn face_sites(&self) -> usize {
+        self.layout.ghost_sites / 2
+    }
+
+    /// Read the spinor at checkerboard site `cb`.
+    #[inline]
+    pub fn get(&self, cb: usize) -> Spinor<P::Arith> {
+        let mut reals = [P::Arith::ZERO; SPINOR_REALS];
+        for (n, r) in reals.iter_mut().enumerate() {
+            *r = P::load(self.data[self.layout.index(cb, n)]);
+        }
+        let mut sp = Spinor::from_reals(&reals);
+        if P::NEEDS_NORM {
+            sp = sp.scale_re(P::Arith::from_f64(self.norm[cb] as f64));
+        }
+        sp
+    }
+
+    /// Write the spinor at checkerboard site `cb` (quantizing in half
+    /// precision with a freshly computed per-site normalization).
+    #[inline]
+    pub fn set(&mut self, cb: usize, sp: &Spinor<P::Arith>) {
+        let mut stored = *sp;
+        if P::NEEDS_NORM {
+            let norm = sp.max_abs();
+            let norm = if norm == 0.0 { 1.0 } else { norm };
+            self.norm[cb] = norm as f32;
+            stored = sp.scale_re(P::Arith::from_f64(1.0 / norm));
+        }
+        let reals = stored.to_reals();
+        for (n, &r) in reals.iter().enumerate() {
+            self.data[self.layout.index(cb, n)] = P::store(r);
+        }
+    }
+
+    /// Read a ghost half spinor (`backward` selects which face's data).
+    #[inline]
+    pub fn get_ghost(&self, backward: bool, face: usize) -> HalfSpinor<P::Arith> {
+        let mut reals = [P::Arith::ZERO; HALF_SPINOR_REALS];
+        for (n, r) in reals.iter_mut().enumerate() {
+            *r = P::load(self.data[self.layout.ghost_index(backward, face, n)]);
+        }
+        let mut h = HalfSpinor::from_reals(&reals);
+        if P::NEEDS_NORM {
+            let ni = self.ghost_norm_index(backward, face);
+            let norm = P::Arith::from_f64(self.norm[ni] as f64);
+            h.h[0] = h.h[0].scale_re(norm);
+            h.h[1] = h.h[1].scale_re(norm);
+        }
+        h
+    }
+
+    /// Write a ghost half spinor.
+    #[inline]
+    pub fn set_ghost(&mut self, backward: bool, face: usize, h: &HalfSpinor<P::Arith>) {
+        let mut stored = *h;
+        if P::NEEDS_NORM {
+            let norm = h.h[0].max_abs().max(h.h[1].max_abs());
+            let norm = if norm == 0.0 { 1.0 } else { norm };
+            let ni = self.ghost_norm_index(backward, face);
+            self.norm[ni] = norm as f32;
+            let inv = P::Arith::from_f64(1.0 / norm);
+            stored.h[0] = stored.h[0].scale_re(inv);
+            stored.h[1] = stored.h[1].scale_re(inv);
+        }
+        let reals = stored.to_reals();
+        for (n, &r) in reals.iter().enumerate() {
+            self.data[self.layout.ghost_index(backward, face, n)] = P::store(r);
+        }
+    }
+
+    #[inline(always)]
+    fn ghost_norm_index(&self, backward: bool, face: usize) -> usize {
+        self.layout.sites + if backward { 0 } else { self.face_sites() } + face
+    }
+
+    /// Zero all site data (leaves ghosts untouched).
+    pub fn zero_sites(&mut self) {
+        let zero = Spinor::zero();
+        for cb in 0..self.sites() {
+            self.set(cb, &zero);
+        }
+    }
+
+    /// Squared 2-norm over data sites only — the end zone is excluded, which
+    /// is the whole point of storing ghosts outside the blocks (Section
+    /// VI-C: "when doing reductions, this end zone can be simply excluded").
+    pub fn norm_sqr(&self) -> f64 {
+        (0..self.sites()).map(|cb| self.get(cb).norm_sqr()).sum()
+    }
+
+    /// Upload one parity of a host field.
+    pub fn upload(&mut self, host: &HostSpinorField, parity: Parity) {
+        assert_eq!(host.dims, self.dims);
+        for cb in 0..self.sites() {
+            let sp = host.get_cb(parity, cb).cast::<P::Arith>();
+            self.set(cb, &sp);
+        }
+    }
+
+    /// Download into one parity of a host field.
+    pub fn download(&self, host: &mut HostSpinorField, parity: Parity) {
+        assert_eq!(host.dims, self.dims);
+        for cb in 0..self.sites() {
+            *host.get_cb_mut(parity, cb) = self.get(cb).cast::<f64>();
+        }
+    }
+
+    /// Copy (with precision conversion) from a field of another precision —
+    /// the transfer the mixed-precision solver performs at reliable updates.
+    pub fn convert_from<Q: Precision>(&mut self, other: &SpinorFieldCb<Q>) {
+        assert_eq!(self.dims, other.dims);
+        for cb in 0..self.sites() {
+            let sp = other.get(cb).cast::<P::Arith>();
+            self.set(cb, &sp);
+        }
+    }
+
+    /// Device bytes occupied (data + normalization array).
+    pub fn device_bytes(&self) -> usize {
+        self.layout.device_bytes(P::STORAGE_BYTES) + self.norm.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precision::{Double, Half, Single};
+    use quda_math::complex::C64;
+
+    fn dims() -> LatticeDims {
+        LatticeDims::new(4, 4, 4, 6)
+    }
+
+    fn sample_spinor(seed: usize) -> Spinor<f64> {
+        let mut sp = Spinor::zero();
+        for s in 0..4 {
+            for c in 0..3 {
+                let k = (seed * 12 + s * 3 + c) as f64;
+                sp.s[s].c[c] = C64::new((k * 0.37).sin(), (k * 0.61).cos() * 0.5);
+            }
+        }
+        sp
+    }
+
+    #[test]
+    fn set_get_roundtrip_double_exact() {
+        let mut f = SpinorFieldCb::<Double>::new(dims(), false);
+        for cb in 0..f.sites() {
+            f.set(cb, &sample_spinor(cb));
+        }
+        for cb in 0..f.sites() {
+            assert_eq!(f.get(cb), sample_spinor(cb));
+        }
+    }
+
+    #[test]
+    fn set_get_roundtrip_half_within_tolerance() {
+        let mut f = SpinorFieldCb::<Half>::new(dims(), false);
+        for cb in 0..f.sites() {
+            f.set(cb, &sample_spinor(cb).cast());
+        }
+        for cb in 0..f.sites() {
+            let expect = sample_spinor(cb).cast::<f32>();
+            let got = f.get(cb);
+            let bound = expect.max_abs() as f32 / 32767.0 + 1e-6;
+            for s in 0..4 {
+                for c in 0..3 {
+                    assert!((got.s[s].c[c].re - expect.s[s].c[c].re).abs() <= bound);
+                    assert!((got.s[s].c[c].im - expect.s[s].c[c].im).abs() <= bound);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn half_norm_array_tracks_sup_norm() {
+        let mut f = SpinorFieldCb::<Half>::new(dims(), false);
+        let mut sp = Spinor::<f32>::zero();
+        sp.s[2].c[1].im = -5.0;
+        f.set(7, &sp);
+        assert_eq!(f.norm[7], 5.0);
+        let got = f.get(7);
+        assert!((got.s[2].c[1].im + 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ghost_roundtrip_and_isolation() {
+        let mut f = SpinorFieldCb::<Single>::new(dims(), true);
+        // Fill sites, then ghosts; neither disturbs the other.
+        for cb in 0..f.sites() {
+            f.set(cb, &sample_spinor(cb).cast());
+        }
+        let h = HalfSpinor { h: [sample_spinor(3).cast::<f32>().s[0], sample_spinor(4).cast().s[1]] };
+        for face in 0..f.face_sites() {
+            f.set_ghost(true, face, &h);
+            f.set_ghost(false, face, &h);
+        }
+        for cb in 0..f.sites() {
+            let expect = sample_spinor(cb).cast::<f32>();
+            assert_eq!(f.get(cb), expect);
+        }
+        assert_eq!(f.get_ghost(true, 0), h);
+        assert_eq!(f.get_ghost(false, f.face_sites() - 1), h);
+    }
+
+    #[test]
+    fn ghost_roundtrip_half_precision_with_norms() {
+        let mut f = SpinorFieldCb::<Half>::new(dims(), true);
+        let mut h = HalfSpinor::<f32>::zero();
+        h.h[0].c[0].re = 3.0;
+        h.h[1].c[2].im = -1.5;
+        f.set_ghost(false, 2, &h);
+        let got = f.get_ghost(false, 2);
+        assert!((got.h[0].c[0].re - 3.0).abs() < 1e-3);
+        assert!((got.h[1].c[2].im + 1.5).abs() < 1e-3);
+        // The "end zone of size 2Vs elements added to the normalization
+        // field" (Section VI-C).
+        assert_eq!(f.norm.len(), f.sites() + 2 * f.face_sites());
+    }
+
+    #[test]
+    fn norm_excludes_ghost_end_zone() {
+        let mut f = SpinorFieldCb::<Double>::new(dims(), true);
+        let mut sp = Spinor::zero();
+        sp.s[0].c[0].re = 2.0;
+        f.set(0, &sp);
+        let mut h = HalfSpinor::zero();
+        h.h[0].c[0].re = 100.0;
+        f.set_ghost(true, 0, &h);
+        f.set_ghost(false, 0, &h);
+        assert_eq!(f.norm_sqr(), 4.0); // ghosts not double counted
+    }
+
+    #[test]
+    fn upload_download_roundtrip() {
+        let d = dims();
+        let mut host = HostSpinorField::zero(d);
+        for (i, sp) in host.data.iter_mut().enumerate() {
+            *sp = sample_spinor(i);
+        }
+        let mut dev = SpinorFieldCb::<Double>::new(d, false);
+        dev.upload(&host, Parity::Odd);
+        let mut back = HostSpinorField::zero(d);
+        dev.download(&mut back, Parity::Odd);
+        for cb in 0..dev.sites() {
+            assert_eq!(back.get_cb(Parity::Odd, cb), host.get_cb(Parity::Odd, cb));
+        }
+        // Even parity untouched.
+        for cb in 0..dev.sites() {
+            assert_eq!(*back.get_cb(Parity::Even, cb), Spinor::zero());
+        }
+    }
+
+    #[test]
+    fn convert_between_precisions() {
+        let d = dims();
+        let mut hi = SpinorFieldCb::<Double>::new(d, false);
+        for cb in 0..hi.sites() {
+            hi.set(cb, &sample_spinor(cb));
+        }
+        let mut lo = SpinorFieldCb::<Half>::new(d, false);
+        lo.convert_from(&hi);
+        let mut back = SpinorFieldCb::<Double>::new(d, false);
+        back.convert_from(&lo);
+        for cb in 0..hi.sites() {
+            let a = hi.get(cb);
+            let b = back.get(cb);
+            let bound = a.max_abs() / 32767.0 + 1e-6;
+            assert!((a - b).max_abs() <= bound, "cb={cb}");
+        }
+    }
+
+    #[test]
+    fn device_bytes_ordering() {
+        let d = dims();
+        let dd = SpinorFieldCb::<Double>::new(d, true).device_bytes();
+        let ss = SpinorFieldCb::<Single>::new(d, true).device_bytes();
+        let hh = SpinorFieldCb::<Half>::new(d, true).device_bytes();
+        assert!(dd > ss && ss > hh);
+        assert_eq!(dd, ss * 2);
+    }
+}

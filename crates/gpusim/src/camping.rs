@@ -1,0 +1,129 @@
+//! Partition-camping model (Sections III and V-B).
+//!
+//! GT200 device memory is split into 8 partitions of 256 bytes, assigned
+//! round-robin: "if memory is accessed with a stride that results in
+//! traffic to only a subset of the partitions, performance will be lower
+//! than if all partitions were stressed equally". In the blocked field
+//! layout of Fig. 2, the streaming kernels walk several *blocks* of one
+//! field concurrently (one per short-vector slot of the internal index), so
+//! what matters is how the block *start addresses* distribute over
+//! partitions: when the block size in bytes is a multiple of
+//! `partitions × width`, every block begins in the same partition and the
+//! concurrent streams camp on it.
+//!
+//! QUDA's fix is to pad each block by one spatial volume — chosen both to
+//! break the alignment *for the volumes it affected* and because the pad
+//! doubles as gauge ghost storage (Section VI-B). This module provides the
+//! model, the diagnosis, and a pad recommender; the `ablation_padding`
+//! bench binary applies it to concrete volumes.
+
+/// Number of memory partitions (GTX 285: 8 × 64-bit channels).
+pub const PARTITIONS: usize = 8;
+/// Bytes per partition unit (256-byte round-robin granularity).
+pub const PARTITION_WIDTH: usize = 256;
+
+/// Fraction of peak bandwidth sustained by `n_blocks` concurrent streams
+/// whose block starts are `block_bytes` apart: the number of distinct
+/// partitions the starts land in, over the partition count (floored at
+/// `1/PARTITIONS`, the fully camped case).
+pub fn camping_factor(block_bytes: usize, n_blocks: usize) -> f64 {
+    if n_blocks <= 1 {
+        return 1.0;
+    }
+    let mut hit = [false; PARTITIONS];
+    for k in 0..n_blocks {
+        let partition = (k * block_bytes / PARTITION_WIDTH) % PARTITIONS;
+        hit[partition] = true;
+    }
+    let distinct = hit.iter().filter(|&&h| h).count();
+    // With fewer concurrent streams than partitions, full speed only needs
+    // every stream on its own partition.
+    let needed = n_blocks.min(PARTITIONS);
+    (distinct as f64 / needed as f64).max(1.0 / PARTITIONS as f64)
+}
+
+/// Whether a layout of `sites` sites (each contributing `n_vec` reals of
+/// `storage_bytes` to a block) camps when padded by `pad` sites.
+pub fn camps(sites: usize, pad: usize, n_vec: usize, storage_bytes: usize, n_blocks: usize) -> bool {
+    let block_bytes = (sites + pad) * n_vec * storage_bytes;
+    camping_factor(block_bytes, n_blocks) < 0.99
+}
+
+/// Smallest pad (in sites) that removes camping for the given shape, tried
+/// up to `max_pad`. Returns `None` when no pad in range helps (or none is
+/// needed — check with [`camps`] first).
+pub fn minimal_decamping_pad(
+    sites: usize,
+    n_vec: usize,
+    storage_bytes: usize,
+    n_blocks: usize,
+    max_pad: usize,
+) -> Option<usize> {
+    (0..=max_pad).find(|&pad| !camps(sites, pad, n_vec, storage_bytes, n_blocks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_blocks_camp_fully() {
+        // Block size a multiple of 2048 bytes: every block starts in
+        // partition 0.
+        let f = camping_factor(2048 * 17, 6);
+        assert!(f <= 1.0 / 6.0 + 1e-12, "factor {f} should be fully camped");
+    }
+
+    #[test]
+    fn odd_alignment_spreads_partitions() {
+        // Block size ≡ 256 (mod 2048): starts walk all partitions.
+        let f = camping_factor(2048 * 9 + 256, 8);
+        assert_eq!(f, 1.0);
+    }
+
+    #[test]
+    fn single_block_never_camps() {
+        assert_eq!(camping_factor(2048, 1), 1.0);
+    }
+
+    #[test]
+    fn pathological_volume_is_fixed_by_a_small_pad() {
+        // A single-parity volume whose unpadded spinor block is
+        // 2048-aligned: 16^3x32 / 2 = 65536 sites; block bytes =
+        // 65536·4·4 = 1 MiB — fully camped.
+        let sites = 16 * 16 * 16 * 32 / 2;
+        assert!(camps(sites, 0, 4, 4, 6));
+        let pad = minimal_decamping_pad(sites, 4, 4, 6, 20_000).expect("pad exists");
+        assert!(pad > 0);
+        assert!(!camps(sites, pad, 4, 4, 6));
+        // One half spatial volume (the paper's choice) also decamps it:
+        // 16^3/2 = 2048 sites -> 32 KiB ≡ 0 mod 2048... check honestly:
+        let half_vs = 16 * 16 * 16 / 2;
+        let paper_choice_ok = !camps(sites, half_vs, 4, 4, 6);
+        // For this volume the Vs pad is itself 2048-aligned, so it does NOT
+        // decamp under this model — the paper notes camping affected only
+        // "certain lattice volumes", and the Vs pad primarily doubles as
+        // ghost storage (Section VI-B). Document the distinction:
+        assert!(!paper_choice_ok);
+        assert_eq!(pad % 2, 0);
+    }
+
+    #[test]
+    fn double_precision_alignment_differs_from_single() {
+        let sites = 24 * 24 * 24 * 32 / 2;
+        let single = camping_factor(sites * 4 * 4, 6);
+        let double = camping_factor(sites * 2 * 8, 12);
+        // Same (2048-aligned) byte count per block: both fully camp.
+        assert!(single < 0.2 && double < 0.2, "{single} {double}");
+    }
+
+    #[test]
+    fn factor_bounded() {
+        for b in (256..8192).step_by(256) {
+            for n in 1..12 {
+                let f = camping_factor(b, n);
+                assert!((1.0 / PARTITIONS as f64..=1.0).contains(&f));
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! The NVIDIA card catalog of Table I.
+
+/// Specifications of one GPU model (Table I of the paper).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// CUDA cores.
+    pub cores: u32,
+    /// Device-memory bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+    /// Peak single-precision Gflops.
+    pub gflops_sp: f64,
+    /// Peak double-precision Gflops (None for pre-GT200 parts).
+    pub gflops_dp: Option<f64>,
+    /// Device memory in GiB (maximum configuration).
+    pub ram_gib: f64,
+    /// Independent PCI-E copy engines: 1 on G80/GT200; 2 on Fermi, which
+    /// "allows for bidirectional transfers over the PCI-E bus"
+    /// (Section VI-D2, footnote 4).
+    pub copy_engines: u32,
+}
+
+impl GpuSpec {
+    /// Bandwidth in bytes/second.
+    pub fn bandwidth_bytes(&self) -> f64 {
+        self.bandwidth_gbs * 1e9
+    }
+
+    /// Peak flops/second at a storage width (half precision computes at
+    /// single-precision rate; the win is bandwidth).
+    pub fn peak_flops(&self, storage_bytes: usize) -> f64 {
+        match storage_bytes {
+            8 => self.gflops_dp.unwrap_or(0.0) * 1e9,
+            _ => self.gflops_sp * 1e9,
+        }
+    }
+
+    /// Device memory in bytes.
+    pub fn ram_bytes(&self) -> usize {
+        (self.ram_gib * 1024.0 * 1024.0 * 1024.0) as usize
+    }
+}
+
+/// Table I, row by row.
+pub fn card_table() -> Vec<GpuSpec> {
+    vec![
+        GpuSpec { name: "GeForce 8800 GTX", cores: 128, bandwidth_gbs: 86.4, gflops_sp: 518.0, gflops_dp: None, ram_gib: 0.75, copy_engines: 1 },
+        GpuSpec { name: "Tesla C870", cores: 128, bandwidth_gbs: 76.8, gflops_sp: 518.0, gflops_dp: None, ram_gib: 1.5, copy_engines: 1 },
+        GpuSpec { name: "GeForce GTX 285", cores: 240, bandwidth_gbs: 159.0, gflops_sp: 1062.0, gflops_dp: Some(88.0), ram_gib: 2.0, copy_engines: 1 },
+        GpuSpec { name: "Tesla C1060", cores: 240, bandwidth_gbs: 102.0, gflops_sp: 933.0, gflops_dp: Some(78.0), ram_gib: 4.0, copy_engines: 1 },
+        GpuSpec { name: "GeForce GTX 480", cores: 480, bandwidth_gbs: 177.0, gflops_sp: 1345.0, gflops_dp: Some(168.0), ram_gib: 1.5, copy_engines: 2 },
+        GpuSpec { name: "Tesla C2050", cores: 448, bandwidth_gbs: 144.0, gflops_sp: 1030.0, gflops_dp: Some(515.0), ram_gib: 3.0, copy_engines: 2 },
+    ]
+}
+
+/// The test-bed card of the paper's "9g" cluster: GeForce GTX 285 with 2 GiB.
+pub fn gtx285() -> GpuSpec {
+    card_table().into_iter().find(|c| c.name == "GeForce GTX 285").unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_six_cards() {
+        assert_eq!(card_table().len(), 6);
+    }
+
+    #[test]
+    fn gtx285_matches_table_i() {
+        let c = gtx285();
+        assert_eq!(c.cores, 240);
+        assert_eq!(c.bandwidth_gbs, 159.0);
+        assert_eq!(c.gflops_sp, 1062.0);
+        assert_eq!(c.gflops_dp, Some(88.0));
+        assert_eq!(c.ram_gib, 2.0);
+    }
+
+    #[test]
+    fn peak_flops_by_precision() {
+        let c = gtx285();
+        assert_eq!(c.peak_flops(4), 1062.0e9);
+        assert_eq!(c.peak_flops(2), 1062.0e9); // half computes at SP rate
+        assert_eq!(c.peak_flops(8), 88.0e9);
+        // Pre-GT200 cards have no DP.
+        let old = &card_table()[0];
+        assert_eq!(old.peak_flops(8), 0.0);
+    }
+
+    #[test]
+    fn fermi_cards_have_dual_copy_engines() {
+        for c in card_table() {
+            let is_fermi = c.name.contains("480") || c.name.contains("2050");
+            assert_eq!(c.copy_engines, if is_fermi { 2 } else { 1 }, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn ram_bytes() {
+        assert_eq!(gtx285().ram_bytes(), 2 * 1024 * 1024 * 1024);
+    }
+}

@@ -1,0 +1,61 @@
+//! The CPU-cluster baseline: the Jefferson Lab "9q" partition.
+//!
+//! Section VII-C: "On a 16-node partition of the '9q' cluster we obtained
+//! 255 Gflops in single precision using highly optimized SSE routines, which
+//! corresponds to approximately 2 Gflops per CPU core." The GPU run on the
+//! same node count sustained over 3 Tflops — "over a factor of 10 faster".
+
+/// A CPU cluster model for the baseline comparison.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct CpuClusterModel {
+    /// Nodes in the partition.
+    pub nodes: usize,
+    /// Cores per node (dual quad-core Nehalem E5530).
+    pub cores_per_node: usize,
+    /// Sustained solver Gflops per core with SSE (single precision).
+    pub gflops_per_core_sp: f64,
+    /// Parallel efficiency at this partition size.
+    pub parallel_efficiency: f64,
+}
+
+impl CpuClusterModel {
+    /// The 9q 16-node partition as measured in the paper.
+    pub fn jlab_9q(nodes: usize) -> Self {
+        CpuClusterModel {
+            nodes,
+            cores_per_node: 8,
+            gflops_per_core_sp: 2.0,
+            parallel_efficiency: 0.996,
+        }
+    }
+
+    /// Total cores.
+    pub fn cores(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// Sustained single-precision solver Gflops.
+    pub fn sustained_gflops_sp(&self) -> f64 {
+        self.cores() as f64 * self.gflops_per_core_sp * self.parallel_efficiency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_nodes_give_255_gflops() {
+        let c = CpuClusterModel::jlab_9q(16);
+        assert_eq!(c.cores(), 128);
+        let g = c.sustained_gflops_sp();
+        assert!((g - 255.0).abs() < 1.0, "expected ≈255 Gflops, got {g}");
+    }
+
+    #[test]
+    fn scales_with_nodes() {
+        let a = CpuClusterModel::jlab_9q(8).sustained_gflops_sp();
+        let b = CpuClusterModel::jlab_9q(16).sustained_gflops_sp();
+        assert!((b / a - 2.0).abs() < 1e-12);
+    }
+}

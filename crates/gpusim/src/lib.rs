@@ -1,0 +1,41 @@
+//! # quda-gpusim
+//!
+//! The hardware substitute (see DESIGN.md §2): a simulated GPU cluster node
+//! calibrated to the paper's "9g" testbed.
+//!
+//! * [`cards`] — the Table I card catalog (GTX 285 is the testbed);
+//! * [`calib`] — every model constant, traceable to a paper measurement;
+//! * [`memory`] — device-memory accounting with real OOM failures;
+//! * [`transfer`] — the PCI-E (`cudaMemcpy` vs `cudaMemcpyAsync`, H2D vs
+//!   D2H, NUMA) and InfiniBand time models (Fig. 7);
+//! * [`kernel`] — launch overhead + bandwidth/arithmetic roofline;
+//! * [`stream`] — CUDA-stream-like discrete-event timelines for overlap
+//!   analysis (Section VI-D2);
+//! * [`autotune`] — the launch-parameter auto-tuner (Section V-E);
+//! * [`camping`] — the partition-camping bandwidth model (Section V-B);
+//! * [`cluster`] — the "9q" CPU baseline (255 Gflops on 128 cores).
+
+#![warn(missing_docs)]
+
+pub mod autotune;
+pub mod camping;
+pub mod calib;
+pub mod cards;
+pub mod cluster;
+pub mod kernel;
+pub mod memory;
+pub mod stream;
+pub mod transfer;
+
+pub use autotune::{AutoTuner, KernelProfile, LaunchConfig};
+pub use camping::{camping_factor, camps, minimal_decamping_pad, PARTITIONS, PARTITION_WIDTH};
+pub use calib::{Calibration, KernelCalib, NetworkCalib, TransferCalib};
+pub use cards::{card_table, gtx285, GpuSpec};
+pub use cluster::CpuClusterModel;
+pub use kernel::{effective_gflops, kernel_time, KernelWork};
+pub use memory::{AllocId, DeviceMemory, OutOfMemory};
+pub use stream::{EventId, Timeline};
+pub use transfer::{
+    allreduce_time, latency_microbenchmark, network_time, pcie_time, CopyKind, Direction,
+    LatencyRow, NumaPlacement,
+};

@@ -1,0 +1,170 @@
+//! Device-memory accounting with real out-of-memory behavior.
+//!
+//! "Memory constraints on current GPU devices limit the problem sizes that
+//! can be tackled" (abstract) — and in Fig. 5(a) the mixed-precision solver
+//! "must store data for both the single and half precision solves, and this
+//! increase in memory footprint means that at least 8 GPUs are needed".
+//! This allocator makes those statements checkable: every field allocation
+//! is charged against the card's RAM, and exceeding it fails exactly the
+//! way a `cudaMalloc` would.
+
+use std::collections::HashMap;
+
+/// Error returned when an allocation exceeds device memory.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OutOfMemory {
+    /// What was being allocated.
+    pub label: String,
+    /// Requested size in bytes.
+    pub requested: usize,
+    /// Bytes still free.
+    pub available: usize,
+    /// Device capacity.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "out of device memory allocating {} ({} B requested, {} B free of {} B)",
+            self.label, self.requested, self.available, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// Handle to a live allocation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct AllocId(u64);
+
+/// A device-memory arena with capacity enforcement and peak tracking.
+#[derive(Clone, Debug)]
+pub struct DeviceMemory {
+    capacity: usize,
+    used: usize,
+    peak: usize,
+    next_id: u64,
+    live: HashMap<u64, (String, usize)>,
+}
+
+impl DeviceMemory {
+    /// A device with `capacity` bytes of RAM. A small driver/runtime reserve
+    /// (64 MiB, roughly what the CUDA runtime held on GT200 parts) is
+    /// subtracted up front.
+    pub fn new(capacity: usize) -> Self {
+        let reserve = 64 * 1024 * 1024;
+        DeviceMemory {
+            capacity: capacity.saturating_sub(reserve),
+            used: 0,
+            peak: 0,
+            next_id: 0,
+            live: HashMap::new(),
+        }
+    }
+
+    /// Attempt an allocation.
+    pub fn alloc(&mut self, label: &str, bytes: usize) -> Result<AllocId, OutOfMemory> {
+        if self.used + bytes > self.capacity {
+            return Err(OutOfMemory {
+                label: label.to_string(),
+                requested: bytes,
+                available: self.capacity - self.used,
+                capacity: self.capacity,
+            });
+        }
+        self.used += bytes;
+        self.peak = self.peak.max(self.used);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.live.insert(id, (label.to_string(), bytes));
+        Ok(AllocId(id))
+    }
+
+    /// Free an allocation (double frees panic — they are library bugs).
+    pub fn free(&mut self, id: AllocId) {
+        let (_, bytes) = self.live.remove(&id.0).expect("double free or unknown allocation");
+        self.used -= bytes;
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// High-water mark.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Usable capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes free.
+    pub fn available(&self) -> usize {
+        self.capacity - self.used
+    }
+
+    /// Live allocations as (label, bytes), largest first — for OOM reports.
+    pub fn report(&self) -> Vec<(String, usize)> {
+        let mut v: Vec<_> = self.live.values().cloned().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut m = DeviceMemory::new(200 * 1024 * 1024);
+        let a = m.alloc("gauge", 50 * 1024 * 1024).unwrap();
+        let b = m.alloc("spinor", 30 * 1024 * 1024).unwrap();
+        assert_eq!(m.used(), 80 * 1024 * 1024);
+        m.free(a);
+        assert_eq!(m.used(), 30 * 1024 * 1024);
+        m.free(b);
+        assert_eq!(m.used(), 0);
+        assert_eq!(m.peak(), 80 * 1024 * 1024);
+    }
+
+    #[test]
+    fn oom_when_exceeding_capacity() {
+        let mut m = DeviceMemory::new(100 * 1024 * 1024);
+        let cap = m.capacity();
+        let _a = m.alloc("big", cap - 10).unwrap();
+        let err = m.alloc("extra", 100).unwrap_err();
+        assert_eq!(err.available, 10);
+        assert!(err.to_string().contains("extra"));
+    }
+
+    #[test]
+    fn runtime_reserve_subtracted() {
+        let m = DeviceMemory::new(2 * 1024 * 1024 * 1024);
+        assert_eq!(m.capacity(), 2 * 1024 * 1024 * 1024 - 64 * 1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut m = DeviceMemory::new(1024 * 1024 * 1024);
+        let a = m.alloc("x", 1024).unwrap();
+        m.free(a);
+        m.free(a);
+    }
+
+    #[test]
+    fn report_sorts_by_size() {
+        let mut m = DeviceMemory::new(1024 * 1024 * 1024);
+        m.alloc("small", 10).unwrap();
+        m.alloc("large", 1000).unwrap();
+        let r = m.report();
+        assert_eq!(r[0].0, "large");
+        assert_eq!(r[1].0, "small");
+    }
+}

@@ -1,0 +1,152 @@
+//! A minimal discrete-event timeline with CUDA-like streams.
+//!
+//! The overlapped communication strategy of Section VI-D2 uses "three CUDA
+//! streams: one to execute the kernel on the internal volume, one for the
+//! face send backward / receive forward, and one for the face send forward /
+//! receive backward". This module provides exactly the machinery needed to
+//! reason about such schedules: operations are enqueued on streams, each
+//! starts when both its stream and its dependencies are ready, and the
+//! timeline's makespan is the simulated elapsed time.
+
+/// Identifier of an enqueued operation (used as a dependency handle).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct EventId(usize);
+
+/// A recorded operation, for inspection and debugging.
+#[derive(Clone, Debug)]
+pub struct OpRecord {
+    /// Label for traces.
+    pub label: String,
+    /// Stream the op ran on.
+    pub stream: usize,
+    /// Start time (s).
+    pub start: f64,
+    /// End time (s).
+    pub end: f64,
+}
+
+/// A simulated multi-stream device timeline.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    stream_ready: Vec<f64>,
+    ops: Vec<OpRecord>,
+}
+
+impl Timeline {
+    /// Create a timeline with `streams` streams, all idle at t = 0.
+    pub fn new(streams: usize) -> Self {
+        Timeline { stream_ready: vec![0.0; streams], ops: Vec::new() }
+    }
+
+    /// Enqueue an operation of `duration` seconds on `stream`, starting no
+    /// earlier than every dependency's completion. Returns its event id.
+    pub fn enqueue(&mut self, stream: usize, label: &str, duration: f64, deps: &[EventId]) -> EventId {
+        assert!(duration >= 0.0, "negative duration");
+        let dep_ready = deps.iter().map(|d| self.ops[d.0].end).fold(0.0f64, f64::max);
+        let start = self.stream_ready[stream].max(dep_ready);
+        let end = start + duration;
+        self.stream_ready[stream] = end;
+        self.ops.push(OpRecord { label: label.to_string(), stream, start, end });
+        EventId(self.ops.len() - 1)
+    }
+
+    /// Completion time of an event.
+    pub fn end_of(&self, e: EventId) -> f64 {
+        self.ops[e.0].end
+    }
+
+    /// Advance a stream to at least `t` (models an external wait, e.g. an
+    /// MPI receive completing on the host).
+    pub fn wait_until(&mut self, stream: usize, t: f64) {
+        if self.stream_ready[stream] < t {
+            self.stream_ready[stream] = t;
+        }
+    }
+
+    /// Total makespan: when the last operation finishes.
+    pub fn makespan(&self) -> f64 {
+        self.ops.iter().map(|o| o.end).fold(0.0, f64::max)
+    }
+
+    /// All recorded operations (chronological by insertion).
+    pub fn ops(&self) -> &[OpRecord] {
+        &self.ops
+    }
+
+    /// Busy time of one stream (sum of op durations on it).
+    pub fn busy(&self, stream: usize) -> f64 {
+        self.ops.iter().filter(|o| o.stream == stream).map(|o| o.end - o.start).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_ops_on_one_stream_accumulate() {
+        let mut t = Timeline::new(1);
+        t.enqueue(0, "a", 1.0, &[]);
+        t.enqueue(0, "b", 2.0, &[]);
+        assert_eq!(t.makespan(), 3.0);
+    }
+
+    #[test]
+    fn independent_streams_overlap() {
+        let mut t = Timeline::new(2);
+        t.enqueue(0, "kernel", 5.0, &[]);
+        t.enqueue(1, "copy", 3.0, &[]);
+        assert_eq!(t.makespan(), 5.0);
+        assert_eq!(t.busy(0), 5.0);
+        assert_eq!(t.busy(1), 3.0);
+    }
+
+    #[test]
+    fn dependencies_serialize_across_streams() {
+        let mut t = Timeline::new(3);
+        let gather = t.enqueue(1, "d2h", 2.0, &[]);
+        let send = t.enqueue(1, "mpi", 1.5, &[gather]);
+        let h2d = t.enqueue(1, "h2d", 2.0, &[send]);
+        let interior = t.enqueue(0, "interior", 4.0, &[]);
+        let faces = t.enqueue(0, "faces", 1.0, &[h2d, interior]);
+        // Faces start at max(interior end = 4.0, h2d end = 5.5) = 5.5.
+        assert_eq!(t.end_of(faces), 6.5);
+        assert_eq!(t.makespan(), 6.5);
+    }
+
+    #[test]
+    fn overlap_beats_serialization() {
+        // The shape of Fig. 5(a): with a large interior, the comm chain
+        // hides entirely.
+        let interior = 10.0;
+        let comm_chain = 6.0;
+        let faces = 1.0;
+        // No overlap: everything serial.
+        let mut no = Timeline::new(1);
+        no.enqueue(0, "comm", comm_chain, &[]);
+        no.enqueue(0, "all", interior + faces, &[]);
+        // Overlap: interior ∥ comm.
+        let mut ov = Timeline::new(2);
+        let k = ov.enqueue(0, "interior", interior, &[]);
+        let c = ov.enqueue(1, "comm", comm_chain, &[]);
+        ov.enqueue(0, "faces", faces, &[k, c]);
+        assert!(ov.makespan() < no.makespan());
+        assert_eq!(ov.makespan(), 11.0);
+        assert_eq!(no.makespan(), 17.0);
+    }
+
+    #[test]
+    fn wait_until_models_external_events() {
+        let mut t = Timeline::new(1);
+        t.wait_until(0, 3.0);
+        let e = t.enqueue(0, "after-wait", 1.0, &[]);
+        assert_eq!(t.end_of(e), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative duration")]
+    fn negative_duration_rejected() {
+        let mut t = Timeline::new(1);
+        t.enqueue(0, "bad", -1.0, &[]);
+    }
+}

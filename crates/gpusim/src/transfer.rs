@@ -1,0 +1,178 @@
+//! PCI-Express transfer-time model (Fig. 7) and InfiniBand message model.
+
+use crate::calib::{NetworkCalib, TransferCalib};
+
+/// Synchronous (`cudaMemcpy`) or asynchronous (`cudaMemcpyAsync` +
+/// synchronize) copy.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum CopyKind {
+    /// Blocking copy: low latency (≈ 11 µs on the 9g nodes).
+    Sync,
+    /// Streamed copy: overlappable, but ≈ 48 µs latency on the early
+    /// Tylersburg revision (Section VII-D) — the reason overlapping can
+    /// *lose* on small local volumes (Fig. 5(b)).
+    Async,
+}
+
+/// Transfer direction over the PCI-E bus.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Host to device.
+    H2D,
+    /// Device to host.
+    D2H,
+}
+
+/// Process-to-socket binding quality (Section VII-D: OpenMPI processor
+/// affinity; Fig. 5(a)'s maroon curve is `Bad`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum NumaPlacement {
+    /// Process bound to the socket its GPU hangs off.
+    Good,
+    /// Process bound to the opposite socket: traffic crosses QPI.
+    Bad,
+}
+
+/// Time for one PCI-E copy of `bytes`.
+pub fn pcie_time(
+    calib: &TransferCalib,
+    kind: CopyKind,
+    dir: Direction,
+    numa: NumaPlacement,
+    bytes: usize,
+) -> f64 {
+    let latency = match kind {
+        CopyKind::Sync => calib.sync_latency_s,
+        CopyKind::Async => calib.async_latency_s,
+    };
+    let mut bw = match dir {
+        Direction::H2D => calib.h2d_bw,
+        Direction::D2H => calib.d2h_bw,
+    };
+    if numa == NumaPlacement::Bad {
+        bw *= calib.bad_numa_factor;
+    }
+    latency + bytes as f64 / bw
+}
+
+/// Time for one point-to-point InfiniBand message of `bytes`.
+pub fn network_time(calib: &NetworkCalib, bytes: usize) -> f64 {
+    calib.latency_s + bytes as f64 / calib.bw
+}
+
+/// Time for one allreduce over `ranks` ranks of a tiny payload (the solver's
+/// scalar reductions): a log-depth latency term dominates.
+pub fn allreduce_time(calib: &NetworkCalib, ranks: usize) -> f64 {
+    if ranks <= 1 {
+        return 0.0;
+    }
+    let hops = (ranks as f64).log2().ceil();
+    hops * calib.allreduce_latency_s
+}
+
+/// One row of the Fig. 7 microbenchmark: transfer times in microseconds for
+/// all four (kind, direction) combinations at a message size.
+#[derive(Copy, Clone, Debug)]
+pub struct LatencyRow {
+    /// Message size in bytes.
+    pub bytes: usize,
+    /// `cudaMemcpy` D2H (µs).
+    pub sync_d2h_us: f64,
+    /// `cudaMemcpy` H2D (µs).
+    pub sync_h2d_us: f64,
+    /// `cudaMemcpyAsync` D2H (µs).
+    pub async_d2h_us: f64,
+    /// `cudaMemcpyAsync` H2D (µs).
+    pub async_h2d_us: f64,
+}
+
+/// Generate the Fig. 7 sweep (1 KiB – 256 KiB by powers of two).
+pub fn latency_microbenchmark(calib: &TransferCalib) -> Vec<LatencyRow> {
+    let mut rows = Vec::new();
+    let mut bytes = 1024usize;
+    while bytes <= 256 * 1024 {
+        rows.push(LatencyRow {
+            bytes,
+            sync_d2h_us: pcie_time(calib, CopyKind::Sync, Direction::D2H, NumaPlacement::Good, bytes) * 1e6,
+            sync_h2d_us: pcie_time(calib, CopyKind::Sync, Direction::H2D, NumaPlacement::Good, bytes) * 1e6,
+            async_d2h_us: pcie_time(calib, CopyKind::Async, Direction::D2H, NumaPlacement::Good, bytes) * 1e6,
+            async_h2d_us: pcie_time(calib, CopyKind::Async, Direction::H2D, NumaPlacement::Good, bytes) * 1e6,
+        });
+        bytes *= 2;
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calib::TransferCalib;
+
+    fn calib() -> TransferCalib {
+        TransferCalib::default()
+    }
+
+    #[test]
+    fn latency_limited_region_matches_fig7() {
+        // At 1 KiB, sync ≈ 11 µs, async ≈ just under 50 µs.
+        let c = calib();
+        let sync = pcie_time(&c, CopyKind::Sync, Direction::D2H, NumaPlacement::Good, 1024) * 1e6;
+        let asyn = pcie_time(&c, CopyKind::Async, Direction::D2H, NumaPlacement::Good, 1024) * 1e6;
+        assert!((sync - 11.0).abs() < 1.0, "sync {sync}");
+        assert!(asyn > 45.0 && asyn < 52.0, "async {asyn}");
+    }
+
+    #[test]
+    fn gradients_differ_by_direction() {
+        // Out of the latency region the two directions show different
+        // slopes (Fig. 7's diverging lines).
+        let c = calib();
+        let big = 256 * 1024;
+        let d2h = pcie_time(&c, CopyKind::Sync, Direction::D2H, NumaPlacement::Good, big);
+        let h2d = pcie_time(&c, CopyKind::Sync, Direction::H2D, NumaPlacement::Good, big);
+        assert!(d2h > h2d, "D2H must be slower");
+    }
+
+    #[test]
+    fn async_beats_sync_only_for_large_messages_if_ever() {
+        // Async never wins on raw time (same bandwidth, more latency) — its
+        // value is overlap, which the stream model captures.
+        let c = calib();
+        for bytes in [1024usize, 65536, 262144] {
+            let s = pcie_time(&c, CopyKind::Sync, Direction::H2D, NumaPlacement::Good, bytes);
+            let a = pcie_time(&c, CopyKind::Async, Direction::H2D, NumaPlacement::Good, bytes);
+            assert!(a > s);
+            assert!((a - s - (c.async_latency_s - c.sync_latency_s)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bad_numa_slows_transfers() {
+        let c = calib();
+        let good = pcie_time(&c, CopyKind::Sync, Direction::H2D, NumaPlacement::Good, 1 << 20);
+        let bad = pcie_time(&c, CopyKind::Sync, Direction::H2D, NumaPlacement::Bad, 1 << 20);
+        assert!(bad > good * 1.3);
+    }
+
+    #[test]
+    fn microbenchmark_covers_fig7_range() {
+        let rows = latency_microbenchmark(&calib());
+        assert_eq!(rows.first().unwrap().bytes, 1024);
+        assert_eq!(rows.last().unwrap().bytes, 256 * 1024);
+        assert_eq!(rows.len(), 9);
+        // Monotone in size.
+        for w in rows.windows(2) {
+            assert!(w[1].sync_d2h_us > w[0].sync_d2h_us);
+        }
+    }
+
+    #[test]
+    fn network_and_allreduce() {
+        let n = NetworkCalib::default();
+        let t = network_time(&n, 1 << 20);
+        assert!(t > n.latency_s);
+        assert_eq!(allreduce_time(&n, 1), 0.0);
+        assert!(allreduce_time(&n, 32) > allreduce_time(&n, 2));
+        assert_eq!(allreduce_time(&n, 32), 5.0 * n.allreduce_latency_s);
+    }
+}

@@ -1,0 +1,403 @@
+//! 4-dimensional lattice geometry and even-odd (red-black) site ordering.
+//!
+//! Site coordinates are `(x, y, z, t)`; the linear ("lexicographic") index
+//! runs x fastest and t slowest, matching the paper's Fig. 2 where the time
+//! index runs slowest within a block so the two temporal faces are each
+//! contiguous. Even-odd preconditioning reorders sites so that all sites of
+//! one parity are contiguous; the checkerboard index used throughout the
+//! solver is `cb = (x/2) + (X/2)·(y + Y·(z + Z·t))`.
+
+use std::fmt;
+
+/// Direction labels for the four dimensions.
+pub const DIR_X: usize = 0;
+/// Y direction index.
+pub const DIR_Y: usize = 1;
+/// Z direction index.
+pub const DIR_Z: usize = 2;
+/// T direction index — the one the multi-GPU decomposition slices.
+pub const DIR_T: usize = 3;
+
+/// Site parity for red-black (even-odd) preconditioning.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Parity {
+    /// `(x+y+z+t) % 2 == 0`.
+    Even,
+    /// `(x+y+z+t) % 2 == 1`.
+    Odd,
+}
+
+impl Parity {
+    /// The opposite parity.
+    #[inline(always)]
+    pub fn other(self) -> Parity {
+        match self {
+            Parity::Even => Parity::Odd,
+            Parity::Odd => Parity::Even,
+        }
+    }
+
+    /// 0 for even, 1 for odd.
+    #[inline(always)]
+    pub fn as_usize(self) -> usize {
+        match self {
+            Parity::Even => 0,
+            Parity::Odd => 1,
+        }
+    }
+
+    /// Inverse of [`Parity::as_usize`].
+    #[inline(always)]
+    pub fn from_usize(p: usize) -> Parity {
+        if p % 2 == 0 { Parity::Even } else { Parity::Odd }
+    }
+}
+
+/// A site coordinate.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Coord {
+    /// Spatial x.
+    pub x: usize,
+    /// Spatial y.
+    pub y: usize,
+    /// Spatial z.
+    pub z: usize,
+    /// Temporal t.
+    pub t: usize,
+}
+
+impl Coord {
+    /// Construct from components.
+    pub fn new(x: usize, y: usize, z: usize, t: usize) -> Self {
+        Coord { x, y, z, t }
+    }
+
+    /// Component by direction index.
+    #[inline(always)]
+    pub fn get(&self, dir: usize) -> usize {
+        match dir {
+            DIR_X => self.x,
+            DIR_Y => self.y,
+            DIR_Z => self.z,
+            DIR_T => self.t,
+            _ => panic!("direction out of range: {dir}"),
+        }
+    }
+
+    /// Mutable component by direction index.
+    #[inline(always)]
+    pub fn get_mut(&mut self, dir: usize) -> &mut usize {
+        match dir {
+            DIR_X => &mut self.x,
+            DIR_Y => &mut self.y,
+            DIR_Z => &mut self.z,
+            DIR_T => &mut self.t,
+            _ => panic!("direction out of range: {dir}"),
+        }
+    }
+
+    /// Site parity.
+    #[inline(always)]
+    pub fn parity(&self) -> Parity {
+        Parity::from_usize(self.x + self.y + self.z + self.t)
+    }
+}
+
+/// The extents of a 4-d lattice.
+///
+/// All four extents must be even (required both by even-odd preconditioning
+/// and by the `x/2` checkerboard indexing), and ≥ 2.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct LatticeDims {
+    /// X extent.
+    pub x: usize,
+    /// Y extent.
+    pub y: usize,
+    /// Z extent.
+    pub z: usize,
+    /// T extent.
+    pub t: usize,
+}
+
+impl fmt::Display for LatticeDims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}x{}", self.x, self.y, self.z, self.t)
+    }
+}
+
+impl LatticeDims {
+    /// Construct, validating evenness.
+    pub fn new(x: usize, y: usize, z: usize, t: usize) -> Self {
+        assert!(
+            x >= 2 && y >= 2 && z >= 2 && t >= 2,
+            "lattice extents must be at least 2, got {x}x{y}x{z}x{t}"
+        );
+        assert!(
+            x % 2 == 0 && y % 2 == 0 && z % 2 == 0 && t % 2 == 0,
+            "lattice extents must be even for even-odd preconditioning, got {x}x{y}x{z}x{t}"
+        );
+        LatticeDims { x, y, z, t }
+    }
+
+    /// Symmetric lattice `L⁴`.
+    pub fn hypercubic(l: usize) -> Self {
+        Self::new(l, l, l, l)
+    }
+
+    /// `L³ × T` lattice — the shape of every volume in the paper.
+    pub fn spatial_cube(l: usize, t: usize) -> Self {
+        Self::new(l, l, l, t)
+    }
+
+    /// Extent along a direction index.
+    #[inline(always)]
+    pub fn extent(&self, dir: usize) -> usize {
+        match dir {
+            DIR_X => self.x,
+            DIR_Y => self.y,
+            DIR_Z => self.z,
+            DIR_T => self.t,
+            _ => panic!("direction out of range: {dir}"),
+        }
+    }
+
+    /// Total number of sites `V`.
+    #[inline(always)]
+    pub fn volume(&self) -> usize {
+        self.x * self.y * self.z * self.t
+    }
+
+    /// Spatial volume `Vs = X·Y·Z` — the padding unit of Eq. 5 and the face
+    /// size of the temporal decomposition.
+    #[inline(always)]
+    pub fn spatial_volume(&self) -> usize {
+        self.x * self.y * self.z
+    }
+
+    /// Sites of one parity: `V/2`.
+    #[inline(always)]
+    pub fn half_volume(&self) -> usize {
+        self.volume() / 2
+    }
+
+    /// Spatial sites of one parity: `Vs/2`.
+    #[inline(always)]
+    pub fn half_spatial_volume(&self) -> usize {
+        self.spatial_volume() / 2
+    }
+
+    /// Lexicographic index (x fastest, t slowest).
+    #[inline(always)]
+    pub fn lex_index(&self, c: Coord) -> usize {
+        debug_assert!(c.x < self.x && c.y < self.y && c.z < self.z && c.t < self.t);
+        c.x + self.x * (c.y + self.y * (c.z + self.z * c.t))
+    }
+
+    /// Inverse of [`LatticeDims::lex_index`].
+    #[inline(always)]
+    pub fn lex_coord(&self, mut i: usize) -> Coord {
+        debug_assert!(i < self.volume());
+        let x = i % self.x;
+        i /= self.x;
+        let y = i % self.y;
+        i /= self.y;
+        let z = i % self.z;
+        let t = i / self.z;
+        Coord { x, y, z, t }
+    }
+
+    /// Checkerboard index of a coordinate within its parity block:
+    /// `cb = x/2 + (X/2)(y + Y(z + Z t))`.
+    #[inline(always)]
+    pub fn cb_index(&self, c: Coord) -> usize {
+        (c.x / 2) + (self.x / 2) * (c.y + self.y * (c.z + self.z * c.t))
+    }
+
+    /// Reconstruct the coordinate from `(parity, cb)`.
+    #[inline(always)]
+    pub fn cb_coord(&self, parity: Parity, mut cb: usize) -> Coord {
+        debug_assert!(cb < self.half_volume());
+        let xh = cb % (self.x / 2);
+        cb /= self.x / 2;
+        let y = cb % self.y;
+        cb /= self.y;
+        let z = cb % self.z;
+        let t = cb / self.z;
+        let x = 2 * xh + ((parity.as_usize() + y + z + t) & 1);
+        Coord { x, y, z, t }
+    }
+
+    /// Neighbor coordinate in direction `dir`, displaced by `±1` with
+    /// periodic wrap-around. Returns the new coordinate and whether the move
+    /// wrapped the lattice boundary in that direction.
+    #[inline]
+    pub fn neighbor(&self, c: Coord, dir: usize, forward: bool) -> (Coord, bool) {
+        let ext = self.extent(dir);
+        let mut out = c;
+        let v = out.get_mut(dir);
+        let wrapped;
+        if forward {
+            if *v + 1 == ext {
+                *v = 0;
+                wrapped = true;
+            } else {
+                *v += 1;
+                wrapped = false;
+            }
+        } else if *v == 0 {
+            *v = ext - 1;
+            wrapped = true;
+        } else {
+            *v -= 1;
+            wrapped = false;
+        }
+        (out, wrapped)
+    }
+
+    /// Iterate all coordinates in lexicographic order.
+    pub fn coords(&self) -> impl Iterator<Item = Coord> + '_ {
+        (0..self.volume()).map(move |i| self.lex_coord(i))
+    }
+
+    /// Time-slice range of checkerboard indices for one parity:
+    /// sites with a given `t` occupy `[t·Vs/2, (t+1)·Vs/2)` — the contiguity
+    /// the face gathers rely on (Fig. 2).
+    #[inline]
+    pub fn cb_timeslice_range(&self, t: usize) -> std::ops::Range<usize> {
+        let half_vs = self.half_spatial_volume();
+        t * half_vs..(t + 1) * half_vs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_roundtrip() {
+        let d = LatticeDims::new(4, 6, 2, 8);
+        for i in 0..d.volume() {
+            assert_eq!(d.lex_index(d.lex_coord(i)), i);
+        }
+    }
+
+    #[test]
+    fn cb_roundtrip_both_parities() {
+        let d = LatticeDims::new(4, 4, 6, 2);
+        for p in [Parity::Even, Parity::Odd] {
+            for cb in 0..d.half_volume() {
+                let c = d.cb_coord(p, cb);
+                assert_eq!(c.parity(), p, "cb={cb}");
+                assert_eq!(d.cb_index(c), cb);
+            }
+        }
+    }
+
+    #[test]
+    fn cb_partition_is_exact_bipartition() {
+        let d = LatticeDims::new(4, 4, 4, 4);
+        let mut even = 0;
+        let mut odd = 0;
+        for c in d.coords() {
+            match c.parity() {
+                Parity::Even => even += 1,
+                Parity::Odd => odd += 1,
+            }
+        }
+        assert_eq!(even, d.half_volume());
+        assert_eq!(odd, d.half_volume());
+    }
+
+    #[test]
+    fn stencil_neighbors_have_opposite_parity() {
+        // Fig. 1: the nearest-neighbor stencil only couples red to black.
+        let d = LatticeDims::new(4, 4, 4, 6);
+        for c in d.coords() {
+            for dir in 0..4 {
+                for fwd in [false, true] {
+                    let (n, _) = d.neighbor(c, dir, fwd);
+                    assert_eq!(n.parity(), c.parity().other());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_wraps_periodically() {
+        let d = LatticeDims::new(4, 4, 4, 4);
+        let c = Coord::new(3, 0, 2, 3);
+        let (n, w) = d.neighbor(c, DIR_X, true);
+        assert_eq!(n.x, 0);
+        assert!(w);
+        let (n, w) = d.neighbor(c, DIR_Y, false);
+        assert_eq!(n.y, 3);
+        assert!(w);
+        let (n, w) = d.neighbor(c, DIR_T, true);
+        assert_eq!(n.t, 0);
+        assert!(w);
+        let (n, w) = d.neighbor(c, DIR_Z, false);
+        assert_eq!(n.z, 1);
+        assert!(!w);
+    }
+
+    #[test]
+    fn neighbor_is_involutive() {
+        let d = LatticeDims::new(4, 6, 8, 2);
+        for c in d.coords() {
+            for dir in 0..4 {
+                let (n, _) = d.neighbor(c, dir, true);
+                let (back, _) = d.neighbor(n, dir, false);
+                assert_eq!(back, c);
+            }
+        }
+    }
+
+    #[test]
+    fn volumes() {
+        let d = LatticeDims::spatial_cube(24, 128);
+        assert_eq!(d.volume(), 24 * 24 * 24 * 128);
+        assert_eq!(d.spatial_volume(), 24 * 24 * 24);
+        assert_eq!(d.half_volume(), d.volume() / 2);
+        let h = LatticeDims::hypercubic(32);
+        assert_eq!(h.volume(), 32usize.pow(4));
+    }
+
+    #[test]
+    fn timeslice_ranges_are_contiguous_and_cover() {
+        let d = LatticeDims::new(4, 4, 4, 6);
+        let mut covered = 0;
+        for t in 0..d.t {
+            let r = d.cb_timeslice_range(t);
+            assert_eq!(r.start, covered);
+            covered = r.end;
+            // Every cb index in the range maps to time t, for both parities.
+            for p in [Parity::Even, Parity::Odd] {
+                for cb in r.clone() {
+                    assert_eq!(d.cb_coord(p, cb).t, t);
+                }
+            }
+        }
+        assert_eq!(covered, d.half_volume());
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_extent_rejected() {
+        LatticeDims::new(3, 4, 4, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn zero_extent_rejected() {
+        LatticeDims::new(0, 4, 4, 4);
+    }
+
+    #[test]
+    fn parity_helpers() {
+        assert_eq!(Parity::Even.other(), Parity::Odd);
+        assert_eq!(Parity::Odd.other(), Parity::Even);
+        assert_eq!(Parity::from_usize(2), Parity::Even);
+        assert_eq!(Parity::from_usize(3), Parity::Odd);
+        assert_eq!(Parity::Even.as_usize(), 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! # quda-lattice
+//!
+//! Lattice geometry and memory layout for `quda-rs`:
+//!
+//! * [`geometry`] — 4-d extents, lexicographic and even-odd (checkerboard)
+//!   site indexing, periodic neighbors (paper Fig. 1);
+//! * [`layout`] — the QUDA device field layout of Eqs. 3–5 and Fig. 2:
+//!   `Nvec` short-vector blocking, partition-camping pad, gauge ghost slice
+//!   in the pad, spinor ghost end zone;
+//! * [`stencil`] — precomputed neighbor tables with temporal-boundary
+//!   classification for the multi-GPU domain decomposition;
+//! * [`partition`] — the 1-d temporal slicing of Section VI-A.
+
+#![warn(missing_docs)]
+
+pub mod geometry;
+pub mod layout;
+pub mod partition;
+pub mod stencil;
+
+pub use geometry::{Coord, LatticeDims, Parity, DIR_T, DIR_X, DIR_Y, DIR_Z};
+pub use layout::{species, FieldLayout, NVec};
+pub use partition::TimePartition;
+pub use stencil::{BoundaryKind, NeighborRef, ParityStencil, Stencil};

@@ -1,0 +1,177 @@
+//! Temporal domain decomposition across GPUs (Section VI-A).
+//!
+//! The paper parallelizes "by only dividing the time dimension, with the
+//! full extent of the spatial dimensions confined to a single GPU", slicing
+//! T into N equal local extents. Ranks are arranged on a periodic 1-d ring;
+//! rank `r` owns global time-slices `[r·T/N, (r+1)·T/N)`.
+
+use crate::geometry::LatticeDims;
+
+/// A 1-d temporal partition of a global lattice over `n_ranks` domains.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TimePartition {
+    /// The full lattice.
+    pub global: LatticeDims,
+    /// Number of domains (GPUs).
+    pub n_ranks: usize,
+}
+
+impl TimePartition {
+    /// Create a partition; `T` must divide evenly by `n_ranks` and every
+    /// local extent must stay even (for the checkerboard indexing).
+    pub fn new(global: LatticeDims, n_ranks: usize) -> Self {
+        assert!(n_ranks >= 1, "need at least one rank");
+        assert!(
+            global.t % n_ranks == 0,
+            "T={} not divisible by n_ranks={}",
+            global.t,
+            n_ranks
+        );
+        let local_t = global.t / n_ranks;
+        assert!(
+            local_t >= 2 && local_t % 2 == 0,
+            "local T extent {local_t} must be even and >= 2"
+        );
+        TimePartition { global, n_ranks }
+    }
+
+    /// Local T extent `T/N`.
+    #[inline(always)]
+    pub fn local_t(&self) -> usize {
+        self.global.t / self.n_ranks
+    }
+
+    /// The local lattice dimensions on every rank.
+    pub fn local_dims(&self) -> LatticeDims {
+        LatticeDims::new(self.global.x, self.global.y, self.global.z, self.local_t())
+    }
+
+    /// Local sites per rank: `V/N`.
+    pub fn local_volume(&self) -> usize {
+        self.global.volume() / self.n_ranks
+    }
+
+    /// Rank owning global time-slice `t`.
+    #[inline(always)]
+    pub fn rank_of_t(&self, t: usize) -> usize {
+        debug_assert!(t < self.global.t);
+        t / self.local_t()
+    }
+
+    /// Local time-slice of global `t` on its owning rank.
+    #[inline(always)]
+    pub fn local_t_of(&self, t: usize) -> usize {
+        t % self.local_t()
+    }
+
+    /// Global time-slice of local slice `lt` on rank `rank`.
+    #[inline(always)]
+    pub fn global_t_of(&self, rank: usize, lt: usize) -> usize {
+        debug_assert!(rank < self.n_ranks && lt < self.local_t());
+        rank * self.local_t() + lt
+    }
+
+    /// Forward neighbor on the periodic rank ring.
+    #[inline(always)]
+    pub fn forward_rank(&self, rank: usize) -> usize {
+        (rank + 1) % self.n_ranks
+    }
+
+    /// Backward neighbor on the periodic rank ring.
+    #[inline(always)]
+    pub fn backward_rank(&self, rank: usize) -> usize {
+        (rank + self.n_ranks - 1) % self.n_ranks
+    }
+
+    /// Whether the domain boundaries are real (more than one rank). A
+    /// single-rank "partition" keeps periodic wraps local.
+    #[inline(always)]
+    pub fn is_partitioned(&self) -> bool {
+        self.n_ranks > 1
+    }
+
+    /// Face sites per parity exchanged with each neighbor: `Vs/2`.
+    pub fn face_sites_cb(&self) -> usize {
+        self.global.half_spatial_volume()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_partitions_are_valid() {
+        // The configurations measured in Section VII.
+        let big = LatticeDims::spatial_cube(32, 256);
+        let small = LatticeDims::spatial_cube(24, 128);
+        for n in [1usize, 2, 4, 8, 16, 32] {
+            let p = TimePartition::new(big, n);
+            assert_eq!(p.local_t() * n, 256);
+            let q = TimePartition::new(small, n);
+            assert_eq!(q.local_t() * n, 128);
+        }
+        // Weak scaling local volumes: 32^4 and 24^3x32 per GPU.
+        assert_eq!(TimePartition::new(big, 8).local_dims(), LatticeDims::hypercubic(32));
+        assert_eq!(
+            TimePartition::new(small, 4).local_dims(),
+            LatticeDims::new(24, 24, 24, 32)
+        );
+    }
+
+    #[test]
+    fn rank_time_mapping_roundtrip() {
+        let p = TimePartition::new(LatticeDims::new(4, 4, 4, 16), 4);
+        for t in 0..16 {
+            let r = p.rank_of_t(t);
+            let lt = p.local_t_of(t);
+            assert_eq!(p.global_t_of(r, lt), t);
+        }
+    }
+
+    #[test]
+    fn ring_topology() {
+        let p = TimePartition::new(LatticeDims::new(4, 4, 4, 16), 4);
+        assert_eq!(p.forward_rank(3), 0);
+        assert_eq!(p.backward_rank(0), 3);
+        for r in 0..4 {
+            assert_eq!(p.backward_rank(p.forward_rank(r)), r);
+        }
+    }
+
+    #[test]
+    fn local_volume_sums_to_global() {
+        let d = LatticeDims::new(8, 8, 8, 32);
+        for n in [1, 2, 4, 8, 16] {
+            let p = TimePartition::new(d, n);
+            assert_eq!(p.local_volume() * n, d.volume());
+        }
+    }
+
+    #[test]
+    fn single_rank_is_unpartitioned() {
+        let p = TimePartition::new(LatticeDims::new(4, 4, 4, 8), 1);
+        assert!(!p.is_partitioned());
+        assert!(TimePartition::new(LatticeDims::new(4, 4, 4, 8), 2).is_partitioned());
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_t_rejected() {
+        TimePartition::new(LatticeDims::new(4, 4, 4, 10), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn odd_local_t_rejected() {
+        // T=12 over 6 ranks -> local T=2 ok; over 12 ranks -> local T=1 bad.
+        TimePartition::new(LatticeDims::new(4, 4, 4, 12), 6);
+        TimePartition::new(LatticeDims::new(4, 4, 4, 12), 12);
+    }
+
+    #[test]
+    fn face_sites() {
+        let p = TimePartition::new(LatticeDims::spatial_cube(24, 128), 8);
+        assert_eq!(p.face_sites_cb(), 24 * 24 * 24 / 2);
+    }
+}

@@ -1,0 +1,253 @@
+//! Precomputed nearest-neighbor stencil tables for the even-odd Dirac
+//! operator, with explicit classification of temporal-boundary crossings.
+//!
+//! The multi-GPU decomposition slices only the time dimension (Section
+//! VI-A), so spatial neighbors always wrap periodically *within* the local
+//! volume, while temporal neighbors may cross into a neighboring GPU's
+//! domain. A table built with `t_open = true` marks those crossings as ghost
+//! references carrying the *face index* — the position of the site within
+//! its (contiguous) time-slice — which is exactly the offset used in both
+//! the ghost end zone of the spinor field and the pad region of the gauge
+//! field.
+
+use crate::geometry::{Coord, LatticeDims, Parity, DIR_T};
+
+/// How a neighbor access resolves.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BoundaryKind {
+    /// Neighbor is a local site; `idx` is its checkerboard index.
+    Interior,
+    /// Neighbor lives on the backward-T neighboring domain; `idx` is the
+    /// face index into the backward ghost zone.
+    GhostBackward,
+    /// Neighbor lives on the forward-T neighboring domain; `idx` is the
+    /// face index into the forward ghost zone.
+    GhostForward,
+}
+
+/// One resolved neighbor reference.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct NeighborRef {
+    /// Checkerboard index (Interior) or face index (Ghost*).
+    pub idx: u32,
+    /// Classification.
+    pub kind: BoundaryKind,
+}
+
+/// Stencil tables for one output parity.
+#[derive(Clone, Debug)]
+pub struct ParityStencil {
+    /// `fwd[mu][site]`: the +μ neighbor of each site.
+    pub fwd: [Vec<NeighborRef>; 4],
+    /// `bwd[mu][site]`: the −μ neighbor of each site.
+    pub bwd: [Vec<NeighborRef>; 4],
+    /// For each site, `Some(face_idx)` if it lies on the first (t = 0)
+    /// time-slice — its backward-T gauge link must be read from the pad.
+    pub on_back_face: Vec<Option<u32>>,
+    /// For each site, `Some(face_idx)` if it lies on the last time-slice.
+    pub on_front_face: Vec<Option<u32>>,
+}
+
+/// Complete stencil for both parities.
+#[derive(Clone, Debug)]
+pub struct Stencil {
+    /// Local lattice dimensions.
+    pub dims: LatticeDims,
+    /// Whether temporal boundaries are domain boundaries (multi-GPU slice)
+    /// rather than periodic wraps (single GPU owning the full extent).
+    pub t_open: bool,
+    /// Tables indexed by output parity (`[even, odd]`).
+    pub parity: [ParityStencil; 2],
+}
+
+impl Stencil {
+    /// Build the stencil for a local volume.
+    pub fn new(dims: LatticeDims, t_open: bool) -> Self {
+        let even = build_parity(&dims, Parity::Even, t_open);
+        let odd = build_parity(&dims, Parity::Odd, t_open);
+        Stencil { dims, t_open, parity: [even, odd] }
+    }
+
+    /// Table for a given output parity.
+    #[inline(always)]
+    pub fn for_parity(&self, p: Parity) -> &ParityStencil {
+        &self.parity[p.as_usize()]
+    }
+
+    /// Face index of a coordinate: its checkerboard position within the
+    /// time-slice (`cb mod Vs/2`). Identical for a site and its temporal
+    /// neighbor, which is what makes sender/receiver ghost offsets agree.
+    #[inline(always)]
+    pub fn face_index(dims: &LatticeDims, c: Coord) -> usize {
+        dims.cb_index(c) % dims.half_spatial_volume()
+    }
+}
+
+fn build_parity(dims: &LatticeDims, out_parity: Parity, t_open: bool) -> ParityStencil {
+    let n = dims.half_volume();
+    let mut fwd: [Vec<NeighborRef>; 4] = std::array::from_fn(|_| Vec::with_capacity(n));
+    let mut bwd: [Vec<NeighborRef>; 4] = std::array::from_fn(|_| Vec::with_capacity(n));
+    let mut on_back_face = Vec::with_capacity(n);
+    let mut on_front_face = Vec::with_capacity(n);
+    for cb in 0..n {
+        let c = dims.cb_coord(out_parity, cb);
+        let face = Stencil::face_index(dims, c) as u32;
+        on_back_face.push((c.t == 0).then_some(face));
+        on_front_face.push((c.t == dims.t - 1).then_some(face));
+        for (mu, table) in fwd.iter_mut().enumerate() {
+            table.push(resolve(dims, c, mu, true, t_open));
+        }
+        for (mu, table) in bwd.iter_mut().enumerate() {
+            table.push(resolve(dims, c, mu, false, t_open));
+        }
+    }
+    ParityStencil { fwd, bwd, on_back_face, on_front_face }
+}
+
+fn resolve(dims: &LatticeDims, c: Coord, mu: usize, forward: bool, t_open: bool) -> NeighborRef {
+    let (nc, wrapped) = dims.neighbor(c, mu, forward);
+    if t_open && mu == DIR_T && wrapped {
+        let face = Stencil::face_index(dims, nc) as u32;
+        let kind = if forward { BoundaryKind::GhostForward } else { BoundaryKind::GhostBackward };
+        NeighborRef { idx: face, kind }
+    } else {
+        NeighborRef { idx: dims.cb_index(nc) as u32, kind: BoundaryKind::Interior }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{DIR_X, DIR_Y, DIR_Z};
+
+    fn dims() -> LatticeDims {
+        LatticeDims::new(4, 4, 6, 8)
+    }
+
+    #[test]
+    fn closed_stencil_has_no_ghosts() {
+        let s = Stencil::new(dims(), false);
+        for p in [Parity::Even, Parity::Odd] {
+            let t = s.for_parity(p);
+            for mu in 0..4 {
+                assert!(t.fwd[mu].iter().all(|r| r.kind == BoundaryKind::Interior));
+                assert!(t.bwd[mu].iter().all(|r| r.kind == BoundaryKind::Interior));
+            }
+        }
+    }
+
+    #[test]
+    fn open_stencil_marks_only_temporal_faces() {
+        let d = dims();
+        let s = Stencil::new(d, true);
+        for p in [Parity::Even, Parity::Odd] {
+            let t = s.for_parity(p);
+            for (cb, r) in t.fwd[DIR_T].iter().enumerate() {
+                let c = d.cb_coord(p, cb);
+                if c.t == d.t - 1 {
+                    assert_eq!(r.kind, BoundaryKind::GhostForward);
+                } else {
+                    assert_eq!(r.kind, BoundaryKind::Interior);
+                }
+            }
+            for (cb, r) in t.bwd[DIR_T].iter().enumerate() {
+                let c = d.cb_coord(p, cb);
+                if c.t == 0 {
+                    assert_eq!(r.kind, BoundaryKind::GhostBackward);
+                } else {
+                    assert_eq!(r.kind, BoundaryKind::Interior);
+                }
+            }
+            // Spatial directions never ghost.
+            for mu in [DIR_X, DIR_Y, DIR_Z] {
+                assert!(t.fwd[mu].iter().all(|r| r.kind == BoundaryKind::Interior));
+                assert!(t.bwd[mu].iter().all(|r| r.kind == BoundaryKind::Interior));
+            }
+        }
+    }
+
+    #[test]
+    fn interior_refs_match_geometry() {
+        let d = dims();
+        let s = Stencil::new(d, false);
+        for p in [Parity::Even, Parity::Odd] {
+            let t = s.for_parity(p);
+            for cb in 0..d.half_volume() {
+                let c = d.cb_coord(p, cb);
+                for mu in 0..4 {
+                    let (nf, _) = d.neighbor(c, mu, true);
+                    assert_eq!(t.fwd[mu][cb].idx as usize, d.cb_index(nf));
+                    let (nb, _) = d.neighbor(c, mu, false);
+                    assert_eq!(t.bwd[mu][cb].idx as usize, d.cb_index(nb));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ghost_face_indices_cover_half_spatial_volume() {
+        let d = dims();
+        let s = Stencil::new(d, true);
+        let half_vs = d.half_spatial_volume();
+        for p in [Parity::Even, Parity::Odd] {
+            let t = s.for_parity(p);
+            let mut seen_fwd = vec![false; half_vs];
+            let mut seen_bwd = vec![false; half_vs];
+            for r in &t.fwd[DIR_T] {
+                if r.kind == BoundaryKind::GhostForward {
+                    assert!(!seen_fwd[r.idx as usize], "duplicate face index");
+                    seen_fwd[r.idx as usize] = true;
+                }
+            }
+            for r in &t.bwd[DIR_T] {
+                if r.kind == BoundaryKind::GhostBackward {
+                    assert!(!seen_bwd[r.idx as usize]);
+                    seen_bwd[r.idx as usize] = true;
+                }
+            }
+            assert!(seen_fwd.iter().all(|&x| x), "forward face not fully covered");
+            assert!(seen_bwd.iter().all(|&x| x));
+        }
+    }
+
+    #[test]
+    fn face_flags_match_time_coordinate() {
+        let d = dims();
+        let s = Stencil::new(d, true);
+        for p in [Parity::Even, Parity::Odd] {
+            let t = s.for_parity(p);
+            for cb in 0..d.half_volume() {
+                let c = d.cb_coord(p, cb);
+                assert_eq!(t.on_back_face[cb].is_some(), c.t == 0);
+                assert_eq!(t.on_front_face[cb].is_some(), c.t == d.t - 1);
+                if let Some(f) = t.on_back_face[cb] {
+                    assert_eq!(f as usize, Stencil::face_index(&d, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn face_index_agrees_between_site_and_temporal_neighbor() {
+        let d = dims();
+        for p in [Parity::Even, Parity::Odd] {
+            for cb in 0..d.half_volume() {
+                let c = d.cb_coord(p, cb);
+                let (nf, _) = d.neighbor(c, DIR_T, true);
+                assert_eq!(Stencil::face_index(&d, c), Stencil::face_index(&d, nf));
+            }
+        }
+    }
+
+    #[test]
+    fn warp_divergence_condition_holds() {
+        // Section VI-C: "warp divergence is avoided because the number of
+        // spatial sites Vs is divisible by the warp size" — check the
+        // production volumes.
+        for (l, t) in [(24usize, 128usize), (32, 256)] {
+            let d = LatticeDims::spatial_cube(l, t);
+            assert_eq!(d.spatial_volume() % 32, 0);
+            assert_eq!(d.half_spatial_volume() % 32, 0);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! 3-component color vectors — the SU(3) fundamental representation.
+
+use crate::complex::Complex;
+use crate::real::Real;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A color vector: 3 complex components (6 reals).
+///
+/// One spin component of a color-spinor. The Wilson-clover stencil spends
+/// most of its arithmetic multiplying these by SU(3) link matrices.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+#[repr(C)]
+pub struct ColorVec<T> {
+    /// Components indexed by color.
+    pub c: [Complex<T>; 3],
+}
+
+impl<T: Real> ColorVec<T> {
+    /// The zero vector.
+    pub fn zero() -> Self {
+        ColorVec { c: [Complex::zero(); 3] }
+    }
+
+    /// Construct from components.
+    pub fn new(c0: Complex<T>, c1: Complex<T>, c2: Complex<T>) -> Self {
+        ColorVec { c: [c0, c1, c2] }
+    }
+
+    /// Basis vector with a 1 in color slot `i`.
+    pub fn basis(i: usize) -> Self {
+        let mut v = Self::zero();
+        v.c[i] = Complex::one();
+        v
+    }
+
+    /// Squared 2-norm, accumulated in f64 as the reduction kernels do.
+    pub fn norm_sqr(&self) -> f64 {
+        self.c.iter().map(|z| z.norm_sqr().to_f64()).sum()
+    }
+
+    /// Hermitian inner product `⟨self, rhs⟩ = Σ conj(self_i) rhs_i` in f64.
+    pub fn dot(&self, rhs: &Self) -> Complex<f64> {
+        let mut acc = Complex::<f64>::zero();
+        for i in 0..3 {
+            acc += self.c[i].cast::<f64>().conj() * rhs.c[i].cast::<f64>();
+        }
+        acc
+    }
+
+    /// Multiply every component by a complex scalar.
+    #[inline(always)]
+    pub fn scale(&self, s: Complex<T>) -> Self {
+        ColorVec { c: [self.c[0] * s, self.c[1] * s, self.c[2] * s] }
+    }
+
+    /// Multiply every component by a real scalar.
+    #[inline(always)]
+    pub fn scale_re(&self, s: T) -> Self {
+        ColorVec { c: [self.c[0].scale(s), self.c[1].scale(s), self.c[2].scale(s)] }
+    }
+
+    /// Multiply every component by `i`.
+    #[inline(always)]
+    pub fn mul_i(&self) -> Self {
+        ColorVec { c: [self.c[0].mul_i(), self.c[1].mul_i(), self.c[2].mul_i()] }
+    }
+
+    /// Multiply every component by `-i`.
+    #[inline(always)]
+    pub fn mul_neg_i(&self) -> Self {
+        ColorVec { c: [self.c[0].mul_neg_i(), self.c[1].mul_neg_i(), self.c[2].mul_neg_i()] }
+    }
+
+    /// Largest absolute value over the 6 real components (half-precision
+    /// normalization uses the per-spinor maximum).
+    pub fn max_abs(&self) -> f64 {
+        self.c
+            .iter()
+            .flat_map(|z| [z.re.to_f64().abs(), z.im.to_f64().abs()])
+            .fold(0.0, f64::max)
+    }
+
+    /// Precision cast.
+    pub fn cast<U: Real>(&self) -> ColorVec<U> {
+        ColorVec { c: [self.c[0].cast(), self.c[1].cast(), self.c[2].cast()] }
+    }
+}
+
+impl<T: Real> Add for ColorVec<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        ColorVec { c: [self.c[0] + rhs.c[0], self.c[1] + rhs.c[1], self.c[2] + rhs.c[2]] }
+    }
+}
+
+impl<T: Real> Sub for ColorVec<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        ColorVec { c: [self.c[0] - rhs.c[0], self.c[1] - rhs.c[1], self.c[2] - rhs.c[2]] }
+    }
+}
+
+impl<T: Real> Neg for ColorVec<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        ColorVec { c: [-self.c[0], -self.c[1], -self.c[2]] }
+    }
+}
+
+impl<T: Real> AddAssign for ColorVec<T> {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<T: Real> SubAssign for ColorVec<T> {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<T: Real> Mul<Complex<T>> for ColorVec<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: Complex<T>) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl<T> Index<usize> for ColorVec<T> {
+    type Output = Complex<T>;
+    #[inline(always)]
+    fn index(&self, i: usize) -> &Complex<T> {
+        &self.c[i]
+    }
+}
+
+impl<T> IndexMut<usize> for ColorVec<T> {
+    #[inline(always)]
+    fn index_mut(&mut self, i: usize) -> &mut Complex<T> {
+        &mut self.c[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::C64;
+
+    fn v(xs: [(f64, f64); 3]) -> ColorVec<f64> {
+        ColorVec::new(
+            C64::new(xs[0].0, xs[0].1),
+            C64::new(xs[1].0, xs[1].1),
+            C64::new(xs[2].0, xs[2].1),
+        )
+    }
+
+    #[test]
+    fn vector_space_axioms() {
+        let a = v([(1.0, 2.0), (0.0, -1.0), (3.0, 0.5)]);
+        let b = v([(-1.0, 0.0), (2.0, 2.0), (0.0, 0.0)]);
+        assert_eq!(a + b, b + a);
+        assert_eq!(a - a, ColorVec::zero());
+        assert_eq!(-a + a, ColorVec::zero());
+        assert_eq!(a.scale(C64::one()), a);
+    }
+
+    #[test]
+    fn norm_and_dot_consistency() {
+        let a = v([(1.0, 0.0), (0.0, 2.0), (2.0, 1.0)]);
+        // |a|^2 = <a, a>
+        let d = a.dot(&a);
+        assert!((d.re - a.norm_sqr()).abs() < 1e-14);
+        assert!(d.im.abs() < 1e-14);
+        assert_eq!(a.norm_sqr(), 1.0 + 4.0 + 5.0);
+    }
+
+    #[test]
+    fn dot_is_sesquilinear() {
+        let a = v([(1.0, 1.0), (2.0, 0.0), (0.0, -1.0)]);
+        let b = v([(0.5, -0.5), (1.0, 1.0), (3.0, 0.0)]);
+        let s = C64::new(2.0, -3.0);
+        // <a, s b> = s <a, b>
+        let lhs = a.dot(&b.scale(s));
+        let rhs = a.dot(&b) * s;
+        assert!((lhs.re - rhs.re).abs() < 1e-12);
+        assert!((lhs.im - rhs.im).abs() < 1e-12);
+        // <s a, b> = conj(s) <a, b>
+        let lhs2 = a.scale(s).dot(&b);
+        let rhs2 = a.dot(&b) * s.conj();
+        assert!((lhs2.re - rhs2.re).abs() < 1e-12);
+        assert!((lhs2.im - rhs2.im).abs() < 1e-12);
+    }
+
+    #[test]
+    fn basis_vectors_orthonormal() {
+        for i in 0..3 {
+            for j in 0..3 {
+                let d = ColorVec::<f64>::basis(i).dot(&ColorVec::basis(j));
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert_eq!(d.re, expect);
+                assert_eq!(d.im, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn mul_i_rotations() {
+        let a = v([(1.0, 2.0), (-1.0, 0.5), (0.0, 3.0)]);
+        assert_eq!(a.mul_i().mul_neg_i(), a);
+        assert_eq!(a.mul_i().mul_i(), -a);
+    }
+
+    #[test]
+    fn max_abs_finds_largest_component() {
+        let a = v([(1.0, -7.0), (2.0, 0.0), (0.0, 3.0)]);
+        assert_eq!(a.max_abs(), 7.0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Minimal complex-number type.
+//!
+//! Lattice QCD fields are complex-valued; QUDA stores them as interleaved
+//! `(re, im)` pairs inside short-vector blocks. We keep the type deliberately
+//! small (`repr(C)`, two reals) so a `&[Complex<T>]` can be viewed as the
+//! flat real array the field-layout code (Eqs. 3-5) indexes into.
+
+use crate::real::Real;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number over a [`Real`] scalar.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+#[repr(C)]
+pub struct Complex<T> {
+    /// Real part.
+    pub re: T,
+    /// Imaginary part.
+    pub im: T,
+}
+
+impl<T: Real> Complex<T> {
+    /// The complex zero.
+    pub const fn zero() -> Self
+    where
+        T: Copy,
+    {
+        Complex { re: T::ZERO, im: T::ZERO }
+    }
+
+    /// The complex one.
+    pub const fn one() -> Self {
+        Complex { re: T::ONE, im: T::ZERO }
+    }
+
+    /// The imaginary unit `i`.
+    pub const fn i() -> Self {
+        Complex { re: T::ZERO, im: T::ONE }
+    }
+
+    /// Construct from parts.
+    #[inline(always)]
+    pub fn new(re: T, im: T) -> Self {
+        Complex { re, im }
+    }
+
+    /// Construct a purely real value.
+    #[inline(always)]
+    pub fn from_real(re: T) -> Self {
+        Complex { re, im: T::ZERO }
+    }
+
+    /// Complex conjugate.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Squared modulus `|z|²` as the scalar type.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> T {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline(always)]
+    pub fn abs(self) -> T {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiply by a real scalar.
+    #[inline(always)]
+    pub fn scale(self, s: T) -> Self {
+        Complex { re: self.re * s, im: self.im * s }
+    }
+
+    /// Multiply by `i` (cheap rotation, used by the gamma-matrix tables).
+    #[inline(always)]
+    pub fn mul_i(self) -> Self {
+        Complex { re: -self.im, im: self.re }
+    }
+
+    /// Multiply by `-i`.
+    #[inline(always)]
+    pub fn mul_neg_i(self) -> Self {
+        Complex { re: self.im, im: -self.re }
+    }
+
+    /// `self * a + b`, written so the compiler can fuse the multiplies.
+    #[inline(always)]
+    pub fn mul_add(self, a: Self, b: Self) -> Self {
+        Complex {
+            re: self.re.mul_add(a.re, (-self.im).mul_add(a.im, b.re)),
+            im: self.re.mul_add(a.im, self.im.mul_add(a.re, b.im)),
+        }
+    }
+
+    /// `conj(self) * a + b` — the conjugated accumulate used when applying
+    /// the adjoint link matrix in the backward gather.
+    #[inline(always)]
+    pub fn conj_mul_add(self, a: Self, b: Self) -> Self {
+        Complex {
+            re: self.re.mul_add(a.re, self.im.mul_add(a.im, b.re)),
+            im: self.re.mul_add(a.im, (-self.im).mul_add(a.re, b.im)),
+        }
+    }
+
+    /// Multiplicative inverse. Panics on zero in debug builds.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let n = self.norm_sqr();
+        debug_assert!(n.to_f64() != 0.0, "inverting complex zero");
+        Complex { re: self.re / n, im: -self.im / n }
+    }
+
+    /// Division `self / rhs`.
+    #[inline]
+    pub fn div(self, rhs: Self) -> Self {
+        self * rhs.inv()
+    }
+
+    /// Convert the scalar type (e.g. f64 field → f32 field).
+    #[inline(always)]
+    pub fn cast<U: Real>(self) -> Complex<U> {
+        Complex { re: U::from_f64(self.re.to_f64()), im: U::from_f64(self.im.to_f64()) }
+    }
+}
+
+impl<T: Real> Add for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl<T: Real> Sub for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl<T: Real> Neg for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Complex { re: -self.re, im: -self.im }
+    }
+}
+
+impl<T: Real> Mul for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl<T: Real> AddAssign for Complex<T> {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<T: Real> SubAssign for Complex<T> {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<T: Real> MulAssign for Complex<T> {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+/// Convenience alias for double precision.
+pub type C64 = Complex<f64>;
+/// Convenience alias for single precision.
+pub type C32 = Complex<f32>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> C64 {
+        Complex::new(re, im)
+    }
+
+    #[test]
+    fn field_axioms() {
+        let a = c(1.0, 2.0);
+        let b = c(-3.0, 0.5);
+        let z = C64::zero();
+        let one = C64::one();
+        assert_eq!(a + z, a);
+        assert_eq!(a * one, a);
+        assert_eq!(a + b, b + a);
+        assert_eq!(a * b, b * a);
+        assert_eq!(a - a, z);
+        assert_eq!(-a + a, z);
+    }
+
+    #[test]
+    fn i_squares_to_minus_one() {
+        assert_eq!(C64::i() * C64::i(), -C64::one());
+    }
+
+    #[test]
+    fn mul_i_matches_multiplication() {
+        let a = c(1.5, -2.5);
+        assert_eq!(a.mul_i(), a * C64::i());
+        assert_eq!(a.mul_neg_i(), a * -C64::i());
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let a = c(3.0, 4.0);
+        assert_eq!(a.conj(), c(3.0, -4.0));
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        // z * conj(z) = |z|^2
+        let p = a * a.conj();
+        assert_eq!(p, c(25.0, 0.0));
+    }
+
+    #[test]
+    fn inverse_and_division() {
+        let a = c(2.0, -1.0);
+        let inv = a.inv();
+        let prod = a * inv;
+        assert!((prod.re - 1.0).abs() < 1e-15);
+        assert!(prod.im.abs() < 1e-15);
+        let b = c(0.5, 3.0);
+        let q = b.div(a);
+        let back = q * a;
+        assert!((back.re - b.re).abs() < 1e-14);
+        assert!((back.im - b.im).abs() < 1e-14);
+    }
+
+    #[test]
+    fn mul_add_matches_composed_ops() {
+        let a = c(1.0, 2.0);
+        let b = c(3.0, -4.0);
+        let d = c(-0.5, 0.25);
+        let fused = a.mul_add(b, d);
+        let loose = a * b + d;
+        assert!((fused.re - loose.re).abs() < 1e-14);
+        assert!((fused.im - loose.im).abs() < 1e-14);
+        let fusedc = a.conj_mul_add(b, d);
+        let loosec = a.conj() * b + d;
+        assert!((fusedc.re - loosec.re).abs() < 1e-14);
+        assert!((fusedc.im - loosec.im).abs() < 1e-14);
+    }
+
+    #[test]
+    fn cast_between_precisions() {
+        let a = c(1.0 / 3.0, -2.0 / 7.0);
+        let s: C32 = a.cast();
+        let back: C64 = s.cast();
+        assert!((back.re - a.re).abs() < 1e-7);
+        assert!((back.im - a.im).abs() < 1e-7);
+    }
+
+    #[test]
+    fn scale_by_real() {
+        let a = c(1.0, -2.0);
+        assert_eq!(a.scale(2.0), c(2.0, -4.0));
+    }
+}

@@ -1,0 +1,166 @@
+//! Floating-point abstraction used throughout the library.
+//!
+//! QUDA runs its kernels in three arithmetic precisions: double (`f64`),
+//! single (`f32`), and "half" — a 16-bit fixed-point *storage* format that is
+//! always widened to `f32` for arithmetic (Section V-C3 of the paper). The
+//! [`Real`] trait abstracts the two true arithmetic precisions; the half
+//! format lives in [`crate::half`] as a storage transform on top of `f32`.
+
+use std::fmt::Debug;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A real scalar type usable in lattice kernels.
+///
+/// Implemented for `f32` and `f64`. The bound set mirrors what the fused
+/// linear-algebra kernels and the Dirac stencil need: ring operations,
+/// comparisons, square roots, and conversions to/from `f64` for accumulating
+/// reductions in high precision.
+pub trait Real:
+    Copy
+    + Clone
+    + Debug
+    + PartialEq
+    + PartialOrd
+    + Default
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Number of bytes one value occupies in device storage.
+    const STORAGE_BYTES: usize;
+    /// Human-readable name matching the paper's terminology.
+    const NAME: &'static str;
+
+    /// Lossless widening to `f64` (used for reductions).
+    fn to_f64(self) -> f64;
+    /// Narrowing conversion from `f64`.
+    fn from_f64(x: f64) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Fused (or at least well-defined) multiply-add `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Maximum of two values.
+    fn max(self, other: Self) -> Self;
+}
+
+impl Real for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const STORAGE_BYTES: usize = 4;
+    const NAME: &'static str = "single";
+
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f32::mul_add(self, a, b)
+    }
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        f32::max(self, other)
+    }
+}
+
+impl Real for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const STORAGE_BYTES: usize = 8;
+    const NAME: &'static str = "double";
+
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f64::mul_add(self, a, b)
+    }
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        f64::max(self, other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<R: Real>(x: f64) -> f64 {
+        R::from_f64(x).to_f64()
+    }
+
+    #[test]
+    fn f64_roundtrip_is_exact() {
+        for &x in &[0.0, 1.0, -2.5, 1e-300, 1e300] {
+            assert_eq!(roundtrip::<f64>(x), x);
+        }
+    }
+
+    #[test]
+    fn f32_roundtrip_within_eps() {
+        for &x in &[0.0, 1.0, -2.5, 3.14159265] {
+            assert!((roundtrip::<f32>(x) - x).abs() <= x.abs() * 1e-6);
+        }
+    }
+
+    #[test]
+    fn constants_match() {
+        assert_eq!(f32::ZERO, 0.0f32);
+        assert_eq!(f64::ONE, 1.0f64);
+        assert_eq!(f32::STORAGE_BYTES, 4);
+        assert_eq!(f64::STORAGE_BYTES, 8);
+        assert_eq!(f32::NAME, "single");
+        assert_eq!(f64::NAME, "double");
+    }
+
+    #[test]
+    fn mul_add_and_sqrt() {
+        assert_eq!(2.0f64.mul_add(3.0, 4.0), 10.0);
+        assert_eq!(9.0f32.sqrt(), 3.0);
+        assert_eq!((-3.0f64).abs(), 3.0);
+        assert_eq!(1.0f32.max(2.0), 2.0);
+    }
+}

@@ -1,0 +1,315 @@
+//! Color-spinors: the per-site degrees of freedom of a quark field.
+//!
+//! A (full) spinor has 4 spin × 3 color complex components = 24 reals.
+//! A half spinor — the result of applying a spin projector `P±μ` — has only
+//! 2 independent spin components (12 reals), which is why only 12 numbers per
+//! face site ever cross the network (Section VI-C, footnote 3).
+
+use crate::colorvec::ColorVec;
+use crate::complex::Complex;
+use crate::real::Real;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// Number of real components in a full spinor.
+pub const SPINOR_REALS: usize = 24;
+/// Number of real components in a projected half spinor.
+pub const HALF_SPINOR_REALS: usize = 12;
+
+/// A full color-spinor: 4 spin components, each a [`ColorVec`].
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+#[repr(C)]
+pub struct Spinor<T> {
+    /// Spin components.
+    pub s: [ColorVec<T>; 4],
+}
+
+impl<T: Real> Spinor<T> {
+    /// The zero spinor.
+    pub fn zero() -> Self {
+        Spinor { s: [ColorVec::zero(); 4] }
+    }
+
+    /// A point source: 1 in spin `spin`, color `color`.
+    pub fn point(spin: usize, color: usize) -> Self {
+        let mut p = Self::zero();
+        p.s[spin].c[color] = Complex::one();
+        p
+    }
+
+    /// Squared 2-norm over all 24 reals, accumulated in f64.
+    pub fn norm_sqr(&self) -> f64 {
+        self.s.iter().map(ColorVec::norm_sqr).sum()
+    }
+
+    /// Hermitian inner product in f64.
+    pub fn dot(&self, rhs: &Self) -> Complex<f64> {
+        let mut acc = Complex::zero();
+        for i in 0..4 {
+            acc += self.s[i].dot(&rhs.s[i]);
+        }
+        acc
+    }
+
+    /// Scale by a complex scalar.
+    pub fn scale(&self, z: Complex<T>) -> Self {
+        Spinor { s: [self.s[0].scale(z), self.s[1].scale(z), self.s[2].scale(z), self.s[3].scale(z)] }
+    }
+
+    /// Scale by a real scalar.
+    pub fn scale_re(&self, a: T) -> Self {
+        Spinor {
+            s: [
+                self.s[0].scale_re(a),
+                self.s[1].scale_re(a),
+                self.s[2].scale_re(a),
+                self.s[3].scale_re(a),
+            ],
+        }
+    }
+
+    /// Largest absolute value among the 24 real components — the shared
+    /// normalization factor of the half-precision storage format.
+    pub fn max_abs(&self) -> f64 {
+        self.s.iter().map(ColorVec::max_abs).fold(0.0, f64::max)
+    }
+
+    /// Precision cast.
+    pub fn cast<U: Real>(&self) -> Spinor<U> {
+        Spinor { s: [self.s[0].cast(), self.s[1].cast(), self.s[2].cast(), self.s[3].cast()] }
+    }
+
+    /// View as a flat array of 24 reals in (spin, color, re/im) order —
+    /// the "internal index n" of the field-layout equations (Eqs. 3-5).
+    pub fn to_reals(&self) -> [T; SPINOR_REALS] {
+        let mut out = [T::ZERO; SPINOR_REALS];
+        let mut k = 0;
+        for sp in 0..4 {
+            for co in 0..3 {
+                out[k] = self.s[sp].c[co].re;
+                out[k + 1] = self.s[sp].c[co].im;
+                k += 2;
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`Spinor::to_reals`].
+    pub fn from_reals(r: &[T]) -> Self {
+        assert!(r.len() >= SPINOR_REALS);
+        let mut out = Self::zero();
+        let mut k = 0;
+        for sp in 0..4 {
+            for co in 0..3 {
+                out.s[sp].c[co] = Complex::new(r[k], r[k + 1]);
+                k += 2;
+            }
+        }
+        out
+    }
+}
+
+impl<T: Real> Add for Spinor<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        Spinor {
+            s: [
+                self.s[0] + rhs.s[0],
+                self.s[1] + rhs.s[1],
+                self.s[2] + rhs.s[2],
+                self.s[3] + rhs.s[3],
+            ],
+        }
+    }
+}
+
+impl<T: Real> Sub for Spinor<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        Spinor {
+            s: [
+                self.s[0] - rhs.s[0],
+                self.s[1] - rhs.s[1],
+                self.s[2] - rhs.s[2],
+                self.s[3] - rhs.s[3],
+            ],
+        }
+    }
+}
+
+impl<T: Real> Neg for Spinor<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Spinor { s: [-self.s[0], -self.s[1], -self.s[2], -self.s[3]] }
+    }
+}
+
+impl<T: Real> AddAssign for Spinor<T> {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<T: Real> SubAssign for Spinor<T> {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<T: Real> Mul<Complex<T>> for Spinor<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: Complex<T>) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl<T> Index<usize> for Spinor<T> {
+    type Output = ColorVec<T>;
+    #[inline(always)]
+    fn index(&self, i: usize) -> &ColorVec<T> {
+        &self.s[i]
+    }
+}
+
+impl<T> IndexMut<usize> for Spinor<T> {
+    #[inline(always)]
+    fn index_mut(&mut self, i: usize) -> &mut ColorVec<T> {
+        &mut self.s[i]
+    }
+}
+
+/// A projected half spinor: the 2 independent spin components that survive
+/// a `P±μ` projection. This is the unit of face communication.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+#[repr(C)]
+pub struct HalfSpinor<T> {
+    /// The two independent spin components.
+    pub h: [ColorVec<T>; 2],
+}
+
+impl<T: Real> HalfSpinor<T> {
+    /// The zero half spinor.
+    pub fn zero() -> Self {
+        HalfSpinor { h: [ColorVec::zero(); 2] }
+    }
+
+    /// Flatten to 12 reals for transport.
+    pub fn to_reals(&self) -> [T; HALF_SPINOR_REALS] {
+        let mut out = [T::ZERO; HALF_SPINOR_REALS];
+        let mut k = 0;
+        for i in 0..2 {
+            for co in 0..3 {
+                out[k] = self.h[i].c[co].re;
+                out[k + 1] = self.h[i].c[co].im;
+                k += 2;
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`HalfSpinor::to_reals`].
+    pub fn from_reals(r: &[T]) -> Self {
+        assert!(r.len() >= HALF_SPINOR_REALS);
+        let mut out = Self::zero();
+        let mut k = 0;
+        for i in 0..2 {
+            for co in 0..3 {
+                out.h[i].c[co] = Complex::new(r[k], r[k + 1]);
+                k += 2;
+            }
+        }
+        out
+    }
+
+    /// Precision cast.
+    pub fn cast<U: Real>(&self) -> HalfSpinor<U> {
+        HalfSpinor { h: [self.h[0].cast(), self.h[1].cast()] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::C64;
+
+    fn sample() -> Spinor<f64> {
+        let mut sp = Spinor::zero();
+        for spin in 0..4 {
+            for co in 0..3 {
+                sp.s[spin].c[co] = C64::new((spin * 3 + co) as f64 * 0.1, -(co as f64) * 0.2);
+            }
+        }
+        sp
+    }
+
+    #[test]
+    fn reals_roundtrip() {
+        let sp = sample();
+        let r = sp.to_reals();
+        assert_eq!(r.len(), 24);
+        let back = Spinor::from_reals(&r);
+        assert_eq!(back, sp);
+    }
+
+    #[test]
+    fn half_spinor_reals_roundtrip() {
+        let h = HalfSpinor { h: [sample().s[0], sample().s[2]] };
+        let r = h.to_reals();
+        assert_eq!(r.len(), 12);
+        assert_eq!(HalfSpinor::from_reals(&r), h);
+    }
+
+    #[test]
+    fn point_source_has_unit_norm() {
+        for spin in 0..4 {
+            for color in 0..3 {
+                let p = Spinor::<f64>::point(spin, color);
+                assert_eq!(p.norm_sqr(), 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn norm_matches_dot() {
+        let sp = sample();
+        let d = sp.dot(&sp);
+        assert!((d.re - sp.norm_sqr()).abs() < 1e-13);
+        assert!(d.im.abs() < 1e-13);
+    }
+
+    #[test]
+    fn linear_ops() {
+        let a = sample();
+        let b = a.scale_re(2.0);
+        assert_eq!(a + a, b);
+        assert_eq!(b - a, a);
+        assert_eq!(-a + a, Spinor::zero());
+        let z = C64::new(0.0, 1.0);
+        let c = a.scale(z);
+        assert!((c.norm_sqr() - a.norm_sqr()).abs() < 1e-13);
+    }
+
+    #[test]
+    fn max_abs_is_sup_norm() {
+        let mut sp = sample();
+        sp.s[3].c[2] = C64::new(0.0, -42.0);
+        assert_eq!(sp.max_abs(), 42.0);
+    }
+
+    #[test]
+    fn cast_roundtrip() {
+        let sp = sample();
+        let lo: Spinor<f32> = sp.cast();
+        let hi: Spinor<f64> = lo.cast();
+        for spin in 0..4 {
+            for co in 0..3 {
+                assert!((hi.s[spin].c[co].re - sp.s[spin].c[co].re).abs() < 1e-6);
+            }
+        }
+    }
+}

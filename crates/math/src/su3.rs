@@ -1,0 +1,436 @@
+//! SU(3) link matrices, 2-row compression, and re-unitarization.
+//!
+//! The gauge field is a field of special-unitary 3×3 complex matrices living
+//! on the links of the lattice. QUDA stores only the first two rows in device
+//! memory (12 real numbers) and reconstructs the third row in registers as
+//! the conjugate cross product of the first two (Section V-C1). This module
+//! provides the matrix algebra, the compression/reconstruction pair, and the
+//! Gram-Schmidt re-unitarization used when building weak-field configurations.
+
+use crate::colorvec::ColorVec;
+use crate::complex::Complex;
+use crate::real::Real;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A 3×3 complex matrix in row-major order.
+///
+/// Not every `Su3` value is unitary — the type also represents intermediate
+/// sums (e.g. clover-leaf accumulations). [`Su3::is_special_unitary`] checks
+/// group membership and [`Su3::reunitarize`] projects back onto the group.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+#[repr(C)]
+pub struct Su3<T> {
+    /// Rows of the matrix; `m[row][col]`.
+    pub m: [[Complex<T>; 3]; 3],
+}
+
+impl<T: Real> Su3<T> {
+    /// The zero matrix.
+    pub fn zero() -> Self {
+        Su3 { m: [[Complex::zero(); 3]; 3] }
+    }
+
+    /// The identity matrix.
+    pub fn identity() -> Self {
+        let mut u = Self::zero();
+        for i in 0..3 {
+            u.m[i][i] = Complex::one();
+        }
+        u
+    }
+
+    /// Hermitian conjugate (adjoint) `U†`.
+    pub fn adjoint(&self) -> Self {
+        let mut out = Self::zero();
+        for i in 0..3 {
+            for j in 0..3 {
+                out.m[i][j] = self.m[j][i].conj();
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `U v`.
+    #[inline]
+    pub fn mul_vec(&self, v: &ColorVec<T>) -> ColorVec<T> {
+        let mut out = ColorVec::zero();
+        for i in 0..3 {
+            let mut acc = Complex::zero();
+            for j in 0..3 {
+                acc = self.m[i][j].mul_add(v.c[j], acc);
+            }
+            out.c[i] = acc;
+        }
+        out
+    }
+
+    /// Adjoint matrix-vector product `U† v` without forming the adjoint.
+    ///
+    /// This is the "matrix conjugation performed at no cost through register
+    /// relabeling" of Section V-B: the backward gather needs `U†` but we just
+    /// read the same 9 (or 6 compressed) numbers with swapped indices.
+    #[inline]
+    pub fn adj_mul_vec(&self, v: &ColorVec<T>) -> ColorVec<T> {
+        let mut out = ColorVec::zero();
+        for i in 0..3 {
+            let mut acc = Complex::zero();
+            for j in 0..3 {
+                acc = self.m[j][i].conj_mul_add(v.c[j], acc);
+            }
+            out.c[i] = acc;
+        }
+        out
+    }
+
+    /// Trace.
+    pub fn trace(&self) -> Complex<T> {
+        self.m[0][0] + self.m[1][1] + self.m[2][2]
+    }
+
+    /// Determinant (Laplace expansion along the first row).
+    pub fn det(&self) -> Complex<T> {
+        let m = &self.m;
+        let c0 = m[1][1] * m[2][2] - m[1][2] * m[2][1];
+        let c1 = m[1][2] * m[2][0] - m[1][0] * m[2][2];
+        let c2 = m[1][0] * m[2][1] - m[1][1] * m[2][0];
+        m[0][0] * c0 + m[0][1] * c1 + m[0][2] * c2
+    }
+
+    /// Multiply every element by a complex scalar.
+    pub fn scale(&self, s: Complex<T>) -> Self {
+        let mut out = *self;
+        for i in 0..3 {
+            for j in 0..3 {
+                out.m[i][j] = out.m[i][j] * s;
+            }
+        }
+        out
+    }
+
+    /// Multiply every element by a real scalar.
+    pub fn scale_re(&self, s: T) -> Self {
+        let mut out = *self;
+        for i in 0..3 {
+            for j in 0..3 {
+                out.m[i][j] = out.m[i][j].scale(s);
+            }
+        }
+        out
+    }
+
+    /// Frobenius-norm squared, accumulated in f64.
+    pub fn norm_sqr(&self) -> f64 {
+        self.m.iter().flatten().map(|z| z.norm_sqr().to_f64()).sum()
+    }
+
+    /// Maximum absolute real component (used to validate half-precision
+    /// storage: all elements of a unitary matrix lie in [-1, 1]).
+    pub fn max_abs(&self) -> f64 {
+        self.m
+            .iter()
+            .flatten()
+            .flat_map(|z| [z.re.to_f64().abs(), z.im.to_f64().abs()])
+            .fold(0.0, f64::max)
+    }
+
+    /// True if `U† U = 1` and `det U = 1` to tolerance `tol`.
+    pub fn is_special_unitary(&self, tol: f64) -> bool {
+        let prod = self.adjoint() * *self;
+        let mut dev: f64 = 0.0;
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                dev = dev.max((prod.m[i][j].re.to_f64() - expect).abs());
+                dev = dev.max(prod.m[i][j].im.to_f64().abs());
+            }
+        }
+        let d = self.det();
+        dev = dev.max((d.re.to_f64() - 1.0).abs()).max(d.im.to_f64().abs());
+        dev <= tol
+    }
+
+    /// Row `i` as a color vector.
+    fn row(&self, i: usize) -> ColorVec<T> {
+        ColorVec { c: self.m[i] }
+    }
+
+    fn set_row(&mut self, i: usize, v: ColorVec<T>) {
+        self.m[i] = v.c;
+    }
+
+    /// Gram-Schmidt projection back onto SU(3).
+    ///
+    /// Normalizes row 0, orthonormalizes row 1 against it, and sets row 2 to
+    /// the conjugate cross product — exactly the "re-unitarizing the links"
+    /// step of the weak-field construction in Section VII-A.
+    pub fn reunitarize(&self) -> Self {
+        let mut r0 = self.row(0);
+        let n0 = r0.norm_sqr().sqrt();
+        r0 = r0.scale_re(T::from_f64(1.0 / n0));
+        let mut r1 = self.row(1);
+        let proj = r0.dot(&r1); // f64 inner product
+        let projc = Complex::<T>::new(T::from_f64(proj.re), T::from_f64(proj.im));
+        r1 = r1 - r0.scale(projc);
+        let n1 = r1.norm_sqr().sqrt();
+        r1 = r1.scale_re(T::from_f64(1.0 / n1));
+        let r2 = conj_cross(&r0, &r1);
+        let mut out = Self::zero();
+        out.set_row(0, r0);
+        out.set_row(1, r1);
+        out.set_row(2, r2);
+        out
+    }
+
+    /// Compress to 2-row (12-real) storage.
+    pub fn compress(&self) -> Su3Compressed<T> {
+        Su3Compressed { rows: [self.m[0], self.m[1]] }
+    }
+
+    /// Precision cast.
+    pub fn cast<U: Real>(&self) -> Su3<U> {
+        let mut out = Su3::zero();
+        for i in 0..3 {
+            for j in 0..3 {
+                out.m[i][j] = self.m[i][j].cast();
+            }
+        }
+        out
+    }
+}
+
+/// Third row of a special-unitary matrix from the first two:
+/// `row2 = conj(row0 × row1)`.
+#[inline]
+pub fn conj_cross<T: Real>(a: &ColorVec<T>, b: &ColorVec<T>) -> ColorVec<T> {
+    ColorVec {
+        c: [
+            (a.c[1] * b.c[2] - a.c[2] * b.c[1]).conj(),
+            (a.c[2] * b.c[0] - a.c[0] * b.c[2]).conj(),
+            (a.c[0] * b.c[1] - a.c[1] * b.c[0]).conj(),
+        ],
+    }
+}
+
+/// The 12-real compressed representation of an SU(3) link matrix
+/// (Section V-C1: "only the first two rows ... are stored in device memory").
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+#[repr(C)]
+pub struct Su3Compressed<T> {
+    /// First two rows of the matrix.
+    pub rows: [[Complex<T>; 3]; 2],
+}
+
+impl<T: Real> Su3Compressed<T> {
+    /// Reconstruct the full matrix: the third row is the conjugate cross
+    /// product of the first two. This costs extra flops that the paper's
+    /// "effective Gflops" metric deliberately does not count.
+    #[inline]
+    pub fn reconstruct(&self) -> Su3<T> {
+        let r0 = ColorVec { c: self.rows[0] };
+        let r1 = ColorVec { c: self.rows[1] };
+        let r2 = conj_cross(&r0, &r1);
+        let mut out = Su3::zero();
+        out.m[0] = r0.c;
+        out.m[1] = r1.c;
+        out.m[2] = r2.c;
+        out
+    }
+}
+
+impl<T: Real> Mul for Su3<T> {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        let mut out = Self::zero();
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut acc = Complex::zero();
+                for k in 0..3 {
+                    acc = self.m[i][k].mul_add(rhs.m[k][j], acc);
+                }
+                out.m[i][j] = acc;
+            }
+        }
+        out
+    }
+}
+
+impl<T: Real> Add for Su3<T> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        let mut out = Self::zero();
+        for i in 0..3 {
+            for j in 0..3 {
+                out.m[i][j] = self.m[i][j] + rhs.m[i][j];
+            }
+        }
+        out
+    }
+}
+
+impl<T: Real> Sub for Su3<T> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        let mut out = Self::zero();
+        for i in 0..3 {
+            for j in 0..3 {
+                out.m[i][j] = self.m[i][j] - rhs.m[i][j];
+            }
+        }
+        out
+    }
+}
+
+impl<T> Index<(usize, usize)> for Su3<T> {
+    type Output = Complex<T>;
+    #[inline(always)]
+    fn index(&self, (i, j): (usize, usize)) -> &Complex<T> {
+        &self.m[i][j]
+    }
+}
+
+impl<T> IndexMut<(usize, usize)> for Su3<T> {
+    #[inline(always)]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex<T> {
+        &mut self.m[i][j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::C64;
+
+    /// A hand-built SU(3) element: block-diagonal embedding of an SU(2)
+    /// rotation together with a compensating phase.
+    fn sample_su3() -> Su3<f64> {
+        let (c, s) = (0.6, 0.8);
+        let mut u = Su3::identity();
+        u.m[0][0] = C64::new(c, 0.0);
+        u.m[0][1] = C64::new(s, 0.0);
+        u.m[1][0] = C64::new(-s, 0.0);
+        u.m[1][1] = C64::new(c, 0.0);
+        u
+    }
+
+    fn sample_su3_complex() -> Su3<f64> {
+        // exp(i θ λ) style element built by reunitarizing a perturbed identity.
+        let mut u = Su3::identity();
+        u.m[0][1] = C64::new(0.3, 0.2);
+        u.m[1][2] = C64::new(-0.1, 0.4);
+        u.m[2][0] = C64::new(0.05, -0.15);
+        u.m[0][0] = C64::new(0.9, 0.1);
+        u.reunitarize()
+    }
+
+    #[test]
+    fn identity_is_special_unitary() {
+        assert!(Su3::<f64>::identity().is_special_unitary(1e-15));
+    }
+
+    #[test]
+    fn sample_is_special_unitary() {
+        assert!(sample_su3().is_special_unitary(1e-15));
+        assert!(sample_su3_complex().is_special_unitary(1e-12));
+    }
+
+    #[test]
+    fn adjoint_is_inverse_for_unitary() {
+        let u = sample_su3_complex();
+        let prod = u * u.adjoint();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod.m[i][j].re - expect).abs() < 1e-12);
+                assert!(prod.m[i][j].im.abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn compress_reconstruct_roundtrip() {
+        let u = sample_su3_complex();
+        let rec = u.compress().reconstruct();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((rec.m[i][j].re - u.m[i][j].re).abs() < 1e-12, "({i},{j})");
+                assert!((rec.m[i][j].im - u.m[i][j].im).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn adj_mul_vec_matches_explicit_adjoint() {
+        let u = sample_su3_complex();
+        let v = ColorVec::new(C64::new(1.0, 2.0), C64::new(-0.5, 0.3), C64::new(0.0, -1.0));
+        let a = u.adj_mul_vec(&v);
+        let b = u.adjoint().mul_vec(&v);
+        for i in 0..3 {
+            assert!((a.c[i].re - b.c[i].re).abs() < 1e-13);
+            assert!((a.c[i].im - b.c[i].im).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn mul_vec_preserves_norm_for_unitary() {
+        let u = sample_su3_complex();
+        let v = ColorVec::new(C64::new(1.0, -1.0), C64::new(2.0, 0.5), C64::new(0.0, 3.0));
+        let w = u.mul_vec(&v);
+        assert!((w.norm_sqr() - v.norm_sqr()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_of_group_element_is_one() {
+        let d = sample_su3_complex().det();
+        assert!((d.re - 1.0).abs() < 1e-12);
+        assert!(d.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_of_identity() {
+        let t = Su3::<f64>::identity().trace();
+        assert_eq!(t, C64::new(3.0, 0.0));
+    }
+
+    #[test]
+    fn reunitarize_fixes_perturbed_matrix() {
+        let mut u = sample_su3();
+        u.m[0][0].re += 0.05;
+        u.m[1][2].im += 0.03;
+        assert!(!u.is_special_unitary(1e-6));
+        assert!(u.reunitarize().is_special_unitary(1e-12));
+    }
+
+    #[test]
+    fn unitary_elements_bounded_by_one() {
+        // The half-precision gauge format relies on this (Section V-C3).
+        let u = sample_su3_complex();
+        assert!(u.max_abs() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn matrix_product_associative() {
+        let a = sample_su3();
+        let b = sample_su3_complex();
+        let c = b.adjoint();
+        let lhs = (a * b) * c;
+        let rhs = a * (b * c);
+        assert!((lhs.norm_sqr() - rhs.norm_sqr()).abs() < 1e-10);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((lhs.m[i][j].re - rhs.m[i][j].re).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cast_roundtrip_f32() {
+        let u = sample_su3_complex();
+        let v: Su3<f32> = u.cast();
+        let w: Su3<f64> = v.cast();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((w.m[i][j].re - u.m[i][j].re).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Multi-rank solve driver: spawns one thread per "GPU", wires up the
+//! communicator world(s), runs the even-odd preconditioned solve (source
+//! preparation → Krylov solve on the odd parity → even reconstruction), and
+//! gathers the global solution — the full path a Chroma propagator
+//! calculation drives through the parallel library.
+
+use crate::rank_op::{CommStrategy, ParallelWilsonCloverOp};
+use crate::slice::{gather_spinor, slice_spinor};
+use quda_dirac::WilsonParams;
+use quda_fields::host::{GaugeConfig, HostSpinorField};
+use quda_fields::precision::{Double, Half, Precision, Quarter, Single};
+use quda_lattice::geometry::Parity;
+use quda_lattice::partition::TimePartition;
+use quda_solvers::blas;
+use quda_solvers::operator::LinearOperator;
+use quda_solvers::params::{SolveResult, SolverParams};
+
+/// The solver precision modes measured in the paper (Section VII-A).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum PrecisionMode {
+    /// Uniform double.
+    Double,
+    /// Uniform single.
+    Single,
+    /// Uniform half (not a production mode; useful for ablations).
+    Half,
+    /// Mixed single-half (reliable updates).
+    SingleHalf,
+    /// Mixed double-half.
+    DoubleHalf,
+    /// Mixed double-single.
+    DoubleSingle,
+    /// Mixed double-quarter (8-bit sloppy iterations — the Section V-C3
+    /// "(or even 8-bit)" extension).
+    DoubleQuarter,
+}
+
+impl PrecisionMode {
+    /// The paper's name for the mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrecisionMode::Double => "double",
+            PrecisionMode::Single => "single",
+            PrecisionMode::Half => "half",
+            PrecisionMode::SingleHalf => "single-half",
+            PrecisionMode::DoubleHalf => "double-half",
+            PrecisionMode::DoubleSingle => "double-single",
+            PrecisionMode::DoubleQuarter => "double-quarter",
+        }
+    }
+
+    /// Whether this is a mixed-precision mode.
+    pub fn is_mixed(self) -> bool {
+        matches!(
+            self,
+            PrecisionMode::SingleHalf
+                | PrecisionMode::DoubleHalf
+                | PrecisionMode::DoubleSingle
+                | PrecisionMode::DoubleQuarter
+        )
+    }
+}
+
+/// Which Krylov solver to run (Section V: "QUDA provides highly optimized
+/// CG and BiCGstab linear solvers").
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SolverKind {
+    /// BiCGstab — the production solver.
+    BiCgStab,
+    /// CG on the normal equations (uniform-precision modes only).
+    Cgnr,
+}
+
+/// Everything needed to run one parallel solve.
+#[derive(Copy, Clone, Debug)]
+pub struct ParallelSolveSpec {
+    /// Temporal partition (global dims + rank count).
+    pub part: TimePartition,
+    /// Operator parameters.
+    pub wilson: WilsonParams,
+    /// Precision mode.
+    pub mode: PrecisionMode,
+    /// Face-exchange strategy.
+    pub strategy: CommStrategy,
+    /// Krylov method.
+    pub solver: SolverKind,
+    /// Solver controls.
+    pub params: SolverParams,
+}
+
+/// Run the full even-odd solve `M x = b` in parallel. Returns the global
+/// solution (both parities) and the (rank-identical) solve statistics.
+pub fn solve_full_parallel(
+    cfg: &GaugeConfig,
+    b: &HostSpinorField,
+    spec: &ParallelSolveSpec,
+) -> (HostSpinorField, SolveResult) {
+    match spec.mode {
+        PrecisionMode::Double => run_world::<Double, Double>(cfg, b, spec, false),
+        PrecisionMode::Single => run_world::<Single, Single>(cfg, b, spec, false),
+        PrecisionMode::Half => run_world::<Half, Half>(cfg, b, spec, false),
+        PrecisionMode::SingleHalf => run_world::<Single, Half>(cfg, b, spec, true),
+        PrecisionMode::DoubleHalf => run_world::<Double, Half>(cfg, b, spec, true),
+        PrecisionMode::DoubleSingle => run_world::<Double, Single>(cfg, b, spec, true),
+        PrecisionMode::DoubleQuarter => run_world::<Double, Quarter>(cfg, b, spec, true),
+    }
+}
+
+fn run_world<H: Precision, L: Precision>(
+    cfg: &GaugeConfig,
+    b: &HostSpinorField,
+    spec: &ParallelSolveSpec,
+    mixed: bool,
+) -> (HostSpinorField, SolveResult) {
+    let part = spec.part;
+    let world_hi = quda_comm::comm_world(part.n_ranks);
+    let mut world_lo: Vec<_> = quda_comm::comm_world(part.n_ranks).into_iter().map(Some).collect();
+    let handles: Vec<_> = world_hi
+        .into_iter()
+        .enumerate()
+        .map(|(rank, comm_hi)| {
+            let comm_lo = world_lo[rank].take().unwrap();
+            let cfg = cfg.clone();
+            let b = b.clone();
+            let spec = *spec;
+            std::thread::spawn(move || {
+                let (x, res) = run_rank::<H, L>(&cfg, &b, &spec, rank, comm_hi, comm_lo, mixed);
+                (rank, x, res)
+            })
+        })
+        .collect();
+    let mut results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    results.sort_by_key(|(r, _, _)| *r);
+    let stats = results[0].2.clone();
+    let locals: Vec<_> = results.into_iter().map(|(_, x, _)| x).collect();
+    (gather_spinor(&locals, &part), stats)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_rank<H: Precision, L: Precision>(
+    cfg: &GaugeConfig,
+    b: &HostSpinorField,
+    spec: &ParallelSolveSpec,
+    rank: usize,
+    comm_hi: quda_comm::Communicator,
+    comm_lo: quda_comm::Communicator,
+    mixed: bool,
+) -> (HostSpinorField, SolveResult) {
+    let part = spec.part;
+    let mut op_hi =
+        ParallelWilsonCloverOp::<H>::new(cfg, part, rank, comm_hi, spec.wilson, spec.strategy);
+    let local_b = slice_spinor(b, &part, rank);
+
+    // Upload both parities of the local source.
+    let mut b_even = op_hi.alloc();
+    b_even.upload(&local_b, Parity::Even);
+    let mut b_odd = op_hi.alloc();
+    b_odd.upload(&local_b, Parity::Odd);
+
+    // b̂_o = b_o + ½ D_oe T_ee⁻¹ b_e.
+    let mut bhat = op_hi.alloc();
+    op_hi.prepare_source_par(&mut bhat, &b_even, &b_odd);
+
+    // Solve M̂ x_o = b̂_o.
+    let mut x_odd = op_hi.alloc();
+    blas::zero(&mut x_odd);
+    let result = if mixed {
+        assert_eq!(
+            spec.solver,
+            SolverKind::BiCgStab,
+            "mixed-precision modes use the reliably updated BiCGstab solver"
+        );
+        let mut op_lo =
+            ParallelWilsonCloverOp::<L>::new(cfg, part, rank, comm_lo, spec.wilson, spec.strategy);
+        quda_solvers::mixed::bicgstab_reliable(&mut op_hi, &mut op_lo, &mut x_odd, &bhat, &spec.params)
+    } else {
+        match spec.solver {
+            SolverKind::BiCgStab => {
+                quda_solvers::bicgstab::bicgstab(&mut op_hi, &mut x_odd, &bhat, &spec.params)
+            }
+            SolverKind::Cgnr => quda_solvers::cg::cgnr(&mut op_hi, &mut x_odd, &bhat, &spec.params),
+        }
+    };
+
+    // x_e = T_ee⁻¹ (b_e + ½ D_eo x_o).
+    let mut x_even = op_hi.alloc();
+    op_hi.reconstruct_even_par(&mut x_even, &b_even, &mut x_odd);
+
+    let mut x_host = HostSpinorField::zero(part.local_dims());
+    x_even.download(&mut x_host, Parity::Even);
+    x_odd.download(&mut x_host, Parity::Odd);
+    (x_host, result)
+}
+
+/// Verify a solution of the *full* system on the host:
+/// returns `‖b − M x‖ / ‖b‖` computed with the dense reference operator.
+pub fn verify_full_solution(
+    cfg: &GaugeConfig,
+    wilson: &WilsonParams,
+    x: &HostSpinorField,
+    b: &HostSpinorField,
+) -> f64 {
+    use quda_fields::clover_build::clover_both_parities;
+    use quda_math::clover::CloverSite;
+    let d = cfg.dims;
+    let both = clover_both_parities(cfg, wilson.c_sw);
+    let mut by_lex = vec![CloverSite::identity(); d.volume()];
+    for p in [Parity::Even, Parity::Odd] {
+        for cb in 0..d.half_volume() {
+            by_lex[d.lex_index(d.cb_coord(p, cb))] = both[p.as_usize()][cb];
+        }
+    }
+    let mx = quda_dirac::reference::apply_wilson_clover_host(cfg, &by_lex, wilson, x);
+    let mut r2 = 0.0;
+    for i in 0..d.volume() {
+        r2 += (b.data[i] - mx.data[i]).norm_sqr();
+    }
+    (r2 / b.norm_sqr()).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quda_fields::gauge_gen::{random_spinor_field, weak_field};
+    use quda_lattice::geometry::LatticeDims;
+
+    fn spec(ranks: usize, mode: PrecisionMode, strategy: CommStrategy, tol: f64) -> ParallelSolveSpec {
+        let d = LatticeDims::new(4, 4, 2, 8);
+        ParallelSolveSpec {
+            part: TimePartition::new(d, ranks),
+            wilson: WilsonParams { mass: 0.3, c_sw: 1.0 },
+            mode,
+            strategy,
+            solver: SolverKind::BiCgStab,
+            params: SolverParams { tol, max_iter: 2000, delta: 1e-1 },
+        }
+    }
+
+    fn run(spec: &ParallelSolveSpec, seed: u64) -> (f64, SolveResult) {
+        let cfg = weak_field(spec.part.global, 0.15, seed);
+        let b = random_spinor_field(spec.part.global, seed + 1);
+        let (x, res) = solve_full_parallel(&cfg, &b, spec);
+        let rel = verify_full_solution(&cfg, &spec.wilson, &x, &b);
+        (rel, res)
+    }
+
+    #[test]
+    fn two_rank_double_solve_verifies_against_reference() {
+        let (rel, res) = run(&spec(2, PrecisionMode::Double, CommStrategy::NoOverlap, 1e-10), 3);
+        assert!(res.converged);
+        assert!(rel < 1e-9, "full-system residual {rel}");
+    }
+
+    #[test]
+    fn overlap_strategy_gives_same_answer() {
+        let s1 = spec(2, PrecisionMode::Double, CommStrategy::NoOverlap, 1e-10);
+        let s2 = spec(2, PrecisionMode::Double, CommStrategy::Overlap, 1e-10);
+        let cfg = weak_field(s1.part.global, 0.15, 9);
+        let b = random_spinor_field(s1.part.global, 10);
+        let (x1, r1) = solve_full_parallel(&cfg, &b, &s1);
+        let (x2, r2) = solve_full_parallel(&cfg, &b, &s2);
+        // Identical numerics: same iteration count, bit-identical solutions
+        // (deterministic reductions make this exact).
+        assert_eq!(r1.iterations, r2.iterations);
+        assert_eq!(x1.max_site_dist(&x2), 0.0);
+    }
+
+    #[test]
+    fn four_rank_matches_one_rank() {
+        let s1 = spec(1, PrecisionMode::Double, CommStrategy::NoOverlap, 1e-10);
+        let s4 = spec(4, PrecisionMode::Double, CommStrategy::Overlap, 1e-10);
+        let cfg = weak_field(s1.part.global, 0.15, 21);
+        let b = random_spinor_field(s1.part.global, 22);
+        let (x1, r1) = solve_full_parallel(&cfg, &b, &s1);
+        let (x4, r4) = solve_full_parallel(&cfg, &b, &s4);
+        assert!(r1.converged && r4.converged);
+        let dist = x1.max_site_dist(&x4);
+        assert!(dist < 1e-10, "1-rank vs 4-rank distance {dist}");
+    }
+
+    #[test]
+    fn mixed_single_half_parallel_solve() {
+        let (rel, res) = run(&spec(2, PrecisionMode::SingleHalf, CommStrategy::Overlap, 2e-6), 31);
+        assert!(res.converged, "residual {rel}");
+        assert!(rel < 1e-5, "full-system residual {rel}");
+        assert!(res.reliable_updates > 0);
+    }
+
+    #[test]
+    fn mixed_double_half_parallel_solve() {
+        let (rel, res) = run(&spec(2, PrecisionMode::DoubleHalf, CommStrategy::NoOverlap, 1e-10), 41);
+        assert!(res.converged, "residual {rel}");
+        assert!(rel < 1e-9, "full-system residual {rel}");
+    }
+
+    #[test]
+    fn mode_names_match_paper() {
+        assert_eq!(PrecisionMode::SingleHalf.name(), "single-half");
+        assert_eq!(PrecisionMode::DoubleHalf.name(), "double-half");
+        assert!(PrecisionMode::SingleHalf.is_mixed());
+        assert!(!PrecisionMode::Double.is_mixed());
+    }
+}

@@ -1,0 +1,356 @@
+//! Spinor-face and gauge-ghost exchange between time-slice domains
+//! (Sections VI-B, VI-C; Fig. 3).
+//!
+//! Per dslash application each rank
+//!
+//! 1. gathers the projected 12 components of every site on its two boundary
+//!    time-slices (a raw copy, since `P±4` is diagonal — footnote 3),
+//! 2. sends the last-slice face *forward* (it becomes the receiver's
+//!    backward ghost, consumed by the receiver's `P+4` gather) and the
+//!    first-slice face *backward*,
+//! 3. stores received faces in the spinor field's ghost end zone.
+//!
+//! The send and receive halves are separate functions so the overlapped
+//! strategy can compute the interior volume between them (Section VI-D2).
+//!
+//! Wire format matches the storage precision: f64 or f32 payloads for the
+//! float precisions; half precision sends the quantized `i16` components
+//! followed by one `f32` normalization per face site — "for half precision
+//! the extra normalization constant for each (12 component) spinor is also
+//! required" (Section VI-C).
+
+use bytes::Bytes;
+use quda_comm::Communicator;
+use quda_dirac::gather_face_site;
+use quda_fields::precision::Precision;
+use quda_fields::{GaugeFieldCb, SpinorFieldCb};
+use quda_lattice::geometry::{LatticeDims, Parity, DIR_T};
+use quda_lattice::stencil::Stencil;
+use quda_math::half::Fixed16;
+use quda_math::real::Real;
+use quda_math::spinor::{HalfSpinor, HALF_SPINOR_REALS};
+use quda_math::su3::Su3;
+
+/// Tag for faces travelling forward (towards higher t).
+const TAG_FACE_FWD: u32 = 1;
+/// Tag for faces travelling backward.
+const TAG_FACE_BWD: u32 = 2;
+/// Tag base for the one-time gauge ghost exchange.
+const TAG_GAUGE: u32 = 8;
+
+/// Encode a gathered face (one f64 per real, `faces × 12` entries) at the
+/// wire precision of `P`.
+fn encode_face<P: Precision>(values: &[f64]) -> Bytes {
+    match (P::NEEDS_NORM, P::STORAGE_BYTES) {
+        (false, 8) => quda_comm::pack_f64(values),
+        (false, _) => {
+            let v32: Vec<f32> = values.iter().map(|&x| x as f32).collect();
+            quda_comm::pack_f32(&v32)
+        }
+        (true, _) => {
+            // Half precision: per-site quantization with a shared norm.
+            let sites = values.len() / HALF_SPINOR_REALS;
+            let mut ints = Vec::with_capacity(values.len());
+            let mut norms = Vec::with_capacity(sites);
+            for s in 0..sites {
+                let block = &values[s * HALF_SPINOR_REALS..(s + 1) * HALF_SPINOR_REALS];
+                let norm = block.iter().fold(0.0f64, |m, x| m.max(x.abs()));
+                let norm = if norm == 0.0 { 1.0 } else { norm };
+                norms.push(norm as f32);
+                for &x in block {
+                    ints.push(Fixed16::quantize((x / norm) as f32).0);
+                }
+            }
+            let mut buf = Vec::with_capacity(ints.len() * 2 + norms.len() * 4);
+            buf.extend_from_slice(&quda_comm::pack_i16(&ints));
+            buf.extend_from_slice(&quda_comm::pack_f32(&norms));
+            Bytes::from(buf)
+        }
+    }
+}
+
+/// Decode a face payload back to f64 values.
+fn decode_face<P: Precision>(bytes: &[u8], sites: usize) -> Vec<f64> {
+    match (P::NEEDS_NORM, P::STORAGE_BYTES) {
+        (false, 8) => quda_comm::unpack_f64(bytes),
+        (false, _) => quda_comm::unpack_f32(bytes).into_iter().map(|x| x as f64).collect(),
+        (true, _) => {
+            let split = sites * HALF_SPINOR_REALS * 2;
+            let ints = quda_comm::unpack_i16(&bytes[..split]);
+            let norms = quda_comm::unpack_f32(&bytes[split..]);
+            assert_eq!(norms.len(), sites);
+            let mut out = Vec::with_capacity(ints.len());
+            for s in 0..sites {
+                let norm = norms[s] as f64;
+                for k in 0..HALF_SPINOR_REALS {
+                    out.push(Fixed16(ints[s * HALF_SPINOR_REALS + k]).dequantize() as f64 * norm);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Bytes on the wire for one face at precision `P` (used by traffic
+/// accounting and tested against the actual payloads).
+pub fn face_wire_bytes<P: Precision>(face_sites: usize) -> usize {
+    let data = face_sites * HALF_SPINOR_REALS * P::STORAGE_BYTES;
+    let norms = if P::NEEDS_NORM { face_sites * 4 } else { 0 };
+    data + norms
+}
+
+/// Gather both boundary faces of `field` and start the sends (Fig. 3's
+/// device-to-host gather + non-blocking message passing).
+pub fn send_faces<P: Precision>(
+    comm: &mut Communicator,
+    field: &SpinorFieldCb<P>,
+    basis: &quda_math::gamma::SpinBasis,
+    stencil: &Stencil,
+    dagger: bool,
+) {
+    let faces = field.face_sites();
+    assert!(faces > 0, "field has no ghost end zone");
+    // Last time-slice → forward neighbor.
+    let mut fwd = Vec::with_capacity(faces * HALF_SPINOR_REALS);
+    for f in 0..faces {
+        let h = gather_face_site(field, basis, stencil, true, f, dagger);
+        for r in h.to_reals() {
+            fwd.push(r.to_f64());
+        }
+    }
+    comm.send(comm.forward(), TAG_FACE_FWD, encode_face::<P>(&fwd));
+    // First time-slice → backward neighbor.
+    let mut bwd = Vec::with_capacity(faces * HALF_SPINOR_REALS);
+    for f in 0..faces {
+        let h = gather_face_site(field, basis, stencil, false, f, dagger);
+        for r in h.to_reals() {
+            bwd.push(r.to_f64());
+        }
+    }
+    comm.send(comm.backward(), TAG_FACE_BWD, encode_face::<P>(&bwd));
+}
+
+/// Receive both faces and store them in the ghost end zone.
+pub fn recv_faces<P: Precision>(comm: &mut Communicator, field: &mut SpinorFieldCb<P>) {
+    let faces = field.face_sites();
+    // From the backward neighbor: its last slice = our backward ghost.
+    let payload = comm.recv(comm.backward(), TAG_FACE_FWD);
+    let values = decode_face::<P>(&payload, faces);
+    store_ghost(field, true, &values);
+    // From the forward neighbor: its first slice = our forward ghost.
+    let payload = comm.recv(comm.forward(), TAG_FACE_BWD);
+    let values = decode_face::<P>(&payload, faces);
+    store_ghost(field, false, &values);
+}
+
+fn store_ghost<P: Precision>(field: &mut SpinorFieldCb<P>, backward: bool, values: &[f64]) {
+    let faces = field.face_sites();
+    assert_eq!(values.len(), faces * HALF_SPINOR_REALS);
+    for f in 0..faces {
+        let mut reals = [P::Arith::ZERO; HALF_SPINOR_REALS];
+        for (k, r) in reals.iter_mut().enumerate() {
+            *r = P::Arith::from_f64(values[f * HALF_SPINOR_REALS + k]);
+        }
+        let h = HalfSpinor::from_reals(&reals);
+        field.set_ghost(backward, f, &h);
+    }
+}
+
+/// Blocking exchange: send + receive (the no-overlap strategy's
+/// communication phase, Section VI-D1).
+pub fn exchange_spinor_ghosts<P: Precision>(
+    comm: &mut Communicator,
+    field: &mut SpinorFieldCb<P>,
+    basis: &quda_math::gamma::SpinBasis,
+    stencil: &Stencil,
+    dagger: bool,
+) {
+    send_faces(comm, field, basis, stencil, dagger);
+    recv_faces(comm, field);
+}
+
+/// One-time exchange of the gauge ghost slice at program initialization
+/// (Section VI-B: "since the link matrices are constant throughout the
+/// execution of the linear solver, we transfer the adjoining link matrices
+/// in the program initialization").
+///
+/// Each rank sends, per parity, the temporal links of its *last* time-slice
+/// forward; the receiver hides them in the pad region of its own gauge
+/// arrays.
+pub fn exchange_gauge_ghosts<P: Precision>(
+    comm: &mut Communicator,
+    gauge: &mut GaugeFieldCb<P>,
+    dims: LatticeDims,
+) {
+    let half_vs = dims.half_spatial_volume();
+    for parity in [Parity::Even, Parity::Odd] {
+        let tag = TAG_GAUGE + parity.as_usize() as u32;
+        let mut flat = Vec::with_capacity(half_vs * 18);
+        for face in 0..half_vs {
+            let cb = (dims.t - 1) * half_vs + face;
+            let u: Su3<f64> = gauge.link(parity, DIR_T, cb).cast();
+            for i in 0..3 {
+                for j in 0..3 {
+                    flat.push(u.m[i][j].re);
+                    flat.push(u.m[i][j].im);
+                }
+            }
+        }
+        comm.send(comm.forward(), tag, quda_comm::pack_f64(&flat));
+        let recv = quda_comm::unpack_f64(&comm.recv(comm.backward(), tag));
+        assert_eq!(recv.len(), half_vs * 18);
+        for face in 0..half_vs {
+            let mut u = Su3::zero();
+            let base = face * 18;
+            let mut k = 0;
+            for i in 0..3 {
+                for j in 0..3 {
+                    u.m[i][j] = quda_math::complex::C64::new(recv[base + k], recv[base + k + 1]);
+                    k += 2;
+                }
+            }
+            gauge.set_ghost_link(parity, DIR_T, face, &u);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quda_fields::gauge_gen::random_spinor_field;
+    use quda_fields::precision::{Double, Half, Single};
+    use quda_math::gamma::{GammaBasis, SpinBasis};
+
+    fn dims() -> LatticeDims {
+        LatticeDims::new(4, 4, 2, 4)
+    }
+
+    #[test]
+    fn wire_bytes_match_payloads() {
+        let d = dims();
+        let basis = SpinBasis::new(GammaBasis::NonRelativistic);
+        let stencil = Stencil::new(d, true);
+        let host = random_spinor_field(d, 3);
+        macro_rules! check {
+            ($p:ty) => {{
+                let mut world = quda_comm::comm_world(1);
+                let mut comm = world.pop().unwrap();
+                let mut f = SpinorFieldCb::<$p>::new(d, true);
+                f.upload(&host, Parity::Odd);
+                send_faces(&mut comm, &f, &basis, &stencil, false);
+                let per_face = face_wire_bytes::<$p>(f.face_sites()) as u64;
+                assert_eq!(comm.sent_bytes(), 2 * per_face);
+                recv_faces(&mut comm, &mut f); // self-exchange drains the queue
+            }};
+        }
+        check!(Double);
+        check!(Single);
+        check!(Half);
+    }
+
+    #[test]
+    fn self_exchange_matches_periodic_wrap() {
+        // On a 1-rank world the exchange must reproduce periodic boundary
+        // data: backward ghost = own last slice, forward ghost = own first
+        // slice (raw projected components).
+        let d = dims();
+        let basis = SpinBasis::new(GammaBasis::NonRelativistic);
+        let stencil = Stencil::new(d, true);
+        let host = random_spinor_field(d, 9);
+        let mut world = quda_comm::comm_world(1);
+        let mut comm = world.pop().unwrap();
+        let mut f = SpinorFieldCb::<Double>::new(d, true);
+        f.upload(&host, Parity::Odd);
+        exchange_spinor_ghosts(&mut comm, &mut f, &basis, &stencil, false);
+        let faces = f.face_sites();
+        for face in 0..faces {
+            let expect_b = gather_face_site(&f, &basis, &stencil, true, face, false);
+            assert_eq!(f.get_ghost(true, face), expect_b, "backward ghost face {face}");
+            let expect_f = gather_face_site(&f, &basis, &stencil, false, face, false);
+            assert_eq!(f.get_ghost(false, face), expect_f, "forward ghost face {face}");
+        }
+    }
+
+    #[test]
+    fn two_rank_exchange_crosses_domains() {
+        let d = dims();
+        let basis = SpinBasis::new(GammaBasis::NonRelativistic);
+        let stencil = Stencil::new(d, true);
+        let world = quda_comm::comm_world(2);
+        let hosts = [random_spinor_field(d, 1), random_spinor_field(d, 2)];
+        let handles: Vec<_> = world
+            .into_iter()
+            .zip(hosts.clone())
+            .map(|(mut comm, host)| {
+                let basis = basis.clone();
+                let stencil = stencil.clone();
+                std::thread::spawn(move || {
+                    let mut f = SpinorFieldCb::<Double>::new(d, true);
+                    f.upload(&host, Parity::Odd);
+                    exchange_spinor_ghosts(&mut comm, &mut f, &basis, &stencil, false);
+                    (comm.rank(), f)
+                })
+            })
+            .collect();
+        let mut results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        results.sort_by_key(|(r, _)| *r);
+        // Rank 0's forward ghost must equal rank 1's first-slice gather.
+        let mut f1 = SpinorFieldCb::<Double>::new(d, true);
+        f1.upload(&hosts[1], Parity::Odd);
+        let faces = f1.face_sites();
+        for face in 0..faces {
+            let expect = gather_face_site(&f1, &basis, &stencil, false, face, false);
+            assert_eq!(results[0].1.get_ghost(false, face), expect);
+        }
+        // Rank 1's backward ghost = rank 0's last-slice gather.
+        let mut f0 = SpinorFieldCb::<Double>::new(d, true);
+        f0.upload(&hosts[0], Parity::Odd);
+        for face in 0..faces {
+            let expect = gather_face_site(&f0, &basis, &stencil, true, face, false);
+            assert_eq!(results[1].1.get_ghost(true, face), expect);
+        }
+    }
+
+    #[test]
+    fn half_precision_exchange_bounded_error() {
+        let d = dims();
+        let basis = SpinBasis::new(GammaBasis::NonRelativistic);
+        let stencil = Stencil::new(d, true);
+        let host = random_spinor_field(d, 4);
+        let mut world = quda_comm::comm_world(1);
+        let mut comm = world.pop().unwrap();
+        let mut f = SpinorFieldCb::<Half>::new(d, true);
+        f.upload(&host, Parity::Odd);
+        exchange_spinor_ghosts(&mut comm, &mut f, &basis, &stencil, false);
+        for face in 0..f.face_sites() {
+            let expect = gather_face_site(&f, &basis, &stencil, true, face, false);
+            let got = f.get_ghost(true, face);
+            for i in 0..2 {
+                for c in 0..3 {
+                    let err = (got.h[i].c[c].re - expect.h[i].c[c].re).abs();
+                    assert!(err < 2e-4, "face {face} err {err}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gauge_ghost_self_exchange_is_periodic() {
+        let d = dims();
+        let cfg = quda_fields::gauge_gen::weak_field(d, 0.2, 5);
+        let mut gauge = GaugeFieldCb::<Single>::new(d, true);
+        gauge.upload(&cfg);
+        let mut world = quda_comm::comm_world(1);
+        let mut comm = world.pop().unwrap();
+        exchange_gauge_ghosts(&mut comm, &mut gauge, d);
+        let half_vs = d.half_spatial_volume();
+        for p in [Parity::Even, Parity::Odd] {
+            for face in 0..half_vs {
+                let cb_last = (d.t - 1) * half_vs + face;
+                let expect: Su3<f64> = gauge.link(p, DIR_T, cb_last).cast();
+                let got: Su3<f64> = gauge.ghost_link(p, DIR_T, face).cast();
+                assert!((got - expect).norm_sqr() < 1e-10);
+            }
+        }
+    }
+}

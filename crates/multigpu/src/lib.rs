@@ -1,0 +1,33 @@
+//! # quda-multigpu
+//!
+//! The paper's primary contribution: parallelization of the QUDA solvers
+//! over multiple GPUs by slicing the time dimension (Section VI).
+//!
+//! * [`slice`](mod@slice) — scatter/gather of global fields to time-slice domains,
+//!   including the globally-correct clover term;
+//! * [`ghost`] — spinor-face and gauge-ghost exchange (Figs. 2, 3);
+//! * [`rank_op`] — the per-rank operator with the no-overlap and overlapped
+//!   communication strategies (Section VI-D) and globalized reductions
+//!   (Section VI-E);
+//! * [`driver`] — thread-per-GPU solve driver covering every precision mode
+//!   of Section VII-A;
+//! * [`perf`] — the calibrated performance model that regenerates the
+//!   paper's weak/strong scaling figures on the simulated "9g" cluster;
+//! * [`multidim`] — the future-work extension: a 2-d (Z,T) process-grid
+//!   model quantifying when multi-dimensional decomposition wins.
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod multidim;
+pub mod ghost;
+pub mod perf;
+pub mod rank_op;
+pub mod slice;
+
+pub use driver::{solve_full_parallel, verify_full_solution, ParallelSolveSpec, PrecisionMode};
+pub use ghost::{exchange_gauge_ghosts, exchange_spinor_ghosts, face_wire_bytes};
+pub use multidim::{best_grid, sustained_gflops_2d, ProcessGrid};
+pub use perf::{evaluate, min_gpus, solver_memory_per_gpu, PerfInput, PerfReport};
+pub use rank_op::{CommStrategy, ParallelWilsonCloverOp};
+pub use slice::{gather_spinor, local_clover, slice_config, slice_spinor};

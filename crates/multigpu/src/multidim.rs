@@ -1,0 +1,233 @@
+//! Multi-dimensional decomposition — the paper's future work, modeled.
+//!
+//! Section VI-A: "If one were to attempt to scale to hundreds of GPUs or
+//! more, multi-dimensional parallelization would clearly be needed to keep
+//! the local surface to volume ratio under control ... Work in this
+//! direction is underway." This module extends the performance model to a
+//! 2-d (Z, T) process grid so that trade-off can be quantified: the 1-d
+//! slicing runs out of time-extent at `T/2` GPUs and its face cost is
+//! constant while the local volume shrinks; a 2-d grid keeps the surface
+//! growing with the square root instead.
+//!
+//! Faces in non-temporal directions carry the same 12 reals per site — "it
+//! is true in general (for all directions) that only 12 numbers need be
+//! transferred", with the projector applied explicitly before the transfer
+//! (footnote 3) — so the message model is unchanged; only the face areas
+//! and count differ.
+
+use crate::perf::{face_bytes, mode_tags, PerfInput};
+use quda_fields::precision::PrecisionTag;
+use quda_gpusim::kernel::{kernel_time, KernelWork};
+use quda_gpusim::transfer::{allreduce_time, network_time, CopyKind, Direction, pcie_time};
+use quda_lattice::geometry::LatticeDims;
+
+/// A 2-d process grid over the Z and T dimensions.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ProcessGrid {
+    /// Ranks along Z.
+    pub nz: usize,
+    /// Ranks along T.
+    pub nt: usize,
+}
+
+impl ProcessGrid {
+    /// Total GPUs.
+    pub fn ranks(&self) -> usize {
+        self.nz * self.nt
+    }
+
+    /// Whether the grid divides the lattice with even local extents.
+    pub fn divides(&self, dims: LatticeDims) -> bool {
+        dims.z % self.nz == 0
+            && dims.t % self.nt == 0
+            && (dims.z / self.nz) % 2 == 0
+            && (dims.t / self.nt) % 2 == 0
+            && dims.z / self.nz >= 2
+            && dims.t / self.nt >= 2
+    }
+
+    /// Local sub-lattice.
+    pub fn local_dims(&self, dims: LatticeDims) -> LatticeDims {
+        LatticeDims::new(dims.x, dims.y, dims.z / self.nz, dims.t / self.nt)
+    }
+
+    /// All valid grids for `ranks` GPUs on `dims`, 1-d included.
+    pub fn candidates(dims: LatticeDims, ranks: usize) -> Vec<ProcessGrid> {
+        let mut out = Vec::new();
+        let mut nz = 1;
+        while nz <= ranks {
+            if ranks % nz == 0 {
+                let g = ProcessGrid { nz, nt: ranks / nz };
+                if g.divides(dims) {
+                    out.push(g);
+                }
+            }
+            nz *= 2;
+        }
+        out
+    }
+
+    /// Face sites (per parity) exchanged per hopping application, summed
+    /// over the partitioned directions (each cut direction has 2 faces).
+    pub fn face_sites_cb(&self, dims: LatticeDims) -> usize {
+        let ld = self.local_dims(dims);
+        let mut faces = 0;
+        if self.nt > 1 {
+            faces += ld.x * ld.y * ld.z / 2; // T faces (one per direction end)
+        }
+        if self.nz > 1 {
+            faces += ld.x * ld.y * ld.t / 2; // Z faces
+        }
+        faces
+    }
+}
+
+/// Modeled sustained aggregate Gflops of the solver on a 2-d grid, using
+/// the no-overlap strategy (conservative; overlap benefits both equally).
+pub fn sustained_gflops_2d(inp: &PerfInput, grid: ProcessGrid) -> Option<f64> {
+    if !grid.divides(inp.global) {
+        return None;
+    }
+    let (_, sloppy) = mode_tags(inp.mode);
+    let ld = grid.local_dims(inp.global);
+    let sites = ld.half_volume() as u64;
+    let t_dslash = dslash_time_2d(inp, grid, sloppy);
+    // Two clover kernels per operator application (as in the 1-d model).
+    let clover = |axpy: bool| {
+        let b = sloppy.storage_bytes() as u64;
+        let reals = if axpy { 144u64 } else { 120 };
+        kernel_time(
+            &inp.calib.kernel,
+            &inp.gpu,
+            &KernelWork { bytes: sites * reals * b, flops: sites * 552, storage_bytes: sloppy.storage_bytes() },
+        )
+    };
+    let t_matpc = 2.0 * t_dslash + clover(false) + clover(true);
+    let b = sloppy.storage_bytes() as u64;
+    let blas = kernel_time(
+        &inp.calib.kernel,
+        &inp.gpu,
+        &KernelWork { bytes: sites * 528 * b, flops: sites * 1032, storage_bytes: sloppy.storage_bytes() },
+    ) + 4.0 * allreduce_time(&inp.calib.network, grid.ranks());
+    let t_iter = 2.0 * t_matpc + blas;
+    let flops = (2 * sites * quda_dirac::flops::MATPC_FLOPS_PER_SITE + sites * 1032) as f64;
+    Some(grid.ranks() as f64 * flops / t_iter / 1e9)
+}
+
+fn dslash_time_2d(inp: &PerfInput, grid: ProcessGrid, tag: PrecisionTag) -> f64 {
+    let ld = grid.local_dims(inp.global);
+    let sites = ld.half_volume() as u64;
+    let b = tag.storage_bytes() as u64;
+    let kernel = kernel_time(
+        &inp.calib.kernel,
+        &inp.gpu,
+        &KernelWork {
+            bytes: sites * quda_dirac::flops::DSLASH_REALS_PER_SITE * b,
+            flops: sites * 1650,
+            storage_bytes: tag.storage_bytes(),
+        },
+    );
+    let t = &inp.calib.transfer;
+    let mut comm = 0.0;
+    let mut add_direction = |face_sites: usize| {
+        if face_sites == 0 {
+            return;
+        }
+        let msg = face_bytes(tag, face_sites);
+        let gather = crate::perf::d2h_copies(tag) as f64 * t.sync_latency_s
+            + msg as f64 / bw(t, Direction::D2H, inp);
+        let scatter = crate::perf::h2d_copies(tag) as f64 * t.sync_latency_s
+            + msg as f64 / bw(t, Direction::H2D, inp);
+        comm += 2.0 * gather + network_time(&inp.calib.network, msg) + 2.0 * scatter;
+    };
+    if grid.nt > 1 {
+        add_direction(ld.x * ld.y * ld.z / 2);
+    }
+    if grid.nz > 1 {
+        add_direction(ld.x * ld.y * ld.t / 2);
+    }
+    kernel + comm
+}
+
+fn bw(t: &quda_gpusim::calib::TransferCalib, dir: Direction, inp: &PerfInput) -> f64 {
+    let base = pcie_time(t, CopyKind::Sync, dir, inp.numa, 0);
+    let one = pcie_time(t, CopyKind::Sync, dir, inp.numa, 1_000_000);
+    1_000_000.0 / (one - base)
+}
+
+/// The best grid (by modeled Gflops) for a GPU count, among power-of-two
+/// factorizations.
+pub fn best_grid(inp: &PerfInput, ranks: usize) -> Option<(ProcessGrid, f64)> {
+    ProcessGrid::candidates(inp.global, ranks)
+        .into_iter()
+        .filter_map(|g| sustained_gflops_2d(inp, g).map(|f| (g, f)))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::PrecisionMode;
+    use crate::rank_op::CommStrategy;
+
+    fn inp(ranks: usize) -> PerfInput {
+        PerfInput::paper(
+            LatticeDims::spatial_cube(32, 256),
+            ranks.max(1),
+            PrecisionMode::Single,
+            CommStrategy::NoOverlap,
+        )
+    }
+
+    #[test]
+    fn one_d_grid_matches_shape_of_main_model() {
+        // The pure-T grid is the paper's decomposition; its Gflops should
+        // be within a few percent of the main model's no-overlap path.
+        let i = inp(16);
+        let g2d = sustained_gflops_2d(&i, ProcessGrid { nz: 1, nt: 16 }).unwrap();
+        let g1d = crate::perf::evaluate(&i).sustained_gflops;
+        let ratio = g2d / g1d;
+        assert!((0.85..1.15).contains(&ratio), "2d(1xT) {g2d} vs 1d {g1d}");
+    }
+
+    #[test]
+    fn one_d_runs_out_of_time_extent() {
+        // 32^3x256 with local T >= 2 even: at most 128... but valid
+        // power-of-two candidates stop giving a pure-T grid at 128 ranks;
+        // at 256 ranks only 2-d grids remain.
+        let dims = LatticeDims::spatial_cube(32, 256);
+        let grids = ProcessGrid::candidates(dims, 256);
+        assert!(!grids.is_empty());
+        assert!(grids.iter().all(|g| g.nz > 1), "pure 1-d cannot reach 256 ranks: {grids:?}");
+    }
+
+    #[test]
+    fn two_d_wins_at_large_gpu_counts() {
+        // The paper's motivation: surface/volume control. At 128 GPUs the
+        // T-only slice has local T = 2 (face sites = interior sites); a
+        // balanced grid does better.
+        let i = inp(128);
+        let t_only = sustained_gflops_2d(&i, ProcessGrid { nz: 1, nt: 128 }).unwrap();
+        let (best, best_gflops) = best_grid(&i, 128).unwrap();
+        assert!(best.nz > 1, "expected a 2-d grid to win, got {best:?}");
+        assert!(best_gflops > t_only, "2-d {best_gflops} vs 1-d {t_only}");
+    }
+
+    #[test]
+    fn small_counts_prefer_one_d() {
+        // At modest GPU counts the 1-d slice minimizes the number of cut
+        // directions — the reason the paper chose it.
+        let i = inp(8);
+        let (best, _) = best_grid(&i, 8).unwrap();
+        assert_eq!(best, ProcessGrid { nz: 1, nt: 8 });
+    }
+
+    #[test]
+    fn face_site_accounting() {
+        let dims = LatticeDims::spatial_cube(32, 256);
+        let g = ProcessGrid { nz: 2, nt: 8 };
+        let ld = g.local_dims(dims);
+        assert_eq!(ld, LatticeDims::new(32, 32, 16, 32));
+        assert_eq!(g.face_sites_cb(dims), 32 * 32 * 16 / 2 + 32 * 32 * 32 / 2);
+    }
+}

@@ -1,0 +1,412 @@
+//! The per-rank parallel Wilson-clover operator (Section VI).
+//!
+//! Each rank owns a `T/N` time-slice of the lattice, a [`WilsonCloverOp`]
+//! built on the local volume with an *open* temporal boundary, and a
+//! [`Communicator`]. Every hopping-term application exchanges the spinor
+//! faces first — either blocking ([`CommStrategy::NoOverlap`]) or split
+//! around the interior kernel ([`CommStrategy::Overlap`], the three-stream
+//! scheme of Section VI-D2). Reductions are globalized through the
+//! communicator (Section VI-E).
+
+use crate::ghost::{exchange_gauge_ghosts, exchange_spinor_ghosts, recv_faces, send_faces};
+use crate::slice::{local_clover, slice_config};
+use quda_comm::Communicator;
+use quda_dirac::dslash::{dslash_cb, DslashRegion};
+use quda_dirac::clover_apply::{clover_apply_cb, clover_axpy_cb};
+use quda_dirac::{WilsonCloverOp, WilsonParams, INNER_PARITY, SOLVE_PARITY};
+use quda_fields::host::GaugeConfig;
+use quda_fields::precision::Precision;
+use quda_fields::SpinorFieldCb;
+use quda_lattice::geometry::{LatticeDims, Parity};
+use quda_lattice::partition::TimePartition;
+use quda_math::complex::C64;
+use quda_math::real::Real;
+use quda_solvers::operator::LinearOperator;
+
+/// Communication strategy for the face exchange (Section VI-D).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CommStrategy {
+    /// Communicate up front, then run one kernel over the whole volume.
+    NoOverlap,
+    /// Start sends, compute the interior, receive, finish the faces.
+    Overlap,
+}
+
+/// A rank's share of the parallelized even-odd Wilson-clover operator.
+pub struct ParallelWilsonCloverOp<P: Precision> {
+    /// The local single-device operator (open temporal boundary).
+    pub op: WilsonCloverOp<P>,
+    /// This rank's communicator endpoint.
+    pub comm: Communicator,
+    /// Face-exchange strategy.
+    pub strategy: CommStrategy,
+    /// Whether the lattice is actually split (more than one rank).
+    pub partitioned: bool,
+    /// The partition this rank belongs to.
+    pub part: TimePartition,
+    tmp1: SpinorFieldCb<P>,
+    tmp2: SpinorFieldCb<P>,
+    /// Face exchanges performed (2 per operator application).
+    pub exchange_count: u64,
+}
+
+/// Apply the hopping term with the face exchange appropriate to the
+/// strategy. Free function so callers can split borrows across the
+/// operator's fields.
+#[allow(clippy::too_many_arguments)]
+fn dslash_exchanged<P: Precision>(
+    comm: &mut Communicator,
+    op: &WilsonCloverOp<P>,
+    strategy: CommStrategy,
+    partitioned: bool,
+    out: &mut SpinorFieldCb<P>,
+    input: &mut SpinorFieldCb<P>,
+    out_parity: Parity,
+    dagger: bool,
+) -> u64 {
+    if !partitioned {
+        dslash_cb(out, &op.gauge, input, out_parity, &op.stencil, &op.basis, dagger, DslashRegion::All);
+        return 0;
+    }
+    match strategy {
+        CommStrategy::NoOverlap => {
+            exchange_spinor_ghosts(comm, input, &op.basis, &op.stencil, dagger);
+            dslash_cb(out, &op.gauge, input, out_parity, &op.stencil, &op.basis, dagger, DslashRegion::All);
+        }
+        CommStrategy::Overlap => {
+            send_faces(comm, input, &op.basis, &op.stencil, dagger);
+            dslash_cb(
+                out,
+                &op.gauge,
+                input,
+                out_parity,
+                &op.stencil,
+                &op.basis,
+                dagger,
+                DslashRegion::Interior,
+            );
+            recv_faces(comm, input);
+            dslash_cb(
+                out,
+                &op.gauge,
+                input,
+                out_parity,
+                &op.stencil,
+                &op.basis,
+                dagger,
+                DslashRegion::Faces,
+            );
+        }
+    }
+    1
+}
+
+impl<P: Precision> ParallelWilsonCloverOp<P> {
+    /// Build a rank's operator from the global configuration: slices the
+    /// gauge field, computes the (globally correct) clover term, uploads at
+    /// precision `P`, and performs the one-time gauge ghost exchange.
+    pub fn new(
+        global: &GaugeConfig,
+        part: TimePartition,
+        rank: usize,
+        mut comm: Communicator,
+        wilson: WilsonParams,
+        strategy: CommStrategy,
+    ) -> Self {
+        assert_eq!(comm.rank(), rank);
+        assert_eq!(comm.size(), part.n_ranks);
+        let local_cfg = slice_config(global, &part, rank);
+        let clover = local_clover(global, &part, rank, wilson.c_sw);
+        let mut op =
+            WilsonCloverOp::<P>::from_config_with(&local_cfg, wilson, part.is_partitioned(), Some(clover));
+        if part.is_partitioned() {
+            exchange_gauge_ghosts(&mut comm, &mut op.gauge, part.local_dims());
+        }
+        let tmp1 = op.alloc_spinor();
+        let tmp2 = op.alloc_spinor();
+        ParallelWilsonCloverOp {
+            op,
+            comm,
+            strategy,
+            partitioned: part.is_partitioned(),
+            part,
+            tmp1,
+            tmp2,
+            exchange_count: 0,
+        }
+    }
+
+    /// The parallel even-odd preconditioned application
+    /// `out = T_oo ψ − ¼ D_oe T_ee⁻¹ D_eo ψ`, with a face exchange before
+    /// each hopping term.
+    pub fn apply_matpc_par(
+        &mut self,
+        out: &mut SpinorFieldCb<P>,
+        input: &mut SpinorFieldCb<P>,
+        dagger: bool,
+    ) {
+        self.exchange_count += dslash_exchanged(
+            &mut self.comm,
+            &self.op,
+            self.strategy,
+            self.partitioned,
+            &mut self.tmp1,
+            input,
+            INNER_PARITY,
+            dagger,
+        );
+        clover_apply_cb(
+            &mut self.tmp2,
+            &self.op.clover_inv[INNER_PARITY.as_usize()],
+            &self.tmp1,
+            &self.op.map,
+        );
+        self.exchange_count += dslash_exchanged(
+            &mut self.comm,
+            &self.op,
+            self.strategy,
+            self.partitioned,
+            &mut self.tmp1,
+            &mut self.tmp2,
+            SOLVE_PARITY,
+            dagger,
+        );
+        clover_axpy_cb(
+            out,
+            &self.op.clover[SOLVE_PARITY.as_usize()],
+            input,
+            P::Arith::from_f64(-0.25),
+            &self.tmp1,
+            &self.op.map,
+        );
+        self.op.matpc_count.set(self.op.matpc_count.get() + 1);
+    }
+
+    /// Source preparation `b̂_o = b_o + ½ D_oe T_ee⁻¹ b_e` with exchanges.
+    pub fn prepare_source_par(
+        &mut self,
+        out: &mut SpinorFieldCb<P>,
+        b_even: &SpinorFieldCb<P>,
+        b_odd: &SpinorFieldCb<P>,
+    ) {
+        clover_apply_cb(
+            &mut self.tmp1,
+            &self.op.clover_inv[INNER_PARITY.as_usize()],
+            b_even,
+            &self.op.map,
+        );
+        self.exchange_count += dslash_exchanged(
+            &mut self.comm,
+            &self.op,
+            self.strategy,
+            self.partitioned,
+            &mut self.tmp2,
+            &mut self.tmp1,
+            SOLVE_PARITY,
+            false,
+        );
+        for cb in 0..out.sites() {
+            let v = b_odd.get(cb) + self.tmp2.get(cb).scale_re(P::Arith::from_f64(0.5));
+            out.set(cb, &v);
+        }
+    }
+
+    /// Even-parity reconstruction `x_e = T_ee⁻¹ (b_e + ½ D_eo x_o)`.
+    pub fn reconstruct_even_par(
+        &mut self,
+        x_even: &mut SpinorFieldCb<P>,
+        b_even: &SpinorFieldCb<P>,
+        x_odd: &mut SpinorFieldCb<P>,
+    ) {
+        self.exchange_count += dslash_exchanged(
+            &mut self.comm,
+            &self.op,
+            self.strategy,
+            self.partitioned,
+            &mut self.tmp1,
+            x_odd,
+            INNER_PARITY,
+            false,
+        );
+        for cb in 0..self.tmp1.sites() {
+            let v = b_even.get(cb) + self.tmp1.get(cb).scale_re(P::Arith::from_f64(0.5));
+            self.tmp1.set(cb, &v);
+        }
+        clover_apply_cb(
+            x_even,
+            &self.op.clover_inv[INNER_PARITY.as_usize()],
+            &self.tmp1,
+            &self.op.map,
+        );
+    }
+}
+
+impl<P: Precision> LinearOperator<P> for ParallelWilsonCloverOp<P> {
+    fn dims(&self) -> LatticeDims {
+        self.op.dims
+    }
+
+    fn alloc(&self) -> SpinorFieldCb<P> {
+        self.op.alloc_spinor()
+    }
+
+    fn apply(&mut self, out: &mut SpinorFieldCb<P>, input: &mut SpinorFieldCb<P>) {
+        self.apply_matpc_par(out, input, false);
+    }
+
+    fn apply_dagger(&mut self, out: &mut SpinorFieldCb<P>, input: &mut SpinorFieldCb<P>) {
+        self.apply_matpc_par(out, input, true);
+    }
+
+    fn flops_per_apply(&self) -> u64 {
+        self.op.dims.half_volume() as u64 * quda_dirac::flops::MATPC_FLOPS_PER_SITE
+    }
+
+    fn reduce(&mut self, local: f64) -> f64 {
+        self.comm.allreduce_sum_f64(local)
+    }
+
+    fn reduce_c(&mut self, local: C64) -> C64 {
+        let v = self.comm.allreduce_vec(&[local.re, local.im]);
+        C64::new(v[0], v[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slice::{gather_spinor, slice_spinor};
+    use quda_fields::gauge_gen::{random_spinor_field, weak_field};
+    use quda_fields::host::HostSpinorField;
+    use quda_fields::precision::Double;
+
+    fn global_setup() -> (GaugeConfig, TimePartition, WilsonParams) {
+        let d = LatticeDims::new(4, 4, 2, 8);
+        (weak_field(d, 0.15, 11), TimePartition::new(d, 2), WilsonParams { mass: 0.2, c_sw: 1.0 })
+    }
+
+    fn parallel_matpc(
+        strategy: CommStrategy,
+        dagger: bool,
+    ) -> (HostSpinorField, HostSpinorField) {
+        let (cfg, part, wp) = global_setup();
+        let input = random_spinor_field(part.global, 5);
+
+        // Reference: single-device operator on the full lattice.
+        let ref_op = WilsonCloverOp::<Double>::from_config(&cfg, wp);
+        let mut x = ref_op.alloc_spinor();
+        x.upload(&input, Parity::Odd);
+        let mut out = ref_op.alloc_spinor();
+        let (mut t1, mut t2) = (ref_op.alloc_spinor(), ref_op.alloc_spinor());
+        ref_op.apply_matpc(&mut out, &x, &mut t1, &mut t2, dagger);
+        let mut expect = HostSpinorField::zero(part.global);
+        out.download(&mut expect, Parity::Odd);
+
+        // Parallel: two rank threads.
+        let world = quda_comm::comm_world(part.n_ranks);
+        let handles: Vec<_> = world
+            .into_iter()
+            .enumerate()
+            .map(|(rank, comm)| {
+                let cfg = cfg.clone();
+                let input = input.clone();
+                std::thread::spawn(move || {
+                    let mut op =
+                        ParallelWilsonCloverOp::<Double>::new(&cfg, part, rank, comm, wp, strategy);
+                    let local_in = slice_spinor(&input, &part, rank);
+                    let mut x = op.alloc();
+                    x.upload(&local_in, Parity::Odd);
+                    let mut out = op.alloc();
+                    op.apply_matpc_par(&mut out, &mut x, dagger);
+                    let mut host = HostSpinorField::zero(part.local_dims());
+                    out.download(&mut host, Parity::Odd);
+                    (rank, host)
+                })
+            })
+            .collect();
+        let mut locals: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        locals.sort_by_key(|(r, _)| *r);
+        let locals: Vec<_> = locals.into_iter().map(|(_, f)| f).collect();
+        let got = gather_spinor(&locals, &part);
+        (expect, got)
+    }
+
+    #[test]
+    fn no_overlap_matches_single_device() {
+        let (expect, got) = parallel_matpc(CommStrategy::NoOverlap, false);
+        let dist = expect.max_site_dist(&got);
+        assert!(dist < 1e-12, "max site distance {dist}");
+    }
+
+    #[test]
+    fn overlap_matches_single_device() {
+        let (expect, got) = parallel_matpc(CommStrategy::Overlap, false);
+        let dist = expect.max_site_dist(&got);
+        assert!(dist < 1e-12, "max site distance {dist}");
+    }
+
+    #[test]
+    fn dagger_matches_single_device() {
+        let (expect, got) = parallel_matpc(CommStrategy::Overlap, true);
+        let dist = expect.max_site_dist(&got);
+        assert!(dist < 1e-12, "max site distance {dist}");
+    }
+
+    #[test]
+    fn reductions_are_global() {
+        let (cfg, part, wp) = global_setup();
+        let world = quda_comm::comm_world(part.n_ranks);
+        let handles: Vec<_> = world
+            .into_iter()
+            .enumerate()
+            .map(|(rank, comm)| {
+                let cfg = cfg.clone();
+                std::thread::spawn(move || {
+                    let mut op = ParallelWilsonCloverOp::<Double>::new(
+                        &cfg,
+                        part,
+                        rank,
+                        comm,
+                        wp,
+                        CommStrategy::NoOverlap,
+                    );
+                    op.reduce(1.0 + rank as f64)
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 3.0); // 1 + 2
+        }
+    }
+
+    #[test]
+    fn exchange_counter_tracks_dslashes() {
+        let (cfg, part, wp) = global_setup();
+        let world = quda_comm::comm_world(part.n_ranks);
+        let handles: Vec<_> = world
+            .into_iter()
+            .enumerate()
+            .map(|(rank, comm)| {
+                let cfg = cfg.clone();
+                std::thread::spawn(move || {
+                    let mut op = ParallelWilsonCloverOp::<Double>::new(
+                        &cfg,
+                        part,
+                        rank,
+                        comm,
+                        wp,
+                        CommStrategy::NoOverlap,
+                    );
+                    let mut x = op.alloc();
+                    let mut out = op.alloc();
+                    op.apply_matpc_par(&mut out, &mut x, false);
+                    op.apply_matpc_par(&mut out, &mut x, false);
+                    op.exchange_count
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 4); // 2 dslashes per application
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Scattering global host fields to time-slice domains and gathering them
+//! back — the data movement Chroma performs around a parallel QUDA solve.
+
+use quda_fields::clover_build::{clover_site, sigma_matrices};
+use quda_fields::host::{GaugeConfig, HostSpinorField};
+use quda_lattice::geometry::{Coord, LatticeDims, Parity};
+use quda_lattice::partition::TimePartition;
+use quda_math::clover::CloverSite;
+
+/// The local gauge configuration of `rank`: its `T/N` time-slices.
+pub fn slice_config(global: &GaugeConfig, part: &TimePartition, rank: usize) -> GaugeConfig {
+    assert_eq!(global.dims, part.global);
+    let local_dims = part.local_dims();
+    let mut local = GaugeConfig::unit(local_dims);
+    for c in local_dims.coords() {
+        let gc = Coord::new(c.x, c.y, c.z, part.global_t_of(rank, c.t));
+        for mu in 0..4 {
+            *local.link_mut(c, mu) = *global.link(gc, mu);
+        }
+    }
+    local
+}
+
+/// The local part of a host spinor field.
+pub fn slice_spinor(global: &HostSpinorField, part: &TimePartition, rank: usize) -> HostSpinorField {
+    assert_eq!(global.dims, part.global);
+    let local_dims = part.local_dims();
+    let mut local = HostSpinorField::zero(local_dims);
+    for c in local_dims.coords() {
+        let gc = Coord::new(c.x, c.y, c.z, part.global_t_of(rank, c.t));
+        *local.get_mut(c) = *global.get(gc);
+    }
+    local
+}
+
+/// Reassemble a global field from every rank's local field (rank order).
+pub fn gather_spinor(locals: &[HostSpinorField], part: &TimePartition) -> HostSpinorField {
+    assert_eq!(locals.len(), part.n_ranks);
+    let mut global = HostSpinorField::zero(part.global);
+    let local_dims = part.local_dims();
+    for (rank, local) in locals.iter().enumerate() {
+        assert_eq!(local.dims, local_dims);
+        for c in local_dims.coords() {
+            let gc = Coord::new(c.x, c.y, c.z, part.global_t_of(rank, c.t));
+            *global.get_mut(gc) = *local.get(c);
+        }
+    }
+    global
+}
+
+/// Compute the clover term for `rank`'s local sites **from the global
+/// configuration** — the clover leaves of boundary time-slices reach into
+/// neighboring domains, so a purely local computation would be wrong there.
+/// (Chroma hands QUDA a precomputed clover field for the same reason.)
+pub fn local_clover(
+    global: &GaugeConfig,
+    part: &TimePartition,
+    rank: usize,
+    c_sw: f64,
+) -> [Vec<CloverSite<f64>>; 2] {
+    let sigma = sigma_matrices();
+    let local_dims = part.local_dims();
+    let build = |parity: Parity| -> Vec<CloverSite<f64>> {
+        (0..local_dims.half_volume())
+            .map(|cb| {
+                let c = local_dims.cb_coord(parity, cb);
+                let gc = Coord::new(c.x, c.y, c.z, part.global_t_of(rank, c.t));
+                clover_site(global, &sigma, gc, c_sw)
+            })
+            .collect()
+    };
+    [build(Parity::Even), build(Parity::Odd)]
+}
+
+/// Local dims helper for callers.
+pub fn local_dims(part: &TimePartition) -> LatticeDims {
+    part.local_dims()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quda_fields::gauge_gen::{random_spinor_field, weak_field};
+
+    fn setup() -> (GaugeConfig, TimePartition) {
+        let d = LatticeDims::new(4, 4, 2, 8);
+        (weak_field(d, 0.15, 3), TimePartition::new(d, 4))
+    }
+
+    #[test]
+    fn slices_cover_global_config() {
+        let (cfg, part) = setup();
+        for rank in 0..part.n_ranks {
+            let local = slice_config(&cfg, &part, rank);
+            for c in local.dims.coords() {
+                let gc = Coord::new(c.x, c.y, c.z, part.global_t_of(rank, c.t));
+                assert_eq!(local.link(c, 2), cfg.link(gc, 2));
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_gather_roundtrip() {
+        let (_, part) = setup();
+        let global = random_spinor_field(part.global, 7);
+        let locals: Vec<_> = (0..part.n_ranks).map(|r| slice_spinor(&global, &part, r)).collect();
+        let back = gather_spinor(&locals, &part);
+        assert_eq!(back.max_site_dist(&global), 0.0);
+    }
+
+    #[test]
+    fn local_clover_matches_global_clover() {
+        // The sliced clover must agree with the full-lattice computation at
+        // every local site — including the boundary slices where a naive
+        // local computation would wrap incorrectly.
+        let (cfg, part) = setup();
+        let global_both = quda_fields::clover_build::clover_both_parities(&cfg, 1.3);
+        for rank in [0usize, 3] {
+            let local = local_clover(&cfg, &part, rank, 1.3);
+            let ld = part.local_dims();
+            for p in [Parity::Even, Parity::Odd] {
+                for cb in 0..ld.half_volume() {
+                    let c = ld.cb_coord(p, cb);
+                    let gc = Coord::new(c.x, c.y, c.z, part.global_t_of(rank, c.t));
+                    let gcb = part.global.cb_index(gc);
+                    // Parities agree because local T extents are even.
+                    assert_eq!(gc.parity(), p);
+                    let expect = &global_both[p.as_usize()][gcb];
+                    let got = &local[p.as_usize()][cb];
+                    let mut diff = 0.0f64;
+                    for b in 0..2 {
+                        for i in 0..6 {
+                            diff = diff.max((expect.block[b].diag[i] - got.block[b].diag[i]).abs());
+                        }
+                        for k in 0..15 {
+                            diff = diff
+                                .max((expect.block[b].offdiag[k].re - got.block[b].offdiag[k].re).abs());
+                        }
+                    }
+                    assert!(diff < 1e-14, "rank={rank} p={p:?} cb={cb} diff={diff}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn naive_local_clover_would_be_wrong_at_boundaries() {
+        // Sanity check of the *reason* for local_clover: computing the
+        // clover from the sliced config (periodic local wrap) differs at
+        // boundary time-slices.
+        let (cfg, part) = setup();
+        let rank = 1;
+        let local_cfg = slice_config(&cfg, &part, rank);
+        let naive = quda_fields::clover_build::clover_both_parities(&local_cfg, 1.0);
+        let correct = local_clover(&cfg, &part, rank, 1.0);
+        let ld = part.local_dims();
+        let mut boundary_diff = 0.0f64;
+        for cb in 0..ld.half_volume() {
+            let c = ld.cb_coord(Parity::Even, cb);
+            if c.t != 0 && c.t != ld.t - 1 {
+                continue;
+            }
+            for b in 0..2 {
+                for i in 0..6 {
+                    boundary_diff = boundary_diff.max(
+                        (naive[0][cb].block[b].diag[i] - correct[0][cb].block[b].diag[i]).abs(),
+                    );
+                }
+            }
+        }
+        assert!(boundary_diff > 1e-8, "expected naive slicing to be wrong at the boundary");
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the parallelization layer: over randomized
+//! volumes, rank counts, precisions, and strategies, the partitioned
+//! operator must agree with the single-device one, and the performance
+//! model must respect its structural invariants.
+
+use proptest::prelude::*;
+use quda_dirac::{WilsonCloverOp, WilsonParams};
+use quda_fields::gauge_gen::{random_spinor_field, weak_field};
+use quda_fields::host::HostSpinorField;
+use quda_fields::precision::Double;
+use quda_lattice::geometry::{LatticeDims, Parity};
+use quda_lattice::partition::TimePartition;
+use quda_multigpu::perf::{evaluate, PerfInput};
+use quda_multigpu::rank_op::{CommStrategy, ParallelWilsonCloverOp};
+use quda_multigpu::{gather_spinor, slice_spinor, PrecisionMode};
+
+fn arb_case() -> impl Strategy<Value = (LatticeDims, usize, CommStrategy, bool)> {
+    let spatial = prop_oneof![Just(2usize), Just(4)];
+    (
+        spatial.clone(),
+        spatial.clone(),
+        spatial,
+        prop_oneof![Just(8usize), Just(12)],
+        prop_oneof![Just(1usize), Just(2), Just(4)],
+        prop_oneof![Just(CommStrategy::NoOverlap), Just(CommStrategy::Overlap)],
+        proptest::bool::ANY,
+    )
+        .prop_filter_map("partition must divide", |(x, y, z, t, ranks, strategy, dagger)| {
+            let d = LatticeDims::new(x, y, z, t);
+            (t % ranks == 0 && (t / ranks) % 2 == 0 && t / ranks >= 2)
+                .then_some((d, ranks, strategy, dagger))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn parallel_matpc_always_matches_single_device(
+        (dims, ranks, strategy, dagger) in arb_case(),
+        seed in 0u64..1000,
+    ) {
+        let cfg = weak_field(dims, 0.15, seed);
+        let wp = WilsonParams { mass: 0.25, c_sw: 1.0 };
+        let input = random_spinor_field(dims, seed + 1);
+        // Single-device reference.
+        let ref_op = WilsonCloverOp::<Double>::from_config(&cfg, wp);
+        let mut x = ref_op.alloc_spinor();
+        x.upload(&input, Parity::Odd);
+        let mut out = ref_op.alloc_spinor();
+        let (mut t1, mut t2) = (ref_op.alloc_spinor(), ref_op.alloc_spinor());
+        ref_op.apply_matpc(&mut out, &x, &mut t1, &mut t2, dagger);
+        let mut expect = HostSpinorField::zero(dims);
+        out.download(&mut expect, Parity::Odd);
+        // Partitioned.
+        let part = TimePartition::new(dims, ranks);
+        let world = quda_comm::comm_world(ranks);
+        let handles: Vec<_> = world
+            .into_iter()
+            .enumerate()
+            .map(|(rank, comm)| {
+                let cfg = cfg.clone();
+                let input = input.clone();
+                std::thread::spawn(move || {
+                    let mut op = ParallelWilsonCloverOp::<Double>::new(&cfg, part, rank, comm, wp, strategy);
+                    let local = slice_spinor(&input, &part, rank);
+                    let mut x = quda_solvers::operator::LinearOperator::alloc(&op);
+                    x.upload(&local, Parity::Odd);
+                    let mut out = quda_solvers::operator::LinearOperator::alloc(&op);
+                    op.apply_matpc_par(&mut out, &mut x, dagger);
+                    let mut host = HostSpinorField::zero(part.local_dims());
+                    out.download(&mut host, Parity::Odd);
+                    (rank, host)
+                })
+            })
+            .collect();
+        let mut locals: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        locals.sort_by_key(|(r, _)| *r);
+        let locals: Vec<_> = locals.into_iter().map(|(_, f)| f).collect();
+        let got = gather_spinor(&locals, &part);
+        let dist = expect.max_site_dist(&got);
+        prop_assert!(
+            dist < 1e-11,
+            "dims={dims} ranks={ranks} strategy={strategy:?} dagger={dagger}: dist={dist}"
+        );
+    }
+
+    #[test]
+    fn perf_model_invariants(
+        log_ranks in 0usize..6,
+        mode in prop_oneof![
+            Just(PrecisionMode::Single),
+            Just(PrecisionMode::Double),
+            Just(PrecisionMode::SingleHalf),
+            Just(PrecisionMode::DoubleHalf),
+        ],
+    ) {
+        let ranks = 1usize << log_ranks;
+        let global = LatticeDims::spatial_cube(24, 128);
+        prop_assume!(global.t % ranks == 0 && (global.t / ranks) % 2 == 0);
+        for strategy in [CommStrategy::NoOverlap, CommStrategy::Overlap] {
+            let r = evaluate(&PerfInput::paper(global, ranks, mode, strategy));
+            prop_assert!(r.iteration_time_s > 0.0);
+            prop_assert!(r.sustained_gflops > 0.0);
+            prop_assert!((0.0..=1.0).contains(&r.comm_fraction));
+            prop_assert!(r.memory_per_gpu > 0);
+            // Aggregate = per-GPU × ranks.
+            prop_assert!((r.sustained_gflops - r.per_gpu_gflops * ranks as f64).abs() < 1e-6 * r.sustained_gflops);
+        }
+        // Memory shrinks (weakly) with more GPUs.
+        if global.t % (2 * ranks) == 0 && (global.t / (2 * ranks)) % 2 == 0 && global.t / (2 * ranks) >= 2 {
+            let m1 = quda_multigpu::solver_memory_per_gpu(global, ranks, mode);
+            let m2 = quda_multigpu::solver_memory_per_gpu(global, 2 * ranks, mode);
+            prop_assert!(m2 < m1);
+        }
+    }
+}

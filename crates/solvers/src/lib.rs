@@ -1,0 +1,31 @@
+//! # quda-solvers
+//!
+//! Krylov solvers for the even-odd preconditioned Wilson-clover system:
+//!
+//! * [`blas`] — fused, cost-accounted BLAS1 kernels (Section V-E);
+//! * [`operator`] — the [`operator::LinearOperator`] abstraction with the
+//!   global-reduction hook the parallel solver needs (Section VI-E);
+//! * [`bicgstab`](mod@bicgstab) — the production non-symmetric solver;
+//! * [`cg`](mod@cg) — CG on the normal equations (CGNR);
+//! * [`mixed`] — mixed-precision reliable updates and the defect-correction
+//!   baseline (Section V-D);
+//! * [`params`] — solver parameters matching Section VII-A;
+//! * [`spectral`] — power/inverse-power spectrum probes quantifying the
+//!   condition-number claims of Section II.
+
+#![warn(missing_docs)]
+
+pub mod bicgstab;
+pub mod blas;
+pub mod cg;
+pub mod mixed;
+pub mod operator;
+pub mod params;
+pub mod spectral;
+
+pub use bicgstab::bicgstab;
+pub use cg::cgnr;
+pub use mixed::{bicgstab_defect_correction, bicgstab_reliable};
+pub use operator::{LinearOperator, MatPcOp};
+pub use params::{SolveResult, SolverParams};
+pub use spectral::{estimate_spectrum, lambda_max, lambda_min, SpectrumEstimate};

@@ -1,0 +1,382 @@
+//! Mixed-precision solvers (Section V-D).
+//!
+//! Two strategies are implemented:
+//!
+//! * [`bicgstab_reliable`] — QUDA's production approach: the Krylov
+//!   iteration runs entirely in the fast *sloppy* precision; whenever the
+//!   iterated residual has dropped by a factor δ relative to its maximum
+//!   since the last update, the solution is accumulated into the
+//!   high-precision vector and the *true* residual `b − M̂x` is recomputed
+//!   in high precision and injected ("reliable updates", reference \[21\]). The
+//!   direction is preserved across updates, so a single Krylov space is
+//!   maintained throughout the solve.
+//! * [`bicgstab_defect_correction`] — the traditional alternative the paper
+//!   compares against conceptually: an outer loop that restarts a fresh
+//!   low-precision solve on the current high-precision residual. Restarting
+//!   discards the Krylov space and "increases the total number of solver
+//!   iterations" (Section V-D); the ablation benchmark quantifies it.
+
+use crate::blas::{self, BlasCounters};
+use crate::operator::{residual_norm2, LinearOperator};
+use crate::params::{SolveResult, SolverParams};
+use quda_fields::precision::Precision;
+use quda_fields::SpinorFieldCb;
+use quda_math::complex::C64;
+
+/// Add a low-precision correction into a high-precision vector:
+/// `x_hi += conv(e_lo)`.
+fn accumulate<H: Precision, L: Precision>(
+    x_hi: &mut SpinorFieldCb<H>,
+    e_lo: &SpinorFieldCb<L>,
+    scratch_hi: &mut SpinorFieldCb<H>,
+    c: &mut BlasCounters,
+) {
+    scratch_hi.convert_from(e_lo);
+    blas::axpy(1.0, scratch_hi, x_hi, c);
+}
+
+/// Mixed-precision BiCGstab with reliable updates.
+///
+/// `H` is the outer ("true") precision, `L` the sloppy precision the Krylov
+/// iteration runs in. The paper's production modes are double-half,
+/// single-half, and (for reference) double-single.
+pub fn bicgstab_reliable<H: Precision, L: Precision>(
+    op_hi: &mut dyn LinearOperator<H>,
+    op_lo: &mut dyn LinearOperator<L>,
+    x: &mut SpinorFieldCb<H>,
+    b: &SpinorFieldCb<H>,
+    params: &SolverParams,
+) -> SolveResult {
+    let mut c = BlasCounters::default();
+    let mut matvecs_lo: u64 = 0;
+    let mut matvecs_hi: u64 = 0;
+    let mut reliable_updates: u64 = 0;
+
+    let b_norm2 = op_hi.reduce(blas::norm2(b, &mut c));
+    if b_norm2 == 0.0 {
+        blas::zero(x);
+        return SolveResult { converged: true, ..Default::default() };
+    }
+    let target2 = params.tol * params.tol * b_norm2;
+
+    // True residual in high precision.
+    let mut r_hi = op_hi.alloc();
+    let mut r2 = residual_norm2(op_hi, &mut r_hi, x, b, &mut c);
+    matvecs_hi += 1;
+    if r2 <= target2 {
+        return SolveResult {
+            converged: true,
+            final_residual: (r2 / b_norm2).sqrt(),
+            matvecs: matvecs_hi,
+            op_flops: matvecs_hi * op_hi.flops_per_apply(),
+            blas: c,
+            ..Default::default()
+        };
+    }
+    let mut maxrr = r2.sqrt();
+
+    // Sloppy-precision working set.
+    let mut r = op_lo.alloc();
+    r.convert_from(&r_hi);
+    let mut r0 = op_lo.alloc();
+    blas::copy(&mut r0, &r, &mut c);
+    let mut p = op_lo.alloc();
+    blas::copy(&mut p, &r, &mut c);
+    let mut v = op_lo.alloc();
+    let mut t = op_lo.alloc();
+    let mut x_sloppy = op_lo.alloc();
+    blas::zero(&mut x_sloppy);
+    let mut scratch_hi = op_hi.alloc();
+
+    let mut rho = C64::new(r2, 0.0);
+    let mut iterations = 0;
+    let mut converged = false;
+    // Stall detection: when successive reliable updates stop improving the
+    // true residual, the outer precision's rounding floor has been reached
+    // and further sloppy iterations are wasted.
+    let mut last_update_r2 = r2;
+    let mut stalls = 0u32;
+    let mut history = Vec::new();
+
+    while iterations < params.max_iter {
+        op_lo.apply(&mut v, &mut p);
+        matvecs_lo += 1;
+        let r0v = op_lo.reduce_c(blas::cdot(&r0, &v, &mut c));
+        if r0v.norm_sqr() == 0.0 || rho.norm_sqr() == 0.0 {
+            // BiCGstab breakdown: re-seed the shadow residual.
+            blas::copy(&mut r0, &r, &mut c);
+            rho = C64::new(op_lo.reduce(blas::norm2(&r, &mut c)), 0.0);
+            blas::copy(&mut p, &r, &mut c);
+            continue;
+        }
+        let alpha = rho.div(r0v);
+        let s2 = op_lo.reduce(blas::caxpy_norm(-alpha, &v, &mut r, &mut c));
+        if s2.is_nan() {
+            break;
+        }
+        op_lo.apply(&mut t, &mut r);
+        matvecs_lo += 1;
+        let (ts, tt) = {
+            let (dot, n) = blas::cdot_norm_a(&t, &r, &mut c);
+            (op_lo.reduce_c(dot), op_lo.reduce(n))
+        };
+        if tt == 0.0 {
+            break;
+        }
+        let omega = ts.scale(1.0 / tt);
+        blas::caxpbypz(alpha, &p, omega, &r, &mut x_sloppy, &mut c);
+        let r2_iter = op_lo.reduce(blas::caxpy_norm(-omega, &t, &mut r, &mut c));
+        let rho_new = op_lo.reduce_c(blas::cdot(&r0, &r, &mut c));
+        let beta = rho_new.div(rho) * alpha.div(omega);
+        rho = rho_new;
+        blas::cxpaypbz(&r, -(beta * omega), &v, beta, &mut p, &mut c);
+        iterations += 1;
+        history.push((r2_iter / b_norm2).sqrt());
+
+        let r_norm = r2_iter.sqrt();
+        maxrr = maxrr.max(r_norm);
+        let want_update = r_norm < params.delta * maxrr || r2_iter <= target2;
+        if want_update {
+            // Reliable update: accumulate and recompute the true residual in
+            // high precision.
+            accumulate(x, &x_sloppy, &mut scratch_hi, &mut c);
+            blas::zero(&mut x_sloppy);
+            r2 = residual_norm2(op_hi, &mut r_hi, x, b, &mut c);
+            matvecs_hi += 1;
+            reliable_updates += 1;
+            if r2 <= target2 {
+                converged = true;
+                break;
+            }
+            if r2 >= last_update_r2 * 0.8 {
+                stalls += 1;
+                if stalls >= 3 {
+                    break; // hit the outer precision's floor
+                }
+            } else {
+                stalls = 0;
+            }
+            last_update_r2 = r2;
+            r.convert_from(&r_hi);
+            maxrr = r2.sqrt();
+            // The search direction p survives the update (single Krylov
+            // space); only ρ is re-evaluated against the refreshed residual.
+            rho = op_lo.reduce_c(blas::cdot(&r0, &r, &mut c));
+        }
+    }
+
+    // Fold in any un-accumulated sloppy progress.
+    if !converged {
+        accumulate(x, &x_sloppy, &mut scratch_hi, &mut c);
+        r2 = residual_norm2(op_hi, &mut r_hi, x, b, &mut c);
+        matvecs_hi += 1;
+        converged = r2 <= target2;
+    }
+
+    SolveResult {
+        converged,
+        iterations,
+        matvecs: matvecs_lo + matvecs_hi,
+        reliable_updates,
+        final_residual: (r2 / b_norm2).sqrt(),
+        op_flops: matvecs_lo * op_lo.flops_per_apply() + matvecs_hi * op_hi.flops_per_apply(),
+        blas: c,
+        residual_history: history,
+    }
+}
+
+/// Mixed-precision defect correction (restarted inner solves) — the
+/// baseline strategy reliable updates improve on.
+pub fn bicgstab_defect_correction<H: Precision, L: Precision>(
+    op_hi: &mut dyn LinearOperator<H>,
+    op_lo: &mut dyn LinearOperator<L>,
+    x: &mut SpinorFieldCb<H>,
+    b: &SpinorFieldCb<H>,
+    params: &SolverParams,
+    inner_tol: f64,
+) -> SolveResult {
+    let mut c = BlasCounters::default();
+    let mut iterations = 0usize;
+    let mut matvecs: u64 = 0;
+    let mut op_flops: u64 = 0;
+    let mut restarts: u64 = 0;
+    let mut history: Vec<f64> = Vec::new();
+
+    let b_norm2 = op_hi.reduce(blas::norm2(b, &mut c));
+    if b_norm2 == 0.0 {
+        blas::zero(x);
+        return SolveResult { converged: true, ..Default::default() };
+    }
+    let target2 = params.tol * params.tol * b_norm2;
+    let mut r_hi = op_hi.alloc();
+    let mut b_lo = op_lo.alloc();
+    let mut e_lo = op_lo.alloc();
+    let mut scratch_hi = op_hi.alloc();
+
+    let mut r2 = residual_norm2(op_hi, &mut r_hi, x, b, &mut c);
+    matvecs += 1;
+    op_flops += op_hi.flops_per_apply();
+    let max_outer = 100;
+    let mut outer = 0;
+    while r2 > target2 && outer < max_outer && iterations < params.max_iter {
+        b_lo.convert_from(&r_hi);
+        blas::zero(&mut e_lo);
+        let inner = crate::bicgstab::bicgstab(
+            op_lo,
+            &mut e_lo,
+            &b_lo,
+            &SolverParams { tol: inner_tol, max_iter: params.max_iter - iterations, delta: 0.0 },
+        );
+        iterations += inner.iterations;
+        history.extend(inner.residual_history.iter().copied());
+        matvecs += inner.matvecs;
+        op_flops += inner.matvecs * op_lo.flops_per_apply();
+        c.merge(&inner.blas);
+        accumulate(x, &e_lo, &mut scratch_hi, &mut c);
+        r2 = residual_norm2(op_hi, &mut r_hi, x, b, &mut c);
+        matvecs += 1;
+        op_flops += op_hi.flops_per_apply();
+        restarts += 1;
+        outer += 1;
+        if inner.iterations == 0 {
+            break; // inner solver stalled; avoid spinning
+        }
+    }
+
+    SolveResult {
+        converged: r2 <= target2,
+        iterations,
+        matvecs,
+        reliable_updates: restarts,
+        final_residual: (r2 / b_norm2).sqrt(),
+        op_flops,
+        blas: c,
+        residual_history: history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::MatPcOp;
+    use quda_dirac::{WilsonCloverOp, WilsonParams};
+    use quda_fields::gauge_gen::{random_spinor_field, weak_field};
+    use quda_fields::precision::{Double, Half, Single};
+    use quda_lattice::geometry::{LatticeDims, Parity};
+
+    fn dims() -> LatticeDims {
+        LatticeDims::new(4, 4, 4, 4)
+    }
+
+    fn ops<H: Precision, L: Precision>(seed: u64) -> (MatPcOp<H>, MatPcOp<L>, SpinorFieldCb<H>) {
+        let d = dims();
+        let cfg = weak_field(d, 0.15, seed);
+        let params = WilsonParams { mass: 0.2, c_sw: 1.0 };
+        let hi = MatPcOp::new(WilsonCloverOp::<H>::from_config(&cfg, params));
+        let lo = MatPcOp::new(WilsonCloverOp::<L>::from_config(&cfg, params));
+        let host = random_spinor_field(d, seed + 7);
+        let mut b = hi.alloc();
+        b.upload(&host, Parity::Odd);
+        (hi, lo, b)
+    }
+
+    #[test]
+    fn double_single_reaches_1e10() {
+        let (mut hi, mut lo, b) = ops::<Double, Single>(1);
+        let mut x = hi.alloc();
+        blas::zero(&mut x);
+        let params = SolverParams { tol: 1e-10, max_iter: 2000, delta: 1e-2 };
+        let res = bicgstab_reliable(&mut hi, &mut lo, &mut x, &b, &params);
+        assert!(res.converged, "residual {}", res.final_residual);
+        assert!(res.reliable_updates > 0, "expected at least one reliable update");
+    }
+
+    #[test]
+    fn single_half_reaches_2e7() {
+        // The paper's workhorse mode near its production target (VII-A).
+        // On a random right-hand side the f32 outer precision's rounding
+        // floor sits at ≈1.4e-7 relative here, so the test targets 2e-7;
+        // the paper's ‖r‖ = 1e-7 was measured on unit point sources at much
+        // larger volume. (EXPERIMENTS.md discusses the floor.)
+        let (mut hi, mut lo, b) = ops::<Single, Half>(2);
+        let mut x = hi.alloc();
+        blas::zero(&mut x);
+        let mut params = SolverParams::paper_defaults("single-half");
+        params.tol = 2e-7;
+        let res = bicgstab_reliable(&mut hi, &mut lo, &mut x, &b, &params);
+        assert!(res.converged, "residual {}", res.final_residual);
+        assert!(res.final_residual <= 2e-7);
+        assert!(res.reliable_updates > 0);
+    }
+
+    #[test]
+    fn double_half_reaches_1e12() {
+        // Half-precision iterations with a double-precision anchor still
+        // reach deep targets — the point of reliable updates.
+        let (mut hi, mut lo, b) = ops::<Double, Half>(3);
+        let mut x = hi.alloc();
+        blas::zero(&mut x);
+        let params = SolverParams { tol: 1e-12, max_iter: 4000, delta: 1e-2 };
+        let res = bicgstab_reliable(&mut hi, &mut lo, &mut x, &b, &params);
+        assert!(res.converged, "residual {}", res.final_residual);
+        assert!(res.final_residual <= 1e-12);
+        assert!(res.reliable_updates >= 2);
+    }
+
+    #[test]
+    fn mixed_solution_matches_uniform_double() {
+        let (mut hi, mut lo, b) = ops::<Double, Single>(4);
+        let params = SolverParams { tol: 1e-11, max_iter: 2000, delta: 1e-2 };
+        let mut x_mixed = hi.alloc();
+        blas::zero(&mut x_mixed);
+        bicgstab_reliable(&mut hi, &mut lo, &mut x_mixed, &b, &params);
+        let mut x_pure = hi.alloc();
+        blas::zero(&mut x_pure);
+        crate::bicgstab::bicgstab(&mut hi, &mut x_pure, &b, &params);
+        let mut diff2 = 0.0;
+        for cb in 0..x_pure.sites() {
+            diff2 += (x_mixed.get(cb) - x_pure.get(cb)).norm_sqr();
+        }
+        let rel = (diff2 / x_pure.norm_sqr()).sqrt();
+        assert!(rel < 1e-8, "solutions differ: rel={rel}");
+    }
+
+    #[test]
+    fn defect_correction_converges_but_restarts() {
+        let (mut hi, mut lo, b) = ops::<Double, Single>(5);
+        let mut x = hi.alloc();
+        blas::zero(&mut x);
+        let params = SolverParams { tol: 1e-10, max_iter: 4000, delta: 1e-2 };
+        let res = bicgstab_defect_correction(&mut hi, &mut lo, &mut x, &b, &params, 1e-2);
+        assert!(res.converged, "residual {}", res.final_residual);
+        assert!(res.reliable_updates >= 2, "expected multiple restarts");
+    }
+
+    #[test]
+    fn reliable_updates_beat_defect_correction_on_hard_system() {
+        // Use a disordered gauge field (ill-conditioned matrix) so the
+        // restart penalty is visible, as claimed in Section V-D.
+        let d = dims();
+        let cfg = quda_fields::gauge_gen::random_field(d, 77);
+        let wp = WilsonParams { mass: 0.05, c_sw: 1.0 };
+        let mut hi = MatPcOp::new(WilsonCloverOp::<Double>::from_config(&cfg, wp));
+        let mut lo = MatPcOp::new(WilsonCloverOp::<Single>::from_config(&cfg, wp));
+        let host = random_spinor_field(d, 78);
+        let mut b = hi.alloc();
+        b.upload(&host, Parity::Odd);
+        let params = SolverParams { tol: 1e-8, max_iter: 20_000, delta: 1e-1 };
+        let mut x1 = hi.alloc();
+        blas::zero(&mut x1);
+        let rel = bicgstab_reliable(&mut hi, &mut lo, &mut x1, &b, &params);
+        let mut x2 = hi.alloc();
+        blas::zero(&mut x2);
+        let dc = bicgstab_defect_correction(&mut hi, &mut lo, &mut x2, &b, &params, 1e-1);
+        assert!(rel.converged && dc.converged);
+        assert!(
+            rel.iterations <= dc.iterations + dc.iterations / 4,
+            "reliable {} vs defect-correction {}",
+            rel.iterations,
+            dc.iterations
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! A complete physics application: the pion two-point correlator.
+//!
+//! This is the kind of analysis-phase calculation the paper's introduction
+//! motivates (spectrum calculations "solving the equations for many right
+//! hand sides"): compute the 12 columns of the quark propagator `S(x; 0)`
+//! from a point source (12 inversions of the Wilson-clover matrix), then
+//! contract them into the zero-momentum pseudoscalar correlator
+//!
+//! `C(t) = Σ_x⃗ Tr[ S†(x⃗,t; 0) S(x⃗,t; 0) ]`
+//!
+//! (the γ5-γ5 pion, using γ5-hermiticity to avoid a backward propagator).
+//! The effective mass `m_eff(t) = ln C(t)/C(t+1)` should plateau — on a
+//! weak-field configuration near twice the free-quark pole mass.
+//!
+//! ```text
+//! cargo run --release --example pion_correlator
+//! ```
+
+use quda_core::{PrecisionMode, Quda, QudaInvertParam};
+use quda_fields::gauge_gen::weak_field;
+use quda_fields::host::HostSpinorField;
+use quda_lattice::geometry::{Coord, LatticeDims};
+
+fn main() {
+    let dims = LatticeDims::new(6, 6, 6, 16);
+    let mass = 0.3;
+    let cfg = weak_field(dims, 0.05, 314);
+    let mut quda = Quda::new(2);
+    quda.load_gauge(cfg).expect("gauge load");
+
+    let mut param = QudaInvertParam::paper_mode(PrecisionMode::DoubleHalf, 2);
+    param.mass = mass;
+    param.c_sw = 1.0;
+    param.tol = 1e-10;
+
+    println!("computing 12 propagator columns on {dims} (m = {mass}, double-half) ...");
+    let origin = Coord::new(0, 0, 0, 0);
+    let mut columns: Vec<HostSpinorField> = Vec::with_capacity(12);
+    let mut total_iters = 0;
+    for spin in 0..4 {
+        for color in 0..3 {
+            let src = HostSpinorField::point_source(dims, origin, spin, color);
+            let (x, stats) = quda.invert(&src, &param).expect("invert");
+            assert!(stats.converged, "column (s={spin}, c={color})");
+            total_iters += stats.iterations;
+            columns.push(x);
+        }
+    }
+    println!("done: {total_iters} total sloppy iterations over 12 solves\n");
+
+    // C(t) = Σ_x⃗ Σ_columns |S(x)|² — the trace over source and sink
+    // spin-color indices of S† S.
+    let mut corr = vec![0.0f64; dims.t];
+    for col in &columns {
+        for c in dims.coords() {
+            corr[c.t] += col.get(c).norm_sqr();
+        }
+    }
+
+    println!("{:>4} {:>14} {:>10}", "t", "C(t)", "m_eff(t)");
+    for t in 0..dims.t {
+        let meff = if t + 1 < dims.t / 2 + 1 && corr[t + 1] > 0.0 {
+            format!("{:.4}", (corr[t] / corr[t + 1]).ln())
+        } else {
+            "-".to_string()
+        };
+        println!("{t:>4} {:>14.6e} {:>10}", corr[t], meff);
+    }
+
+    // Sanity checks that make this an executable test of the physics:
+    // the correlator is positive, symmetric-ish about T/2 (periodic
+    // boundaries), and decays away from the source.
+    assert!(corr.iter().all(|&c| c > 0.0), "correlator must be positive");
+    assert!(corr[1] < corr[0], "correlator must decay from the source");
+    let fwd = corr[2];
+    let bwd = corr[dims.t - 2];
+    let asym = (fwd - bwd).abs() / fwd.max(bwd);
+    println!("\nforward/backward asymmetry at |t|=2: {asym:.2e} (periodicity check)");
+    assert!(asym < 0.15, "correlator should be nearly time-reflection symmetric");
+    let plateau = (corr[3] / corr[4]).ln();
+    println!("effective mass near the plateau: {plateau:.4} (2x free pole mass ≈ {:.4})", 2.0 * (1.0f64 + mass).ln());
+}

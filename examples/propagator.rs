@@ -1,0 +1,65 @@
+//! The measurement protocol of Section VII-A: "running the Chroma
+//! propagator code and performing 6 linear solves for each test (one for
+//! each of the 3 color components of the upper 2 spin components), with the
+//! quoted performance results given by averages over these solves."
+//!
+//! ```text
+//! cargo run --release --example propagator [ranks]
+//! ```
+
+use quda_core::{PrecisionMode, Quda, QudaInvertParam};
+use quda_fields::gauge_gen::weak_field;
+use quda_fields::host::HostSpinorField;
+use quda_lattice::geometry::{Coord, LatticeDims};
+
+fn main() {
+    let ranks: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let dims = LatticeDims::new(6, 6, 6, 12 * ranks.max(1));
+    let cfg = weak_field(dims, 0.1, 7);
+    let mut quda = Quda::new(ranks);
+    quda.load_gauge(cfg).expect("gauge load");
+
+    let mut param = QudaInvertParam::paper_mode(PrecisionMode::SingleHalf, ranks);
+    param.mass = 0.25;
+    param.c_sw = 1.0;
+    param.tol = 1e-6;
+
+    println!("propagator test: {dims} on {ranks} GPUs, mode {}", param.mode.name());
+    println!("{:>5} {:>6} {:>6} {:>9} {:>12} {:>13} {:>10}", "spin", "color", "iters", "updates", "residual", "modeled-ms", "Gflops");
+
+    let origin = Coord::new(0, 0, 0, 0);
+    let mut total_iters = 0usize;
+    let mut total_ms = 0.0;
+    let mut total_gflops = 0.0;
+    let mut solves = 0.0;
+    // Upper 2 spin components × 3 colors = 6 solves.
+    for spin in 0..2 {
+        for color in 0..3 {
+            let source = HostSpinorField::point_source(dims, origin, spin, color);
+            let (_, stats) = quda.invert(&source, &param).expect("invert");
+            assert!(stats.converged, "solve (s={spin}, c={color}) did not converge");
+            println!(
+                "{:>5} {:>6} {:>6} {:>9} {:>12.3e} {:>13.2} {:>10.0}",
+                spin,
+                color,
+                stats.iterations,
+                stats.reliable_updates,
+                stats.true_residual,
+                stats.modeled_seconds * 1e3,
+                stats.modeled_gflops
+            );
+            total_iters += stats.iterations;
+            total_ms += stats.modeled_seconds * 1e3;
+            total_gflops += stats.modeled_gflops;
+            solves += 1.0;
+        }
+    }
+    println!("---");
+    println!(
+        "average over {} solves: {:.1} iterations, {:.2} modeled ms, {:.0} sustained effective Gflops",
+        solves,
+        total_iters as f64 / solves,
+        total_ms / solves,
+        total_gflops / solves
+    );
+}

@@ -1,0 +1,78 @@
+//! Scaling study: functional verification that 1-, 2-, and 4-rank solves
+//! give the same answer, followed by the performance model's strong-scaling
+//! table for the paper's production volumes.
+//!
+//! ```text
+//! cargo run --release --example scaling_study
+//! ```
+
+use quda_core::{CommStrategy, PrecisionMode, Quda, QudaInvertParam};
+use quda_fields::gauge_gen::{random_spinor_field, weak_field};
+use quda_lattice::geometry::LatticeDims;
+use quda_multigpu::perf::{evaluate, PerfInput};
+
+fn main() {
+    functional_agreement();
+    println!();
+    modeled_strong_scaling();
+}
+
+/// Part 1 — run the *same* solve on 1, 2, and 4 thread-GPUs and show the
+/// answers agree to solver tolerance (the parallelization is exact).
+fn functional_agreement() {
+    let dims = LatticeDims::new(4, 4, 4, 8);
+    let cfg = weak_field(dims, 0.12, 99);
+    let b = random_spinor_field(dims, 100);
+    println!("functional agreement on {dims} (double precision, tol 1e-11):");
+    let mut reference: Option<quda_fields::host::HostSpinorField> = None;
+    for ranks in [1usize, 2, 4] {
+        let mut quda = Quda::new(ranks);
+        quda.load_gauge(cfg.clone()).unwrap();
+        let mut p = QudaInvertParam::paper_mode(PrecisionMode::Double, ranks);
+        p.mass = 0.3;
+        p.tol = 1e-11;
+        let (x, stats) = quda.invert(&b, &p).unwrap();
+        let dist = reference.as_ref().map(|r| r.max_site_dist(&x)).unwrap_or(0.0);
+        println!(
+            "  {ranks} rank(s): {} iterations, residual {:.2e}, max site distance to 1-rank {:.2e}",
+            stats.iterations, stats.true_residual, dist
+        );
+        assert!(stats.converged);
+        if let Some(r) = &reference {
+            assert!(r.max_site_dist(&x) < 1e-9);
+        } else {
+            reference = Some(x);
+        }
+    }
+}
+
+/// Part 2 — the calibrated model's strong-scaling table at the paper's
+/// volumes (compare with Fig. 5).
+fn modeled_strong_scaling() {
+    let big = LatticeDims::spatial_cube(32, 256);
+    let small = LatticeDims::spatial_cube(24, 128);
+    for (name, dims) in [("32^3x256", big), ("24^3x128", small)] {
+        println!("modeled strong scaling, V = {name}, single-half, GTX 285 cluster:");
+        println!(
+            "  {:>5} {:>16} {:>16} {:>10}",
+            "GPUs", "overlap Gflops", "no-ovlp Gflops", "comm %"
+        );
+        for gpus in [2usize, 4, 8, 16, 32] {
+            if dims.t % gpus != 0 {
+                continue;
+            }
+            let ov = evaluate(&PerfInput::paper(dims, gpus, PrecisionMode::SingleHalf, CommStrategy::Overlap));
+            let no = evaluate(&PerfInput::paper(dims, gpus, PrecisionMode::SingleHalf, CommStrategy::NoOverlap));
+            let fits = if ov.fits_memory { "" } else { "  (exceeds device memory)" };
+            println!(
+                "  {:>5} {:>16.0} {:>16.0} {:>9.1}%{}",
+                gpus,
+                ov.sustained_gflops,
+                no.sustained_gflops,
+                ov.comm_fraction * 100.0,
+                fits
+            );
+        }
+        println!();
+    }
+}

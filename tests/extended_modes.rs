@@ -1,0 +1,99 @@
+//! Integration tests for modes beyond the paper's production set: uniform
+//! half precision and the 8-bit double-quarter extension, both through the
+//! public API, plus gauge I/O into the solve path.
+
+use quda_core::{PrecisionMode, Quda, QudaInvertParam};
+use quda_fields::gauge_gen::{random_spinor_field, weak_field};
+use quda_fields::io::{load_gauge_file, save_gauge_file};
+use quda_lattice::geometry::LatticeDims;
+
+fn dims() -> LatticeDims {
+    LatticeDims::new(4, 4, 2, 8)
+}
+
+#[test]
+fn uniform_half_solves_to_its_own_floor() {
+    // Uniform half: both outer and sloppy in 16-bit fixed point. The true
+    // residual floors at the format's resolution — still useful as an
+    // ablation anchor.
+    let mut q = Quda::new(2);
+    q.load_gauge(weak_field(dims(), 0.1, 70)).unwrap();
+    let b = random_spinor_field(dims(), 71);
+    let mut p = QudaInvertParam::paper_mode(PrecisionMode::Half, 2);
+    p.mass = 0.4;
+    p.tol = 5e-3;
+    p.max_iter = 500;
+    let (_, stats) = q.invert(&b, &p).unwrap();
+    assert!(stats.converged, "uniform half residual {}", stats.true_residual);
+    assert!(stats.true_residual < 5e-2);
+}
+
+#[test]
+fn double_quarter_reaches_double_targets() {
+    // 8-bit sloppy iterations anchored by f64 reliable updates still reach
+    // deep residuals (DESIGN.md §4b).
+    let mut q = Quda::new(2);
+    q.load_gauge(weak_field(dims(), 0.1, 72)).unwrap();
+    let b = random_spinor_field(dims(), 73);
+    let mut p = QudaInvertParam::paper_mode(PrecisionMode::DoubleQuarter, 2);
+    p.mass = 0.4;
+    p.tol = 1e-9;
+    p.delta = 0.3; // 8-bit needs frequent updates
+    p.max_iter = 8000;
+    let (_, stats) = q.invert(&b, &p).unwrap();
+    assert!(stats.converged, "double-quarter residual {}", stats.true_residual);
+    assert!(stats.true_residual < 1e-8);
+    assert!(stats.reliable_updates >= 2);
+    assert_eq!(p.mode.name(), "double-quarter");
+    assert!(p.mode.is_mixed());
+}
+
+#[test]
+fn sloppier_storage_needs_more_iterations() {
+    // Monotonicity across the sloppy-precision ladder at a fixed target.
+    let cfg = weak_field(dims(), 0.1, 74);
+    let b = random_spinor_field(dims(), 75);
+    let mut iters = Vec::new();
+    for mode in [PrecisionMode::DoubleSingle, PrecisionMode::DoubleHalf, PrecisionMode::DoubleQuarter] {
+        let mut q = Quda::new(2);
+        q.load_gauge(cfg.clone()).unwrap();
+        let mut p = QudaInvertParam::paper_mode(mode, 2);
+        p.mass = 0.4;
+        p.tol = 1e-9;
+        p.delta = 0.3;
+        p.max_iter = 8000;
+        let (_, stats) = q.invert(&b, &p).unwrap();
+        assert!(stats.converged, "{}", mode.name());
+        iters.push((mode.name(), stats.iterations));
+    }
+    assert!(
+        iters[0].1 <= iters[2].1,
+        "double-single should need no more iterations than double-quarter: {iters:?}"
+    );
+}
+
+#[test]
+fn gauge_file_roundtrips_into_a_solve() {
+    let cfg = weak_field(dims(), 0.12, 76);
+    let path = std::env::temp_dir().join("quda_rs_solve_roundtrip.cfg");
+    save_gauge_file(&cfg, &path).unwrap();
+    let loaded = load_gauge_file(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let b = random_spinor_field(dims(), 77);
+    let solve = |cfg: quda_fields::host::GaugeConfig| {
+        let mut q = Quda::new(2);
+        q.load_gauge(cfg).unwrap();
+        let mut p = QudaInvertParam::paper_mode(PrecisionMode::Double, 2);
+        p.mass = 0.4;
+        p.tol = 1e-10;
+        let (x, stats) = q.invert(&b, &p).unwrap();
+        assert!(stats.converged);
+        (x, stats.iterations)
+    };
+    let (x1, i1) = solve(cfg);
+    let (x2, i2) = solve(loaded);
+    // Bit-exact file round-trip → bit-identical solve.
+    assert_eq!(i1, i2);
+    assert_eq!(x1.max_site_dist(&x2), 0.0);
+}

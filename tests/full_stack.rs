@@ -1,0 +1,159 @@
+//! Integration tests spanning the whole stack through the public API:
+//! gauge generation → clover construction → parallel mixed-precision solve
+//! → host-side verification — in every precision mode, at several rank
+//! counts, under both communication strategies.
+
+use quda_core::{CommStrategy, PrecisionMode, Quda, QudaInvertParam, SolverKind};
+use quda_fields::gauge_gen::{random_spinor_field, weak_field};
+use quda_fields::host::HostSpinorField;
+use quda_lattice::geometry::{Coord, LatticeDims};
+
+fn dims() -> LatticeDims {
+    LatticeDims::new(4, 4, 4, 8)
+}
+
+fn quda_with_gauge(ranks: usize, seed: u64) -> Quda {
+    let mut q = Quda::new(ranks);
+    q.load_gauge(weak_field(dims(), 0.12, seed)).unwrap();
+    q
+}
+
+#[test]
+fn every_precision_mode_converges_and_verifies() {
+    let b = random_spinor_field(dims(), 11);
+    let cases = [
+        (PrecisionMode::Double, 1e-11, 1e-10),
+        (PrecisionMode::Single, 1e-5, 1e-4),
+        (PrecisionMode::SingleHalf, 1e-5, 1e-4),
+        (PrecisionMode::DoubleHalf, 1e-11, 1e-10),
+        (PrecisionMode::DoubleSingle, 1e-11, 1e-10),
+    ];
+    for (mode, tol, check) in cases {
+        let mut q = quda_with_gauge(2, 5);
+        let mut p = QudaInvertParam::paper_mode(mode, 2);
+        p.mass = 0.3;
+        p.tol = tol;
+        let (_, stats) = q.invert(&b, &p).unwrap();
+        assert!(stats.converged, "{} did not converge ({})", mode.name(), stats.true_residual);
+        assert!(
+            stats.true_residual < check,
+            "{}: verified residual {} above {check}",
+            mode.name(),
+            stats.true_residual
+        );
+    }
+}
+
+#[test]
+fn rank_counts_agree_bitwise_in_iterations() {
+    let b = random_spinor_field(dims(), 21);
+    let mut solutions: Vec<HostSpinorField> = Vec::new();
+    for ranks in [1usize, 2, 4] {
+        let mut q = quda_with_gauge(ranks, 6);
+        let mut p = QudaInvertParam::paper_mode(PrecisionMode::Double, ranks);
+        p.mass = 0.3;
+        p.tol = 1e-11;
+        let (x, stats) = q.invert(&b, &p).unwrap();
+        assert!(stats.converged);
+        solutions.push(x);
+    }
+    for s in &solutions[1..] {
+        let dist = solutions[0].max_site_dist(s);
+        assert!(dist < 1e-9, "solutions differ across rank counts: {dist}");
+    }
+}
+
+#[test]
+fn strategies_agree_exactly() {
+    // Deterministic reductions make overlap/no-overlap bit-identical.
+    let b = random_spinor_field(dims(), 31);
+    let mut results = Vec::new();
+    for strategy in [CommStrategy::NoOverlap, CommStrategy::Overlap] {
+        let mut q = quda_with_gauge(4, 7);
+        let mut p = QudaInvertParam::paper_mode(PrecisionMode::SingleHalf, 4);
+        p.strategy = strategy;
+        p.mass = 0.3;
+        p.tol = 1e-5;
+        let (x, stats) = q.invert(&b, &p).unwrap();
+        results.push((x, stats.iterations));
+    }
+    assert_eq!(results[0].1, results[1].1, "iteration counts differ");
+    assert_eq!(results[0].0.max_site_dist(&results[1].0), 0.0, "solutions differ");
+}
+
+#[test]
+fn propagator_protocol_six_solves() {
+    // Section VII-A: 6 solves — 3 colors × upper 2 spins — per test.
+    let mut q = quda_with_gauge(2, 8);
+    let mut p = QudaInvertParam::paper_mode(PrecisionMode::DoubleHalf, 2);
+    p.mass = 0.35;
+    p.tol = 1e-9;
+    let origin = Coord::new(0, 0, 0, 0);
+    let mut iterations = Vec::new();
+    for spin in 0..2 {
+        for color in 0..3 {
+            let src = HostSpinorField::point_source(dims(), origin, spin, color);
+            let (x, stats) = q.invert(&src, &p).unwrap();
+            assert!(stats.converged, "solve s={spin} c={color}");
+            assert!(x.norm_sqr() > 0.0);
+            iterations.push(stats.iterations);
+        }
+    }
+    assert_eq!(iterations.len(), 6);
+    // The physical parameters control only iteration counts, which should
+    // be similar across the 6 columns of one configuration.
+    let min = *iterations.iter().min().unwrap() as f64;
+    let max = *iterations.iter().max().unwrap() as f64;
+    assert!(max / min < 2.0, "iteration spread too large: {iterations:?}");
+}
+
+#[test]
+fn plain_wilson_without_clover_also_solves() {
+    let b = random_spinor_field(dims(), 41);
+    let mut q = quda_with_gauge(2, 9);
+    let mut p = QudaInvertParam::paper_mode(PrecisionMode::Double, 2);
+    p.c_sw = 0.0; // plain Wilson
+    p.mass = 0.3;
+    p.tol = 1e-10;
+    let (_, stats) = q.invert(&b, &p).unwrap();
+    assert!(stats.converged);
+    assert!(stats.true_residual < 1e-9);
+}
+
+#[test]
+fn cgnr_and_bicgstab_agree() {
+    let b = random_spinor_field(dims(), 51);
+    let solve = |kind: SolverKind| {
+        let mut q = quda_with_gauge(2, 10);
+        let mut p = QudaInvertParam::paper_mode(PrecisionMode::Double, 2);
+        p.solver = kind;
+        p.mass = 0.3;
+        p.tol = 1e-10;
+        let (x, stats) = q.invert(&b, &p).unwrap();
+        assert!(stats.converged);
+        x
+    };
+    let xb = solve(SolverKind::BiCgStab);
+    let xc = solve(SolverKind::Cgnr);
+    let dist = xb.max_site_dist(&xc);
+    assert!(dist < 1e-7, "solver disagreement {dist}");
+}
+
+#[test]
+fn modeled_stats_are_sane() {
+    let b = random_spinor_field(dims(), 61);
+    let mut q = quda_with_gauge(2, 11);
+    let mut p = QudaInvertParam::paper_mode(PrecisionMode::SingleHalf, 2);
+    p.mass = 0.3;
+    p.tol = 1e-5;
+    let (_, stats) = q.invert(&b, &p).unwrap();
+    assert!(stats.modeled_seconds > 0.0);
+    assert!(stats.modeled_gflops > 0.0);
+    assert!(stats.effective_flops > 0);
+    assert!(stats.memory_per_gpu > 1024);
+    // Mixed-precision memory footprint exceeds uniform single's.
+    let mut p2 = p;
+    p2.mode = PrecisionMode::Single;
+    let (_, stats2) = q.invert(&b, &p2).unwrap();
+    assert!(stats.memory_per_gpu > stats2.memory_per_gpu);
+}
