@@ -38,6 +38,7 @@ fn bench_ghost_exchange(c: &mut Criterion) {
                 &stencil,
                 false,
             )
+            .expect("exchange")
         })
     });
     group.finish();
@@ -53,7 +54,8 @@ fn bench_parallel_matpc(c: &mut Criterion) {
     for strategy in [CommStrategy::NoOverlap, CommStrategy::Overlap] {
         let mut world = quda_comm::comm_world(1);
         let comm = world.pop().unwrap();
-        let mut op = ParallelWilsonCloverOp::<Single>::new(&cfg, part, 0, comm, wp, strategy);
+        let mut op = ParallelWilsonCloverOp::<Single>::new(&cfg, part, 0, comm, wp, strategy)
+            .expect("op init");
         let host = random_spinor_field(d, 6);
         let mut x = quda_solvers::operator::LinearOperator::alloc(&op);
         x.upload(&host, Parity::Odd);

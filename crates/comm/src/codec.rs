@@ -1,11 +1,62 @@
-//! Byte-level packing of face payloads.
+//! Byte-level packing of face payloads, plus message framing.
 //!
 //! Ghost faces travel between ranks as raw byte messages, exactly like MPI
 //! buffers. These helpers pack and unpack the three storage element types
 //! (f64, f32, i16-fixed-point) plus the f32 normalization arrays that ride
 //! with half-precision faces.
+//!
+//! On the wire every payload is wrapped in a 12-byte frame — a 4-byte
+//! little-endian length and an 8-byte FNV-1a checksum — so a truncated or
+//! bit-flipped message is *detected* at the receiver instead of being
+//! silently summed into the solve ([`unframe`] reports a typed
+//! [`DecodeError`]). The frame header is link-level bookkeeping and is not
+//! counted in the traffic statistics the performance model prices.
 
+use crate::error::DecodeError;
 use bytes::{Bytes, BytesMut};
+
+/// Bytes of framing added to each wire message (length + checksum).
+pub const FRAME_OVERHEAD: usize = 12;
+
+/// FNV-1a 64-bit hash of a byte slice — the per-message checksum.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Wrap a payload in a `[len u32][checksum u64][payload]` frame.
+pub fn frame(payload: &Bytes) -> Bytes {
+    let mut buf = BytesMut::with_capacity(FRAME_OVERHEAD + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&checksum(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf.freeze()
+}
+
+/// Validate a frame and return its payload.
+///
+/// Detects short frames ([`DecodeError::Truncated`]) and corrupted
+/// payloads ([`DecodeError::BadChecksum`]).
+pub fn unframe(framed: &Bytes) -> Result<Bytes, DecodeError> {
+    if framed.len() < FRAME_OVERHEAD {
+        return Err(DecodeError::Truncated { expected: FRAME_OVERHEAD, got: framed.len() });
+    }
+    let len = u32::from_le_bytes(framed[0..4].try_into().expect("4-byte slice")) as usize;
+    let want = u64::from_le_bytes(framed[4..12].try_into().expect("8-byte slice"));
+    if framed.len() != FRAME_OVERHEAD + len {
+        return Err(DecodeError::Truncated { expected: FRAME_OVERHEAD + len, got: framed.len() });
+    }
+    let payload = framed.slice(FRAME_OVERHEAD..framed.len());
+    let got = checksum(&payload);
+    if got != want {
+        return Err(DecodeError::BadChecksum { expected: want, got });
+    }
+    Ok(payload)
+}
 
 /// Pack a slice of f64 into little-endian bytes.
 pub fn pack_f64(data: &[f64]) -> Bytes {
@@ -17,9 +68,11 @@ pub fn pack_f64(data: &[f64]) -> Bytes {
 }
 
 /// Unpack little-endian f64.
-pub fn unpack_f64(bytes: &[u8]) -> Vec<f64> {
-    assert!(bytes.len() % 8 == 0, "payload not a whole number of f64");
-    bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect()
+pub fn unpack_f64(bytes: &[u8]) -> Result<Vec<f64>, DecodeError> {
+    if bytes.len() % 8 != 0 {
+        return Err(DecodeError::LengthMismatch { element_size: 8, len: bytes.len() });
+    }
+    Ok(bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk"))).collect())
 }
 
 /// Pack a slice of f32 into little-endian bytes.
@@ -32,9 +85,11 @@ pub fn pack_f32(data: &[f32]) -> Bytes {
 }
 
 /// Unpack little-endian f32.
-pub fn unpack_f32(bytes: &[u8]) -> Vec<f32> {
-    assert!(bytes.len() % 4 == 0, "payload not a whole number of f32");
-    bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect()
+pub fn unpack_f32(bytes: &[u8]) -> Result<Vec<f32>, DecodeError> {
+    if bytes.len() % 4 != 0 {
+        return Err(DecodeError::LengthMismatch { element_size: 4, len: bytes.len() });
+    }
+    Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk"))).collect())
 }
 
 /// Pack a slice of i16 (the half-precision storage integers).
@@ -47,9 +102,11 @@ pub fn pack_i16(data: &[i16]) -> Bytes {
 }
 
 /// Unpack little-endian i16.
-pub fn unpack_i16(bytes: &[u8]) -> Vec<i16> {
-    assert!(bytes.len() % 2 == 0, "payload not a whole number of i16");
-    bytes.chunks_exact(2).map(|c| i16::from_le_bytes(c.try_into().unwrap())).collect()
+pub fn unpack_i16(bytes: &[u8]) -> Result<Vec<i16>, DecodeError> {
+    if bytes.len() % 2 != 0 {
+        return Err(DecodeError::LengthMismatch { element_size: 2, len: bytes.len() });
+    }
+    Ok(bytes.chunks_exact(2).map(|c| i16::from_le_bytes(c.try_into().expect("2-byte chunk"))).collect())
 }
 
 #[cfg(test)]
@@ -59,25 +116,29 @@ mod tests {
     #[test]
     fn f64_roundtrip() {
         let data = vec![0.0, 1.5, -2.25e300, f64::MIN_POSITIVE];
-        assert_eq!(unpack_f64(&pack_f64(&data)), data);
+        assert_eq!(unpack_f64(&pack_f64(&data)).unwrap(), data);
     }
 
     #[test]
     fn f32_roundtrip() {
         let data = vec![0.0f32, -1.5, 3.25e30];
-        assert_eq!(unpack_f32(&pack_f32(&data)), data);
+        assert_eq!(unpack_f32(&pack_f32(&data)).unwrap(), data);
     }
 
     #[test]
     fn i16_roundtrip() {
         let data = vec![0i16, 32767, -32768, 123];
-        assert_eq!(unpack_i16(&pack_i16(&data)), data);
+        assert_eq!(unpack_i16(&pack_i16(&data)).unwrap(), data);
     }
 
     #[test]
-    #[should_panic(expected = "whole number")]
     fn ragged_payload_rejected() {
-        unpack_f64(&[1, 2, 3]);
+        assert_eq!(
+            unpack_f64(&[1, 2, 3]),
+            Err(DecodeError::LengthMismatch { element_size: 8, len: 3 })
+        );
+        assert!(unpack_f32(&[0; 5]).is_err());
+        assert!(unpack_i16(&[0; 3]).is_err());
     }
 
     #[test]
@@ -86,5 +147,49 @@ mod tests {
         assert_eq!(pack_f32(&[0.0; 12]).len(), 48);
         // Half precision: 24 bytes + (separately) one 4-byte norm.
         assert_eq!(pack_i16(&[0; 12]).len(), 24);
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let payload = pack_f64(&[1.0, -2.5, 3.75]);
+        let framed = frame(&payload);
+        assert_eq!(framed.len(), payload.len() + FRAME_OVERHEAD);
+        assert_eq!(&unframe(&framed).unwrap()[..], &payload[..]);
+    }
+
+    #[test]
+    fn frame_detects_bit_flip() {
+        let framed = frame(&pack_f64(&[42.0]));
+        let mut bad = framed.to_vec();
+        bad[FRAME_OVERHEAD + 3] ^= 0x10;
+        match unframe(&Bytes::from(bad)) {
+            Err(DecodeError::BadChecksum { .. }) => {}
+            other => panic!("expected BadChecksum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_detects_truncation() {
+        let framed = frame(&pack_f64(&[1.0, 2.0]));
+        let cut = Bytes::from(framed[..framed.len() - 5].to_vec());
+        match unframe(&cut) {
+            Err(DecodeError::Truncated { expected, got }) => {
+                assert_eq!(expected, framed.len());
+                assert_eq!(got, framed.len() - 5);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        // Shorter than even a header:
+        assert!(matches!(
+            unframe(&Bytes::from(vec![1u8, 2, 3])),
+            Err(DecodeError::Truncated { expected: FRAME_OVERHEAD, got: 3 })
+        ));
+    }
+
+    #[test]
+    fn checksum_is_stable() {
+        // FNV-1a of empty input is the offset basis.
+        assert_eq!(checksum(&[]), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(checksum(b"abc"), checksum(b"abd"));
     }
 }

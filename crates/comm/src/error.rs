@@ -1,0 +1,160 @@
+//! Typed failures for the communication layer.
+//!
+//! Every hot comm API (`send`/`recv`/allreduce/barrier) returns a
+//! [`CommError`] instead of panicking or blocking forever: a dead peer
+//! surfaces as [`CommError::RankDead`], a message that never arrives as
+//! [`CommError::Timeout`], and a corrupted frame that could not be
+//! recovered as [`CommError::Decode`]. Decode-level problems are classified
+//! separately in [`DecodeError`] so callers can distinguish a short read
+//! from a checksum mismatch.
+
+use std::fmt;
+
+/// Why a byte payload could not be decoded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Payload length is not a whole number of elements.
+    LengthMismatch {
+        /// Size of one element in bytes.
+        element_size: usize,
+        /// Actual payload length in bytes.
+        len: usize,
+    },
+    /// Frame shorter than its header claims (or shorter than a header).
+    Truncated {
+        /// Bytes the frame claimed (or minimally needs).
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// Frame checksum does not match the payload.
+    BadChecksum {
+        /// Checksum carried in the frame header.
+        expected: u64,
+        /// Checksum recomputed over the received payload.
+        got: u64,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::LengthMismatch { element_size, len } => {
+                write!(f, "payload of {len} bytes is not a whole number of {element_size}-byte elements")
+            }
+            DecodeError::Truncated { expected, got } => {
+                write!(f, "frame truncated: expected {expected} bytes, got {got}")
+            }
+            DecodeError::BadChecksum { expected, got } => {
+                write!(f, "checksum mismatch: header says {expected:#018x}, payload hashes to {got:#018x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A failure of a communication operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CommError {
+    /// The peer rank is dead (its endpoint was dropped, its thread
+    /// panicked, or a fault plan killed it) and the requested message can
+    /// no longer arrive.
+    RankDead {
+        /// The dead rank.
+        rank: usize,
+    },
+    /// No matching message arrived within the configured timeout.
+    Timeout {
+        /// Rank the message was expected from.
+        from: usize,
+        /// Message tag.
+        tag: u32,
+        /// Total time waited, in milliseconds.
+        waited_ms: u64,
+    },
+    /// A message arrived but its frame or payload failed to decode, and
+    /// link-level recovery could not produce a clean copy.
+    Decode {
+        /// Sender of the bad frame.
+        from: usize,
+        /// Message tag.
+        tag: u32,
+        /// The underlying decode failure.
+        error: DecodeError,
+    },
+    /// Link-level recovery was attempted but gave up after the configured
+    /// number of retries.
+    RetriesExhausted {
+        /// Rank the message was expected from.
+        from: usize,
+        /// Message tag.
+        tag: u32,
+        /// Retry attempts made.
+        attempts: u32,
+    },
+    /// A collective contribution had the wrong element count.
+    SizeMismatch {
+        /// Elements expected by the reduction root.
+        expected: usize,
+        /// Elements received.
+        got: usize,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::RankDead { rank } => write!(f, "rank {rank} is dead"),
+            CommError::Timeout { from, tag, waited_ms } => {
+                write!(f, "timed out after {waited_ms} ms waiting for (from={from}, tag={tag:#x})")
+            }
+            CommError::Decode { from, tag, error } => {
+                write!(f, "undecodable message (from={from}, tag={tag:#x}): {error}")
+            }
+            CommError::RetriesExhausted { from, tag, attempts } => {
+                write!(f, "gave up on (from={from}, tag={tag:#x}) after {attempts} retries")
+            }
+            CommError::SizeMismatch { expected, got } => {
+                write!(f, "collective size mismatch: expected {expected} elements, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CommError::Decode { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CommError::RankDead { rank: 2 }.to_string(), "rank 2 is dead");
+        let t = CommError::Timeout { from: 1, tag: 7, waited_ms: 2000 };
+        assert!(t.to_string().contains("2000 ms"));
+        let d = DecodeError::BadChecksum { expected: 1, got: 2 };
+        assert!(d.to_string().contains("checksum"));
+        let e = CommError::Decode { from: 0, tag: 1, error: d };
+        assert!(e.to_string().contains("undecodable"));
+    }
+
+    #[test]
+    fn decode_error_is_source() {
+        use std::error::Error;
+        let e = CommError::Decode {
+            from: 0,
+            tag: 1,
+            error: DecodeError::Truncated { expected: 8, got: 3 },
+        };
+        assert!(e.source().is_some());
+        assert!(CommError::RankDead { rank: 0 }.source().is_none());
+    }
+}

@@ -1,0 +1,235 @@
+//! Deterministic, seed-driven fault injection for the message layer.
+//!
+//! A [`FaultPlan`] decides, per message, whether the wire copy is dropped,
+//! delayed, duplicated, truncated, or bit-flipped, and whether a rank goes
+//! dead or slow at a chosen point. Decisions are pure functions of
+//! `(seed, from, to, tag, seq)` hashed with splitmix64 — the same seed
+//! always yields the same fault schedule, independent of thread timing, so
+//! a faulted run is exactly reproducible (see DESIGN.md §7).
+//!
+//! The plan only perturbs the *wire copy* of a message; the communicator
+//! keeps a pristine copy for link-level retransmission, which is how real
+//! interconnects (and the paper's InfiniBand fabric) mask transient loss.
+
+use std::time::Duration;
+
+/// What happens to one message on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver unchanged.
+    Deliver,
+    /// Silently discard the wire copy.
+    Drop,
+    /// Deliver after an injected latency spike.
+    Delay,
+    /// Deliver the same frame twice.
+    Duplicate,
+    /// Deliver with the frame cut short.
+    Truncate,
+    /// Deliver with one payload byte corrupted.
+    BitFlip,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct DeadRank {
+    rank: usize,
+    after_sends: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct SlowRank {
+    rank: usize,
+    per_send: Duration,
+}
+
+/// A deterministic schedule of injected communication faults.
+///
+/// Build one with the fluent methods, then install it with
+/// [`comm_world_with`](crate::world::comm_world_with):
+///
+/// ```
+/// use quda_comm::fault::FaultPlan;
+/// use std::time::Duration;
+/// let plan = FaultPlan::new(42)
+///     .drop(0.01)
+///     .delay(0.005, Duration::from_millis(2))
+///     .kill_rank(2, 100);
+/// assert!(plan.is_dead(2, 100));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    drop_prob: f64,
+    delay_prob: f64,
+    dup_prob: f64,
+    truncate_prob: f64,
+    bitflip_prob: f64,
+    delay: Duration,
+    dead: Vec<DeadRank>,
+    slow: Vec<SlowRank>,
+}
+
+/// splitmix64: a tiny, high-quality mixer; enough to turn message
+/// coordinates into an i.i.d.-looking stream of 64-bit values.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map a hash to a uniform f64 in [0, 1).
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults enabled.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, ..FaultPlan::default() }
+    }
+
+    /// Drop each message independently with probability `p`.
+    pub fn drop(mut self, p: f64) -> Self {
+        self.drop_prob = p;
+        self
+    }
+
+    /// Delay each message with probability `p` by `latency`.
+    pub fn delay(mut self, p: f64, latency: Duration) -> Self {
+        self.delay_prob = p;
+        self.delay = latency;
+        self
+    }
+
+    /// Duplicate each message with probability `p`.
+    pub fn duplicate(mut self, p: f64) -> Self {
+        self.dup_prob = p;
+        self
+    }
+
+    /// Truncate each message's frame with probability `p`.
+    pub fn truncate(mut self, p: f64) -> Self {
+        self.truncate_prob = p;
+        self
+    }
+
+    /// Flip one payload byte with probability `p`.
+    pub fn bit_flip(mut self, p: f64) -> Self {
+        self.bitflip_prob = p;
+        self
+    }
+
+    /// Kill `rank` once it has performed `after_sends` sends: the send
+    /// fails with `RankDead` and the rank is marked dead world-wide.
+    pub fn kill_rank(mut self, rank: usize, after_sends: u64) -> Self {
+        self.dead.push(DeadRank { rank, after_sends });
+        self
+    }
+
+    /// Add `per_send` latency to every send `rank` performs.
+    pub fn slow_rank(mut self, rank: usize, per_send: Duration) -> Self {
+        self.slow.push(SlowRank { rank, per_send });
+        self
+    }
+
+    /// The injected latency for delayed messages.
+    pub fn delay_latency(&self) -> Duration {
+        self.delay
+    }
+
+    /// Deterministically decide the fate of message `(from, to, tag, seq)`.
+    ///
+    /// At most one fault fires per message; fault classes are checked in a
+    /// fixed order (drop, bit-flip, truncate, duplicate, delay) over
+    /// disjoint hash draws so probabilities stay independent per class.
+    pub fn decide(&self, from: usize, to: usize, tag: u32, seq: u64) -> FaultAction {
+        let base = self
+            .seed
+            .wrapping_mul(0xA076_1D64_78BD_642F)
+            .wrapping_add((from as u64) << 48 | (to as u64) << 32 | tag as u64)
+            .wrapping_add(seq.wrapping_mul(0xE703_7ED1_A0B4_28DB));
+        let classes = [
+            (self.drop_prob, FaultAction::Drop),
+            (self.bitflip_prob, FaultAction::BitFlip),
+            (self.truncate_prob, FaultAction::Truncate),
+            (self.dup_prob, FaultAction::Duplicate),
+            (self.delay_prob, FaultAction::Delay),
+        ];
+        for (salt, (p, action)) in classes.iter().enumerate() {
+            if *p > 0.0 && unit(splitmix64(base ^ (salt as u64 + 1).wrapping_mul(0x9E37_79B9))) < *p {
+                return *action;
+            }
+        }
+        FaultAction::Deliver
+    }
+
+    /// Whether `rank` is scheduled dead once it has made `sends` sends.
+    pub fn is_dead(&self, rank: usize, sends: u64) -> bool {
+        self.dead.iter().any(|d| d.rank == rank && sends >= d.after_sends)
+    }
+
+    /// The per-send latency penalty for `rank`, if it is scheduled slow.
+    pub fn slow_penalty(&self, rank: usize) -> Option<Duration> {
+        self.slow.iter().find(|s| s.rank == rank).map(|s| s.per_send)
+    }
+
+    /// Whether any per-message fault class is enabled.
+    pub fn any_message_faults(&self) -> bool {
+        self.drop_prob > 0.0
+            || self.delay_prob > 0.0
+            || self.dup_prob > 0.0
+            || self.truncate_prob > 0.0
+            || self.bitflip_prob > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let a = FaultPlan::new(7).drop(0.3).bit_flip(0.1);
+        let b = FaultPlan::new(7).drop(0.3).bit_flip(0.1);
+        for seq in 0..200 {
+            assert_eq!(a.decide(0, 1, 5, seq), b.decide(0, 1, 5, seq));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::new(1).drop(0.5);
+        let b = FaultPlan::new(2).drop(0.5);
+        let same = (0..256).filter(|&s| a.decide(0, 1, 0, s) == b.decide(0, 1, 0, s)).count();
+        assert!(same < 256, "seeds 1 and 2 produced identical schedules");
+    }
+
+    #[test]
+    fn drop_rate_roughly_matches_probability() {
+        let plan = FaultPlan::new(99).drop(0.25);
+        let n = 4000;
+        let drops = (0..n).filter(|&s| plan.decide(1, 0, 3, s) == FaultAction::Drop).count();
+        let rate = drops as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.05, "drop rate {rate} too far from 0.25");
+    }
+
+    #[test]
+    fn no_faults_means_deliver() {
+        let plan = FaultPlan::new(5);
+        assert!(!plan.any_message_faults());
+        for seq in 0..50 {
+            assert_eq!(plan.decide(0, 1, 2, seq), FaultAction::Deliver);
+        }
+    }
+
+    #[test]
+    fn dead_and_slow_schedules() {
+        let plan = FaultPlan::new(0).kill_rank(2, 10).slow_rank(1, Duration::from_millis(3));
+        assert!(!plan.is_dead(2, 9));
+        assert!(plan.is_dead(2, 10));
+        assert!(!plan.is_dead(1, 1000));
+        assert_eq!(plan.slow_penalty(1), Some(Duration::from_millis(3)));
+        assert_eq!(plan.slow_penalty(0), None);
+    }
+}

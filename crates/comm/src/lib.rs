@@ -6,11 +6,24 @@
 //! the three storage precisions. Traffic is counted per rank so the
 //! performance model can price every face exchange with the InfiniBand
 //! model from `quda-gpusim`.
+//!
+//! The layer is failure-aware (DESIGN.md §7): every hot API returns a typed
+//! [`CommError`], messages travel as checksummed frames with sequence
+//! numbers, and a deterministic seed-driven [`FaultPlan`] can inject drops,
+//! delays, duplicates, truncations, bit-flips, and dead or slow ranks for
+//! chaos testing. The `chaos` cargo feature enables the heavier soak tests.
 
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod error;
+pub mod fault;
 pub mod world;
 
-pub use codec::{pack_f32, pack_f64, pack_i16, unpack_f32, unpack_f64, unpack_i16};
-pub use world::{comm_world, Communicator};
+pub use codec::{
+    checksum, frame, pack_f32, pack_f64, pack_i16, unframe, unpack_f32, unpack_f64, unpack_i16,
+    FRAME_OVERHEAD,
+};
+pub use error::{CommError, DecodeError};
+pub use fault::{FaultAction, FaultPlan};
+pub use world::{comm_world, comm_world_with, CommConfig, CommStats, Communicator};

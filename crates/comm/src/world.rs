@@ -7,19 +7,93 @@
 //! with `(from, tag)` matching, and reductions are performed
 //! deterministically (fixed summation order by rank), which keeps multi-rank
 //! solves bit-reproducible run to run.
+//!
+//! ## Resilience
+//!
+//! Every hot API returns a typed [`CommError`] instead of panicking or
+//! blocking forever. On the wire each message is a checksummed frame
+//! (see [`codec`](crate::codec)) carrying a per-`(peer, tag)` sequence
+//! number, which lets the receiver detect corruption, discard duplicates,
+//! and notice gaps. A world-shared liveness board turns a dropped, panicked
+//! or fault-killed peer into [`CommError::RankDead`] within one timeout
+//! tick, and a link-level *pristine store* — the moral equivalent of NIC
+//! retransmit buffers on the paper's InfiniBand fabric — masks injected
+//! drops, truncations and bit-flips with bit-identical payloads, so a
+//! faulted run converges to exactly the fault-free result (DESIGN.md §7).
 
+use crate::error::CommError;
+use crate::fault::{FaultAction, FaultPlan};
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::collections::VecDeque;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
 
 /// Reserved tag base for internal collective traffic.
 const TAG_COLLECTIVE: u32 = 0xffff_0000;
+
+/// Longest single wait on the channel; backoff ticks cap here so liveness
+/// changes are observed promptly even under long total timeouts.
+const MAX_TICK: Duration = Duration::from_millis(50);
 
 #[derive(Clone, Debug)]
 struct Message {
     from: usize,
     tag: u32,
-    payload: Bytes,
+    seq: u64,
+    frame: Bytes,
+}
+
+/// Timeout and retry policy for one communicator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommConfig {
+    /// Total time a `recv` may wait for its message before failing with
+    /// [`CommError::Timeout`].
+    pub timeout: Duration,
+    /// Initial backoff tick; doubles per wait up to an internal cap.
+    pub retry_backoff: Duration,
+    /// Retry budget once a sequence gap proves the expected message went
+    /// missing; exceeding it fails with [`CommError::RetriesExhausted`].
+    pub max_retries: u32,
+}
+
+impl Default for CommConfig {
+    fn default() -> Self {
+        CommConfig {
+            timeout: Duration::from_secs(10),
+            retry_backoff: Duration::from_micros(500),
+            max_retries: 16,
+        }
+    }
+}
+
+/// Recovery counters kept per rank.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Timeout ticks spent waiting or backing off in `recv`.
+    pub retries: u64,
+    /// Messages recovered from the link-level pristine store (after a
+    /// drop, truncation or bit-flip on the wire).
+    pub recovered: u64,
+    /// Stale duplicate frames discarded by sequence-number dedup.
+    pub duplicates_dropped: u64,
+    /// Frames whose checksum or length check failed on arrival.
+    pub checksum_failures: u64,
+}
+
+/// State shared by every rank of one world.
+struct WorldShared {
+    /// Liveness board: `alive[r]` is cleared when rank `r`'s communicator
+    /// is dropped (clean exit or panic) or a fault plan kills it.
+    alive: Vec<AtomicBool>,
+    /// Link-level retransmit store: pristine payload copies keyed by
+    /// `(from, to, tag, seq)`, populated only when a fault perturbs the
+    /// wire copy of a message.
+    pristine: Mutex<HashMap<(usize, usize, u32, u64), Bytes>>,
+    /// The installed fault schedule, if any.
+    plan: Option<FaultPlan>,
 }
 
 /// One rank's endpoint in the communicator world.
@@ -30,14 +104,28 @@ pub struct Communicator {
     receiver: Receiver<Message>,
     // Messages received but not yet matched by a recv call.
     stash: VecDeque<Message>,
-    // Bytes sent, for traffic accounting.
+    shared: Arc<WorldShared>,
+    config: CommConfig,
+    // Next sequence number per (to, tag) / next expected per (from, tag).
+    send_seq: HashMap<(usize, u32), u64>,
+    recv_seq: HashMap<(usize, u32), u64>,
+    // Bytes sent, for traffic accounting (payloads only — frame headers
+    // are link-level overhead the performance model does not price).
     sent_bytes: u64,
     sent_messages: u64,
+    total_sends: u64,
+    stats: CommStats,
 }
 
-/// Create a world of `size` ranks. Returns one [`Communicator`] per rank;
-/// move each into its rank's thread.
+/// Create a world of `size` ranks with default config and no faults.
+/// Returns one [`Communicator`] per rank; move each into its rank's thread.
 pub fn comm_world(size: usize) -> Vec<Communicator> {
+    comm_world_with(size, CommConfig::default(), None)
+}
+
+/// Create a world with an explicit timeout/retry policy and an optional
+/// deterministic [`FaultPlan`] injected into every link.
+pub fn comm_world_with(size: usize, config: CommConfig, plan: Option<FaultPlan>) -> Vec<Communicator> {
     assert!(size >= 1);
     let mut senders = Vec::with_capacity(size);
     let mut receivers = Vec::with_capacity(size);
@@ -46,6 +134,11 @@ pub fn comm_world(size: usize) -> Vec<Communicator> {
         senders.push(s);
         receivers.push(r);
     }
+    let shared = Arc::new(WorldShared {
+        alive: (0..size).map(|_| AtomicBool::new(true)).collect(),
+        pristine: Mutex::new(HashMap::new()),
+        plan,
+    });
     receivers
         .into_iter()
         .enumerate()
@@ -55,8 +148,14 @@ pub fn comm_world(size: usize) -> Vec<Communicator> {
             senders: senders.clone(),
             receiver,
             stash: VecDeque::new(),
+            shared: shared.clone(),
+            config,
+            send_seq: HashMap::new(),
+            recv_seq: HashMap::new(),
             sent_bytes: 0,
             sent_messages: 0,
+            total_sends: 0,
+            stats: CommStats::default(),
         })
         .collect()
 }
@@ -83,28 +182,210 @@ impl Communicator {
         (self.rank + self.size - 1) % self.size
     }
 
+    /// The timeout/retry policy this communicator runs under.
+    pub fn config(&self) -> &CommConfig {
+        &self.config
+    }
+
+    /// Whether `rank` is still alive on the world's liveness board.
+    pub fn is_alive(&self, rank: usize) -> bool {
+        self.shared.alive[rank].load(Ordering::SeqCst)
+    }
+
     /// Non-blocking send (channel buffered, like an eager-protocol MPI
-    /// send of a face-sized message).
-    pub fn send(&mut self, to: usize, tag: u32, payload: Bytes) {
+    /// send of a face-sized message). Fails with [`CommError::RankDead`]
+    /// if this rank was fault-killed or the destination endpoint is gone.
+    pub fn send(&mut self, to: usize, tag: u32, payload: Bytes) -> Result<(), CommError> {
+        let mut action = FaultAction::Deliver;
+        if let Some(plan) = &self.shared.plan {
+            if plan.is_dead(self.rank, self.total_sends) {
+                self.shared.alive[self.rank].store(false, Ordering::SeqCst);
+                return Err(CommError::RankDead { rank: self.rank });
+            }
+            if let Some(penalty) = plan.slow_penalty(self.rank) {
+                thread::sleep(penalty);
+            }
+        }
+        let seq = {
+            let s = self.send_seq.entry((to, tag)).or_insert(0);
+            let seq = *s;
+            *s += 1;
+            seq
+        };
+        if let Some(plan) = &self.shared.plan {
+            action = plan.decide(self.rank, to, tag, seq);
+        }
+        self.total_sends += 1;
         self.sent_bytes += payload.len() as u64;
         self.sent_messages += 1;
-        self.senders[to]
-            .send(Message { from: self.rank, tag, payload })
-            .expect("rank channel closed");
+        let framed = crate::codec::frame(&payload);
+        match action {
+            FaultAction::Deliver => self.put(to, tag, seq, framed)?,
+            FaultAction::Drop => {
+                // The wire copy vanishes; the link keeps a pristine copy
+                // for the receiver-driven retransmit path.
+                self.store_pristine(to, tag, seq, payload);
+            }
+            FaultAction::Delay => {
+                let latency =
+                    self.shared.plan.as_ref().map(|p| p.delay_latency()).unwrap_or_default();
+                thread::sleep(latency);
+                self.put(to, tag, seq, framed)?;
+            }
+            FaultAction::Duplicate => {
+                self.put(to, tag, seq, framed.clone())?;
+                self.put(to, tag, seq, framed)?;
+            }
+            FaultAction::Truncate => {
+                self.store_pristine(to, tag, seq, payload);
+                let cut = framed.len().saturating_sub(7);
+                self.put(to, tag, seq, framed.slice(0..cut))?;
+            }
+            FaultAction::BitFlip => {
+                self.store_pristine(to, tag, seq, payload.clone());
+                let mut wire = framed.to_vec();
+                let idx = if payload.is_empty() {
+                    4 // no payload bytes: corrupt the checksum field itself
+                } else {
+                    crate::codec::FRAME_OVERHEAD + (seq as usize).wrapping_mul(7919) % payload.len()
+                };
+                wire[idx] ^= 0x20;
+                self.put(to, tag, seq, Bytes::from(wire))?;
+            }
+        }
+        Ok(())
+    }
+
+    fn put(&mut self, to: usize, tag: u32, seq: u64, frame: Bytes) -> Result<(), CommError> {
+        self.senders[to].send(Message { from: self.rank, tag, seq, frame }).map_err(|_| {
+            self.shared.alive[to].store(false, Ordering::SeqCst);
+            CommError::RankDead { rank: to }
+        })
+    }
+
+    fn store_pristine(&self, to: usize, tag: u32, seq: u64, payload: Bytes) {
+        self.shared
+            .pristine
+            .lock()
+            .expect("pristine store poisoned")
+            .insert((self.rank, to, tag, seq), payload);
+    }
+
+    fn take_pristine(&self, from: usize, tag: u32, seq: u64) -> Option<Bytes> {
+        self.shared
+            .pristine
+            .lock()
+            .expect("pristine store poisoned")
+            .remove(&(from, self.rank, tag, seq))
+    }
+
+    /// Try to produce the next-in-sequence payload for `(from, tag)` from
+    /// the stash, the channel backlog, or the link-level pristine store —
+    /// without blocking. Stale duplicates are purged along the way.
+    fn try_take(&mut self, from: usize, tag: u32) -> Result<Option<Bytes>, CommError> {
+        let expected = *self.recv_seq.entry((from, tag)).or_insert(0);
+        for drained in [false, true] {
+            if drained {
+                // Pull everything already buffered in the channel so a
+                // finished-and-dropped peer's messages are never missed.
+                while let Ok(m) = self.receiver.try_recv() {
+                    self.stash.push_back(m);
+                }
+            }
+            // Purge stale duplicates of this stream.
+            let before = self.stash.len();
+            self.stash.retain(|m| !(m.from == from && m.tag == tag && m.seq < expected));
+            self.stats.duplicates_dropped += (before - self.stash.len()) as u64;
+            if let Some(pos) =
+                self.stash.iter().position(|m| m.from == from && m.tag == tag && m.seq == expected)
+            {
+                let m = self.stash.remove(pos).expect("position just found");
+                match crate::codec::unframe(&m.frame) {
+                    Ok(payload) => {
+                        self.recv_seq.insert((from, tag), expected + 1);
+                        return Ok(Some(payload));
+                    }
+                    Err(error) => {
+                        self.stats.checksum_failures += 1;
+                        return match self.take_pristine(from, tag, expected) {
+                            Some(payload) => {
+                                self.stats.recovered += 1;
+                                self.recv_seq.insert((from, tag), expected + 1);
+                                Ok(Some(payload))
+                            }
+                            None => Err(CommError::Decode { from, tag, error }),
+                        };
+                    }
+                }
+            }
+        }
+        // Not on the wire at all — maybe the link dropped it and kept a
+        // pristine copy (receiver-driven retransmit).
+        if let Some(payload) = self.take_pristine(from, tag, expected) {
+            self.stats.recovered += 1;
+            self.recv_seq.insert((from, tag), expected + 1);
+            return Ok(Some(payload));
+        }
+        Ok(None)
+    }
+
+    fn has_gap(&self, from: usize, tag: u32) -> bool {
+        let expected = self.recv_seq.get(&(from, tag)).copied().unwrap_or(0);
+        self.stash.iter().any(|m| m.from == from && m.tag == tag && m.seq > expected)
     }
 
     /// Blocking receive matching `(from, tag)`; out-of-order messages are
-    /// stashed until asked for.
-    pub fn recv(&mut self, from: usize, tag: u32) -> Bytes {
-        if let Some(pos) = self.stash.iter().position(|m| m.from == from && m.tag == tag) {
-            return self.stash.remove(pos).unwrap().payload;
+    /// stashed until asked for. Never hangs: a dead peer surfaces as
+    /// [`CommError::RankDead`], a missing message as
+    /// [`CommError::Timeout`] (or [`CommError::RetriesExhausted`] once a
+    /// sequence gap proves it went missing), and unrecoverable corruption
+    /// as [`CommError::Decode`].
+    pub fn recv(&mut self, from: usize, tag: u32) -> Result<Bytes, CommError> {
+        if let Some(payload) = self.try_take(from, tag)? {
+            return Ok(payload);
         }
+        let start = Instant::now();
+        let mut tick = self.config.retry_backoff.max(Duration::from_micros(1));
+        let mut gap_retries: u32 = 0;
         loop {
-            let m = self.receiver.recv().expect("rank channel closed");
-            if m.from == from && m.tag == tag {
-                return m.payload;
+            match self.receiver.recv_timeout(tick) {
+                Ok(m) => {
+                    self.stash.push_back(m);
+                    if let Some(payload) = self.try_take(from, tag)? {
+                        return Ok(payload);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                    if let Some(payload) = self.try_take(from, tag)? {
+                        return Ok(payload);
+                    }
+                    self.stats.retries += 1;
+                    if !self.is_alive(from) {
+                        // try_take already drained the channel backlog; the
+                        // message can no longer arrive.
+                        return Err(CommError::RankDead { rank: from });
+                    }
+                    if self.has_gap(from, tag) {
+                        gap_retries += 1;
+                        if gap_retries > self.config.max_retries {
+                            return Err(CommError::RetriesExhausted {
+                                from,
+                                tag,
+                                attempts: self.config.max_retries,
+                            });
+                        }
+                    }
+                    let waited = start.elapsed();
+                    if waited >= self.config.timeout {
+                        return Err(CommError::Timeout {
+                            from,
+                            tag,
+                            waited_ms: waited.as_millis() as u64,
+                        });
+                    }
+                    tick = (tick * 2).min(MAX_TICK);
+                }
             }
-            self.stash.push_back(m);
         }
     }
 
@@ -118,75 +399,114 @@ impl Communicator {
         self.sent_messages
     }
 
+    /// Recovery counters accumulated by this rank.
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
     /// Deterministic allreduce-sum over f64: gather to rank 0 (summed in
     /// rank order), broadcast back. This is the "insertion of MPI
     /// reductions for each of the linear algebra reduction kernels"
     /// (Section VI-E).
-    pub fn allreduce_sum_f64(&mut self, local: f64) -> f64 {
-        self.allreduce_vec(&[local])[0]
+    pub fn allreduce_sum_f64(&mut self, local: f64) -> Result<f64, CommError> {
+        Ok(self.allreduce_vec(&[local])?[0])
     }
 
     /// Allreduce-sum over a small vector of f64 (e.g. complex re/im pairs).
-    pub fn allreduce_vec(&mut self, local: &[f64]) -> Vec<f64> {
+    pub fn allreduce_vec(&mut self, local: &[f64]) -> Result<Vec<f64>, CommError> {
         if self.size == 1 {
-            return local.to_vec();
+            return Ok(local.to_vec());
         }
         let tag = TAG_COLLECTIVE;
         if self.rank == 0 {
             let mut acc = local.to_vec();
             for from in 1..self.size {
-                let contrib = crate::codec::unpack_f64(&self.recv(from, tag));
-                assert_eq!(contrib.len(), acc.len());
+                let bytes = self.recv(from, tag)?;
+                let contrib = crate::codec::unpack_f64(&bytes)
+                    .map_err(|error| CommError::Decode { from, tag, error })?;
+                if contrib.len() != acc.len() {
+                    return Err(CommError::SizeMismatch { expected: acc.len(), got: contrib.len() });
+                }
                 for (a, c) in acc.iter_mut().zip(&contrib) {
                     *a += c;
                 }
             }
             let packed = crate::codec::pack_f64(&acc);
             for to in 1..self.size {
-                self.send(to, tag + 1, packed.clone());
+                self.send(to, tag + 1, packed.clone())?;
             }
-            acc
+            Ok(acc)
         } else {
             let packed = crate::codec::pack_f64(local);
-            self.send(0, tag, packed);
-            crate::codec::unpack_f64(&self.recv(0, tag + 1))
+            self.send(0, tag, packed)?;
+            let bytes = self.recv(0, tag + 1)?;
+            crate::codec::unpack_f64(&bytes)
+                .map_err(|error| CommError::Decode { from: 0, tag: tag + 1, error })
         }
     }
 
     /// Allreduce-max over f64.
-    pub fn allreduce_max_f64(&mut self, local: f64) -> f64 {
+    pub fn allreduce_max_f64(&mut self, local: f64) -> Result<f64, CommError> {
         if self.size == 1 {
-            return local;
+            return Ok(local);
         }
         let tag = TAG_COLLECTIVE + 2;
         if self.rank == 0 {
             let mut acc = local;
             for from in 1..self.size {
-                let v = crate::codec::unpack_f64(&self.recv(from, tag))[0];
-                acc = acc.max(v);
+                let bytes = self.recv(from, tag)?;
+                let contrib = crate::codec::unpack_f64(&bytes)
+                    .map_err(|error| CommError::Decode { from, tag, error })?;
+                if contrib.len() != 1 {
+                    return Err(CommError::SizeMismatch { expected: 1, got: contrib.len() });
+                }
+                acc = acc.max(contrib[0]);
             }
             let packed = crate::codec::pack_f64(&[acc]);
             for to in 1..self.size {
-                self.send(to, tag + 1, packed.clone());
+                self.send(to, tag + 1, packed.clone())?;
             }
-            acc
+            Ok(acc)
         } else {
-            self.send(0, tag, crate::codec::pack_f64(&[local]));
-            crate::codec::unpack_f64(&self.recv(0, tag + 1))[0]
+            self.send(0, tag, crate::codec::pack_f64(&[local]))?;
+            let bytes = self.recv(0, tag + 1)?;
+            let v = crate::codec::unpack_f64(&bytes)
+                .map_err(|error| CommError::Decode { from: 0, tag: tag + 1, error })?;
+            if v.len() != 1 {
+                return Err(CommError::SizeMismatch { expected: 1, got: v.len() });
+            }
+            Ok(v[0])
         }
     }
 
     /// Synchronize all ranks.
-    pub fn barrier(&mut self) {
-        self.allreduce_sum_f64(0.0);
+    pub fn barrier(&mut self) -> Result<(), CommError> {
+        self.allreduce_sum_f64(0.0).map(|_| ())
+    }
+}
+
+impl Drop for Communicator {
+    fn drop(&mut self) {
+        // Whether this rank finished cleanly or its thread panicked, the
+        // rest of the world must see it as gone — this is what turns a
+        // dead peer into `RankDead` instead of a hang.
+        self.shared.alive[self.rank].store(false, Ordering::SeqCst);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::codec::{pack_f64, unpack_f64};
+    use crate::codec::{frame, pack_f64, unpack_f64};
     use std::thread;
+
+    fn fast_config() -> CommConfig {
+        CommConfig {
+            timeout: Duration::from_millis(500),
+            retry_backoff: Duration::from_micros(200),
+            max_retries: 16,
+        }
+    }
 
     #[test]
     fn ring_topology() {
@@ -202,15 +522,16 @@ mod tests {
         let mut c1 = world.pop().unwrap();
         let mut c0 = world.pop().unwrap();
         let t = thread::spawn(move || {
-            c1.send(0, 7, pack_f64(&[1.0, 2.0]));
-            let back = unpack_f64(&c1.recv(0, 8));
+            c1.send(0, 7, pack_f64(&[1.0, 2.0])).unwrap();
+            let back = unpack_f64(&c1.recv(0, 8).unwrap()).unwrap();
             assert_eq!(back, vec![3.0]);
         });
-        let data = unpack_f64(&c0.recv(1, 7));
+        let data = unpack_f64(&c0.recv(1, 7).unwrap()).unwrap();
         assert_eq!(data, vec![1.0, 2.0]);
-        c0.send(1, 8, pack_f64(&[3.0]));
+        c0.send(1, 8, pack_f64(&[3.0])).unwrap();
         t.join().unwrap();
         assert_eq!(c0.sent_messages(), 1);
+        // Traffic accounting counts payload bytes only, not frame headers.
         assert_eq!(c0.sent_bytes(), 8);
     }
 
@@ -221,12 +542,12 @@ mod tests {
         let mut c0 = world.pop().unwrap();
         let t = thread::spawn(move || {
             // Send tag 2 first, then tag 1.
-            c1.send(0, 2, pack_f64(&[2.0]));
-            c1.send(0, 1, pack_f64(&[1.0]));
+            c1.send(0, 2, pack_f64(&[2.0])).unwrap();
+            c1.send(0, 1, pack_f64(&[1.0])).unwrap();
         });
         // Receive in the opposite order.
-        assert_eq!(unpack_f64(&c0.recv(1, 1)), vec![1.0]);
-        assert_eq!(unpack_f64(&c0.recv(1, 2)), vec![2.0]);
+        assert_eq!(unpack_f64(&c0.recv(1, 1).unwrap()).unwrap(), vec![1.0]);
+        assert_eq!(unpack_f64(&c0.recv(1, 2).unwrap()).unwrap(), vec![2.0]);
         t.join().unwrap();
     }
 
@@ -238,11 +559,11 @@ mod tests {
             .map(|mut c| {
                 thread::spawn(move || {
                     let r = c.rank() as f64;
-                    let total = c.allreduce_sum_f64(r + 1.0);
+                    let total = c.allreduce_sum_f64(r + 1.0).unwrap();
                     assert_eq!(total, 10.0); // 1+2+3+4
-                    let m = c.allreduce_max_f64(r);
+                    let m = c.allreduce_max_f64(r).unwrap();
                     assert_eq!(m, 3.0);
-                    c.barrier();
+                    c.barrier().unwrap();
                     total
                 })
             })
@@ -263,7 +584,7 @@ mod tests {
                 .into_iter()
                 .map(|mut c| {
                     let v = vals[c.rank()];
-                    thread::spawn(move || c.allreduce_sum_f64(v))
+                    thread::spawn(move || c.allreduce_sum_f64(v).unwrap())
                 })
                 .collect();
             let results: Vec<f64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
@@ -279,7 +600,7 @@ mod tests {
         let world = comm_world(2);
         let handles: Vec<_> = world
             .into_iter()
-            .map(|mut c| thread::spawn(move || c.allreduce_vec(&[1.0, -2.0])))
+            .map(|mut c| thread::spawn(move || c.allreduce_vec(&[1.0, -2.0]).unwrap()))
             .collect();
         for h in handles {
             assert_eq!(h.join().unwrap(), vec![2.0, -4.0]);
@@ -290,8 +611,254 @@ mod tests {
     fn single_rank_world_shortcuts() {
         let mut world = comm_world(1);
         let c = &mut world[0];
-        assert_eq!(c.allreduce_sum_f64(5.0), 5.0);
-        assert_eq!(c.allreduce_max_f64(-1.0), -1.0);
-        c.barrier();
+        assert_eq!(c.allreduce_sum_f64(5.0).unwrap(), 5.0);
+        assert_eq!(c.allreduce_max_f64(-1.0).unwrap(), -1.0);
+        c.barrier().unwrap();
+    }
+
+    #[test]
+    fn dropped_peer_surfaces_as_rank_dead_not_hang() {
+        let mut world = comm_world_with(2, fast_config(), None);
+        let c1 = world.pop().unwrap();
+        let mut c0 = world.pop().unwrap();
+        drop(c1); // peer exits (or panics) without ever sending
+        let start = Instant::now();
+        assert_eq!(c0.recv(1, 5), Err(CommError::RankDead { rank: 1 }));
+        assert!(start.elapsed() < Duration::from_millis(400), "death detection too slow");
+    }
+
+    #[test]
+    fn messages_sent_before_death_still_arrive() {
+        let mut world = comm_world_with(2, fast_config(), None);
+        let mut c1 = world.pop().unwrap();
+        let mut c0 = world.pop().unwrap();
+        c1.send(0, 3, pack_f64(&[9.0])).unwrap();
+        drop(c1);
+        // The buffered message must be drained before death is reported.
+        assert_eq!(unpack_f64(&c0.recv(1, 3).unwrap()).unwrap(), vec![9.0]);
+        assert_eq!(c0.recv(1, 3), Err(CommError::RankDead { rank: 1 }));
+    }
+
+    #[test]
+    fn fault_plan_kills_rank_at_scheduled_send() {
+        let plan = FaultPlan::new(1).kill_rank(1, 1);
+        let mut world = comm_world_with(2, fast_config(), Some(plan));
+        let mut c1 = world.pop().unwrap();
+        let mut c0 = world.pop().unwrap();
+        c1.send(0, 3, pack_f64(&[1.0])).unwrap();
+        assert_eq!(c1.send(0, 3, pack_f64(&[2.0])), Err(CommError::RankDead { rank: 1 }));
+        // Rank 0 sees the first message, then the death.
+        assert_eq!(unpack_f64(&c0.recv(1, 3).unwrap()).unwrap(), vec![1.0]);
+        assert_eq!(c0.recv(1, 3), Err(CommError::RankDead { rank: 1 }));
+    }
+
+    #[test]
+    fn timeout_when_message_never_sent() {
+        let config = CommConfig { timeout: Duration::from_millis(80), ..fast_config() };
+        let mut world = comm_world_with(2, config, None);
+        let _c1 = world.pop().unwrap(); // alive but silent
+        let mut c0 = world.pop().unwrap();
+        match c0.recv(1, 9) {
+            Err(CommError::Timeout { from: 1, tag: 9, waited_ms }) => assert!(waited_ms >= 80),
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_messages_recover_from_pristine_store() {
+        let plan = FaultPlan::new(11).drop(1.0); // every wire copy vanishes
+        let mut world = comm_world_with(2, fast_config(), Some(plan));
+        let mut c1 = world.pop().unwrap();
+        let mut c0 = world.pop().unwrap();
+        for i in 0..3 {
+            c1.send(0, 4, pack_f64(&[i as f64])).unwrap();
+        }
+        for i in 0..3 {
+            assert_eq!(unpack_f64(&c0.recv(1, 4).unwrap()).unwrap(), vec![i as f64]);
+        }
+        assert_eq!(c0.stats().recovered, 3);
+    }
+
+    #[test]
+    fn bit_flips_are_detected_and_recovered() {
+        let plan = FaultPlan::new(12).bit_flip(1.0);
+        let mut world = comm_world_with(2, fast_config(), Some(plan));
+        let mut c1 = world.pop().unwrap();
+        let mut c0 = world.pop().unwrap();
+        let data = vec![1.25, -3.5, 1e300];
+        c1.send(0, 6, pack_f64(&data)).unwrap();
+        assert_eq!(unpack_f64(&c0.recv(1, 6).unwrap()).unwrap(), data);
+        assert_eq!(c0.stats().recovered, 1);
+    }
+
+    #[test]
+    fn truncated_frames_are_detected_and_recovered() {
+        let plan = FaultPlan::new(13).truncate(1.0);
+        let mut world = comm_world_with(2, fast_config(), Some(plan));
+        let mut c1 = world.pop().unwrap();
+        let mut c0 = world.pop().unwrap();
+        c1.send(0, 2, pack_f64(&[7.0, 8.0])).unwrap();
+        assert_eq!(unpack_f64(&c0.recv(1, 2).unwrap()).unwrap(), vec![7.0, 8.0]);
+        assert_eq!(c0.stats().recovered, 1);
+    }
+
+    #[test]
+    fn duplicates_are_deduplicated() {
+        let plan = FaultPlan::new(14).duplicate(1.0);
+        let mut world = comm_world_with(2, fast_config(), Some(plan));
+        let mut c1 = world.pop().unwrap();
+        let mut c0 = world.pop().unwrap();
+        c1.send(0, 5, pack_f64(&[1.0])).unwrap();
+        c1.send(0, 5, pack_f64(&[2.0])).unwrap();
+        assert_eq!(unpack_f64(&c0.recv(1, 5).unwrap()).unwrap(), vec![1.0]);
+        assert_eq!(unpack_f64(&c0.recv(1, 5).unwrap()).unwrap(), vec![2.0]);
+        assert!(c0.stats().duplicates_dropped >= 1);
+    }
+
+    #[test]
+    fn delayed_messages_still_arrive() {
+        let plan = FaultPlan::new(15).delay(1.0, Duration::from_millis(2));
+        let mut world = comm_world_with(2, fast_config(), Some(plan));
+        let mut c1 = world.pop().unwrap();
+        let mut c0 = world.pop().unwrap();
+        let t = thread::spawn(move || c1.send(0, 1, pack_f64(&[4.0])).unwrap());
+        assert_eq!(unpack_f64(&c0.recv(1, 1).unwrap()).unwrap(), vec![4.0]);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn sequence_gap_exhausts_retries() {
+        let config = CommConfig {
+            timeout: Duration::from_secs(5),
+            retry_backoff: Duration::from_micros(100),
+            max_retries: 3,
+        };
+        let mut world = comm_world_with(2, config, None);
+        let c1 = world.pop().unwrap();
+        let mut c0 = world.pop().unwrap();
+        // A message from the future (seq 5) with seq 0 lost without a
+        // pristine copy: evidence of a hole the link cannot repair.
+        c1.senders[0]
+            .send(Message { from: 1, tag: 3, seq: 5, frame: frame(&pack_f64(&[0.0])) })
+            .unwrap();
+        assert_eq!(
+            c0.recv(1, 3),
+            Err(CommError::RetriesExhausted { from: 1, tag: 3, attempts: 3 })
+        );
+    }
+
+    #[test]
+    fn faulted_allreduce_matches_fault_free() {
+        let run = |plan: Option<FaultPlan>| -> (Vec<f64>, u64) {
+            let world = comm_world_with(4, fast_config(), plan);
+            let handles: Vec<_> = world
+                .into_iter()
+                .map(|mut c| {
+                    thread::spawn(move || {
+                        let mut acc = Vec::new();
+                        for round in 0..16 {
+                            let v = (c.rank() * 31 + round) as f64 * 0.37 + 1e-3;
+                            acc.push(c.allreduce_sum_f64(v).unwrap());
+                        }
+                        (acc, c.stats().recovered)
+                    })
+                })
+                .collect();
+            let mut results = Vec::new();
+            let mut recovered = 0;
+            for h in handles {
+                let (acc, rec) = h.join().unwrap();
+                results.push(acc);
+                recovered += rec;
+            }
+            assert!(results.windows(2).all(|w| w[0] == w[1]));
+            (results.pop().unwrap(), recovered)
+        };
+        let clean = run(None);
+        let chaotic = run(Some(FaultPlan::new(77).drop(0.10).bit_flip(0.05).duplicate(0.05)));
+        // Recovery is bit-exact: the faulted world reduces to the exact
+        // fault-free values, and at least one recovery actually happened.
+        assert_eq!(clean.0, chaotic.0);
+        assert!(chaotic.1 > 0, "fault plan injected nothing");
+    }
+
+    #[test]
+    fn fault_recovery_is_deterministic_across_runs() {
+        let run = || {
+            let plan = FaultPlan::new(42).drop(0.3).truncate(0.1);
+            let mut world = comm_world_with(2, fast_config(), Some(plan));
+            let mut c1 = world.pop().unwrap();
+            let mut c0 = world.pop().unwrap();
+            let mut got = Vec::new();
+            for i in 0..20 {
+                c1.send(0, 9, pack_f64(&[i as f64 * 1.5])).unwrap();
+                got.push(unpack_f64(&c0.recv(1, 9).unwrap()).unwrap()[0]);
+            }
+            (got, c0.stats().recovered)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.1 > 0, "expected some recoveries at 30% drop over 20 messages");
+    }
+}
+
+/// Heavier soak tests, run via `cargo test -p quda-comm --features chaos`.
+#[cfg(all(test, feature = "chaos"))]
+mod chaos_tests {
+    use super::*;
+    use crate::codec::{pack_f64, unpack_f64};
+    use std::thread;
+
+    #[test]
+    fn soak_mixed_faults_heavy_traffic() {
+        let plan = FaultPlan::new(1234)
+            .drop(0.05)
+            .bit_flip(0.02)
+            .truncate(0.02)
+            .duplicate(0.05)
+            .delay(0.02, Duration::from_micros(200));
+        let world = comm_world_with(4, CommConfig::default(), Some(plan));
+        let handles: Vec<_> = world
+            .into_iter()
+            .map(|mut c| {
+                thread::spawn(move || {
+                    let fwd = c.forward();
+                    let bwd = c.backward();
+                    let mut sum = 0.0;
+                    for i in 0..200u64 {
+                        c.send(fwd, 17, pack_f64(&[i as f64 + c.rank() as f64 * 0.5])).unwrap();
+                        sum += unpack_f64(&c.recv(bwd, 17).unwrap()).unwrap()[0];
+                    }
+                    let world_sum = c.allreduce_sum_f64(sum).unwrap();
+                    (world_sum, c.stats())
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(results.windows(2).all(|w| w[0].0 == w[1].0));
+        let recovered: u64 = results.iter().map(|r| r.1.recovered).sum();
+        assert!(recovered > 0, "soak injected no recoverable faults");
+    }
+
+    #[test]
+    fn soak_slow_rank_does_not_fail() {
+        let plan = FaultPlan::new(5).slow_rank(1, Duration::from_micros(300));
+        let world = comm_world_with(3, CommConfig::default(), Some(plan));
+        let handles: Vec<_> = world
+            .into_iter()
+            .map(|mut c| {
+                thread::spawn(move || {
+                    let mut total = 0.0;
+                    for _ in 0..50 {
+                        total = c.allreduce_sum_f64(1.0).unwrap();
+                    }
+                    total
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 3.0);
+        }
     }
 }

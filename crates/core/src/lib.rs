@@ -67,6 +67,9 @@ pub enum QudaError {
         /// Available bytes per GPU.
         available: usize,
     },
+    /// The parallel solve failed with an unrecoverable communication error
+    /// (dead rank, timeout, exhausted retries).
+    Comm(String),
 }
 
 impl std::fmt::Display for QudaError {
@@ -79,6 +82,7 @@ impl std::fmt::Display for QudaError {
             QudaError::OutOfDeviceMemory { required, available } => {
                 write!(f, "out of device memory: need {required} B/GPU, have {available} B/GPU")
             }
+            QudaError::Comm(s) => write!(f, "communication failure: {s}"),
         }
     }
 }
@@ -187,7 +191,8 @@ impl Quda {
             solver: param.solver,
             params: SolverParams { tol: param.tol, max_iter: param.max_iter, delta: param.delta },
         };
-        let (x, result) = solve_full_parallel(cfg, source, &spec);
+        let (x, result) =
+            solve_full_parallel(cfg, source, &spec).map_err(|e| QudaError::Comm(e.to_string()))?;
         let true_residual = verify_full_solution(cfg, &wilson, &x, source);
 
         // Performance model of this run shape on the simulated cluster.
@@ -209,6 +214,8 @@ impl Quda {
             modeled_seconds,
             modeled_gflops: report.sustained_gflops,
             memory_per_gpu: mem,
+            recoveries: result.recoveries,
+            comm_recoveries: result.comm_recoveries,
         };
         Ok((x, stats))
     }

@@ -98,6 +98,10 @@ pub struct InvertStats {
     pub modeled_gflops: f64,
     /// Modeled device memory per GPU (bytes).
     pub memory_per_gpu: usize,
+    /// Solver checkpoint rollbacks performed after detected corruption.
+    pub recoveries: u64,
+    /// Messages recovered by link-level retransmission across all ranks.
+    pub comm_recoveries: u64,
 }
 
 /// Hardware context for the performance model.

@@ -6,6 +6,7 @@
 
 use crate::rank_op::{CommStrategy, ParallelWilsonCloverOp};
 use crate::slice::{gather_spinor, slice_spinor};
+use quda_comm::{CommConfig, CommError, FaultPlan};
 use quda_dirac::WilsonParams;
 use quda_fields::host::{GaugeConfig, HostSpinorField};
 use quda_fields::precision::{Double, Half, Precision, Quarter, Single};
@@ -71,6 +72,18 @@ pub enum SolverKind {
     Cgnr,
 }
 
+/// Fault-injection and timeout policy for a parallel solve: a deterministic
+/// [`FaultPlan`] applied to every communicator in the world plus the
+/// timeout/retry configuration (DESIGN.md §7). The default injects nothing
+/// and uses the production timeouts.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosSpec {
+    /// Deterministic fault plan, or `None` for a fault-free world.
+    pub plan: Option<FaultPlan>,
+    /// Timeout and retry policy for every communicator.
+    pub comm: CommConfig,
+}
+
 /// Everything needed to run one parallel solve.
 #[derive(Copy, Clone, Debug)]
 pub struct ParallelSolveSpec {
@@ -90,19 +103,35 @@ pub struct ParallelSolveSpec {
 
 /// Run the full even-odd solve `M x = b` in parallel. Returns the global
 /// solution (both parities) and the (rank-identical) solve statistics.
+///
+/// Fails with the first (in rank order) communication error when a rank
+/// dies, times out, or exhausts its retries — the whole world is torn down
+/// rather than left hanging.
 pub fn solve_full_parallel(
     cfg: &GaugeConfig,
     b: &HostSpinorField,
     spec: &ParallelSolveSpec,
-) -> (HostSpinorField, SolveResult) {
+) -> Result<(HostSpinorField, SolveResult), CommError> {
+    solve_full_parallel_chaos(cfg, b, spec, &ChaosSpec::default())
+}
+
+/// [`solve_full_parallel`] under an explicit fault-injection and timeout
+/// policy. The fault plan (if any) is applied to both the high- and
+/// low-precision communicator worlds.
+pub fn solve_full_parallel_chaos(
+    cfg: &GaugeConfig,
+    b: &HostSpinorField,
+    spec: &ParallelSolveSpec,
+    chaos: &ChaosSpec,
+) -> Result<(HostSpinorField, SolveResult), CommError> {
     match spec.mode {
-        PrecisionMode::Double => run_world::<Double, Double>(cfg, b, spec, false),
-        PrecisionMode::Single => run_world::<Single, Single>(cfg, b, spec, false),
-        PrecisionMode::Half => run_world::<Half, Half>(cfg, b, spec, false),
-        PrecisionMode::SingleHalf => run_world::<Single, Half>(cfg, b, spec, true),
-        PrecisionMode::DoubleHalf => run_world::<Double, Half>(cfg, b, spec, true),
-        PrecisionMode::DoubleSingle => run_world::<Double, Single>(cfg, b, spec, true),
-        PrecisionMode::DoubleQuarter => run_world::<Double, Quarter>(cfg, b, spec, true),
+        PrecisionMode::Double => run_world::<Double, Double>(cfg, b, spec, false, chaos),
+        PrecisionMode::Single => run_world::<Single, Single>(cfg, b, spec, false, chaos),
+        PrecisionMode::Half => run_world::<Half, Half>(cfg, b, spec, false, chaos),
+        PrecisionMode::SingleHalf => run_world::<Single, Half>(cfg, b, spec, true, chaos),
+        PrecisionMode::DoubleHalf => run_world::<Double, Half>(cfg, b, spec, true, chaos),
+        PrecisionMode::DoubleSingle => run_world::<Double, Single>(cfg, b, spec, true, chaos),
+        PrecisionMode::DoubleQuarter => run_world::<Double, Quarter>(cfg, b, spec, true, chaos),
     }
 }
 
@@ -111,10 +140,14 @@ fn run_world<H: Precision, L: Precision>(
     b: &HostSpinorField,
     spec: &ParallelSolveSpec,
     mixed: bool,
-) -> (HostSpinorField, SolveResult) {
+    chaos: &ChaosSpec,
+) -> Result<(HostSpinorField, SolveResult), CommError> {
     let part = spec.part;
-    let world_hi = quda_comm::comm_world(part.n_ranks);
-    let mut world_lo: Vec<_> = quda_comm::comm_world(part.n_ranks).into_iter().map(Some).collect();
+    let world_hi = quda_comm::comm_world_with(part.n_ranks, chaos.comm, chaos.plan.clone());
+    let mut world_lo: Vec<_> = quda_comm::comm_world_with(part.n_ranks, chaos.comm, chaos.plan.clone())
+        .into_iter()
+        .map(Some)
+        .collect();
     let handles: Vec<_> = world_hi
         .into_iter()
         .enumerate()
@@ -124,16 +157,41 @@ fn run_world<H: Precision, L: Precision>(
             let b = b.clone();
             let spec = *spec;
             std::thread::spawn(move || {
-                let (x, res) = run_rank::<H, L>(&cfg, &b, &spec, rank, comm_hi, comm_lo, mixed);
-                (rank, x, res)
+                run_rank::<H, L>(&cfg, &b, &spec, rank, comm_hi, comm_lo, mixed)
             })
         })
         .collect();
-    let mut results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
-    results.sort_by_key(|(r, _, _)| *r);
-    let stats = results[0].2.clone();
-    let locals: Vec<_> = results.into_iter().map(|(_, x, _)| x).collect();
-    (gather_spinor(&locals, &part), stats)
+    // Handles are in rank order. A panicked rank thread (its communicator is
+    // marked dead by `Drop`, so peers unblock) is reported as `RankDead`.
+    let results: Vec<Result<_, CommError>> = handles
+        .into_iter()
+        .enumerate()
+        .map(|(rank, h)| h.join().unwrap_or(Err(CommError::RankDead { rank })))
+        .collect();
+    // Prefer the root cause over cascade effects: a rank that reports its
+    // *own* death (fault-killed, or its thread panicked) is the origin;
+    // every other rank merely observed a neighbour going silent afterwards.
+    for (rank, r) in results.iter().enumerate() {
+        if let Err(CommError::RankDead { rank: dead }) = r {
+            if *dead == rank {
+                return Err(CommError::RankDead { rank: *dead });
+            }
+        }
+    }
+    let mut locals = Vec::with_capacity(results.len());
+    let mut stats: Option<SolveResult> = None;
+    let mut comm_recoveries = 0;
+    for r in results {
+        let (x, res) = r?;
+        comm_recoveries += res.comm_recoveries;
+        if stats.is_none() {
+            stats = Some(res);
+        }
+        locals.push(x);
+    }
+    let mut stats = stats.expect("world has at least one rank");
+    stats.comm_recoveries = comm_recoveries;
+    Ok((gather_spinor(&locals, &part), stats))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -145,10 +203,10 @@ fn run_rank<H: Precision, L: Precision>(
     comm_hi: quda_comm::Communicator,
     comm_lo: quda_comm::Communicator,
     mixed: bool,
-) -> (HostSpinorField, SolveResult) {
+) -> Result<(HostSpinorField, SolveResult), CommError> {
     let part = spec.part;
     let mut op_hi =
-        ParallelWilsonCloverOp::<H>::new(cfg, part, rank, comm_hi, spec.wilson, spec.strategy);
+        ParallelWilsonCloverOp::<H>::new(cfg, part, rank, comm_hi, spec.wilson, spec.strategy)?;
     let local_b = slice_spinor(b, &part, rank);
 
     // Upload both parities of the local source.
@@ -159,20 +217,32 @@ fn run_rank<H: Precision, L: Precision>(
 
     // b̂_o = b_o + ½ D_oe T_ee⁻¹ b_e.
     let mut bhat = op_hi.alloc();
-    op_hi.prepare_source_par(&mut bhat, &b_even, &b_odd);
+    op_hi.prepare_source_par(&mut bhat, &b_even, &b_odd)?;
 
     // Solve M̂ x_o = b̂_o.
     let mut x_odd = op_hi.alloc();
     blas::zero(&mut x_odd);
-    let result = if mixed {
+    let mut lo_recovered = 0;
+    let mut result = if mixed {
         assert_eq!(
             spec.solver,
             SolverKind::BiCgStab,
             "mixed-precision modes use the reliably updated BiCGstab solver"
         );
         let mut op_lo =
-            ParallelWilsonCloverOp::<L>::new(cfg, part, rank, comm_lo, spec.wilson, spec.strategy);
-        quda_solvers::mixed::bicgstab_reliable(&mut op_hi, &mut op_lo, &mut x_odd, &bhat, &spec.params)
+            ParallelWilsonCloverOp::<L>::new(cfg, part, rank, comm_lo, spec.wilson, spec.strategy)?;
+        let res = quda_solvers::mixed::bicgstab_reliable(
+            &mut op_hi,
+            &mut op_lo,
+            &mut x_odd,
+            &bhat,
+            &spec.params,
+        );
+        if let Some(e) = op_lo.take_comm_fault() {
+            return Err(e);
+        }
+        lo_recovered = op_lo.comm_stats().recovered;
+        res
     } else {
         match spec.solver {
             SolverKind::BiCgStab => {
@@ -181,15 +251,21 @@ fn run_rank<H: Precision, L: Precision>(
             SolverKind::Cgnr => quda_solvers::cg::cgnr(&mut op_hi, &mut x_odd, &bhat, &spec.params),
         }
     };
+    // A solver abort caused by a communication failure is surfaced as the
+    // original typed error, not as a numeric-corruption abort.
+    if let Some(e) = op_hi.take_comm_fault() {
+        return Err(e);
+    }
 
     // x_e = T_ee⁻¹ (b_e + ½ D_eo x_o).
     let mut x_even = op_hi.alloc();
-    op_hi.reconstruct_even_par(&mut x_even, &b_even, &mut x_odd);
+    op_hi.reconstruct_even_par(&mut x_even, &b_even, &mut x_odd)?;
+    result.comm_recoveries = op_hi.comm_stats().recovered + lo_recovered;
 
     let mut x_host = HostSpinorField::zero(part.local_dims());
     x_even.download(&mut x_host, Parity::Even);
     x_odd.download(&mut x_host, Parity::Odd);
-    (x_host, result)
+    Ok((x_host, result))
 }
 
 /// Verify a solution of the *full* system on the host:
@@ -239,7 +315,7 @@ mod tests {
     fn run(spec: &ParallelSolveSpec, seed: u64) -> (f64, SolveResult) {
         let cfg = weak_field(spec.part.global, 0.15, seed);
         let b = random_spinor_field(spec.part.global, seed + 1);
-        let (x, res) = solve_full_parallel(&cfg, &b, spec);
+        let (x, res) = solve_full_parallel(&cfg, &b, spec).expect("solve");
         let rel = verify_full_solution(&cfg, &spec.wilson, &x, &b);
         (rel, res)
     }
@@ -257,8 +333,8 @@ mod tests {
         let s2 = spec(2, PrecisionMode::Double, CommStrategy::Overlap, 1e-10);
         let cfg = weak_field(s1.part.global, 0.15, 9);
         let b = random_spinor_field(s1.part.global, 10);
-        let (x1, r1) = solve_full_parallel(&cfg, &b, &s1);
-        let (x2, r2) = solve_full_parallel(&cfg, &b, &s2);
+        let (x1, r1) = solve_full_parallel(&cfg, &b, &s1).expect("solve");
+        let (x2, r2) = solve_full_parallel(&cfg, &b, &s2).expect("solve");
         // Identical numerics: same iteration count, bit-identical solutions
         // (deterministic reductions make this exact).
         assert_eq!(r1.iterations, r2.iterations);
@@ -271,8 +347,8 @@ mod tests {
         let s4 = spec(4, PrecisionMode::Double, CommStrategy::Overlap, 1e-10);
         let cfg = weak_field(s1.part.global, 0.15, 21);
         let b = random_spinor_field(s1.part.global, 22);
-        let (x1, r1) = solve_full_parallel(&cfg, &b, &s1);
-        let (x4, r4) = solve_full_parallel(&cfg, &b, &s4);
+        let (x1, r1) = solve_full_parallel(&cfg, &b, &s1).expect("solve");
+        let (x4, r4) = solve_full_parallel(&cfg, &b, &s4).expect("solve");
         assert!(r1.converged && r4.converged);
         let dist = x1.max_site_dist(&x4);
         assert!(dist < 1e-10, "1-rank vs 4-rank distance {dist}");
@@ -291,6 +367,101 @@ mod tests {
         let (rel, res) = run(&spec(2, PrecisionMode::DoubleHalf, CommStrategy::NoOverlap, 1e-10), 41);
         assert!(res.converged, "residual {rel}");
         assert!(rel < 1e-9, "full-system residual {rel}");
+    }
+
+    #[test]
+    fn killed_rank_aborts_world_with_rank_dead() {
+        // A 4-rank world where rank 2 goes dead mid-exchange must terminate
+        // with `RankDead` within the timeout — never hang (ISSUE acceptance).
+        let s = spec(4, PrecisionMode::Double, CommStrategy::NoOverlap, 1e-10);
+        let cfg = weak_field(s.part.global, 0.15, 5);
+        let b = random_spinor_field(s.part.global, 6);
+        let chaos = ChaosSpec {
+            plan: Some(quda_comm::FaultPlan::new(77).kill_rank(2, 25)),
+            comm: CommConfig { timeout: std::time::Duration::from_secs(2), ..CommConfig::default() },
+        };
+        let t0 = std::time::Instant::now();
+        let err = solve_full_parallel_chaos(&cfg, &b, &s, &chaos)
+            .expect_err("a dead rank must abort the solve");
+        assert_eq!(err, CommError::RankDead { rank: 2 });
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(30),
+            "world took {:?} to notice the dead rank",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn lossy_world_converges_identically_to_fault_free() {
+        // 1% message drop: link-level recovery replays pristine payloads, so
+        // the solve is bit-identical to the fault-free one and the recovery
+        // events are visible in the result (ISSUE acceptance).
+        let s = spec(2, PrecisionMode::Double, CommStrategy::NoOverlap, 1e-10);
+        let cfg = weak_field(s.part.global, 0.15, 13);
+        let b = random_spinor_field(s.part.global, 14);
+        let (x_clean, r_clean) = solve_full_parallel(&cfg, &b, &s).expect("fault-free solve");
+        let chaos = ChaosSpec {
+            plan: Some(quda_comm::FaultPlan::new(99).drop(0.01)),
+            comm: CommConfig::default(),
+        };
+        let (x_lossy, r_lossy) =
+            solve_full_parallel_chaos(&cfg, &b, &s, &chaos).expect("lossy solve");
+        assert!(r_lossy.converged);
+        assert!(r_lossy.comm_recoveries > 0, "expected drops to be recovered");
+        assert_eq!(r_clean.iterations, r_lossy.iterations);
+        assert_eq!(r_clean.final_residual, r_lossy.final_residual);
+        assert_eq!(x_clean.max_site_dist(&x_lossy), 0.0);
+    }
+
+    #[test]
+    fn corrupting_world_converges_identically_to_fault_free() {
+        // Bit-flips and truncations are caught by the frame checksum/length
+        // check and replayed from the pristine store — still bit-identical.
+        let s = spec(2, PrecisionMode::Double, CommStrategy::Overlap, 1e-10);
+        let cfg = weak_field(s.part.global, 0.15, 17);
+        let b = random_spinor_field(s.part.global, 18);
+        let (x_clean, r_clean) = solve_full_parallel(&cfg, &b, &s).expect("fault-free solve");
+        let chaos = ChaosSpec {
+            plan: Some(quda_comm::FaultPlan::new(7).bit_flip(0.01).truncate(0.005)),
+            comm: CommConfig::default(),
+        };
+        let (x_lossy, r_lossy) =
+            solve_full_parallel_chaos(&cfg, &b, &s, &chaos).expect("corrupted solve");
+        assert!(r_lossy.converged);
+        assert!(r_lossy.comm_recoveries > 0);
+        assert_eq!(r_clean.iterations, r_lossy.iterations);
+        assert_eq!(x_clean.max_site_dist(&x_lossy), 0.0);
+    }
+
+    /// Heavier soak: every message-level fault class at once, on a 4-rank
+    /// mixed-precision solve. Run via
+    /// `cargo test -p quda-multigpu --features chaos`.
+    #[test]
+    #[cfg(feature = "chaos")]
+    fn chaos_soak_combined_faults_stay_bit_identical() {
+        let s = spec(4, PrecisionMode::DoubleHalf, CommStrategy::Overlap, 1e-10);
+        let cfg = weak_field(s.part.global, 0.15, 51);
+        let b = random_spinor_field(s.part.global, 52);
+        let (x_clean, r_clean) = solve_full_parallel(&cfg, &b, &s).expect("fault-free solve");
+        for seed in [1u64, 2, 3] {
+            let chaos = ChaosSpec {
+                plan: Some(
+                    quda_comm::FaultPlan::new(seed)
+                        .drop(0.02)
+                        .bit_flip(0.02)
+                        .truncate(0.01)
+                        .duplicate(0.05)
+                        .delay(0.05, std::time::Duration::from_millis(1)),
+                ),
+                comm: CommConfig::default(),
+            };
+            let (x, r) = solve_full_parallel_chaos(&cfg, &b, &s, &chaos)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(r.converged, "seed {seed}");
+            assert!(r.comm_recoveries > 0, "seed {seed}: no faults actually landed");
+            assert_eq!(r_clean.iterations, r.iterations, "seed {seed}");
+            assert_eq!(x_clean.max_site_dist(&x), 0.0, "seed {seed}");
+        }
     }
 
     #[test]

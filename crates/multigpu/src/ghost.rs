@@ -20,13 +20,13 @@
 //! required" (Section VI-C).
 
 use bytes::Bytes;
-use quda_comm::Communicator;
+use quda_comm::{CommError, Communicator, DecodeError};
 use quda_dirac::gather_face_site;
 use quda_fields::precision::Precision;
 use quda_fields::{GaugeFieldCb, SpinorFieldCb};
 use quda_lattice::geometry::{LatticeDims, Parity, DIR_T};
 use quda_lattice::stencil::Stencil;
-use quda_math::half::Fixed16;
+use quda_math::half::{Fixed16, Fixed8};
 use quda_math::real::Real;
 use quda_math::spinor::{HalfSpinor, HALF_SPINOR_REALS};
 use quda_math::su3::Su3;
@@ -46,6 +46,24 @@ fn encode_face<P: Precision>(values: &[f64]) -> Bytes {
         (false, _) => {
             let v32: Vec<f32> = values.iter().map(|&x| x as f32).collect();
             quda_comm::pack_f32(&v32)
+        }
+        (true, 1) => {
+            // Quarter precision: 8-bit components with a shared per-site
+            // f32 norm — the wire matches the storage width, like half.
+            let sites = values.len() / HALF_SPINOR_REALS;
+            let mut buf = Vec::with_capacity(values.len() + sites * 4);
+            let mut norms = Vec::with_capacity(sites);
+            for s in 0..sites {
+                let block = &values[s * HALF_SPINOR_REALS..(s + 1) * HALF_SPINOR_REALS];
+                let norm = block.iter().fold(0.0f64, |m, x| m.max(x.abs()));
+                let norm = if norm == 0.0 { 1.0 } else { norm };
+                norms.push(norm as f32);
+                for &x in block {
+                    buf.push(Fixed8::quantize((x / norm) as f32).0 as u8);
+                }
+            }
+            buf.extend_from_slice(&quda_comm::pack_f32(&norms));
+            Bytes::from(buf)
         }
         (true, _) => {
             // Half precision: per-site quantization with a shared norm.
@@ -70,15 +88,36 @@ fn encode_face<P: Precision>(values: &[f64]) -> Bytes {
 }
 
 /// Decode a face payload back to f64 values.
-fn decode_face<P: Precision>(bytes: &[u8], sites: usize) -> Vec<f64> {
+///
+/// The payload length is validated against what `sites` faces must occupy
+/// at precision `P` *before* any slicing, so a short or oversized message —
+/// whether from a faulty link or a confused peer — surfaces as a typed
+/// [`DecodeError`] instead of a panic.
+fn decode_face<P: Precision>(bytes: &[u8], sites: usize) -> Result<Vec<f64>, DecodeError> {
+    let expected = face_wire_bytes::<P>(sites);
+    if bytes.len() != expected {
+        return Err(DecodeError::Truncated { expected, got: bytes.len() });
+    }
     match (P::NEEDS_NORM, P::STORAGE_BYTES) {
         (false, 8) => quda_comm::unpack_f64(bytes),
-        (false, _) => quda_comm::unpack_f32(bytes).into_iter().map(|x| x as f64).collect(),
+        (false, _) => Ok(quda_comm::unpack_f32(bytes)?.into_iter().map(|x| x as f64).collect()),
+        (true, 1) => {
+            let split = sites * HALF_SPINOR_REALS;
+            let norms = quda_comm::unpack_f32(&bytes[split..])?;
+            let mut out = Vec::with_capacity(split);
+            for s in 0..sites {
+                let norm = norms[s] as f64;
+                for k in 0..HALF_SPINOR_REALS {
+                    let q = Fixed8(bytes[s * HALF_SPINOR_REALS + k] as i8);
+                    out.push(q.dequantize() as f64 * norm);
+                }
+            }
+            Ok(out)
+        }
         (true, _) => {
             let split = sites * HALF_SPINOR_REALS * 2;
-            let ints = quda_comm::unpack_i16(&bytes[..split]);
-            let norms = quda_comm::unpack_f32(&bytes[split..]);
-            assert_eq!(norms.len(), sites);
+            let ints = quda_comm::unpack_i16(&bytes[..split])?;
+            let norms = quda_comm::unpack_f32(&bytes[split..])?;
             let mut out = Vec::with_capacity(ints.len());
             for s in 0..sites {
                 let norm = norms[s] as f64;
@@ -86,7 +125,7 @@ fn decode_face<P: Precision>(bytes: &[u8], sites: usize) -> Vec<f64> {
                     out.push(Fixed16(ints[s * HALF_SPINOR_REALS + k]).dequantize() as f64 * norm);
                 }
             }
-            out
+            Ok(out)
         }
     }
 }
@@ -107,7 +146,7 @@ pub fn send_faces<P: Precision>(
     basis: &quda_math::gamma::SpinBasis,
     stencil: &Stencil,
     dagger: bool,
-) {
+) -> Result<(), CommError> {
     let faces = field.face_sites();
     assert!(faces > 0, "field has no ghost end zone");
     // Last time-slice → forward neighbor.
@@ -118,7 +157,7 @@ pub fn send_faces<P: Precision>(
             fwd.push(r.to_f64());
         }
     }
-    comm.send(comm.forward(), TAG_FACE_FWD, encode_face::<P>(&fwd));
+    comm.send(comm.forward(), TAG_FACE_FWD, encode_face::<P>(&fwd))?;
     // First time-slice → backward neighbor.
     let mut bwd = Vec::with_capacity(faces * HALF_SPINOR_REALS);
     for f in 0..faces {
@@ -127,20 +166,28 @@ pub fn send_faces<P: Precision>(
             bwd.push(r.to_f64());
         }
     }
-    comm.send(comm.backward(), TAG_FACE_BWD, encode_face::<P>(&bwd));
+    comm.send(comm.backward(), TAG_FACE_BWD, encode_face::<P>(&bwd))
 }
 
 /// Receive both faces and store them in the ghost end zone.
-pub fn recv_faces<P: Precision>(comm: &mut Communicator, field: &mut SpinorFieldCb<P>) {
+pub fn recv_faces<P: Precision>(
+    comm: &mut Communicator,
+    field: &mut SpinorFieldCb<P>,
+) -> Result<(), CommError> {
     let faces = field.face_sites();
     // From the backward neighbor: its last slice = our backward ghost.
-    let payload = comm.recv(comm.backward(), TAG_FACE_FWD);
-    let values = decode_face::<P>(&payload, faces);
+    let from = comm.backward();
+    let payload = comm.recv(from, TAG_FACE_FWD)?;
+    let values = decode_face::<P>(&payload, faces)
+        .map_err(|error| CommError::Decode { from, tag: TAG_FACE_FWD, error })?;
     store_ghost(field, true, &values);
     // From the forward neighbor: its first slice = our forward ghost.
-    let payload = comm.recv(comm.forward(), TAG_FACE_BWD);
-    let values = decode_face::<P>(&payload, faces);
+    let from = comm.forward();
+    let payload = comm.recv(from, TAG_FACE_BWD)?;
+    let values = decode_face::<P>(&payload, faces)
+        .map_err(|error| CommError::Decode { from, tag: TAG_FACE_BWD, error })?;
     store_ghost(field, false, &values);
+    Ok(())
 }
 
 fn store_ghost<P: Precision>(field: &mut SpinorFieldCb<P>, backward: bool, values: &[f64]) {
@@ -164,9 +211,9 @@ pub fn exchange_spinor_ghosts<P: Precision>(
     basis: &quda_math::gamma::SpinBasis,
     stencil: &Stencil,
     dagger: bool,
-) {
-    send_faces(comm, field, basis, stencil, dagger);
-    recv_faces(comm, field);
+) -> Result<(), CommError> {
+    send_faces(comm, field, basis, stencil, dagger)?;
+    recv_faces(comm, field)
 }
 
 /// One-time exchange of the gauge ghost slice at program initialization
@@ -181,7 +228,7 @@ pub fn exchange_gauge_ghosts<P: Precision>(
     comm: &mut Communicator,
     gauge: &mut GaugeFieldCb<P>,
     dims: LatticeDims,
-) {
+) -> Result<(), CommError> {
     let half_vs = dims.half_spatial_volume();
     for parity in [Parity::Even, Parity::Odd] {
         let tag = TAG_GAUGE + parity.as_usize() as u32;
@@ -196,9 +243,13 @@ pub fn exchange_gauge_ghosts<P: Precision>(
                 }
             }
         }
-        comm.send(comm.forward(), tag, quda_comm::pack_f64(&flat));
-        let recv = quda_comm::unpack_f64(&comm.recv(comm.backward(), tag));
-        assert_eq!(recv.len(), half_vs * 18);
+        comm.send(comm.forward(), tag, quda_comm::pack_f64(&flat))?;
+        let from = comm.backward();
+        let recv = quda_comm::unpack_f64(&comm.recv(from, tag)?)
+            .map_err(|error| CommError::Decode { from, tag, error })?;
+        if recv.len() != half_vs * 18 {
+            return Err(CommError::SizeMismatch { expected: half_vs * 18, got: recv.len() });
+        }
         for face in 0..half_vs {
             let mut u = Su3::zero();
             let base = face * 18;
@@ -212,6 +263,7 @@ pub fn exchange_gauge_ghosts<P: Precision>(
             gauge.set_ghost_link(parity, DIR_T, face, &u);
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -237,10 +289,10 @@ mod tests {
                 let mut comm = world.pop().unwrap();
                 let mut f = SpinorFieldCb::<$p>::new(d, true);
                 f.upload(&host, Parity::Odd);
-                send_faces(&mut comm, &f, &basis, &stencil, false);
+                send_faces(&mut comm, &f, &basis, &stencil, false).unwrap();
                 let per_face = face_wire_bytes::<$p>(f.face_sites()) as u64;
                 assert_eq!(comm.sent_bytes(), 2 * per_face);
-                recv_faces(&mut comm, &mut f); // self-exchange drains the queue
+                recv_faces(&mut comm, &mut f).unwrap(); // self-exchange drains the queue
             }};
         }
         check!(Double);
@@ -261,7 +313,7 @@ mod tests {
         let mut comm = world.pop().unwrap();
         let mut f = SpinorFieldCb::<Double>::new(d, true);
         f.upload(&host, Parity::Odd);
-        exchange_spinor_ghosts(&mut comm, &mut f, &basis, &stencil, false);
+        exchange_spinor_ghosts(&mut comm, &mut f, &basis, &stencil, false).unwrap();
         let faces = f.face_sites();
         for face in 0..faces {
             let expect_b = gather_face_site(&f, &basis, &stencil, true, face, false);
@@ -287,7 +339,7 @@ mod tests {
                 std::thread::spawn(move || {
                     let mut f = SpinorFieldCb::<Double>::new(d, true);
                     f.upload(&host, Parity::Odd);
-                    exchange_spinor_ghosts(&mut comm, &mut f, &basis, &stencil, false);
+                    exchange_spinor_ghosts(&mut comm, &mut f, &basis, &stencil, false).unwrap();
                     (comm.rank(), f)
                 })
             })
@@ -321,7 +373,7 @@ mod tests {
         let mut comm = world.pop().unwrap();
         let mut f = SpinorFieldCb::<Half>::new(d, true);
         f.upload(&host, Parity::Odd);
-        exchange_spinor_ghosts(&mut comm, &mut f, &basis, &stencil, false);
+        exchange_spinor_ghosts(&mut comm, &mut f, &basis, &stencil, false).unwrap();
         for face in 0..f.face_sites() {
             let expect = gather_face_site(&f, &basis, &stencil, true, face, false);
             let got = f.get_ghost(true, face);
@@ -342,7 +394,7 @@ mod tests {
         gauge.upload(&cfg);
         let mut world = quda_comm::comm_world(1);
         let mut comm = world.pop().unwrap();
-        exchange_gauge_ghosts(&mut comm, &mut gauge, d);
+        exchange_gauge_ghosts(&mut comm, &mut gauge, d).unwrap();
         let half_vs = d.half_spatial_volume();
         for p in [Parity::Even, Parity::Odd] {
             for face in 0..half_vs {

@@ -25,7 +25,10 @@ pub mod perf;
 pub mod rank_op;
 pub mod slice;
 
-pub use driver::{solve_full_parallel, verify_full_solution, ParallelSolveSpec, PrecisionMode};
+pub use driver::{
+    solve_full_parallel, solve_full_parallel_chaos, verify_full_solution, ChaosSpec,
+    ParallelSolveSpec, PrecisionMode, SolverKind,
+};
 pub use ghost::{exchange_gauge_ghosts, exchange_spinor_ghosts, face_wire_bytes};
 pub use multidim::{best_grid, sustained_gflops_2d, ProcessGrid};
 pub use perf::{evaluate, min_gpus, solver_memory_per_gpu, PerfInput, PerfReport};

@@ -10,7 +10,7 @@
 
 use crate::ghost::{exchange_gauge_ghosts, exchange_spinor_ghosts, recv_faces, send_faces};
 use crate::slice::{local_clover, slice_config};
-use quda_comm::Communicator;
+use quda_comm::{CommError, CommStats, Communicator};
 use quda_dirac::dslash::{dslash_cb, DslashRegion};
 use quda_dirac::clover_apply::{clover_apply_cb, clover_axpy_cb};
 use quda_dirac::{WilsonCloverOp, WilsonParams, INNER_PARITY, SOLVE_PARITY};
@@ -21,7 +21,7 @@ use quda_lattice::geometry::{LatticeDims, Parity};
 use quda_lattice::partition::TimePartition;
 use quda_math::complex::C64;
 use quda_math::real::Real;
-use quda_solvers::operator::LinearOperator;
+use quda_solvers::operator::{LinearOperator, OpFault};
 
 /// Communication strategy for the face exchange (Section VI-D).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -48,6 +48,10 @@ pub struct ParallelWilsonCloverOp<P: Precision> {
     tmp2: SpinorFieldCb<P>,
     /// Face exchanges performed (2 per operator application).
     pub exchange_count: u64,
+    // First communication error seen; once set the operator is *poisoned*:
+    // applies no-op, reductions return NaN, and the solver's fault poll
+    // surfaces the error (DESIGN.md §7).
+    fault: Option<CommError>,
 }
 
 /// Apply the hopping term with the face exchange appropriate to the
@@ -63,18 +67,18 @@ fn dslash_exchanged<P: Precision>(
     input: &mut SpinorFieldCb<P>,
     out_parity: Parity,
     dagger: bool,
-) -> u64 {
+) -> Result<u64, CommError> {
     if !partitioned {
         dslash_cb(out, &op.gauge, input, out_parity, &op.stencil, &op.basis, dagger, DslashRegion::All);
-        return 0;
+        return Ok(0);
     }
     match strategy {
         CommStrategy::NoOverlap => {
-            exchange_spinor_ghosts(comm, input, &op.basis, &op.stencil, dagger);
+            exchange_spinor_ghosts(comm, input, &op.basis, &op.stencil, dagger)?;
             dslash_cb(out, &op.gauge, input, out_parity, &op.stencil, &op.basis, dagger, DslashRegion::All);
         }
         CommStrategy::Overlap => {
-            send_faces(comm, input, &op.basis, &op.stencil, dagger);
+            send_faces(comm, input, &op.basis, &op.stencil, dagger)?;
             dslash_cb(
                 out,
                 &op.gauge,
@@ -85,7 +89,7 @@ fn dslash_exchanged<P: Precision>(
                 dagger,
                 DslashRegion::Interior,
             );
-            recv_faces(comm, input);
+            recv_faces(comm, input)?;
             dslash_cb(
                 out,
                 &op.gauge,
@@ -98,13 +102,16 @@ fn dslash_exchanged<P: Precision>(
             );
         }
     }
-    1
+    Ok(1)
 }
 
 impl<P: Precision> ParallelWilsonCloverOp<P> {
     /// Build a rank's operator from the global configuration: slices the
     /// gauge field, computes the (globally correct) clover term, uploads at
     /// precision `P`, and performs the one-time gauge ghost exchange.
+    ///
+    /// Fails with a [`CommError`] when the gauge ghost exchange cannot be
+    /// completed (dead peer, timeout, unrecoverable corruption).
     pub fn new(
         global: &GaugeConfig,
         part: TimePartition,
@@ -112,7 +119,7 @@ impl<P: Precision> ParallelWilsonCloverOp<P> {
         mut comm: Communicator,
         wilson: WilsonParams,
         strategy: CommStrategy,
-    ) -> Self {
+    ) -> Result<Self, CommError> {
         assert_eq!(comm.rank(), rank);
         assert_eq!(comm.size(), part.n_ranks);
         let local_cfg = slice_config(global, &part, rank);
@@ -120,11 +127,11 @@ impl<P: Precision> ParallelWilsonCloverOp<P> {
         let mut op =
             WilsonCloverOp::<P>::from_config_with(&local_cfg, wilson, part.is_partitioned(), Some(clover));
         if part.is_partitioned() {
-            exchange_gauge_ghosts(&mut comm, &mut op.gauge, part.local_dims());
+            exchange_gauge_ghosts(&mut comm, &mut op.gauge, part.local_dims())?;
         }
         let tmp1 = op.alloc_spinor();
         let tmp2 = op.alloc_spinor();
-        ParallelWilsonCloverOp {
+        Ok(ParallelWilsonCloverOp {
             op,
             comm,
             strategy,
@@ -133,18 +140,55 @@ impl<P: Precision> ParallelWilsonCloverOp<P> {
             tmp1,
             tmp2,
             exchange_count: 0,
-        }
+            fault: None,
+        })
+    }
+
+    /// Take the communication error that poisoned this operator, if any,
+    /// clearing the poisoned state. The parallel driver uses this to turn a
+    /// solver abort back into the original typed [`CommError`].
+    pub fn take_comm_fault(&mut self) -> Option<CommError> {
+        self.fault.take()
+    }
+
+    /// The communication error that poisoned this operator, if any.
+    pub fn comm_fault(&self) -> Option<&CommError> {
+        self.fault.as_ref()
+    }
+
+    /// This rank's communication recovery counters.
+    pub fn comm_stats(&self) -> CommStats {
+        self.comm.stats()
     }
 
     /// The parallel even-odd preconditioned application
     /// `out = T_oo ψ − ¼ D_oe T_ee⁻¹ D_eo ψ`, with a face exchange before
     /// each hopping term.
+    ///
+    /// A communication failure does not panic: it poisons the operator (see
+    /// [`ParallelWilsonCloverOp::take_comm_fault`]) and the application
+    /// becomes a no-op, which the calling solver notices via NaN reductions
+    /// and its fault poll.
     pub fn apply_matpc_par(
         &mut self,
         out: &mut SpinorFieldCb<P>,
         input: &mut SpinorFieldCb<P>,
         dagger: bool,
     ) {
+        if self.fault.is_some() {
+            return;
+        }
+        if let Err(e) = self.try_apply_matpc_par(out, input, dagger) {
+            self.fault = Some(e);
+        }
+    }
+
+    fn try_apply_matpc_par(
+        &mut self,
+        out: &mut SpinorFieldCb<P>,
+        input: &mut SpinorFieldCb<P>,
+        dagger: bool,
+    ) -> Result<(), CommError> {
         self.exchange_count += dslash_exchanged(
             &mut self.comm,
             &self.op,
@@ -154,7 +198,7 @@ impl<P: Precision> ParallelWilsonCloverOp<P> {
             input,
             INNER_PARITY,
             dagger,
-        );
+        )?;
         clover_apply_cb(
             &mut self.tmp2,
             &self.op.clover_inv[INNER_PARITY.as_usize()],
@@ -170,7 +214,7 @@ impl<P: Precision> ParallelWilsonCloverOp<P> {
             &mut self.tmp2,
             SOLVE_PARITY,
             dagger,
-        );
+        )?;
         clover_axpy_cb(
             out,
             &self.op.clover[SOLVE_PARITY.as_usize()],
@@ -180,6 +224,7 @@ impl<P: Precision> ParallelWilsonCloverOp<P> {
             &self.op.map,
         );
         self.op.matpc_count.set(self.op.matpc_count.get() + 1);
+        Ok(())
     }
 
     /// Source preparation `b̂_o = b_o + ½ D_oe T_ee⁻¹ b_e` with exchanges.
@@ -188,7 +233,10 @@ impl<P: Precision> ParallelWilsonCloverOp<P> {
         out: &mut SpinorFieldCb<P>,
         b_even: &SpinorFieldCb<P>,
         b_odd: &SpinorFieldCb<P>,
-    ) {
+    ) -> Result<(), CommError> {
+        if let Some(e) = &self.fault {
+            return Err(e.clone());
+        }
         clover_apply_cb(
             &mut self.tmp1,
             &self.op.clover_inv[INNER_PARITY.as_usize()],
@@ -204,11 +252,16 @@ impl<P: Precision> ParallelWilsonCloverOp<P> {
             &mut self.tmp1,
             SOLVE_PARITY,
             false,
-        );
+        )
+        .map_err(|e| {
+            self.fault = Some(e.clone());
+            e
+        })?;
         for cb in 0..out.sites() {
             let v = b_odd.get(cb) + self.tmp2.get(cb).scale_re(P::Arith::from_f64(0.5));
             out.set(cb, &v);
         }
+        Ok(())
     }
 
     /// Even-parity reconstruction `x_e = T_ee⁻¹ (b_e + ½ D_eo x_o)`.
@@ -217,7 +270,10 @@ impl<P: Precision> ParallelWilsonCloverOp<P> {
         x_even: &mut SpinorFieldCb<P>,
         b_even: &SpinorFieldCb<P>,
         x_odd: &mut SpinorFieldCb<P>,
-    ) {
+    ) -> Result<(), CommError> {
+        if let Some(e) = &self.fault {
+            return Err(e.clone());
+        }
         self.exchange_count += dslash_exchanged(
             &mut self.comm,
             &self.op,
@@ -227,7 +283,11 @@ impl<P: Precision> ParallelWilsonCloverOp<P> {
             x_odd,
             INNER_PARITY,
             false,
-        );
+        )
+        .map_err(|e| {
+            self.fault = Some(e.clone());
+            e
+        })?;
         for cb in 0..self.tmp1.sites() {
             let v = b_even.get(cb) + self.tmp1.get(cb).scale_re(P::Arith::from_f64(0.5));
             self.tmp1.set(cb, &v);
@@ -238,6 +298,7 @@ impl<P: Precision> ParallelWilsonCloverOp<P> {
             &self.tmp1,
             &self.op.map,
         );
+        Ok(())
     }
 }
 
@@ -263,12 +324,33 @@ impl<P: Precision> LinearOperator<P> for ParallelWilsonCloverOp<P> {
     }
 
     fn reduce(&mut self, local: f64) -> f64 {
-        self.comm.allreduce_sum_f64(local)
+        if self.fault.is_some() {
+            return f64::NAN;
+        }
+        match self.comm.allreduce_sum_f64(local) {
+            Ok(v) => v,
+            Err(e) => {
+                self.fault = Some(e);
+                f64::NAN
+            }
+        }
     }
 
     fn reduce_c(&mut self, local: C64) -> C64 {
-        let v = self.comm.allreduce_vec(&[local.re, local.im]);
-        C64::new(v[0], v[1])
+        if self.fault.is_some() {
+            return C64::new(f64::NAN, f64::NAN);
+        }
+        match self.comm.allreduce_vec(&[local.re, local.im]) {
+            Ok(v) => C64::new(v[0], v[1]),
+            Err(e) => {
+                self.fault = Some(e);
+                C64::new(f64::NAN, f64::NAN)
+            }
+        }
+    }
+
+    fn fault(&self) -> Option<OpFault> {
+        self.fault.as_ref().map(|e| OpFault { message: e.to_string() })
     }
 }
 
@@ -312,7 +394,8 @@ mod tests {
                 let input = input.clone();
                 std::thread::spawn(move || {
                     let mut op =
-                        ParallelWilsonCloverOp::<Double>::new(&cfg, part, rank, comm, wp, strategy);
+                        ParallelWilsonCloverOp::<Double>::new(&cfg, part, rank, comm, wp, strategy)
+                            .unwrap();
                     let local_in = slice_spinor(&input, &part, rank);
                     let mut x = op.alloc();
                     x.upload(&local_in, Parity::Odd);
@@ -369,7 +452,8 @@ mod tests {
                         comm,
                         wp,
                         CommStrategy::NoOverlap,
-                    );
+                    )
+                    .unwrap();
                     op.reduce(1.0 + rank as f64)
                 })
             })
@@ -396,7 +480,8 @@ mod tests {
                         comm,
                         wp,
                         CommStrategy::NoOverlap,
-                    );
+                    )
+                    .unwrap();
                     let mut x = op.alloc();
                     let mut out = op.alloc();
                     op.apply_matpc_par(&mut out, &mut x, false);

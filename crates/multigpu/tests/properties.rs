@@ -62,7 +62,9 @@ proptest! {
                 let cfg = cfg.clone();
                 let input = input.clone();
                 std::thread::spawn(move || {
-                    let mut op = ParallelWilsonCloverOp::<Double>::new(&cfg, part, rank, comm, wp, strategy);
+                    let mut op =
+                        ParallelWilsonCloverOp::<Double>::new(&cfg, part, rank, comm, wp, strategy)
+                            .expect("op init");
                     let local = slice_spinor(&input, &part, rank);
                     let mut x = quda_solvers::operator::LinearOperator::alloc(&op);
                     x.upload(&local, Parity::Odd);

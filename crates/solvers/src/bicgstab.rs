@@ -43,18 +43,32 @@ pub fn bicgstab<P: Precision>(
     let mut iterations = 0;
     let mut converged = r_norm2 <= target2;
     let mut history = Vec::new();
+    let mut abort_error: Option<String> = None;
 
     while !converged && iterations < params.max_iter {
+        // A fault parked by a poisoned operator (dead rank, exhausted
+        // retries) is terminal for a uniform-precision solve: there is no
+        // checkpoint to roll back to.
+        if let Some(f) = op.fault() {
+            abort_error = Some(f.message);
+            break;
+        }
         // v = M̂ p.
         op.apply(&mut v, &mut p);
         matvecs += 1;
         let r0v = op.reduce_c(blas::cdot(&r0, &v, &mut c));
+        if !r0v.re.is_finite() || !r0v.im.is_finite() {
+            break; // corrupted reduction; the true-residual check decides
+        }
         if r0v.norm_sqr() == 0.0 {
             break; // breakdown
         }
         let alpha = rho.div(r0v);
         // s = r − α v (stored in r), ‖s‖².
         let s_norm2 = op.reduce(blas::caxpy_norm(-alpha, &v, &mut r, &mut c));
+        if !s_norm2.is_finite() {
+            break;
+        }
         if s_norm2 <= target2 {
             // Early exit on the half-step: x += α p.
             blas::caxpy(alpha, &p, x, &mut c);
@@ -78,6 +92,9 @@ pub fn bicgstab<P: Precision>(
         blas::caxpbypz(alpha, &p, omega, &r, x, &mut c);
         // r = s − ω t, ‖r‖².
         r_norm2 = op.reduce(blas::caxpy_norm(-omega, &t, &mut r, &mut c));
+        if !r_norm2.is_finite() {
+            break;
+        }
         // ρ' = <r0, r>; β = (ρ'/ρ)(α/ω).
         let rho_new = op.reduce_c(blas::cdot(&r0, &r, &mut c));
         let beta = rho_new.div(rho) * alpha.div(omega);
@@ -95,7 +112,7 @@ pub fn bicgstab<P: Precision>(
     matvecs += 1;
     let final_residual = (true_r2 / b_norm2).sqrt();
     SolveResult {
-        converged: converged && final_residual <= params.tol * 10.0,
+        converged: converged && final_residual <= params.tol * 10.0 && abort_error.is_none(),
         iterations,
         matvecs,
         reliable_updates: 0,
@@ -103,6 +120,9 @@ pub fn bicgstab<P: Precision>(
         op_flops: matvecs * op.flops_per_apply(),
         blas: c,
         residual_history: history,
+        recoveries: 0,
+        comm_recoveries: 0,
+        error: abort_error,
     }
 }
 
@@ -174,6 +194,19 @@ mod tests {
         }
         let rel = (diff2 / b.norm_sqr()).sqrt();
         assert!(rel < 1e-10, "rel={rel}");
+    }
+
+    #[test]
+    fn poisoned_operator_reports_error() {
+        use crate::test_faults::FaultyOp;
+        let (op, b) = setup::<Double>(6);
+        let mut op = FaultyOp::poisoned(op, "allreduce failed: rank 1 is dead");
+        let mut x = op.alloc();
+        blas::zero(&mut x);
+        let res =
+            bicgstab(&mut op, &mut x, &b, &SolverParams { tol: 1e-8, max_iter: 100, delta: 0.0 });
+        assert!(!res.converged);
+        assert_eq!(res.error.as_deref(), Some("allreduce failed: rank 1 is dead"));
     }
 
     #[test]

@@ -10,7 +10,18 @@ use crate::params::{SolveResult, SolverParams};
 use quda_fields::precision::Precision;
 use quda_fields::SpinorFieldCb;
 
+/// Refresh the rollback checkpoint every this many CG iterations: cheap
+/// enough to be negligible, frequent enough that a rollback loses little
+/// progress (DESIGN.md §7).
+const CHECKPOINT_EVERY: usize = 16;
+
 /// Solve `M̂ x = b` via CG on the normal equations.
+///
+/// Like [`bicgstab_reliable`](crate::mixed::bicgstab_reliable), the solve
+/// checkpoints the solution periodically and rolls back and rebuilds the
+/// residual when a corrupted (non-finite) reduction is detected; a fault
+/// reported by [`LinearOperator::fault`] aborts with
+/// [`SolveResult::error`] set.
 pub fn cgnr<P: Precision>(
     op: &mut dyn LinearOperator<P>,
     x: &mut SpinorFieldCb<P>,
@@ -56,27 +67,73 @@ pub fn cgnr<P: Precision>(
     let mut p = op.alloc();
     blas::copy(&mut p, &r, &mut c);
     let mut ap = op.alloc();
+    // Rollback checkpoint of the solution, refreshed periodically.
+    let mut checkpoint_x = op.alloc();
+    blas::copy(&mut checkpoint_x, x, &mut c);
+    let mut recoveries: u64 = 0;
+    let mut abort_error: Option<String> = None;
 
     let mut iterations = 0;
     let mut converged = rsq <= target2;
     let mut history = Vec::new();
     while !converged && iterations < params.max_iter {
+        // A fault parked by a poisoned operator is terminal.
+        if let Some(f) = op.fault() {
+            abort_error = Some(f.message);
+            break;
+        }
         // Ap = M̂† M̂ p.
         op.apply(&mut mid, &mut p);
         op.apply_dagger(&mut ap, &mut mid);
         matvecs += 2;
         let p_ap = op.reduce(blas::cdot(&p, &ap, &mut c).re);
-        if p_ap <= 0.0 {
-            break; // loss of positivity: numerical breakdown
+        // NaN would sail through the positivity check below and poison x
+        // via α, so non-finiteness must be tested first.
+        let mut corrupt = !p_ap.is_finite();
+        let mut rsq_new = rsq;
+        if !corrupt {
+            if p_ap <= 0.0 {
+                break; // loss of positivity: numerical breakdown
+            }
+            let alpha = rsq / p_ap;
+            blas::axpy(alpha, &p, x, &mut c);
+            rsq_new = op.reduce(blas::caxpy_norm(
+                quda_math::complex::C64::new(-alpha, 0.0),
+                &ap,
+                &mut r,
+                &mut c,
+            ));
+            corrupt = !rsq_new.is_finite();
         }
-        let alpha = rsq / p_ap;
-        blas::axpy(alpha, &p, x, &mut c);
-        let rsq_new = op.reduce(blas::caxpy_norm(
-            quda_math::complex::C64::new(-alpha, 0.0),
-            &ap,
-            &mut r,
-            &mut c,
-        ));
+        if corrupt {
+            if let Some(f) = op.fault() {
+                abort_error = Some(f.message);
+                break;
+            }
+            recoveries += 1;
+            if recoveries > crate::mixed::MAX_RECOVERIES {
+                abort_error = Some(format!(
+                    "corrupted solver state persisted after {} rollbacks",
+                    crate::mixed::MAX_RECOVERIES
+                ));
+                break;
+            }
+            // Roll back and rebuild r = b' − A x from the checkpoint.
+            blas::copy(x, &checkpoint_x, &mut c);
+            op.apply(&mut mid, x);
+            op.apply_dagger(&mut ap, &mut mid);
+            matvecs += 2;
+            let mut n = 0.0;
+            for cb in 0..r.sites() {
+                let v = bp.get(cb) - ap.get(cb);
+                n += v.norm_sqr();
+                r.set(cb, &v);
+            }
+            c.charge(&blas::OP_XMAY_NORM, r.sites());
+            rsq = op.reduce(n);
+            blas::copy(&mut p, &r, &mut c);
+            continue;
+        }
         let beta = rsq_new / rsq;
         rsq = rsq_new;
         // p = r + β p.
@@ -84,6 +141,9 @@ pub fn cgnr<P: Precision>(
         iterations += 1;
         history.push((rsq / bp_norm2.max(f64::MIN_POSITIVE)).sqrt());
         converged = rsq <= target2;
+        if iterations % CHECKPOINT_EVERY == 0 {
+            blas::copy(&mut checkpoint_x, x, &mut c);
+        }
     }
 
     // Report the true residual of the original system.
@@ -92,7 +152,7 @@ pub fn cgnr<P: Precision>(
     matvecs += 1;
     let final_residual = (true_r2 / b_norm2).sqrt();
     SolveResult {
-        converged,
+        converged: converged && abort_error.is_none(),
         iterations,
         matvecs,
         reliable_updates: 0,
@@ -100,6 +160,9 @@ pub fn cgnr<P: Precision>(
         op_flops: matvecs * op.flops_per_apply(),
         blas: c,
         residual_history: history,
+        recoveries,
+        comm_recoveries: 0,
+        error: abort_error,
     }
 }
 
@@ -157,6 +220,34 @@ mod tests {
             cg_res.matvecs,
             bi_res.matvecs
         );
+    }
+
+    #[test]
+    fn cgnr_recovers_from_corrupted_reduction() {
+        use crate::test_faults::FaultyOp;
+        let (op, b) = setup(10);
+        // Call 9 corrupts a p·Ap reduction a few iterations into the solve.
+        let mut op = FaultyOp::corrupting(op, 9, f64::NAN);
+        let mut x = op.alloc();
+        blas::zero(&mut x);
+        let res =
+            cgnr(&mut op, &mut x, &b, &SolverParams { tol: 1e-10, max_iter: 1000, delta: 0.0 });
+        assert!(res.converged, "residual {} error {:?}", res.final_residual, res.error);
+        assert!(res.recoveries >= 1, "expected a rollback, got {}", res.recoveries);
+        assert!(res.final_residual < 1e-8);
+    }
+
+    #[test]
+    fn cgnr_poisoned_operator_reports_error() {
+        use crate::test_faults::FaultyOp;
+        let (op, b) = setup(11);
+        let mut op = FaultyOp::poisoned(op, "rank 1 is dead");
+        let mut x = op.alloc();
+        blas::zero(&mut x);
+        let res =
+            cgnr(&mut op, &mut x, &b, &SolverParams { tol: 1e-10, max_iter: 100, delta: 0.0 });
+        assert!(!res.converged);
+        assert_eq!(res.error.as_deref(), Some("rank 1 is dead"));
     }
 
     #[test]

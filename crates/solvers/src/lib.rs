@@ -22,10 +22,12 @@ pub mod mixed;
 pub mod operator;
 pub mod params;
 pub mod spectral;
+#[cfg(test)]
+pub(crate) mod test_faults;
 
 pub use bicgstab::bicgstab;
 pub use cg::cgnr;
 pub use mixed::{bicgstab_defect_correction, bicgstab_reliable};
-pub use operator::{LinearOperator, MatPcOp};
+pub use operator::{LinearOperator, MatPcOp, OpFault};
 pub use params::{SolveResult, SolverParams};
 pub use spectral::{estimate_spectrum, lambda_max, lambda_min, SpectrumEstimate};

@@ -23,6 +23,35 @@ use quda_fields::precision::Precision;
 use quda_fields::SpinorFieldCb;
 use quda_math::complex::C64;
 
+/// Rollback budget: how many times a solve may restore its checkpoint after
+/// detecting corrupted state before giving up with a terminal error. A
+/// genuine transient (one corrupted reduction) needs exactly one rollback;
+/// persistent corruption exhausts the budget quickly instead of looping
+/// forever (DESIGN.md §7).
+pub(crate) const MAX_RECOVERIES: u64 = 8;
+
+/// A reliable update that *grows* the true residual by more than this
+/// factor is treated as corrupted state rather than ordinary sloppy drift.
+const DIVERGE_FACTOR: f64 = 1e6;
+
+/// Outcome of one sloppy BiCGstab iteration (including any reliable
+/// update): drives the control flow of [`bicgstab_reliable`]'s main loop.
+enum Step {
+    /// Iteration completed normally; keep going.
+    Continue,
+    /// The reliable update's true residual met the target.
+    Converged,
+    /// The outer precision's rounding floor was reached (stalled updates).
+    Floor,
+    /// `r0·v` or ρ vanished: re-seed the shadow residual and retry.
+    Breakdown,
+    /// `‖t‖² = 0`: the Krylov space is exhausted.
+    Exhausted,
+    /// A non-finite or diverged quantity appeared: the working state is
+    /// corrupt and must be rolled back to the checkpoint.
+    Corrupt,
+}
+
 /// Add a low-precision correction into a high-precision vector:
 /// `x_hi += conv(e_lo)`.
 fn accumulate<H: Precision, L: Precision>(
@@ -40,6 +69,15 @@ fn accumulate<H: Precision, L: Precision>(
 /// `H` is the outer ("true") precision, `L` the sloppy precision the Krylov
 /// iteration runs in. The paper's production modes are double-half,
 /// single-half, and (for reference) double-single.
+///
+/// The solve is *self-healing* (DESIGN.md §7): the high-precision solution
+/// is checkpointed at every good reliable update, and any non-finite or
+/// wildly diverged quantity (e.g. a corrupted global reduction) rolls the
+/// solve back to that checkpoint and rebuilds the Krylov space from a fresh
+/// true residual. Rollbacks are counted in [`SolveResult::recoveries`] and
+/// capped; a fault reported by the operators' [`LinearOperator::fault`]
+/// hook (a dead rank, say) is not recoverable and aborts the solve with
+/// [`SolveResult::error`] set.
 pub fn bicgstab_reliable<H: Precision, L: Precision>(
     op_hi: &mut dyn LinearOperator<H>,
     op_lo: &mut dyn LinearOperator<L>,
@@ -87,6 +125,12 @@ pub fn bicgstab_reliable<H: Precision, L: Precision>(
     let mut x_sloppy = op_lo.alloc();
     blas::zero(&mut x_sloppy);
     let mut scratch_hi = op_hi.alloc();
+    // Rollback checkpoint: the high-precision solution as of the last known
+    // good state (start, then every good reliable update).
+    let mut checkpoint_x = op_hi.alloc();
+    blas::copy(&mut checkpoint_x, x, &mut c);
+    let mut recoveries: u64 = 0;
+    let mut abort_error: Option<String> = None;
 
     let mut rho = C64::new(r2, 0.0);
     let mut iterations = 0;
@@ -99,74 +143,137 @@ pub fn bicgstab_reliable<H: Precision, L: Precision>(
     let mut history = Vec::new();
 
     while iterations < params.max_iter {
-        op_lo.apply(&mut v, &mut p);
-        matvecs_lo += 1;
-        let r0v = op_lo.reduce_c(blas::cdot(&r0, &v, &mut c));
-        if r0v.norm_sqr() == 0.0 || rho.norm_sqr() == 0.0 {
-            // BiCGstab breakdown: re-seed the shadow residual.
-            blas::copy(&mut r0, &r, &mut c);
-            rho = C64::new(op_lo.reduce(blas::norm2(&r, &mut c)), 0.0);
-            blas::copy(&mut p, &r, &mut c);
-            continue;
-        }
-        let alpha = rho.div(r0v);
-        let s2 = op_lo.reduce(blas::caxpy_norm(-alpha, &v, &mut r, &mut c));
-        if s2.is_nan() {
+        // A fault parked by a poisoned operator (dead rank, exhausted
+        // retries) is terminal: no rollback can bring the peer back.
+        if let Some(f) = op_lo.fault().or_else(|| op_hi.fault()) {
+            abort_error = Some(f.message);
             break;
         }
-        op_lo.apply(&mut t, &mut r);
-        matvecs_lo += 1;
-        let (ts, tt) = {
-            let (dot, n) = blas::cdot_norm_a(&t, &r, &mut c);
-            (op_lo.reduce_c(dot), op_lo.reduce(n))
-        };
-        if tt == 0.0 {
-            break;
-        }
-        let omega = ts.scale(1.0 / tt);
-        blas::caxpbypz(alpha, &p, omega, &r, &mut x_sloppy, &mut c);
-        let r2_iter = op_lo.reduce(blas::caxpy_norm(-omega, &t, &mut r, &mut c));
-        let rho_new = op_lo.reduce_c(blas::cdot(&r0, &r, &mut c));
-        let beta = rho_new.div(rho) * alpha.div(omega);
-        rho = rho_new;
-        blas::cxpaypbz(&r, -(beta * omega), &v, beta, &mut p, &mut c);
-        iterations += 1;
-        history.push((r2_iter / b_norm2).sqrt());
+        let step = 'body: {
+            op_lo.apply(&mut v, &mut p);
+            matvecs_lo += 1;
+            let r0v = op_lo.reduce_c(blas::cdot(&r0, &v, &mut c));
+            if !r0v.re.is_finite() || !r0v.im.is_finite() {
+                break 'body Step::Corrupt;
+            }
+            if r0v.norm_sqr() == 0.0 || rho.norm_sqr() == 0.0 {
+                break 'body Step::Breakdown;
+            }
+            let alpha = rho.div(r0v);
+            let s2 = op_lo.reduce(blas::caxpy_norm(-alpha, &v, &mut r, &mut c));
+            if !s2.is_finite() {
+                break 'body Step::Corrupt;
+            }
+            op_lo.apply(&mut t, &mut r);
+            matvecs_lo += 1;
+            let (ts, tt) = {
+                let (dot, n) = blas::cdot_norm_a(&t, &r, &mut c);
+                (op_lo.reduce_c(dot), op_lo.reduce(n))
+            };
+            if !tt.is_finite() || !ts.re.is_finite() || !ts.im.is_finite() {
+                break 'body Step::Corrupt;
+            }
+            if tt == 0.0 {
+                break 'body Step::Exhausted;
+            }
+            let omega = ts.scale(1.0 / tt);
+            blas::caxpbypz(alpha, &p, omega, &r, &mut x_sloppy, &mut c);
+            let r2_iter = op_lo.reduce(blas::caxpy_norm(-omega, &t, &mut r, &mut c));
+            if !r2_iter.is_finite() {
+                break 'body Step::Corrupt;
+            }
+            let rho_new = op_lo.reduce_c(blas::cdot(&r0, &r, &mut c));
+            let beta = rho_new.div(rho) * alpha.div(omega);
+            rho = rho_new;
+            blas::cxpaypbz(&r, -(beta * omega), &v, beta, &mut p, &mut c);
+            iterations += 1;
+            history.push((r2_iter / b_norm2).sqrt());
 
-        let r_norm = r2_iter.sqrt();
-        maxrr = maxrr.max(r_norm);
-        let want_update = r_norm < params.delta * maxrr || r2_iter <= target2;
-        if want_update {
-            // Reliable update: accumulate and recompute the true residual in
-            // high precision.
-            accumulate(x, &x_sloppy, &mut scratch_hi, &mut c);
-            blas::zero(&mut x_sloppy);
-            r2 = residual_norm2(op_hi, &mut r_hi, x, b, &mut c);
-            matvecs_hi += 1;
-            reliable_updates += 1;
-            if r2 <= target2 {
+            let r_norm = r2_iter.sqrt();
+            maxrr = maxrr.max(r_norm);
+            let want_update = r_norm < params.delta * maxrr || r2_iter <= target2;
+            if want_update {
+                // Reliable update: accumulate and recompute the true
+                // residual in high precision.
+                accumulate(x, &x_sloppy, &mut scratch_hi, &mut c);
+                blas::zero(&mut x_sloppy);
+                r2 = residual_norm2(op_hi, &mut r_hi, x, b, &mut c);
+                matvecs_hi += 1;
+                reliable_updates += 1;
+                if !r2.is_finite() || r2 > last_update_r2 * DIVERGE_FACTOR {
+                    break 'body Step::Corrupt;
+                }
+                if r2 <= target2 {
+                    break 'body Step::Converged;
+                }
+                if r2 >= last_update_r2 * 0.8 {
+                    stalls += 1;
+                    if stalls >= 3 {
+                        break 'body Step::Floor;
+                    }
+                } else {
+                    stalls = 0;
+                }
+                last_update_r2 = r2;
+                r.convert_from(&r_hi);
+                maxrr = r2.sqrt();
+                // The search direction p survives the update (single Krylov
+                // space); only ρ is re-evaluated against the refreshed
+                // residual.
+                rho = op_lo.reduce_c(blas::cdot(&r0, &r, &mut c));
+                // This state passed the high-precision check: refresh the
+                // rollback checkpoint.
+                blas::copy(&mut checkpoint_x, x, &mut c);
+            }
+            Step::Continue
+        };
+        match step {
+            Step::Continue => {}
+            Step::Converged => {
                 converged = true;
                 break;
             }
-            if r2 >= last_update_r2 * 0.8 {
-                stalls += 1;
-                if stalls >= 3 {
-                    break; // hit the outer precision's floor
+            Step::Floor | Step::Exhausted => break,
+            Step::Breakdown => {
+                // BiCGstab breakdown: re-seed the shadow residual.
+                blas::copy(&mut r0, &r, &mut c);
+                rho = C64::new(op_lo.reduce(blas::norm2(&r, &mut c)), 0.0);
+                blas::copy(&mut p, &r, &mut c);
+            }
+            Step::Corrupt => {
+                // NaN caused by a comm failure is not transient; surface
+                // the typed fault instead of burning the rollback budget.
+                if let Some(f) = op_lo.fault().or_else(|| op_hi.fault()) {
+                    abort_error = Some(f.message);
+                    break;
                 }
-            } else {
+                recoveries += 1;
+                if recoveries > MAX_RECOVERIES {
+                    abort_error = Some(format!(
+                        "corrupted solver state persisted after {MAX_RECOVERIES} rollbacks"
+                    ));
+                    break;
+                }
+                // Roll back to the checkpoint and rebuild the Krylov space
+                // from a freshly computed true residual.
+                blas::copy(x, &checkpoint_x, &mut c);
+                r2 = residual_norm2(op_hi, &mut r_hi, x, b, &mut c);
+                matvecs_hi += 1;
+                r.convert_from(&r_hi);
+                blas::copy(&mut r0, &r, &mut c);
+                blas::copy(&mut p, &r, &mut c);
+                blas::zero(&mut x_sloppy);
+                rho = C64::new(r2, 0.0);
+                maxrr = r2.sqrt();
+                last_update_r2 = r2;
                 stalls = 0;
             }
-            last_update_r2 = r2;
-            r.convert_from(&r_hi);
-            maxrr = r2.sqrt();
-            // The search direction p survives the update (single Krylov
-            // space); only ρ is re-evaluated against the refreshed residual.
-            rho = op_lo.reduce_c(blas::cdot(&r0, &r, &mut c));
         }
     }
 
-    // Fold in any un-accumulated sloppy progress.
-    if !converged {
+    // Fold in any un-accumulated sloppy progress (pointless after a
+    // terminal error — the sloppy state is untrustworthy).
+    if !converged && abort_error.is_none() {
         accumulate(x, &x_sloppy, &mut scratch_hi, &mut c);
         r2 = residual_norm2(op_hi, &mut r_hi, x, b, &mut c);
         matvecs_hi += 1;
@@ -182,6 +289,9 @@ pub fn bicgstab_reliable<H: Precision, L: Precision>(
         op_flops: matvecs_lo * op_lo.flops_per_apply() + matvecs_hi * op_hi.flops_per_apply(),
         blas: c,
         residual_history: history,
+        recoveries,
+        comm_recoveries: 0,
+        error: abort_error,
     }
 }
 
@@ -218,6 +328,7 @@ pub fn bicgstab_defect_correction<H: Precision, L: Precision>(
     op_flops += op_hi.flops_per_apply();
     let max_outer = 100;
     let mut outer = 0;
+    let mut abort_error: Option<String> = None;
     while r2 > target2 && outer < max_outer && iterations < params.max_iter {
         b_lo.convert_from(&r_hi);
         blas::zero(&mut e_lo);
@@ -232,6 +343,10 @@ pub fn bicgstab_defect_correction<H: Precision, L: Precision>(
         matvecs += inner.matvecs;
         op_flops += inner.matvecs * op_lo.flops_per_apply();
         c.merge(&inner.blas);
+        if let Some(e) = inner.error {
+            abort_error = Some(e);
+            break;
+        }
         accumulate(x, &e_lo, &mut scratch_hi, &mut c);
         r2 = residual_norm2(op_hi, &mut r_hi, x, b, &mut c);
         matvecs += 1;
@@ -244,7 +359,7 @@ pub fn bicgstab_defect_correction<H: Precision, L: Precision>(
     }
 
     SolveResult {
-        converged: r2 <= target2,
+        converged: r2 <= target2 && abort_error.is_none(),
         iterations,
         matvecs,
         reliable_updates: restarts,
@@ -252,6 +367,9 @@ pub fn bicgstab_defect_correction<H: Precision, L: Precision>(
         op_flops,
         blas: c,
         residual_history: history,
+        recoveries: 0,
+        comm_recoveries: 0,
+        error: abort_error,
     }
 }
 
@@ -350,6 +468,67 @@ mod tests {
         let res = bicgstab_defect_correction(&mut hi, &mut lo, &mut x, &b, &params, 1e-2);
         assert!(res.converged, "residual {}", res.final_residual);
         assert!(res.reliable_updates >= 2, "expected multiple restarts");
+    }
+
+    #[test]
+    fn corrupted_reduction_rolls_back_and_reconverges() {
+        use crate::test_faults::FaultyOp;
+        let (mut hi, lo, b) = ops::<Double, Single>(6);
+        // Corrupt one sloppy global reduction mid-solve (call 12 lands a
+        // few iterations in): the solver must roll back to its checkpoint
+        // and still reach the target.
+        let mut lo = FaultyOp::corrupting(lo, 12, f64::NAN);
+        let mut x = hi.alloc();
+        blas::zero(&mut x);
+        let params = SolverParams { tol: 1e-10, max_iter: 2000, delta: 1e-2 };
+        let res = bicgstab_reliable(&mut hi, &mut lo, &mut x, &b, &params);
+        assert!(res.converged, "residual {} error {:?}", res.final_residual, res.error);
+        assert!(res.recoveries >= 1, "expected a rollback, got {}", res.recoveries);
+        assert!(res.error.is_none());
+        assert!(res.final_residual <= 1e-10);
+        // The recovered solution solves the same system: check against a
+        // fault-free solve.
+        let (mut hi2, mut lo2, b2) = ops::<Double, Single>(6);
+        let mut x_clean = hi2.alloc();
+        blas::zero(&mut x_clean);
+        let clean = bicgstab_reliable(&mut hi2, &mut lo2, &mut x_clean, &b2, &params);
+        assert!(clean.converged);
+        assert_eq!(clean.recoveries, 0);
+        let mut diff2 = 0.0;
+        for cb in 0..x.sites() {
+            diff2 += (x.get(cb) - x_clean.get(cb)).norm_sqr();
+        }
+        let rel = (diff2 / x_clean.norm_sqr()).sqrt();
+        assert!(rel < 1e-7, "recovered solution drifted: rel={rel}");
+    }
+
+    #[test]
+    fn persistent_corruption_exhausts_rollback_budget() {
+        use crate::test_faults::FaultyOp;
+        let (mut hi, lo, b) = ops::<Double, Single>(8);
+        let mut lo = FaultyOp::corrupting_from(lo, 12, f64::NAN);
+        let mut x = hi.alloc();
+        blas::zero(&mut x);
+        let params = SolverParams { tol: 1e-10, max_iter: 2000, delta: 1e-2 };
+        let res = bicgstab_reliable(&mut hi, &mut lo, &mut x, &b, &params);
+        assert!(!res.converged);
+        assert!(res.error.is_some(), "persistent corruption must surface an error");
+        assert!(res.recoveries >= super::MAX_RECOVERIES);
+    }
+
+    #[test]
+    fn poisoned_operator_aborts_with_error_not_hang() {
+        use crate::test_faults::FaultyOp;
+        let (mut hi, lo, b) = ops::<Double, Single>(9);
+        let mut lo = FaultyOp::poisoned(lo, "recv from rank 2 tag 1: rank 2 is dead");
+        let mut x = hi.alloc();
+        blas::zero(&mut x);
+        let params = SolverParams { tol: 1e-10, max_iter: 2000, delta: 1e-2 };
+        let res = bicgstab_reliable(&mut hi, &mut lo, &mut x, &b, &params);
+        assert!(!res.converged);
+        assert_eq!(res.error.as_deref(), Some("recv from rank 2 tag 1: rank 2 is dead"));
+        assert_eq!(res.iterations, 0, "fault must abort before iterating");
+        assert_eq!(res.recoveries, 0, "a comm fault is not a rollback");
     }
 
     #[test]

@@ -14,6 +14,15 @@ use quda_fields::SpinorFieldCb;
 use quda_lattice::geometry::LatticeDims;
 use quda_math::complex::C64;
 
+/// A fault recorded by an operator implementation — typically a
+/// communication failure (dead peer, exhausted retries) on a partitioned
+/// lattice (DESIGN.md §7).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpFault {
+    /// Human-readable description of the underlying failure.
+    pub message: String,
+}
+
 /// A linear operator on single-parity spinor fields.
 pub trait LinearOperator<P: Precision> {
     /// Lattice extents of the (local) domain.
@@ -41,6 +50,18 @@ pub trait LinearOperator<P: Precision> {
     /// Number of local data sites.
     fn sites(&self) -> usize {
         self.dims().half_volume()
+    }
+    /// A pending fault recorded by the implementation, if any.
+    ///
+    /// A partitioned operator cannot return `Result` from the hot
+    /// `apply`/`reduce` paths without penalizing every uniform-precision
+    /// call site, so a failed exchange or reduction instead *poisons* the
+    /// operator: `apply` becomes a no-op, `reduce` returns NaN, and the
+    /// original typed error is parked here for the solvers to poll at
+    /// iteration boundaries. The default (single-device) implementation
+    /// never faults.
+    fn fault(&self) -> Option<OpFault> {
+        None
     }
 }
 

@@ -59,6 +59,18 @@ pub struct SolveResult {
     /// reliable-update "sawtooth" is visible here: the iterated residual
     /// jumps wherever a high-precision replacement corrected drift.
     pub residual_history: Vec<f64>,
+    /// Checkpoint rollbacks performed after detected state corruption
+    /// (NaN/diverged residuals — see DESIGN.md §7).
+    pub recoveries: u64,
+    /// Messages the communication layer recovered via link-level
+    /// retransmission during this solve (filled in by the parallel driver;
+    /// zero for single-device solves).
+    pub comm_recoveries: u64,
+    /// Terminal error that aborted the solve, if any (e.g. a dead rank
+    /// reported by the operator's fault hook, or corruption persisting past
+    /// the rollback budget). `None` for a clean — converged or merely
+    /// stalled — solve.
+    pub error: Option<String>,
 }
 
 impl SolveResult {

@@ -1,0 +1,110 @@
+//! Test-only operator wrappers that inject faults into the reduction path,
+//! mimicking what a corrupted allreduce or a dead rank does to a
+//! partitioned solve (DESIGN.md §7).
+
+use crate::operator::{LinearOperator, OpFault};
+use quda_fields::precision::Precision;
+use quda_fields::SpinorFieldCb;
+use quda_lattice::geometry::LatticeDims;
+use quda_math::complex::C64;
+
+/// Wraps an operator and corrupts the result of the `corrupt_at`-th call to
+/// `reduce` (1-based; 0 disables), or — when `fault` is set — behaves like
+/// a poisoned partitioned operator: every reduction returns NaN and the
+/// fault hook reports the error.
+pub(crate) struct FaultyOp<P: Precision, O: LinearOperator<P>> {
+    pub inner: O,
+    pub corrupt_at: u64,
+    pub corruption: f64,
+    pub reduce_calls: u64,
+    /// Corrupt every reduction from `corrupt_at` onward instead of just the
+    /// one (models persistent rather than transient corruption).
+    pub persistent: bool,
+    pub fault: Option<String>,
+    _p: std::marker::PhantomData<P>,
+}
+
+impl<P: Precision, O: LinearOperator<P>> FaultyOp<P, O> {
+    pub fn corrupting(inner: O, corrupt_at: u64, corruption: f64) -> Self {
+        FaultyOp {
+            inner,
+            corrupt_at,
+            corruption,
+            reduce_calls: 0,
+            persistent: false,
+            fault: None,
+            _p: std::marker::PhantomData,
+        }
+    }
+
+    pub fn corrupting_from(inner: O, corrupt_at: u64, corruption: f64) -> Self {
+        FaultyOp { persistent: true, ..FaultyOp::corrupting(inner, corrupt_at, corruption) }
+    }
+
+    pub fn poisoned(inner: O, message: &str) -> Self {
+        FaultyOp {
+            inner,
+            corrupt_at: 0,
+            corruption: f64::NAN,
+            reduce_calls: 0,
+            persistent: false,
+            fault: Some(message.to_string()),
+            _p: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<P: Precision, O: LinearOperator<P>> LinearOperator<P> for FaultyOp<P, O> {
+    fn dims(&self) -> LatticeDims {
+        self.inner.dims()
+    }
+
+    fn alloc(&self) -> SpinorFieldCb<P> {
+        self.inner.alloc()
+    }
+
+    fn apply(&mut self, out: &mut SpinorFieldCb<P>, input: &mut SpinorFieldCb<P>) {
+        if self.fault.is_some() {
+            return;
+        }
+        self.inner.apply(out, input);
+    }
+
+    fn apply_dagger(&mut self, out: &mut SpinorFieldCb<P>, input: &mut SpinorFieldCb<P>) {
+        if self.fault.is_some() {
+            return;
+        }
+        self.inner.apply_dagger(out, input);
+    }
+
+    fn flops_per_apply(&self) -> u64 {
+        self.inner.flops_per_apply()
+    }
+
+    fn reduce(&mut self, local: f64) -> f64 {
+        if self.fault.is_some() {
+            return f64::NAN;
+        }
+        self.reduce_calls += 1;
+        let hit = if self.persistent {
+            self.corrupt_at > 0 && self.reduce_calls >= self.corrupt_at
+        } else {
+            self.reduce_calls == self.corrupt_at
+        };
+        if hit {
+            return self.corruption;
+        }
+        self.inner.reduce(local)
+    }
+
+    fn reduce_c(&mut self, local: C64) -> C64 {
+        if self.fault.is_some() {
+            return C64::new(f64::NAN, f64::NAN);
+        }
+        self.inner.reduce_c(local)
+    }
+
+    fn fault(&self) -> Option<OpFault> {
+        self.fault.clone().map(|message| OpFault { message })
+    }
+}

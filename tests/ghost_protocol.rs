@@ -46,7 +46,8 @@ fn traffic_for_one_matpc<P: quda_fields::precision::Precision>() -> (u64, u64) {
             comm,
             WilsonParams { mass: 0.3, c_sw: 1.0 },
             CommStrategy::NoOverlap,
-        );
+        )
+        .expect("op init");
         let init_bytes = op.comm.sent_bytes();
         let init_msgs = op.comm.sent_messages();
         let mut x = op.alloc();
@@ -87,7 +88,8 @@ fn gauge_ghost_exchanged_once_at_init() {
             comm,
             WilsonParams { mass: 0.3, c_sw: 1.0 },
             CommStrategy::NoOverlap,
-        );
+        )
+        .expect("op init");
         (op.comm.sent_messages(), op.comm.sent_bytes())
     });
     // Exactly one message per parity at init (the f64-encoded link slice).
@@ -115,7 +117,8 @@ fn overlap_and_no_overlap_send_identical_traffic() {
                 comm,
                 WilsonParams { mass: 0.3, c_sw: 1.0 },
                 strategy,
-            );
+            )
+            .expect("op init");
             let base = op.comm.sent_bytes();
             let mut x = op.alloc();
             x.upload(&quda_multigpu::slice_spinor(&host, &part, rank), Parity::Odd);
@@ -145,7 +148,8 @@ fn reductions_count_matches_solver_structure() {
         comm,
         WilsonParams { mass: 0.3, c_sw: 1.0 },
         CommStrategy::NoOverlap,
-    );
+    )
+    .expect("op init");
     let mut b = op.alloc();
     b.upload(&host, Parity::Odd);
     let mut x = op.alloc();
@@ -165,4 +169,126 @@ fn reductions_count_matches_solver_structure() {
         res.blas.reductions,
         res.iterations
     );
+}
+
+/// Run a closure on every rank of a 2-rank world built with an explicit
+/// fault plan and timeout policy.
+fn on_two_faulty_ranks<T: Send + 'static>(
+    plan: quda_comm::FaultPlan,
+    config: quda_comm::CommConfig,
+    f: impl Fn(usize, quda_comm::Communicator) -> T + Send + Sync + Clone + 'static,
+) -> Vec<T> {
+    let world = quda_comm::comm_world_with(2, config, Some(plan));
+    let handles: Vec<_> = world
+        .into_iter()
+        .enumerate()
+        .map(|(rank, comm)| {
+            let f = f.clone();
+            std::thread::spawn(move || f(rank, comm))
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+/// One matpc application on a 2-rank world under `plan`; returns each rank's
+/// (max |out - reference|, recovery stats) where the reference is the same
+/// application on a fault-free world.
+fn matpc_under_faults(plan: quda_comm::FaultPlan) -> Vec<(f64, quda_comm::CommStats)> {
+    let d = dims();
+    let part = TimePartition::new(d, 2);
+    let cfg = weak_field(d, 0.1, 11);
+    let host = random_spinor_field(d, 12);
+
+    let apply = move |rank: usize, comm: quda_comm::Communicator| {
+        let mut op = ParallelWilsonCloverOp::<Double>::new(
+            &cfg,
+            part,
+            rank,
+            comm,
+            WilsonParams { mass: 0.3, c_sw: 1.0 },
+            CommStrategy::NoOverlap,
+        )
+        .expect("op init");
+        let mut x = op.alloc();
+        x.upload(&quda_multigpu::slice_spinor(&host, &part, rank), Parity::Odd);
+        let mut out = op.alloc();
+        op.apply_matpc_par(&mut out, &mut x, false);
+        assert!(op.comm_fault().is_none(), "fault: {:?}", op.comm_fault());
+        let mut vals = Vec::with_capacity(out.sites() * 24);
+        for cb in 0..out.sites() {
+            let site = out.get(cb);
+            for sp in 0..4 {
+                for co in 0..3 {
+                    vals.push(site.s[sp].c[co].re);
+                    vals.push(site.s[sp].c[co].im);
+                }
+            }
+        }
+        (vals, op.comm_stats())
+    };
+
+    let clean = on_two_ranks(apply.clone());
+    let faulty = on_two_faulty_ranks(plan, quda_comm::CommConfig::default(), apply);
+    clean
+        .into_iter()
+        .zip(faulty)
+        .map(|((cv, _), (fv, stats))| {
+            let dist = cv
+                .iter()
+                .zip(&fv)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            (dist, stats)
+        })
+        .collect()
+}
+
+#[test]
+fn dropped_faces_are_recovered_bit_identically() {
+    // An aggressive 20% drop rate: every lost face is replayed from the
+    // link-level pristine store, so ghost zones are bit-identical.
+    let results = matpc_under_faults(quda_comm::FaultPlan::new(21).drop(0.2));
+    let recovered: u64 = results.iter().map(|(_, s)| s.recovered).sum();
+    assert!(recovered > 0, "expected at least one drop across 12 messages");
+    for (dist, _) in results {
+        assert_eq!(dist, 0.0, "recovery must be bit-identical");
+    }
+}
+
+#[test]
+fn delayed_faces_arrive_and_match() {
+    // Delays reorder nothing here (per-(peer,tag) FIFO) but do exercise the
+    // receiver's backoff path; the result must still be exact.
+    let plan =
+        quda_comm::FaultPlan::new(22).delay(0.5, std::time::Duration::from_millis(20));
+    for (dist, stats) in matpc_under_faults(plan) {
+        assert_eq!(dist, 0.0);
+        // Waiting out a delay is not a recovery event.
+        assert_eq!(stats.recovered, 0);
+    }
+}
+
+#[test]
+fn corrupted_faces_are_detected_and_retransmitted() {
+    // Bit-flips and truncations must be caught by the frame checksum and
+    // length checks — never silently accepted into a ghost zone.
+    let plan = quda_comm::FaultPlan::new(23).bit_flip(0.3).truncate(0.1);
+    let results = matpc_under_faults(plan);
+    let caught: u64 = results.iter().map(|(_, s)| s.checksum_failures).sum();
+    let recovered: u64 = results.iter().map(|(_, s)| s.recovered).sum();
+    assert!(caught > 0, "expected corrupted frames to be flagged");
+    assert!(recovered >= caught, "every flagged frame must be re-fetched");
+    for (dist, _) in results {
+        assert_eq!(dist, 0.0);
+    }
+}
+
+#[test]
+fn duplicated_faces_are_deduplicated() {
+    let results = matpc_under_faults(quda_comm::FaultPlan::new(24).duplicate(0.5));
+    let dropped: u64 = results.iter().map(|(_, s)| s.duplicates_dropped).sum();
+    assert!(dropped > 0, "expected duplicate frames to be discarded");
+    for (dist, _) in results {
+        assert_eq!(dist, 0.0);
+    }
 }
