@@ -11,7 +11,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use quda_dirac::dslash::{dslash_cb, DslashRegion};
 use quda_dirac::{WilsonCloverOp, WilsonParams};
 use quda_fields::gauge_gen::{random_spinor_field, weak_field};
-use quda_fields::precision::{Double, Half, Precision, Single};
+use quda_fields::precision::{Double, Half, Single};
 use quda_fields::SpinorFieldCb;
 use quda_lattice::geometry::{LatticeDims, Parity};
 use quda_lattice::layout::{species, NVec};
@@ -99,7 +99,9 @@ fn bench_blas(c: &mut Criterion) {
     group.throughput(Throughput::Elements(d.half_volume() as u64));
     group.sample_size(20);
     let mut counters = BlasCounters::default();
-    group.bench_function("axpy", |b| b.iter(|| blas::axpy(0.5, &x, black_box(&mut y), &mut counters)));
+    group.bench_function("axpy", |b| {
+        b.iter(|| blas::axpy(0.5, &x, black_box(&mut y), &mut counters))
+    });
     group.bench_function("norm2", |b| b.iter(|| black_box(blas::norm2(&x, &mut counters))));
     group.bench_function("cdot", |b| b.iter(|| black_box(blas::cdot(&x, &y, &mut counters))));
     group.bench_function("caxpy_norm", |b| {

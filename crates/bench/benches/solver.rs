@@ -102,7 +102,14 @@ fn bench_mixed_solvers(c: &mut Criterion) {
         bch.iter(|| {
             let mut x = quda_solvers::operator::LinearOperator::alloc(&hi);
             blas::zero(&mut x);
-            black_box(bicgstab_defect_correction(&mut hi, &mut lo_single, &mut x, &b, &params, 1e-2))
+            black_box(bicgstab_defect_correction(
+                &mut hi,
+                &mut lo_single,
+                &mut x,
+                &b,
+                &params,
+                1e-2,
+            ))
         })
     });
     group.finish();

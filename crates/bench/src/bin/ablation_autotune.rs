@@ -23,7 +23,10 @@ fn main() {
         ("reduce_norm2", 16, 8),
         ("reduce_cdot", 20, 12),
     ];
-    println!("{:<16} {:>7} {:>10} {:>11} {:>12}", "kernel", "block", "tuned eff", "worst eff", "tuning gain");
+    println!(
+        "{:<16} {:>7} {:>10} {:>11} {:>12}",
+        "kernel", "block", "tuned eff", "worst eff", "tuning gain"
+    );
     for (name, regs, shared) in kernels {
         let profile = KernelProfile { regs_per_thread: regs, shared_per_thread: shared };
         let cfg = tuner.tune(name, &gpu, &profile);

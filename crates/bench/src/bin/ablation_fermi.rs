@@ -25,11 +25,16 @@ fn main() {
             card.copy_engines,
             if card.copy_engines > 1 { "s" } else { "" }
         );
-        println!("  {:>5} {:>14} {:>14} {:>12}", "GPUs", "overlap Gflops", "no-ovl Gflops", "ovl gain");
+        println!(
+            "  {:>5} {:>14} {:>14} {:>12}",
+            "GPUs", "overlap Gflops", "no-ovl Gflops", "ovl gain"
+        );
         for gpus in [8usize, 16, 32] {
-            let mut ov = PerfInput::paper(global, gpus, PrecisionMode::SingleHalf, CommStrategy::Overlap);
+            let mut ov =
+                PerfInput::paper(global, gpus, PrecisionMode::SingleHalf, CommStrategy::Overlap);
             ov.gpu = *card;
-            let mut no = PerfInput::paper(global, gpus, PrecisionMode::SingleHalf, CommStrategy::NoOverlap);
+            let mut no =
+                PerfInput::paper(global, gpus, PrecisionMode::SingleHalf, CommStrategy::NoOverlap);
             no.gpu = *card;
             let ov_r = evaluate(&ov);
             let no_r = evaluate(&no);

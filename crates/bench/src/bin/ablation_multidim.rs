@@ -22,7 +22,12 @@ fn main() {
     );
     for log2 in 2..=9 {
         let ranks = 1usize << log2;
-        let inp = PerfInput::paper(global, ranks.min(128).max(1), PrecisionMode::Single, CommStrategy::NoOverlap);
+        let inp = PerfInput::paper(
+            global,
+            ranks.clamp(1, 128),
+            PrecisionMode::Single,
+            CommStrategy::NoOverlap,
+        );
         // PerfInput's own ranks field is unused by the 2-d model except for
         // the global dims; pass grids explicitly.
         let t_only = sustained_gflops_2d(&inp, ProcessGrid { nz: 1, nt: ranks });

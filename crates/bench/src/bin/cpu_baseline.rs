@@ -15,13 +15,22 @@ fn main() {
     let cpu = CpuClusterModel::jlab_9q(16);
     let cpu_gflops = cpu.sustained_gflops_sp();
     let global = LatticeDims::spatial_cube(32, 256);
-    let gpu = evaluate(&PerfInput::paper(global, 32, PrecisionMode::SingleHalf, CommStrategy::Overlap));
-    println!("CPU baseline (9q): {} nodes, {} cores -> {:.0} Gflops (single, SSE)", cpu.nodes, cpu.cores(), cpu_gflops);
+    let gpu =
+        evaluate(&PerfInput::paper(global, 32, PrecisionMode::SingleHalf, CommStrategy::Overlap));
+    println!(
+        "CPU baseline (9q): {} nodes, {} cores -> {:.0} Gflops (single, SSE)",
+        cpu.nodes,
+        cpu.cores(),
+        cpu_gflops
+    );
     println!(
         "GPU cluster (9g):  16 nodes, 32x GTX 285 -> {:.0} Gflops (mixed single-half, 32^3x256)",
         gpu.sustained_gflops
     );
-    println!("speedup: {:.1}x (paper: 'over a factor of 10 faster', 255 Gflops vs >3 Tflops)", gpu.sustained_gflops / cpu_gflops);
+    println!(
+        "speedup: {:.1}x (paper: 'over a factor of 10 faster', 255 Gflops vs >3 Tflops)",
+        gpu.sustained_gflops / cpu_gflops
+    );
     assert!(gpu.sustained_gflops / cpu_gflops > 10.0);
 
     // Grounding the model: measure *this machine's* sustained effective

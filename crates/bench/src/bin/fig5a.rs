@@ -22,10 +22,19 @@ fn main() {
     for gpus in PAPER_GPU_COUNTS {
         let bad_numa = {
             if global.t % gpus == 0 {
-                let mut inp = PerfInput::paper(global, gpus, PrecisionMode::SingleHalf, CommStrategy::Overlap);
+                let mut inp = PerfInput::paper(
+                    global,
+                    gpus,
+                    PrecisionMode::SingleHalf,
+                    CommStrategy::Overlap,
+                );
                 inp.numa = NumaPlacement::Bad;
                 let r = evaluate(&inp);
-                if r.fits_memory { Some(r.sustained_gflops) } else { None }
+                if r.fits_memory {
+                    Some(r.sustained_gflops)
+                } else {
+                    None
+                }
             } else {
                 None
             }

@@ -18,6 +18,16 @@ use bytes::{Bytes, BytesMut};
 /// Bytes of framing added to each wire message (length + checksum).
 pub const FRAME_OVERHEAD: usize = 12;
 
+/// Infallible fixed-width copy out of a slice whose length the caller has
+/// already established (constant-offset slicing or `chunks_exact`), keeping
+/// the hot decode paths free of panicking conversions.
+#[inline(always)]
+fn le_bytes<const N: usize>(bytes: &[u8]) -> [u8; N] {
+    let mut a = [0u8; N];
+    a.copy_from_slice(bytes);
+    a
+}
+
 /// FNV-1a 64-bit hash of a byte slice — the per-message checksum.
 pub fn checksum(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -45,8 +55,8 @@ pub fn unframe(framed: &Bytes) -> Result<Bytes, DecodeError> {
     if framed.len() < FRAME_OVERHEAD {
         return Err(DecodeError::Truncated { expected: FRAME_OVERHEAD, got: framed.len() });
     }
-    let len = u32::from_le_bytes(framed[0..4].try_into().expect("4-byte slice")) as usize;
-    let want = u64::from_le_bytes(framed[4..12].try_into().expect("8-byte slice"));
+    let len = u32::from_le_bytes(le_bytes(&framed[0..4])) as usize;
+    let want = u64::from_le_bytes(le_bytes(&framed[4..12]));
     if framed.len() != FRAME_OVERHEAD + len {
         return Err(DecodeError::Truncated { expected: FRAME_OVERHEAD + len, got: framed.len() });
     }
@@ -72,7 +82,7 @@ pub fn unpack_f64(bytes: &[u8]) -> Result<Vec<f64>, DecodeError> {
     if bytes.len() % 8 != 0 {
         return Err(DecodeError::LengthMismatch { element_size: 8, len: bytes.len() });
     }
-    Ok(bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk"))).collect())
+    Ok(bytes.chunks_exact(8).map(|c| f64::from_le_bytes(le_bytes(c))).collect())
 }
 
 /// Pack a slice of f32 into little-endian bytes.
@@ -89,7 +99,7 @@ pub fn unpack_f32(bytes: &[u8]) -> Result<Vec<f32>, DecodeError> {
     if bytes.len() % 4 != 0 {
         return Err(DecodeError::LengthMismatch { element_size: 4, len: bytes.len() });
     }
-    Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk"))).collect())
+    Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes(le_bytes(c))).collect())
 }
 
 /// Pack a slice of i16 (the half-precision storage integers).
@@ -106,7 +116,7 @@ pub fn unpack_i16(bytes: &[u8]) -> Result<Vec<i16>, DecodeError> {
     if bytes.len() % 2 != 0 {
         return Err(DecodeError::LengthMismatch { element_size: 2, len: bytes.len() });
     }
-    Ok(bytes.chunks_exact(2).map(|c| i16::from_le_bytes(c.try_into().expect("2-byte chunk"))).collect())
+    Ok(bytes.chunks_exact(2).map(|c| i16::from_le_bytes(le_bytes(c))).collect())
 }
 
 #[cfg(test)]

@@ -40,7 +40,10 @@ impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DecodeError::LengthMismatch { element_size, len } => {
-                write!(f, "payload of {len} bytes is not a whole number of {element_size}-byte elements")
+                write!(
+                    f,
+                    "payload of {len} bytes is not a whole number of {element_size}-byte elements"
+                )
             }
             DecodeError::Truncated { expected, got } => {
                 write!(f, "frame truncated: expected {expected} bytes, got {got}")

@@ -157,7 +157,8 @@ impl FaultPlan {
             (self.delay_prob, FaultAction::Delay),
         ];
         for (salt, (p, action)) in classes.iter().enumerate() {
-            if *p > 0.0 && unit(splitmix64(base ^ (salt as u64 + 1).wrapping_mul(0x9E37_79B9))) < *p {
+            if *p > 0.0 && unit(splitmix64(base ^ (salt as u64 + 1).wrapping_mul(0x9E37_79B9))) < *p
+            {
                 return *action;
             }
         }

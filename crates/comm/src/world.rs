@@ -125,7 +125,11 @@ pub fn comm_world(size: usize) -> Vec<Communicator> {
 
 /// Create a world with an explicit timeout/retry policy and an optional
 /// deterministic [`FaultPlan`] injected into every link.
-pub fn comm_world_with(size: usize, config: CommConfig, plan: Option<FaultPlan>) -> Vec<Communicator> {
+pub fn comm_world_with(
+    size: usize,
+    config: CommConfig,
+    plan: Option<FaultPlan>,
+) -> Vec<Communicator> {
     assert!(size >= 1);
     let mut senders = Vec::with_capacity(size);
     let mut receivers = Vec::with_capacity(size);
@@ -264,10 +268,13 @@ impl Communicator {
     }
 
     fn store_pristine(&self, to: usize, tag: u32, seq: u64, payload: Bytes) {
+        // A peer that panicked while holding the lock leaves the map intact
+        // (insert/remove are single operations), so poison is stripped
+        // rather than cascading the panic across surviving ranks.
         self.shared
             .pristine
             .lock()
-            .expect("pristine store poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert((self.rank, to, tag, seq), payload);
     }
 
@@ -275,7 +282,7 @@ impl Communicator {
         self.shared
             .pristine
             .lock()
-            .expect("pristine store poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .remove(&(from, self.rank, tag, seq))
     }
 
@@ -296,10 +303,12 @@ impl Communicator {
             let before = self.stash.len();
             self.stash.retain(|m| !(m.from == from && m.tag == tag && m.seq < expected));
             self.stats.duplicates_dropped += (before - self.stash.len()) as u64;
-            if let Some(pos) =
-                self.stash.iter().position(|m| m.from == from && m.tag == tag && m.seq == expected)
+            if let Some(m) = self
+                .stash
+                .iter()
+                .position(|m| m.from == from && m.tag == tag && m.seq == expected)
+                .and_then(|pos| self.stash.remove(pos))
             {
-                let m = self.stash.remove(pos).expect("position just found");
                 match crate::codec::unframe(&m.frame) {
                     Ok(payload) => {
                         self.recv_seq.insert((from, tag), expected + 1);
@@ -425,7 +434,10 @@ impl Communicator {
                 let contrib = crate::codec::unpack_f64(&bytes)
                     .map_err(|error| CommError::Decode { from, tag, error })?;
                 if contrib.len() != acc.len() {
-                    return Err(CommError::SizeMismatch { expected: acc.len(), got: contrib.len() });
+                    return Err(CommError::SizeMismatch {
+                        expected: acc.len(),
+                        got: contrib.len(),
+                    });
                 }
                 for (a, c) in acc.iter_mut().zip(&contrib) {
                     *a += c;
@@ -440,8 +452,11 @@ impl Communicator {
             let packed = crate::codec::pack_f64(local);
             self.send(0, tag, packed)?;
             let bytes = self.recv(0, tag + 1)?;
-            crate::codec::unpack_f64(&bytes)
-                .map_err(|error| CommError::Decode { from: 0, tag: tag + 1, error })
+            crate::codec::unpack_f64(&bytes).map_err(|error| CommError::Decode {
+                from: 0,
+                tag: tag + 1,
+                error,
+            })
         }
     }
 
@@ -470,8 +485,11 @@ impl Communicator {
         } else {
             self.send(0, tag, crate::codec::pack_f64(&[local]))?;
             let bytes = self.recv(0, tag + 1)?;
-            let v = crate::codec::unpack_f64(&bytes)
-                .map_err(|error| CommError::Decode { from: 0, tag: tag + 1, error })?;
+            let v = crate::codec::unpack_f64(&bytes).map_err(|error| CommError::Decode {
+                from: 0,
+                tag: tag + 1,
+                error,
+            })?;
             if v.len() != 1 {
                 return Err(CommError::SizeMismatch { expected: 1, got: v.len() });
             }

@@ -1,0 +1,188 @@
+//! Model-checked protocol models of the communicator (ISSUE PR 4).
+//!
+//! The production [`quda_comm::Communicator`] rides on crossbeam channels,
+//! which the model checker cannot instrument. These tests re-express the
+//! two protocols that could deadlock — the `(from, tag)` send/recv
+//! rendezvous with its stash semantics, and the gather-to-root allreduce
+//! barrier — over `loom::sync::{Mutex, Condvar}` mailboxes, and let the
+//! checker exhaust every thread interleaving (up to the preemption bound)
+//! looking for deadlocks and lost wakeups.
+//!
+//! The vendored `loom` is a replay-based DFS explorer (see
+//! `vendor/loom/src/lib.rs`); these models run under plain `cargo test`
+//! with 2 ranks, and a heavier 3-rank allreduce is gated behind
+//! `RUSTFLAGS="--cfg loom"` for the dedicated CI job.
+//!
+//! Regression note (satellite f): exploration of the initial mailbox model
+//! surfaced the classic lost-wakeup bug — checking for a message *without*
+//! holding the mailbox lock across the wait decision, then waiting without
+//! re-checking. The correct while-loop rendezvous is what
+//! `Communicator::recv`'s drain-then-block structure implements with
+//! channel timeouts; the buggy variant is kept here as a `#[should_panic]`
+//! regression test proving the checker still catches that class of bug.
+
+use loom::sync::{Arc, Condvar, Mutex};
+use std::collections::VecDeque;
+
+/// One message: `(from, tag, value)`.
+type Msg = (usize, u32, f64);
+
+/// A world of per-rank mailboxes — the model analogue of the channel mesh
+/// built by `comm_world`.
+struct Mailboxes {
+    inbox: Vec<Mutex<VecDeque<Msg>>>,
+    arrived: Vec<Condvar>,
+}
+
+impl Mailboxes {
+    fn new(ranks: usize) -> Self {
+        Mailboxes {
+            inbox: (0..ranks).map(|_| Mutex::new(VecDeque::new())).collect(),
+            arrived: (0..ranks).map(|_| Condvar::new()).collect(),
+        }
+    }
+
+    /// Non-blocking send, like the eager-protocol `Communicator::send`.
+    fn send(&self, from: usize, to: usize, tag: u32, value: f64) {
+        let mut q = self.inbox[to].lock().unwrap();
+        q.push_back((from, tag, value));
+        self.arrived[to].notify_all();
+    }
+
+    /// Blocking receive matching `(from, tag)`; other messages stay
+    /// stashed. The while-loop re-check under the lock is the invariant
+    /// the model exists to verify.
+    fn recv(&self, me: usize, from: usize, tag: u32) -> f64 {
+        let mut q = self.inbox[me].lock().unwrap();
+        loop {
+            if let Some(pos) = q.iter().position(|&(f, t, _)| f == from && t == tag) {
+                // The stash keeps non-matching messages queued, exactly
+                // like `Communicator::try_take`.
+                let (_, _, value) = q.remove(pos).unwrap();
+                return value;
+            }
+            q = self.arrived[me].wait(q).unwrap();
+        }
+    }
+
+    /// BUGGY receive for the regression test: the empty-check releases the
+    /// lock before the wait decision, so a send landing in between leaves
+    /// the waiter parked forever (lost wakeup).
+    fn buggy_recv(&self, me: usize, from: usize, tag: u32) -> f64 {
+        let empty = { self.inbox[me].lock().unwrap().is_empty() };
+        let mut q = self.inbox[me].lock().unwrap();
+        if empty {
+            // BUG: the message (and its notify) may arrive right here.
+            q = self.arrived[me].wait(q).unwrap();
+        }
+        let pos = q.iter().position(|&(f, t, _)| f == from && t == tag);
+        match pos {
+            Some(p) => q.remove(p).unwrap().2,
+            None => f64::NAN,
+        }
+    }
+}
+
+/// Deterministic gather-to-root allreduce-sum — the model of
+/// `Communicator::allreduce_sum_f64` (and, with value 0.0, `barrier`).
+fn allreduce(boxes: &Mailboxes, ranks: usize, me: usize, local: f64) -> f64 {
+    const TAG_GATHER: u32 = 100;
+    const TAG_BCAST: u32 = 101;
+    if me == 0 {
+        let mut acc = local;
+        for from in 1..ranks {
+            acc += boxes.recv(0, from, TAG_GATHER);
+        }
+        for to in 1..ranks {
+            boxes.send(0, to, TAG_BCAST, acc);
+        }
+        acc
+    } else {
+        boxes.send(me, 0, TAG_GATHER, local);
+        boxes.recv(me, 0, TAG_BCAST)
+    }
+}
+
+/// Run `body(rank)` on `ranks` model threads sharing one mailbox world.
+fn spawn_world<F>(ranks: usize, boxes: Arc<Mailboxes>, body: F)
+where
+    F: Fn(usize, &Mailboxes) + Send + Sync + Copy + 'static,
+{
+    let handles: Vec<_> = (1..ranks)
+        .map(|rank| {
+            let boxes = boxes.clone();
+            loom::thread::spawn(move || body(rank, &boxes))
+        })
+        .collect();
+    body(0, &boxes);
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn rendezvous_delivers_in_every_interleaving() {
+    // Cross sends with mismatched arrival order: rank 0 asks for tag 2
+    // before tag 1 while rank 1 sends 1 then 2 — the stash must hold the
+    // early message in every schedule without deadlocking.
+    loom::model(|| {
+        let boxes = Arc::new(Mailboxes::new(2));
+        spawn_world(2, boxes, |rank, boxes| {
+            if rank == 1 {
+                boxes.send(1, 0, 1, 10.0);
+                boxes.send(1, 0, 2, 20.0);
+            } else {
+                assert_eq!(boxes.recv(0, 1, 2), 20.0);
+                assert_eq!(boxes.recv(0, 1, 1), 10.0);
+            }
+        });
+    });
+}
+
+#[test]
+fn allreduce_barrier_agrees_on_every_schedule() {
+    loom::model(|| {
+        let boxes = Arc::new(Mailboxes::new(2));
+        spawn_world(2, boxes, |rank, boxes| {
+            let total = allreduce(boxes, 2, rank, (rank + 1) as f64);
+            assert_eq!(total, 3.0, "rank {rank} saw a torn reduction");
+            // A second round doubles as the barrier: no schedule may let
+            // round-2 traffic be confused with round-1 traffic.
+            let again = allreduce(boxes, 2, rank, total);
+            assert_eq!(again, 6.0);
+        });
+    });
+}
+
+#[test]
+#[should_panic(expected = "deadlock")]
+fn lost_wakeup_recv_is_caught_by_the_checker() {
+    // Regression test for the lost-wakeup class of bug (see module docs):
+    // some explored schedule must park the buggy receiver forever, and the
+    // checker must report it as a deadlock.
+    loom::model(|| {
+        let boxes = Arc::new(Mailboxes::new(2));
+        spawn_world(2, boxes, |rank, boxes| {
+            if rank == 1 {
+                boxes.send(1, 0, 7, 1.0);
+            } else {
+                boxes.buggy_recv(0, 1, 7);
+            }
+        });
+    });
+}
+
+/// Heavier 3-rank model, run only by the dedicated loom CI job
+/// (`RUSTFLAGS="--cfg loom"`): the schedule space grows combinatorially
+/// with rank count, so the plain test suite stays on the 2-rank models.
+#[cfg(loom)]
+#[test]
+fn three_rank_allreduce_explores_clean() {
+    loom::model(|| {
+        let boxes = Arc::new(Mailboxes::new(3));
+        spawn_world(3, boxes, |rank, boxes| {
+            let total = allreduce(boxes, 3, rank, (rank + 1) as f64);
+            assert_eq!(total, 6.0, "rank {rank} saw a torn reduction");
+        });
+    });
+}

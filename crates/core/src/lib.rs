@@ -127,7 +127,11 @@ impl Quda {
     }
 
     /// Load with explicit parameters.
-    pub fn load_gauge_with(&mut self, cfg: GaugeConfig, param: &QudaGaugeParam) -> Result<(), QudaError> {
+    pub fn load_gauge_with(
+        &mut self,
+        cfg: GaugeConfig,
+        param: &QudaGaugeParam,
+    ) -> Result<(), QudaError> {
         if param.check_unitarity && !cfg.is_unitary(param.unitarity_tol) {
             return Err(QudaError::NotUnitary);
         }

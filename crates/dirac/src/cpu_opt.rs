@@ -95,8 +95,10 @@ impl CpuDslash {
                 }
             }
         }
-        let mut fwd: [[Vec<u32>; 4]; 2] = std::array::from_fn(|_| std::array::from_fn(|_| Vec::with_capacity(sites)));
-        let mut bwd: [[Vec<u32>; 4]; 2] = std::array::from_fn(|_| std::array::from_fn(|_| Vec::with_capacity(sites)));
+        let mut fwd: [[Vec<u32>; 4]; 2] =
+            std::array::from_fn(|_| std::array::from_fn(|_| Vec::with_capacity(sites)));
+        let mut bwd: [[Vec<u32>; 4]; 2] =
+            std::array::from_fn(|_| std::array::from_fn(|_| Vec::with_capacity(sites)));
         for parity in [Parity::Even, Parity::Odd] {
             for cb in 0..sites {
                 let c = dims.cb_coord(parity, cb);
@@ -127,35 +129,32 @@ impl CpuDslash {
         let fwd = &self.fwd[p];
         let bwd = &self.bwd[p];
         let inp_data = &inp.data;
-        out.data
-            .par_chunks_mut(NS)
-            .enumerate()
-            .for_each(|(cb, out_site)| {
-                let mut acc = Spinor::<f32>::zero();
-                for mu in 0..4 {
-                    // Forward hop: P−μ U_μ(x) ψ(x+μ).
-                    let proj_f = &basis.proj[mu][0];
-                    let n = fwd[mu][cb] as usize;
-                    let psi = Spinor::<f32>::from_reals(&inp_data[n * NS..(n + 1) * NS]);
-                    let h = proj_f.project(&psi);
-                    let u = &gauge_out[mu][cb * NL..(cb + 1) * NL];
-                    let t = quda_math::spinor::HalfSpinor {
-                        h: [mul_link(u, &h.h[0], false), mul_link(u, &h.h[1], false)],
-                    };
-                    acc += proj_f.reconstruct(&t);
-                    // Backward hop: P+μ U†_μ(x−μ) ψ(x−μ).
-                    let proj_b = &basis.proj[mu][1];
-                    let n = bwd[mu][cb] as usize;
-                    let psi = Spinor::<f32>::from_reals(&inp_data[n * NS..(n + 1) * NS]);
-                    let h = proj_b.project(&psi);
-                    let u = &gauge_in[mu][n * NL..(n + 1) * NL];
-                    let t = quda_math::spinor::HalfSpinor {
-                        h: [mul_link(u, &h.h[0], true), mul_link(u, &h.h[1], true)],
-                    };
-                    acc += proj_b.reconstruct(&t);
-                }
-                out_site.copy_from_slice(&acc.to_reals());
-            });
+        out.data.par_chunks_mut(NS).enumerate().for_each(|(cb, out_site)| {
+            let mut acc = Spinor::<f32>::zero();
+            for mu in 0..4 {
+                // Forward hop: P−μ U_μ(x) ψ(x+μ).
+                let proj_f = &basis.proj[mu][0];
+                let n = fwd[mu][cb] as usize;
+                let psi = Spinor::<f32>::from_reals(&inp_data[n * NS..(n + 1) * NS]);
+                let h = proj_f.project(&psi);
+                let u = &gauge_out[mu][cb * NL..(cb + 1) * NL];
+                let t = quda_math::spinor::HalfSpinor {
+                    h: [mul_link(u, &h.h[0], false), mul_link(u, &h.h[1], false)],
+                };
+                acc += proj_f.reconstruct(&t);
+                // Backward hop: P+μ U†_μ(x−μ) ψ(x−μ).
+                let proj_b = &basis.proj[mu][1];
+                let n = bwd[mu][cb] as usize;
+                let psi = Spinor::<f32>::from_reals(&inp_data[n * NS..(n + 1) * NS]);
+                let h = proj_b.project(&psi);
+                let u = &gauge_in[mu][n * NL..(n + 1) * NL];
+                let t = quda_math::spinor::HalfSpinor {
+                    h: [mul_link(u, &h.h[0], true), mul_link(u, &h.h[1], true)],
+                };
+                acc += proj_b.reconstruct(&t);
+            }
+            out_site.copy_from_slice(&acc.to_reals());
+        });
     }
 
     /// Effective flops of one application (paper counting, per site).
@@ -182,7 +181,11 @@ impl CpuDslash {
 
 /// `U v` (or `U† v`) with `U` an 18-real row-major flat link.
 #[inline(always)]
-fn mul_link(u: &[f32], v: &quda_math::colorvec::ColorVec<f32>, adjoint: bool) -> quda_math::colorvec::ColorVec<f32> {
+fn mul_link(
+    u: &[f32],
+    v: &quda_math::colorvec::ColorVec<f32>,
+    adjoint: bool,
+) -> quda_math::colorvec::ColorVec<f32> {
     let mut out = quda_math::colorvec::ColorVec::zero();
     for i in 0..3 {
         let mut re = 0.0f32;
@@ -190,11 +193,8 @@ fn mul_link(u: &[f32], v: &quda_math::colorvec::ColorVec<f32>, adjoint: bool) ->
         for j in 0..3 {
             let k = if adjoint { (j * 3 + i) * 2 } else { (i * 3 + j) * 2 };
             let (ur, ui) = (u[k], u[k + 1]);
-            let (ui_eff, vr, vi) = if adjoint {
-                (-ui, v.c[j].re, v.c[j].im)
-            } else {
-                (ui, v.c[j].re, v.c[j].im)
-            };
+            let (ui_eff, vr, vi) =
+                if adjoint { (-ui, v.c[j].re, v.c[j].im) } else { (ui, v.c[j].re, v.c[j].im) };
             re += ur * vr - ui_eff * vi;
             im += ur * vi + ui_eff * vr;
         }

@@ -58,8 +58,12 @@ pub fn dslash_cb<P: Precision>(
     let sites = out.sites();
     let in_region = |cb: usize| match region {
         DslashRegion::All => true,
-        DslashRegion::Interior => table.on_back_face[cb].is_none() && table.on_front_face[cb].is_none(),
-        DslashRegion::Faces => table.on_back_face[cb].is_some() || table.on_front_face[cb].is_some(),
+        DslashRegion::Interior => {
+            table.on_back_face[cb].is_none() && table.on_front_face[cb].is_none()
+        }
+        DslashRegion::Faces => {
+            table.on_back_face[cb].is_some() || table.on_front_face[cb].is_some()
+        }
     };
     let site_kernel = |cb: usize| -> Option<(usize, Spinor<P::Arith>)> {
         if !in_region(cb) {
@@ -119,10 +123,7 @@ fn dslash_site<P: Precision>(
             BoundaryKind::GhostBackward => {
                 debug_assert_eq!(mu, DIR_T);
                 let face = nref.idx as usize;
-                (
-                    ghost_half::<P>(input, true, face, proj_b),
-                    gauge.ghost_link(in_parity, mu, face),
-                )
+                (ghost_half::<P>(input, true, face, proj_b), gauge.ghost_link(in_parity, mu, face))
             }
             BoundaryKind::GhostForward => unreachable!("backward hop cannot use forward ghost"),
         };
@@ -230,8 +231,14 @@ mod tests {
 
     fn setup(
         d: LatticeDims,
-    ) -> (quda_fields::GaugeConfig, GaugeFieldCb<Double>, HostSpinorField, SpinorFieldCb<Double>, SpinBasis, Stencil)
-    {
+    ) -> (
+        quda_fields::GaugeConfig,
+        GaugeFieldCb<Double>,
+        HostSpinorField,
+        SpinorFieldCb<Double>,
+        SpinBasis,
+        Stencil,
+    ) {
         let cfg = weak_field(d, 0.2, 17);
         let mut gauge = GaugeFieldCb::<Double>::new(d, true);
         gauge.upload(&cfg);
@@ -278,8 +285,26 @@ mod tests {
         let mut all = SpinorFieldCb::<Double>::new(d, false);
         dslash_cb(&mut all, &gauge, &dev, Parity::Even, &stencil, &basis, false, DslashRegion::All);
         let mut split = SpinorFieldCb::<Double>::new(d, false);
-        dslash_cb(&mut split, &gauge, &dev, Parity::Even, &stencil, &basis, false, DslashRegion::Interior);
-        dslash_cb(&mut split, &gauge, &dev, Parity::Even, &stencil, &basis, false, DslashRegion::Faces);
+        dslash_cb(
+            &mut split,
+            &gauge,
+            &dev,
+            Parity::Even,
+            &stencil,
+            &basis,
+            false,
+            DslashRegion::Interior,
+        );
+        dslash_cb(
+            &mut split,
+            &gauge,
+            &dev,
+            Parity::Even,
+            &stencil,
+            &basis,
+            false,
+            DslashRegion::Faces,
+        );
         for cb in 0..all.sites() {
             assert_eq!(all.get(cb), split.get(cb), "cb={cb}");
         }
@@ -326,7 +351,16 @@ mod tests {
         let closed = Stencil::new(d, false);
         let open = Stencil::new(d, true);
         let mut expect = SpinorFieldCb::<Double>::new(d, false);
-        dslash_cb(&mut expect, &gauge, &dev_open, Parity::Even, &closed, &basis, false, DslashRegion::All);
+        dslash_cb(
+            &mut expect,
+            &gauge,
+            &dev_open,
+            Parity::Even,
+            &closed,
+            &basis,
+            false,
+            DslashRegion::All,
+        );
 
         // Build a ghost-bearing copy of the input and populate its end zone
         // with the periodic wrap (self-exchange).

@@ -76,7 +76,8 @@ impl<P: Precision> WilsonCloverOp<P> {
         let dims = cfg.dims;
         let mut gauge = GaugeFieldCb::<P>::new(dims, true);
         gauge.upload(cfg);
-        let clover_sites = clover_override.unwrap_or_else(|| clover_both_parities(cfg, params.c_sw));
+        let clover_sites =
+            clover_override.unwrap_or_else(|| clover_both_parities(cfg, params.c_sw));
         let shift = params.diag_shift();
         let mut clover = [CloverFieldCb::<P>::new(dims), CloverFieldCb::<P>::new(dims)];
         let mut clover_inv = [CloverFieldCb::<P>::new(dims), CloverFieldCb::<P>::new(dims)];
@@ -84,10 +85,7 @@ impl<P: Precision> WilsonCloverOp<P> {
             for cb in 0..dims.half_volume() {
                 let t = clover_sites[p][cb].shifted(shift);
                 clover[p].set(cb, &t);
-                clover_inv[p].set(
-                    cb,
-                    &t.invert().expect("shifted clover term must be invertible"),
-                );
+                clover_inv[p].set(cb, &t.invert().expect("shifted clover term must be invertible"));
             }
         }
         WilsonCloverOp {
@@ -382,9 +380,11 @@ mod tests {
         x64.upload(&host, SOLVE_PARITY);
         let mut x32 = op32.alloc_spinor();
         x32.upload(&host, SOLVE_PARITY);
-        let (mut o64, mut a64, mut b64) = (op64.alloc_spinor(), op64.alloc_spinor(), op64.alloc_spinor());
+        let (mut o64, mut a64, mut b64) =
+            (op64.alloc_spinor(), op64.alloc_spinor(), op64.alloc_spinor());
         op64.apply_matpc(&mut o64, &x64, &mut a64, &mut b64, false);
-        let (mut o32, mut a32, mut b32) = (op32.alloc_spinor(), op32.alloc_spinor(), op32.alloc_spinor());
+        let (mut o32, mut a32, mut b32) =
+            (op32.alloc_spinor(), op32.alloc_spinor(), op32.alloc_spinor());
         op32.apply_matpc(&mut o32, &x32, &mut a32, &mut b32, false);
         for cb in 0..o64.sites() {
             let hi = o64.get(cb);

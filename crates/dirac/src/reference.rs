@@ -33,7 +33,11 @@ impl WilsonParams {
 
 /// Apply the hopping term `D ψ` (Eq. 2, the sum only) at every site:
 /// `(Dψ)(x) = Σ_μ P−μ U_μ(x) ψ(x+μ) + P+μ U†_μ(x−μ) ψ(x−μ)`.
-pub fn apply_hopping_host(cfg: &GaugeConfig, basis: &SpinBasis, psi: &HostSpinorField) -> HostSpinorField {
+pub fn apply_hopping_host(
+    cfg: &GaugeConfig,
+    basis: &SpinBasis,
+    psi: &HostSpinorField,
+) -> HostSpinorField {
     assert_eq!(cfg.dims, psi.dims);
     let dims = cfg.dims;
     let mut out = HostSpinorField::zero(dims);
@@ -151,7 +155,8 @@ mod tests {
         let mut sp = Spinor::zero();
         for s in 0..4 {
             for c in 0..3 {
-                sp.s[s].c[c] = quda_math::complex::C64::new(0.3 * s as f64 + 0.1, 0.2 - 0.05 * c as f64);
+                sp.s[s].c[c] =
+                    quda_math::complex::C64::new(0.3 * s as f64 + 0.1, 0.2 - 0.05 * c as f64);
             }
         }
         for v in psi.data.iter_mut() {

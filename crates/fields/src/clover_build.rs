@@ -51,7 +51,10 @@ pub fn clover_leaf_sum(cfg: &GaugeConfig, c: Coord, mu: usize, nu: usize) -> Su3
     let l1 = {
         let c_mu = fwd(c, mu);
         let c_nu = fwd(c, nu);
-        *cfg.link(c, mu) * *cfg.link(c_mu, nu) * cfg.link(c_nu, mu).adjoint() * cfg.link(c, nu).adjoint()
+        *cfg.link(c, mu)
+            * *cfg.link(c_mu, nu)
+            * cfg.link(c_nu, mu).adjoint()
+            * cfg.link(c, nu).adjoint()
     };
     // Leaf 2: forward ν, backward μ.
     let l2 = {
@@ -76,7 +79,10 @@ pub fn clover_leaf_sum(cfg: &GaugeConfig, c: Coord, mu: usize, nu: usize) -> Su3
     let l4 = {
         let c_bnu = bwd(c, nu);
         let c_bnu_mu = fwd(c_bnu, mu);
-        cfg.link(c_bnu, nu).adjoint() * *cfg.link(c_bnu, mu) * *cfg.link(c_bnu_mu, nu) * cfg.link(c, mu).adjoint()
+        cfg.link(c_bnu, nu).adjoint()
+            * *cfg.link(c_bnu, mu)
+            * *cfg.link(c_bnu_mu, nu)
+            * cfg.link(c, mu).adjoint()
     };
     l1 + l2 + l3 + l4
 }
@@ -90,7 +96,7 @@ pub fn field_strength_i(cfg: &GaugeConfig, c: Coord, mu: usize, nu: usize) -> Su
     let tr = anti.trace();
     let mut traceless = anti;
     for i in 0..3 {
-        traceless.m[i][i] = traceless.m[i][i] - tr.scale(1.0 / 3.0);
+        traceless.m[i][i] -= tr.scale(1.0 / 3.0);
     }
     // i * F is Hermitian.
     let mut out = Su3::zero();
@@ -103,7 +109,12 @@ pub fn field_strength_i(cfg: &GaugeConfig, c: Coord, mu: usize, nu: usize) -> Su
 }
 
 /// Build the clover term `A(x)` at one site, packed into chiral blocks.
-pub fn clover_site(cfg: &GaugeConfig, sigma: &[[Mat4; 4]; 4], c: Coord, c_sw: f64) -> CloverSite<f64> {
+pub fn clover_site(
+    cfg: &GaugeConfig,
+    sigma: &[[Mat4; 4]; 4],
+    c: Coord,
+    c_sw: f64,
+) -> CloverSite<f64> {
     // Dense chiral blocks, indexed (spin_in_block * 3 + color).
     let mut dense = [[[C64::zero(); BLOCK_DIM]; BLOCK_DIM]; 2];
     for mu in 0..4 {
@@ -128,9 +139,7 @@ pub fn clover_site(cfg: &GaugeConfig, sigma: &[[Mat4; 4]; 4], c: Coord, c_sw: f6
             }
         }
     }
-    CloverSite {
-        block: [CloverBlock::from_dense(&dense[0]), CloverBlock::from_dense(&dense[1])],
-    }
+    CloverSite { block: [CloverBlock::from_dense(&dense[0]), CloverBlock::from_dense(&dense[1])] }
 }
 
 /// Build the clover term for every site of one parity, in checkerboard
@@ -138,9 +147,7 @@ pub fn clover_site(cfg: &GaugeConfig, sigma: &[[Mat4; 4]; 4], c: Coord, c_sw: f6
 pub fn clover_sites_cb(cfg: &GaugeConfig, c_sw: f64, parity: Parity) -> Vec<CloverSite<f64>> {
     let sigma = sigma_matrices();
     let d = cfg.dims;
-    (0..d.half_volume())
-        .map(|cb| clover_site(cfg, &sigma, d.cb_coord(parity, cb), c_sw))
-        .collect()
+    (0..d.half_volume()).map(|cb| clover_site(cfg, &sigma, d.cb_coord(parity, cb), c_sw)).collect()
 }
 
 /// Convenience: verify the clover term vanishes on a free (unit) field.
@@ -254,7 +261,9 @@ mod tests {
                 assert!((a2.block[b].diag[i] - 2.0 * a1.block[b].diag[i]).abs() < 1e-12);
             }
             for k in 0..15 {
-                assert!((a2.block[b].offdiag[k].re - 2.0 * a1.block[b].offdiag[k].re).abs() < 1e-12);
+                assert!(
+                    (a2.block[b].offdiag[k].re - 2.0 * a1.block[b].offdiag[k].re).abs() < 1e-12
+                );
             }
         }
     }

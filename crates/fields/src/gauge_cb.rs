@@ -40,10 +40,7 @@ impl<P: Precision> GaugeFieldCb<P> {
             dims,
             layout,
             compressed,
-            data: [
-                [make(), make(), make(), make()],
-                [make(), make(), make(), make()],
-            ],
+            data: [[make(), make(), make(), make()], [make(), make(), make(), make()]],
         };
         let id = Su3::<f64>::identity();
         for parity in [Parity::Even, Parity::Odd] {
@@ -68,7 +65,12 @@ impl<P: Precision> GaugeFieldCb<P> {
         self.layout.n_int
     }
 
-    fn write_reals(buf: &mut [P::Elem], layout: &FieldLayout, site_or_pad: (bool, usize), reals: &[f64]) {
+    fn write_reals(
+        buf: &mut [P::Elem],
+        layout: &FieldLayout,
+        site_or_pad: (bool, usize),
+        reals: &[f64],
+    ) {
         for (n, &r) in reals.iter().enumerate() {
             let i = match site_or_pad {
                 (false, site) => layout.index(site, n),
@@ -78,7 +80,12 @@ impl<P: Precision> GaugeFieldCb<P> {
         }
     }
 
-    fn read_reals(buf: &[P::Elem], layout: &FieldLayout, site_or_pad: (bool, usize), out: &mut [f64]) {
+    fn read_reals(
+        buf: &[P::Elem],
+        layout: &FieldLayout,
+        site_or_pad: (bool, usize),
+        out: &mut [f64],
+    ) {
         for (n, r) in out.iter_mut().enumerate() {
             let i = match site_or_pad {
                 (false, site) => layout.index(site, n),

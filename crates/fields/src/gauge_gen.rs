@@ -61,10 +61,7 @@ pub fn random_field(dims: LatticeDims, seed: u64) -> GaugeConfig {
 
 /// Fill a host spinor field with uniform random components in `[-1, 1]` —
 /// a generic right-hand side for solver tests.
-pub fn random_spinor_field(
-    dims: LatticeDims,
-    seed: u64,
-) -> crate::host::HostSpinorField {
+pub fn random_spinor_field(dims: LatticeDims, seed: u64) -> crate::host::HostSpinorField {
     let mut f = crate::host::HostSpinorField::zero(dims);
     let mut rng = SmallRng::seed_from_u64(seed);
     for sp in f.data.iter_mut() {

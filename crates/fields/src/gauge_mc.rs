@@ -30,10 +30,13 @@ pub fn staple_sum(cfg: &GaugeConfig, c: Coord, mu: usize) -> Su3<f64> {
             continue;
         }
         // Forward staple: U_ν(x+μ) U_μ†(x+ν) U_ν†(x).
-        let up = *cfg.link(c_mu, nu) * cfg.link(fwd(c, nu), mu).adjoint() * cfg.link(c, nu).adjoint();
+        let up =
+            *cfg.link(c_mu, nu) * cfg.link(fwd(c, nu), mu).adjoint() * cfg.link(c, nu).adjoint();
         // Backward staple: U_ν†(x+μ−ν) U_μ†(x−ν) U_ν(x−ν).
         let c_bnu = bwd(c, nu);
-        let down = cfg.link(bwd(c_mu, nu), nu).adjoint() * cfg.link(c_bnu, mu).adjoint() * *cfg.link(c_bnu, nu);
+        let down = cfg.link(bwd(c_mu, nu), nu).adjoint()
+            * cfg.link(c_bnu, mu).adjoint()
+            * *cfg.link(c_bnu, nu);
         acc = acc + up + down;
     }
     acc
@@ -95,7 +98,8 @@ fn kp_sample(rng: &mut SmallRng, k: f64) -> [f64; 4] {
         let r1: f64 = 1.0 - rng.gen::<f64>();
         let r2: f64 = 1.0 - rng.gen::<f64>();
         let r3: f64 = 1.0 - rng.gen::<f64>();
-        let lambda2 = -(r1.ln() + (2.0 * std::f64::consts::PI * r2).cos().powi(2) * r3.ln()) / (2.0 * k);
+        let lambda2 =
+            -(r1.ln() + (2.0 * std::f64::consts::PI * r2).cos().powi(2) * r3.ln()) / (2.0 * k);
         a0 = 1.0 - 2.0 * lambda2;
         let accept: f64 = rng.gen();
         if accept * accept <= 1.0 - lambda2 && a0.abs() <= 1.0 {
@@ -320,7 +324,8 @@ mod tests {
         let mut mc = GaugeMonteCarlo::new(6.0, 55);
         let cfg = mc.generate(LatticeDims::new(4, 4, 2, 2), 6, 1);
         assert!(cfg.is_unitary(1e-9));
-        let sites = crate::clover_build::clover_sites_cb(&cfg, 1.0, quda_lattice::geometry::Parity::Even);
+        let sites =
+            crate::clover_build::clover_sites_cb(&cfg, 1.0, quda_lattice::geometry::Parity::Even);
         assert!(sites.iter().all(|s| s.max_abs().is_finite()));
     }
 }

@@ -50,7 +50,10 @@ impl GaugeConfig {
         let d = &self.dims;
         let (c_mu, _) = d.neighbor(c, mu, true);
         let (c_nu, _) = d.neighbor(c, nu, true);
-        *self.link(c, mu) * *self.link(c_mu, nu) * self.link(c_nu, mu).adjoint() * self.link(c, nu).adjoint()
+        *self.link(c, mu)
+            * *self.link(c_mu, nu)
+            * self.link(c_nu, mu).adjoint()
+            * self.link(c, nu).adjoint()
     }
 
     /// Average plaquette `⟨(1/3) Re Tr P_{μν}⟩` over all sites and the six

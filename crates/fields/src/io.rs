@@ -113,11 +113,17 @@ pub fn read_gauge<R: Read>(mut r: R) -> Result<GaugeConfig, GaugeIoError> {
     }
     let trace_actual: f64 = cfg.links.iter().map(|u| u.trace().re).sum();
     if (trace_actual - trace_expected).abs() > 1e-8 * trace_expected.abs().max(1.0) {
-        return Err(GaugeIoError::ChecksumMismatch { expected: trace_expected, actual: trace_actual });
+        return Err(GaugeIoError::ChecksumMismatch {
+            expected: trace_expected,
+            actual: trace_actual,
+        });
     }
     let plaq_actual = cfg.average_plaquette();
     if (plaq_actual - plaq_expected).abs() > 1e-10 {
-        return Err(GaugeIoError::ChecksumMismatch { expected: plaq_expected, actual: plaq_actual });
+        return Err(GaugeIoError::ChecksumMismatch {
+            expected: plaq_expected,
+            actual: plaq_actual,
+        });
     }
     Ok(cfg)
 }

@@ -28,8 +28,8 @@ pub mod spinor_cb;
 
 pub use clover_cb::CloverFieldCb;
 pub use gauge_cb::GaugeFieldCb;
-pub use host::{GaugeConfig, HostSpinorField};
 pub use gauge_mc::GaugeMonteCarlo;
+pub use host::{GaugeConfig, HostSpinorField};
 pub use io::{load_gauge_file, read_gauge, save_gauge_file, write_gauge, GaugeIoError};
 pub use precision::{Double, Half, Precision, PrecisionTag, Single};
 pub use spinor_cb::SpinorFieldCb;

@@ -35,11 +35,8 @@ impl<P: Precision> SpinorFieldCb<P> {
         let n_vec = NVec::optimal_for_bytes(P::STORAGE_BYTES);
         let layout = species::spinor_cb(&dims, n_vec, with_ghost);
         let data = vec![P::Elem::default(); layout.total_len()];
-        let norm = if P::NEEDS_NORM {
-            vec![1.0; layout.sites + layout.ghost_sites]
-        } else {
-            Vec::new()
-        };
+        let norm =
+            if P::NEEDS_NORM { vec![1.0; layout.sites + layout.ghost_sites] } else { Vec::new() };
         SpinorFieldCb { dims, layout, data, norm }
     }
 
@@ -250,7 +247,8 @@ mod tests {
         for cb in 0..f.sites() {
             f.set(cb, &sample_spinor(cb).cast());
         }
-        let h = HalfSpinor { h: [sample_spinor(3).cast::<f32>().s[0], sample_spinor(4).cast().s[1]] };
+        let h =
+            HalfSpinor { h: [sample_spinor(3).cast::<f32>().s[0], sample_spinor(4).cast().s[1]] };
         for face in 0..f.face_sites() {
             f.set_ghost(true, face, &h);
             f.set_ghost(false, face, &h);

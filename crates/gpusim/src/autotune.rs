@@ -100,7 +100,9 @@ impl AutoTuner {
         let mut lines: Vec<String> = self
             .cache
             .iter()
-            .map(|(k, v)| format!("#define {}_BLOCK {} // eff {:.2}", k.to_uppercase(), v.block, v.efficiency))
+            .map(|(k, v)| {
+                format!("#define {}_BLOCK {} // eff {:.2}", k.to_uppercase(), v.block, v.efficiency)
+            })
             .collect();
         lines.sort();
         lines.join("\n")
@@ -156,7 +158,11 @@ mod tests {
         let gpu = gtx285();
         let mut tuner = AutoTuner::new();
         let cfg = tuner.tune("axpy_single", &gpu, &light_kernel());
-        assert!(cfg.efficiency >= 0.95, "light streaming kernel should saturate, got {}", cfg.efficiency);
+        assert!(
+            cfg.efficiency >= 0.95,
+            "light streaming kernel should saturate, got {}",
+            cfg.efficiency
+        );
         // And it should pick a large block (scheduling amortization wins
         // when registers are no constraint).
         assert!(cfg.block >= 256, "expected a large block, got {}", cfg.block);

@@ -12,10 +12,8 @@
 //!   ≈ 28 (double) solver Gflops, which fixes the effective-bandwidth
 //!   fraction of the kernel model.
 
-use serde::{Deserialize, Serialize};
-
 /// PCI-Express transfer model parameters.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct TransferCalib {
     /// Latency of a synchronous `cudaMemcpy` (seconds).
     pub sync_latency_s: f64,
@@ -44,7 +42,7 @@ impl Default for TransferCalib {
 }
 
 /// QDR InfiniBand model parameters.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct NetworkCalib {
     /// Point-to-point message latency (seconds).
     pub latency_s: f64,
@@ -64,7 +62,7 @@ impl Default for NetworkCalib {
 }
 
 /// GPU kernel execution model parameters.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct KernelCalib {
     /// Fraction of peak memory bandwidth a well-tuned streaming kernel
     /// sustains (coalesced float4 loads, no partition camping).
@@ -93,7 +91,7 @@ impl Default for KernelCalib {
 }
 
 /// Complete calibration bundle.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
 pub struct Calibration {
     /// PCI-E model.
     pub transfer: TransferCalib,

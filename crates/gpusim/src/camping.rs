@@ -44,7 +44,13 @@ pub fn camping_factor(block_bytes: usize, n_blocks: usize) -> f64 {
 
 /// Whether a layout of `sites` sites (each contributing `n_vec` reals of
 /// `storage_bytes` to a block) camps when padded by `pad` sites.
-pub fn camps(sites: usize, pad: usize, n_vec: usize, storage_bytes: usize, n_blocks: usize) -> bool {
+pub fn camps(
+    sites: usize,
+    pad: usize,
+    n_vec: usize,
+    storage_bytes: usize,
+    n_blocks: usize,
+) -> bool {
     let block_bytes = (sites + pad) * n_vec * storage_bytes;
     camping_factor(block_bytes, n_blocks) < 0.99
 }

@@ -45,12 +45,60 @@ impl GpuSpec {
 /// Table I, row by row.
 pub fn card_table() -> Vec<GpuSpec> {
     vec![
-        GpuSpec { name: "GeForce 8800 GTX", cores: 128, bandwidth_gbs: 86.4, gflops_sp: 518.0, gflops_dp: None, ram_gib: 0.75, copy_engines: 1 },
-        GpuSpec { name: "Tesla C870", cores: 128, bandwidth_gbs: 76.8, gflops_sp: 518.0, gflops_dp: None, ram_gib: 1.5, copy_engines: 1 },
-        GpuSpec { name: "GeForce GTX 285", cores: 240, bandwidth_gbs: 159.0, gflops_sp: 1062.0, gflops_dp: Some(88.0), ram_gib: 2.0, copy_engines: 1 },
-        GpuSpec { name: "Tesla C1060", cores: 240, bandwidth_gbs: 102.0, gflops_sp: 933.0, gflops_dp: Some(78.0), ram_gib: 4.0, copy_engines: 1 },
-        GpuSpec { name: "GeForce GTX 480", cores: 480, bandwidth_gbs: 177.0, gflops_sp: 1345.0, gflops_dp: Some(168.0), ram_gib: 1.5, copy_engines: 2 },
-        GpuSpec { name: "Tesla C2050", cores: 448, bandwidth_gbs: 144.0, gflops_sp: 1030.0, gflops_dp: Some(515.0), ram_gib: 3.0, copy_engines: 2 },
+        GpuSpec {
+            name: "GeForce 8800 GTX",
+            cores: 128,
+            bandwidth_gbs: 86.4,
+            gflops_sp: 518.0,
+            gflops_dp: None,
+            ram_gib: 0.75,
+            copy_engines: 1,
+        },
+        GpuSpec {
+            name: "Tesla C870",
+            cores: 128,
+            bandwidth_gbs: 76.8,
+            gflops_sp: 518.0,
+            gflops_dp: None,
+            ram_gib: 1.5,
+            copy_engines: 1,
+        },
+        GpuSpec {
+            name: "GeForce GTX 285",
+            cores: 240,
+            bandwidth_gbs: 159.0,
+            gflops_sp: 1062.0,
+            gflops_dp: Some(88.0),
+            ram_gib: 2.0,
+            copy_engines: 1,
+        },
+        GpuSpec {
+            name: "Tesla C1060",
+            cores: 240,
+            bandwidth_gbs: 102.0,
+            gflops_sp: 933.0,
+            gflops_dp: Some(78.0),
+            ram_gib: 4.0,
+            copy_engines: 1,
+        },
+        GpuSpec {
+            name: "GeForce GTX 480",
+            cores: 480,
+            bandwidth_gbs: 177.0,
+            gflops_sp: 1345.0,
+            gflops_dp: Some(168.0),
+            ram_gib: 1.5,
+            copy_engines: 2,
+        },
+        GpuSpec {
+            name: "Tesla C2050",
+            cores: 448,
+            bandwidth_gbs: 144.0,
+            gflops_sp: 1030.0,
+            gflops_dp: Some(515.0),
+            ram_gib: 3.0,
+            copy_engines: 2,
+        },
     ]
 }
 

@@ -29,11 +29,8 @@ pub fn kernel_time(calib: &KernelCalib, gpu: &GpuSpec, work: &KernelWork) -> f64
     let bw = gpu.bandwidth_bytes() * eff;
     let t_mem = work.bytes as f64 / bw;
     let peak = gpu.peak_flops(work.storage_bytes);
-    let t_flop = if peak > 0.0 {
-        work.flops as f64 / (peak * calib.flop_efficiency)
-    } else {
-        f64::INFINITY
-    };
+    let t_flop =
+        if peak > 0.0 { work.flops as f64 / (peak * calib.flop_efficiency) } else { f64::INFINITY };
     calib.launch_overhead_s + t_mem.max(t_flop)
 }
 
@@ -107,7 +104,8 @@ mod tests {
         let sites = 32u64.pow(4) / 2;
         let w_single = KernelWork { bytes: sites * 2976, flops: sites * 4500, storage_bytes: 4 };
         // Half traffic: 2-byte reals plus f32 norms (≈ 1/24 of spinor reals).
-        let w_half = KernelWork { bytes: sites * (2976 / 2 + 60), flops: sites * 4500, storage_bytes: 2 };
+        let w_half =
+            KernelWork { bytes: sites * (2976 / 2 + 60), flops: sites * 4500, storage_bytes: 2 };
         let t_s = kernel_time(&k, &gpu, &w_single);
         let t_h = kernel_time(&k, &gpu, &w_half);
         // Calibrated to the ~1.5x advantage the paper's figures imply

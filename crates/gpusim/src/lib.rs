@@ -18,8 +18,8 @@
 #![warn(missing_docs)]
 
 pub mod autotune;
-pub mod camping;
 pub mod calib;
+pub mod camping;
 pub mod cards;
 pub mod cluster;
 pub mod kernel;
@@ -28,8 +28,8 @@ pub mod stream;
 pub mod transfer;
 
 pub use autotune::{AutoTuner, KernelProfile, LaunchConfig};
-pub use camping::{camping_factor, camps, minimal_decamping_pad, PARTITIONS, PARTITION_WIDTH};
 pub use calib::{Calibration, KernelCalib, NetworkCalib, TransferCalib};
+pub use camping::{camping_factor, camps, minimal_decamping_pad, PARTITIONS, PARTITION_WIDTH};
 pub use cards::{card_table, gtx285, GpuSpec};
 pub use cluster::CpuClusterModel;
 pub use kernel::{effective_gflops, kernel_time, KernelWork};

@@ -111,7 +111,7 @@ impl DeviceMemory {
     /// Live allocations as (label, bytes), largest first — for OOM reports.
     pub fn report(&self) -> Vec<(String, usize)> {
         let mut v: Vec<_> = self.live.values().cloned().collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|e| std::cmp::Reverse(e.1));
         v
     }
 }

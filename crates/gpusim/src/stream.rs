@@ -40,7 +40,13 @@ impl Timeline {
 
     /// Enqueue an operation of `duration` seconds on `stream`, starting no
     /// earlier than every dependency's completion. Returns its event id.
-    pub fn enqueue(&mut self, stream: usize, label: &str, duration: f64, deps: &[EventId]) -> EventId {
+    pub fn enqueue(
+        &mut self,
+        stream: usize,
+        label: &str,
+        duration: f64,
+        deps: &[EventId],
+    ) -> EventId {
         assert!(duration >= 0.0, "negative duration");
         let dep_ready = deps.iter().map(|d| self.ops[d.0].end).fold(0.0f64, f64::max);
         let start = self.stream_ready[stream].max(dep_ready);

@@ -93,10 +93,34 @@ pub fn latency_microbenchmark(calib: &TransferCalib) -> Vec<LatencyRow> {
     while bytes <= 256 * 1024 {
         rows.push(LatencyRow {
             bytes,
-            sync_d2h_us: pcie_time(calib, CopyKind::Sync, Direction::D2H, NumaPlacement::Good, bytes) * 1e6,
-            sync_h2d_us: pcie_time(calib, CopyKind::Sync, Direction::H2D, NumaPlacement::Good, bytes) * 1e6,
-            async_d2h_us: pcie_time(calib, CopyKind::Async, Direction::D2H, NumaPlacement::Good, bytes) * 1e6,
-            async_h2d_us: pcie_time(calib, CopyKind::Async, Direction::H2D, NumaPlacement::Good, bytes) * 1e6,
+            sync_d2h_us: pcie_time(
+                calib,
+                CopyKind::Sync,
+                Direction::D2H,
+                NumaPlacement::Good,
+                bytes,
+            ) * 1e6,
+            sync_h2d_us: pcie_time(
+                calib,
+                CopyKind::Sync,
+                Direction::H2D,
+                NumaPlacement::Good,
+                bytes,
+            ) * 1e6,
+            async_d2h_us: pcie_time(
+                calib,
+                CopyKind::Async,
+                Direction::D2H,
+                NumaPlacement::Good,
+                bytes,
+            ) * 1e6,
+            async_h2d_us: pcie_time(
+                calib,
+                CopyKind::Async,
+                Direction::H2D,
+                NumaPlacement::Good,
+                bytes,
+            ) * 1e6,
         });
         bytes *= 2;
     }

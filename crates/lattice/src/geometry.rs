@@ -49,7 +49,11 @@ impl Parity {
     /// Inverse of [`Parity::as_usize`].
     #[inline(always)]
     pub fn from_usize(p: usize) -> Parity {
-        if p % 2 == 0 { Parity::Even } else { Parity::Odd }
+        if p % 2 == 0 {
+            Parity::Even
+        } else {
+            Parity::Odd
+        }
     }
 }
 

@@ -21,17 +21,9 @@ impl TimePartition {
     /// local extent must stay even (for the checkerboard indexing).
     pub fn new(global: LatticeDims, n_ranks: usize) -> Self {
         assert!(n_ranks >= 1, "need at least one rank");
-        assert!(
-            global.t % n_ranks == 0,
-            "T={} not divisible by n_ranks={}",
-            global.t,
-            n_ranks
-        );
+        assert!(global.t % n_ranks == 0, "T={} not divisible by n_ranks={}", global.t, n_ranks);
         let local_t = global.t / n_ranks;
-        assert!(
-            local_t >= 2 && local_t % 2 == 0,
-            "local T extent {local_t} must be even and >= 2"
-        );
+        assert!(local_t >= 2 && local_t % 2 == 0, "local T extent {local_t} must be even and >= 2");
         TimePartition { global, n_ranks }
     }
 
@@ -113,10 +105,7 @@ mod tests {
         }
         // Weak scaling local volumes: 32^4 and 24^3x32 per GPU.
         assert_eq!(TimePartition::new(big, 8).local_dims(), LatticeDims::hypercubic(32));
-        assert_eq!(
-            TimePartition::new(small, 4).local_dims(),
-            LatticeDims::new(24, 24, 24, 32)
-        );
+        assert_eq!(TimePartition::new(small, 4).local_dims(), LatticeDims::new(24, 24, 24, 32));
     }
 
     #[test]

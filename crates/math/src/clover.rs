@@ -11,8 +11,8 @@
 //! parity; the inverse of a block is computed with a dense Hermitian solve
 //! and stored in the same packed form.
 
-use crate::complex::{C64, Complex};
-use crate::gamma::{Mat4, mat4_adjoint, nr_transform};
+use crate::complex::{Complex, C64};
+use crate::gamma::{mat4_adjoint, nr_transform, Mat4};
 use crate::real::Real;
 use crate::spinor::Spinor;
 
@@ -60,7 +60,8 @@ impl<T: Real> CloverBlock<T> {
     /// Build from a dense Hermitian 6×6 (f64) matrix. Asymmetric parts are
     /// averaged away; the diagonal imaginary part is dropped.
     pub fn from_dense(m: &[[C64; BLOCK_DIM]; BLOCK_DIM]) -> Self {
-        let mut b = CloverBlock { diag: [T::ZERO; BLOCK_DIM], offdiag: [Complex::zero(); BLOCK_OFFDIAG] };
+        let mut b =
+            CloverBlock { diag: [T::ZERO; BLOCK_DIM], offdiag: [Complex::zero(); BLOCK_OFFDIAG] };
         for i in 0..BLOCK_DIM {
             b.diag[i] = T::from_f64(m[i][i].re);
             for j in 0..i {
@@ -119,10 +120,8 @@ impl<T: Real> CloverBlock<T> {
 
     /// Precision cast.
     pub fn cast<U: Real>(&self) -> CloverBlock<U> {
-        let mut out = CloverBlock {
-            diag: [U::ZERO; BLOCK_DIM],
-            offdiag: [Complex::zero(); BLOCK_OFFDIAG],
-        };
+        let mut out =
+            CloverBlock { diag: [U::ZERO; BLOCK_DIM], offdiag: [Complex::zero(); BLOCK_OFFDIAG] };
         for i in 0..BLOCK_DIM {
             out.diag[i] = U::from_f64(self.diag[i].to_f64());
         }
@@ -155,7 +154,8 @@ impl<T: Real> CloverBlock<T> {
     /// Inverse of [`CloverBlock::to_reals`].
     pub fn from_reals(r: &[T]) -> Self {
         assert!(r.len() >= 36);
-        let mut b = CloverBlock { diag: [T::ZERO; BLOCK_DIM], offdiag: [Complex::zero(); BLOCK_OFFDIAG] };
+        let mut b =
+            CloverBlock { diag: [T::ZERO; BLOCK_DIM], offdiag: [Complex::zero(); BLOCK_OFFDIAG] };
         b.diag.copy_from_slice(&r[..BLOCK_DIM]);
         for k in 0..BLOCK_OFFDIAG {
             b.offdiag[k] = Complex::new(r[BLOCK_DIM + 2 * k], r[BLOCK_DIM + 2 * k + 1]);
@@ -189,7 +189,7 @@ fn invert_dense6(a: &[[C64; BLOCK_DIM]; BLOCK_DIM]) -> Option<[[C64; BLOCK_DIM];
         aug.swap(col, best);
         let pivot_inv = aug[col][col].inv();
         for k in 0..2 * n {
-            aug[col][k] = aug[col][k] * pivot_inv;
+            aug[col][k] *= pivot_inv;
         }
         for row in 0..n {
             if row == col {
@@ -200,7 +200,7 @@ fn invert_dense6(a: &[[C64; BLOCK_DIM]; BLOCK_DIM]) -> Option<[[C64; BLOCK_DIM];
                 continue;
             }
             for k in 0..2 * n {
-                aug[row][k] = aug[row][k] - factor * aug[col][k];
+                aug[row][k] -= factor * aug[col][k];
             }
         }
     }
@@ -320,7 +320,7 @@ impl CloverBasisMap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gamma::{mat4_apply, mat4_identity, mat4_mul, mat4_max_diff};
+    use crate::gamma::{mat4_apply, mat4_identity, mat4_max_diff, mat4_mul};
 
     fn sample_block() -> CloverBlock<f64> {
         let mut b = CloverBlock::identity();
@@ -345,7 +345,7 @@ mod tests {
 
     #[test]
     fn tri_index_covers_lower_triangle() {
-        let mut seen = vec![false; BLOCK_OFFDIAG];
+        let mut seen = [false; BLOCK_OFFDIAG];
         for i in 0..BLOCK_DIM {
             for j in 0..i {
                 let k = tri_index(i, j);

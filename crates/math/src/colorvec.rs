@@ -74,10 +74,7 @@ impl<T: Real> ColorVec<T> {
     /// Largest absolute value over the 6 real components (half-precision
     /// normalization uses the per-spinor maximum).
     pub fn max_abs(&self) -> f64 {
-        self.c
-            .iter()
-            .flat_map(|z| [z.re.to_f64().abs(), z.im.to_f64().abs()])
-            .fold(0.0, f64::max)
+        self.c.iter().flat_map(|z| [z.re.to_f64().abs(), z.im.to_f64().abs()]).fold(0.0, f64::max)
     }
 
     /// Precision cast.

@@ -114,6 +114,7 @@ impl<T: Real> Complex<T> {
 
     /// Division `self / rhs`.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, rhs: Self) -> Self {
         self * rhs.inv()
     }
@@ -153,10 +154,7 @@ impl<T: Real> Mul for Complex<T> {
     type Output = Self;
     #[inline(always)]
     fn mul(self, rhs: Self) -> Self {
-        Complex {
-            re: self.re * rhs.re - self.im * rhs.im,
-            im: self.re * rhs.im + self.im * rhs.re,
-        }
+        Complex { re: self.re * rhs.re - self.im * rhs.im, im: self.re * rhs.im + self.im * rhs.re }
     }
 }
 

@@ -20,7 +20,7 @@
 //! a gamma with 4 complex "multiplies" that are really sign flips and
 //! re/im swaps.
 
-use crate::complex::{C64, Complex};
+use crate::complex::{Complex, C64};
 use crate::real::Real;
 use crate::spinor::{HalfSpinor, Spinor};
 
@@ -75,7 +75,7 @@ pub fn mat4_scale(a: &Mat4, s: C64) -> Mat4 {
     let mut out = *a;
     for row in out.iter_mut() {
         for z in row.iter_mut() {
-            *z = *z * s;
+            *z *= s;
         }
     }
     out
@@ -210,7 +210,8 @@ impl PermPhase {
     pub fn apply<T: Real>(&self, psi: &Spinor<T>) -> Spinor<T> {
         let mut out = Spinor::zero();
         for s in 0..4 {
-            let ph = Complex::<T>::new(T::from_f64(self.phase[s].re), T::from_f64(self.phase[s].im));
+            let ph =
+                Complex::<T>::new(T::from_f64(self.phase[s].re), T::from_f64(self.phase[s].im));
             out.s[s] = psi.s[self.perm[s]].scale(ph);
         }
         out
@@ -303,7 +304,8 @@ impl HalfProj {
             assert!(k >= 1);
             nterms[i] = k;
         }
-        let diagonal = PermPhase::from_dense(gamma).map(|pp| pp.perm == [0, 1, 2, 3]).unwrap_or(false);
+        let diagonal =
+            PermPhase::from_dense(gamma).map(|pp| pp.perm == [0, 1, 2, 3]).unwrap_or(false);
         HalfProj { dense: p, rows, terms, nterms, rec_src, rec_coeff, diagonal }
     }
 
@@ -375,7 +377,7 @@ fn row_multiple(base: &[C64; 4], row: &[C64; 4]) -> Option<C64> {
         let bz = b.re.abs() < 1e-12 && b.im.abs() < 1e-12;
         let rz = r.re.abs() < 1e-12 && r.im.abs() < 1e-12;
         match (bz, rz) {
-            (true, true) => continue,
+            (true, true) => {}
             (true, false) | (false, true) => return None,
             (false, false) => {
                 let q = r.div(b);
@@ -584,8 +586,10 @@ mod tests {
         let mut sp = Spinor::zero();
         for s in 0..4 {
             for co in 0..3 {
-                sp.s[s].c[co] =
-                    C64::new(0.3 * (s as f64 + 1.0) - 0.1 * co as f64, 0.2 * co as f64 - 0.15 * s as f64);
+                sp.s[s].c[co] = C64::new(
+                    0.3 * (s as f64 + 1.0) - 0.1 * co as f64,
+                    0.2 * co as f64 - 0.15 * s as f64,
+                );
             }
         }
         sp

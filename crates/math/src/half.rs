@@ -69,6 +69,67 @@ pub fn max_quantization_error(norm: f32) -> f32 {
     norm * 0.5 / FIXED16_SCALE
 }
 
+/// Quantize `sites × block` f64 reals into raw 16-bit storage integers with
+/// one shared `f32` sup-norm per `block`-real site, appended to `norms`.
+///
+/// This is the single sanctioned path from float data to the half-precision
+/// wire/storage format outside this crate (Section VI-C: "the extra
+/// normalization constant for each (12 component) spinor"); an all-zero
+/// site gets norm 1.0 so dequantization stays well-defined.
+pub fn quantize_sites16(values: &[f64], block: usize, ints: &mut Vec<i16>, norms: &mut Vec<f32>) {
+    assert_eq!(values.len() % block, 0, "values must be whole site blocks");
+    for site in values.chunks_exact(block) {
+        let norm = site_norm(site);
+        norms.push(norm as f32);
+        for &x in site {
+            ints.push(Fixed16::quantize((x / norm) as f32).0);
+        }
+    }
+}
+
+/// 8-bit (quarter precision) variant of [`quantize_sites16`].
+pub fn quantize_sites8(values: &[f64], block: usize, ints: &mut Vec<i8>, norms: &mut Vec<f32>) {
+    assert_eq!(values.len() % block, 0, "values must be whole site blocks");
+    for site in values.chunks_exact(block) {
+        let norm = site_norm(site);
+        norms.push(norm as f32);
+        for &x in site {
+            ints.push(Fixed8::quantize((x / norm) as f32).0);
+        }
+    }
+}
+
+/// Expand raw 16-bit storage integers back to f64, applying each site's
+/// shared norm — the inverse of [`quantize_sites16`].
+pub fn dequantize_sites16(ints: &[i16], norms: &[f32], block: usize, out: &mut Vec<f64>) {
+    assert_eq!(ints.len(), norms.len() * block, "one norm per site block");
+    for (site, &norm) in ints.chunks_exact(block).zip(norms) {
+        for &q in site {
+            out.push(Fixed16(q).dequantize() as f64 * norm as f64);
+        }
+    }
+}
+
+/// 8-bit variant of [`dequantize_sites16`].
+pub fn dequantize_sites8(ints: &[i8], norms: &[f32], block: usize, out: &mut Vec<f64>) {
+    assert_eq!(ints.len(), norms.len() * block, "one norm per site block");
+    for (site, &norm) in ints.chunks_exact(block).zip(norms) {
+        for &q in site {
+            out.push(Fixed8(q).dequantize() as f64 * norm as f64);
+        }
+    }
+}
+
+/// Sup-norm of one site block, with the zero-block fallback.
+fn site_norm(site: &[f64]) -> f64 {
+    let norm = site.iter().fold(0.0f64, |m, x| m.max(x.abs()));
+    if norm == 0.0 {
+        1.0
+    } else {
+        norm
+    }
+}
+
 /// Scale factor of the normalized 8-bit format: `i8::MAX`.
 pub const FIXED8_SCALE: f32 = i8::MAX as f32;
 
@@ -174,6 +235,44 @@ mod tests {
             x += 0.003;
         }
         assert_eq!(std::mem::size_of::<Fixed8>(), 1);
+    }
+
+    #[test]
+    fn site_block_roundtrip_16() {
+        // Two 12-real sites with very different scales: per-site norms keep
+        // the small site's relative error bounded.
+        let mut values: Vec<f64> = (0..12).map(|i| (i as f64 - 6.0) * 1e3).collect();
+        values.extend((0..12).map(|i| (i as f64 - 5.0) * 1e-4));
+        let mut ints = Vec::new();
+        let mut norms = Vec::new();
+        quantize_sites16(&values, 12, &mut ints, &mut norms);
+        assert_eq!(ints.len(), 24);
+        assert_eq!(norms.len(), 2);
+        let mut back = Vec::new();
+        dequantize_sites16(&ints, &norms, 12, &mut back);
+        for (site, (a, b)) in values.iter().zip(&back).enumerate().map(|(i, p)| (i / 12, p)) {
+            // Half a quantization step, plus the f32 rounding of `x / norm`.
+            let bound =
+                (max_quantization_error(norms[site]) + norms[site] * f32::EPSILON) as f64 * 1.001;
+            assert!((a - b).abs() <= bound, "{a} vs {b} (site {site}, bound {bound})");
+        }
+    }
+
+    #[test]
+    fn site_block_roundtrip_8_and_zero_site() {
+        let mut values = vec![0.0f64; 6]; // all-zero site → norm 1.0
+        values.extend([0.5, -2.0, 1.0, 0.25, -0.125, 2.0]);
+        let mut ints = Vec::new();
+        let mut norms = Vec::new();
+        quantize_sites8(&values, 6, &mut ints, &mut norms);
+        assert_eq!(norms[0], 1.0);
+        assert_eq!(norms[1], 2.0);
+        let mut back = Vec::new();
+        dequantize_sites8(&ints, &norms, 6, &mut back);
+        assert!(back[..6].iter().all(|&x| x == 0.0));
+        for (a, b) in values[6..].iter().zip(&back[6..]) {
+            assert!((a - b).abs() <= 2.0 * 0.5 / FIXED8_SCALE as f64 * 1.001, "{a} vs {b}");
+        }
     }
 
     #[test]

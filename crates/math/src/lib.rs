@@ -31,7 +31,7 @@ pub mod su3;
 
 pub use clover::{CloverBasisMap, CloverBlock, CloverSite, CLOVER_REALS};
 pub use colorvec::ColorVec;
-pub use complex::{C32, C64, Complex};
+pub use complex::{Complex, C32, C64};
 pub use gamma::{GammaBasis, HalfProj, PermPhase, SpinBasis, NDIM};
 pub use half::{Fixed16, FIXED16_SCALE};
 pub use real::Real;

@@ -141,7 +141,7 @@ mod tests {
 
     #[test]
     fn f32_roundtrip_within_eps() {
-        for &x in &[0.0, 1.0, -2.5, 3.14159265] {
+        for &x in &[0.0, 1.0, -2.5, std::f64::consts::PI] {
             assert!((roundtrip::<f32>(x) - x).abs() <= x.abs() * 1e-6);
         }
     }

@@ -52,7 +52,9 @@ impl<T: Real> Spinor<T> {
 
     /// Scale by a complex scalar.
     pub fn scale(&self, z: Complex<T>) -> Self {
-        Spinor { s: [self.s[0].scale(z), self.s[1].scale(z), self.s[2].scale(z), self.s[3].scale(z)] }
+        Spinor {
+            s: [self.s[0].scale(z), self.s[1].scale(z), self.s[2].scale(z), self.s[3].scale(z)],
+        }
     }
 
     /// Scale by a real scalar.

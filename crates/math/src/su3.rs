@@ -101,7 +101,7 @@ impl<T: Real> Su3<T> {
         let mut out = *self;
         for i in 0..3 {
             for j in 0..3 {
-                out.m[i][j] = out.m[i][j] * s;
+                out.m[i][j] *= s;
             }
         }
         out
@@ -170,7 +170,7 @@ impl<T: Real> Su3<T> {
         let mut r1 = self.row(1);
         let proj = r0.dot(&r1); // f64 inner product
         let projc = Complex::<T>::new(T::from_f64(proj.re), T::from_f64(proj.im));
-        r1 = r1 - r0.scale(projc);
+        r1 -= r0.scale(projc);
         let n1 = r1.norm_sqr().sqrt();
         r1 = r1.scale_re(T::from_f64(1.0 / n1));
         let r2 = conj_cross(&r0, &r1);

@@ -22,7 +22,7 @@ fn arb_su3() -> impl Strategy<Value = Su3<f64>> {
         let mut m = Su3::identity();
         for i in 0..3 {
             for j in 0..3 {
-                m.m[i][j] = m.m[i][j] + v[i * 3 + j];
+                m.m[i][j] += v[i * 3 + j];
             }
         }
         let u = m.reunitarize();

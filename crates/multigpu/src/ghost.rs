@@ -26,7 +26,7 @@ use quda_fields::precision::Precision;
 use quda_fields::{GaugeFieldCb, SpinorFieldCb};
 use quda_lattice::geometry::{LatticeDims, Parity, DIR_T};
 use quda_lattice::stencil::Stencil;
-use quda_math::half::{Fixed16, Fixed8};
+use quda_math::half;
 use quda_math::real::Real;
 use quda_math::spinor::{HalfSpinor, HALF_SPINOR_REALS};
 use quda_math::su3::Su3;
@@ -51,17 +51,11 @@ fn encode_face<P: Precision>(values: &[f64]) -> Bytes {
             // Quarter precision: 8-bit components with a shared per-site
             // f32 norm — the wire matches the storage width, like half.
             let sites = values.len() / HALF_SPINOR_REALS;
-            let mut buf = Vec::with_capacity(values.len() + sites * 4);
+            let mut ints = Vec::with_capacity(values.len());
             let mut norms = Vec::with_capacity(sites);
-            for s in 0..sites {
-                let block = &values[s * HALF_SPINOR_REALS..(s + 1) * HALF_SPINOR_REALS];
-                let norm = block.iter().fold(0.0f64, |m, x| m.max(x.abs()));
-                let norm = if norm == 0.0 { 1.0 } else { norm };
-                norms.push(norm as f32);
-                for &x in block {
-                    buf.push(Fixed8::quantize((x / norm) as f32).0 as u8);
-                }
-            }
+            half::quantize_sites8(values, HALF_SPINOR_REALS, &mut ints, &mut norms);
+            let mut buf = Vec::with_capacity(values.len() + sites * 4);
+            buf.extend(ints.iter().map(|&q| q as u8));
             buf.extend_from_slice(&quda_comm::pack_f32(&norms));
             Bytes::from(buf)
         }
@@ -70,15 +64,7 @@ fn encode_face<P: Precision>(values: &[f64]) -> Bytes {
             let sites = values.len() / HALF_SPINOR_REALS;
             let mut ints = Vec::with_capacity(values.len());
             let mut norms = Vec::with_capacity(sites);
-            for s in 0..sites {
-                let block = &values[s * HALF_SPINOR_REALS..(s + 1) * HALF_SPINOR_REALS];
-                let norm = block.iter().fold(0.0f64, |m, x| m.max(x.abs()));
-                let norm = if norm == 0.0 { 1.0 } else { norm };
-                norms.push(norm as f32);
-                for &x in block {
-                    ints.push(Fixed16::quantize((x / norm) as f32).0);
-                }
-            }
+            half::quantize_sites16(values, HALF_SPINOR_REALS, &mut ints, &mut norms);
             let mut buf = Vec::with_capacity(ints.len() * 2 + norms.len() * 4);
             buf.extend_from_slice(&quda_comm::pack_i16(&ints));
             buf.extend_from_slice(&quda_comm::pack_f32(&norms));
@@ -104,14 +90,9 @@ fn decode_face<P: Precision>(bytes: &[u8], sites: usize) -> Result<Vec<f64>, Dec
         (true, 1) => {
             let split = sites * HALF_SPINOR_REALS;
             let norms = quda_comm::unpack_f32(&bytes[split..])?;
+            let ints: Vec<i8> = bytes[..split].iter().map(|&b| b as i8).collect();
             let mut out = Vec::with_capacity(split);
-            for s in 0..sites {
-                let norm = norms[s] as f64;
-                for k in 0..HALF_SPINOR_REALS {
-                    let q = Fixed8(bytes[s * HALF_SPINOR_REALS + k] as i8);
-                    out.push(q.dequantize() as f64 * norm);
-                }
-            }
+            half::dequantize_sites8(&ints, &norms, HALF_SPINOR_REALS, &mut out);
             Ok(out)
         }
         (true, _) => {
@@ -119,12 +100,7 @@ fn decode_face<P: Precision>(bytes: &[u8], sites: usize) -> Result<Vec<f64>, Dec
             let ints = quda_comm::unpack_i16(&bytes[..split])?;
             let norms = quda_comm::unpack_f32(&bytes[split..])?;
             let mut out = Vec::with_capacity(ints.len());
-            for s in 0..sites {
-                let norm = norms[s] as f64;
-                for k in 0..HALF_SPINOR_REALS {
-                    out.push(Fixed16(ints[s * HALF_SPINOR_REALS + k]).dequantize() as f64 * norm);
-                }
-            }
+            half::dequantize_sites16(&ints, &norms, HALF_SPINOR_REALS, &mut out);
             Ok(out)
         }
     }
@@ -133,8 +109,15 @@ fn decode_face<P: Precision>(bytes: &[u8], sites: usize) -> Result<Vec<f64>, Dec
 /// Bytes on the wire for one face at precision `P` (used by traffic
 /// accounting and tested against the actual payloads).
 pub fn face_wire_bytes<P: Precision>(face_sites: usize) -> usize {
-    let data = face_sites * HALF_SPINOR_REALS * P::STORAGE_BYTES;
-    let norms = if P::NEEDS_NORM { face_sites * 4 } else { 0 };
+    face_wire_bytes_dyn(P::STORAGE_BYTES, P::NEEDS_NORM, face_sites)
+}
+
+/// Runtime-parameterized face sizing — the single definition of the wire
+/// format's byte count, shared by the generic exchange path above and the
+/// performance model (which works from `PrecisionTag`s, not generics).
+pub fn face_wire_bytes_dyn(storage_bytes: usize, needs_norm: bool, face_sites: usize) -> usize {
+    let data = face_sites * HALF_SPINOR_REALS * storage_bytes;
+    let norms = if needs_norm { face_sites * 4 } else { 0 };
     data + norms
 }
 
@@ -178,14 +161,20 @@ pub fn recv_faces<P: Precision>(
     // From the backward neighbor: its last slice = our backward ghost.
     let from = comm.backward();
     let payload = comm.recv(from, TAG_FACE_FWD)?;
-    let values = decode_face::<P>(&payload, faces)
-        .map_err(|error| CommError::Decode { from, tag: TAG_FACE_FWD, error })?;
+    let values = decode_face::<P>(&payload, faces).map_err(|error| CommError::Decode {
+        from,
+        tag: TAG_FACE_FWD,
+        error,
+    })?;
     store_ghost(field, true, &values);
     // From the forward neighbor: its first slice = our forward ghost.
     let from = comm.forward();
     let payload = comm.recv(from, TAG_FACE_BWD)?;
-    let values = decode_face::<P>(&payload, faces)
-        .map_err(|error| CommError::Decode { from, tag: TAG_FACE_BWD, error })?;
+    let values = decode_face::<P>(&payload, faces).map_err(|error| CommError::Decode {
+        from,
+        tag: TAG_FACE_BWD,
+        error,
+    })?;
     store_ghost(field, false, &values);
     Ok(())
 }

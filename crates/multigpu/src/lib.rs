@@ -17,10 +17,13 @@
 //!   model quantifying when multi-dimensional decomposition wins.
 
 #![warn(missing_docs)]
+// The no-panic invariant (xtask lint rule `no-panic`), also machine-checked
+// at compile time: a panicking rank hangs its peers mid-allreduce.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod driver;
-pub mod multidim;
 pub mod ghost;
+pub mod multidim;
 pub mod perf;
 pub mod rank_op;
 pub mod slice;

@@ -18,7 +18,7 @@
 use crate::perf::{face_bytes, mode_tags, PerfInput};
 use quda_fields::precision::PrecisionTag;
 use quda_gpusim::kernel::{kernel_time, KernelWork};
-use quda_gpusim::transfer::{allreduce_time, network_time, CopyKind, Direction, pcie_time};
+use quda_gpusim::transfer::{allreduce_time, network_time, pcie_time, CopyKind, Direction};
 use quda_lattice::geometry::LatticeDims;
 
 /// A 2-d process grid over the Z and T dimensions.
@@ -99,7 +99,11 @@ pub fn sustained_gflops_2d(inp: &PerfInput, grid: ProcessGrid) -> Option<f64> {
         kernel_time(
             &inp.calib.kernel,
             &inp.gpu,
-            &KernelWork { bytes: sites * reals * b, flops: sites * 552, storage_bytes: sloppy.storage_bytes() },
+            &KernelWork {
+                bytes: sites * reals * b,
+                flops: sites * 552,
+                storage_bytes: sloppy.storage_bytes(),
+            },
         )
     };
     let t_matpc = 2.0 * t_dslash + clover(false) + clover(true);
@@ -107,7 +111,11 @@ pub fn sustained_gflops_2d(inp: &PerfInput, grid: ProcessGrid) -> Option<f64> {
     let blas = kernel_time(
         &inp.calib.kernel,
         &inp.gpu,
-        &KernelWork { bytes: sites * 528 * b, flops: sites * 1032, storage_bytes: sloppy.storage_bytes() },
+        &KernelWork {
+            bytes: sites * 528 * b,
+            flops: sites * 1032,
+            storage_bytes: sloppy.storage_bytes(),
+        },
     ) + 4.0 * allreduce_time(&inp.calib.network, grid.ranks());
     let t_iter = 2.0 * t_matpc + blas;
     let flops = (2 * sites * quda_dirac::flops::MATPC_FLOPS_PER_SITE + sites * 1032) as f64;

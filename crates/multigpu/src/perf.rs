@@ -28,7 +28,9 @@ use quda_gpusim::cards::GpuSpec;
 use quda_gpusim::kernel::{kernel_time, KernelWork};
 use quda_gpusim::memory::DeviceMemory;
 use quda_gpusim::stream::Timeline;
-use quda_gpusim::transfer::{allreduce_time, network_time, CopyKind, Direction, NumaPlacement, pcie_time};
+use quda_gpusim::transfer::{
+    allreduce_time, network_time, pcie_time, CopyKind, Direction, NumaPlacement,
+};
 use quda_lattice::geometry::LatticeDims;
 use quda_lattice::layout::{species, NVec};
 use quda_lattice::partition::TimePartition;
@@ -56,7 +58,12 @@ pub struct PerfInput {
 
 impl PerfInput {
     /// The paper's testbed defaults for a given run shape.
-    pub fn paper(global: LatticeDims, ranks: usize, mode: PrecisionMode, strategy: CommStrategy) -> Self {
+    pub fn paper(
+        global: LatticeDims,
+        ranks: usize,
+        mode: PrecisionMode,
+        strategy: CommStrategy,
+    ) -> Self {
         PerfInput {
             global,
             ranks,
@@ -103,7 +110,7 @@ pub fn mode_tags(mode: PrecisionMode) -> (PrecisionTag, PrecisionTag) {
 /// Bytes of one spinor face message (Section VI-C: 12 reals per site plus a
 /// normalization per site in half precision).
 pub fn face_bytes(tag: PrecisionTag, face_sites: usize) -> usize {
-    face_sites * 12 * tag.storage_bytes() + if tag.needs_norm() { face_sites * 4 } else { 0 }
+    crate::ghost::face_wire_bytes_dyn(tag.storage_bytes(), tag.needs_norm(), face_sites)
 }
 
 /// `cudaMemcpy` calls needed to gather one face to the host: one per face
@@ -137,7 +144,11 @@ fn dslash_kernel(inp: &PerfInput, tag: PrecisionTag, sites: u64) -> f64 {
     let bytes = sites * quda_dirac::flops::DSLASH_REALS_PER_SITE * b + half_extra(tag, 36) * sites;
     // Executed flops include third-row reconstruction (~25% extra).
     let flops = sites * 1650;
-    kernel_time(&inp.calib.kernel, &inp.gpu, &KernelWork { bytes, flops, storage_bytes: tag.storage_bytes() })
+    kernel_time(
+        &inp.calib.kernel,
+        &inp.gpu,
+        &KernelWork { bytes, flops, storage_bytes: tag.storage_bytes() },
+    )
 }
 
 /// Kernel time of one clover multiply (optionally fused with the final
@@ -147,7 +158,11 @@ fn clover_kernel(inp: &PerfInput, tag: PrecisionTag, sites: u64, axpy: bool) -> 
     let reals = if axpy { 144 } else { 120 };
     let bytes = sites * reals * b + half_extra(tag, 12) * sites;
     let flops = sites * (quda_dirac::flops::CLOVER_FLOPS_PER_SITE + if axpy { 48 } else { 0 });
-    kernel_time(&inp.calib.kernel, &inp.gpu, &KernelWork { bytes, flops, storage_bytes: tag.storage_bytes() })
+    kernel_time(
+        &inp.calib.kernel,
+        &inp.gpu,
+        &KernelWork { bytes, flops, storage_bytes: tag.storage_bytes() },
+    )
 }
 
 /// Time of one hopping-term application *including* its face exchange.
@@ -202,11 +217,7 @@ pub fn dslash_time(inp: &PerfInput, tag: PrecisionTag) -> f64 {
     }
 }
 
-fn effective_bw(
-    t: &quda_gpusim::calib::TransferCalib,
-    dir: Direction,
-    numa: NumaPlacement,
-) -> f64 {
+fn effective_bw(t: &quda_gpusim::calib::TransferCalib, dir: Direction, numa: NumaPlacement) -> f64 {
     // pcie_time = latency + bytes/bw; reuse its bandwidth handling by
     // measuring the marginal cost of one extra byte.
     let base = pcie_time(t, CopyKind::Sync, dir, numa, 0);
@@ -239,8 +250,8 @@ pub fn blas_iteration_time(inp: &PerfInput, tag: PrecisionTag) -> f64 {
     let launches = 6.0 * inp.calib.kernel.launch_overhead_s;
     // 4 of those kernels end in reductions: device→host result readback +
     // allreduce.
-    let reductions = 4.0
-        * (inp.calib.transfer.sync_latency_s + allreduce_time(&inp.calib.network, inp.ranks));
+    let reductions =
+        4.0 * (inp.calib.transfer.sync_latency_s + allreduce_time(&inp.calib.network, inp.ranks));
     stream + launches + reductions
 }
 
@@ -267,9 +278,7 @@ pub fn evaluate(inp: &PerfInput) -> PerfReport {
             &inp.gpu,
             &KernelWork { bytes: 2 * conv_bytes, flops: 0, storage_bytes: outer.storage_bytes() },
         );
-        let update = matpc_time(inp, outer)
-            + blas_iteration_time(inp, outer) * 0.5
-            + conv;
+        let update = matpc_time(inp, outer) + blas_iteration_time(inp, outer) * 0.5 + conv;
         t_iter += update / inp.reliable_interval;
         flops += (sites * quda_dirac::flops::MATPC_FLOPS_PER_SITE) as f64 / inp.reliable_interval;
     }
@@ -371,7 +380,12 @@ mod tests {
     #[test]
     fn single_gpu_solver_rate_near_100_gflops() {
         // Fig. 4(a): the single-precision solver sustains ≈100 Gflops/GPU.
-        let r = evaluate(&inp(LatticeDims::hypercubic(32), 1, PrecisionMode::Single, CommStrategy::NoOverlap));
+        let r = evaluate(&inp(
+            LatticeDims::hypercubic(32),
+            1,
+            PrecisionMode::Single,
+            CommStrategy::NoOverlap,
+        ));
         assert!(
             r.per_gpu_gflops > 85.0 && r.per_gpu_gflops < 125.0,
             "single-precision solver rate {} Gflops",
@@ -381,16 +395,36 @@ mod tests {
 
     #[test]
     fn half_roughly_one_and_a_half_times_single() {
-        let s = evaluate(&inp(LatticeDims::hypercubic(32), 1, PrecisionMode::Single, CommStrategy::NoOverlap));
-        let h = evaluate(&inp(LatticeDims::hypercubic(32), 1, PrecisionMode::Half, CommStrategy::NoOverlap));
+        let s = evaluate(&inp(
+            LatticeDims::hypercubic(32),
+            1,
+            PrecisionMode::Single,
+            CommStrategy::NoOverlap,
+        ));
+        let h = evaluate(&inp(
+            LatticeDims::hypercubic(32),
+            1,
+            PrecisionMode::Half,
+            CommStrategy::NoOverlap,
+        ));
         let ratio = h.per_gpu_gflops / s.per_gpu_gflops;
         assert!(ratio > 1.4 && ratio < 2.0, "half/single ratio {ratio}");
     }
 
     #[test]
     fn double_far_slower_than_single() {
-        let s = evaluate(&inp(LatticeDims::spatial_cube(24, 32), 1, PrecisionMode::Single, CommStrategy::NoOverlap));
-        let d = evaluate(&inp(LatticeDims::spatial_cube(24, 32), 1, PrecisionMode::Double, CommStrategy::NoOverlap));
+        let s = evaluate(&inp(
+            LatticeDims::spatial_cube(24, 32),
+            1,
+            PrecisionMode::Single,
+            CommStrategy::NoOverlap,
+        ));
+        let d = evaluate(&inp(
+            LatticeDims::spatial_cube(24, 32),
+            1,
+            PrecisionMode::Double,
+            CommStrategy::NoOverlap,
+        ));
         let ratio = s.per_gpu_gflops / d.per_gpu_gflops;
         assert!(
             ratio > 2.0 && ratio < 4.5,
@@ -401,12 +435,21 @@ mod tests {
     #[test]
     fn weak_scaling_is_near_linear() {
         // Fig. 4: fixed local volume 32⁴ per GPU.
-        let per1 = evaluate(&inp(LatticeDims::hypercubic(32), 1, PrecisionMode::SingleHalf, CommStrategy::Overlap));
+        let per1 = evaluate(&inp(
+            LatticeDims::hypercubic(32),
+            1,
+            PrecisionMode::SingleHalf,
+            CommStrategy::Overlap,
+        ));
         let g32 = LatticeDims::new(32, 32, 32, 32 * 32);
         let per32 = evaluate(&inp(g32, 32, PrecisionMode::SingleHalf, CommStrategy::Overlap));
         let efficiency = per32.sustained_gflops / (32.0 * per1.per_gpu_gflops);
         assert!(efficiency > 0.8, "weak-scaling efficiency {efficiency}");
-        assert!(per32.sustained_gflops > 3500.0, "expected multi-Tflops at 32 GPUs, got {}", per32.sustained_gflops);
+        assert!(
+            per32.sustained_gflops > 3500.0,
+            "expected multi-Tflops at 32 GPUs, got {}",
+            per32.sustained_gflops
+        );
     }
 
     #[test]

@@ -11,8 +11,8 @@
 use crate::ghost::{exchange_gauge_ghosts, exchange_spinor_ghosts, recv_faces, send_faces};
 use crate::slice::{local_clover, slice_config};
 use quda_comm::{CommError, CommStats, Communicator};
-use quda_dirac::dslash::{dslash_cb, DslashRegion};
 use quda_dirac::clover_apply::{clover_apply_cb, clover_axpy_cb};
+use quda_dirac::dslash::{dslash_cb, DslashRegion};
 use quda_dirac::{WilsonCloverOp, WilsonParams, INNER_PARITY, SOLVE_PARITY};
 use quda_fields::host::GaugeConfig;
 use quda_fields::precision::Precision;
@@ -69,13 +69,31 @@ fn dslash_exchanged<P: Precision>(
     dagger: bool,
 ) -> Result<u64, CommError> {
     if !partitioned {
-        dslash_cb(out, &op.gauge, input, out_parity, &op.stencil, &op.basis, dagger, DslashRegion::All);
+        dslash_cb(
+            out,
+            &op.gauge,
+            input,
+            out_parity,
+            &op.stencil,
+            &op.basis,
+            dagger,
+            DslashRegion::All,
+        );
         return Ok(0);
     }
     match strategy {
         CommStrategy::NoOverlap => {
             exchange_spinor_ghosts(comm, input, &op.basis, &op.stencil, dagger)?;
-            dslash_cb(out, &op.gauge, input, out_parity, &op.stencil, &op.basis, dagger, DslashRegion::All);
+            dslash_cb(
+                out,
+                &op.gauge,
+                input,
+                out_parity,
+                &op.stencil,
+                &op.basis,
+                dagger,
+                DslashRegion::All,
+            );
         }
         CommStrategy::Overlap => {
             send_faces(comm, input, &op.basis, &op.stencil, dagger)?;
@@ -124,8 +142,12 @@ impl<P: Precision> ParallelWilsonCloverOp<P> {
         assert_eq!(comm.size(), part.n_ranks);
         let local_cfg = slice_config(global, &part, rank);
         let clover = local_clover(global, &part, rank, wilson.c_sw);
-        let mut op =
-            WilsonCloverOp::<P>::from_config_with(&local_cfg, wilson, part.is_partitioned(), Some(clover));
+        let mut op = WilsonCloverOp::<P>::from_config_with(
+            &local_cfg,
+            wilson,
+            part.is_partitioned(),
+            Some(clover),
+        );
         if part.is_partitioned() {
             exchange_gauge_ghosts(&mut comm, &mut op.gauge, part.local_dims())?;
         }
@@ -253,9 +275,8 @@ impl<P: Precision> ParallelWilsonCloverOp<P> {
             SOLVE_PARITY,
             false,
         )
-        .map_err(|e| {
+        .inspect_err(|e| {
             self.fault = Some(e.clone());
-            e
         })?;
         for cb in 0..out.sites() {
             let v = b_odd.get(cb) + self.tmp2.get(cb).scale_re(P::Arith::from_f64(0.5));
@@ -284,9 +305,8 @@ impl<P: Precision> ParallelWilsonCloverOp<P> {
             INNER_PARITY,
             false,
         )
-        .map_err(|e| {
+        .inspect_err(|e| {
             self.fault = Some(e.clone());
-            e
         })?;
         for cb in 0..self.tmp1.sites() {
             let v = b_even.get(cb) + self.tmp1.get(cb).scale_re(P::Arith::from_f64(0.5));
@@ -367,10 +387,7 @@ mod tests {
         (weak_field(d, 0.15, 11), TimePartition::new(d, 2), WilsonParams { mass: 0.2, c_sw: 1.0 })
     }
 
-    fn parallel_matpc(
-        strategy: CommStrategy,
-        dagger: bool,
-    ) -> (HostSpinorField, HostSpinorField) {
+    fn parallel_matpc(strategy: CommStrategy, dagger: bool) -> (HostSpinorField, HostSpinorField) {
         let (cfg, part, wp) = global_setup();
         let input = random_spinor_field(part.global, 5);
 

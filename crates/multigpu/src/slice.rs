@@ -22,7 +22,11 @@ pub fn slice_config(global: &GaugeConfig, part: &TimePartition, rank: usize) -> 
 }
 
 /// The local part of a host spinor field.
-pub fn slice_spinor(global: &HostSpinorField, part: &TimePartition, rank: usize) -> HostSpinorField {
+pub fn slice_spinor(
+    global: &HostSpinorField,
+    part: &TimePartition,
+    rank: usize,
+) -> HostSpinorField {
     assert_eq!(global.dims, part.global);
     let local_dims = part.local_dims();
     let mut local = HostSpinorField::zero(local_dims);
@@ -133,8 +137,9 @@ mod tests {
                             diff = diff.max((expect.block[b].diag[i] - got.block[b].diag[i]).abs());
                         }
                         for k in 0..15 {
-                            diff = diff
-                                .max((expect.block[b].offdiag[k].re - got.block[b].offdiag[k].re).abs());
+                            diff = diff.max(
+                                (expect.block[b].offdiag[k].re - got.block[b].offdiag[k].re).abs(),
+                            );
                         }
                     }
                     assert!(diff < 1e-14, "rank={rank} p={p:?} cb={cb} diff={diff}");

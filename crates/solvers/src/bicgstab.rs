@@ -214,7 +214,8 @@ mod tests {
         let (mut op, b) = setup::<Double>(5);
         let mut x = op.alloc();
         blas::zero(&mut x);
-        let res = bicgstab(&mut op, &mut x, &b, &SolverParams { tol: 1e-8, max_iter: 500, delta: 0.0 });
+        let res =
+            bicgstab(&mut op, &mut x, &b, &SolverParams { tol: 1e-8, max_iter: 500, delta: 0.0 });
         assert!(res.op_flops > 0);
         assert!(res.blas.flops > 0);
         assert_eq!(res.op_flops, res.matvecs * op.flops_per_apply());

@@ -12,7 +12,7 @@
 
 use quda_fields::precision::Precision;
 use quda_fields::SpinorFieldCb;
-use quda_math::complex::{C64, Complex};
+use quda_math::complex::{Complex, C64};
 use quda_math::real::Real;
 
 /// Identity of a fused kernel, with per-site costs for the perf model.
@@ -86,8 +86,12 @@ pub const OP_CDOT: BlasOp =
 pub const OP_XMAY_NORM: BlasOp =
     BlasOp { name: "xmayNormCB", flops_per_site: 96, reals_per_site: 72, is_reduction: true };
 /// Fused `⟨x, y⟩` and `‖y‖²` in one pass (BiCGstab's ω numerator/denominator).
-pub const OP_CDOT_NORM: BlasOp =
-    BlasOp { name: "cDotProductNormB", flops_per_site: 144, reals_per_site: 48, is_reduction: true };
+pub const OP_CDOT_NORM: BlasOp = BlasOp {
+    name: "cDotProductNormB",
+    flops_per_site: 144,
+    reals_per_site: 48,
+    is_reduction: true,
+};
 
 /// Set every site to zero.
 pub fn zero<P: Precision>(x: &mut SpinorFieldCb<P>) {
@@ -98,7 +102,11 @@ pub fn zero<P: Precision>(x: &mut SpinorFieldCb<P>) {
 }
 
 /// `dst ← src`.
-pub fn copy<P: Precision>(dst: &mut SpinorFieldCb<P>, src: &SpinorFieldCb<P>, c: &mut BlasCounters) {
+pub fn copy<P: Precision>(
+    dst: &mut SpinorFieldCb<P>,
+    src: &SpinorFieldCb<P>,
+    c: &mut BlasCounters,
+) {
     debug_assert_eq!(dst.sites(), src.sites());
     for cb in 0..src.sites() {
         dst.set(cb, &src.get(cb));
@@ -222,6 +230,25 @@ pub fn xmay_norm<P: Precision>(
     n
 }
 
+/// Fused `y ← x − y; return ‖y‖²` — residual formation against a fresh
+/// operator application (`r ← b − Ax` with `Ax` staged in `y`). Like every
+/// reduction kernel here this returns the *local* part; partitioned callers
+/// route it through `LinearOperator::reduce`.
+pub fn xmy_norm<P: Precision>(
+    x: &SpinorFieldCb<P>,
+    y: &mut SpinorFieldCb<P>,
+    c: &mut BlasCounters,
+) -> f64 {
+    let mut n = 0.0;
+    for cb in 0..x.sites() {
+        let v = x.get(cb) - y.get(cb);
+        n += v.norm_sqr();
+        y.set(cb, &v);
+    }
+    c.charge(&OP_XMAY_NORM, x.sites());
+    n
+}
+
 /// Fused `y ← y + a·x; return ‖y‖²` (complex `a`) — the `s = r − αv` and
 /// `r = s − ωt` steps of BiCGstab with their norms folded in.
 pub const OP_CAXPY_NORM: BlasOp =
@@ -326,6 +353,23 @@ mod tests {
             assert!((y.get(cb) - expect).norm_sqr() < 1e-26);
         }
         assert!((n - expect_norm).abs() < 1e-10);
+    }
+
+    #[test]
+    fn fused_xmy_norm_matches_composition() {
+        let x = field(16);
+        let mut y = field(17);
+        let y0 = y.clone();
+        let mut c = BlasCounters::default();
+        let n = xmy_norm(&x, &mut y, &mut c);
+        let mut expect_norm = 0.0;
+        for cb in 0..x.sites() {
+            let expect = x.get(cb) - y0.get(cb);
+            expect_norm += expect.norm_sqr();
+            assert!((y.get(cb) - expect).norm_sqr() < 1e-26);
+        }
+        assert!((n - expect_norm).abs() < 1e-10);
+        assert_eq!(c.reductions, 1);
     }
 
     #[test]

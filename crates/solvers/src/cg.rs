@@ -53,16 +53,7 @@ pub fn cgnr<P: Precision>(
     op.apply(&mut mid, x);
     op.apply_dagger(&mut r, &mut mid);
     matvecs += 2;
-    let mut rsq = {
-        let mut n = 0.0;
-        for cb in 0..r.sites() {
-            let v = bp.get(cb) - r.get(cb);
-            n += v.norm_sqr();
-            r.set(cb, &v);
-        }
-        c.charge(&blas::OP_XMAY_NORM, r.sites());
-        op.reduce(n)
-    };
+    let mut rsq = op.reduce(blas::xmy_norm(&bp, &mut r, &mut c));
 
     let mut p = op.alloc();
     blas::copy(&mut p, &r, &mut c);
@@ -121,16 +112,9 @@ pub fn cgnr<P: Precision>(
             // Roll back and rebuild r = b' − A x from the checkpoint.
             blas::copy(x, &checkpoint_x, &mut c);
             op.apply(&mut mid, x);
-            op.apply_dagger(&mut ap, &mut mid);
+            op.apply_dagger(&mut r, &mut mid);
             matvecs += 2;
-            let mut n = 0.0;
-            for cb in 0..r.sites() {
-                let v = bp.get(cb) - ap.get(cb);
-                n += v.norm_sqr();
-                r.set(cb, &v);
-            }
-            c.charge(&blas::OP_XMAY_NORM, r.sites());
-            rsq = op.reduce(n);
+            rsq = op.reduce(blas::xmy_norm(&bp, &mut r, &mut c));
             blas::copy(&mut p, &r, &mut c);
             continue;
         }
@@ -191,7 +175,8 @@ mod tests {
         let (mut op, b) = setup(7);
         let mut x = op.alloc();
         blas::zero(&mut x);
-        let res = cgnr(&mut op, &mut x, &b, &SolverParams { tol: 1e-10, max_iter: 1000, delta: 0.0 });
+        let res =
+            cgnr(&mut op, &mut x, &b, &SolverParams { tol: 1e-10, max_iter: 1000, delta: 0.0 });
         assert!(res.converged, "residual {}", res.final_residual);
         assert!(res.final_residual < 1e-8);
     }
@@ -204,7 +189,8 @@ mod tests {
         let (mut op, b) = setup(8);
         let mut x1 = op.alloc();
         blas::zero(&mut x1);
-        let cg_res = cgnr(&mut op, &mut x1, &b, &SolverParams { tol: 1e-8, max_iter: 1000, delta: 0.0 });
+        let cg_res =
+            cgnr(&mut op, &mut x1, &b, &SolverParams { tol: 1e-8, max_iter: 1000, delta: 0.0 });
         let mut x2 = op.alloc();
         blas::zero(&mut x2);
         let bi_res = crate::bicgstab::bicgstab(

@@ -14,6 +14,9 @@
 //!   condition-number claims of Section II.
 
 #![warn(missing_docs)]
+// The no-panic invariant (xtask lint rule `no-panic`), also machine-checked
+// at compile time: a panicking rank hangs its peers mid-allreduce.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bicgstab;
 pub mod blas;

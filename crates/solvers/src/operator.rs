@@ -114,14 +114,7 @@ pub fn residual_norm2<P: Precision>(
     counters: &mut BlasCounters,
 ) -> f64 {
     op.apply(r, x);
-    let mut n = 0.0;
-    for cb in 0..r.sites() {
-        let v = b.get(cb) - r.get(cb);
-        n += v.norm_sqr();
-        r.set(cb, &v);
-    }
-    counters.charge(&crate::blas::OP_XMAY_NORM, r.sites());
-    op.reduce(n)
+    op.reduce(crate::blas::xmy_norm(b, r, counters))
 }
 
 #[cfg(test)]

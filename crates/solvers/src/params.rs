@@ -96,8 +96,7 @@ mod tests {
 
     #[test]
     fn total_flops_sums_components() {
-        let mut r = SolveResult::default();
-        r.op_flops = 100;
+        let mut r = SolveResult { op_flops: 100, ..SolveResult::default() };
         r.blas.flops = 23;
         assert_eq!(r.total_flops(), 123);
     }

@@ -32,7 +32,11 @@ impl SpectrumEstimate {
     }
 }
 
-fn normalize<P: Precision>(x: &mut SpinorFieldCb<P>, op: &mut dyn LinearOperator<P>, c: &mut BlasCounters) -> f64 {
+fn normalize<P: Precision>(
+    x: &mut SpinorFieldCb<P>,
+    op: &mut dyn LinearOperator<P>,
+    c: &mut BlasCounters,
+) -> f64 {
     let n2 = op.reduce(blas::norm2(x, c));
     let inv = 1.0 / n2.sqrt();
     for cb in 0..x.sites() {
@@ -130,12 +134,8 @@ fn solve_normal<P: Precision>(
         }
         let alpha = rsq / p_ap;
         blas::axpy(alpha, &p, y, c);
-        let rsq_new = op.reduce(blas::caxpy_norm(
-            quda_math::complex::C64::new(-alpha, 0.0),
-            &ap,
-            &mut r,
-            c,
-        ));
+        let rsq_new =
+            op.reduce(blas::caxpy_norm(quda_math::complex::C64::new(-alpha, 0.0), &ap, &mut r, c));
         let beta = rsq_new / rsq;
         rsq = rsq_new;
         blas::xpay(&r, beta, &mut p, c);

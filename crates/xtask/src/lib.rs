@@ -1,0 +1,143 @@
+//! quda-rs workspace automation: the static-analysis driver behind
+//! `cargo xtask lint`.
+//!
+//! The lints encode the cross-crate invariants this codebase relies on
+//! but the compiler cannot see — the global-reduction discipline, the
+//! half-precision normalization contract, the single definition of the
+//! ghost-face wire format, and the no-panic rule for code that other
+//! ranks block on. See `DESIGN.md` ("Static analysis and machine-checked
+//! invariants") for the rationale behind each rule.
+//!
+//! Architecture: [`source::SourceFile`] lexes a file into a masked token
+//! view (comments/strings blanked, positions preserved); each
+//! [`rules::Lint`] scans that view and emits [`report::Diagnostic`]s;
+//! inline `// quda-lint: allow(<rule>)` comments suppress findings on
+//! the same or next line. [`lint_workspace`] walks every workspace `.rs`
+//! file and aggregates a [`report::LintReport`] which renders as text or
+//! JSON (`--json`).
+
+pub mod report;
+pub mod rules;
+pub mod source;
+
+use report::{Diagnostic, LintReport};
+use source::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// Lint a single source text as if it lived at `rel_path` in the
+/// workspace. This is the entry point the fixture tests drive.
+pub fn lint_text(rel_path: &str, text: &str) -> Vec<Diagnostic> {
+    let lints = rules::builtin_lints();
+    let file = SourceFile::parse(rel_path, text);
+    let mut out = Vec::new();
+    for lint in &lints {
+        if lint.applies(&file.rel_path) {
+            lint.check(&file, &mut out);
+        }
+    }
+    out.sort_by_key(|d| (d.line, d.col));
+    out
+}
+
+/// Directories under the workspace root that contain lintable sources.
+const SCAN_ROOTS: [&str; 4] = ["crates", "examples", "tests", "vendor"];
+
+/// Paths (relative, `/`-separated) excluded from scanning: fixture files
+/// contain violations on purpose.
+fn excluded(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/xtask/tests/fixtures/") || rel_path.contains("/target/")
+}
+
+/// Walk the workspace and run every rule on every `.rs` file.
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let lints = rules::builtin_lints();
+    let mut files = Vec::new();
+    for dir in SCAN_ROOTS {
+        collect_rs_files(&root.join(dir), &mut files)?;
+    }
+    files.sort();
+    let mut diagnostics = Vec::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let rel = path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/");
+        if excluded(&rel) {
+            continue;
+        }
+        let text = std::fs::read_to_string(path)?;
+        scanned += 1;
+        let file = SourceFile::parse(&rel, &text);
+        for lint in &lints {
+            if lint.applies(&file.rel_path) {
+                lint.check(&file, &mut diagnostics);
+            }
+        }
+    }
+    diagnostics.sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
+    Ok(LintReport {
+        diagnostics,
+        files_scanned: scanned,
+        rules: rules::builtin_lints().iter().map(|l| l.name()).collect(),
+    })
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Locate the workspace root: walk up from `CARGO_MANIFEST_DIR` (set when
+/// run via `cargo xtask`) or the current directory to the first ancestor
+/// holding a `Cargo.toml` with a `[workspace]` table.
+pub fn find_workspace_root() -> PathBuf {
+    let start =
+        std::env::var_os("CARGO_MANIFEST_DIR").map_or_else(|| PathBuf::from("."), PathBuf::from);
+    let mut dir = start.as_path();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir.to_path_buf();
+            }
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return PathBuf::from("."),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_file_has_no_diagnostics() {
+        let src = "pub fn add(a: u32, b: u32) -> u32 { a + b }\n";
+        assert!(lint_text("crates/comm/src/clean.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rules_are_scoped_by_path() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        // In-scope crate: flagged.
+        assert_eq!(lint_text("crates/comm/src/a.rs", src).len(), 1);
+        // Out-of-scope crate: the no-panic rule does not apply.
+        assert!(lint_text("crates/lattice/src/a.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,77 @@
+//! `cargo xtask` — workspace automation entry point.
+//!
+//! Subcommands:
+//!
+//! * `lint [--json]` — run the project lints over every workspace `.rs`
+//!   file; exits non-zero if any diagnostic is produced.
+//! * `lint --list` — print the rules and what they check.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown xtask subcommand `{other}`");
+            usage();
+            ExitCode::FAILURE
+        }
+        None => {
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: cargo xtask lint [--json | --list]");
+}
+
+fn lint(flags: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut list = false;
+    for flag in flags {
+        match flag.as_str() {
+            "--json" => json = true,
+            "--list" => list = true,
+            other => {
+                eprintln!("unknown lint flag `{other}`");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if list {
+        for rule in xtask::rules::builtin_lints() {
+            println!("{:<20} {}", rule.name(), rule.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = xtask::find_workspace_root();
+    let report = match xtask::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask lint: i/o error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        eprintln!(
+            "xtask lint: {} file(s) scanned, {} rule(s), {} diagnostic(s)",
+            report.files_scanned,
+            report.rules.len(),
+            report.diagnostics.len()
+        );
+    }
+    if report.diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

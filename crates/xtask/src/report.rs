@@ -1,0 +1,117 @@
+//! Diagnostics and output formatting (human and machine-readable).
+
+use std::fmt;
+
+/// One lint finding, anchored to a file position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule name (e.g. `no-panic`).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}: [{}] {}", self.path, self.line, self.col, self.rule, self.message)
+    }
+}
+
+/// Result of a whole lint run.
+#[derive(Debug)]
+pub struct LintReport {
+    /// All findings, sorted by path then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Names of the rules that ran.
+    pub rules: Vec<&'static str>,
+}
+
+impl LintReport {
+    /// Render as a stable JSON document for tooling/CI.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"files_scanned\": ");
+        s.push_str(&self.files_scanned.to_string());
+        s.push_str(",\n  \"rules\": [");
+        for (i, r) in self.rules.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&json_string(r));
+        }
+        s.push_str("],\n  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {\"rule\": ");
+            s.push_str(&json_string(d.rule));
+            s.push_str(", \"path\": ");
+            s.push_str(&json_string(&d.path));
+            s.push_str(&format!(", \"line\": {}, \"col\": {}, ", d.line, d.col));
+            s.push_str("\"message\": ");
+            s.push_str(&json_string(&d.message));
+            s.push('}');
+        }
+        if !self.diagnostics.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let r = LintReport {
+            diagnostics: vec![Diagnostic {
+                rule: "no-panic",
+                path: "crates/comm/src/world.rs".into(),
+                line: 3,
+                col: 7,
+                message: "don't".into(),
+            }],
+            files_scanned: 1,
+            rules: vec!["no-panic"],
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"files_scanned\": 1"));
+        assert!(j.contains("\"line\": 3"));
+        assert!(j.contains("\"rule\": \"no-panic\""));
+    }
+}

@@ -1,0 +1,77 @@
+//! Rule `ghost-sizing`: ghost-face byte lengths come from the sizing
+//! functions in `quda-multigpu::ghost` — the single source of truth —
+//! never from locally re-derived `sites * reals * bytes` arithmetic.
+//!
+//! The wire format of a face (Section VI-D of the paper: spin-projected
+//! half spinors plus, for half/quarter precision, the per-site norms) is
+//! easy to re-derive and easy to re-derive *wrongly* — forgetting the
+//! norm tail under- allocates receive buffers only for half precision,
+//! which is exactly the kind of corruption that surfaces as a wrong
+//! residual three crates away. Any code multiplying a face-site count by
+//! storage sizes outside `ghost.rs` is flagged.
+
+use super::{emit, in_test_code, Lint};
+use crate::report::Diagnostic;
+use crate::source::{find_word, SourceFile};
+
+/// See module docs.
+pub struct GhostSizing;
+
+/// Tokens that mean "I am computing a storage size by hand".
+const SIZE_TOKENS: [&str; 4] = ["STORAGE_BYTES", "storage_bytes", "HALF_SPINOR_REALS", "size_of"];
+
+impl Lint for GhostSizing {
+    fn name(&self) -> &'static str {
+        "ghost-sizing"
+    }
+
+    fn description(&self) -> &'static str {
+        "ghost-face byte lengths must come from quda-multigpu::ghost sizing functions"
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        if rel_path == "crates/multigpu/src/ghost.rs" {
+            return false; // the source of truth itself
+        }
+        ["crates/multigpu/src/", "crates/comm/src/", "crates/bench/"]
+            .iter()
+            .any(|p| rel_path.starts_with(p))
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if file.is_test_target() {
+            return;
+        }
+        for token in SIZE_TOKENS {
+            let mut at = 0;
+            while let Some(pos) = find_word(&file.masked, token, at) {
+                at = pos + token.len();
+                if in_test_code(file, pos) {
+                    continue;
+                }
+                // Only flag when the same line also talks about faces —
+                // storage sizes are fine in non-face contexts.
+                let line = file.line_of(pos) as usize;
+                let line_text = file.masked.lines().nth(line - 1).unwrap_or("");
+                if line_text.contains("face_wire_bytes") {
+                    // Routing through the ghost.rs sizing functions is the
+                    // sanctioned pattern, even when the call site forwards
+                    // its own storage parameters.
+                    continue;
+                }
+                if line_text.contains("face") {
+                    emit(
+                        file,
+                        self.name(),
+                        pos,
+                        "face byte length derived locally; call \
+                         quda_multigpu::ghost::face_wire_bytes* so the wire \
+                         format has one definition"
+                            .to_string(),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}

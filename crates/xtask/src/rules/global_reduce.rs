@@ -1,0 +1,161 @@
+//! Rule `global-reduce`: solver and multi-GPU code must not finish a
+//! reduction locally — `.sum()`, `.fold()`, `.product()` and plain
+//! accumulator loops bypass the global-reduce API.
+//!
+//! In the paper's multi-GPU CG (Section VI-E), every inner product and
+//! norm is a *partial* sum until `allreduce` combines it across ranks;
+//! a local `.sum()` that skips `LinearOperator::reduce` /
+//! `Communicator::allreduce_*` silently computes rank-local dot products
+//! and the solver diverges only at scale. Local-part kernels live in
+//! `quda-solvers/src/blas.rs`, which is the one exempt module.
+
+use super::{emit, in_test_code, next_nonspace, prev_nonspace, Lint};
+use crate::report::Diagnostic;
+use crate::source::{find_word, SourceFile};
+
+/// See module docs.
+pub struct GlobalReduce;
+
+const ITER_REDUCERS: [&str; 3] = ["sum", "fold", "product"];
+
+impl Lint for GlobalReduce {
+    fn name(&self) -> &'static str {
+        "global-reduce"
+    }
+
+    fn description(&self) -> &'static str {
+        "reductions in solver/multigpu code must go through the global-reduce API"
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        if rel_path == "crates/solvers/src/blas.rs" {
+            return false; // the designated local-part kernel module
+        }
+        ["crates/solvers/src/", "crates/multigpu/src/"].iter().any(|p| rel_path.starts_with(p))
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if file.is_test_target() {
+            return;
+        }
+        self.check_iterator_reducers(file, out);
+        self.check_accumulator_loops(file, out);
+    }
+}
+
+impl GlobalReduce {
+    fn check_iterator_reducers(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for reducer in ITER_REDUCERS {
+            let mut at = 0;
+            while let Some(pos) = find_word(&file.masked, reducer, at) {
+                at = pos + reducer.len();
+                if in_test_code(file, pos) {
+                    continue;
+                }
+                // `.sum(`, `.sum::<`, `.fold(` — a method call on an iterator.
+                let follows = next_nonspace(&file.masked, at);
+                let called = follows == Some(b'(') || follows == Some(b':');
+                if prev_nonspace(&file.masked, pos) == Some(b'.') && called {
+                    emit(
+                        file,
+                        self.name(),
+                        pos,
+                        format!(
+                            "`.{reducer}()` finishes a reduction locally; partial sums must \
+                             go through LinearOperator::reduce / Communicator::allreduce so \
+                             every rank agrees on the result"
+                        ),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Heuristic: `let mut acc = 0.0;` followed (within a short window) by
+    /// a `for` loop that does `acc += ...` is a hand-rolled local
+    /// reduction. The window keeps the rule from pairing unrelated code.
+    fn check_accumulator_loops(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let masked = &file.masked;
+        let mut at = 0;
+        while let Some(pos) = find_word(masked, "let", at) {
+            at = pos + 3;
+            let Some(acc) = parse_float_accumulator(masked, pos) else {
+                continue;
+            };
+            if in_test_code(file, pos) {
+                continue;
+            }
+            // Look ahead up to 40 lines for `for ... { acc += ... }`.
+            let window_end = nth_newline_after(masked, pos, 40);
+            let Some(for_at) = find_word(&masked[..window_end], "for", at) else {
+                continue;
+            };
+            let mut search = for_at;
+            while let Some(plus_at) = find_word(&masked[..window_end], &acc, search) {
+                search = plus_at + acc.len();
+                if next_nonspace(masked, search) == Some(b'+')
+                    && masked.as_bytes().get(plus_of(masked, search) + 1) == Some(&b'=')
+                {
+                    // Anchor at the accumulator declaration: that is where a
+                    // `quda-lint: allow` suppression naturally sits.
+                    emit(
+                        file,
+                        self.name(),
+                        pos,
+                        format!(
+                            "accumulator loop over `{acc}` is a local reduction; use the \
+                             blas local-part kernels plus a global reduce instead"
+                        ),
+                        out,
+                    );
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// If `let` at `pos` starts `let mut <id>[: f64] = 0.0…;`, return `<id>`.
+fn parse_float_accumulator(masked: &str, let_pos: usize) -> Option<String> {
+    let rest = &masked[let_pos + 3..];
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("mut")?;
+    let rest = rest.trim_start();
+    let id_len = rest.bytes().take_while(|b| b.is_ascii_alphanumeric() || *b == b'_').count();
+    if id_len == 0 {
+        return None;
+    }
+    let (id, rest) = rest.split_at(id_len);
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix(": f64").unwrap_or(rest).trim_start();
+    let rest = rest.strip_prefix('=')?.trim_start();
+    for zero in ["0.0f64;", "0.0;", "0f64;", "0.;"] {
+        if rest.starts_with(zero) {
+            return Some(id.to_string());
+        }
+    }
+    None
+}
+
+/// Byte offset just past the `n`-th newline after `from` (or end of text).
+fn nth_newline_after(masked: &str, from: usize, n: usize) -> usize {
+    let mut seen = 0;
+    for (i, b) in masked.bytes().enumerate().skip(from) {
+        if b == b'\n' {
+            seen += 1;
+            if seen == n {
+                return i;
+            }
+        }
+    }
+    masked.len()
+}
+
+/// Offset of the `+` that [`super::next_nonspace`] saw at/after `from`.
+fn plus_of(masked: &str, from: usize) -> usize {
+    masked.as_bytes()[from..]
+        .iter()
+        .position(|b| !b.is_ascii_whitespace())
+        .map_or(masked.len(), |i| from + i)
+}

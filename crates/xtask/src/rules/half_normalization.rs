@@ -1,0 +1,83 @@
+//! Rule `half-normalization`: fixed-point (half/quarter) conversions go
+//! through the `quda-math::half` normalization helpers — never raw
+//! `Fixed16::quantize` / `Fixed8::quantize` calls or `Fixed16(bits)`
+//! constructions outside `quda-math`.
+//!
+//! Half precision in the paper (Section VI-C) is a *block* format: 16-bit
+//! mantissas are only meaningful together with the per-site float norm
+//! that scales them. Code that quantizes a value without going through
+//! the site-block helpers can silently drop or double-apply the norm,
+//! which shows up as a precision loss the mixed-precision solver then
+//! "corrects" with extra reliable updates — a performance bug that is
+//! very hard to bisect.
+
+use super::{emit, in_test_code, next_nonspace, Lint};
+use crate::report::Diagnostic;
+use crate::source::{find_word, SourceFile};
+
+/// See module docs.
+pub struct HalfNormalization;
+
+const TYPES: [&str; 2] = ["Fixed16", "Fixed8"];
+
+impl Lint for HalfNormalization {
+    fn name(&self) -> &'static str {
+        "half-normalization"
+    }
+
+    fn description(&self) -> &'static str {
+        "fixed-point conversions must use quda-math::half site-block helpers"
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        rel_path.starts_with("crates/") && !rel_path.starts_with("crates/math/")
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if file.is_test_target() {
+            return;
+        }
+        for ty in TYPES {
+            let mut at = 0;
+            while let Some(pos) = find_word(&file.masked, ty, at) {
+                at = pos + ty.len();
+                if in_test_code(file, pos) {
+                    continue;
+                }
+                match next_nonspace(&file.masked, at) {
+                    // `Fixed16(bits)` — raw from-bits construction.
+                    Some(b'(') => emit(
+                        file,
+                        self.name(),
+                        pos,
+                        format!(
+                            "raw `{ty}(..)` construction bypasses block normalization; \
+                             use the quda_math::half site-block helpers"
+                        ),
+                        out,
+                    ),
+                    // `Fixed16::quantize(..)` / `::dequantize` — per-value
+                    // conversion without the site norm.
+                    Some(b':') => {
+                        let rest = &file.masked[at..];
+                        let callee = rest.trim_start().trim_start_matches(':').trim_start();
+                        if callee.starts_with("quantize") || callee.starts_with("dequantize") {
+                            emit(
+                                file,
+                                self.name(),
+                                pos,
+                                format!(
+                                    "`{ty}::quantize`/`dequantize` outside quda-math skips \
+                                     per-site normalization; use quantize_sites16/8 or \
+                                     dequantize_sites16/8 from quda_math::half"
+                                ),
+                                out,
+                            );
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}

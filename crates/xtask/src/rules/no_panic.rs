@@ -1,0 +1,84 @@
+//! Rule `no-panic`: no `.unwrap()` / `.expect()` / panicking macros in
+//! non-test code of the communication and solver hot paths.
+//!
+//! A rank that panics mid-collective hangs every other rank at the next
+//! barrier (the failure mode Section VII of the paper's strong-scaling
+//! runs make expensive); hot-path code must surface `CommError` /
+//! `SolverError` instead so the caller can retire the rank.
+
+use super::{emit, in_test_code, next_nonspace, prev_nonspace, Lint};
+use crate::report::Diagnostic;
+use crate::source::{find_word, SourceFile};
+
+/// See module docs.
+pub struct NoPanic;
+
+const METHODS: [&str; 2] = ["unwrap", "expect"];
+const MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+impl Lint for NoPanic {
+    fn name(&self) -> &'static str {
+        "no-panic"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap()/expect()/panic! in non-test comm, multigpu and solver code"
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        ["crates/comm/src/", "crates/multigpu/src/", "crates/solvers/src/"]
+            .iter()
+            .any(|p| rel_path.starts_with(p))
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if file.is_test_target() {
+            return;
+        }
+        for method in METHODS {
+            let mut at = 0;
+            while let Some(pos) = find_word(&file.masked, method, at) {
+                at = pos + method.len();
+                if in_test_code(file, pos) {
+                    continue;
+                }
+                // Method call: preceded by `.`, followed by `(`.
+                if prev_nonspace(&file.masked, pos) == Some(b'.')
+                    && next_nonspace(&file.masked, at) == Some(b'(')
+                {
+                    emit(
+                        file,
+                        self.name(),
+                        pos,
+                        format!(
+                            "`.{method}()` in a hot path can hang peer ranks; \
+                             propagate a typed error (CommError/SolverError) instead"
+                        ),
+                        out,
+                    );
+                }
+            }
+        }
+        for mac in MACROS {
+            let mut at = 0;
+            while let Some(pos) = find_word(&file.masked, mac, at) {
+                at = pos + mac.len();
+                if in_test_code(file, pos) {
+                    continue;
+                }
+                if next_nonspace(&file.masked, at) == Some(b'!') {
+                    emit(
+                        file,
+                        self.name(),
+                        pos,
+                        format!(
+                            "`{mac}!` aborts this rank and deadlocks the others at the \
+                             next collective; return an error instead"
+                        ),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Rule `safety-comment`: every `unsafe` block or function carries a
+//! `// SAFETY:` comment on it or just above it stating the invariant
+//! that makes it sound.
+
+use super::{emit, Lint};
+use crate::report::Diagnostic;
+use crate::source::{find_word, SourceFile};
+
+/// See module docs.
+pub struct SafetyComment;
+
+impl Lint for SafetyComment {
+    fn name(&self) -> &'static str {
+        "safety-comment"
+    }
+
+    fn description(&self) -> &'static str {
+        "every unsafe block needs a // SAFETY: comment"
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        // Everywhere, tests included: an undocumented unsafe block in a
+        // test is just as unauditable.
+        rel_path.ends_with(".rs")
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let mut at = 0;
+        while let Some(pos) = find_word(&file.masked, "unsafe", at) {
+            at = pos + "unsafe".len();
+            let line = file.line_of(pos);
+            let documented = file
+                .comments
+                .iter()
+                .any(|c| c.line + 3 >= line && c.line <= line && c.text.contains("SAFETY:"));
+            if !documented {
+                emit(
+                    file,
+                    self.name(),
+                    pos,
+                    "`unsafe` without a `// SAFETY:` comment; state the invariant \
+                     that makes this sound"
+                        .to_string(),
+                    out,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! `ghost-sizing` fixture, linted as `crates/multigpu/src/fixture.rs`.
+
+pub fn rederived(face_sites: usize) -> usize {
+    face_sites * 12 * std::mem::size_of::<f64>()
+}
+
+pub fn sanctioned(face_sites: usize) -> usize {
+    crate::ghost::face_wire_bytes_dyn(std::mem::size_of::<f64>(), false, face_sites)
+}
+
+pub fn suppressed(face_sites: usize) -> usize {
+    // quda-lint: allow(ghost-sizing)
+    face_sites * std::mem::size_of::<u16>()
+}

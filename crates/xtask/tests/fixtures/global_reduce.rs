@@ -1,0 +1,26 @@
+//! `global-reduce` fixture, linted as `crates/solvers/src/fixture.rs`.
+
+pub fn local_sum(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}
+
+pub fn local_fold(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0, |a, b| a + b)
+}
+
+pub fn accumulator(xs: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for x in xs {
+        total += x;
+    }
+    total
+}
+
+pub fn suppressed(xs: &[f64]) -> f64 {
+    // quda-lint: allow(global-reduce)
+    let mut total = 0.0;
+    for x in xs {
+        total += x;
+    }
+    total
+}

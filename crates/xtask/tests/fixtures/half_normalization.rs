@@ -1,0 +1,16 @@
+//! `half-normalization` fixture, linted as `crates/fields/src/fixture.rs`.
+
+use quda_math::half::{Fixed16, Fixed8};
+
+pub fn per_value_quantize(x: f32) -> i16 {
+    Fixed16::quantize(x).0
+}
+
+pub fn raw_construction(bits: i8) -> Fixed8 {
+    Fixed8(bits)
+}
+
+pub fn suppressed(x: f32) -> i16 {
+    // quda-lint: allow(half-normalization)
+    Fixed16::quantize(x).0
+}

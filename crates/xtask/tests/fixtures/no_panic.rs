@@ -1,0 +1,25 @@
+//! `no-panic` fixture, linted as `crates/comm/src/fixture.rs`.
+
+pub fn hot_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn hot_expect(x: Result<u32, ()>) -> u32 {
+    x.expect("boom")
+}
+
+pub fn hot_panic() {
+    panic!("rank died");
+}
+
+pub fn suppressed(x: Option<u32>) -> u32 {
+    // quda-lint: allow(no-panic)
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn in_tests(x: Option<u32>) -> u32 {
+        x.unwrap()
+    }
+}

@@ -1,0 +1,10 @@
+//! `safety-comment` fixture, linted as `crates/gpusim/src/fixture.rs`.
+
+pub fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn documented(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` points at a live byte.
+    unsafe { *p }
+}

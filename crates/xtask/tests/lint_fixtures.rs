@@ -1,0 +1,128 @@
+//! Fixture tests for the lint rules: each fixture under `tests/fixtures/`
+//! is linted as if it lived at a hot-path workspace location, and the
+//! produced diagnostics are asserted *exactly* — file, line, column and
+//! rule — including that `// quda-lint: allow(<rule>)` suppressions hold.
+//!
+//! The fixtures directory is excluded from `cargo xtask lint`'s workspace
+//! walk, so the deliberate violations here never fail the real lint run.
+
+use xtask::lint_text;
+
+/// Lint `text` as `rel_path` and assert the exact `(line, col, rule)` set.
+fn assert_diags(rel_path: &str, text: &str, expected: &[(u32, u32, &str)]) {
+    let got: Vec<(u32, u32, String)> = lint_text(rel_path, text)
+        .into_iter()
+        .map(|d| {
+            assert_eq!(d.path, rel_path);
+            (d.line, d.col, d.rule.to_string())
+        })
+        .collect();
+    let expected: Vec<(u32, u32, String)> =
+        expected.iter().map(|&(l, c, r)| (l, c, r.to_string())).collect();
+    assert_eq!(got, expected, "diagnostics for {rel_path}");
+}
+
+#[test]
+fn no_panic_fixture_exact_diagnostics() {
+    // unwrap/expect/panic! flagged; the allow-suppressed unwrap and the
+    // `#[cfg(test)]` module are not.
+    assert_diags(
+        "crates/comm/src/fixture.rs",
+        include_str!("fixtures/no_panic.rs"),
+        &[(4, 7, "no-panic"), (8, 7, "no-panic"), (12, 5, "no-panic")],
+    );
+}
+
+#[test]
+fn no_panic_fixture_outside_hot_paths_is_clean() {
+    // The same violations in a crate outside comm/multigpu/solvers are out
+    // of the rule's scope (safety-comment etc. still apply, but the
+    // fixture has none of those).
+    assert_diags("crates/lattice/src/fixture.rs", include_str!("fixtures/no_panic.rs"), &[]);
+}
+
+#[test]
+fn global_reduce_fixture_exact_diagnostics() {
+    // `.sum()`, `.fold()` and the accumulator loop flagged (the latter
+    // anchored at the `let` declaration); the allowed loop is not.
+    assert_diags(
+        "crates/solvers/src/fixture.rs",
+        include_str!("fixtures/global_reduce.rs"),
+        &[(4, 15, "global-reduce"), (8, 15, "global-reduce"), (12, 5, "global-reduce")],
+    );
+}
+
+#[test]
+fn global_reduce_fixture_blas_module_is_exempt() {
+    // blas.rs is the designated local-part kernel module.
+    assert_diags("crates/solvers/src/blas.rs", include_str!("fixtures/global_reduce.rs"), &[]);
+}
+
+#[test]
+fn half_normalization_fixture_exact_diagnostics() {
+    assert_diags(
+        "crates/fields/src/fixture.rs",
+        include_str!("fixtures/half_normalization.rs"),
+        &[(6, 5, "half-normalization"), (10, 5, "half-normalization")],
+    );
+}
+
+#[test]
+fn half_normalization_fixture_math_crate_is_exempt() {
+    assert_diags("crates/math/src/fixture.rs", include_str!("fixtures/half_normalization.rs"), &[]);
+}
+
+#[test]
+fn ghost_sizing_fixture_exact_diagnostics() {
+    // The hand-derived `face * size_of` line is flagged; the delegation to
+    // `face_wire_bytes_dyn` and the allow-suppressed line are not.
+    assert_diags(
+        "crates/multigpu/src/fixture.rs",
+        include_str!("fixtures/ghost_sizing.rs"),
+        &[(4, 33, "ghost-sizing")],
+    );
+}
+
+#[test]
+fn safety_comment_fixture_exact_diagnostics() {
+    assert_diags(
+        "crates/gpusim/src/fixture.rs",
+        include_str!("fixtures/safety_comment.rs"),
+        &[(4, 5, "safety-comment")],
+    );
+}
+
+#[test]
+fn removing_the_allow_comment_resurfaces_the_diagnostic() {
+    // Prove the suppressions above are doing the work: strip the allow
+    // comment and the suppressed unwrap at line 17 is reported again.
+    let text = include_str!("fixtures/no_panic.rs").replace("quda-lint: allow(no-panic)", "");
+    assert_diags(
+        "crates/comm/src/fixture.rs",
+        &text,
+        &[(4, 7, "no-panic"), (8, 7, "no-panic"), (12, 5, "no-panic"), (17, 7, "no-panic")],
+    );
+}
+
+#[test]
+fn diagnostic_display_matches_compiler_style() {
+    let diags = lint_text("crates/comm/src/fixture.rs", include_str!("fixtures/no_panic.rs"));
+    assert_eq!(
+        diags[0].to_string(),
+        "crates/comm/src/fixture.rs:4:7: [no-panic] `.unwrap()` in a hot path can \
+         hang peer ranks; propagate a typed error (CommError/SolverError) instead"
+    );
+}
+
+#[test]
+fn fixtures_directory_is_excluded_from_the_workspace_walk() {
+    // The real `cargo xtask lint` run must never trip over the deliberate
+    // violations in tests/fixtures/.
+    let root = xtask::find_workspace_root();
+    let report = xtask::lint_workspace(&root).expect("workspace walk");
+    assert!(
+        !report.diagnostics.iter().any(|d| d.path.contains("fixtures")),
+        "fixture files leaked into the workspace lint: {:?}",
+        report.diagnostics
+    );
+}

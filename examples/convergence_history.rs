@@ -43,7 +43,10 @@ fn main() {
     blas::zero(&mut x2);
     let mixed = bicgstab_reliable(&mut hi, &mut lo, &mut x2, &b, &params);
 
-    println!("uniform double BiCGstab ({} iterations, residual {:.1e}):", pure.iterations, pure.final_residual);
+    println!(
+        "uniform double BiCGstab ({} iterations, residual {:.1e}):",
+        pure.iterations, pure.final_residual
+    );
     print_history(&pure.residual_history);
     println!();
     println!(
@@ -56,11 +59,7 @@ fn main() {
     assert!(pure.converged && mixed.converged);
     // The mechanism's signature: the mixed history is non-monotone (it
     // jumps up at reliable updates) while converging overall.
-    let ups = mixed
-        .residual_history
-        .windows(2)
-        .filter(|w| w[1] > w[0] * 1.5)
-        .count();
+    let ups = mixed.residual_history.windows(2).filter(|w| w[1] > w[0] * 1.5).count();
     println!("\nupward corrections in the mixed trace: {ups}");
 }
 

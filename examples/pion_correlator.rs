@@ -78,5 +78,8 @@ fn main() {
     println!("\nforward/backward asymmetry at |t|=2: {asym:.2e} (periodicity check)");
     assert!(asym < 0.15, "correlator should be nearly time-reflection symmetric");
     let plateau = (corr[3] / corr[4]).ln();
-    println!("effective mass near the plateau: {plateau:.4} (2x free pole mass ≈ {:.4})", 2.0 * (1.0f64 + mass).ln());
+    println!(
+        "effective mass near the plateau: {plateau:.4} (2x free pole mass ≈ {:.4})",
+        2.0 * (1.0f64 + mass).ln()
+    );
 }

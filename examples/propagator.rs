@@ -25,7 +25,10 @@ fn main() {
     param.tol = 1e-6;
 
     println!("propagator test: {dims} on {ranks} GPUs, mode {}", param.mode.name());
-    println!("{:>5} {:>6} {:>6} {:>9} {:>12} {:>13} {:>10}", "spin", "color", "iters", "updates", "residual", "modeled-ms", "Gflops");
+    println!(
+        "{:>5} {:>6} {:>6} {:>9} {:>12} {:>13} {:>10}",
+        "spin", "color", "iters", "updates", "residual", "modeled-ms", "Gflops"
+    );
 
     let origin = Coord::new(0, 0, 0, 0);
     let mut total_iters = 0usize;

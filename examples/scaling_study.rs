@@ -61,8 +61,18 @@ fn modeled_strong_scaling() {
             if dims.t % gpus != 0 {
                 continue;
             }
-            let ov = evaluate(&PerfInput::paper(dims, gpus, PrecisionMode::SingleHalf, CommStrategy::Overlap));
-            let no = evaluate(&PerfInput::paper(dims, gpus, PrecisionMode::SingleHalf, CommStrategy::NoOverlap));
+            let ov = evaluate(&PerfInput::paper(
+                dims,
+                gpus,
+                PrecisionMode::SingleHalf,
+                CommStrategy::Overlap,
+            ));
+            let no = evaluate(&PerfInput::paper(
+                dims,
+                gpus,
+                PrecisionMode::SingleHalf,
+                CommStrategy::NoOverlap,
+            ));
             let fits = if ov.fits_memory { "" } else { "  (exceeds device memory)" };
             println!(
                 "  {:>5} {:>16.0} {:>16.0} {:>9.1}%{}",

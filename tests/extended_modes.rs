@@ -54,7 +54,9 @@ fn sloppier_storage_needs_more_iterations() {
     let cfg = weak_field(dims(), 0.1, 74);
     let b = random_spinor_field(dims(), 75);
     let mut iters = Vec::new();
-    for mode in [PrecisionMode::DoubleSingle, PrecisionMode::DoubleHalf, PrecisionMode::DoubleQuarter] {
+    for mode in
+        [PrecisionMode::DoubleSingle, PrecisionMode::DoubleHalf, PrecisionMode::DoubleQuarter]
+    {
         let mut q = Quda::new(2);
         q.load_gauge(cfg.clone()).unwrap();
         let mut p = QudaInvertParam::paper_mode(mode, 2);

@@ -233,11 +233,7 @@ fn matpc_under_faults(plan: quda_comm::FaultPlan) -> Vec<(f64, quda_comm::CommSt
         .into_iter()
         .zip(faulty)
         .map(|((cv, _), (fv, stats))| {
-            let dist = cv
-                .iter()
-                .zip(&fv)
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0f64, f64::max);
+            let dist = cv.iter().zip(&fv).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
             (dist, stats)
         })
         .collect()
@@ -259,8 +255,7 @@ fn dropped_faces_are_recovered_bit_identically() {
 fn delayed_faces_arrive_and_match() {
     // Delays reorder nothing here (per-(peer,tag) FIFO) but do exercise the
     // receiver's backoff path; the result must still be exact.
-    let plan =
-        quda_comm::FaultPlan::new(22).delay(0.5, std::time::Duration::from_millis(20));
+    let plan = quda_comm::FaultPlan::new(22).delay(0.5, std::time::Duration::from_millis(20));
     for (dist, stats) in matpc_under_faults(plan) {
         assert_eq!(dist, 0.0);
         // Waiting out a delay is not a recovery event.

@@ -1,0 +1,238 @@
+//! Offline stand-in for the `crossbeam` crate (see `vendor/README.md`).
+//!
+//! Only [`channel`] is provided: an unbounded MPSC channel on
+//! `Mutex`+`Condvar` with crossbeam's disconnect semantics — `send` fails
+//! once the receiver is dropped, and receives report `Disconnected` once
+//! every sender is gone *and* the queue has drained.
+
+pub mod channel {
+    //! Unbounded channels with timeout-aware receives.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receiver_alive: bool,
+    }
+
+    /// The sending half; clonable and shareable across threads.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiver was dropped; the payload is handed back.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Why a non-blocking receive produced nothing.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message buffered right now.
+        Empty,
+        /// All senders are gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Why a bounded-wait receive produced nothing.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed first.
+        Timeout,
+        /// All senders are gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(State { items: VecDeque::new(), senders: 1, receiver_alive: true }),
+            ready: Condvar::new(),
+        });
+        (Sender { inner: inner.clone() }, Receiver { inner })
+    }
+
+    impl<T> Inner<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            // A panic while holding this short critical section leaves no
+            // broken invariant; keep using the data.
+            self.queue.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message; fails (returning it) if the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.inner.lock();
+            if !st.receiver_alive {
+                return Err(SendError(value));
+            }
+            st.items.push_back(value);
+            drop(st);
+            self.inner.ready.notify_all();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.lock().senders += 1;
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.inner.lock();
+            st.senders -= 1;
+            let last = st.senders == 0;
+            drop(st);
+            if last {
+                // Wake a blocked receiver so it can observe disconnection.
+                self.inner.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.inner.lock();
+            match st.items.pop_front() {
+                Some(v) => Ok(v),
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocking receive with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.inner.lock();
+            loop {
+                if let Some(v) = st.items.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _timed_out) = self
+                    .inner
+                    .ready
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                st = guard;
+            }
+        }
+
+        /// Blocking receive.
+        pub fn recv(&self) -> Result<T, RecvTimeoutError> {
+            loop {
+                match self.recv_timeout(Duration::from_millis(100)) {
+                    Err(RecvTimeoutError::Timeout) => {}
+                    other => return other,
+                }
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.inner.lock().receiver_alive = false;
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn send_recv_fifo() {
+            let (s, r) = unbounded();
+            s.send(1).unwrap();
+            s.send(2).unwrap();
+            assert_eq!(r.try_recv(), Ok(1));
+            assert_eq!(r.try_recv(), Ok(2));
+            assert_eq!(r.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn send_fails_after_receiver_drop() {
+            let (s, r) = unbounded();
+            drop(r);
+            assert_eq!(s.send(5), Err(SendError(5)));
+        }
+
+        #[test]
+        fn recv_reports_disconnect_after_drain() {
+            let (s, r) = unbounded();
+            s.send(9).unwrap();
+            drop(s);
+            assert_eq!(r.recv_timeout(Duration::from_millis(10)), Ok(9));
+            assert_eq!(
+                r.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn timeout_when_no_message() {
+            let (s, r) = unbounded::<i32>();
+            let t0 = Instant::now();
+            assert_eq!(r.recv_timeout(Duration::from_millis(30)), Err(RecvTimeoutError::Timeout));
+            assert!(t0.elapsed() >= Duration::from_millis(30));
+            drop(s);
+        }
+
+        #[test]
+        fn cross_thread_delivery() {
+            let (s, r) = unbounded();
+            let t = thread::spawn(move || {
+                for i in 0..100 {
+                    s.send(i).unwrap();
+                }
+            });
+            let mut got = Vec::new();
+            for _ in 0..100 {
+                got.push(r.recv_timeout(Duration::from_secs(5)).unwrap());
+            }
+            t.join().unwrap();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn clone_counts_senders() {
+            let (s, r) = unbounded::<u8>();
+            let s2 = s.clone();
+            drop(s);
+            s2.send(1).unwrap();
+            drop(s2);
+            assert_eq!(r.try_recv(), Ok(1));
+            assert_eq!(r.try_recv(), Err(TryRecvError::Disconnected));
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! The replay-based DFS scheduler behind [`crate::model`].
+//!
+//! One OS thread backs each model thread, but exactly one is ever
+//! runnable: every schedule point funnels through [`Scheduler::reschedule`],
+//! which picks the next thread (following the forced replay prefix, else
+//! the first candidate) and parks everyone else on a condvar. Decisions
+//! with more than one candidate are branch points; after a run completes,
+//! `next_prefix` flips the deepest unexplored branch, odometer-style.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Scheduler>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Run `f` with the scheduler and model-thread id of the calling thread.
+/// Panics when called outside `loom::model` — the sync primitives only
+/// work inside a model body.
+pub(crate) fn with_current<R>(f: impl FnOnce(&Arc<Scheduler>, usize) -> R) -> R {
+    CURRENT.with(|c| {
+        let slot = c.borrow();
+        let (sched, me) =
+            slot.as_ref().unwrap_or_else(|| panic!("loom primitives used outside loom::model"));
+        f(sched, *me)
+    })
+}
+
+/// Result of exploring one schedule.
+pub(crate) struct Outcome {
+    /// Thread ids chosen at each decision point, in order.
+    pub trace: Vec<usize>,
+    /// Set if the schedule reached a state with no runnable thread.
+    pub deadlock: Option<String>,
+    /// First panic message observed in any model thread.
+    pub panic: Option<String>,
+    /// Forced prefix for the next schedule; `None` when exploration is done.
+    pub next_prefix: Option<Vec<usize>>,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum TState {
+    Runnable,
+    /// Parked on a mutex, condvar, or join; the string names what.
+    Blocked(&'static str),
+    Finished,
+}
+
+struct Decision {
+    candidates: Vec<usize>,
+    chosen: usize,
+}
+
+#[derive(Default)]
+struct LockState {
+    held_by: Option<usize>,
+    waiting: Vec<usize>,
+}
+
+#[derive(Default)]
+struct CvState {
+    /// FIFO of (thread, lock it must reacquire once woken).
+    waiting: Vec<(usize, usize)>,
+}
+
+struct SchedState {
+    threads: Vec<TState>,
+    active: usize,
+    locks: Vec<LockState>,
+    cvs: Vec<CvState>,
+    decisions: Vec<Decision>,
+    prefix: Vec<usize>,
+    cursor: usize,
+    preemptions: usize,
+    max_preemptions: usize,
+    deadlock: Option<String>,
+    panic: Option<String>,
+    abort: bool,
+}
+
+pub(crate) struct Scheduler {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+/// Sentinel panic payload used to unwind threads out of an aborted run.
+/// Filtered out when reporting; the real failure is in `SchedState`.
+const ABORT: &str = "loom-model-aborted";
+
+type Guard<'a> = std::sync::MutexGuard<'a, SchedState>;
+
+impl Scheduler {
+    fn new(prefix: Vec<usize>, max_preemptions: usize) -> Self {
+        Scheduler {
+            state: Mutex::new(SchedState {
+                threads: vec![TState::Runnable], // thread 0: the model root
+                active: 0,
+                locks: Vec::new(),
+                cvs: Vec::new(),
+                decisions: Vec::new(),
+                prefix,
+                cursor: 0,
+                preemptions: 0,
+                max_preemptions,
+                deadlock: None,
+                panic: None,
+                abort: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock_state(&self) -> Guard<'_> {
+        // Threads unwind (panic) while holding this lock on abort; the
+        // state is still consistent, so strip the poison.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Pick the next active thread and wait until `me` is scheduled again.
+    /// `me`'s state must already be set (Runnable to yield, Blocked to park).
+    fn reschedule<'a>(&'a self, mut st: Guard<'a>, me: usize) -> Guard<'a> {
+        let candidates: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == TState::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() {
+            if st.threads.iter().all(|s| *s == TState::Finished) {
+                // Normal completion; nothing left to schedule.
+                self.cv.notify_all();
+                return st;
+            }
+            let stuck: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| match s {
+                    TState::Blocked(what) => Some(format!("thread {i} blocked on {what}")),
+                    _ => None,
+                })
+                .collect();
+            st.deadlock = Some(stuck.join(", "));
+            st.abort = true;
+            self.cv.notify_all();
+            panic!("{ABORT}");
+        }
+        let voluntary = st.threads[me] == TState::Runnable;
+        let candidates = if voluntary
+            && st.preemptions >= st.max_preemptions
+            && candidates.contains(&me)
+            && st.cursor >= st.prefix.len()
+        {
+            // Preemption budget spent: a runnable thread keeps running.
+            vec![me]
+        } else {
+            candidates
+        };
+        let chosen = if st.cursor < st.prefix.len() {
+            let forced = st.prefix[st.cursor];
+            assert!(
+                candidates.contains(&forced),
+                "loom: non-deterministic model — replay wanted thread {forced} \
+                 but candidates were {candidates:?}; model bodies must not \
+                 branch on wall-clock time or an unseeded RNG"
+            );
+            forced
+        } else {
+            candidates[0]
+        };
+        st.cursor += 1;
+        if voluntary && chosen != me {
+            st.preemptions += 1;
+        }
+        st.decisions.push(Decision { candidates, chosen });
+        st.active = chosen;
+        self.cv.notify_all();
+        if st.threads[me] == TState::Finished {
+            // A finished thread only hands off; it is never scheduled again.
+            return st;
+        }
+        self.wait_for_turn(st, me)
+    }
+
+    /// Park until this thread is both Runnable and active (or the run aborts).
+    fn wait_for_turn<'a>(&'a self, mut st: Guard<'a>, me: usize) -> Guard<'a> {
+        loop {
+            if st.abort {
+                drop(st);
+                panic!("{ABORT}");
+            }
+            if st.active == me && st.threads[me] == TState::Runnable {
+                return st;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// A voluntary schedule point: other runnable threads may be switched in.
+    pub(crate) fn yield_point(&self, me: usize) {
+        let st = self.lock_state();
+        drop(self.reschedule(st, me));
+    }
+
+    // ---- mutex ----------------------------------------------------------
+
+    pub(crate) fn register_lock(&self) -> usize {
+        let mut st = self.lock_state();
+        st.locks.push(LockState::default());
+        st.locks.len() - 1
+    }
+
+    pub(crate) fn acquire(&self, lock: usize, me: usize) {
+        let mut st = self.lock_state();
+        loop {
+            // Schedule point before the acquire attempt, so a contending
+            // thread can slip in between "decide to lock" and "hold it".
+            st = self.reschedule(st, me);
+            if st.locks[lock].held_by.is_none() {
+                st.locks[lock].held_by = Some(me);
+                return;
+            }
+            st.locks[lock].waiting.push(me);
+            st.threads[me] = TState::Blocked("mutex");
+            st = self.reschedule(st, me);
+        }
+    }
+
+    pub(crate) fn release(&self, lock: usize, me: usize) {
+        let mut st = self.lock_state();
+        assert_eq!(st.locks[lock].held_by, Some(me), "released a mutex it did not hold");
+        st.locks[lock].held_by = None;
+        // Wake every waiter; they re-contend, modeling an unfair mutex.
+        let waiters = std::mem::take(&mut st.locks[lock].waiting);
+        for w in waiters {
+            st.threads[w] = TState::Runnable;
+        }
+        drop(self.reschedule(st, me));
+    }
+
+    // ---- condvar --------------------------------------------------------
+
+    pub(crate) fn register_cv(&self) -> usize {
+        let mut st = self.lock_state();
+        st.cvs.push(CvState::default());
+        st.cvs.len() - 1
+    }
+
+    /// Atomically release `lock` and park on `cv`; reacquires on return.
+    pub(crate) fn cv_wait(&self, cv: usize, lock: usize, me: usize) {
+        let mut st = self.lock_state();
+        assert_eq!(st.locks[lock].held_by, Some(me), "cv_wait without holding the mutex");
+        st.cvs[cv].waiting.push((me, lock));
+        st.locks[lock].held_by = None;
+        let waiters = std::mem::take(&mut st.locks[lock].waiting);
+        for w in waiters {
+            st.threads[w] = TState::Runnable;
+        }
+        st.threads[me] = TState::Blocked("condvar");
+        st = self.reschedule(st, me);
+        // Woken: the notifier made us Runnable; now take the mutex back.
+        loop {
+            if st.locks[lock].held_by.is_none() {
+                st.locks[lock].held_by = Some(me);
+                return;
+            }
+            st.locks[lock].waiting.push(me);
+            st.threads[me] = TState::Blocked("mutex");
+            st = self.reschedule(st, me);
+        }
+    }
+
+    pub(crate) fn cv_notify(&self, cv: usize, me: usize, all: bool) {
+        let mut st = self.lock_state();
+        let n = if all { st.cvs[cv].waiting.len() } else { 1 };
+        for _ in 0..n {
+            // FIFO wake order; a notify with no waiters is lost — which is
+            // exactly the lost-wakeup behavior the checker must model.
+            if let Some((w, _lock)) = pop_front(&mut st.cvs[cv].waiting) {
+                st.threads[w] = TState::Runnable;
+            }
+        }
+        drop(self.reschedule(st, me));
+    }
+
+    // ---- threads --------------------------------------------------------
+
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.lock_state();
+        st.threads.push(TState::Runnable);
+        st.threads.len() - 1
+    }
+
+    pub(crate) fn join_thread(&self, target: usize, me: usize) {
+        let mut st = self.lock_state();
+        while st.threads[target] != TState::Finished {
+            st.threads[me] = TState::Blocked("join");
+            st = self.reschedule(st, me);
+        }
+        drop(st);
+        // Let the scheduler branch after the join observes completion.
+        self.yield_point(me);
+    }
+
+    /// Called by `thread_finished`'s reschedule via wakers: joiners block
+    /// with state Blocked("join") but nobody flips them Runnable — do it
+    /// here whenever any thread finishes.
+    fn wake_joiners(st: &mut SchedState) {
+        for s in st.threads.iter_mut() {
+            if *s == TState::Blocked("join") {
+                *s = TState::Runnable;
+            }
+        }
+    }
+
+    pub(crate) fn record_panic(&self, me: usize, msg: String) {
+        let mut st = self.lock_state();
+        if st.panic.is_none() {
+            st.panic = Some(format!("thread {me}: {msg}"));
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    fn finish(&self) -> Outcome {
+        let mut st = self.lock_state();
+        // Wait until every model thread has unwound or finished so no OS
+        // thread still touches the state while we compute the next prefix.
+        while !st.abort && !st.threads.iter().all(|s| *s == TState::Finished) {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        let trace: Vec<usize> = st.decisions.iter().map(|d| d.chosen).collect();
+        let next_prefix = if st.abort && st.deadlock.is_none() && st.panic.is_none() {
+            None // aborted for an external reason; stop exploring
+        } else {
+            next_prefix(&st.decisions)
+        };
+        Outcome { trace, deadlock: st.deadlock.take(), panic: st.panic.take(), next_prefix }
+    }
+}
+
+fn pop_front<T>(v: &mut Vec<T>) -> Option<T> {
+    if v.is_empty() {
+        None
+    } else {
+        Some(v.remove(0))
+    }
+}
+
+/// Deepest decision with an untried sibling becomes the next branch.
+fn next_prefix(decisions: &[Decision]) -> Option<Vec<usize>> {
+    for i in (0..decisions.len()).rev() {
+        let d = &decisions[i];
+        let pos = d.candidates.iter().position(|&c| c == d.chosen)?;
+        if pos + 1 < d.candidates.len() {
+            let mut p: Vec<usize> = decisions[..i].iter().map(|d| d.chosen).collect();
+            p.push(d.candidates[pos + 1]);
+            return Some(p);
+        }
+    }
+    None
+}
+
+/// Run the model body once under the given forced schedule prefix.
+pub(crate) fn explore_once(
+    body: Arc<dyn Fn() + Send + Sync>,
+    prefix: Vec<usize>,
+    max_preemptions: usize,
+) -> Outcome {
+    let sched = Arc::new(Scheduler::new(prefix, max_preemptions));
+    let root_sched = sched.clone();
+    let root = std::thread::Builder::new()
+        .name("loom-root".into())
+        .spawn(move || run_model_thread(root_sched, 0, move || body()))
+        .expect("spawn loom root thread");
+    let _ = root.join(); // failures are recorded in the scheduler state
+    sched.finish()
+}
+
+/// Common wrapper for the root and spawned model threads: installs TLS,
+/// waits for its first turn, runs, records panics, marks itself finished.
+pub(crate) fn run_model_thread<T>(
+    sched: Arc<Scheduler>,
+    id: usize,
+    f: impl FnOnce() -> T,
+) -> Option<T> {
+    CURRENT.with(|c| *c.borrow_mut() = Some((sched.clone(), id)));
+    {
+        let st = sched.lock_state();
+        drop(sched.wait_for_turn(st, id));
+    }
+    let result = catch_unwind(AssertUnwindSafe(f));
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    match result {
+        Ok(v) => {
+            let mut st = sched.lock_state();
+            st.threads[id] = TState::Finished;
+            Scheduler::wake_joiners(&mut st);
+            let st2 = sched.reschedule(st, id);
+            drop(st2);
+            Some(v)
+        }
+        Err(payload) => {
+            let msg = panic_message(&payload);
+            if msg != ABORT {
+                sched.record_panic(id, msg);
+            } else {
+                // Unwound by an abort someone else initiated (or a deadlock
+                // this thread detected); state is already recorded.
+                let mut st = sched.lock_state();
+                st.abort = true;
+                sched.cv.notify_all();
+                drop(st);
+            }
+            None
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

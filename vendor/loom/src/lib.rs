@@ -1,0 +1,182 @@
+//! A miniature model checker in the spirit of the `loom` crate.
+//!
+//! [`model`] runs a closure many times, exploring every distinct thread
+//! interleaving (up to a preemption bound) of the [`sync::Mutex`] /
+//! [`sync::Condvar`] / [`thread`] operations performed inside it. Exactly
+//! one model thread executes at a time; every lock acquire/release,
+//! condvar wait/notify, spawn and join is a *schedule point* where the
+//! explorer may switch threads. Exploration is depth-first with replay:
+//! each run follows a forced prefix of decisions, then takes the first
+//! untried branch.
+//!
+//! Detects:
+//!
+//! - **deadlock** — at some schedule point no thread is runnable but not
+//!   all have finished (e.g. everyone is waiting on a condvar);
+//! - **lost wakeups** — a `notify_one` issued before the intended waiter
+//!   waits surfaces as a deadlock in some explored schedule;
+//! - assertion failures in the model body under any explored schedule
+//!   (panics propagate out of [`model`] with the failing schedule).
+//!
+//! Not modeled: weak memory orderings (everything is sequentially
+//! consistent), spurious condvar wakeups, and timeouts. The preemption
+//! bound defaults to 2 (almost all published concurrency bugs need ≤ 2
+//! preemptions); override with `LOOM_MAX_PREEMPTIONS`.
+
+mod engine;
+pub mod sync;
+pub mod thread;
+
+pub(crate) use engine::with_current;
+
+/// Exhaustively explore the interleavings of `body`.
+///
+/// Panics if any explored schedule deadlocks or panics, reporting the
+/// schedule (the sequence of chosen thread ids) that triggered it.
+pub fn model<F>(body: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let max_preemptions: usize =
+        std::env::var("LOOM_MAX_PREEMPTIONS").ok().and_then(|v| v.parse().ok()).unwrap_or(2);
+    let max_iterations: usize =
+        std::env::var("LOOM_MAX_ITERATIONS").ok().and_then(|v| v.parse().ok()).unwrap_or(500_000);
+    let body = std::sync::Arc::new(body);
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= max_iterations,
+            "loom: exploration budget exceeded after {iterations} schedules; \
+             raise LOOM_MAX_ITERATIONS or simplify the model"
+        );
+        let outcome = engine::explore_once(body.clone(), prefix, max_preemptions);
+        if let Some(deadlock) = outcome.deadlock {
+            panic!(
+                "loom: deadlock on iteration {iterations}: {deadlock}\n  schedule: {:?}",
+                outcome.trace
+            );
+        }
+        if let Some(msg) = outcome.panic {
+            panic!(
+                "loom: model panicked on iteration {iterations}: {msg}\n  schedule: {:?}",
+                outcome.trace
+            );
+        }
+        match outcome.next_prefix {
+            Some(next) => prefix = next,
+            None => break, // exploration complete
+        }
+    }
+}
+
+/// Number of schedules a model would explore — handy for test assertions.
+pub fn explore_count<F>(body: F) -> usize
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let body = std::sync::Arc::new(body);
+    let mut prefix = Vec::new();
+    let mut n = 0usize;
+    loop {
+        n += 1;
+        assert!(n <= 500_000, "loom: exploration budget exceeded");
+        let outcome = engine::explore_once(body.clone(), prefix, 2);
+        assert!(outcome.deadlock.is_none() && outcome.panic.is_none(), "model failed");
+        match outcome.next_prefix {
+            Some(next) => prefix = next,
+            None => return n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::sync::{Arc, Condvar, Mutex};
+
+    #[test]
+    fn counter_sees_both_increments_in_every_schedule() {
+        crate::model(|| {
+            let counter = Arc::new(Mutex::new(0u32));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let counter = counter.clone();
+                    crate::thread::spawn(move || {
+                        let mut g = counter.lock().unwrap();
+                        *g += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*counter.lock().unwrap(), 2);
+        });
+    }
+
+    #[test]
+    fn explores_more_than_one_schedule() {
+        let n = crate::explore_count(|| {
+            let m = Arc::new(Mutex::new(0u32));
+            let m2 = m.clone();
+            let h = crate::thread::spawn(move || {
+                *m2.lock().unwrap() += 1;
+            });
+            *m.lock().unwrap() += 1;
+            h.join().unwrap();
+        });
+        assert!(n > 1, "two contending threads must branch, got {n} schedule(s)");
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn lost_wakeup_is_detected_as_deadlock() {
+        // Classic bug: checking the flag without holding the mutex across
+        // the wait decision. If the notifier runs between the unlocked
+        // check and the wait, the wakeup is lost and the waiter parks
+        // forever. Some explored schedule must deadlock.
+        crate::model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let notifier = {
+                let pair = pair.clone();
+                crate::thread::spawn(move || {
+                    let (flag, cv) = &*pair;
+                    *flag.lock().unwrap() = true;
+                    cv.notify_one();
+                })
+            };
+            let (flag, cv) = &*pair;
+            let ready = { *flag.lock().unwrap() };
+            if !ready {
+                // BUG: the flag may flip and the notify fire right here,
+                // before we park — and we wait without re-checking.
+                let g = flag.lock().unwrap();
+                let _g = cv.wait(g).unwrap();
+            }
+            notifier.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn correct_wait_loop_never_deadlocks() {
+        crate::model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let notifier = {
+                let pair = pair.clone();
+                crate::thread::spawn(move || {
+                    let (flag, cv) = &*pair;
+                    *flag.lock().unwrap() = true;
+                    cv.notify_one();
+                })
+            };
+            let (flag, cv) = &*pair;
+            let mut g = flag.lock().unwrap();
+            while !*g {
+                g = cv.wait(g).unwrap();
+            }
+            drop(g);
+            notifier.join().unwrap();
+        });
+    }
+}

@@ -1,0 +1,97 @@
+//! Model-checked `Mutex` and `Condvar` mirroring `std::sync` signatures.
+//!
+//! Creating or using these outside [`crate::model`] panics. The inner
+//! `std::sync::Mutex` is never contended (the scheduler serializes all
+//! model threads); it exists only to own the data safely.
+
+use crate::with_current;
+use std::sync::LockResult;
+
+pub use std::sync::Arc;
+
+/// A mutex whose acquire/release are schedule points.
+pub struct Mutex<T> {
+    id: usize,
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard for [`Mutex`]; releasing is a schedule point.
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// New model-checked mutex (must be called inside `loom::model`).
+    pub fn new(value: T) -> Self {
+        let id = with_current(|sched, _| sched.register_lock());
+        Mutex { id, inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Acquire, blocking (in model time) until available.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        with_current(|sched, me| sched.acquire(self.id, me));
+        let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        Ok(MutexGuard { mutex: self, inner: Some(inner) })
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None; // release the real lock first
+        if std::thread::panicking() {
+            // Unwinding out of an aborted schedule: the scheduler is being
+            // torn down, don't re-enter it.
+            return;
+        }
+        with_current(|sched, me| sched.release(self.mutex.id, me));
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after release")
+    }
+}
+
+/// A condition variable whose wait/notify are schedule points.
+pub struct Condvar {
+    id: usize,
+}
+
+impl Condvar {
+    /// New model-checked condvar (must be called inside `loom::model`).
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Condvar { id: with_current(|sched, _| sched.register_cv()) }
+    }
+
+    /// Release the guard's mutex, park until notified, reacquire.
+    /// No spurious wakeups and no timeout variant are modeled.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let mutex = guard.mutex;
+        guard.inner = None; // drop the real lock; model lock released below
+        with_current(|sched, me| sched.cv_wait(self.id, mutex.id, me));
+        // cv_wait returns with the model lock held; retake the real one.
+        let inner = mutex.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        std::mem::forget(guard); // its Drop would release the model lock again
+        Ok(MutexGuard { mutex, inner: Some(inner) })
+    }
+
+    /// Wake one waiter (FIFO). A notify with no waiters is lost.
+    pub fn notify_one(&self) {
+        with_current(|sched, me| sched.cv_notify(self.id, me, false));
+    }
+
+    /// Wake every current waiter.
+    pub fn notify_all(&self) {
+        with_current(|sched, me| sched.cv_notify(self.id, me, true));
+    }
+}

@@ -1,0 +1,44 @@
+//! Model-checked `spawn`/`join` mirroring `std::thread` signatures.
+
+use crate::engine::run_model_thread;
+use crate::with_current;
+
+/// Handle to a model thread; `join` is a schedule point.
+pub struct JoinHandle<T> {
+    id: usize,
+    os: std::thread::JoinHandle<Option<T>>,
+}
+
+/// Spawn a model thread. The spawn itself is a schedule point, so the
+/// child may run before or after the parent's next step.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (sched, id, me) = with_current(|sched, me| (sched.clone(), sched.register_thread(), me));
+    let child_sched = sched.clone();
+    let os = std::thread::Builder::new()
+        .name(format!("loom-{id}"))
+        .spawn(move || run_model_thread(child_sched, id, f))
+        .expect("spawn loom model thread");
+    sched.yield_point(me);
+    JoinHandle { id, os }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait (in model time) for the thread, then collect its result.
+    pub fn join(self) -> std::thread::Result<T> {
+        with_current(|sched, me| sched.join_thread(self.id, me));
+        match self.os.join() {
+            Ok(Some(v)) => Ok(v),
+            Ok(None) => Err(Box::new("model thread panicked")),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// A pure schedule point: lets any other runnable thread be switched in.
+pub fn yield_now() {
+    with_current(|sched, me| sched.yield_point(me));
+}

@@ -1,0 +1,49 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`proptest!`] macro, `prop_assert*!`/`prop_assume!`, range / tuple /
+//! [`collection::vec`] / [`Just`] / [`prop_oneof!`] strategies, and the
+//! `prop_map` / `prop_filter` / `prop_filter_map` combinators.
+//!
+//! Cases are generated from a deterministic per-test seed (derived from the
+//! test's name), so failures reproduce run to run. Unlike the real
+//! proptest there is **no shrinking**: a failing case prints the complete
+//! generated input tuple instead.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Collection strategies (`vec` only).
+    pub use crate::strategy::{vec, VecStrategy};
+}
+
+pub mod bool {
+    //! Boolean strategies.
+    use crate::strategy::{Reject, Strategy};
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy yielding uniformly random booleans.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The canonical boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> Result<bool, Reject> {
+            Ok(rng.inner().gen_bool(0.5))
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}

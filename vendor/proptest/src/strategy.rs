@@ -1,0 +1,282 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] produces values of an associated type from the runner's
+//! RNG. Generation is fallible: filters reject a sample and the runner
+//! retries the whole case (bounded), mirroring proptest's local-reject
+//! semantics without shrink trees.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A rejected sample (filter mismatch), with the filter's reason label.
+#[derive(Clone, Debug)]
+pub struct Reject(pub &'static str);
+
+/// Something that can generate values for property tests.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Generate one value, or reject the sample.
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Reject>;
+
+    /// Transform generated values.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred`.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, reason, pred }
+    }
+
+    /// Transform values, rejecting those mapped to `None`.
+    fn prop_filter_map<O: Debug, F: Fn(Self::Value) -> Option<O>>(
+        self,
+        reason: &'static str,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap { inner: self, reason, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy { inner: Rc::new(self) }
+    }
+}
+
+/// Object-safe mirror of [`Strategy`], used by type-erased containers.
+trait DynStrategy {
+    type Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> Result<Self::Value, Reject>;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> Result<S::Value, Reject> {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<V> {
+    inner: Rc<dyn DynStrategy<Value = V>>,
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { inner: self.inner.clone() }
+    }
+}
+
+impl<V: Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> Result<V, Reject> {
+        self.inner.generate_dyn(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> Result<T, Reject> {
+        Ok(self.0.clone())
+    }
+}
+
+/// `prop_map` adapter.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> Result<O, Reject> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// `prop_filter` adapter.
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Result<S::Value, Reject> {
+        let v = self.inner.generate(rng)?;
+        if (self.pred)(&v) {
+            Ok(v)
+        } else {
+            Err(Reject(self.reason))
+        }
+    }
+}
+
+/// `prop_filter_map` adapter.
+#[derive(Clone)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    reason: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> Result<O, Reject> {
+        let v = self.inner.generate(rng)?;
+        (self.f)(v).ok_or(Reject(self.reason))
+    }
+}
+
+/// Uniform choice between alternative strategies (the `prop_oneof!` shape).
+pub struct Union<V> {
+    options: Vec<Rc<dyn DynStrategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Build from pre-erased options.
+    #[doc(hidden)]
+    pub fn from_erased(options: Vec<BoxedStrategy<V>>) -> Self {
+        Union { options: options.into_iter().map(|b| b.inner).collect() }
+    }
+}
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Union { options: self.options.clone() }
+    }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> Result<V, Reject> {
+        assert!(!self.options.is_empty(), "prop_oneof! needs at least one option");
+        let i = rng.inner().gen_range(0..self.options.len());
+        self.options[i].generate_dyn(rng)
+    }
+}
+
+/// Pick uniformly among the given strategies (all yielding the same type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::from_erased(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+// ---- Range strategies ------------------------------------------------
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> Result<f64, Reject> {
+        Ok(rng.inner().gen_range(self.clone()))
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> Result<f64, Reject> {
+        Ok(rng.inner().gen_range(self.clone()))
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> Result<f32, Reject> {
+        Ok(rng.inner().gen_range(self.clone()))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, Reject> {
+                Ok(rng.inner().gen_range(self.clone()))
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, Reject> {
+                Ok(rng.inner().gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---- Tuple strategies ------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Reject> {
+                let ($($name,)+) = self;
+                Ok(($($name.generate(rng)?,)+))
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+// ---- Collection strategies -------------------------------------------
+
+/// Strategy for fixed-length vectors of an element strategy's values.
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    count: usize,
+}
+
+/// `count` independent draws from `element`, as a `Vec`.
+pub fn vec<S: Strategy>(element: S, count: usize) -> VecStrategy<S> {
+    VecStrategy { element, count }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, Reject> {
+        (0..self.count).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,242 @@
+//! The case runner behind the [`proptest!`](crate::proptest) macro.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// How many samples to draw per test, plus reject limits.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Upper bound on rejected samples across the whole test.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+    }
+}
+
+/// The RNG handed to strategies (a seeded [`SmallRng`]).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    rng: SmallRng,
+}
+
+impl TestRng {
+    /// Deterministic construction from a test-name-derived seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Access the underlying generator.
+    pub fn inner(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the test fails.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is retried.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// FNV-1a hash of the test name: the deterministic seed basis.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drives the per-case loop; used by the generated test bodies.
+#[derive(Debug)]
+pub struct Runner {
+    config: ProptestConfig,
+    seed: u64,
+    rejects: u32,
+    case: u32,
+}
+
+impl Runner {
+    /// New runner for the named test.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        Runner { config, seed: seed_from_name(name), rejects: 0, case: 0 }
+    }
+
+    /// Number of successful cases required.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// A fresh, deterministic RNG for the next sampling attempt.
+    pub fn next_rng(&mut self) -> TestRng {
+        let n = u64::from(self.case) << 20 | u64::from(self.rejects);
+        self.case += 1;
+        TestRng::from_seed(self.seed ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Record a rejection (filter or `prop_assume!`); panics once the
+    /// global reject budget is exhausted.
+    pub fn reject(&mut self, what: &str) {
+        self.rejects += 1;
+        self.case -= 1; // the case did not count
+        assert!(
+            self.rejects <= self.config.max_global_rejects,
+            "too many rejected samples ({}); last reason: {what}",
+            self.rejects
+        );
+    }
+}
+
+/// Fail the test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the test case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{} ({:?} != {:?})",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Fail the test case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Discard this case (does not count towards the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Define property tests over generated inputs.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u64..100, v in collection::vec(-1.0f64..1.0, 8)) {
+///         prop_assert!(v.len() == 8);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner = $crate::test_runner::Runner::new(config, stringify!($name));
+            let mut passed = 0u32;
+            while passed < runner.cases() {
+                let mut rng = runner.next_rng();
+                // Sample the whole input tuple; a filter rejection retries
+                // the case with a fresh RNG stream.
+                let sampled = (|| -> ::std::result::Result<_, $crate::strategy::Reject> {
+                    Ok(($($crate::strategy::Strategy::generate(&($strat), &mut rng)?,)+))
+                })();
+                let sampled = match sampled {
+                    Ok(s) => s,
+                    Err($crate::strategy::Reject(reason)) => {
+                        runner.reject(reason);
+                        continue;
+                    }
+                };
+                let repr = format!("{:?}", sampled);
+                let ($($pat,)+) = sampled;
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        { $body }
+                        Ok(())
+                    })();
+                match outcome {
+                    Ok(()) => passed += 1,
+                    Err($crate::test_runner::TestCaseError::Reject) => {
+                        runner.reject("prop_assume!");
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case failed: {}\n  test: {}\n  case #{} input: {}",
+                            msg,
+                            stringify!($name),
+                            passed,
+                            repr
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}

@@ -1,0 +1,239 @@
+//! Offline stand-in for the `rayon` crate (see `vendor/README.md`).
+//!
+//! Provides real (scoped-thread) parallelism for the two shapes the
+//! workspace uses: `slice.par_chunks_mut(n).enumerate().for_each(..)` and
+//! `(0..n).into_par_iter().filter_map(..).collect::<Vec<_>>()`. Work is
+//! split into one contiguous span per available core — no work stealing.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, ParallelSliceMut};
+}
+
+fn threads() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Slice extension: parallel mutable chunk iteration.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel analogue of `chunks_mut`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut { slice: self, chunk_size }
+    }
+}
+
+/// Parallel mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair each chunk with its index.
+    pub fn enumerate(self) -> EnumerateChunksMut<'a, T> {
+        EnumerateChunksMut { inner: self }
+    }
+
+    /// Run `f` on every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Send + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Enumerated parallel mutable chunks.
+pub struct EnumerateChunksMut<'a, T> {
+    inner: ParChunksMut<'a, T>,
+}
+
+impl<T: Send> EnumerateChunksMut<'_, T> {
+    /// Run `f` on every `(index, chunk)` in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Send + Sync,
+    {
+        let chunk_size = self.inner.chunk_size;
+        let slice = self.inner.slice;
+        let n_chunks = slice.len().div_ceil(chunk_size);
+        let workers = threads().min(n_chunks).max(1);
+        if workers <= 1 {
+            for (i, chunk) in slice.chunks_mut(chunk_size).enumerate() {
+                f((i, chunk));
+            }
+            return;
+        }
+        // Hand each worker a contiguous span of whole chunks.
+        let per_worker = n_chunks.div_ceil(workers);
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut rest = slice;
+            let mut first_chunk = 0usize;
+            while !rest.is_empty() {
+                let take = (per_worker * chunk_size).min(rest.len());
+                let (span, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let base = first_chunk;
+                first_chunk += span.len().div_ceil(chunk_size);
+                scope.spawn(move || {
+                    for (i, chunk) in span.chunks_mut(chunk_size).enumerate() {
+                        f((base + i, chunk));
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Conversion into a parallel iterator (ranges only).
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// A parallel iterator over `Range<usize>`.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Parallel filter-map.
+    pub fn filter_map<T, F>(self, f: F) -> ParFilterMap<F>
+    where
+        F: Fn(usize) -> Option<T> + Send + Sync,
+        T: Send,
+    {
+        ParFilterMap { range: self.range, f }
+    }
+
+    /// Parallel map.
+    pub fn map<T, F>(self, f: F) -> ParMap<F>
+    where
+        F: Fn(usize) -> T + Send + Sync,
+        T: Send,
+    {
+        ParMap { range: self.range, f }
+    }
+}
+
+fn split_collect<T, F>(range: Range<usize>, f: F) -> Vec<T>
+where
+    F: Fn(usize) -> Option<T> + Send + Sync,
+    T: Send,
+{
+    let len = range.len();
+    let workers = threads().min(len).max(1);
+    if workers <= 1 {
+        return range.filter_map(f).collect();
+    }
+    let per = len.div_ceil(workers);
+    let f = &f;
+    let mut parts: Vec<Vec<T>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut lo = range.start;
+        while lo < range.end {
+            let hi = (lo + per).min(range.end);
+            handles.push(scope.spawn(move || (lo..hi).filter_map(f).collect::<Vec<T>>()));
+            lo = hi;
+        }
+        for h in handles {
+            match h.join() {
+                Ok(part) => parts.push(part),
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+    });
+    let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Parallel filter-map over a range.
+pub struct ParFilterMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> ParFilterMap<F> {
+    /// Collect results in range order.
+    pub fn collect<T, C: FromIterator<T> + From<Vec<T>>>(self) -> C
+    where
+        F: Fn(usize) -> Option<T> + Send + Sync,
+        T: Send,
+    {
+        C::from(split_collect(self.range, self.f))
+    }
+}
+
+/// Parallel map over a range.
+pub struct ParMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> ParMap<F> {
+    /// Collect results in range order.
+    pub fn collect<T, C: FromIterator<T> + From<Vec<T>>>(self) -> C
+    where
+        F: Fn(usize) -> T + Send + Sync,
+        T: Send,
+    {
+        let f = self.f;
+        C::from(split_collect(self.range, move |i| Some(f(i))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_covers_every_chunk() {
+        let mut data = vec![0u64; 24 * 1000 + 7];
+        data.par_chunks_mut(24).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = i as u64;
+            }
+        });
+        for (i, chunk) in data.chunks(24).enumerate() {
+            assert!(chunk.iter().all(|&x| x == i as u64), "chunk {i}");
+        }
+    }
+
+    #[test]
+    fn filter_map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000usize)
+            .into_par_iter()
+            .filter_map(|i| (i % 3 == 0).then_some(i * 2))
+            .collect();
+        let expect: Vec<usize> = (0..10_000).filter(|i| i % 3 == 0).map(|i| i * 2).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn empty_range() {
+        let v: Vec<usize> = (5..5usize).into_par_iter().filter_map(Some).collect();
+        assert!(v.is_empty());
+    }
+}
