@@ -1,0 +1,72 @@
+//! Run a small 2-rank traced solve and export the phase trace as Chrome
+//! trace-event JSON, validating it on the way out — the CI `trace` job's
+//! workload, and a handy way to eyeball a solve in `chrome://tracing`.
+//!
+//! ```text
+//! cargo run --release -p quda-bench --bin trace_export [output.json]
+//! ```
+//!
+//! Exits non-zero if the solve fails, the breakdown is inconsistent, or
+//! the exported JSON does not validate against the trace-event shape.
+
+use quda_core::{PrecisionMode, Quda, QudaInvertParam, TraceConfig};
+use quda_fields::gauge_gen::{random_spinor_field, weak_field};
+use quda_lattice::geometry::LatticeDims;
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "trace.json".to_owned());
+    let dims = LatticeDims::new(4, 4, 4, 8);
+    let cfg = weak_field(dims, 0.12, 2010);
+    let b = random_spinor_field(dims, 2011);
+
+    let mut quda = Quda::new(2).expect("context");
+    quda.load_gauge(cfg).expect("gauge load");
+    let param = QudaInvertParam::paper_mode(PrecisionMode::DoubleHalf, 2)
+        .with_mass(0.3)
+        .with_tol(1e-10)
+        .with_trace(TraceConfig::Full);
+    let (_, report) = quda.invert(&b, &param).expect("invert");
+    assert!(report.converged, "traced solve did not converge");
+
+    let phases = &report.phases;
+    assert!(!phases.phases.is_empty(), "no phases recorded");
+    assert!(
+        phases.accounted_s() <= phases.total_wall_s * 1.0001,
+        "phase times {} exceed wall {}",
+        phases.accounted_s(),
+        phases.total_wall_s
+    );
+    assert!(
+        (0.0..=1.0).contains(&phases.overlap_efficiency),
+        "overlap efficiency {} outside [0,1]",
+        phases.overlap_efficiency
+    );
+    println!("solve: {} iterations, wall {:.3} ms", report.iterations, phases.total_wall_s * 1e3);
+    for stat in &phases.phases {
+        println!(
+            "  {:>16}: {:>9.4} ms self  {:>9.4} ms incl  {:>7} spans  {:>10} B",
+            stat.phase.name(),
+            stat.seconds * 1e3,
+            stat.inclusive_seconds * 1e3,
+            stat.count,
+            stat.bytes
+        );
+    }
+    println!(
+        "overlap efficiency {:.3}, rank skew {:.3} ms, comm clean: {}",
+        phases.overlap_efficiency,
+        phases.rank_skew_s * 1e3,
+        report.comm.is_clean()
+    );
+
+    let json = report.to_chrome_trace();
+    let summary = quda_obs::validate_chrome_trace(&json)
+        .unwrap_or_else(|e| panic!("exported trace is invalid: {e}"));
+    assert!(summary.complete_events > 0, "trace has no complete events");
+    assert_eq!(summary.ranks, 2, "expected both ranks in the trace");
+    std::fs::write(&out, &json).expect("write trace file");
+    println!(
+        "wrote {} ({} events, {} complete, {} ranks)",
+        out, summary.events, summary.complete_events, summary.ranks
+    );
+}

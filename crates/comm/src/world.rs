@@ -25,11 +25,12 @@ use crate::error::CommError;
 use crate::fault::{FaultAction, FaultPlan};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use quda_obs::{clock, Phase, Tracer};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Reserved tag base for internal collective traffic.
 const TAG_COLLECTIVE: u32 = 0xffff_0000;
@@ -83,6 +84,20 @@ pub struct CommStats {
     pub checksum_failures: u64,
 }
 
+impl CommStats {
+    /// Sum counters with another rank's (or another world's) stats, e.g.
+    /// to merge the high- and low-precision communicators of a mixed
+    /// solve into one per-rank health record.
+    pub fn merged(self, other: CommStats) -> CommStats {
+        CommStats {
+            retries: self.retries + other.retries,
+            recovered: self.recovered + other.recovered,
+            duplicates_dropped: self.duplicates_dropped + other.duplicates_dropped,
+            checksum_failures: self.checksum_failures + other.checksum_failures,
+        }
+    }
+}
+
 /// State shared by every rank of one world.
 struct WorldShared {
     /// Liveness board: `alive[r]` is cleared when rank `r`'s communicator
@@ -115,6 +130,8 @@ pub struct Communicator {
     sent_messages: u64,
     total_sends: u64,
     stats: CommStats,
+    // Phase recorder handle for this rank; disabled (free) by default.
+    tracer: Tracer,
 }
 
 /// Create a world of `size` ranks with default config and no faults.
@@ -160,6 +177,7 @@ pub fn comm_world_with(
             sent_messages: 0,
             total_sends: 0,
             stats: CommStats::default(),
+            tracer: Tracer::disabled(),
         })
         .collect()
 }
@@ -196,10 +214,24 @@ impl Communicator {
         self.shared.alive[rank].load(Ordering::SeqCst)
     }
 
+    /// Install the phase recorder handle for this rank. Until this is
+    /// called (or when handed [`Tracer::disabled`]) tracing has no cost.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The phase recorder handle, for layers above that want to record
+    /// their own spans (ghost exchange, operator kernels).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// Non-blocking send (channel buffered, like an eager-protocol MPI
     /// send of a face-sized message). Fails with [`CommError::RankDead`]
     /// if this rank was fault-killed or the destination endpoint is gone.
     pub fn send(&mut self, to: usize, tag: u32, payload: Bytes) -> Result<(), CommError> {
+        let mut span = self.tracer.span(Phase::CommSend);
+        span.set_bytes(payload.len() as u64);
         let mut action = FaultAction::Deliver;
         if let Some(plan) = &self.shared.plan {
             if plan.is_dead(self.rank, self.total_sends) {
@@ -350,13 +382,25 @@ impl Communicator {
     /// sequence gap proves it went missing), and unrecoverable corruption
     /// as [`CommError::Decode`].
     pub fn recv(&mut self, from: usize, tag: u32) -> Result<Bytes, CommError> {
+        let mut span = self.tracer.span(Phase::CommRecv);
+        let result = self.recv_inner(from, tag);
+        if let Ok(payload) = &result {
+            span.set_bytes(payload.len() as u64);
+        }
+        result
+    }
+
+    fn recv_inner(&mut self, from: usize, tag: u32) -> Result<Bytes, CommError> {
         if let Some(payload) = self.try_take(from, tag)? {
             return Ok(payload);
         }
-        let start = Instant::now();
+        // All waiting is timed on the shared monotonic epoch so expired
+        // ticks can be attributed as retry spans (lint: no-raw-instant).
+        let start = clock::monotonic();
         let mut tick = self.config.retry_backoff.max(Duration::from_micros(1));
         let mut gap_retries: u32 = 0;
         loop {
+            let tick_start = self.tracer.enabled().then(clock::monotonic);
             match self.receiver.recv_timeout(tick) {
                 Ok(m) => {
                     self.stash.push_back(m);
@@ -365,6 +409,9 @@ impl Communicator {
                     }
                 }
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                    if let Some(t0) = tick_start {
+                        self.tracer.record_since(Phase::Retry, t0, 0);
+                    }
                     if let Some(payload) = self.try_take(from, tag)? {
                         return Ok(payload);
                     }
@@ -384,7 +431,7 @@ impl Communicator {
                             });
                         }
                     }
-                    let waited = start.elapsed();
+                    let waited = clock::monotonic().saturating_sub(start);
                     if waited >= self.config.timeout {
                         return Err(CommError::Timeout {
                             from,
@@ -423,6 +470,11 @@ impl Communicator {
 
     /// Allreduce-sum over a small vector of f64 (e.g. complex re/im pairs).
     pub fn allreduce_vec(&mut self, local: &[f64]) -> Result<Vec<f64>, CommError> {
+        let _span = self.tracer.span(Phase::AllReduce);
+        self.allreduce_vec_inner(local)
+    }
+
+    fn allreduce_vec_inner(&mut self, local: &[f64]) -> Result<Vec<f64>, CommError> {
         if self.size == 1 {
             return Ok(local.to_vec());
         }
@@ -462,6 +514,11 @@ impl Communicator {
 
     /// Allreduce-max over f64.
     pub fn allreduce_max_f64(&mut self, local: f64) -> Result<f64, CommError> {
+        let _span = self.tracer.span(Phase::AllReduce);
+        self.allreduce_max_inner(local)
+    }
+
+    fn allreduce_max_inner(&mut self, local: f64) -> Result<f64, CommError> {
         if self.size == 1 {
             return Ok(local);
         }
@@ -517,6 +574,7 @@ mod tests {
     use super::*;
     use crate::codec::{frame, pack_f64, unpack_f64};
     use std::thread;
+    use std::time::Instant;
 
     fn fast_config() -> CommConfig {
         CommConfig {

@@ -9,43 +9,53 @@
 //! [`Quda`] context, [`Quda::load_gauge`] a configuration, and call
 //! [`Quda::invert`] with a [`QudaInvertParam`] describing the precision
 //! mode, solver, GPU count, and communication strategy. Every inversion
-//! returns both the solution and [`InvertStats`] combining the *functional*
-//! outcome (iterations, verified residual) with the calibrated performance
-//! model's view of the same run on the simulated "9g" cluster.
+//! returns both the solution and an [`InvertReport`]: the classic
+//! [`InvertStats`] (iterations, verified residual, modeled performance)
+//! plus a *measured* per-phase wall-time breakdown, the world-wide
+//! communication-health record, and — under [`TraceConfig::Full`] — a raw
+//! span trace exportable as Chrome trace-event JSON.
 //!
 //! ```
-//! use quda_core::{Quda, QudaInvertParam};
+//! use quda_core::{Quda, QudaInvertParam, TraceConfig};
 //! use quda_fields::gauge_gen::weak_field;
 //! use quda_fields::host::HostSpinorField;
 //! use quda_lattice::geometry::{Coord, LatticeDims};
 //! use quda_multigpu::PrecisionMode;
 //!
 //! let dims = LatticeDims::new(4, 4, 4, 8);
-//! let mut quda = Quda::new(2); // two (simulated) GPUs
+//! let mut quda = Quda::new(2).unwrap(); // two (simulated) GPUs
 //! quda.load_gauge(weak_field(dims, 0.1, 42)).unwrap();
 //! let source = HostSpinorField::point_source(dims, Coord::new(0, 0, 0, 0), 0, 0);
-//! let mut param = QudaInvertParam::paper_mode(PrecisionMode::DoubleHalf, 2);
-//! param.mass = 0.3;
-//! param.tol = 1e-10;
-//! let (solution, stats) = quda.invert(&source, &param).unwrap();
-//! assert!(stats.converged);
-//! assert!(stats.true_residual < 1e-9);
+//! let param = QudaInvertParam::paper_mode(PrecisionMode::DoubleHalf, 2)
+//!     .with_mass(0.3)
+//!     .with_tol(1e-10)
+//!     .with_trace(TraceConfig::Summary);
+//! let (solution, report) = quda.invert(&source, &param).unwrap();
+//! assert!(report.converged); // derefs to the classic InvertStats
+//! assert!(report.true_residual < 1e-9);
 //! assert!(solution.norm_sqr() > 0.0);
+//! // The measured breakdown: where the wall time actually went.
+//! assert!(!report.phases.phases.is_empty());
+//! assert!(report.phases.overlap_efficiency >= 0.0);
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod params;
 
-pub use params::{InvertStats, QudaDeviceParam, QudaGaugeParam, QudaInvertParam};
+pub use params::{InvertReport, InvertStats, QudaDeviceParam, QudaGaugeParam, QudaInvertParam};
+pub use quda_comm::CommError;
 pub use quda_multigpu::driver::SolverKind;
 pub use quda_multigpu::rank_op::CommStrategy;
-pub use quda_multigpu::PrecisionMode;
+pub use quda_multigpu::{CommHealth, PrecisionMode};
+pub use quda_obs::{Phase, PhaseBreakdown, Trace, TraceConfig};
 
 use quda_dirac::WilsonParams;
 use quda_fields::host::{GaugeConfig, HostSpinorField};
 use quda_lattice::partition::TimePartition;
-use quda_multigpu::driver::{solve_full_parallel, verify_full_solution, ParallelSolveSpec};
+use quda_multigpu::driver::{
+    solve_full_parallel_traced, verify_full_solution, ChaosSpec, ParallelSolveSpec,
+};
 use quda_multigpu::perf::{evaluate, solver_memory_per_gpu, PerfInput};
 use quda_solvers::params::SolverParams;
 
@@ -68,8 +78,11 @@ pub enum QudaError {
         available: usize,
     },
     /// The parallel solve failed with an unrecoverable communication error
-    /// (dead rank, timeout, exhausted retries).
-    Comm(String),
+    /// (dead rank, timeout, exhausted retries). Carries the structured
+    /// [`CommError`] — match on it to distinguish a dead rank from a
+    /// timeout, or reach it generically via
+    /// [`source()`](std::error::Error::source).
+    Comm(CommError),
 }
 
 impl std::fmt::Display for QudaError {
@@ -82,12 +95,25 @@ impl std::fmt::Display for QudaError {
             QudaError::OutOfDeviceMemory { required, available } => {
                 write!(f, "out of device memory: need {required} B/GPU, have {available} B/GPU")
             }
-            QudaError::Comm(s) => write!(f, "communication failure: {s}"),
+            QudaError::Comm(e) => write!(f, "communication failure: {e}"),
         }
     }
 }
 
-impl std::error::Error for QudaError {}
+impl std::error::Error for QudaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QudaError::Comm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CommError> for QudaError {
+    fn from(e: CommError) -> QudaError {
+        QudaError::Comm(e)
+    }
+}
 
 /// The library context (the moral equivalent of `initQuda` + the state the
 /// C interface keeps behind the scenes).
@@ -95,15 +121,35 @@ pub struct Quda {
     num_gpus: usize,
     device: QudaDeviceParam,
     gauge: Option<GaugeConfig>,
-    /// Enforce the device-memory footprint before running (on by default —
-    /// it reproduces the paper's "at least 8 GPUs are needed" behaviour at
-    /// full lattice sizes; turn off for scaled-down functional runs).
-    pub enforce_memory: bool,
+    /// Enforce the device-memory footprint before running (off by default;
+    /// turning it on reproduces the paper's "at least 8 GPUs are needed"
+    /// behaviour at full lattice sizes). Set via
+    /// [`Quda::with_memory_enforcement`].
+    enforce_memory: bool,
 }
 
 impl Quda {
     /// Initialize for `num_gpus` simulated devices.
-    pub fn new(num_gpus: usize) -> Self {
+    ///
+    /// Fails with [`QudaError::BadPartition`] for a zero-device context
+    /// rather than panicking.
+    pub fn new(num_gpus: usize) -> Result<Self, QudaError> {
+        if num_gpus == 0 {
+            return Err(QudaError::BadPartition(
+                "a context needs at least one GPU (num_gpus = 0)".to_owned(),
+            ));
+        }
+        Ok(Quda {
+            num_gpus,
+            device: QudaDeviceParam::default(),
+            gauge: None,
+            enforce_memory: false,
+        })
+    }
+
+    /// The pre-redesign constructor, which panicked on `num_gpus == 0`.
+    #[deprecated(since = "0.2.0", note = "use `Quda::new`, which returns Err for 0 GPUs")]
+    pub fn new_unchecked(num_gpus: usize) -> Self {
         assert!(num_gpus >= 1);
         Quda { num_gpus, device: QudaDeviceParam::default(), gauge: None, enforce_memory: false }
     }
@@ -112,6 +158,20 @@ impl Quda {
     pub fn with_device(mut self, device: QudaDeviceParam) -> Self {
         self.device = device;
         self
+    }
+
+    /// Enable or disable the device-memory gate: when on, an inversion
+    /// whose working set exceeds per-GPU memory fails with
+    /// [`QudaError::OutOfDeviceMemory`] instead of running.
+    pub fn with_memory_enforcement(mut self, enforce: bool) -> Self {
+        self.enforce_memory = enforce;
+        self
+    }
+
+    /// The pre-redesign field setter for the memory gate.
+    #[deprecated(since = "0.2.0", note = "use `Quda::with_memory_enforcement`")]
+    pub fn set_enforce_memory(&mut self, enforce: bool) {
+        self.enforce_memory = enforce;
     }
 
     /// Number of devices this context parallelizes over.
@@ -153,13 +213,16 @@ impl Quda {
     ///
     /// Runs the *functional* parallel solve (thread ranks, real ghost
     /// exchanges, real mixed-precision arithmetic), independently verifies
-    /// the solution against the dense host reference operator, and attaches
-    /// the performance model's timing of the same run shape.
+    /// the solution against the dense host reference operator, and returns
+    /// an [`InvertReport`]: the classic [`InvertStats`] (including the
+    /// performance model's timing of the same run shape) plus the measured
+    /// phase breakdown and communication health of this run, governed by
+    /// [`QudaInvertParam::trace`].
     pub fn invert(
         &mut self,
         source: &HostSpinorField,
         param: &QudaInvertParam,
-    ) -> Result<(HostSpinorField, InvertStats), QudaError> {
+    ) -> Result<(HostSpinorField, InvertReport), QudaError> {
         let cfg = self.gauge.as_ref().ok_or(QudaError::NoGauge)?;
         if source.dims != cfg.dims {
             return Err(QudaError::DimsMismatch);
@@ -195,8 +258,10 @@ impl Quda {
             solver: param.solver,
             params: SolverParams { tol: param.tol, max_iter: param.max_iter, delta: param.delta },
         };
-        let (x, result) =
-            solve_full_parallel(cfg, source, &spec).map_err(|e| QudaError::Comm(e.to_string()))?;
+        let solve =
+            solve_full_parallel_traced(cfg, source, &spec, &ChaosSpec::default(), param.trace)
+                .map_err(QudaError::Comm)?;
+        let (x, result) = (solve.solution, solve.result);
         let true_residual = verify_full_solution(cfg, &wilson, &x, source);
 
         // Performance model of this run shape on the simulated cluster.
@@ -221,7 +286,15 @@ impl Quda {
             recoveries: result.recoveries,
             comm_recoveries: result.comm_recoveries,
         };
-        Ok((x, stats))
+        Ok((
+            x,
+            InvertReport {
+                stats,
+                phases: solve.trace.breakdown(),
+                comm: solve.comm,
+                trace: solve.trace,
+            },
+        ))
     }
 }
 
@@ -236,14 +309,20 @@ mod tests {
     }
 
     fn ctx_with_gauge() -> Quda {
-        let mut q = Quda::new(2);
+        let mut q = Quda::new(2).unwrap();
         q.load_gauge(weak_field(dims(), 0.15, 7)).unwrap();
         q
     }
 
     #[test]
+    fn zero_gpus_is_an_error_not_a_panic() {
+        assert!(matches!(Quda::new(0), Err(QudaError::BadPartition(_))));
+        assert_eq!(Quda::new(1).unwrap().num_gpus(), 1);
+    }
+
+    #[test]
     fn invert_without_gauge_fails() {
-        let mut q = Quda::new(1);
+        let mut q = Quda::new(1).unwrap();
         let b = HostSpinorField::zero(dims());
         let p = QudaInvertParam::paper_mode(PrecisionMode::Double, 1);
         assert!(matches!(q.invert(&b, &p), Err(QudaError::NoGauge)));
@@ -251,7 +330,7 @@ mod tests {
 
     #[test]
     fn non_unitary_gauge_rejected() {
-        let mut q = Quda::new(1);
+        let mut q = Quda::new(1).unwrap();
         let mut cfg = GaugeConfig::unit(dims());
         cfg.links[0].m[0][0].re = 5.0;
         assert_eq!(q.load_gauge(cfg), Err(QudaError::NotUnitary));
@@ -309,8 +388,8 @@ mod tests {
     #[test]
     fn memory_enforcement_rejects_oversized_problems() {
         // A full 32³×256 mixed-precision problem on one GTX 285 must OOM.
-        let mut q = Quda::new(1);
-        q.enforce_memory = true;
+        let q = Quda::new(1).unwrap().with_memory_enforcement(true);
+        assert!(q.enforce_memory);
         // Don't actually allocate the big lattice: just check the gate.
         let big = LatticeDims::spatial_cube(32, 256);
         let need = solver_memory_per_gpu(big, 1, PrecisionMode::SingleHalf);

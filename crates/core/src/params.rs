@@ -6,7 +6,8 @@ use quda_gpusim::transfer::NumaPlacement;
 use quda_lattice::geometry::LatticeDims;
 use quda_multigpu::driver::SolverKind;
 use quda_multigpu::rank_op::CommStrategy;
-use quda_multigpu::PrecisionMode;
+use quda_multigpu::{CommHealth, PrecisionMode};
+use quda_obs::{PhaseBreakdown, Trace, TraceConfig};
 use quda_solvers::params::SolverParams;
 
 /// Gauge-loading parameters.
@@ -48,6 +49,10 @@ pub struct QudaInvertParam {
     pub strategy: CommStrategy,
     /// GPUs to parallelize over (T must divide evenly).
     pub num_gpus: usize,
+    /// How much the inversion records about its own phases
+    /// ([`TraceConfig::Off`] by default — tracing costs nothing unless
+    /// asked for).
+    pub trace: TraceConfig,
 }
 
 impl QudaInvertParam {
@@ -64,7 +69,38 @@ impl QudaInvertParam {
             solver: SolverKind::BiCgStab,
             strategy: CommStrategy::Overlap,
             num_gpus,
+            trace: TraceConfig::Off,
         }
+    }
+
+    /// Set the quark mass.
+    pub fn with_mass(mut self, mass: f64) -> Self {
+        self.mass = mass;
+        self
+    }
+
+    /// Set the relative residual target.
+    pub fn with_tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Select the Krylov method.
+    pub fn with_solver(mut self, solver: SolverKind) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Select the face-exchange strategy.
+    pub fn with_strategy(mut self, strategy: CommStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Select how much the inversion traces itself.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Convert to the solver-layer parameter struct.
@@ -102,6 +138,44 @@ pub struct InvertStats {
     pub recoveries: u64,
     /// Messages recovered by link-level retransmission across all ranks.
     pub comm_recoveries: u64,
+}
+
+/// Everything an inversion reports: the classic [`InvertStats`] plus the
+/// *measured* per-phase breakdown, the communication-health record, and
+/// (under [`TraceConfig::Full`]) the raw span trace.
+///
+/// Dereferences to [`InvertStats`], so existing `stats.converged`-style
+/// call sites keep working on the report.
+#[derive(Clone, Debug)]
+pub struct InvertReport {
+    /// Functional and modeled statistics (the pre-tracing report).
+    pub stats: InvertStats,
+    /// Measured wall-time breakdown by phase, aggregated over ranks.
+    /// Empty (zero phases) when tracing was [`TraceConfig::Off`].
+    pub phases: PhaseBreakdown,
+    /// World-wide communication-health summary (always collected — the
+    /// counters are kept by the communicators regardless of tracing).
+    pub comm: CommHealth,
+    /// The raw recorded trace; individual spans are only retained under
+    /// [`TraceConfig::Full`].
+    pub trace: Trace,
+}
+
+impl std::ops::Deref for InvertReport {
+    type Target = InvertStats;
+    fn deref(&self) -> &InvertStats {
+        &self.stats
+    }
+}
+
+impl InvertReport {
+    /// Export the recorded spans in Chrome trace-event JSON (load via
+    /// `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)). Returns
+    /// an empty-but-valid document unless the solve ran under
+    /// [`TraceConfig::Full`].
+    pub fn to_chrome_trace(&self) -> String {
+        self.trace.to_chrome_trace()
+    }
 }
 
 /// Hardware context for the performance model.

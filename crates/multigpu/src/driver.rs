@@ -6,12 +6,13 @@
 
 use crate::rank_op::{CommStrategy, ParallelWilsonCloverOp};
 use crate::slice::{gather_spinor, slice_spinor};
-use quda_comm::{CommConfig, CommError, FaultPlan};
+use quda_comm::{CommConfig, CommError, CommStats, FaultPlan};
 use quda_dirac::WilsonParams;
 use quda_fields::host::{GaugeConfig, HostSpinorField};
 use quda_fields::precision::{Double, Half, Precision, Quarter, Single};
 use quda_lattice::geometry::Parity;
 use quda_lattice::partition::TimePartition;
+use quda_obs::{Recorder, Trace, TraceConfig};
 use quda_solvers::blas;
 use quda_solvers::operator::LinearOperator;
 use quda_solvers::params::{SolveResult, SolverParams};
@@ -101,6 +102,64 @@ pub struct ParallelSolveSpec {
     pub params: SolverParams,
 }
 
+/// Aggregate communication-health record for a completed parallel solve:
+/// the world-wide counter sums plus the per-rank [`CommStats`] they were
+/// summed from (a mixed-precision solve merges each rank's high- and
+/// low-precision communicators into one record).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CommHealth {
+    /// Timeout ticks spent waiting or backing off in `recv`, world-wide.
+    pub retries: u64,
+    /// Messages recovered from the link-level pristine store.
+    pub recovered: u64,
+    /// Stale duplicate frames discarded by sequence-number dedup.
+    pub duplicates_dropped: u64,
+    /// Frames whose checksum or length check failed on arrival.
+    pub checksum_failures: u64,
+    /// The per-rank records the totals were summed from (index = rank).
+    pub per_rank: Vec<CommStats>,
+}
+
+impl CommHealth {
+    /// Sum a set of per-rank records into a world-wide health summary.
+    pub fn from_per_rank(per_rank: Vec<CommStats>) -> CommHealth {
+        // Host-side bookkeeping over already-joined worker results, not a
+        // lattice reduction: every rank's stats are in hand here.
+        // quda-lint: allow(global-reduce)
+        let total = per_rank.iter().copied().fold(CommStats::default(), CommStats::merged);
+        CommHealth {
+            retries: total.retries,
+            recovered: total.recovered,
+            duplicates_dropped: total.duplicates_dropped,
+            checksum_failures: total.checksum_failures,
+            per_rank,
+        }
+    }
+
+    /// `true` when the wire was clean: no recoveries, duplicates, or
+    /// checksum failures anywhere in the world. Retries are *not* counted
+    /// against cleanliness — a rank blocking for a slow peer ticks the
+    /// retry counter without anything being wrong on the wire.
+    pub fn is_clean(&self) -> bool {
+        self.recovered == 0 && self.duplicates_dropped == 0 && self.checksum_failures == 0
+    }
+}
+
+/// The full outcome of a traced parallel solve: the solution, the solver
+/// statistics, the recorded phase [`Trace`], and the communication-health
+/// summary. Produced by [`solve_full_parallel_traced`].
+#[derive(Clone, Debug)]
+pub struct TracedSolve {
+    /// Global solution (both parities).
+    pub solution: HostSpinorField,
+    /// Rank-identical solver statistics (world-summed `comm_recoveries`).
+    pub result: SolveResult,
+    /// The recorded per-rank phase trace (empty under [`TraceConfig::Off`]).
+    pub trace: Trace,
+    /// World-wide communication-health record.
+    pub comm: CommHealth,
+}
+
 /// Run the full even-odd solve `M x = b` in parallel. Returns the global
 /// solution (both parities) and the (rank-identical) solve statistics.
 ///
@@ -124,14 +183,33 @@ pub fn solve_full_parallel_chaos(
     spec: &ParallelSolveSpec,
     chaos: &ChaosSpec,
 ) -> Result<(HostSpinorField, SolveResult), CommError> {
+    solve_full_parallel_traced(cfg, b, spec, chaos, TraceConfig::Off)
+        .map(|ts| (ts.solution, ts.result))
+}
+
+/// [`solve_full_parallel_chaos`] with phase tracing: every rank's
+/// communicator, ghost exchange, dslash, and solver loop record spans into
+/// a world-shared [`Recorder`], returned as [`TracedSolve::trace`]
+/// alongside the per-rank communication-health summary.
+pub fn solve_full_parallel_traced(
+    cfg: &GaugeConfig,
+    b: &HostSpinorField,
+    spec: &ParallelSolveSpec,
+    chaos: &ChaosSpec,
+    trace: TraceConfig,
+) -> Result<TracedSolve, CommError> {
     match spec.mode {
-        PrecisionMode::Double => run_world::<Double, Double>(cfg, b, spec, false, chaos),
-        PrecisionMode::Single => run_world::<Single, Single>(cfg, b, spec, false, chaos),
-        PrecisionMode::Half => run_world::<Half, Half>(cfg, b, spec, false, chaos),
-        PrecisionMode::SingleHalf => run_world::<Single, Half>(cfg, b, spec, true, chaos),
-        PrecisionMode::DoubleHalf => run_world::<Double, Half>(cfg, b, spec, true, chaos),
-        PrecisionMode::DoubleSingle => run_world::<Double, Single>(cfg, b, spec, true, chaos),
-        PrecisionMode::DoubleQuarter => run_world::<Double, Quarter>(cfg, b, spec, true, chaos),
+        PrecisionMode::Double => run_world::<Double, Double>(cfg, b, spec, false, chaos, trace),
+        PrecisionMode::Single => run_world::<Single, Single>(cfg, b, spec, false, chaos, trace),
+        PrecisionMode::Half => run_world::<Half, Half>(cfg, b, spec, false, chaos, trace),
+        PrecisionMode::SingleHalf => run_world::<Single, Half>(cfg, b, spec, true, chaos, trace),
+        PrecisionMode::DoubleHalf => run_world::<Double, Half>(cfg, b, spec, true, chaos, trace),
+        PrecisionMode::DoubleSingle => {
+            run_world::<Double, Single>(cfg, b, spec, true, chaos, trace)
+        }
+        PrecisionMode::DoubleQuarter => {
+            run_world::<Double, Quarter>(cfg, b, spec, true, chaos, trace)
+        }
     }
 }
 
@@ -141,18 +219,24 @@ fn run_world<H: Precision, L: Precision>(
     spec: &ParallelSolveSpec,
     mixed: bool,
     chaos: &ChaosSpec,
-) -> Result<(HostSpinorField, SolveResult), CommError> {
+    trace: TraceConfig,
+) -> Result<TracedSolve, CommError> {
     let part = spec.part;
+    let recorder = Recorder::new(part.n_ranks, trace);
     let world_hi = quda_comm::comm_world_with(part.n_ranks, chaos.comm, chaos.plan.clone());
     let world_lo = quda_comm::comm_world_with(part.n_ranks, chaos.comm, chaos.plan.clone());
     let handles: Vec<_> = world_hi
         .into_iter()
         .zip(world_lo)
         .enumerate()
-        .map(|(rank, (comm_hi, comm_lo))| {
+        .map(|(rank, (mut comm_hi, mut comm_lo))| {
             let cfg = cfg.clone();
             let b = b.clone();
             let spec = *spec;
+            // Both precision worlds of a rank feed the same per-rank buffer.
+            let tracer = recorder.tracer(rank);
+            comm_hi.set_tracer(tracer.clone());
+            comm_lo.set_tracer(tracer);
             std::thread::spawn(move || {
                 run_rank::<H, L>(&cfg, &b, &spec, rank, comm_hi, comm_lo, mixed)
             })
@@ -178,19 +262,26 @@ fn run_world<H: Precision, L: Precision>(
     let mut locals = Vec::with_capacity(results.len());
     let mut stats: Option<SolveResult> = None;
     let mut comm_recoveries = 0;
+    let mut per_rank = Vec::with_capacity(results.len());
     for r in results {
-        let (x, res) = r?;
+        let (x, res, comm) = r?;
         comm_recoveries += res.comm_recoveries;
         if stats.is_none() {
             stats = Some(res);
         }
         locals.push(x);
+        per_rank.push(comm);
     }
     // `comm_world_with` asserts `n_ranks >= 1`, so `stats` is always set;
     // the default only keeps this path panic-free.
     let mut stats = stats.unwrap_or_default();
     stats.comm_recoveries = comm_recoveries;
-    Ok((gather_spinor(&locals, &part), stats))
+    Ok(TracedSolve {
+        solution: gather_spinor(&locals, &part),
+        result: stats,
+        trace: recorder.finish(),
+        comm: CommHealth::from_per_rank(per_rank),
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -202,7 +293,7 @@ fn run_rank<H: Precision, L: Precision>(
     comm_hi: quda_comm::Communicator,
     comm_lo: quda_comm::Communicator,
     mixed: bool,
-) -> Result<(HostSpinorField, SolveResult), CommError> {
+) -> Result<(HostSpinorField, SolveResult, CommStats), CommError> {
     let part = spec.part;
     let mut op_hi =
         ParallelWilsonCloverOp::<H>::new(cfg, part, rank, comm_hi, spec.wilson, spec.strategy)?;
@@ -221,7 +312,7 @@ fn run_rank<H: Precision, L: Precision>(
     // Solve M̂ x_o = b̂_o.
     let mut x_odd = op_hi.alloc();
     blas::zero(&mut x_odd);
-    let mut lo_recovered = 0;
+    let mut lo_stats = CommStats::default();
     let mut result = if mixed {
         assert_eq!(
             spec.solver,
@@ -240,7 +331,7 @@ fn run_rank<H: Precision, L: Precision>(
         if let Some(e) = op_lo.take_comm_fault() {
             return Err(e);
         }
-        lo_recovered = op_lo.comm_stats().recovered;
+        lo_stats = op_lo.comm_stats();
         res
     } else {
         match spec.solver {
@@ -259,12 +350,13 @@ fn run_rank<H: Precision, L: Precision>(
     // x_e = T_ee⁻¹ (b_e + ½ D_eo x_o).
     let mut x_even = op_hi.alloc();
     op_hi.reconstruct_even_par(&mut x_even, &b_even, &mut x_odd)?;
-    result.comm_recoveries = op_hi.comm_stats().recovered + lo_recovered;
+    let rank_stats = op_hi.comm_stats().merged(lo_stats);
+    result.comm_recoveries = rank_stats.recovered;
 
     let mut x_host = HostSpinorField::zero(part.local_dims());
     x_even.download(&mut x_host, Parity::Even);
     x_odd.download(&mut x_host, Parity::Odd);
-    Ok((x_host, result))
+    Ok((x_host, result, rank_stats))
 }
 
 /// Verify a solution of the *full* system on the host:

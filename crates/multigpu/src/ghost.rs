@@ -30,6 +30,7 @@ use quda_math::half;
 use quda_math::real::Real;
 use quda_math::spinor::{HalfSpinor, HALF_SPINOR_REALS};
 use quda_math::su3::Su3;
+use quda_obs::Phase;
 
 /// Tag for faces travelling forward (towards higher t).
 const TAG_FACE_FWD: u32 = 1;
@@ -132,24 +133,37 @@ pub fn send_faces<P: Precision>(
 ) -> Result<(), CommError> {
     let faces = field.face_sites();
     assert!(faces > 0, "field has no ghost end zone");
+    let tracer = comm.tracer().clone();
     // Last time-slice → forward neighbor.
-    let mut fwd = Vec::with_capacity(faces * HALF_SPINOR_REALS);
-    for f in 0..faces {
-        let h = gather_face_site(field, basis, stencil, true, f, dagger);
-        for r in h.to_reals() {
-            fwd.push(r.to_f64());
+    let fwd_wire = {
+        let mut gather = tracer.span(Phase::Gather);
+        let mut fwd = Vec::with_capacity(faces * HALF_SPINOR_REALS);
+        for f in 0..faces {
+            let h = gather_face_site(field, basis, stencil, true, f, dagger);
+            for r in h.to_reals() {
+                fwd.push(r.to_f64());
+            }
         }
-    }
-    comm.send(comm.forward(), TAG_FACE_FWD, encode_face::<P>(&fwd))?;
+        let wire = encode_face::<P>(&fwd);
+        gather.set_bytes(wire.len() as u64);
+        wire
+    };
+    comm.send(comm.forward(), TAG_FACE_FWD, fwd_wire)?;
     // First time-slice → backward neighbor.
-    let mut bwd = Vec::with_capacity(faces * HALF_SPINOR_REALS);
-    for f in 0..faces {
-        let h = gather_face_site(field, basis, stencil, false, f, dagger);
-        for r in h.to_reals() {
-            bwd.push(r.to_f64());
+    let bwd_wire = {
+        let mut gather = tracer.span(Phase::Gather);
+        let mut bwd = Vec::with_capacity(faces * HALF_SPINOR_REALS);
+        for f in 0..faces {
+            let h = gather_face_site(field, basis, stencil, false, f, dagger);
+            for r in h.to_reals() {
+                bwd.push(r.to_f64());
+            }
         }
-    }
-    comm.send(comm.backward(), TAG_FACE_BWD, encode_face::<P>(&bwd))
+        let wire = encode_face::<P>(&bwd);
+        gather.set_bytes(wire.len() as u64);
+        wire
+    };
+    comm.send(comm.backward(), TAG_FACE_BWD, bwd_wire)
 }
 
 /// Receive both faces and store them in the ghost end zone.
@@ -158,24 +172,41 @@ pub fn recv_faces<P: Precision>(
     field: &mut SpinorFieldCb<P>,
 ) -> Result<(), CommError> {
     let faces = field.face_sites();
+    let tracer = comm.tracer().clone();
     // From the backward neighbor: its last slice = our backward ghost.
     let from = comm.backward();
-    let payload = comm.recv(from, TAG_FACE_FWD)?;
-    let values = decode_face::<P>(&payload, faces).map_err(|error| CommError::Decode {
-        from,
-        tag: TAG_FACE_FWD,
-        error,
-    })?;
-    store_ghost(field, true, &values);
+    let payload = {
+        let mut wire = tracer.span(Phase::Wire);
+        let payload = comm.recv(from, TAG_FACE_FWD)?;
+        wire.set_bytes(payload.len() as u64);
+        payload
+    };
+    {
+        let _scatter = tracer.span(Phase::Scatter);
+        let values = decode_face::<P>(&payload, faces).map_err(|error| CommError::Decode {
+            from,
+            tag: TAG_FACE_FWD,
+            error,
+        })?;
+        store_ghost(field, true, &values);
+    }
     // From the forward neighbor: its first slice = our forward ghost.
     let from = comm.forward();
-    let payload = comm.recv(from, TAG_FACE_BWD)?;
-    let values = decode_face::<P>(&payload, faces).map_err(|error| CommError::Decode {
-        from,
-        tag: TAG_FACE_BWD,
-        error,
-    })?;
-    store_ghost(field, false, &values);
+    let payload = {
+        let mut wire = tracer.span(Phase::Wire);
+        let payload = comm.recv(from, TAG_FACE_BWD)?;
+        wire.set_bytes(payload.len() as u64);
+        payload
+    };
+    {
+        let _scatter = tracer.span(Phase::Scatter);
+        let values = decode_face::<P>(&payload, faces).map_err(|error| CommError::Decode {
+            from,
+            tag: TAG_FACE_BWD,
+            error,
+        })?;
+        store_ghost(field, false, &values);
+    }
     Ok(())
 }
 

@@ -29,8 +29,9 @@ pub mod rank_op;
 pub mod slice;
 
 pub use driver::{
-    solve_full_parallel, solve_full_parallel_chaos, verify_full_solution, ChaosSpec,
-    ParallelSolveSpec, PrecisionMode, SolverKind,
+    solve_full_parallel, solve_full_parallel_chaos, solve_full_parallel_traced,
+    verify_full_solution, ChaosSpec, CommHealth, ParallelSolveSpec, PrecisionMode, SolverKind,
+    TracedSolve,
 };
 pub use ghost::{exchange_gauge_ghosts, exchange_spinor_ghosts, face_wire_bytes};
 pub use multidim::{best_grid, sustained_gflops_2d, ProcessGrid};

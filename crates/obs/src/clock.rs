@@ -1,0 +1,22 @@
+//! The process-wide monotonic clock every span timestamp derives from.
+//!
+//! All timestamps are durations since a lazily-pinned epoch (the first
+//! call in the process), so spans recorded on different rank threads are
+//! directly comparable and serialize as small numbers. This module is the
+//! single sanctioned `Instant::now()` call site for the comm, multigpu
+//! and solvers crates — everywhere else the xtask lint rule
+//! `no-raw-instant` rejects raw `Instant` reads, so that all hot-path
+//! timing flows through the recorder and stays comparable across ranks.
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Monotonic time since the process-wide epoch.
+///
+/// The first call pins the epoch; every later call (from any thread)
+/// measures against it. Monotonicity is inherited from [`Instant`].
+pub fn monotonic() -> Duration {
+    EPOCH.get_or_init(Instant::now).elapsed()
+}

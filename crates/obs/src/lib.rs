@@ -1,0 +1,40 @@
+//! # quda-obs
+//!
+//! Per-rank phase tracing for the parallel solver: a lightweight,
+//! thread-safe span/counter recorder measuring the phase breakdown the
+//! paper reports (Babich/Clark/Joó SC10, Section VI-D, Fig. 5) — interior
+//! kernel vs. face gather vs. wire time — from the run itself rather than
+//! from the analytic model in `perf.rs`.
+//!
+//! Design:
+//!
+//! * [`clock`] — one process-wide monotonic epoch; the **only** place in
+//!   the comm/multigpu/solvers stack allowed to call `Instant::now()`
+//!   (xtask lint rule `no-raw-instant`).
+//! * [`Phase`] — the closed phase taxonomy (communication, ghost
+//!   exchange, kernel and solver-algebra phases).
+//! * [`Recorder`] — one per solve; hands a cheap clonable [`Tracer`] to
+//!   every rank thread. Spans are recorded via RAII [`SpanGuard`]s onto a
+//!   per-rank buffer behind its own mutex, so ranks never contend.
+//! * [`Trace`] — the drained result: per-rank aggregates plus (in
+//!   [`TraceConfig::Full`]) a bounded ring of raw span events, reducible
+//!   to a [`PhaseBreakdown`] or exported with [`Trace::to_chrome_trace`].
+//!
+//! When tracing is off every guard is a no-op around an `Option` that is
+//! `None` — no clock reads, no locks, no allocation.
+
+#![warn(missing_docs)]
+// Observability must never take down the solve it is observing: the same
+// no-panic discipline as the hot path it instruments.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod clock;
+mod phase;
+mod recorder;
+mod trace;
+
+pub use phase::{Phase, PHASE_COUNT};
+pub use recorder::{PhaseAgg, Recorder, Span, SpanGuard, TraceConfig, Tracer};
+pub use trace::{
+    validate_chrome_trace, ChromeTraceSummary, PhaseBreakdown, PhaseStat, RankAgg, Trace,
+};

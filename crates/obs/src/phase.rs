@@ -1,0 +1,125 @@
+//! The closed phase taxonomy (see DESIGN.md §9).
+//!
+//! Phases come in four layers, mirroring the call stack of a traced
+//! solve: solver algebra (`Matvec`/`Blas`/`Reduce`/`ReliableUpdate`),
+//! operator kernels (`Interior`/`Exterior`/`Kernel` plus
+//! `Prepare`/`Reconstruct`), ghost exchange (`Gather`/`Wire`/`Scatter`)
+//! and raw communication (`CommSend`/`CommRecv`/`Retry`/`AllReduce`).
+//! Spans of an inner layer nest inside the spans of the layer above, and
+//! the recorder attributes each nanosecond to exactly one phase (the
+//! innermost open span), so per-phase *self* times sum to at most the
+//! wall time.
+
+/// Number of distinct phases; arrays indexed by [`Phase::index`] have
+/// this length.
+pub const PHASE_COUNT: usize = 16;
+
+/// One phase of a traced solve. `Copy` and dense-indexable so per-rank
+/// aggregation is a fixed-size array, not a hash map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Enqueueing one message into a peer's mailbox (`Communicator::send`).
+    CommSend,
+    /// Blocking wait for one matched message (`Communicator::recv`).
+    CommRecv,
+    /// One expired retry tick inside a blocking receive.
+    Retry,
+    /// A collective (gather + broadcast allreduce, or barrier).
+    AllReduce,
+    /// Packing a time-slice face into the wire format.
+    Gather,
+    /// Waiting for a face message from a neighbour rank.
+    Wire,
+    /// Unpacking a received face into the ghost zone.
+    Scatter,
+    /// Interior dslash while faces are in flight (`CommStrategy::Overlap`).
+    Interior,
+    /// Face-site dslash after ghosts arrive (`CommStrategy::Overlap`).
+    Exterior,
+    /// Full-volume dslash (no-overlap or unpartitioned path).
+    Kernel,
+    /// One whole operator application inside a solver iteration.
+    Matvec,
+    /// Local BLAS1 vector algebra inside a solver iteration.
+    Blas,
+    /// A solver global reduction (the local scalar's allreduce).
+    Reduce,
+    /// A mixed-precision reliable update (true-residual recompute).
+    ReliableUpdate,
+    /// Even/odd source preparation before the Krylov loop.
+    Prepare,
+    /// Full-solution reconstruction after the Krylov loop.
+    Reconstruct,
+}
+
+impl Phase {
+    /// Every phase, in `index` order.
+    pub const ALL: [Phase; PHASE_COUNT] = [
+        Phase::CommSend,
+        Phase::CommRecv,
+        Phase::Retry,
+        Phase::AllReduce,
+        Phase::Gather,
+        Phase::Wire,
+        Phase::Scatter,
+        Phase::Interior,
+        Phase::Exterior,
+        Phase::Kernel,
+        Phase::Matvec,
+        Phase::Blas,
+        Phase::Reduce,
+        Phase::ReliableUpdate,
+        Phase::Prepare,
+        Phase::Reconstruct,
+    ];
+
+    /// Dense index in `0..PHASE_COUNT`.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable lowercase name used in exports and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::CommSend => "comm_send",
+            Phase::CommRecv => "comm_recv",
+            Phase::Retry => "retry",
+            Phase::AllReduce => "allreduce",
+            Phase::Gather => "gather",
+            Phase::Wire => "wire",
+            Phase::Scatter => "scatter",
+            Phase::Interior => "interior",
+            Phase::Exterior => "exterior",
+            Phase::Kernel => "kernel",
+            Phase::Matvec => "matvec",
+            Phase::Blas => "blas",
+            Phase::Reduce => "reduce",
+            Phase::ReliableUpdate => "reliable_update",
+            Phase::Prepare => "prepare",
+            Phase::Reconstruct => "reconstruct",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_match_all() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        for a in Phase::ALL {
+            for b in Phase::ALL {
+                if a != b {
+                    assert_ne!(a.name(), b.name());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! The drained trace: per-rank aggregates, raw spans, the reduced
+//! [`PhaseBreakdown`] and chrome-trace JSON export/validation.
+
+use std::time::Duration;
+
+use serde_json::{Map, Value};
+
+use crate::phase::{Phase, PHASE_COUNT};
+use crate::recorder::{PhaseAgg, Span, TraceConfig};
+
+/// One rank's aggregated view of a solve.
+#[derive(Debug, Clone, Copy)]
+pub struct RankAgg {
+    /// Per-phase totals, indexed by [`Phase::index`].
+    pub phases: [PhaseAgg; PHASE_COUNT],
+    /// Start of the first recorded span (`None` if the rank recorded
+    /// nothing).
+    pub t_first: Option<Duration>,
+    /// End of the last recorded span.
+    pub t_last: Duration,
+}
+
+impl RankAgg {
+    /// Total self time across all phases: how long the rank was inside
+    /// *some* span, with no double counting.
+    pub fn busy(&self) -> Duration {
+        self.phases.iter().map(|a| a.exclusive).sum()
+    }
+
+    /// Wall-clock extent of this rank's activity.
+    pub fn wall(&self) -> Duration {
+        match self.t_first {
+            Some(first) => self.t_last.saturating_sub(first),
+            None => Duration::ZERO,
+        }
+    }
+}
+
+/// Everything a [`crate::Recorder`] captured for one solve.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// The depth the trace was recorded at.
+    pub config: TraceConfig,
+    /// Per-rank aggregates (always populated unless `Off`).
+    pub ranks: Vec<RankAgg>,
+    /// Raw span events in per-rank chronological order
+    /// ([`TraceConfig::Full`] only).
+    pub spans: Vec<Span>,
+    /// Raw events evicted from the per-rank rings.
+    pub dropped: u64,
+    /// Span guards dropped out of LIFO order or left open at finish —
+    /// always 0 unless the instrumentation itself has a bug.
+    pub unbalanced: u64,
+}
+
+impl Default for Trace {
+    /// The empty `Off` trace.
+    fn default() -> Self {
+        Trace {
+            config: TraceConfig::Off,
+            ranks: Vec::new(),
+            spans: Vec::new(),
+            dropped: 0,
+            unbalanced: 0,
+        }
+    }
+}
+
+/// Reduced per-phase statistics for one phase (see [`PhaseBreakdown`]).
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseStat {
+    /// Which phase.
+    pub phase: Phase,
+    /// Mean over ranks of the phase's *exclusive* (self) seconds. Across
+    /// all phases these sum to at most [`PhaseBreakdown::total_wall_s`].
+    pub seconds: f64,
+    /// Mean over ranks of the phase's inclusive seconds (children
+    /// counted; overlapping phases can sum past the wall time).
+    pub inclusive_seconds: f64,
+    /// Total payload bytes attributed to the phase, all ranks.
+    pub bytes: u64,
+    /// Total number of spans, all ranks.
+    pub count: u64,
+}
+
+/// The measured phase breakdown of a solve — the run-derived counterpart
+/// of the analytic model in `core::perf` (SC10 Fig. 5).
+#[derive(Debug, Clone, Default)]
+pub struct PhaseBreakdown {
+    /// World size the trace was recorded over.
+    pub n_ranks: usize,
+    /// Per-phase statistics, largest self time first; phases that never
+    /// occurred are omitted.
+    pub phases: Vec<PhaseStat>,
+    /// Wall time of the traced region: the maximum over ranks of
+    /// last-span-end minus first-span-start.
+    pub total_wall_s: f64,
+    /// Hidden-communication fraction in `[0, 1]`: interior-kernel time
+    /// (compute running while faces are in flight) over interior plus
+    /// exposed wire-wait time. 0 when nothing overlapped (`NoOverlap`
+    /// runs have no interior phase by construction).
+    pub overlap_efficiency: f64,
+    /// Load imbalance: max minus min over ranks of total busy (self)
+    /// time.
+    pub rank_skew_s: f64,
+    /// Total bytes enqueued by `comm_send` across all ranks.
+    pub bytes_moved: u64,
+    /// Raw events evicted from the ring buffers (aggregates still count
+    /// them).
+    pub dropped_events: u64,
+}
+
+impl PhaseBreakdown {
+    /// The stat for `phase`, if it occurred.
+    pub fn get(&self, phase: Phase) -> Option<&PhaseStat> {
+        self.phases.iter().find(|s| s.phase == phase)
+    }
+
+    /// Sum over phases of mean exclusive seconds; ≤ `total_wall_s` up to
+    /// clock-read jitter.
+    pub fn accounted_s(&self) -> f64 {
+        self.phases.iter().map(|s| s.seconds).sum()
+    }
+}
+
+impl Trace {
+    /// `true` iff nothing was recorded at any depth.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.ranks.iter().all(|r| r.t_first.is_none())
+    }
+
+    /// Reduce the per-rank aggregates to a [`PhaseBreakdown`]. Works at
+    /// `Summary` depth and above (raw spans are not required).
+    pub fn breakdown(&self) -> PhaseBreakdown {
+        let n = self.ranks.len();
+        if n == 0 {
+            return PhaseBreakdown::default();
+        }
+        let mut phases = Vec::new();
+        for phase in Phase::ALL {
+            let i = phase.index();
+            let mut excl = Duration::ZERO;
+            let mut incl = Duration::ZERO;
+            let mut bytes = 0u64;
+            let mut count = 0u64;
+            for r in &self.ranks {
+                excl += r.phases[i].exclusive;
+                incl += r.phases[i].inclusive;
+                bytes += r.phases[i].bytes;
+                count += r.phases[i].count;
+            }
+            if count > 0 {
+                phases.push(PhaseStat {
+                    phase,
+                    seconds: excl.as_secs_f64() / n as f64,
+                    inclusive_seconds: incl.as_secs_f64() / n as f64,
+                    bytes,
+                    count,
+                });
+            }
+        }
+        phases.sort_by(|a, b| b.seconds.total_cmp(&a.seconds));
+
+        let total_wall_s =
+            self.ranks.iter().map(|r| r.wall()).max().unwrap_or(Duration::ZERO).as_secs_f64();
+        let busies: Vec<Duration> = self.ranks.iter().map(|r| r.busy()).collect();
+        let rank_skew_s = match (busies.iter().max(), busies.iter().min()) {
+            (Some(max), Some(min)) => max.saturating_sub(*min).as_secs_f64(),
+            _ => 0.0,
+        };
+
+        let hidden: f64 =
+            phases.iter().find(|s| s.phase == Phase::Interior).map_or(0.0, |s| s.inclusive_seconds);
+        let exposed: f64 =
+            phases.iter().find(|s| s.phase == Phase::Wire).map_or(0.0, |s| s.inclusive_seconds);
+        let overlap_efficiency =
+            if hidden + exposed > 0.0 { hidden / (hidden + exposed) } else { 0.0 };
+
+        let bytes_moved = phases.iter().find(|s| s.phase == Phase::CommSend).map_or(0, |s| s.bytes);
+
+        PhaseBreakdown {
+            n_ranks: n,
+            phases,
+            total_wall_s,
+            overlap_efficiency,
+            rank_skew_s,
+            bytes_moved,
+            dropped_events: self.dropped,
+        }
+    }
+
+    /// Export the raw spans in the chrome trace-event format (open in
+    /// `chrome://tracing`, Perfetto, or Speedscope): one JSON object with
+    /// a `traceEvents` array of complete (`"ph":"X"`) events, `tid` =
+    /// rank, timestamps in microseconds. `Summary`-depth traces export a
+    /// valid document with thread-name metadata only.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut events: Vec<Value> = Vec::with_capacity(self.spans.len() + self.ranks.len());
+        for rank in 0..self.ranks.len() {
+            let mut args = Map::new();
+            args.insert("name".to_owned(), Value::from(format!("rank {rank}")));
+            let mut ev = Map::new();
+            ev.insert("ph".to_owned(), Value::from("M"));
+            ev.insert("name".to_owned(), Value::from("thread_name"));
+            ev.insert("pid".to_owned(), Value::from(0u64));
+            ev.insert("tid".to_owned(), Value::from(rank));
+            ev.insert("args".to_owned(), Value::Object(args));
+            events.push(Value::Object(ev));
+        }
+        for span in &self.spans {
+            let mut args = Map::new();
+            if span.bytes > 0 {
+                args.insert("bytes".to_owned(), Value::from(span.bytes));
+            }
+            if span.iter > 0 {
+                args.insert("iter".to_owned(), Value::from(span.iter));
+            }
+            let mut ev = Map::new();
+            ev.insert("name".to_owned(), Value::from(span.phase.name()));
+            ev.insert("cat".to_owned(), Value::from(phase_cat(span.phase)));
+            ev.insert("ph".to_owned(), Value::from("X"));
+            ev.insert("ts".to_owned(), Value::from(span.t_start.as_secs_f64() * 1e6));
+            ev.insert("dur".to_owned(), Value::from(span.dur().as_secs_f64() * 1e6));
+            ev.insert("pid".to_owned(), Value::from(0u64));
+            ev.insert("tid".to_owned(), Value::from(span.rank));
+            if !args.is_empty() {
+                ev.insert("args".to_owned(), Value::Object(args));
+            }
+            events.push(Value::Object(ev));
+        }
+        let mut root = Map::new();
+        root.insert("displayTimeUnit".to_owned(), Value::from("ms"));
+        root.insert("traceEvents".to_owned(), Value::Array(events));
+        // Every number above is a finite duration or count, so
+        // serialization cannot fail; fall back to an empty document
+        // rather than panicking inside observability code.
+        serde_json::to_string(&Value::Object(root))
+            .unwrap_or_else(|_| "{\"traceEvents\":[]}".to_owned())
+    }
+}
+
+impl Span {
+    /// The span's duration.
+    pub fn dur(&self) -> Duration {
+        self.t_end.saturating_sub(self.t_start)
+    }
+}
+
+fn phase_cat(phase: Phase) -> &'static str {
+    match phase {
+        Phase::CommSend | Phase::CommRecv | Phase::Retry | Phase::AllReduce => "comm",
+        Phase::Gather | Phase::Wire | Phase::Scatter => "ghost",
+        Phase::Interior | Phase::Exterior | Phase::Kernel => "kernel",
+        Phase::Matvec
+        | Phase::Blas
+        | Phase::Reduce
+        | Phase::ReliableUpdate
+        | Phase::Prepare
+        | Phase::Reconstruct => "solver",
+    }
+}
+
+/// What [`validate_chrome_trace`] found in a structurally valid export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChromeTraceSummary {
+    /// Total events, metadata included.
+    pub events: usize,
+    /// Complete (`"ph":"X"`) span events.
+    pub complete_events: usize,
+    /// Distinct `tid` (rank) values seen on complete events.
+    pub ranks: usize,
+}
+
+/// Validate a chrome-trace document against the schema the exporter
+/// emits: a root object with a `traceEvents` array whose entries carry a
+/// string `name` and `ph`, and — for complete (`X`) events — finite
+/// non-negative `ts`/`dur` plus integral `pid`/`tid`. This is the check
+/// the CI `trace` job runs on the exported artifact.
+pub fn validate_chrome_trace(json: &str) -> Result<ChromeTraceSummary, String> {
+    let root = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    let events = root
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "root object must have a `traceEvents` array".to_owned())?;
+    let mut complete = 0;
+    let mut ranks = std::collections::BTreeSet::new();
+    for (i, ev) in events.iter().enumerate() {
+        let obj = ev.as_object().ok_or_else(|| format!("event {i} is not an object"))?;
+        let ph = obj
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i} lacks a string `ph`"))?;
+        if obj.get("name").and_then(Value::as_str).is_none() {
+            return Err(format!("event {i} lacks a string `name`"));
+        }
+        if ph == "X" {
+            for key in ["ts", "dur"] {
+                let n = obj
+                    .get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("event {i} lacks a numeric `{key}`"))?;
+                if !n.is_finite() || n < 0.0 {
+                    return Err(format!("event {i} has a negative or non-finite `{key}`"));
+                }
+            }
+            let tid = obj
+                .get("tid")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("event {i} lacks an integral `tid`"))?;
+            if obj.get("pid").and_then(Value::as_u64).is_none() {
+                return Err(format!("event {i} lacks an integral `pid`"));
+            }
+            ranks.insert(tid);
+            complete += 1;
+        }
+    }
+    Ok(ChromeTraceSummary { events: events.len(), complete_events: complete, ranks: ranks.len() })
+}

@@ -1,0 +1,241 @@
+//! Trace-layer invariants: span nesting, exclusive-time accounting,
+//! chrome-trace round-tripping and the zero-cost `Off` path.
+
+use std::thread;
+use std::time::Duration;
+
+use quda_obs::{validate_chrome_trace, Phase, Recorder, Span, TraceConfig, Tracer};
+
+fn busy(us: u64) {
+    thread::sleep(Duration::from_micros(us));
+}
+
+/// Record a realistic nested workload on one rank: a matvec containing a
+/// gather, an interior kernel, a wire wait and an exterior kernel.
+fn record_iteration(tracer: &Tracer, iter: u64) {
+    let mut matvec = tracer.span(Phase::Matvec);
+    matvec.set_iter(iter);
+    {
+        let mut g = tracer.span(Phase::Gather);
+        g.set_bytes(256);
+        busy(50);
+    }
+    {
+        let _g = tracer.span(Phase::Interior);
+        busy(200);
+    }
+    {
+        let mut g = tracer.span(Phase::Wire);
+        g.set_bytes(256);
+        busy(80);
+    }
+    {
+        let _g = tracer.span(Phase::Exterior);
+        busy(60);
+    }
+}
+
+fn spans_of_rank(spans: &[Span], rank: usize) -> Vec<Span> {
+    spans.iter().copied().filter(|s| s.rank == rank).collect()
+}
+
+#[test]
+fn spans_nest_and_never_overlap_within_a_rank() {
+    let rec = Recorder::new(3, TraceConfig::Full);
+    thread::scope(|scope| {
+        for rank in 0..3 {
+            let tracer = rec.tracer(rank);
+            scope.spawn(move || {
+                for iter in 1..=4 {
+                    record_iteration(&tracer, iter);
+                }
+            });
+        }
+    });
+    let trace = rec.finish();
+    assert_eq!(trace.unbalanced, 0);
+    for rank in 0..3 {
+        let spans = spans_of_rank(&trace.spans, rank);
+        assert!(!spans.is_empty());
+        for (i, a) in spans.iter().enumerate() {
+            assert!(a.t_end >= a.t_start);
+            for b in &spans[i + 1..] {
+                let disjoint = a.t_end <= b.t_start || b.t_end <= a.t_start;
+                let a_in_b = b.t_start <= a.t_start && a.t_end <= b.t_end;
+                let b_in_a = a.t_start <= b.t_start && b.t_end <= a.t_end;
+                assert!(
+                    disjoint || a_in_b || b_in_a,
+                    "rank {rank}: spans {a:?} and {b:?} partially overlap"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn exclusive_times_sum_to_at_most_the_wall_time() {
+    let rec = Recorder::new(2, TraceConfig::Summary);
+    thread::scope(|scope| {
+        for rank in 0..2 {
+            let tracer = rec.tracer(rank);
+            scope.spawn(move || {
+                for iter in 1..=8 {
+                    record_iteration(&tracer, iter);
+                }
+            });
+        }
+    });
+    let trace = rec.finish();
+    // Summary depth keeps no raw events but still reduces.
+    assert!(trace.spans.is_empty());
+    let bd = trace.breakdown();
+    assert!(!bd.phases.is_empty());
+    assert!(bd.total_wall_s > 0.0);
+    assert!(
+        bd.accounted_s() <= bd.total_wall_s * (1.0 + 1e-9),
+        "accounted {} > wall {}",
+        bd.accounted_s(),
+        bd.total_wall_s
+    );
+    // The matvec parent's self time excludes its children: its inclusive
+    // time dominates its exclusive time.
+    let matvec = bd.get(Phase::Matvec).unwrap();
+    assert!(matvec.inclusive_seconds > matvec.seconds);
+    // Byte counts flow into the per-phase totals: 2 ranks × 8 iters × 256.
+    assert_eq!(bd.get(Phase::Gather).unwrap().bytes, 2 * 8 * 256);
+}
+
+#[test]
+fn off_config_records_zero_events_and_reads_no_state() {
+    let rec = Recorder::new(2, TraceConfig::Off);
+    let tracer = rec.tracer(0);
+    assert!(!tracer.enabled());
+    for iter in 1..=4 {
+        record_iteration(&tracer, iter);
+    }
+    tracer.record_since(Phase::Retry, Duration::ZERO, 0);
+    let trace = rec.finish();
+    assert!(trace.is_empty());
+    assert_eq!(trace.spans.len(), 0);
+    assert!(trace.breakdown().phases.is_empty());
+    assert_eq!(trace.breakdown().total_wall_s, 0.0);
+}
+
+#[test]
+fn disabled_tracer_is_the_default() {
+    let tracer = Tracer::default();
+    assert!(!tracer.enabled());
+    // Guards through a disabled tracer are inert.
+    let mut g = tracer.span(Phase::Kernel);
+    g.set_bytes(1);
+    drop(g);
+}
+
+#[test]
+fn chrome_trace_round_trips_through_serde_json() {
+    let rec = Recorder::new(2, TraceConfig::Full);
+    thread::scope(|scope| {
+        for rank in 0..2 {
+            let tracer = rec.tracer(rank);
+            scope.spawn(move || record_iteration(&tracer, 1));
+        }
+    });
+    let trace = rec.finish();
+    let json = trace.to_chrome_trace();
+
+    let value = serde_json::from_str(&json).expect("exported trace parses");
+    let reprinted = serde_json::to_string(&value).expect("reserialize");
+    assert_eq!(serde_json::from_str(&reprinted).expect("reparse"), value);
+
+    let summary = validate_chrome_trace(&json).expect("schema-valid");
+    assert_eq!(summary.complete_events, trace.spans.len());
+    assert_eq!(summary.ranks, 2);
+    assert!(summary.events >= summary.complete_events);
+
+    // Spot-check one complete event's shape.
+    let events = value.get("traceEvents").unwrap().as_array().unwrap();
+    let ev = events.iter().find(|e| e.get("ph").unwrap().as_str() == Some("X")).unwrap();
+    assert!(ev.get("name").unwrap().as_str().is_some());
+    assert!(ev.get("ts").unwrap().as_f64().unwrap() >= 0.0);
+    assert!(ev.get("dur").unwrap().as_f64().unwrap() >= 0.0);
+}
+
+#[test]
+fn validator_rejects_malformed_documents() {
+    assert!(validate_chrome_trace("not json").is_err());
+    assert!(validate_chrome_trace("{}").is_err());
+    assert!(validate_chrome_trace(r#"{"traceEvents":[{"ph":"X"}]}"#).is_err());
+    assert!(validate_chrome_trace(
+        r#"{"traceEvents":[{"name":"k","ph":"X","ts":-1,"dur":0,"pid":0,"tid":0}]}"#
+    )
+    .is_err());
+    assert!(validate_chrome_trace(r#"{"traceEvents":[]}"#).is_ok());
+}
+
+#[test]
+fn retry_leaf_spans_integrate_into_parent_accounting() {
+    let rec = Recorder::new(1, TraceConfig::Full);
+    let tracer = rec.tracer(0);
+    {
+        let _recv = tracer.span(Phase::CommRecv);
+        let t0 = quda_obs::clock::monotonic();
+        busy(100);
+        tracer.record_since(Phase::Retry, t0, 0);
+        busy(50);
+    }
+    let trace = rec.finish();
+    assert_eq!(trace.unbalanced, 0);
+    let bd = trace.breakdown();
+    let retry = bd.get(Phase::Retry).unwrap();
+    let recv = bd.get(Phase::CommRecv).unwrap();
+    assert!(retry.seconds > 0.0);
+    // The retry tick is accounted as a child: recv self time excludes it.
+    assert!(recv.seconds < recv.inclusive_seconds);
+    assert!(bd.accounted_s() <= bd.total_wall_s * (1.0 + 1e-9));
+}
+
+#[test]
+fn event_ring_bounds_memory_and_counts_drops() {
+    let rec = Recorder::new(1, TraceConfig::Full);
+    let tracer = rec.tracer(0);
+    let n = (1 << 16) + 100;
+    for _ in 0..n {
+        let _g = tracer.span(Phase::Blas);
+    }
+    let trace = rec.finish();
+    assert_eq!(trace.spans.len(), 1 << 16);
+    assert_eq!(trace.dropped, 100);
+    // Aggregates still count every span.
+    assert_eq!(trace.breakdown().get(Phase::Blas).unwrap().count, n as u64);
+    // The retained ring is chronologically ordered.
+    for w in trace.spans.windows(2) {
+        assert!(w[0].t_start <= w[1].t_start);
+    }
+}
+
+#[test]
+fn overlap_efficiency_is_zero_without_interior_and_bounded_otherwise() {
+    // No interior phase at all → 0.
+    let rec = Recorder::new(1, TraceConfig::Summary);
+    let tracer = rec.tracer(0);
+    {
+        let _g = tracer.span(Phase::Wire);
+        busy(50);
+    }
+    let bd = rec.finish().breakdown();
+    assert_eq!(bd.overlap_efficiency, 0.0);
+
+    // Interior + wire → strictly inside (0, 1].
+    let rec = Recorder::new(1, TraceConfig::Summary);
+    let tracer = rec.tracer(0);
+    {
+        let _g = tracer.span(Phase::Interior);
+        busy(150);
+    }
+    {
+        let _g = tracer.span(Phase::Wire);
+        busy(50);
+    }
+    let bd = rec.finish().breakdown();
+    assert!(bd.overlap_efficiency > 0.0 && bd.overlap_efficiency <= 1.0);
+}

@@ -2,11 +2,12 @@
 //! even-odd preconditioned Wilson-clover matrix (Section II, reference \[8\]).
 
 use crate::blas::{self, BlasCounters};
-use crate::operator::{residual_norm2, LinearOperator};
+use crate::operator::{residual_norm2, traced, traced_iter, LinearOperator};
 use crate::params::{SolveResult, SolverParams};
 use quda_fields::precision::Precision;
 use quda_fields::SpinorFieldCb;
 use quda_math::complex::C64;
+use quda_obs::Phase;
 
 /// Solve `M̂ x = b` with plain (uniform-precision) BiCGstab.
 ///
@@ -19,8 +20,10 @@ pub fn bicgstab<P: Precision>(
 ) -> SolveResult {
     let mut c = BlasCounters::default();
     let mut matvecs: u64 = 0;
+    let tracer = op.tracer();
 
-    let b_norm2 = op.reduce(blas::norm2(b, &mut c));
+    let b_local = traced(&tracer, Phase::Blas, || blas::norm2(b, &mut c));
+    let b_norm2 = traced(&tracer, Phase::Reduce, || op.reduce(b_local));
     if b_norm2 == 0.0 {
         blas::zero(x);
         return SolveResult { converged: true, ..Default::default() };
@@ -53,10 +56,12 @@ pub fn bicgstab<P: Precision>(
             abort_error = Some(f.message);
             break;
         }
+        let iter_tag = iterations as u64 + 1;
         // v = M̂ p.
-        op.apply(&mut v, &mut p);
+        traced_iter(&tracer, Phase::Matvec, iter_tag, || op.apply(&mut v, &mut p));
         matvecs += 1;
-        let r0v = op.reduce_c(blas::cdot(&r0, &v, &mut c));
+        let r0v_local = traced(&tracer, Phase::Blas, || blas::cdot(&r0, &v, &mut c));
+        let r0v = traced(&tracer, Phase::Reduce, || op.reduce_c(r0v_local));
         if !r0v.re.is_finite() || !r0v.im.is_finite() {
             break; // corrupted reduction; the true-residual check decides
         }
@@ -65,42 +70,49 @@ pub fn bicgstab<P: Precision>(
         }
         let alpha = rho.div(r0v);
         // s = r − α v (stored in r), ‖s‖².
-        let s_norm2 = op.reduce(blas::caxpy_norm(-alpha, &v, &mut r, &mut c));
+        let s_local = traced(&tracer, Phase::Blas, || blas::caxpy_norm(-alpha, &v, &mut r, &mut c));
+        let s_norm2 = traced(&tracer, Phase::Reduce, || op.reduce(s_local));
         if !s_norm2.is_finite() {
             break;
         }
         if s_norm2 <= target2 {
             // Early exit on the half-step: x += α p.
-            blas::caxpy(alpha, &p, x, &mut c);
+            traced(&tracer, Phase::Blas, || blas::caxpy(alpha, &p, x, &mut c));
             iterations += 1;
             converged = true;
             break;
         }
         // t = M̂ s.
-        op.apply(&mut t, &mut r);
+        traced_iter(&tracer, Phase::Matvec, iter_tag, || op.apply(&mut t, &mut r));
         matvecs += 1;
         // ω = <t, s> / <t, t>.
         let (ts, tt) = {
-            let (dot, n) = blas::cdot_norm_a(&t, &r, &mut c);
-            (op.reduce_c(dot), op.reduce(n))
+            let (dot, n) = traced(&tracer, Phase::Blas, || blas::cdot_norm_a(&t, &r, &mut c));
+            traced(&tracer, Phase::Reduce, || (op.reduce_c(dot), op.reduce(n)))
         };
         if tt == 0.0 {
             break;
         }
         let omega = ts.scale(1.0 / tt);
-        // x += α p + ω s.
-        blas::caxpbypz(alpha, &p, omega, &r, x, &mut c);
-        // r = s − ω t, ‖r‖².
-        r_norm2 = op.reduce(blas::caxpy_norm(-omega, &t, &mut r, &mut c));
+        let (r_local, rho_local) = traced(&tracer, Phase::Blas, || {
+            // x += α p + ω s.
+            blas::caxpbypz(alpha, &p, omega, &r, x, &mut c);
+            // r = s − ω t, ‖r‖².
+            let r_local = blas::caxpy_norm(-omega, &t, &mut r, &mut c);
+            // ρ' = <r0, r>.
+            (r_local, blas::cdot(&r0, &r, &mut c))
+        });
+        r_norm2 = traced(&tracer, Phase::Reduce, || op.reduce(r_local));
         if !r_norm2.is_finite() {
             break;
         }
-        // ρ' = <r0, r>; β = (ρ'/ρ)(α/ω).
-        let rho_new = op.reduce_c(blas::cdot(&r0, &r, &mut c));
+        let rho_new = traced(&tracer, Phase::Reduce, || op.reduce_c(rho_local));
         let beta = rho_new.div(rho) * alpha.div(omega);
         rho = rho_new;
         // p = r + β (p − ω v).
-        blas::cxpaypbz(&r, -(beta * omega), &v, beta, &mut p, &mut c);
+        traced(&tracer, Phase::Blas, || {
+            blas::cxpaypbz(&r, -(beta * omega), &v, beta, &mut p, &mut c)
+        });
         iterations += 1;
         history.push((r_norm2 / b_norm2).sqrt());
         converged = r_norm2 <= target2;

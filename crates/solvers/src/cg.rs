@@ -5,10 +5,11 @@
 //! equations (CGNE or CGNR) is used, or ... BiCGstab").
 
 use crate::blas::{self, BlasCounters};
-use crate::operator::{residual_norm2, LinearOperator};
+use crate::operator::{residual_norm2, traced, traced_iter, LinearOperator};
 use crate::params::{SolveResult, SolverParams};
 use quda_fields::precision::Precision;
 use quda_fields::SpinorFieldCb;
+use quda_obs::Phase;
 
 /// Refresh the rollback checkpoint every this many CG iterations: cheap
 /// enough to be negligible, frequent enough that a rollback loses little
@@ -30,8 +31,10 @@ pub fn cgnr<P: Precision>(
 ) -> SolveResult {
     let mut c = BlasCounters::default();
     let mut matvecs: u64 = 0;
+    let tracer = op.tracer();
 
-    let b_norm2 = op.reduce(blas::norm2(b, &mut c));
+    let b_local = traced(&tracer, Phase::Blas, || blas::norm2(b, &mut c));
+    let b_norm2 = traced(&tracer, Phase::Reduce, || op.reduce(b_local));
     if b_norm2 == 0.0 {
         blas::zero(x);
         return SolveResult { converged: true, ..Default::default() };
@@ -73,11 +76,15 @@ pub fn cgnr<P: Precision>(
             abort_error = Some(f.message);
             break;
         }
+        let iter_tag = iterations as u64 + 1;
         // Ap = M̂† M̂ p.
-        op.apply(&mut mid, &mut p);
-        op.apply_dagger(&mut ap, &mut mid);
+        traced_iter(&tracer, Phase::Matvec, iter_tag, || {
+            op.apply(&mut mid, &mut p);
+            op.apply_dagger(&mut ap, &mut mid);
+        });
         matvecs += 2;
-        let p_ap = op.reduce(blas::cdot(&p, &ap, &mut c).re);
+        let p_ap_local = traced(&tracer, Phase::Blas, || blas::cdot(&p, &ap, &mut c).re);
+        let p_ap = traced(&tracer, Phase::Reduce, || op.reduce(p_ap_local));
         // NaN would sail through the positivity check below and poison x
         // via α, so non-finiteness must be tested first.
         let mut corrupt = !p_ap.is_finite();
@@ -87,13 +94,11 @@ pub fn cgnr<P: Precision>(
                 break; // loss of positivity: numerical breakdown
             }
             let alpha = rsq / p_ap;
-            blas::axpy(alpha, &p, x, &mut c);
-            rsq_new = op.reduce(blas::caxpy_norm(
-                quda_math::complex::C64::new(-alpha, 0.0),
-                &ap,
-                &mut r,
-                &mut c,
-            ));
+            let rsq_local = traced(&tracer, Phase::Blas, || {
+                blas::axpy(alpha, &p, x, &mut c);
+                blas::caxpy_norm(quda_math::complex::C64::new(-alpha, 0.0), &ap, &mut r, &mut c)
+            });
+            rsq_new = traced(&tracer, Phase::Reduce, || op.reduce(rsq_local));
             corrupt = !rsq_new.is_finite();
         }
         if corrupt {
@@ -121,7 +126,7 @@ pub fn cgnr<P: Precision>(
         let beta = rsq_new / rsq;
         rsq = rsq_new;
         // p = r + β p.
-        blas::xpay(&r, beta, &mut p, &mut c);
+        traced(&tracer, Phase::Blas, || blas::xpay(&r, beta, &mut p, &mut c));
         iterations += 1;
         history.push((rsq / bp_norm2.max(f64::MIN_POSITIVE)).sqrt());
         converged = rsq <= target2;

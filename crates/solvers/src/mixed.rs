@@ -17,11 +17,12 @@
 //!   iterations" (Section V-D); the ablation benchmark quantifies it.
 
 use crate::blas::{self, BlasCounters};
-use crate::operator::{residual_norm2, LinearOperator};
+use crate::operator::{residual_norm2, traced, traced_iter, LinearOperator};
 use crate::params::{SolveResult, SolverParams};
 use quda_fields::precision::Precision;
 use quda_fields::SpinorFieldCb;
 use quda_math::complex::C64;
+use quda_obs::Phase;
 
 /// Rollback budget: how many times a solve may restore its checkpoint after
 /// detecting corrupted state before giving up with a terminal error. A
@@ -89,8 +90,12 @@ pub fn bicgstab_reliable<H: Precision, L: Precision>(
     let mut matvecs_lo: u64 = 0;
     let mut matvecs_hi: u64 = 0;
     let mut reliable_updates: u64 = 0;
+    // Both operators live on the same rank; either handle reaches the same
+    // per-rank recorder. The sloppy one drives the iteration, so use it.
+    let tracer = op_lo.tracer();
 
-    let b_norm2 = op_hi.reduce(blas::norm2(b, &mut c));
+    let b_local = traced(&tracer, Phase::Blas, || blas::norm2(b, &mut c));
+    let b_norm2 = traced(&tracer, Phase::Reduce, || op_hi.reduce(b_local));
     if b_norm2 == 0.0 {
         blas::zero(x);
         return SolveResult { converged: true, ..Default::default() };
@@ -149,10 +154,12 @@ pub fn bicgstab_reliable<H: Precision, L: Precision>(
             abort_error = Some(f.message);
             break;
         }
+        let iter_tag = iterations as u64 + 1;
         let step = 'body: {
-            op_lo.apply(&mut v, &mut p);
+            traced_iter(&tracer, Phase::Matvec, iter_tag, || op_lo.apply(&mut v, &mut p));
             matvecs_lo += 1;
-            let r0v = op_lo.reduce_c(blas::cdot(&r0, &v, &mut c));
+            let r0v_local = traced(&tracer, Phase::Blas, || blas::cdot(&r0, &v, &mut c));
+            let r0v = traced(&tracer, Phase::Reduce, || op_lo.reduce_c(r0v_local));
             if !r0v.re.is_finite() || !r0v.im.is_finite() {
                 break 'body Step::Corrupt;
             }
@@ -160,15 +167,17 @@ pub fn bicgstab_reliable<H: Precision, L: Precision>(
                 break 'body Step::Breakdown;
             }
             let alpha = rho.div(r0v);
-            let s2 = op_lo.reduce(blas::caxpy_norm(-alpha, &v, &mut r, &mut c));
+            let s_local =
+                traced(&tracer, Phase::Blas, || blas::caxpy_norm(-alpha, &v, &mut r, &mut c));
+            let s2 = traced(&tracer, Phase::Reduce, || op_lo.reduce(s_local));
             if !s2.is_finite() {
                 break 'body Step::Corrupt;
             }
-            op_lo.apply(&mut t, &mut r);
+            traced_iter(&tracer, Phase::Matvec, iter_tag, || op_lo.apply(&mut t, &mut r));
             matvecs_lo += 1;
             let (ts, tt) = {
-                let (dot, n) = blas::cdot_norm_a(&t, &r, &mut c);
-                (op_lo.reduce_c(dot), op_lo.reduce(n))
+                let (dot, n) = traced(&tracer, Phase::Blas, || blas::cdot_norm_a(&t, &r, &mut c));
+                traced(&tracer, Phase::Reduce, || (op_lo.reduce_c(dot), op_lo.reduce(n)))
             };
             if !tt.is_finite() || !ts.re.is_finite() || !ts.im.is_finite() {
                 break 'body Step::Corrupt;
@@ -177,15 +186,21 @@ pub fn bicgstab_reliable<H: Precision, L: Precision>(
                 break 'body Step::Exhausted;
             }
             let omega = ts.scale(1.0 / tt);
-            blas::caxpbypz(alpha, &p, omega, &r, &mut x_sloppy, &mut c);
-            let r2_iter = op_lo.reduce(blas::caxpy_norm(-omega, &t, &mut r, &mut c));
+            let r2_local = traced(&tracer, Phase::Blas, || {
+                blas::caxpbypz(alpha, &p, omega, &r, &mut x_sloppy, &mut c);
+                blas::caxpy_norm(-omega, &t, &mut r, &mut c)
+            });
+            let r2_iter = traced(&tracer, Phase::Reduce, || op_lo.reduce(r2_local));
             if !r2_iter.is_finite() {
                 break 'body Step::Corrupt;
             }
-            let rho_new = op_lo.reduce_c(blas::cdot(&r0, &r, &mut c));
+            let rho_local = traced(&tracer, Phase::Blas, || blas::cdot(&r0, &r, &mut c));
+            let rho_new = traced(&tracer, Phase::Reduce, || op_lo.reduce_c(rho_local));
             let beta = rho_new.div(rho) * alpha.div(omega);
             rho = rho_new;
-            blas::cxpaypbz(&r, -(beta * omega), &v, beta, &mut p, &mut c);
+            traced(&tracer, Phase::Blas, || {
+                blas::cxpaypbz(&r, -(beta * omega), &v, beta, &mut p, &mut c)
+            });
             iterations += 1;
             history.push((r2_iter / b_norm2).sqrt());
 
@@ -193,6 +208,10 @@ pub fn bicgstab_reliable<H: Precision, L: Precision>(
             maxrr = maxrr.max(r_norm);
             let want_update = r_norm < params.delta * maxrr || r2_iter <= target2;
             if want_update {
+                // A guard (not a closure) so the `break 'body` exits below
+                // still close the span on the way out.
+                let mut ru_span = tracer.span(Phase::ReliableUpdate);
+                ru_span.set_iter(iter_tag);
                 // Reliable update: accumulate and recompute the true
                 // residual in high precision.
                 accumulate(x, &x_sloppy, &mut scratch_hi, &mut c);
@@ -311,8 +330,10 @@ pub fn bicgstab_defect_correction<H: Precision, L: Precision>(
     let mut op_flops: u64 = 0;
     let mut restarts: u64 = 0;
     let mut history: Vec<f64> = Vec::new();
+    let tracer = op_hi.tracer();
 
-    let b_norm2 = op_hi.reduce(blas::norm2(b, &mut c));
+    let b_local = traced(&tracer, Phase::Blas, || blas::norm2(b, &mut c));
+    let b_norm2 = traced(&tracer, Phase::Reduce, || op_hi.reduce(b_local));
     if b_norm2 == 0.0 {
         blas::zero(x);
         return SolveResult { converged: true, ..Default::default() };
@@ -347,8 +368,10 @@ pub fn bicgstab_defect_correction<H: Precision, L: Precision>(
             abort_error = Some(e);
             break;
         }
-        accumulate(x, &e_lo, &mut scratch_hi, &mut c);
-        r2 = residual_norm2(op_hi, &mut r_hi, x, b, &mut c);
+        r2 = traced_iter(&tracer, Phase::ReliableUpdate, restarts + 1, || {
+            accumulate(x, &e_lo, &mut scratch_hi, &mut c);
+            residual_norm2(op_hi, &mut r_hi, x, b, &mut c)
+        });
         matvecs += 1;
         op_flops += op_hi.flops_per_apply();
         restarts += 1;

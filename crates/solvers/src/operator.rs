@@ -13,6 +13,7 @@ use quda_fields::precision::Precision;
 use quda_fields::SpinorFieldCb;
 use quda_lattice::geometry::LatticeDims;
 use quda_math::complex::C64;
+use quda_obs::{Phase, Tracer};
 
 /// A fault recorded by an operator implementation — typically a
 /// communication failure (dead peer, exhausted retries) on a partitioned
@@ -63,6 +64,27 @@ pub trait LinearOperator<P: Precision> {
     fn fault(&self) -> Option<OpFault> {
         None
     }
+    /// The phase recorder handle for this operator's rank. The default
+    /// (single-device) implementation returns the disabled tracer, so
+    /// solver instrumentation is free unless a traced parallel operator
+    /// is underneath.
+    fn tracer(&self) -> Tracer {
+        Tracer::disabled()
+    }
+}
+
+/// Run `f` inside a span of `phase` on `tracer` — sugar keeping the
+/// solver loops readable where a guard binding would be noise.
+pub fn traced<R>(tracer: &Tracer, phase: Phase, f: impl FnOnce() -> R) -> R {
+    let _span = tracer.span(phase);
+    f()
+}
+
+/// Like [`traced`], tagging the span with the solver iteration.
+pub fn traced_iter<R>(tracer: &Tracer, phase: Phase, iter: u64, f: impl FnOnce() -> R) -> R {
+    let mut span = tracer.span(phase);
+    span.set_iter(iter);
+    f()
 }
 
 /// Single-device even-odd preconditioned Wilson-clover operator with owned
@@ -113,8 +135,10 @@ pub fn residual_norm2<P: Precision>(
     b: &SpinorFieldCb<P>,
     counters: &mut BlasCounters,
 ) -> f64 {
-    op.apply(r, x);
-    op.reduce(crate::blas::xmy_norm(b, r, counters))
+    let tracer = op.tracer();
+    traced(&tracer, Phase::Matvec, || op.apply(r, x));
+    let local = traced(&tracer, Phase::Blas, || crate::blas::xmy_norm(b, r, counters));
+    traced(&tracer, Phase::Reduce, || op.reduce(local))
 }
 
 #[cfg(test)]

@@ -8,12 +8,14 @@ mod ghost_sizing;
 mod global_reduce;
 mod half_normalization;
 mod no_panic;
+mod no_raw_instant;
 mod safety_comment;
 
 pub use ghost_sizing::GhostSizing;
 pub use global_reduce::GlobalReduce;
 pub use half_normalization::HalfNormalization;
 pub use no_panic::NoPanic;
+pub use no_raw_instant::NoRawInstant;
 pub use safety_comment::SafetyComment;
 
 /// A single statically-checked project invariant.
@@ -37,6 +39,7 @@ pub fn builtin_lints() -> Vec<Box<dyn Lint>> {
         Box::new(HalfNormalization),
         Box::new(GhostSizing),
         Box::new(SafetyComment),
+        Box::new(NoRawInstant),
     ]
 }
 

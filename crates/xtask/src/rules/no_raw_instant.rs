@@ -1,0 +1,70 @@
+//! Rule `no-raw-instant`: no direct `Instant::now()` in non-test code of
+//! the comm, multigpu and solver crates.
+//!
+//! Phase attribution only works if every timestamp comes from the single
+//! shared epoch clock in `quda-obs` (`clock::monotonic()`): raw `Instant`s
+//! from scattered call sites cannot be compared across ranks or merged
+//! into one trace, and ad-hoc timing silently bypasses the recorder's
+//! span accounting. Hot-path code should open a tracer span (or use
+//! `clock::monotonic()` for durations) instead.
+
+use super::{emit, in_test_code, Lint};
+use crate::report::Diagnostic;
+use crate::source::{find_word, SourceFile};
+
+/// See module docs.
+pub struct NoRawInstant;
+
+impl Lint for NoRawInstant {
+    fn name(&self) -> &'static str {
+        "no-raw-instant"
+    }
+
+    fn description(&self) -> &'static str {
+        "no Instant::now() outside quda-obs in comm, multigpu and solver code"
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        ["crates/comm/src/", "crates/multigpu/src/", "crates/solvers/src/"]
+            .iter()
+            .any(|p| rel_path.starts_with(p))
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if file.is_test_target() {
+            return;
+        }
+        let bytes = file.masked.as_bytes();
+        let mut at = 0;
+        while let Some(pos) = find_word(&file.masked, "Instant", at) {
+            at = pos + "Instant".len();
+            if in_test_code(file, pos) {
+                continue;
+            }
+            // Flag `Instant :: now`, whitespace-tolerant.
+            let mut i = at;
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if !file.masked[i..].starts_with("::") {
+                continue;
+            }
+            i += 2;
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if find_word(&file.masked, "now", i) == Some(i) {
+                emit(
+                    file,
+                    self.name(),
+                    pos,
+                    "raw `Instant::now()` bypasses the shared trace clock; use a tracer \
+                     span or `quda_obs::clock::monotonic()` so the sample lands in the \
+                     phase breakdown"
+                        .to_owned(),
+                    out,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! `no-raw-instant` fixture, linted as `crates/solvers/src/fixture.rs`.
+
+use std::time::Instant;
+
+pub fn hot_timed() -> Instant {
+    Instant::now()
+}
+
+pub fn hot_qualified() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn spaced() -> Instant {
+    Instant :: now()
+}
+
+pub fn suppressed() -> Instant {
+    // quda-lint: allow(no-raw-instant)
+    Instant::now()
+}
+
+pub fn not_a_call(i: Instant) -> std::time::Duration {
+    i.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn in_tests() -> std::time::Instant {
+        std::time::Instant::now()
+    }
+}

@@ -93,6 +93,25 @@ fn safety_comment_fixture_exact_diagnostics() {
 }
 
 #[test]
+fn no_raw_instant_fixture_exact_diagnostics() {
+    // Plain, fully-qualified and whitespace-separated `Instant::now()`
+    // flagged; the allow-suppressed call, the non-call `Instant` uses and
+    // the `#[cfg(test)]` module are not.
+    assert_diags(
+        "crates/solvers/src/fixture.rs",
+        include_str!("fixtures/no_raw_instant.rs"),
+        &[(6, 5, "no-raw-instant"), (10, 16, "no-raw-instant"), (14, 5, "no-raw-instant")],
+    );
+}
+
+#[test]
+fn no_raw_instant_fixture_obs_crate_is_exempt() {
+    // quda-obs owns the one sanctioned `Instant::now()` (its epoch clock);
+    // the rule is scoped to comm/multigpu/solvers only.
+    assert_diags("crates/obs/src/fixture.rs", include_str!("fixtures/no_raw_instant.rs"), &[]);
+}
+
+#[test]
 fn removing_the_allow_comment_resurfaces_the_diagnostic() {
     // Prove the suppressions above are doing the work: strip the allow
     // comment and the suppressed unwrap at line 17 is reported again.

@@ -41,15 +41,13 @@ fn main() {
     println!("round-tripped configuration through disk (checksums verified)");
 
     // Phase two: analyze it — one propagator column on 2 simulated GPUs.
-    let mut quda = Quda::new(2);
+    let mut quda = Quda::new(2).expect("context");
     quda.load_gauge(loaded).expect("gauge load");
     let src = HostSpinorField::point_source(dims, Coord::new(0, 0, 0, 0), 0, 0);
-    let mut param = QudaInvertParam::paper_mode(PrecisionMode::DoubleHalf, 2);
     // A thermalized beta=6 configuration is rough: a heavy quark keeps the
     // small test lattice well conditioned.
-    param.mass = 0.8;
-    param.c_sw = 1.0;
-    param.tol = 1e-8;
+    let mut param =
+        QudaInvertParam::paper_mode(PrecisionMode::DoubleHalf, 2).with_mass(0.8).with_tol(1e-8);
     param.max_iter = 20_000;
     let (_, stats) = quda.invert(&src, &param).expect("invert");
     println!(

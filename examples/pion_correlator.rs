@@ -25,13 +25,11 @@ fn main() {
     let dims = LatticeDims::new(6, 6, 6, 16);
     let mass = 0.3;
     let cfg = weak_field(dims, 0.05, 314);
-    let mut quda = Quda::new(2);
+    let mut quda = Quda::new(2).expect("context");
     quda.load_gauge(cfg).expect("gauge load");
 
-    let mut param = QudaInvertParam::paper_mode(PrecisionMode::DoubleHalf, 2);
-    param.mass = mass;
-    param.c_sw = 1.0;
-    param.tol = 1e-10;
+    let param =
+        QudaInvertParam::paper_mode(PrecisionMode::DoubleHalf, 2).with_mass(mass).with_tol(1e-10);
 
     println!("computing 12 propagator columns on {dims} (m = {mass}, double-half) ...");
     let origin = Coord::new(0, 0, 0, 0);

@@ -38,11 +38,9 @@ fn mode_comparison() {
         (PrecisionMode::DoubleSingle, 1e-12),
     ];
     for (mode, tol) in modes {
-        let mut quda = Quda::new(2);
+        let mut quda = Quda::new(2).unwrap();
         quda.load_gauge(cfg.clone()).unwrap();
-        let mut p = QudaInvertParam::paper_mode(mode, 2);
-        p.mass = 0.3;
-        p.tol = tol;
+        let p = QudaInvertParam::paper_mode(mode, 2).with_mass(0.3).with_tol(tol);
         let (_, stats) = quda.invert(&b, &p).unwrap();
         println!(
             "  {:>13} {:>8.0e} {:>6} {:>8} {:>12.2e} {:>10.0} {:>12.1}",

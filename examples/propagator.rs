@@ -16,13 +16,12 @@ fn main() {
     let ranks: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
     let dims = LatticeDims::new(6, 6, 6, 12 * ranks.max(1));
     let cfg = weak_field(dims, 0.1, 7);
-    let mut quda = Quda::new(ranks);
+    let mut quda = Quda::new(ranks).expect("context");
     quda.load_gauge(cfg).expect("gauge load");
 
-    let mut param = QudaInvertParam::paper_mode(PrecisionMode::SingleHalf, ranks);
-    param.mass = 0.25;
-    param.c_sw = 1.0;
-    param.tol = 1e-6;
+    let param = QudaInvertParam::paper_mode(PrecisionMode::SingleHalf, ranks)
+        .with_mass(0.25)
+        .with_tol(1e-6);
 
     println!("propagator test: {dims} on {ranks} GPUs, mode {}", param.mode.name());
     println!(

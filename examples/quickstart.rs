@@ -1,11 +1,12 @@
 //! Quickstart: load a gauge configuration, invert the Wilson-clover
-//! operator on two simulated GPUs, and print what happened.
+//! operator on two simulated GPUs, and print what happened — including the
+//! measured per-phase breakdown and a Chrome-trace export of the run.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use quda_core::{PrecisionMode, Quda, QudaInvertParam};
+use quda_core::{PrecisionMode, Quda, QudaInvertParam, TraceConfig};
 use quda_fields::gauge_gen::weak_field;
 use quda_fields::host::HostSpinorField;
 use quda_lattice::geometry::{Coord, LatticeDims};
@@ -16,7 +17,7 @@ fn main() {
     let dims = LatticeDims::new(8, 8, 8, 16);
     let cfg = weak_field(dims, 0.1, 2024);
 
-    let mut quda = Quda::new(2); // parallelize over 2 simulated GPUs
+    let mut quda = Quda::new(2).expect("context"); // 2 simulated GPUs
     quda.load_gauge(cfg).expect("gauge load");
     println!("lattice {dims}, average plaquette {:.6}", quda.plaquette().unwrap());
 
@@ -24,23 +25,54 @@ fn main() {
     let source = HostSpinorField::point_source(dims, Coord::new(0, 0, 0, 0), 0, 0);
 
     // Mixed double-half precision with reliable updates — one of the two
-    // modes the paper found fastest to solution (Section V-D).
-    let mut param = QudaInvertParam::paper_mode(PrecisionMode::DoubleHalf, 2);
-    param.mass = 0.2;
-    param.c_sw = 1.0;
-    param.tol = 1e-10;
+    // modes the paper found fastest to solution (Section V-D). Full tracing
+    // records every comm/ghost/kernel/solver span for the export below.
+    let param = QudaInvertParam::paper_mode(PrecisionMode::DoubleHalf, 2)
+        .with_mass(0.2)
+        .with_tol(1e-10)
+        .with_trace(TraceConfig::Full);
 
-    let (solution, stats) = quda.invert(&source, &param).expect("invert");
+    let (solution, report) = quda.invert(&source, &param).expect("invert");
 
-    println!("converged:          {}", stats.converged);
-    println!("iterations:         {}", stats.iterations);
-    println!("reliable updates:   {}", stats.reliable_updates);
-    println!("true residual:      {:.3e}", stats.true_residual);
+    println!("converged:          {}", report.converged);
+    println!("iterations:         {}", report.iterations);
+    println!("reliable updates:   {}", report.reliable_updates);
+    println!("true residual:      {:.3e}", report.true_residual);
     println!("solution |x|^2:     {:.6e}", solution.norm_sqr());
-    println!("effective flops:    {:.3e}", stats.effective_flops as f64);
+    println!("effective flops:    {:.3e}", report.effective_flops as f64);
     println!(
         "modeled on 2x GTX 285: {:.2} ms/solve, {:.0} effective Gflops sustained",
-        stats.modeled_seconds * 1e3,
-        stats.modeled_gflops
+        report.modeled_seconds * 1e3,
+        report.modeled_gflops
     );
+
+    // Where the wall time actually went, measured (not modeled).
+    println!("\nmeasured phase breakdown ({} ranks):", report.phases.n_ranks);
+    for stat in report.phases.phases.iter().take(6) {
+        println!(
+            "  {:>16}: {:>8.3} ms self, {:>6} spans, {:>10} B",
+            stat.phase.name(),
+            stat.seconds * 1e3,
+            stat.count,
+            stat.bytes
+        );
+    }
+    println!(
+        "  wall {:.3} ms, overlap efficiency {:.2}, rank skew {:.3} ms, {} B on the wire",
+        report.phases.total_wall_s * 1e3,
+        report.phases.overlap_efficiency,
+        report.phases.rank_skew_s * 1e3,
+        report.phases.bytes_moved
+    );
+    println!(
+        "comm health: {} retr-ticks, {} recovered, clean = {}",
+        report.comm.retries,
+        report.comm.recovered,
+        report.comm.is_clean()
+    );
+
+    // Export the spans for chrome://tracing or https://ui.perfetto.dev.
+    let path = std::env::temp_dir().join("quda_quickstart_trace.json");
+    std::fs::write(&path, report.to_chrome_trace()).expect("write trace");
+    println!("chrome trace written to {}", path.display());
 }

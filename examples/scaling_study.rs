@@ -26,11 +26,11 @@ fn functional_agreement() {
     println!("functional agreement on {dims} (double precision, tol 1e-11):");
     let mut reference: Option<quda_fields::host::HostSpinorField> = None;
     for ranks in [1usize, 2, 4] {
-        let mut quda = Quda::new(ranks);
+        let mut quda = Quda::new(ranks).unwrap();
         quda.load_gauge(cfg.clone()).unwrap();
-        let mut p = QudaInvertParam::paper_mode(PrecisionMode::Double, ranks);
-        p.mass = 0.3;
-        p.tol = 1e-11;
+        let p = QudaInvertParam::paper_mode(PrecisionMode::Double, ranks)
+            .with_mass(0.3)
+            .with_tol(1e-11);
         let (x, stats) = quda.invert(&b, &p).unwrap();
         let dist = reference.as_ref().map(|r| r.max_site_dist(&x)).unwrap_or(0.0);
         println!(

@@ -16,7 +16,7 @@ fn uniform_half_solves_to_its_own_floor() {
     // Uniform half: both outer and sloppy in 16-bit fixed point. The true
     // residual floors at the format's resolution — still useful as an
     // ablation anchor.
-    let mut q = Quda::new(2);
+    let mut q = Quda::new(2).unwrap();
     q.load_gauge(weak_field(dims(), 0.1, 70)).unwrap();
     let b = random_spinor_field(dims(), 71);
     let mut p = QudaInvertParam::paper_mode(PrecisionMode::Half, 2);
@@ -32,7 +32,7 @@ fn uniform_half_solves_to_its_own_floor() {
 fn double_quarter_reaches_double_targets() {
     // 8-bit sloppy iterations anchored by f64 reliable updates still reach
     // deep residuals (DESIGN.md §4b).
-    let mut q = Quda::new(2);
+    let mut q = Quda::new(2).unwrap();
     q.load_gauge(weak_field(dims(), 0.1, 72)).unwrap();
     let b = random_spinor_field(dims(), 73);
     let mut p = QudaInvertParam::paper_mode(PrecisionMode::DoubleQuarter, 2);
@@ -57,7 +57,7 @@ fn sloppier_storage_needs_more_iterations() {
     for mode in
         [PrecisionMode::DoubleSingle, PrecisionMode::DoubleHalf, PrecisionMode::DoubleQuarter]
     {
-        let mut q = Quda::new(2);
+        let mut q = Quda::new(2).unwrap();
         q.load_gauge(cfg.clone()).unwrap();
         let mut p = QudaInvertParam::paper_mode(mode, 2);
         p.mass = 0.4;
@@ -84,7 +84,7 @@ fn gauge_file_roundtrips_into_a_solve() {
 
     let b = random_spinor_field(dims(), 77);
     let solve = |cfg: quda_fields::host::GaugeConfig| {
-        let mut q = Quda::new(2);
+        let mut q = Quda::new(2).unwrap();
         q.load_gauge(cfg).unwrap();
         let mut p = QudaInvertParam::paper_mode(PrecisionMode::Double, 2);
         p.mass = 0.4;
