@@ -103,6 +103,20 @@ pub enum CommError {
         /// Elements received.
         got: usize,
     },
+    /// The lockstep sanitizer found ranks executing *different* collective
+    /// sequences — the divergence that would otherwise surface only as a
+    /// silent hang or a wrong answer at scale.
+    LockstepDivergence {
+        /// The first rank (in rank order) whose fingerprint disagrees
+        /// with rank 0's.
+        rank: usize,
+        /// First mismatched position in the logical collective stream.
+        index: u64,
+        /// Rank 0's record at `index`, if still in its ring window.
+        expected: Option<crate::lockstep::LockstepRecord>,
+        /// The divergent rank's record at `index`, if still in its ring.
+        got: Option<crate::lockstep::LockstepRecord>,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -120,6 +134,31 @@ impl fmt::Display for CommError {
             }
             CommError::SizeMismatch { expected, got } => {
                 write!(f, "collective size mismatch: expected {expected} elements, got {got}")
+            }
+            CommError::LockstepDivergence { rank, index, expected, got } => {
+                write!(f, "lockstep divergence at collective #{index}: rank {rank} ")?;
+                match (expected, got) {
+                    (Some(e), Some(g)) => write!(
+                        f,
+                        "executed {:?} tag={:#x} len={} seq={} where rank 0 executed \
+                         {:?} tag={:#x} len={} seq={}",
+                        g.kind, g.tag, g.len, g.seq, e.kind, e.tag, e.len, e.seq
+                    ),
+                    (Some(e), None) => write!(
+                        f,
+                        "never issued the collective rank 0 executed there \
+                         ({:?} tag={:#x} len={} seq={})",
+                        e.kind, e.tag, e.len, e.seq
+                    ),
+                    (None, Some(g)) => write!(
+                        f,
+                        "issued an extra collective ({:?} tag={:#x} len={} seq={})",
+                        g.kind, g.tag, g.len, g.seq
+                    ),
+                    (None, None) => {
+                        write!(f, "diverged before the fingerprint ring window")
+                    }
+                }
             }
         }
     }

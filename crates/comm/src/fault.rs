@@ -42,6 +42,23 @@ struct SlowRank {
     per_send: Duration,
 }
 
+/// What a scheduled collective fault makes a rank do to one of its
+/// logical collective calls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CollectiveFault {
+    /// The rank skips the call entirely (returns its local value).
+    Skip,
+    /// The rank runs the collective exchange twice.
+    Duplicate,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct CollectiveFaultAt {
+    rank: usize,
+    nth: u64,
+    fault: CollectiveFault,
+}
+
 /// A deterministic schedule of injected communication faults.
 ///
 /// Build one with the fluent methods, then install it with
@@ -67,6 +84,7 @@ pub struct FaultPlan {
     delay: Duration,
     dead: Vec<DeadRank>,
     slow: Vec<SlowRank>,
+    collective: Vec<CollectiveFaultAt>,
 }
 
 /// splitmix64: a tiny, high-quality mixer; enough to turn message
@@ -133,6 +151,19 @@ impl FaultPlan {
         self
     }
 
+    /// Make `rank` silently *skip* its `nth` (0-based) allreduce call —
+    /// the SPMD-contract violation the lockstep sanitizer exists to catch.
+    pub fn skip_collective(mut self, rank: usize, nth: u64) -> Self {
+        self.collective.push(CollectiveFaultAt { rank, nth, fault: CollectiveFault::Skip });
+        self
+    }
+
+    /// Make `rank` run its `nth` (0-based) allreduce call *twice*.
+    pub fn duplicate_collective(mut self, rank: usize, nth: u64) -> Self {
+        self.collective.push(CollectiveFaultAt { rank, nth, fault: CollectiveFault::Duplicate });
+        self
+    }
+
     /// The injected latency for delayed messages.
     pub fn delay_latency(&self) -> Duration {
         self.delay
@@ -173,6 +204,12 @@ impl FaultPlan {
     /// The per-send latency penalty for `rank`, if it is scheduled slow.
     pub fn slow_penalty(&self, rank: usize) -> Option<Duration> {
         self.slow.iter().find(|s| s.rank == rank).map(|s| s.per_send)
+    }
+
+    /// The fault scheduled for `rank`'s `nth` (0-based) collective call,
+    /// if any.
+    pub fn collective_fault(&self, rank: usize, nth: u64) -> Option<CollectiveFault> {
+        self.collective.iter().find(|c| c.rank == rank && c.nth == nth).map(|c| c.fault)
     }
 
     /// Whether any per-message fault class is enabled.
@@ -222,6 +259,15 @@ mod tests {
         for seq in 0..50 {
             assert_eq!(plan.decide(0, 1, 2, seq), FaultAction::Deliver);
         }
+    }
+
+    #[test]
+    fn collective_fault_schedule() {
+        let plan = FaultPlan::new(0).skip_collective(1, 3).duplicate_collective(2, 5);
+        assert_eq!(plan.collective_fault(1, 3), Some(CollectiveFault::Skip));
+        assert_eq!(plan.collective_fault(2, 5), Some(CollectiveFault::Duplicate));
+        assert_eq!(plan.collective_fault(1, 2), None);
+        assert_eq!(plan.collective_fault(0, 3), None);
     }
 
     #[test]

@@ -21,6 +21,8 @@
 pub mod codec;
 pub mod error;
 pub mod fault;
+pub mod lockstep;
+pub mod tags;
 pub mod world;
 
 pub use codec::{
@@ -28,5 +30,6 @@ pub use codec::{
     FRAME_OVERHEAD,
 };
 pub use error::{CommError, DecodeError};
-pub use fault::{FaultAction, FaultPlan};
+pub use fault::{CollectiveFault, FaultAction, FaultPlan};
+pub use lockstep::{CollectiveKind, LockstepConfig, LockstepRecord};
 pub use world::{comm_world, comm_world_with, CommConfig, CommStats, Communicator};

@@ -1,0 +1,96 @@
+//! The central message-tag namespace registry.
+//!
+//! Every wire tag used anywhere in the workspace is allocated here, in one
+//! module, so two subsystems can never collide on a tag value and a
+//! send/recv pair can never disagree on which tag names which stream. The
+//! `cargo xtask collectives` analysis enforces this statically: its
+//! `tag-namespace` rule flags tag constants defined outside this module and
+//! raw integer literals passed as tags, and its `tag-pairing` rule checks
+//! that every send tag has a matching recv somewhere in the workspace.
+//!
+//! Layout of the 32-bit tag space:
+//!
+//! * `0x0000_0000 ..= 0x0000_ffff` — application point-to-point streams
+//!   (ghost faces, gauge ghosts, future 4-d decomposition directions).
+//! * `0xffff_0000 ..` — [`INTERNAL_BASE`]: traffic generated *inside*
+//!   [`Communicator`](crate::Communicator) collectives (allreduce
+//!   contributions and replies). Internal streams are excluded from the
+//!   lockstep sanitizer's fingerprint because their per-rank shape is
+//!   root/leaf asymmetric by construction.
+
+/// Spinor faces travelling forward (towards higher t).
+pub const FACE_FWD: u32 = 0x0000_0001;
+/// Spinor faces travelling backward.
+pub const FACE_BWD: u32 = 0x0000_0002;
+/// One-time gauge ghost exchange, even parity.
+pub const GAUGE_EVEN: u32 = 0x0000_0008;
+/// One-time gauge ghost exchange, odd parity.
+pub const GAUGE_ODD: u32 = 0x0000_0009;
+
+/// First tag of the internal (collective) namespace.
+pub const INTERNAL_BASE: u32 = 0xffff_0000;
+/// Allreduce-sum contributions (leaf → root).
+pub const COLLECTIVE_SUM: u32 = INTERNAL_BASE;
+/// Allreduce-sum reply broadcast (root → leaf).
+pub const COLLECTIVE_SUM_REPLY: u32 = INTERNAL_BASE + 1;
+/// Allreduce-max contributions (leaf → root).
+pub const COLLECTIVE_MAX: u32 = INTERNAL_BASE + 2;
+/// Allreduce-max reply broadcast (root → leaf).
+pub const COLLECTIVE_MAX_REPLY: u32 = INTERNAL_BASE + 3;
+
+/// The gauge-ghost tag for a parity index (0 = even, 1 = odd).
+pub fn gauge(parity: usize) -> u32 {
+    if parity == 0 {
+        GAUGE_EVEN
+    } else {
+        GAUGE_ODD
+    }
+}
+
+/// Whether `tag` belongs to the internal collective namespace. Internal
+/// streams are not fingerprinted by the lockstep sanitizer: their
+/// root/leaf send-recv pattern is rank-asymmetric by design, while the
+/// sanitizer checks that the *logical* collective streams agree.
+pub fn is_internal(tag: u32) -> bool {
+    tag >= INTERNAL_BASE
+}
+
+/// Every named tag, for registry-level uniqueness checks.
+pub const ALL_NAMED: &[(&str, u32)] = &[
+    ("FACE_FWD", FACE_FWD),
+    ("FACE_BWD", FACE_BWD),
+    ("GAUGE_EVEN", GAUGE_EVEN),
+    ("GAUGE_ODD", GAUGE_ODD),
+    ("COLLECTIVE_SUM", COLLECTIVE_SUM),
+    ("COLLECTIVE_SUM_REPLY", COLLECTIVE_SUM_REPLY),
+    ("COLLECTIVE_MAX", COLLECTIVE_MAX),
+    ("COLLECTIVE_MAX_REPLY", COLLECTIVE_MAX_REPLY),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_no_collisions() {
+        for (i, (name_a, a)) in ALL_NAMED.iter().enumerate() {
+            for (name_b, b) in &ALL_NAMED[i + 1..] {
+                assert_ne!(a, b, "tag collision: {name_a} and {name_b} are both {a:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn internal_namespace_is_disjoint_from_application_tags() {
+        for (name, tag) in ALL_NAMED {
+            let internal = name.starts_with("COLLECTIVE");
+            assert_eq!(is_internal(*tag), internal, "{name} on the wrong side of INTERNAL_BASE");
+        }
+    }
+
+    #[test]
+    fn gauge_tags_by_parity() {
+        assert_eq!(gauge(0), GAUGE_EVEN);
+        assert_eq!(gauge(1), GAUGE_ODD);
+    }
+}

@@ -22,7 +22,9 @@
 //! faulted run converges to exactly the fault-free result (DESIGN.md §7).
 
 use crate::error::CommError;
-use crate::fault::{FaultAction, FaultPlan};
+use crate::fault::{CollectiveFault, FaultAction, FaultPlan};
+use crate::lockstep::{self, CollectiveKind, LockstepConfig, LockstepState};
+use crate::tags;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use quda_obs::{clock, Phase, Tracer};
@@ -31,9 +33,6 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
-
-/// Reserved tag base for internal collective traffic.
-const TAG_COLLECTIVE: u32 = 0xffff_0000;
 
 /// Longest single wait on the channel; backoff ticks cap here so liveness
 /// changes are observed promptly even under long total timeouts.
@@ -132,6 +131,10 @@ pub struct Communicator {
     stats: CommStats,
     // Phase recorder handle for this rank; disabled (free) by default.
     tracer: Tracer,
+    // Lockstep sanitizer state; disabled (free) by default.
+    lockstep: Option<LockstepState>,
+    // Logical collective calls issued by this rank (allreduce/barrier).
+    collective_calls: u64,
 }
 
 /// Create a world of `size` ranks with default config and no faults.
@@ -178,6 +181,8 @@ pub fn comm_world_with(
             total_sends: 0,
             stats: CommStats::default(),
             tracer: Tracer::disabled(),
+            lockstep: None,
+            collective_calls: 0,
         })
         .collect()
 }
@@ -226,6 +231,18 @@ impl Communicator {
         &self.tracer
     }
 
+    /// Turn on the lockstep sanitizer (see [`crate::lockstep`]). Must be
+    /// enabled on *every* rank of the world or none: the collective wire
+    /// format grows a fingerprint block when it is on.
+    pub fn enable_lockstep(&mut self, config: LockstepConfig) {
+        self.lockstep = Some(LockstepState::new(config));
+    }
+
+    /// Whether the lockstep sanitizer is active on this rank.
+    pub fn lockstep_enabled(&self) -> bool {
+        self.lockstep.is_some()
+    }
+
     /// Non-blocking send (channel buffered, like an eager-protocol MPI
     /// send of a face-sized message). Fails with [`CommError::RankDead`]
     /// if this rank was fault-killed or the destination endpoint is gone.
@@ -248,6 +265,11 @@ impl Communicator {
             *s += 1;
             seq
         };
+        if !tags::is_internal(tag) {
+            if let Some(ls) = &mut self.lockstep {
+                ls.record(CollectiveKind::Send, tag, payload.len() as u64, seq);
+            }
+        }
         if let Some(plan) = &self.shared.plan {
             action = plan.decide(self.rank, to, tag, seq);
         }
@@ -386,6 +408,14 @@ impl Communicator {
         let result = self.recv_inner(from, tag);
         if let Ok(payload) = &result {
             span.set_bytes(payload.len() as u64);
+            if !tags::is_internal(tag) {
+                if let Some(ls) = &mut self.lockstep {
+                    // recv_inner advanced the stream; the consumed seq is
+                    // one behind the next-expected counter.
+                    let seq = self.recv_seq.get(&(from, tag)).map_or(0, |s| s.saturating_sub(1));
+                    ls.record(CollectiveKind::Recv, tag, payload.len() as u64, seq);
+                }
+            }
         }
         result
     }
@@ -471,92 +501,197 @@ impl Communicator {
     /// Allreduce-sum over a small vector of f64 (e.g. complex re/im pairs).
     pub fn allreduce_vec(&mut self, local: &[f64]) -> Result<Vec<f64>, CommError> {
         let _span = self.tracer.span(Phase::AllReduce);
-        self.allreduce_vec_inner(local)
-    }
-
-    fn allreduce_vec_inner(&mut self, local: &[f64]) -> Result<Vec<f64>, CommError> {
-        if self.size == 1 {
-            return Ok(local.to_vec());
-        }
-        let tag = TAG_COLLECTIVE;
-        if self.rank == 0 {
-            let mut acc = local.to_vec();
-            for from in 1..self.size {
-                let bytes = self.recv(from, tag)?;
-                let contrib = crate::codec::unpack_f64(&bytes)
-                    .map_err(|error| CommError::Decode { from, tag, error })?;
-                if contrib.len() != acc.len() {
-                    return Err(CommError::SizeMismatch {
-                        expected: acc.len(),
-                        got: contrib.len(),
-                    });
-                }
-                for (a, c) in acc.iter_mut().zip(&contrib) {
-                    *a += c;
-                }
-            }
-            let packed = crate::codec::pack_f64(&acc);
-            for to in 1..self.size {
-                self.send(to, tag + 1, packed.clone())?;
-            }
-            Ok(acc)
-        } else {
-            let packed = crate::codec::pack_f64(local);
-            self.send(0, tag, packed)?;
-            let bytes = self.recv(0, tag + 1)?;
-            crate::codec::unpack_f64(&bytes).map_err(|error| CommError::Decode {
-                from: 0,
-                tag: tag + 1,
-                error,
-            })
-        }
+        self.collective(ReduceOp::Sum, local)
     }
 
     /// Allreduce-max over f64.
     pub fn allreduce_max_f64(&mut self, local: f64) -> Result<f64, CommError> {
         let _span = self.tracer.span(Phase::AllReduce);
-        self.allreduce_max_inner(local)
-    }
-
-    fn allreduce_max_inner(&mut self, local: f64) -> Result<f64, CommError> {
-        if self.size == 1 {
-            return Ok(local);
+        let v = self.collective(ReduceOp::Max, &[local])?;
+        if v.len() != 1 {
+            return Err(CommError::SizeMismatch { expected: 1, got: v.len() });
         }
-        let tag = TAG_COLLECTIVE + 2;
-        if self.rank == 0 {
-            let mut acc = local;
-            for from in 1..self.size {
-                let bytes = self.recv(from, tag)?;
-                let contrib = crate::codec::unpack_f64(&bytes)
-                    .map_err(|error| CommError::Decode { from, tag, error })?;
-                if contrib.len() != 1 {
-                    return Err(CommError::SizeMismatch { expected: 1, got: contrib.len() });
-                }
-                acc = acc.max(contrib[0]);
-            }
-            let packed = crate::codec::pack_f64(&[acc]);
-            for to in 1..self.size {
-                self.send(to, tag + 1, packed.clone())?;
-            }
-            Ok(acc)
-        } else {
-            self.send(0, tag, crate::codec::pack_f64(&[local]))?;
-            let bytes = self.recv(0, tag + 1)?;
-            let v = crate::codec::unpack_f64(&bytes).map_err(|error| CommError::Decode {
-                from: 0,
-                tag: tag + 1,
-                error,
-            })?;
-            if v.len() != 1 {
-                return Err(CommError::SizeMismatch { expected: 1, got: v.len() });
-            }
-            Ok(v[0])
-        }
+        Ok(v[0])
     }
 
     /// Synchronize all ranks.
     pub fn barrier(&mut self) -> Result<(), CommError> {
         self.allreduce_sum_f64(0.0).map(|_| ())
+    }
+
+    /// One logical collective call: count it, apply any scheduled
+    /// collective fault, fingerprint it, and run the gather/broadcast
+    /// exchange.
+    fn collective(&mut self, op: ReduceOp, local: &[f64]) -> Result<Vec<f64>, CommError> {
+        if self.size == 1 {
+            return Ok(local.to_vec());
+        }
+        let call_no = self.collective_calls;
+        self.collective_calls += 1;
+        let fault = self.shared.plan.as_ref().and_then(|p| p.collective_fault(self.rank, call_no));
+        match fault {
+            // The injected SPMD violation: this rank silently sits the
+            // collective out — exactly what a rank-divergent branch does.
+            Some(CollectiveFault::Skip) => Ok(local.to_vec()),
+            Some(CollectiveFault::Duplicate) => {
+                self.record_collective(op, local, call_no);
+                self.collective_exchange(op, local, call_no)?;
+                // Replay the wire exchange for the *same* logical call:
+                // this rank's exchange stream runs one ahead of its
+                // fingerprint, which the next cross-check flags as drift.
+                self.collective_exchange(op, local, call_no)
+            }
+            None => {
+                self.record_collective(op, local, call_no);
+                self.collective_exchange(op, local, call_no)
+            }
+        }
+    }
+
+    fn record_collective(&mut self, op: ReduceOp, local: &[f64], call_no: u64) {
+        if let Some(ls) = &mut self.lockstep {
+            let bytes = (local.len() * 8) as u64;
+            ls.record(CollectiveKind::AllReduce, op.tags().0, bytes, call_no);
+        }
+    }
+
+    /// Gather-to-root / broadcast-back exchange shared by every reduction
+    /// kind. With the lockstep sanitizer on, each contribution carries the
+    /// sender's fingerprint block and each reply carries rank 0's verdict,
+    /// so a cross-rank divergence surfaces as
+    /// [`CommError::LockstepDivergence`] on every rank instead of a hang.
+    fn collective_exchange(
+        &mut self,
+        op: ReduceOp,
+        local: &[f64],
+        call_no: u64,
+    ) -> Result<Vec<f64>, CommError> {
+        let (tag, reply_tag) = op.tags();
+        let meta_len = if self.lockstep.is_some() { lockstep::META_F64S } else { 0 };
+        if self.rank == 0 {
+            let mut acc = local.to_vec();
+            let mut peer_fps = Vec::new();
+            for from in 1..self.size {
+                let bytes = self.recv(from, tag)?;
+                let v = crate::codec::unpack_f64(&bytes).map_err(|error| CommError::Decode {
+                    from,
+                    tag,
+                    error,
+                })?;
+                if v.len() != acc.len() + meta_len {
+                    return Err(CommError::SizeMismatch {
+                        expected: acc.len() + meta_len,
+                        got: v.len(),
+                    });
+                }
+                let (contrib, meta) = v.split_at(acc.len());
+                if meta_len > 0 {
+                    if let Some(fp) = lockstep::parse_contribution_meta(meta) {
+                        peer_fps.push((from, fp));
+                    }
+                }
+                op.combine(&mut acc, contrib);
+            }
+            let mut divergence = None;
+            if let Some(ls) = &self.lockstep {
+                if ls.check_due(call_no) {
+                    let _span = self.tracer.span(Phase::Lockstep);
+                    let mine = ls.fingerprint();
+                    for (from, fp) in &peer_fps {
+                        if let Some(div) = lockstep::first_divergence(&mine, fp) {
+                            divergence = Some((*from, mine.count, fp.count, div));
+                            break;
+                        }
+                    }
+                }
+            }
+            let mut reply = acc.clone();
+            if meta_len > 0 {
+                reply.extend_from_slice(&lockstep::encode_verdict(divergence));
+            }
+            let packed = crate::codec::pack_f64(&reply);
+            // Replies (with the verdict) go out *before* the root errors,
+            // so every leaf unblocks and reports the same divergence.
+            for to in 1..self.size {
+                self.send(to, reply_tag, packed.clone())?;
+            }
+            if let Some((rank, _, _, div)) = divergence {
+                return Err(CommError::LockstepDivergence {
+                    rank,
+                    index: div.index,
+                    expected: div.expected,
+                    got: div.got,
+                });
+            }
+            Ok(acc)
+        } else {
+            let mut contrib = local.to_vec();
+            if let Some(ls) = &self.lockstep {
+                let _span = self.tracer.span(Phase::Lockstep);
+                contrib.extend_from_slice(&ls.contribution_meta());
+            }
+            self.send(0, tag, crate::codec::pack_f64(&contrib))?;
+            let bytes = self.recv(0, reply_tag)?;
+            let mut v = crate::codec::unpack_f64(&bytes).map_err(|error| CommError::Decode {
+                from: 0,
+                tag: reply_tag,
+                error,
+            })?;
+            if meta_len > 0 {
+                let verdict_len = lockstep::VERDICT_F64S;
+                if v.len() < verdict_len {
+                    return Err(CommError::SizeMismatch {
+                        expected: local.len() + verdict_len,
+                        got: v.len(),
+                    });
+                }
+                let verdict = v.split_off(v.len() - verdict_len);
+                if let Some(vd) = lockstep::parse_verdict(&verdict) {
+                    let _span = self.tracer.span(Phase::Lockstep);
+                    return Err(CommError::LockstepDivergence {
+                        rank: vd.rank,
+                        index: vd.index,
+                        expected: vd.expected,
+                        got: vd.got,
+                    });
+                }
+            }
+            Ok(v)
+        }
+    }
+}
+
+/// The reduction kinds [`Communicator::collective`] implements. Each maps
+/// to its registered contribution/reply tag pair and an elementwise
+/// combiner; rank 0 applies contributions in rank order, which is what
+/// keeps multi-rank reductions bit-reproducible.
+#[derive(Clone, Copy, Debug)]
+enum ReduceOp {
+    Sum,
+    Max,
+}
+
+impl ReduceOp {
+    fn tags(self) -> (u32, u32) {
+        match self {
+            ReduceOp::Sum => (tags::COLLECTIVE_SUM, tags::COLLECTIVE_SUM_REPLY),
+            ReduceOp::Max => (tags::COLLECTIVE_MAX, tags::COLLECTIVE_MAX_REPLY),
+        }
+    }
+
+    fn combine(self, acc: &mut [f64], contrib: &[f64]) {
+        match self {
+            ReduceOp::Sum => {
+                for (a, c) in acc.iter_mut().zip(contrib) {
+                    *a += c;
+                }
+            }
+            ReduceOp::Max => {
+                for (a, c) in acc.iter_mut().zip(contrib) {
+                    *a = a.max(*c);
+                }
+            }
+        }
     }
 }
 
@@ -876,6 +1011,111 @@ mod tests {
         let b = run();
         assert_eq!(a, b);
         assert!(a.1 > 0, "expected some recoveries at 30% drop over 20 messages");
+    }
+
+    #[test]
+    fn lockstep_clean_run_matches_unsanitized_results() {
+        let run = |sanitize: bool| -> Vec<f64> {
+            let world = comm_world_with(3, fast_config(), None);
+            let handles: Vec<_> = world
+                .into_iter()
+                .map(|mut c| {
+                    if sanitize {
+                        c.enable_lockstep(LockstepConfig { check_every: 1 });
+                    }
+                    thread::spawn(move || {
+                        let mut acc = Vec::new();
+                        // Mix point-to-point ring traffic with reductions so
+                        // all three collective kinds enter the fingerprint.
+                        for round in 0..6 {
+                            let fwd = c.forward();
+                            let bwd = c.backward();
+                            c.send(fwd, 17, pack_f64(&[round as f64])).unwrap();
+                            let _ = c.recv(bwd, 17).unwrap();
+                            let v = (c.rank() + 1) as f64 * (round + 1) as f64;
+                            acc.push(c.allreduce_sum_f64(v).unwrap());
+                            acc.push(c.allreduce_max_f64(v).unwrap());
+                        }
+                        c.barrier().unwrap();
+                        acc
+                    })
+                })
+                .collect();
+            let results: Vec<Vec<f64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            assert!(results.windows(2).all(|w| w[0] == w[1]));
+            results.into_iter().next().unwrap()
+        };
+        // The sanitizer must be invisible to the numerics.
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn lockstep_locates_skipped_collective_instead_of_hanging() {
+        // Rank 1 silently skips its 3rd allreduce: without the sanitizer
+        // every later reduction silently pairs off-by-one. With it, every
+        // rank fails fast with the exact divergent stream index.
+        let plan = FaultPlan::new(0).skip_collective(1, 2);
+        let world = comm_world_with(2, fast_config(), Some(plan));
+        let start = Instant::now();
+        let handles: Vec<_> = world
+            .into_iter()
+            .map(|mut c| {
+                c.enable_lockstep(LockstepConfig { check_every: 1 });
+                thread::spawn(move || {
+                    for round in 0..6 {
+                        if let Err(e) = c.allreduce_sum_f64(round as f64) {
+                            return e;
+                        }
+                    }
+                    panic!("rank {} never saw the divergence", c.rank());
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join().unwrap() {
+                CommError::LockstepDivergence { rank, index, expected, got } => {
+                    assert_eq!(rank, 1);
+                    assert_eq!(index, 2);
+                    // Rank 0's 3rd collective vs rank 1's 4th, streamed
+                    // into the same slot by the skip.
+                    assert_eq!(expected.map(|r| r.seq), Some(2));
+                    assert_eq!(got.map(|r| r.seq), Some(3));
+                }
+                other => panic!("expected LockstepDivergence, got {other:?}"),
+            }
+        }
+        assert!(start.elapsed() < Duration::from_secs(2), "divergence detection too slow");
+    }
+
+    #[test]
+    fn lockstep_detects_duplicated_collective_as_count_drift() {
+        let plan = FaultPlan::new(0).duplicate_collective(1, 1);
+        let world = comm_world_with(2, fast_config(), Some(plan));
+        let handles: Vec<_> = world
+            .into_iter()
+            .map(|mut c| {
+                c.enable_lockstep(LockstepConfig { check_every: 1 });
+                thread::spawn(move || {
+                    for round in 0..6 {
+                        if let Err(e) = c.allreduce_sum_f64(round as f64) {
+                            return e;
+                        }
+                    }
+                    panic!("rank {} never saw the divergence", c.rank());
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join().unwrap() {
+                CommError::LockstepDivergence { rank, index, .. } => {
+                    assert_eq!(rank, 1);
+                    // Rank 1's replayed exchange runs one ahead of its
+                    // fingerprint: count drift located at stream index 2.
+                    assert_eq!(index, 2);
+                }
+                other => panic!("expected LockstepDivergence, got {other:?}"),
+            }
+        }
     }
 }
 

@@ -258,9 +258,14 @@ impl Quda {
             solver: param.solver,
             params: SolverParams { tol: param.tol, max_iter: param.max_iter, delta: param.delta },
         };
-        let solve =
-            solve_full_parallel_traced(cfg, source, &spec, &ChaosSpec::default(), param.trace)
-                .map_err(QudaError::Comm)?;
+        let chaos = ChaosSpec {
+            lockstep: param
+                .lockstep
+                .then(|| quda_comm::LockstepConfig::from_env().unwrap_or_default()),
+            ..ChaosSpec::default()
+        };
+        let solve = solve_full_parallel_traced(cfg, source, &spec, &chaos, param.trace)
+            .map_err(QudaError::Comm)?;
         let (x, result) = (solve.solution, solve.result);
         let true_residual = verify_full_solution(cfg, &wilson, &x, source);
 

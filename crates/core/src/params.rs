@@ -53,6 +53,11 @@ pub struct QudaInvertParam {
     /// ([`TraceConfig::Off`] by default — tracing costs nothing unless
     /// asked for).
     pub trace: TraceConfig,
+    /// Run the solve under the comm lockstep sanitizer, which turns a
+    /// cross-rank collective divergence into a located
+    /// `CommError::LockstepDivergence` instead of a hang. Defaults to the
+    /// `QUDA_LOCKSTEP` environment variable (off when unset).
+    pub lockstep: bool,
 }
 
 impl QudaInvertParam {
@@ -70,6 +75,7 @@ impl QudaInvertParam {
             strategy: CommStrategy::Overlap,
             num_gpus,
             trace: TraceConfig::Off,
+            lockstep: quda_comm::LockstepConfig::from_env().is_some(),
         }
     }
 
@@ -100,6 +106,12 @@ impl QudaInvertParam {
     /// Select how much the inversion traces itself.
     pub fn with_trace(mut self, trace: TraceConfig) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Turn the comm lockstep sanitizer on or off for this inversion.
+    pub fn with_lockstep(mut self, lockstep: bool) -> Self {
+        self.lockstep = lockstep;
         self
     }
 

@@ -6,7 +6,7 @@
 
 use crate::rank_op::{CommStrategy, ParallelWilsonCloverOp};
 use crate::slice::{gather_spinor, slice_spinor};
-use quda_comm::{CommConfig, CommError, CommStats, FaultPlan};
+use quda_comm::{CommConfig, CommError, CommStats, FaultPlan, LockstepConfig};
 use quda_dirac::WilsonParams;
 use quda_fields::host::{GaugeConfig, HostSpinorField};
 use quda_fields::precision::{Double, Half, Precision, Quarter, Single};
@@ -77,12 +77,23 @@ pub enum SolverKind {
 /// [`FaultPlan`] applied to every communicator in the world plus the
 /// timeout/retry configuration (DESIGN.md §7). The default injects nothing
 /// and uses the production timeouts.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ChaosSpec {
     /// Deterministic fault plan, or `None` for a fault-free world.
     pub plan: Option<FaultPlan>,
     /// Timeout and retry policy for every communicator.
     pub comm: CommConfig,
+    /// Lockstep-sanitizer policy, applied to every communicator of the
+    /// world (`None` = off). The default honours the `QUDA_LOCKSTEP`
+    /// environment variable, so a whole test suite can be run under the
+    /// sanitizer without touching call sites.
+    pub lockstep: Option<LockstepConfig>,
+}
+
+impl Default for ChaosSpec {
+    fn default() -> Self {
+        ChaosSpec { plan: None, comm: CommConfig::default(), lockstep: LockstepConfig::from_env() }
+    }
 }
 
 /// Everything needed to run one parallel solve.
@@ -237,6 +248,10 @@ fn run_world<H: Precision, L: Precision>(
             let tracer = recorder.tracer(rank);
             comm_hi.set_tracer(tracer.clone());
             comm_lo.set_tracer(tracer);
+            if let Some(ls) = chaos.lockstep {
+                comm_hi.enable_lockstep(ls);
+                comm_lo.enable_lockstep(ls);
+            }
             std::thread::spawn(move || {
                 run_rank::<H, L>(&cfg, &b, &spec, rank, comm_hi, comm_lo, mixed)
             })
@@ -482,6 +497,7 @@ mod tests {
                 timeout: std::time::Duration::from_secs(2),
                 ..CommConfig::default()
             },
+            ..ChaosSpec::default()
         };
         let t0 = std::time::Instant::now();
         let err = solve_full_parallel_chaos(&cfg, &b, &s, &chaos)
@@ -490,6 +506,38 @@ mod tests {
         assert!(
             t0.elapsed() < std::time::Duration::from_secs(30),
             "world took {:?} to notice the dead rank",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn skipped_collective_surfaces_as_located_divergence_not_hang() {
+        // Rank 1 silently skips one of its allreduces mid-solve — the
+        // classic rank-divergent-branch bug. Without the sanitizer every
+        // later reduction pairs off-by-one and the solve either hangs or
+        // converges to garbage; with it, the world tears down with the
+        // divergent rank identified (ISSUE 6 acceptance).
+        let s = spec(2, PrecisionMode::Double, CommStrategy::NoOverlap, 1e-10);
+        let cfg = weak_field(s.part.global, 0.15, 23);
+        let b = random_spinor_field(s.part.global, 24);
+        let chaos = ChaosSpec {
+            plan: Some(quda_comm::FaultPlan::new(5).skip_collective(1, 5)),
+            comm: CommConfig {
+                timeout: std::time::Duration::from_secs(2),
+                ..CommConfig::default()
+            },
+            lockstep: Some(LockstepConfig { check_every: 1 }),
+        };
+        let t0 = std::time::Instant::now();
+        let err = solve_full_parallel_chaos(&cfg, &b, &s, &chaos)
+            .expect_err("a skipped collective must abort the solve");
+        match err {
+            CommError::LockstepDivergence { rank, .. } => assert_eq!(rank, 1),
+            other => panic!("expected LockstepDivergence, got {other:?}"),
+        }
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(10),
+            "divergence took {:?} to surface",
             t0.elapsed()
         );
     }
@@ -505,7 +553,7 @@ mod tests {
         let (x_clean, r_clean) = solve_full_parallel(&cfg, &b, &s).expect("fault-free solve");
         let chaos = ChaosSpec {
             plan: Some(quda_comm::FaultPlan::new(99).drop(0.01)),
-            comm: CommConfig::default(),
+            ..ChaosSpec::default()
         };
         let (x_lossy, r_lossy) =
             solve_full_parallel_chaos(&cfg, &b, &s, &chaos).expect("lossy solve");
@@ -526,7 +574,7 @@ mod tests {
         let (x_clean, r_clean) = solve_full_parallel(&cfg, &b, &s).expect("fault-free solve");
         let chaos = ChaosSpec {
             plan: Some(quda_comm::FaultPlan::new(7).bit_flip(0.01).truncate(0.005)),
-            comm: CommConfig::default(),
+            ..ChaosSpec::default()
         };
         let (x_lossy, r_lossy) =
             solve_full_parallel_chaos(&cfg, &b, &s, &chaos).expect("corrupted solve");
@@ -556,7 +604,7 @@ mod tests {
                         .duplicate(0.05)
                         .delay(0.05, std::time::Duration::from_millis(1)),
                 ),
-                comm: CommConfig::default(),
+                ..ChaosSpec::default()
             };
             let (x, r) = solve_full_parallel_chaos(&cfg, &b, &s, &chaos)
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));

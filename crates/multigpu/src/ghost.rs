@@ -20,7 +20,7 @@
 //! required" (Section VI-C).
 
 use bytes::Bytes;
-use quda_comm::{CommError, Communicator, DecodeError};
+use quda_comm::{tags, CommError, Communicator, DecodeError};
 use quda_dirac::gather_face_site;
 use quda_fields::precision::Precision;
 use quda_fields::{GaugeFieldCb, SpinorFieldCb};
@@ -31,13 +31,6 @@ use quda_math::real::Real;
 use quda_math::spinor::{HalfSpinor, HALF_SPINOR_REALS};
 use quda_math::su3::Su3;
 use quda_obs::Phase;
-
-/// Tag for faces travelling forward (towards higher t).
-const TAG_FACE_FWD: u32 = 1;
-/// Tag for faces travelling backward.
-const TAG_FACE_BWD: u32 = 2;
-/// Tag base for the one-time gauge ghost exchange.
-const TAG_GAUGE: u32 = 8;
 
 /// Encode a gathered face (one f64 per real, `faces × 12` entries) at the
 /// wire precision of `P`.
@@ -148,7 +141,7 @@ pub fn send_faces<P: Precision>(
         gather.set_bytes(wire.len() as u64);
         wire
     };
-    comm.send(comm.forward(), TAG_FACE_FWD, fwd_wire)?;
+    comm.send(comm.forward(), tags::FACE_FWD, fwd_wire)?;
     // First time-slice → backward neighbor.
     let bwd_wire = {
         let mut gather = tracer.span(Phase::Gather);
@@ -163,7 +156,7 @@ pub fn send_faces<P: Precision>(
         gather.set_bytes(wire.len() as u64);
         wire
     };
-    comm.send(comm.backward(), TAG_FACE_BWD, bwd_wire)
+    comm.send(comm.backward(), tags::FACE_BWD, bwd_wire)
 }
 
 /// Receive both faces and store them in the ghost end zone.
@@ -177,7 +170,7 @@ pub fn recv_faces<P: Precision>(
     let from = comm.backward();
     let payload = {
         let mut wire = tracer.span(Phase::Wire);
-        let payload = comm.recv(from, TAG_FACE_FWD)?;
+        let payload = comm.recv(from, tags::FACE_FWD)?;
         wire.set_bytes(payload.len() as u64);
         payload
     };
@@ -185,7 +178,7 @@ pub fn recv_faces<P: Precision>(
         let _scatter = tracer.span(Phase::Scatter);
         let values = decode_face::<P>(&payload, faces).map_err(|error| CommError::Decode {
             from,
-            tag: TAG_FACE_FWD,
+            tag: tags::FACE_FWD,
             error,
         })?;
         store_ghost(field, true, &values);
@@ -194,7 +187,7 @@ pub fn recv_faces<P: Precision>(
     let from = comm.forward();
     let payload = {
         let mut wire = tracer.span(Phase::Wire);
-        let payload = comm.recv(from, TAG_FACE_BWD)?;
+        let payload = comm.recv(from, tags::FACE_BWD)?;
         wire.set_bytes(payload.len() as u64);
         payload
     };
@@ -202,7 +195,7 @@ pub fn recv_faces<P: Precision>(
         let _scatter = tracer.span(Phase::Scatter);
         let values = decode_face::<P>(&payload, faces).map_err(|error| CommError::Decode {
             from,
-            tag: TAG_FACE_BWD,
+            tag: tags::FACE_BWD,
             error,
         })?;
         store_ghost(field, false, &values);
@@ -251,7 +244,7 @@ pub fn exchange_gauge_ghosts<P: Precision>(
 ) -> Result<(), CommError> {
     let half_vs = dims.half_spatial_volume();
     for parity in [Parity::Even, Parity::Odd] {
-        let tag = TAG_GAUGE + parity.as_usize() as u32;
+        let tag = tags::gauge(parity.as_usize());
         let mut flat = Vec::with_capacity(half_vs * 18);
         for face in 0..half_vs {
             let cb = (dims.t - 1) * half_vs + face;

@@ -12,7 +12,7 @@
 
 /// Number of distinct phases; arrays indexed by [`Phase::index`] have
 /// this length.
-pub const PHASE_COUNT: usize = 16;
+pub const PHASE_COUNT: usize = 17;
 
 /// One phase of a traced solve. `Copy` and dense-indexable so per-rank
 /// aggregation is a fixed-size array, not a hash map.
@@ -26,6 +26,9 @@ pub enum Phase {
     Retry,
     /// A collective (gather + broadcast allreduce, or barrier).
     AllReduce,
+    /// Lockstep-sanitizer bookkeeping inside a collective: fingerprint
+    /// encoding on the leaves, cross-rank comparison on the root.
+    Lockstep,
     /// Packing a time-slice face into the wire format.
     Gather,
     /// Waiting for a face message from a neighbour rank.
@@ -59,6 +62,7 @@ impl Phase {
         Phase::CommRecv,
         Phase::Retry,
         Phase::AllReduce,
+        Phase::Lockstep,
         Phase::Gather,
         Phase::Wire,
         Phase::Scatter,
@@ -85,6 +89,7 @@ impl Phase {
             Phase::CommRecv => "comm_recv",
             Phase::Retry => "retry",
             Phase::AllReduce => "allreduce",
+            Phase::Lockstep => "lockstep",
             Phase::Gather => "gather",
             Phase::Wire => "wire",
             Phase::Scatter => "scatter",

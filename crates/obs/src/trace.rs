@@ -248,7 +248,9 @@ impl Span {
 
 fn phase_cat(phase: Phase) -> &'static str {
     match phase {
-        Phase::CommSend | Phase::CommRecv | Phase::Retry | Phase::AllReduce => "comm",
+        Phase::CommSend | Phase::CommRecv | Phase::Retry | Phase::AllReduce | Phase::Lockstep => {
+            "comm"
+        }
         Phase::Gather | Phase::Wire | Phase::Scatter => "ghost",
         Phase::Interior | Phase::Exterior | Phase::Kernel => "kernel",
         Phase::Matvec

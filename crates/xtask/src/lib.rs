@@ -16,6 +16,7 @@
 //! file and aggregates a [`report::LintReport`] which renders as text or
 //! JSON (`--json`).
 
+pub mod collectives;
 pub mod report;
 pub mod rules;
 pub mod source;
@@ -77,6 +78,40 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
         diagnostics,
         files_scanned: scanned,
         rules: rules::builtin_lints().iter().map(|l| l.name()).collect(),
+    })
+}
+
+/// Run the collective-ordering analysis on source texts as if they lived
+/// at the given workspace-relative paths. Fixture-test entry point.
+pub fn collectives_texts(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+    let parsed: Vec<SourceFile> =
+        files.iter().map(|(rel, text)| SourceFile::parse(rel, text)).collect();
+    collectives::analyze(&parsed)
+}
+
+/// Walk the workspace and run the collective-ordering analysis over every
+/// `.rs` file at once (the analysis is interprocedural: pairing evidence
+/// and callee definitions may live in a different file than the finding).
+pub fn collectives_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let mut paths = Vec::new();
+    for dir in SCAN_ROOTS {
+        collect_rs_files(&root.join(dir), &mut paths)?;
+    }
+    paths.sort();
+    let mut parsed = Vec::new();
+    for path in &paths {
+        let rel = path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/");
+        if excluded(&rel) {
+            continue;
+        }
+        let text = std::fs::read_to_string(path)?;
+        parsed.push(SourceFile::parse(&rel, &text));
+    }
+    let files_scanned = parsed.len();
+    Ok(LintReport {
+        diagnostics: collectives::analyze(&parsed),
+        files_scanned,
+        rules: collectives::rule_list().iter().map(|&(name, _)| name).collect(),
     })
 }
 

@@ -5,6 +5,9 @@
 //! * `lint [--json]` — run the project lints over every workspace `.rs`
 //!   file; exits non-zero if any diagnostic is produced.
 //! * `lint --list` — print the rules and what they check.
+//! * `collectives [--json]` — run the interprocedural collective-ordering
+//!   analysis over the whole workspace; exits non-zero on any finding.
+//! * `collectives --list` — print the collective rules.
 
 use std::process::ExitCode;
 
@@ -12,6 +15,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("collectives") => collectives(&args[1..]),
         Some(other) => {
             eprintln!("unknown xtask subcommand `{other}`");
             usage();
@@ -25,7 +29,55 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: cargo xtask lint [--json | --list]");
+    eprintln!("usage: cargo xtask <lint | collectives> [--json | --list]");
+}
+
+fn collectives(flags: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut list = false;
+    for flag in flags {
+        match flag.as_str() {
+            "--json" => json = true,
+            "--list" => list = true,
+            other => {
+                eprintln!("unknown collectives flag `{other}`");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if list {
+        for (name, description) in xtask::collectives::rule_list() {
+            println!("{name:<24} {description}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = xtask::find_workspace_root();
+    let report = match xtask::collectives_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask collectives: i/o error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        eprintln!(
+            "xtask collectives: {} file(s) analyzed, {} rule(s), {} diagnostic(s)",
+            report.files_scanned,
+            report.rules.len(),
+            report.diagnostics.len()
+        );
+    }
+    if report.diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn lint(flags: &[String]) -> ExitCode {

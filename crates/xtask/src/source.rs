@@ -234,7 +234,7 @@ fn is_ident_byte(b: u8) -> bool {
 }
 
 /// Offset of the matching `close` for the `open` delimiter at `at`.
-fn matching(bytes: &[u8], at: usize, open: u8, close: u8) -> Option<usize> {
+pub(crate) fn matching(bytes: &[u8], at: usize, open: u8, close: u8) -> Option<usize> {
     debug_assert_eq!(bytes[at], open);
     let mut depth = 0usize;
     for (i, &b) in bytes.iter().enumerate().skip(at) {

@@ -1,0 +1,44 @@
+pub struct C {
+    rank: usize,
+}
+
+impl C {
+    pub fn bad_branch(&mut self) {
+        if self.rank == 0 {
+            self.barrier();
+        }
+    }
+
+    pub fn good_branch(&mut self) {
+        if self.rank == 0 {
+            self.allreduce_sum_f64(1.0);
+        } else {
+            self.allreduce_sum_f64(2.0);
+        }
+    }
+
+    pub fn early_return(&mut self) {
+        if self.rank > 2 {
+            return;
+        }
+        self.barrier();
+    }
+
+    pub fn wrapped(&mut self) {
+        let me = self.rank;
+        if me == 0 {
+            self.sync_all();
+        }
+    }
+
+    fn sync_all(&mut self) {
+        self.barrier();
+    }
+
+    pub fn allowed(&mut self) {
+        if self.rank == 0 {
+            // quda-lint: allow(rank-branch-collective)
+            self.barrier();
+        }
+    }
+}

@@ -1,0 +1,28 @@
+pub struct C {
+    rank: usize,
+    size: usize,
+}
+
+impl C {
+    pub fn bad_loop(&mut self) {
+        for _ in 0..self.rank {
+            self.allreduce_sum_f64(1.0);
+        }
+    }
+
+    pub fn good_loop(&mut self) {
+        for _ in 0..self.size {
+            self.allreduce_sum_f64(1.0);
+        }
+    }
+
+    pub fn bad_send_loop(&mut self, my_rank: usize) {
+        while self.counter < my_rank {
+            self.send(0, tags::FACE_FWD, payload());
+        }
+    }
+
+    pub fn pair(&mut self) {
+        let _ = self.recv(0, tags::FACE_FWD);
+    }
+}

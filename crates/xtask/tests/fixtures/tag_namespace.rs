@@ -1,0 +1,10 @@
+pub const MY_TAG: u32 = 77;
+
+pub struct C;
+
+impl C {
+    pub fn raw(&mut self) {
+        self.send(1, 42, vec![]);
+        let _ = self.recv(0, 42);
+    }
+}

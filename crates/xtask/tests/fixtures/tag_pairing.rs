@@ -1,0 +1,18 @@
+use quda_comm::tags;
+
+pub struct C;
+
+impl C {
+    pub fn orphan_send(&mut self) {
+        self.send(1, tags::GAUGE_EVEN, vec![]);
+    }
+
+    pub fn orphan_recv(&mut self) {
+        let _ = self.recv(0, tags::GAUGE_ODD);
+    }
+
+    pub fn paired(&mut self) {
+        self.send(1, tags::FACE_FWD, vec![]);
+        let _ = self.recv(0, tags::FACE_FWD);
+    }
+}
