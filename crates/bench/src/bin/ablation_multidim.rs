@@ -1,24 +1,24 @@
-//! Future-work extension (Section VI-A / VIII): 1-d vs 2-d decomposition.
+//! Future-work extension (Section VI-A / VIII): 1-d vs multi-d decomposition.
 //!
 //! "If one were to attempt to scale to hundreds of GPUs or more,
 //! multi-dimensional parallelization would clearly be needed to keep the
 //! local surface to volume ratio under control." This harness scans GPU
-//! counts on the 32^3x256 lattice and reports the best (Z,T) process grid
-//! at each, showing where the 1-d slicing stops being optimal and where it
-//! stops being possible.
+//! counts on the 32^3x256 lattice and reports the best (X,Y,Z,T) process
+//! grid at each, showing where the 1-d slicing stops being optimal and
+//! where it stops being possible.
 
 use quda_lattice::geometry::LatticeDims;
-use quda_multigpu::multidim::{best_grid, sustained_gflops_2d, ProcessGrid};
+use quda_multigpu::multidim::{best_grid, sustained_gflops_grid, ProcessGrid};
 use quda_multigpu::perf::PerfInput;
 use quda_multigpu::rank_op::CommStrategy;
 use quda_multigpu::PrecisionMode;
 
 fn main() {
     let global = LatticeDims::spatial_cube(32, 256);
-    println!("1-d (T-only) vs best 2-d (Z,T) grid, V = 32^3x256, single precision, no overlap");
+    println!("1-d (T-only) vs best 4-d (X,Y,Z,T) grid, V = 32^3x256, single precision, no overlap");
     println!(
-        "{:>6} {:>14} {:>14} {:>10} {:>10}",
-        "GPUs", "T-only Gflops", "best Gflops", "best grid", "2d gain"
+        "{:>6} {:>14} {:>14} {:>12} {:>10}",
+        "GPUs", "T-only Gflops", "best Gflops", "best grid", "md gain"
     );
     for log2 in 2..=9 {
         let ranks = 1usize << log2;
@@ -28,22 +28,19 @@ fn main() {
             PrecisionMode::Single,
             CommStrategy::NoOverlap,
         );
-        // PerfInput's own ranks field is unused by the 2-d model except for
-        // the global dims; pass grids explicitly.
-        let t_only = sustained_gflops_2d(&inp, ProcessGrid { nz: 1, nt: ranks });
+        // PerfInput's own ranks field is unused by the grid model except
+        // for the global dims; pass grids explicitly.
+        let t_only = sustained_gflops_grid(&inp, ProcessGrid::one_d(ranks));
         let best = best_grid(&inp, ranks);
         match (t_only, best) {
             (Some(t), Some((g, b))) => println!(
-                "{ranks:>6} {t:>14.0} {b:>14.0} {:>10} {:>9.1}%",
-                format!("{}x{}", g.nz, g.nt),
+                "{ranks:>6} {t:>14.0} {b:>14.0} {:>12} {:>9.1}%",
+                g.to_string(),
                 100.0 * (b / t - 1.0)
             ),
-            (None, Some((g, b))) => println!(
-                "{ranks:>6} {:>14} {b:>14.0} {:>10} {:>10}",
-                "-",
-                format!("{}x{}", g.nz, g.nt),
-                "-"
-            ),
+            (None, Some((g, b))) => {
+                println!("{ranks:>6} {:>14} {b:>14.0} {:>12} {:>10}", "-", g.to_string(), "-")
+            }
             _ => println!("{ranks:>6} no valid grid"),
         }
     }

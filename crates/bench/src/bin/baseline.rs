@@ -15,6 +15,8 @@ use quda_core::{PrecisionMode, Quda, QudaInvertParam};
 use quda_fields::gauge_gen::weak_field;
 use quda_fields::host::HostSpinorField;
 use quda_lattice::geometry::{Coord, LatticeDims};
+use quda_multigpu::multidim::{best_grid, sustained_gflops_grid, ProcessGrid};
+use quda_multigpu::perf::PerfInput;
 use quda_multigpu::rank_op::CommStrategy;
 
 /// One modeled scaling curve as a JSON array (null = infeasible point).
@@ -32,6 +34,21 @@ fn curve_json(
         })
         .collect();
     format!("[{}]", vals.join(", "))
+}
+
+/// One multi-dim model row: T-only vs best grid at a simulated rank count
+/// (ISSUE 7: a multi-dim perf trajectory for future PRs). Deterministic —
+/// pure model output.
+fn multidim_row(dims: LatticeDims, ranks: usize) -> String {
+    let inp =
+        PerfInput::paper(dims, ranks.clamp(1, 128), PrecisionMode::Single, CommStrategy::NoOverlap);
+    let t_only = sustained_gflops_grid(&inp, ProcessGrid::one_d(ranks))
+        .map_or_else(|| "null".to_string(), |g| format!("{g:.1}"));
+    let (bg, bf) = best_grid(&inp, ranks).expect("at least one valid grid");
+    format!(
+        "      {{\"gpus\": {ranks}, \"t_only_gflops\": {t_only}, \
+         \"best_grid\": \"{bg}\", \"best_gflops\": {bf:.1}}}"
+    )
 }
 
 /// One functional fixed-seed solve; returns (json, wall_seconds).
@@ -115,7 +132,20 @@ fn main() {
             curve_json(strong24, *mode, CommStrategy::NoOverlap, true)
         );
     }
-    println!("    }}");
+    println!("    }},");
+    let multidim_ranks = [64usize, 128, 256];
+    println!("    \"fig_multidim_strong_32c256_single\": [");
+    for (i, &ranks) in multidim_ranks.iter().enumerate() {
+        let comma = if i == multidim_ranks.len() - 1 { "" } else { "," };
+        println!("{}{comma}", multidim_row(LatticeDims::spatial_cube(32, 256), ranks));
+    }
+    println!("    ],");
+    println!("    \"fig_multidim_weak_32c2t_single\": [");
+    for (i, &ranks) in multidim_ranks.iter().enumerate() {
+        let comma = if i == multidim_ranks.len() - 1 { "" } else { "," };
+        println!("{}{comma}", multidim_row(LatticeDims::new(32, 32, 32, 2 * ranks), ranks));
+    }
+    println!("    ]");
     println!("  }},");
     println!("  \"functional\": {{");
     println!("    \"lattice\": \"8x8x8x16\", \"gpus\": 2, \"mass\": 0.2, \"tol\": 1e-10,");

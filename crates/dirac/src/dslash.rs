@@ -21,16 +21,22 @@ use quda_math::real::Real;
 use quda_math::spinor::{HalfSpinor, Spinor};
 use rayon::prelude::*;
 
-/// Which time-slices a dslash launch covers.
+/// Which sites a dslash launch covers.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum DslashRegion {
     /// The whole local volume (the no-overlap strategy, Section VI-D1).
     All,
-    /// Only sites with `0 < t < T_local − 1` — safe to run while faces are
-    /// still in flight.
+    /// Only sites on no open-dimension boundary — safe to run while faces
+    /// are still in flight.
     Interior,
-    /// Only the two boundary time-slices — run after ghosts arrive.
+    /// Only boundary sites of open dimensions — run after ghosts arrive.
     Faces,
+    /// Only boundary sites whose *highest* open boundary dimension is the
+    /// given one. Driving the open dimensions in ascending order with this
+    /// region updates every boundary site exactly once (corner sites run
+    /// with their last-arriving face) — the per-direction pipeline of the
+    /// 4-d decomposition (arXiv:1109.2935).
+    FacesDim(usize),
 }
 
 /// Sites below this count run sequentially (rayon overhead dominates).
@@ -58,12 +64,9 @@ pub fn dslash_cb<P: Precision>(
     let sites = out.sites();
     let in_region = |cb: usize| match region {
         DslashRegion::All => true,
-        DslashRegion::Interior => {
-            table.on_back_face[cb].is_none() && table.on_front_face[cb].is_none()
-        }
-        DslashRegion::Faces => {
-            table.on_back_face[cb].is_some() || table.on_front_face[cb].is_some()
-        }
+        DslashRegion::Interior => table.last_face_dim[cb].is_none(),
+        DslashRegion::Faces => table.last_face_dim[cb].is_some(),
+        DslashRegion::FacesDim(d) => table.last_face_dim[cb] == Some(d as u8),
     };
     let site_kernel = |cb: usize| -> Option<(usize, Spinor<P::Arith>)> {
         if !in_region(cb) {
@@ -102,8 +105,15 @@ fn dslash_site<P: Precision>(
         let h = match nref.kind {
             BoundaryKind::Interior => proj_f.project(&input.get(nref.idx as usize)),
             BoundaryKind::GhostForward => {
-                debug_assert_eq!(mu, DIR_T);
-                ghost_half::<P>(input, false, nref.idx as usize, proj_f)
+                if mu == DIR_T {
+                    // Diagonal P±4: raw 12-number copy, coefficient applied
+                    // here (Section VI-C footnote 3).
+                    ghost_half::<P>(input, false, nref.idx as usize, proj_f)
+                } else {
+                    // Non-diagonal spatial projector: the sender already
+                    // applied the full projection, consume as-is.
+                    input.get_ghost_dim(mu, false, nref.idx as usize)
+                }
             }
             BoundaryKind::GhostBackward => unreachable!("forward hop cannot use backward ghost"),
         };
@@ -121,9 +131,13 @@ fn dslash_site<P: Precision>(
                 (proj_b.project(&input.get(idx)), gauge.link(in_parity, mu, idx))
             }
             BoundaryKind::GhostBackward => {
-                debug_assert_eq!(mu, DIR_T);
                 let face = nref.idx as usize;
-                (ghost_half::<P>(input, true, face, proj_b), gauge.ghost_link(in_parity, mu, face))
+                let h = if mu == DIR_T {
+                    ghost_half::<P>(input, true, face, proj_b)
+                } else {
+                    input.get_ghost_dim(mu, true, face)
+                };
+                (h, gauge.ghost_link_dim(in_parity, mu, face))
             }
             BoundaryKind::GhostForward => unreachable!("backward hop cannot use forward ghost"),
         };
@@ -192,15 +206,57 @@ pub fn gather_face_site<P: Precision>(
     HalfSpinor { h: [sp.s[proj.rows[0]], sp.s[proj.rows[1]]] }
 }
 
-/// Counts of work for one dslash launch, for the performance model.
-pub fn dslash_site_count(stencil: &Stencil, region: DslashRegion) -> usize {
+/// Gather the projected half-spinor a neighbor will need from face site
+/// `face` of the `dir`-boundary of `field` (the sending half of Fig. 3,
+/// generalized to any dimension).
+///
+/// `to_forward` gathers the last (`true`) or first (`false`) `dir`-slice;
+/// `parity` is the checkerboard parity of `field`. For `dir = 3` (the
+/// diagonal P±4) this is byte-identical to [`gather_face_site`]: a raw copy
+/// of the two kept spin components, the receiver supplying the factor 2.
+/// For X/Y/Z the projector is non-diagonal, so the *sender* applies the full
+/// projection and the receiver consumes the stored half directly.
+#[allow(clippy::too_many_arguments)]
+pub fn gather_face_site_dim<P: Precision>(
+    field: &SpinorFieldCb<P>,
+    basis: &SpinBasis,
+    stencil: &Stencil,
+    dir: usize,
+    to_forward: bool,
+    face: usize,
+    parity: Parity,
+    dagger: bool,
+) -> HalfSpinor<P::Arith> {
+    if dir == DIR_T {
+        return gather_face_site(field, basis, stencil, to_forward, face, dagger);
+    }
+    // Same (to_forward, dagger) → projector-index convention as the T path:
+    // the receiver consumes a backward ghost with proj[mu][dagger ? 0 : 1]
+    // and a forward ghost with proj[mu][dagger ? 1 : 0].
+    let proj_idx = match (to_forward, dagger) {
+        (true, false) => 1,
+        (true, true) => 0,
+        (false, false) => 0,
+        (false, true) => 1,
+    };
+    let proj = &basis.proj[dir][proj_idx];
     let dims = stencil.dims;
-    let half_vs = dims.half_spatial_volume();
-    let total = dims.half_volume();
+    let fixed = if to_forward { dims.extent(dir) - 1 } else { 0 };
+    let c = Stencil::face_coord(&dims, dir, parity, fixed, face);
+    proj.project(&field.get(dims.cb_index(c)))
+}
+
+/// Counts of work for one dslash launch, for the performance model. Face
+/// classification follows the stencil's `last_face_dim` table, so the counts
+/// are exact for any set of open dimensions.
+pub fn dslash_site_count(stencil: &Stencil, region: DslashRegion) -> usize {
+    let total = stencil.dims.half_volume();
+    let table = &stencil.for_parity(Parity::Even).last_face_dim;
     match region {
         DslashRegion::All => total,
-        DslashRegion::Faces => (2 * half_vs).min(total),
-        DslashRegion::Interior => total.saturating_sub(2 * half_vs),
+        DslashRegion::Faces => table.iter().filter(|l| l.is_some()).count(),
+        DslashRegion::Interior => table.iter().filter(|l| l.is_none()).count(),
+        DslashRegion::FacesDim(d) => table.iter().filter(|l| **l == Some(d as u8)).count(),
     }
 }
 
@@ -340,6 +396,115 @@ mod tests {
             let rel = (got - expect).norm_sqr().sqrt() / expect.norm_sqr().sqrt().max(1e-30);
             assert!(rel < 1e-5, "cb={cb} rel={rel}");
         }
+    }
+
+    #[test]
+    fn spatial_ghost_path_reproduces_periodic_wrap_single_rank() {
+        // Same self-exchange check as the temporal one, but for an open X
+        // boundary: side ghosts + side ghost links must reproduce the closed
+        // (periodic) dslash exactly.
+        let d = dims();
+        let (_, mut gauge, _, dev, basis, _) = setup(d);
+        let closed = Stencil::new(d, false);
+        let open = Stencil::with_open(d, [true, false, false, false]);
+        let mut expect = SpinorFieldCb::<Double>::new(d, false);
+        dslash_cb(
+            &mut expect,
+            &gauge,
+            &dev,
+            Parity::Even,
+            &closed,
+            &basis,
+            false,
+            DslashRegion::All,
+        );
+
+        let mut dev_g = SpinorFieldCb::<Double>::new_open(d, [true, false, false, false]);
+        for cb in 0..dev_g.sites() {
+            dev_g.set(cb, &dev.get(cb));
+        }
+        let fs = dev_g.face_sites_dim(0);
+        for face in 0..fs {
+            // Input parity is Odd; periodic self-exchange.
+            let from_last =
+                gather_face_site_dim(&dev, &basis, &open, 0, true, face, Parity::Odd, false);
+            dev_g.set_ghost_dim(0, true, face, &from_last);
+            let from_first =
+                gather_face_site_dim(&dev, &basis, &open, 0, false, face, Parity::Odd, false);
+            dev_g.set_ghost_dim(0, false, face, &from_first);
+        }
+        // Side ghost links: U_x on the last X-slice of the (same) domain,
+        // parity of x−x̂ = Odd for Even output sites.
+        for face in 0..fs {
+            let c = Stencil::face_coord(&d, 0, Parity::Odd, d.x - 1, face);
+            let u: quda_math::su3::Su3<f64> = gauge.link(Parity::Odd, 0, d.cb_index(c)).cast();
+            gauge.set_ghost_link_dim(Parity::Odd, 0, face, &u);
+        }
+        let mut got = SpinorFieldCb::<Double>::new(d, false);
+        dslash_cb(&mut got, &gauge, &dev_g, Parity::Even, &open, &basis, false, DslashRegion::All);
+        for cb in 0..got.sites() {
+            let diff = (got.get(cb) - expect.get(cb)).norm_sqr();
+            assert!(diff < 1e-22, "cb={cb} diff={diff}");
+        }
+    }
+
+    #[test]
+    fn faces_dim_regions_partition_the_face_set() {
+        let d = dims();
+        let (_, gauge, _, dev, basis, _) = setup(d);
+        let open = [true, false, true, true];
+        let stencil = Stencil::with_open(d, open);
+        // Interior + each FacesDim (ascending) must together equal All —
+        // with every ghost zone zero the numerics don't matter, only the
+        // site coverage; use a ghost-bearing input so ghost reads are legal.
+        let mut dev_g = SpinorFieldCb::<Double>::new_open(d, open);
+        for cb in 0..dev_g.sites() {
+            dev_g.set(cb, &dev.get(cb));
+        }
+        let mut split = SpinorFieldCb::<Double>::new(d, false);
+        dslash_cb(
+            &mut split,
+            &gauge,
+            &dev_g,
+            Parity::Even,
+            &stencil,
+            &basis,
+            false,
+            DslashRegion::Interior,
+        );
+        let mut covered = dslash_site_count(&stencil, DslashRegion::Interior);
+        for dim in 0..4 {
+            if !open[dim] {
+                assert_eq!(dslash_site_count(&stencil, DslashRegion::FacesDim(dim)), 0);
+                continue;
+            }
+            dslash_cb(
+                &mut split,
+                &gauge,
+                &dev_g,
+                Parity::Even,
+                &stencil,
+                &basis,
+                false,
+                DslashRegion::FacesDim(dim),
+            );
+            covered += dslash_site_count(&stencil, DslashRegion::FacesDim(dim));
+        }
+        let mut all = SpinorFieldCb::<Double>::new(d, false);
+        dslash_cb(
+            &mut all,
+            &gauge,
+            &dev_g,
+            Parity::Even,
+            &stencil,
+            &basis,
+            false,
+            DslashRegion::All,
+        );
+        for cb in 0..all.sites() {
+            assert_eq!(all.get(cb), split.get(cb), "cb={cb}");
+        }
+        assert_eq!(covered, d.half_volume());
     }
 
     #[test]

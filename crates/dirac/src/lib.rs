@@ -27,6 +27,6 @@ pub mod op;
 pub mod reference;
 
 pub use cpu_opt::{CpuDslash, FlatSpinor};
-pub use dslash::{dslash_cb, gather_face_site, DslashRegion};
+pub use dslash::{dslash_cb, gather_face_site, gather_face_site_dim, DslashRegion};
 pub use op::{WilsonCloverOp, INNER_PARITY, SOLVE_PARITY};
 pub use reference::WilsonParams;

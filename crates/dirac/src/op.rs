@@ -73,6 +73,18 @@ impl<P: Precision> WilsonCloverOp<P> {
         t_open: bool,
         clover_override: Option<[Vec<quda_math::clover::CloverSite<f64>>; 2]>,
     ) -> Self {
+        Self::from_config_open(cfg, params, [false, false, false, t_open], clover_override)
+    }
+
+    /// As [`WilsonCloverOp::from_config_with`], but with any set of open
+    /// (domain-boundary) dimensions — a rank of a 4-d process-grid
+    /// decomposition opens every partitioned dimension.
+    pub fn from_config_open(
+        cfg: &GaugeConfig,
+        params: WilsonParams,
+        open: [bool; 4],
+        clover_override: Option<[Vec<quda_math::clover::CloverSite<f64>>; 2]>,
+    ) -> Self {
         let dims = cfg.dims;
         let mut gauge = GaugeFieldCb::<P>::new(dims, true);
         gauge.upload(cfg);
@@ -94,7 +106,7 @@ impl<P: Precision> WilsonCloverOp<P> {
             gauge,
             clover,
             clover_inv,
-            stencil: Stencil::new(dims, t_open),
+            stencil: Stencil::with_open(dims, open),
             basis: SpinBasis::new(GammaBasis::NonRelativistic),
             map: CloverBasisMap::new(),
             matpc_count: std::cell::Cell::new(0),
@@ -102,10 +114,10 @@ impl<P: Precision> WilsonCloverOp<P> {
     }
 
     /// Allocate a workspace spinor field matching this operator. On a
-    /// partitioned run (open temporal boundary) every vector the hopping
-    /// term may read carries a ghost end zone.
+    /// partitioned run every vector the hopping term may read carries a
+    /// ghost zone for each open dimension.
     pub fn alloc_spinor(&self) -> SpinorFieldCb<P> {
-        SpinorFieldCb::new(self.dims, self.stencil.t_open)
+        SpinorFieldCb::new_open(self.dims, self.stencil.open)
     }
 
     /// Apply the hopping term `D` with output on `out_parity`.

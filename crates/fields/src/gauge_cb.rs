@@ -28,6 +28,12 @@ pub struct GaugeFieldCb<P: Precision> {
     pub compressed: bool,
     /// `data[parity][mu]`.
     pub data: [[Vec<P::Elem>; 4]; 2],
+    /// Ghost links for X/Y/Z decompositions: `side_ghost[parity][dir]` holds
+    /// the backward neighbor's boundary slice of `U_dir`, one link per face
+    /// site, allocated lazily on first write. The temporal ghost slice stays
+    /// in the pad of `data[parity][DIR_T]` (Section VI-B) — only X/Y/Z need
+    /// dedicated storage, because their faces are not block pads.
+    pub side_ghost: [[Vec<P::Elem>; 3]; 2],
 }
 
 impl<P: Precision> GaugeFieldCb<P> {
@@ -41,6 +47,10 @@ impl<P: Precision> GaugeFieldCb<P> {
             layout,
             compressed,
             data: [[make(), make(), make(), make()], [make(), make(), make(), make()]],
+            side_ghost: [
+                [Vec::new(), Vec::new(), Vec::new()],
+                [Vec::new(), Vec::new(), Vec::new()],
+            ],
         };
         let id = Su3::<f64>::identity();
         for parity in [Parity::Even, Parity::Odd] {
@@ -165,6 +175,50 @@ impl<P: Precision> GaugeFieldCb<P> {
         self.reals_to_link(&reals)
     }
 
+    /// Face sites per parity of a `dir`-boundary slice.
+    #[inline(always)]
+    pub fn face_sites_dim(&self, dir: usize) -> usize {
+        self.dims.volume() / self.dims.extent(dir) / 2
+    }
+
+    /// Store the ghost copy of `U_dir` at face site `face` of the backward
+    /// `dir`-boundary. For `dir = 3` this is the legacy pad slice; for X/Y/Z
+    /// the side store is allocated lazily on first write.
+    pub fn set_ghost_link_dim(&mut self, parity: Parity, dir: usize, face: usize, u: &Su3<f64>) {
+        if dir == 3 {
+            return self.set_ghost_link(parity, 3, face, u);
+        }
+        let n = self.link_reals();
+        let reals = self.link_to_reals(u);
+        let fs = self.face_sites_dim(dir);
+        let buf = &mut self.side_ghost[parity.as_usize()][dir];
+        if buf.is_empty() {
+            buf.resize(fs * n, P::Elem::default());
+        }
+        for (k, &r) in reals.iter().enumerate() {
+            buf[face * n + k] = P::store(P::Arith::from_f64(r));
+        }
+    }
+
+    /// Load the ghost copy of `U_dir` at face site `face` of the backward
+    /// `dir`-boundary (the counterpart of [`GaugeFieldCb::set_ghost_link_dim`]).
+    pub fn ghost_link_dim(&self, parity: Parity, dir: usize, face: usize) -> Su3<P::Arith> {
+        if dir == 3 {
+            return self.ghost_link(parity, 3, face);
+        }
+        let n = self.link_reals();
+        let buf = &self.side_ghost[parity.as_usize()][dir];
+        if buf.is_empty() {
+            // Never written (lazy store): identity, matching a fresh field.
+            return Su3::identity();
+        }
+        let mut reals = vec![0.0; n];
+        for (k, r) in reals.iter_mut().enumerate() {
+            *r = P::load(buf[face * n + k]).to_f64();
+        }
+        self.reals_to_link(&reals)
+    }
+
     /// Upload an entire host configuration (both parities, all directions).
     pub fn upload(&mut self, config: &GaugeConfig) {
         assert_eq!(config.dims, self.dims);
@@ -270,6 +324,27 @@ mod tests {
             let got: Su3<f64> = g.ghost_link(Parity::Odd, 3, f).cast();
             assert!((got - sample_link(1000 + f)).norm_sqr() < 1e-10);
         }
+    }
+
+    #[test]
+    fn side_ghost_links_roundtrip_and_t_routes_to_pad() {
+        let mut g = GaugeFieldCb::<Double>::new(dims(), true);
+        for dir in 0..4 {
+            for f in 0..g.face_sites_dim(dir) {
+                g.set_ghost_link_dim(Parity::Even, dir, f, &sample_link(100 * dir + f));
+            }
+        }
+        for dir in 0..4 {
+            for f in 0..g.face_sites_dim(dir) {
+                let got: Su3<f64> = g.ghost_link_dim(Parity::Even, dir, f).cast();
+                assert!((got - sample_link(100 * dir + f)).norm_sqr() < 1e-20);
+            }
+        }
+        // The T route is the pad: readable through the legacy accessor.
+        let via_pad: Su3<f64> = g.ghost_link(Parity::Even, 3, 0).cast();
+        assert!((via_pad - sample_link(300)).norm_sqr() < 1e-20);
+        // Unwritten parities stay unallocated (lazy side store).
+        assert!(g.side_ghost[Parity::Odd.as_usize()].iter().all(|v| v.is_empty()));
     }
 
     #[test]

@@ -26,18 +26,48 @@ pub struct SpinorFieldCb<P: Precision> {
     /// Per-site normalization constants (half precision only; otherwise
     /// empty). Ghost entries follow the site entries: backward face first.
     pub norm: Vec<f32>,
+    /// Which lattice dimensions carry ghost zones. The temporal ghost lives
+    /// in the end zone of `data` (Fig. 2); X/Y/Z ghosts — whose faces are
+    /// not contiguous in the checkerboard layout — live in the side arrays.
+    pub open: [bool; 4],
+    /// Side ghost storage for X/Y/Z (indexed `dir = 0..3`): `2 × face_sites`
+    /// half spinors, backward face first, matching the end-zone convention.
+    pub side_ghost: [Vec<P::Elem>; 3],
+    /// Side ghost normalization constants (half precision only), same order.
+    pub side_norm: [Vec<f32>; 3],
 }
 
 impl<P: Precision> SpinorFieldCb<P> {
-    /// Allocate a zero field; `with_ghost` reserves the end zone needed by a
-    /// multi-GPU operand.
+    /// Allocate a zero field; `with_ghost` reserves the temporal end zone
+    /// needed by a time-sliced multi-GPU operand.
     pub fn new(dims: LatticeDims, with_ghost: bool) -> Self {
+        Self::new_open(dims, [false, false, false, with_ghost])
+    }
+
+    /// Allocate a zero field with ghost zones for every open dimension of a
+    /// 4-d process-grid decomposition.
+    pub fn new_open(dims: LatticeDims, open: [bool; 4]) -> Self {
         let n_vec = NVec::optimal_for_bytes(P::STORAGE_BYTES);
-        let layout = species::spinor_cb(&dims, n_vec, with_ghost);
+        let layout = species::spinor_cb(&dims, n_vec, open[3]);
         let data = vec![P::Elem::default(); layout.total_len()];
         let norm =
             if P::NEEDS_NORM { vec![1.0; layout.sites + layout.ghost_sites] } else { Vec::new() };
-        SpinorFieldCb { dims, layout, data, norm }
+        let side_ghost = std::array::from_fn(|dir| {
+            if open[dir] {
+                let fs = dims.volume() / dims.extent(dir) / 2;
+                vec![P::Elem::default(); 2 * fs * HALF_SPINOR_REALS]
+            } else {
+                Vec::new()
+            }
+        });
+        let side_norm = std::array::from_fn(|dir| {
+            if P::NEEDS_NORM && open[dir] {
+                vec![1.0; 2 * (dims.volume() / dims.extent(dir) / 2)]
+            } else {
+                Vec::new()
+            }
+        });
+        SpinorFieldCb { dims, layout, data, norm, open, side_ghost, side_norm }
     }
 
     /// Number of data sites (half volume).
@@ -130,6 +160,74 @@ impl<P: Precision> SpinorFieldCb<P> {
         self.layout.sites + if backward { 0 } else { self.face_sites() } + face
     }
 
+    /// Face sites per parity of a `dir`-boundary slice (`V / L_dir / 2`).
+    /// For `dir = 3` this is the temporal face size `Vs/2`.
+    #[inline(always)]
+    pub fn face_sites_dim(&self, dir: usize) -> usize {
+        self.dims.volume() / self.dims.extent(dir) / 2
+    }
+
+    /// Whether the field carries a ghost zone for dimension `dir`.
+    #[inline(always)]
+    pub fn has_ghost_dim(&self, dir: usize) -> bool {
+        if dir == 3 {
+            self.has_ghost()
+        } else {
+            !self.side_ghost[dir].is_empty()
+        }
+    }
+
+    /// Read the ghost half spinor of dimension `dir` (`backward` selects
+    /// which face's data). `dir = 3` reads the legacy temporal end zone.
+    #[inline]
+    pub fn get_ghost_dim(&self, dir: usize, backward: bool, face: usize) -> HalfSpinor<P::Arith> {
+        if dir == 3 {
+            return self.get_ghost(backward, face);
+        }
+        let slot = if backward { 0 } else { self.face_sites_dim(dir) } + face;
+        let base = slot * HALF_SPINOR_REALS;
+        let mut reals = [P::Arith::ZERO; HALF_SPINOR_REALS];
+        for (n, r) in reals.iter_mut().enumerate() {
+            *r = P::load(self.side_ghost[dir][base + n]);
+        }
+        let mut h = HalfSpinor::from_reals(&reals);
+        if P::NEEDS_NORM {
+            let norm = P::Arith::from_f64(self.side_norm[dir][slot] as f64);
+            h.h[0] = h.h[0].scale_re(norm);
+            h.h[1] = h.h[1].scale_re(norm);
+        }
+        h
+    }
+
+    /// Write the ghost half spinor of dimension `dir`.
+    #[inline]
+    pub fn set_ghost_dim(
+        &mut self,
+        dir: usize,
+        backward: bool,
+        face: usize,
+        h: &HalfSpinor<P::Arith>,
+    ) {
+        if dir == 3 {
+            return self.set_ghost(backward, face, h);
+        }
+        let slot = if backward { 0 } else { self.face_sites_dim(dir) } + face;
+        let base = slot * HALF_SPINOR_REALS;
+        let mut stored = *h;
+        if P::NEEDS_NORM {
+            let norm = h.h[0].max_abs().max(h.h[1].max_abs());
+            let norm = if norm == 0.0 { 1.0 } else { norm };
+            self.side_norm[dir][slot] = norm as f32;
+            let inv = P::Arith::from_f64(1.0 / norm);
+            stored.h[0] = stored.h[0].scale_re(inv);
+            stored.h[1] = stored.h[1].scale_re(inv);
+        }
+        let reals = stored.to_reals();
+        for (n, &r) in reals.iter().enumerate() {
+            self.side_ghost[dir][base + n] = P::store(r);
+        }
+    }
+
     /// Zero all site data (leaves ghosts untouched).
     pub fn zero_sites(&mut self) {
         let zero = Spinor::zero();
@@ -172,9 +270,15 @@ impl<P: Precision> SpinorFieldCb<P> {
         }
     }
 
-    /// Device bytes occupied (data + normalization array).
+    /// Device bytes occupied (data + normalization array + side ghosts).
     pub fn device_bytes(&self) -> usize {
-        self.layout.device_bytes(P::STORAGE_BYTES) + self.norm.len() * 4
+        let side: usize = self
+            .side_ghost
+            .iter()
+            .map(|g| g.len() * P::STORAGE_BYTES)
+            .chain(self.side_norm.iter().map(|n| n.len() * 4))
+            .sum();
+        self.layout.device_bytes(P::STORAGE_BYTES) + self.norm.len() * 4 + side
     }
 }
 
@@ -326,6 +430,47 @@ mod tests {
             let bound = a.max_abs() / 32767.0 + 1e-6;
             assert!((a - b).max_abs() <= bound, "cb={cb}");
         }
+    }
+
+    #[test]
+    fn side_ghost_roundtrip_all_dims_and_t_routes_to_end_zone() {
+        let d = dims();
+        let mut f = SpinorFieldCb::<Single>::new_open(d, [true, true, true, true]);
+        let h =
+            HalfSpinor { h: [sample_spinor(5).cast::<f32>().s[2], sample_spinor(6).cast().s[3]] };
+        for dir in 0..4 {
+            assert!(f.has_ghost_dim(dir));
+            assert_eq!(f.face_sites_dim(dir), d.volume() / d.extent(dir) / 2);
+            for backward in [true, false] {
+                for face in 0..f.face_sites_dim(dir) {
+                    f.set_ghost_dim(dir, backward, face, &h);
+                    assert_eq!(f.get_ghost_dim(dir, backward, face), h);
+                }
+            }
+        }
+        // T side routes to the legacy end zone.
+        assert_eq!(f.get_ghost(true, 0), h);
+        assert_eq!(f.get_ghost(false, f.face_sites() - 1), h);
+        // Sites are untouched by ghost writes.
+        for cb in 0..f.sites() {
+            assert_eq!(f.get(cb), Spinor::zero());
+        }
+    }
+
+    #[test]
+    fn side_ghost_half_precision_norms() {
+        let d = dims();
+        let mut f = SpinorFieldCb::<Half>::new_open(d, [false, true, false, false]);
+        assert!(f.has_ghost_dim(1));
+        assert!(!f.has_ghost_dim(0) && !f.has_ghost_dim(2) && !f.has_ghost_dim(3));
+        let mut h = HalfSpinor::<f32>::zero();
+        h.h[0].c[1].re = 7.0;
+        h.h[1].c[0].im = -2.5;
+        f.set_ghost_dim(1, false, 3, &h);
+        let got = f.get_ghost_dim(1, false, 3);
+        assert!((got.h[0].c[1].re - 7.0).abs() < 1e-3);
+        assert!((got.h[1].c[0].im + 2.5).abs() < 1e-3);
+        assert_eq!(f.side_norm[1].len(), 2 * f.face_sites_dim(1));
     }
 
     #[test]

@@ -1,11 +1,17 @@
-//! Temporal domain decomposition across GPUs (Section VI-A).
+//! Domain decomposition across GPUs.
 //!
 //! The paper parallelizes "by only dividing the time dimension, with the
 //! full extent of the spatial dimensions confined to a single GPU", slicing
-//! T into N equal local extents. Ranks are arranged on a periodic 1-d ring;
-//! rank `r` owns global time-slices `[r·T/N, (r+1)·T/N)`.
+//! T into N equal local extents ([`TimePartition`], Section VI-A). Ranks
+//! are arranged on a periodic 1-d ring; rank `r` owns global time-slices
+//! `[r·T/N, (r+1)·T/N)`.
+//!
+//! [`DecompPlan`] generalizes this to the multi-dimensional process grids
+//! of the sequel paper (arXiv:1109.2935): up to `nx×ny×nz×nt` domains with
+//! a periodic ring per partitioned dimension. A 1×1×1×N plan is exactly the
+//! 1-d temporal slice.
 
-use crate::geometry::LatticeDims;
+use crate::geometry::{Coord, LatticeDims};
 
 /// A 1-d temporal partition of a global lattice over `n_ranks` domains.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -88,6 +94,154 @@ impl TimePartition {
     }
 }
 
+/// A process grid decomposing a global lattice over up to four dimensions.
+///
+/// Rank `r` sits at grid coordinates `coords_of(r)` with the X grid
+/// coordinate fastest, so a `[1, 1, 1, N]` plan numbers ranks exactly like
+/// the 1-d [`TimePartition`] ring (`rank == ct`). Each partitioned
+/// dimension forms an independent periodic ring; every local extent is
+/// even and at least 2, which keeps local checkerboard parity equal to
+/// global parity (all domain origins are even in every coordinate).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DecompPlan {
+    global: LatticeDims,
+    grid: [usize; 4],
+}
+
+impl DecompPlan {
+    /// Create a plan; each `grid[d]` must divide the global extent of
+    /// dimension `d` with an even local extent of at least 2.
+    pub fn new(global: LatticeDims, grid: [usize; 4]) -> Self {
+        Self::try_new(global, grid).unwrap_or_else(|e| panic!("invalid process grid: {e}"))
+    }
+
+    /// Fallible constructor used when enumerating candidate grids.
+    pub fn try_new(global: LatticeDims, grid: [usize; 4]) -> Result<Self, String> {
+        for (dim, &g) in grid.iter().enumerate() {
+            if g < 1 {
+                return Err(format!("grid[{dim}] must be >= 1"));
+            }
+            let extent = global.extent(dim);
+            if extent % g != 0 {
+                return Err(format!("extent {extent} of dim {dim} not divisible by {g}"));
+            }
+            let local = extent / g;
+            if local < 2 || local % 2 != 0 {
+                return Err(format!("local extent {local} of dim {dim} must be even and >= 2"));
+            }
+        }
+        Ok(DecompPlan { global, grid })
+    }
+
+    /// The plan equivalent to a 1-d temporal partition.
+    pub fn from_time(part: &TimePartition) -> Self {
+        DecompPlan { global: part.global, grid: [1, 1, 1, part.n_ranks] }
+    }
+
+    /// The full lattice.
+    #[inline(always)]
+    pub fn global(&self) -> LatticeDims {
+        self.global
+    }
+
+    /// The process-grid extents `[nx, ny, nz, nt]`.
+    #[inline(always)]
+    pub fn grid(&self) -> [usize; 4] {
+        self.grid
+    }
+
+    /// Total number of ranks (domains) in the grid.
+    pub fn n_ranks(&self) -> usize {
+        self.grid.iter().product()
+    }
+
+    /// The local lattice dimensions on every rank.
+    pub fn local_dims(&self) -> LatticeDims {
+        LatticeDims::new(
+            self.global.x / self.grid[0],
+            self.global.y / self.grid[1],
+            self.global.z / self.grid[2],
+            self.global.t / self.grid[3],
+        )
+    }
+
+    /// Local extent of dimension `dim`.
+    #[inline(always)]
+    pub fn local_extent(&self, dim: usize) -> usize {
+        self.global.extent(dim) / self.grid[dim]
+    }
+
+    /// Grid coordinates of `rank` (X fastest).
+    pub fn coords_of(&self, rank: usize) -> [usize; 4] {
+        debug_assert!(rank < self.n_ranks());
+        let [gx, gy, gz, _] = self.grid;
+        [rank % gx, rank / gx % gy, rank / (gx * gy) % gz, rank / (gx * gy * gz)]
+    }
+
+    /// Rank at grid coordinates `c` (inverse of [`DecompPlan::coords_of`]).
+    pub fn rank_of(&self, c: [usize; 4]) -> usize {
+        let [gx, gy, gz, _] = self.grid;
+        c[0] + gx * (c[1] + gy * (c[2] + gz * c[3]))
+    }
+
+    /// Neighbor of `rank` one step along `dim` on that dimension's
+    /// periodic ring.
+    pub fn neighbor(&self, rank: usize, dim: usize, forward: bool) -> usize {
+        let mut c = self.coords_of(rank);
+        let g = self.grid[dim];
+        c[dim] = if forward { (c[dim] + 1) % g } else { (c[dim] + g - 1) % g };
+        self.rank_of(c)
+    }
+
+    /// Global coordinate of the local origin (site (0,0,0,0)) of `rank`.
+    /// Every component is even, so local parity equals global parity.
+    pub fn origin(&self, rank: usize) -> Coord {
+        let c = self.coords_of(rank);
+        Coord::new(
+            c[0] * self.local_extent(0),
+            c[1] * self.local_extent(1),
+            c[2] * self.local_extent(2),
+            c[3] * self.local_extent(3),
+        )
+    }
+
+    /// Global coordinate of local site `local` on `rank`.
+    pub fn global_coord(&self, rank: usize, local: Coord) -> Coord {
+        let o = self.origin(rank);
+        Coord::new(o.x + local.x, o.y + local.y, o.z + local.z, o.t + local.t)
+    }
+
+    /// Whether dimension `dim` has real domain boundaries (ghost exchange
+    /// needed). Single-domain dimensions keep periodic wraps local.
+    #[inline(always)]
+    pub fn open(&self, dim: usize) -> bool {
+        self.grid[dim] > 1
+    }
+
+    /// The per-dimension open-boundary flags, X..T.
+    pub fn open_dims(&self) -> [bool; 4] {
+        [self.open(0), self.open(1), self.open(2), self.open(3)]
+    }
+
+    /// Partitioned dimensions in ascending order (the fixed exchange and
+    /// exterior-update order of the 4-d driver).
+    pub fn active_dims(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..4).filter(|&d| self.open(d))
+    }
+
+    /// Whether any dimension is partitioned.
+    pub fn is_partitioned(&self) -> bool {
+        self.n_ranks() > 1
+    }
+
+    /// Face sites per parity exchanged with each neighbor along `dim`:
+    /// half the local boundary-slice volume.
+    pub fn face_sites_cb(&self, dim: usize) -> usize {
+        let ld = self.local_dims();
+        ld.volume() / ld.extent(dim) / 2
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,5 +316,56 @@ mod tests {
     fn face_sites() {
         let p = TimePartition::new(LatticeDims::spatial_cube(24, 128), 8);
         assert_eq!(p.face_sites_cb(), 24 * 24 * 24 / 2);
+    }
+
+    #[test]
+    fn one_d_plan_matches_time_partition() {
+        let d = LatticeDims::new(8, 8, 8, 16);
+        let part = TimePartition::new(d, 4);
+        let plan = DecompPlan::from_time(&part);
+        assert_eq!(plan, DecompPlan::new(d, [1, 1, 1, 4]));
+        assert_eq!(plan.n_ranks(), 4);
+        assert_eq!(plan.local_dims(), part.local_dims());
+        assert_eq!(plan.face_sites_cb(3), part.face_sites_cb());
+        for r in 0..4 {
+            // Rank numbering and ring topology coincide with the 1-d ring.
+            assert_eq!(plan.coords_of(r), [0, 0, 0, r]);
+            assert_eq!(plan.neighbor(r, 3, true), part.forward_rank(r));
+            assert_eq!(plan.neighbor(r, 3, false), part.backward_rank(r));
+            assert_eq!(plan.origin(r), Coord::new(0, 0, 0, part.global_t_of(r, 0)));
+        }
+        assert_eq!(plan.active_dims().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn four_d_plan_coords_roundtrip_and_origins_are_even() {
+        let d = LatticeDims::new(8, 8, 8, 16);
+        let plan = DecompPlan::new(d, [2, 2, 2, 2]);
+        assert_eq!(plan.n_ranks(), 16);
+        assert_eq!(plan.local_dims(), LatticeDims::new(4, 4, 4, 8));
+        for r in 0..16 {
+            assert_eq!(plan.rank_of(plan.coords_of(r)), r);
+            let o = plan.origin(r);
+            for dim in 0..4 {
+                assert_eq!(o.get(dim) % 2, 0, "odd origin breaks parity alignment");
+                // Each dimension's ring is involutive.
+                assert_eq!(plan.neighbor(plan.neighbor(r, dim, true), dim, false), r);
+            }
+        }
+        assert_eq!(plan.active_dims().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        // X-face: half the YZT slice; T-face: half the spatial slice.
+        assert_eq!(plan.face_sites_cb(0), 4 * 4 * 8 / 2);
+        assert_eq!(plan.face_sites_cb(3), 4 * 4 * 4 / 2);
+    }
+
+    #[test]
+    fn invalid_grids_are_rejected() {
+        let d = LatticeDims::new(8, 8, 8, 16);
+        assert!(DecompPlan::try_new(d, [3, 1, 1, 1]).is_err(), "3 does not divide 8");
+        assert!(DecompPlan::try_new(d, [4, 1, 1, 1]).is_ok(), "local X extent 2 is fine");
+        assert!(DecompPlan::try_new(d, [1, 1, 1, 8]).is_ok());
+        assert!(DecompPlan::try_new(d, [8, 1, 1, 1]).is_err(), "local X extent 1 is odd");
+        assert!(DecompPlan::try_new(d, [1, 1, 1, 16]).is_err(), "local T extent 1");
+        assert!(DecompPlan::try_new(d, [0, 1, 1, 1]).is_err());
     }
 }

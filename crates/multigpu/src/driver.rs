@@ -5,13 +5,13 @@
 //! calculation drives through the parallel library.
 
 use crate::rank_op::{CommStrategy, ParallelWilsonCloverOp};
-use crate::slice::{gather_spinor, slice_spinor};
+use crate::slice::{gather_spinor_grid, slice_spinor_grid};
 use quda_comm::{CommConfig, CommError, CommStats, FaultPlan, LockstepConfig};
 use quda_dirac::WilsonParams;
 use quda_fields::host::{GaugeConfig, HostSpinorField};
 use quda_fields::precision::{Double, Half, Precision, Quarter, Single};
 use quda_lattice::geometry::Parity;
-use quda_lattice::partition::TimePartition;
+use quda_lattice::partition::{DecompPlan, TimePartition};
 use quda_obs::{Recorder, Trace, TraceConfig};
 use quda_solvers::blas;
 use quda_solvers::operator::LinearOperator;
@@ -96,11 +96,46 @@ impl Default for ChaosSpec {
     }
 }
 
-/// Everything needed to run one parallel solve.
+/// Everything needed to run one parallel solve over a 1-d temporal
+/// partition (the paper's decomposition). Convertible to the general
+/// process-grid spec with [`ParallelSolveSpec::to_grid`].
 #[derive(Copy, Clone, Debug)]
 pub struct ParallelSolveSpec {
     /// Temporal partition (global dims + rank count).
     pub part: TimePartition,
+    /// Operator parameters.
+    pub wilson: WilsonParams,
+    /// Precision mode.
+    pub mode: PrecisionMode,
+    /// Face-exchange strategy.
+    pub strategy: CommStrategy,
+    /// Krylov method.
+    pub solver: SolverKind,
+    /// Solver controls.
+    pub params: SolverParams,
+}
+
+impl ParallelSolveSpec {
+    /// The equivalent process-grid spec (a `1×1×1×N` plan). Solving either
+    /// spec produces bit-identical results.
+    pub fn to_grid(&self) -> GridSolveSpec {
+        GridSolveSpec {
+            plan: DecompPlan::from_time(&self.part),
+            wilson: self.wilson,
+            mode: self.mode,
+            strategy: self.strategy,
+            solver: self.solver,
+            params: self.params,
+        }
+    }
+}
+
+/// Everything needed to run one parallel solve over an arbitrary 4-d
+/// process grid ([`DecompPlan`]).
+#[derive(Copy, Clone, Debug)]
+pub struct GridSolveSpec {
+    /// Process-grid decomposition (global dims + grid extents).
+    pub plan: DecompPlan,
     /// Operator parameters.
     pub wilson: WilsonParams,
     /// Precision mode.
@@ -209,6 +244,42 @@ pub fn solve_full_parallel_traced(
     chaos: &ChaosSpec,
     trace: TraceConfig,
 ) -> Result<TracedSolve, CommError> {
+    solve_full_grid_traced(cfg, b, &spec.to_grid(), chaos, trace)
+}
+
+/// Run the full even-odd solve `M x = b` over a 4-d process grid. A
+/// `1×1×1×N` plan is bit-identical to [`solve_full_parallel`] on the same
+/// rank count.
+pub fn solve_full_grid(
+    cfg: &GaugeConfig,
+    b: &HostSpinorField,
+    spec: &GridSolveSpec,
+) -> Result<(HostSpinorField, SolveResult), CommError> {
+    solve_full_grid_chaos(cfg, b, spec, &ChaosSpec::default())
+}
+
+/// [`solve_full_grid`] under an explicit fault-injection and timeout
+/// policy.
+pub fn solve_full_grid_chaos(
+    cfg: &GaugeConfig,
+    b: &HostSpinorField,
+    spec: &GridSolveSpec,
+    chaos: &ChaosSpec,
+) -> Result<(HostSpinorField, SolveResult), CommError> {
+    solve_full_grid_traced(cfg, b, spec, chaos, TraceConfig::Off).map(|ts| (ts.solution, ts.result))
+}
+
+/// [`solve_full_grid_chaos`] with phase tracing (see
+/// [`solve_full_parallel_traced`]). Per-dimension wire and exterior phases
+/// (`wire_x` ... `exterior_z`) appear in the trace for multi-dimensional
+/// plans.
+pub fn solve_full_grid_traced(
+    cfg: &GaugeConfig,
+    b: &HostSpinorField,
+    spec: &GridSolveSpec,
+    chaos: &ChaosSpec,
+    trace: TraceConfig,
+) -> Result<TracedSolve, CommError> {
     match spec.mode {
         PrecisionMode::Double => run_world::<Double, Double>(cfg, b, spec, false, chaos, trace),
         PrecisionMode::Single => run_world::<Single, Single>(cfg, b, spec, false, chaos, trace),
@@ -227,15 +298,15 @@ pub fn solve_full_parallel_traced(
 fn run_world<H: Precision, L: Precision>(
     cfg: &GaugeConfig,
     b: &HostSpinorField,
-    spec: &ParallelSolveSpec,
+    spec: &GridSolveSpec,
     mixed: bool,
     chaos: &ChaosSpec,
     trace: TraceConfig,
 ) -> Result<TracedSolve, CommError> {
-    let part = spec.part;
-    let recorder = Recorder::new(part.n_ranks, trace);
-    let world_hi = quda_comm::comm_world_with(part.n_ranks, chaos.comm, chaos.plan.clone());
-    let world_lo = quda_comm::comm_world_with(part.n_ranks, chaos.comm, chaos.plan.clone());
+    let plan = spec.plan;
+    let recorder = Recorder::new(plan.n_ranks(), trace);
+    let world_hi = quda_comm::comm_world_with(plan.n_ranks(), chaos.comm, chaos.plan.clone());
+    let world_lo = quda_comm::comm_world_with(plan.n_ranks(), chaos.comm, chaos.plan.clone());
     let handles: Vec<_> = world_hi
         .into_iter()
         .zip(world_lo)
@@ -292,7 +363,7 @@ fn run_world<H: Precision, L: Precision>(
     let mut stats = stats.unwrap_or_default();
     stats.comm_recoveries = comm_recoveries;
     Ok(TracedSolve {
-        solution: gather_spinor(&locals, &part),
+        solution: gather_spinor_grid(&locals, &plan),
         result: stats,
         trace: recorder.finish(),
         comm: CommHealth::from_per_rank(per_rank),
@@ -303,16 +374,22 @@ fn run_world<H: Precision, L: Precision>(
 fn run_rank<H: Precision, L: Precision>(
     cfg: &GaugeConfig,
     b: &HostSpinorField,
-    spec: &ParallelSolveSpec,
+    spec: &GridSolveSpec,
     rank: usize,
     comm_hi: quda_comm::Communicator,
     comm_lo: quda_comm::Communicator,
     mixed: bool,
 ) -> Result<(HostSpinorField, SolveResult, CommStats), CommError> {
-    let part = spec.part;
-    let mut op_hi =
-        ParallelWilsonCloverOp::<H>::new(cfg, part, rank, comm_hi, spec.wilson, spec.strategy)?;
-    let local_b = slice_spinor(b, &part, rank);
+    let plan = spec.plan;
+    let mut op_hi = ParallelWilsonCloverOp::<H>::new_grid(
+        cfg,
+        plan,
+        rank,
+        comm_hi,
+        spec.wilson,
+        spec.strategy,
+    )?;
+    let local_b = slice_spinor_grid(b, &plan, rank);
 
     // Upload both parities of the local source.
     let mut b_even = op_hi.alloc();
@@ -334,8 +411,14 @@ fn run_rank<H: Precision, L: Precision>(
             SolverKind::BiCgStab,
             "mixed-precision modes use the reliably updated BiCGstab solver"
         );
-        let mut op_lo =
-            ParallelWilsonCloverOp::<L>::new(cfg, part, rank, comm_lo, spec.wilson, spec.strategy)?;
+        let mut op_lo = ParallelWilsonCloverOp::<L>::new_grid(
+            cfg,
+            plan,
+            rank,
+            comm_lo,
+            spec.wilson,
+            spec.strategy,
+        )?;
         let res = quda_solvers::mixed::bicgstab_reliable(
             &mut op_hi,
             &mut op_lo,
@@ -368,7 +451,7 @@ fn run_rank<H: Precision, L: Precision>(
     let rank_stats = op_hi.comm_stats().merged(lo_stats);
     result.comm_recoveries = rank_stats.recovered;
 
-    let mut x_host = HostSpinorField::zero(part.local_dims());
+    let mut x_host = HostSpinorField::zero(plan.local_dims());
     x_even.download(&mut x_host, Parity::Even);
     x_odd.download(&mut x_host, Parity::Odd);
     Ok((x_host, result, rank_stats))

@@ -1,30 +1,37 @@
-//! Spinor-face and gauge-ghost exchange between time-slice domains
-//! (Sections VI-B, VI-C; Fig. 3).
+//! Spinor-face and gauge-ghost exchange between domains
+//! (Sections VI-B, VI-C; Fig. 3), for any partitioned dimension.
 //!
-//! Per dslash application each rank
+//! Per dslash application each rank, for every open dimension of its
+//! [`DecompPlan`],
 //!
 //! 1. gathers the projected 12 components of every site on its two boundary
-//!    time-slices (a raw copy, since `P±4` is diagonal — footnote 3),
-//! 2. sends the last-slice face *forward* (it becomes the receiver's
-//!    backward ghost, consumed by the receiver's `P+4` gather) and the
-//!    first-slice face *backward*,
-//! 3. stores received faces in the spinor field's ghost end zone.
+//!    slices (a raw copy for T, since `P±4` is diagonal — footnote 3; a
+//!    full sender-side projection for X/Y/Z, "it is true in general (for
+//!    all directions) that only 12 numbers need be transferred"),
+//! 2. sends the last-slice face *forward* on that dimension's ring (it
+//!    becomes the receiver's backward ghost) and the first-slice face
+//!    *backward*,
+//! 3. stores received faces in the spinor field's ghost zone for that
+//!    dimension (the temporal end zone, or the X/Y/Z side arrays).
 //!
 //! The send and receive halves are separate functions so the overlapped
-//! strategy can compute the interior volume between them (Section VI-D2).
+//! strategy can compute the interior volume between them and progress each
+//! direction independently (Section VI-D2).
 //!
 //! Wire format matches the storage precision: f64 or f32 payloads for the
 //! float precisions; half precision sends the quantized `i16` components
 //! followed by one `f32` normalization per face site — "for half precision
 //! the extra normalization constant for each (12 component) spinor is also
-//! required" (Section VI-C).
+//! required" (Section VI-C). The format is identical for every dimension;
+//! only face areas and tags differ.
 
 use bytes::Bytes;
 use quda_comm::{tags, CommError, Communicator, DecodeError};
-use quda_dirac::gather_face_site;
+use quda_dirac::{gather_face_site, gather_face_site_dim};
 use quda_fields::precision::Precision;
 use quda_fields::{GaugeFieldCb, SpinorFieldCb};
 use quda_lattice::geometry::{LatticeDims, Parity, DIR_T};
+use quda_lattice::partition::DecompPlan;
 use quda_lattice::stencil::Stencil;
 use quda_math::half;
 use quda_math::real::Real;
@@ -141,7 +148,7 @@ pub fn send_faces<P: Precision>(
         gather.set_bytes(wire.len() as u64);
         wire
     };
-    comm.send(comm.forward(), tags::FACE_FWD, fwd_wire)?;
+    comm.send(comm.forward(), tags::FACE_T_FWD, fwd_wire)?;
     // First time-slice → backward neighbor.
     let bwd_wire = {
         let mut gather = tracer.span(Phase::Gather);
@@ -156,7 +163,7 @@ pub fn send_faces<P: Precision>(
         gather.set_bytes(wire.len() as u64);
         wire
     };
-    comm.send(comm.backward(), tags::FACE_BWD, bwd_wire)
+    comm.send(comm.backward(), tags::FACE_T_BWD, bwd_wire)
 }
 
 /// Receive both faces and store them in the ghost end zone.
@@ -170,7 +177,7 @@ pub fn recv_faces<P: Precision>(
     let from = comm.backward();
     let payload = {
         let mut wire = tracer.span(Phase::Wire);
-        let payload = comm.recv(from, tags::FACE_FWD)?;
+        let payload = comm.recv(from, tags::FACE_T_FWD)?;
         wire.set_bytes(payload.len() as u64);
         payload
     };
@@ -178,7 +185,7 @@ pub fn recv_faces<P: Precision>(
         let _scatter = tracer.span(Phase::Scatter);
         let values = decode_face::<P>(&payload, faces).map_err(|error| CommError::Decode {
             from,
-            tag: tags::FACE_FWD,
+            tag: tags::FACE_T_FWD,
             error,
         })?;
         store_ghost(field, true, &values);
@@ -187,7 +194,7 @@ pub fn recv_faces<P: Precision>(
     let from = comm.forward();
     let payload = {
         let mut wire = tracer.span(Phase::Wire);
-        let payload = comm.recv(from, tags::FACE_BWD)?;
+        let payload = comm.recv(from, tags::FACE_T_BWD)?;
         wire.set_bytes(payload.len() as u64);
         payload
     };
@@ -195,7 +202,7 @@ pub fn recv_faces<P: Precision>(
         let _scatter = tracer.span(Phase::Scatter);
         let values = decode_face::<P>(&payload, faces).map_err(|error| CommError::Decode {
             from,
-            tag: tags::FACE_BWD,
+            tag: tags::FACE_T_BWD,
             error,
         })?;
         store_ghost(field, false, &values);
@@ -227,6 +234,155 @@ pub fn exchange_spinor_ghosts<P: Precision>(
 ) -> Result<(), CommError> {
     send_faces(comm, field, basis, stencil, dagger)?;
     recv_faces(comm, field)
+}
+
+/// Gather both boundary faces of dimension `dim` and start the sends on
+/// that dimension's periodic rank ring. `parity` is the checkerboard
+/// parity of `field` (the X/Y/Z face enumerations are parity-dependent).
+///
+/// For `dim = 3` on a `1×1×1×N` plan this produces messages byte-identical
+/// to [`send_faces`]: same gather, same wire encoding, same tag values,
+/// same destination ranks.
+#[allow(clippy::too_many_arguments)]
+pub fn send_faces_dim<P: Precision>(
+    comm: &mut Communicator,
+    field: &SpinorFieldCb<P>,
+    basis: &quda_math::gamma::SpinBasis,
+    stencil: &Stencil,
+    plan: &DecompPlan,
+    dim: usize,
+    parity: Parity,
+    dagger: bool,
+) -> Result<(), CommError> {
+    let faces = field.face_sites_dim(dim);
+    assert!(field.has_ghost_dim(dim), "field has no ghost zone for dim {dim}");
+    let rank = comm.rank();
+    let tag_fwd = tags::face(dim, true);
+    let tag_bwd = tags::face(dim, false);
+    let tracer = comm.tracer().clone();
+    // Last dim-slice → forward neighbor on this dimension's ring.
+    let fwd_wire = {
+        let mut gather = tracer.span(Phase::Gather);
+        let mut fwd = Vec::with_capacity(faces * HALF_SPINOR_REALS);
+        for f in 0..faces {
+            let h = gather_face_site_dim(field, basis, stencil, dim, true, f, parity, dagger);
+            for r in h.to_reals() {
+                fwd.push(r.to_f64());
+            }
+        }
+        let wire = encode_face::<P>(&fwd);
+        gather.set_bytes(wire.len() as u64);
+        wire
+    };
+    comm.send(plan.neighbor(rank, dim, true), tag_fwd, fwd_wire)?;
+    // First dim-slice → backward neighbor.
+    let bwd_wire = {
+        let mut gather = tracer.span(Phase::Gather);
+        let mut bwd = Vec::with_capacity(faces * HALF_SPINOR_REALS);
+        for f in 0..faces {
+            let h = gather_face_site_dim(field, basis, stencil, dim, false, f, parity, dagger);
+            for r in h.to_reals() {
+                bwd.push(r.to_f64());
+            }
+        }
+        let wire = encode_face::<P>(&bwd);
+        gather.set_bytes(wire.len() as u64);
+        wire
+    };
+    comm.send(plan.neighbor(rank, dim, false), tag_bwd, bwd_wire)
+}
+
+/// Receive both faces of dimension `dim` and store them in that
+/// dimension's ghost zone. The wire wait is attributed to the
+/// per-dimension phase ([`Phase::wire_dim`]), so a multi-dimensional trace
+/// shows each direction's exposed communication separately.
+pub fn recv_faces_dim<P: Precision>(
+    comm: &mut Communicator,
+    field: &mut SpinorFieldCb<P>,
+    plan: &DecompPlan,
+    dim: usize,
+) -> Result<(), CommError> {
+    let faces = field.face_sites_dim(dim);
+    let rank = comm.rank();
+    let tag_fwd = tags::face(dim, true);
+    let tag_bwd = tags::face(dim, false);
+    let tracer = comm.tracer().clone();
+    // From the backward neighbor: its last slice = our backward ghost.
+    let from = plan.neighbor(rank, dim, false);
+    let payload = {
+        let mut wire = tracer.span(Phase::wire_dim(dim));
+        let payload = comm.recv(from, tag_fwd)?;
+        wire.set_bytes(payload.len() as u64);
+        payload
+    };
+    {
+        let _scatter = tracer.span(Phase::Scatter);
+        let values = decode_face::<P>(&payload, faces).map_err(|error| CommError::Decode {
+            from,
+            tag: tag_fwd,
+            error,
+        })?;
+        store_ghost_dim(field, dim, true, &values);
+    }
+    // From the forward neighbor: its first slice = our forward ghost.
+    let from = plan.neighbor(rank, dim, true);
+    let payload = {
+        let mut wire = tracer.span(Phase::wire_dim(dim));
+        let payload = comm.recv(from, tag_bwd)?;
+        wire.set_bytes(payload.len() as u64);
+        payload
+    };
+    {
+        let _scatter = tracer.span(Phase::Scatter);
+        let values = decode_face::<P>(&payload, faces).map_err(|error| CommError::Decode {
+            from,
+            tag: tag_bwd,
+            error,
+        })?;
+        store_ghost_dim(field, dim, false, &values);
+    }
+    Ok(())
+}
+
+fn store_ghost_dim<P: Precision>(
+    field: &mut SpinorFieldCb<P>,
+    dim: usize,
+    backward: bool,
+    values: &[f64],
+) {
+    let faces = field.face_sites_dim(dim);
+    assert_eq!(values.len(), faces * HALF_SPINOR_REALS);
+    for f in 0..faces {
+        let mut reals = [P::Arith::ZERO; HALF_SPINOR_REALS];
+        for (k, r) in reals.iter_mut().enumerate() {
+            *r = P::Arith::from_f64(values[f * HALF_SPINOR_REALS + k]);
+        }
+        let h = HalfSpinor::from_reals(&reals);
+        field.set_ghost_dim(dim, backward, f, &h);
+    }
+}
+
+/// Blocking exchange over every partitioned dimension of `plan`, in
+/// ascending dimension order: all sends first, then all receives (the
+/// no-overlap strategy's communication phase, generalized to a 4-d
+/// process grid).
+#[allow(clippy::too_many_arguments)]
+pub fn exchange_spinor_ghosts_grid<P: Precision>(
+    comm: &mut Communicator,
+    field: &mut SpinorFieldCb<P>,
+    basis: &quda_math::gamma::SpinBasis,
+    stencil: &Stencil,
+    plan: &DecompPlan,
+    parity: Parity,
+    dagger: bool,
+) -> Result<(), CommError> {
+    for dim in plan.active_dims() {
+        send_faces_dim(comm, field, basis, stencil, plan, dim, parity, dagger)?;
+    }
+    for dim in plan.active_dims() {
+        recv_faces_dim(comm, field, plan, dim)?;
+    }
+    Ok(())
 }
 
 /// One-time exchange of the gauge ghost slice at program initialization
@@ -274,6 +430,64 @@ pub fn exchange_gauge_ghosts<P: Precision>(
                 }
             }
             gauge.set_ghost_link(parity, DIR_T, face, &u);
+        }
+    }
+    Ok(())
+}
+
+/// One-time exchange of the gauge ghost slices for every partitioned
+/// dimension of `plan` (Section VI-B, generalized): per open dimension and
+/// parity, each rank sends the `U_dim` links of its *last* dim-slice
+/// forward on that dimension's ring; the receiver stores them in the
+/// per-dimension ghost-link store consumed by the backward hop of the
+/// dslash.
+///
+/// For a `1×1×1×N` plan the wire traffic is identical to
+/// [`exchange_gauge_ghosts`]: same link enumeration, same 18-f64 packing,
+/// same tag values, same destinations.
+pub fn exchange_gauge_ghosts_grid<P: Precision>(
+    comm: &mut Communicator,
+    gauge: &mut GaugeFieldCb<P>,
+    plan: &DecompPlan,
+) -> Result<(), CommError> {
+    let dims = plan.local_dims();
+    let rank = comm.rank();
+    for dim in plan.active_dims() {
+        let faces = Stencil::face_sites_dim(&dims, dim);
+        let to = plan.neighbor(rank, dim, true);
+        let from = plan.neighbor(rank, dim, false);
+        for parity in [Parity::Even, Parity::Odd] {
+            let tag = tags::gauge_dim(dim, parity.as_usize());
+            let mut flat = Vec::with_capacity(faces * 18);
+            for face in 0..faces {
+                let c = Stencil::face_coord(&dims, dim, parity, dims.extent(dim) - 1, face);
+                let u: Su3<f64> = gauge.link(parity, dim, dims.cb_index(c)).cast();
+                for i in 0..3 {
+                    for j in 0..3 {
+                        flat.push(u.m[i][j].re);
+                        flat.push(u.m[i][j].im);
+                    }
+                }
+            }
+            comm.send(to, tag, quda_comm::pack_f64(&flat))?;
+            let recv = quda_comm::unpack_f64(&comm.recv(from, tag)?)
+                .map_err(|error| CommError::Decode { from, tag, error })?;
+            if recv.len() != faces * 18 {
+                return Err(CommError::SizeMismatch { expected: faces * 18, got: recv.len() });
+            }
+            for face in 0..faces {
+                let mut u = Su3::zero();
+                let base = face * 18;
+                let mut k = 0;
+                for i in 0..3 {
+                    for j in 0..3 {
+                        u.m[i][j] =
+                            quda_math::complex::C64::new(recv[base + k], recv[base + k + 1]);
+                        k += 2;
+                    }
+                }
+                gauge.set_ghost_link_dim(parity, dim, face, &u);
+            }
         }
     }
     Ok(())
@@ -415,6 +629,158 @@ mod tests {
                 let expect: Su3<f64> = gauge.link(p, DIR_T, cb_last).cast();
                 let got: Su3<f64> = gauge.ghost_link(p, DIR_T, face).cast();
                 assert!((got - expect).norm_sqr() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_t_exchange_is_byte_identical_to_legacy() {
+        // On a 1×1×1×1 plan the T-dimension grid path must reproduce the
+        // legacy 1-d exchange exactly: same ghost contents, same bytes on
+        // the wire, same message count.
+        let d = dims();
+        let basis = SpinBasis::new(GammaBasis::NonRelativistic);
+        let stencil = Stencil::new(d, true);
+        let plan = DecompPlan::new(d, [1, 1, 1, 1]);
+        let host = random_spinor_field(d, 12);
+        let mut world = quda_comm::comm_world(1);
+        let mut comm = world.pop().unwrap();
+        let mut f_legacy = SpinorFieldCb::<Double>::new(d, true);
+        f_legacy.upload(&host, Parity::Odd);
+        let mut f_grid = SpinorFieldCb::<Double>::new_open(d, [false, false, false, true]);
+        f_grid.upload(&host, Parity::Odd);
+        exchange_spinor_ghosts(&mut comm, &mut f_legacy, &basis, &stencil, false).unwrap();
+        let legacy_bytes = comm.sent_bytes();
+        let legacy_msgs = comm.sent_messages();
+        send_faces_dim(&mut comm, &f_grid, &basis, &stencil, &plan, 3, Parity::Odd, false).unwrap();
+        recv_faces_dim(&mut comm, &mut f_grid, &plan, 3).unwrap();
+        assert_eq!(comm.sent_bytes(), 2 * legacy_bytes);
+        assert_eq!(comm.sent_messages(), 2 * legacy_msgs);
+        for face in 0..f_legacy.face_sites() {
+            for backward in [true, false] {
+                assert_eq!(
+                    f_legacy.get_ghost(backward, face),
+                    f_grid.get_ghost_dim(3, backward, face),
+                    "backward={backward} face={face}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_x_self_exchange_matches_projected_wrap() {
+        // Single-rank X exchange loops the messages back: the backward
+        // ghost must equal the projection of the own last X-slice, the
+        // forward ghost that of the first X-slice.
+        let d = dims();
+        let open = [true, false, false, false];
+        let basis = SpinBasis::new(GammaBasis::NonRelativistic);
+        let stencil = Stencil::with_open(d, open);
+        let plan = DecompPlan::new(d, [1, 1, 1, 1]);
+        let host = random_spinor_field(d, 21);
+        let mut world = quda_comm::comm_world(1);
+        let mut comm = world.pop().unwrap();
+        let mut f = SpinorFieldCb::<Double>::new_open(d, open);
+        f.upload(&host, Parity::Odd);
+        for dagger in [false, true] {
+            send_faces_dim(&mut comm, &f, &basis, &stencil, &plan, 0, Parity::Odd, dagger).unwrap();
+            recv_faces_dim(&mut comm, &mut f, &plan, 0).unwrap();
+            for face in 0..f.face_sites_dim(0) {
+                let eb =
+                    gather_face_site_dim(&f, &basis, &stencil, 0, true, face, Parity::Odd, dagger);
+                assert_eq!(f.get_ghost_dim(0, true, face), eb, "bwd ghost face {face}");
+                let ef =
+                    gather_face_site_dim(&f, &basis, &stencil, 0, false, face, Parity::Odd, dagger);
+                assert_eq!(f.get_ghost_dim(0, false, face), ef, "fwd ghost face {face}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_two_rank_x_exchange_crosses_domains() {
+        let gd = LatticeDims::new(8, 4, 2, 4);
+        let plan = DecompPlan::new(gd, [2, 1, 1, 1]);
+        let d = plan.local_dims();
+        let basis = SpinBasis::new(GammaBasis::NonRelativistic);
+        let stencil = Stencil::with_open(d, plan.open_dims());
+        let hosts = [random_spinor_field(d, 31), random_spinor_field(d, 32)];
+        let world = quda_comm::comm_world(2);
+        let handles: Vec<_> = world
+            .into_iter()
+            .zip(hosts.clone())
+            .map(|(mut comm, host)| {
+                let basis = basis.clone();
+                let stencil = stencil.clone();
+                std::thread::spawn(move || {
+                    let mut f = SpinorFieldCb::<Double>::new_open(d, plan.open_dims());
+                    f.upload(&host, Parity::Odd);
+                    exchange_spinor_ghosts_grid(
+                        &mut comm,
+                        &mut f,
+                        &basis,
+                        &stencil,
+                        &plan,
+                        Parity::Odd,
+                        false,
+                    )
+                    .unwrap();
+                    (comm.rank(), f)
+                })
+            })
+            .collect();
+        let mut results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        results.sort_by_key(|(r, _)| *r);
+        // Rank 0's forward X ghost must equal rank 1's first-slice
+        // projection (already projected on the sender for X).
+        let mut f1 = SpinorFieldCb::<Double>::new_open(d, plan.open_dims());
+        f1.upload(&hosts[1], Parity::Odd);
+        for face in 0..f1.face_sites_dim(0) {
+            let expect =
+                gather_face_site_dim(&f1, &basis, &stencil, 0, false, face, Parity::Odd, false);
+            assert_eq!(results[0].1.get_ghost_dim(0, false, face), expect);
+        }
+        // Rank 1's backward X ghost = rank 0's last-slice projection.
+        let mut f0 = SpinorFieldCb::<Double>::new_open(d, plan.open_dims());
+        f0.upload(&hosts[0], Parity::Odd);
+        for face in 0..f0.face_sites_dim(0) {
+            let expect =
+                gather_face_site_dim(&f0, &basis, &stencil, 0, true, face, Parity::Odd, false);
+            assert_eq!(results[1].1.get_ghost_dim(0, true, face), expect);
+        }
+    }
+
+    #[test]
+    fn grid_gauge_exchange_two_rank_z() {
+        // Two Z-ranks holding *identical* local configs: the received ghost
+        // links must equal each rank's own last Z-slice links (periodic
+        // wrap of a translation-invariant world).
+        let gd = LatticeDims::new(4, 4, 4, 4);
+        let plan = DecompPlan::new(gd, [1, 1, 2, 1]);
+        let d = plan.local_dims();
+        let cfg = quda_fields::gauge_gen::weak_field(d, 0.2, 8);
+        let world = quda_comm::comm_world(2);
+        let handles: Vec<_> = world
+            .into_iter()
+            .map(|mut comm| {
+                let cfg = cfg.clone();
+                std::thread::spawn(move || {
+                    let mut gauge = GaugeFieldCb::<Double>::new(d, true);
+                    gauge.upload(&cfg);
+                    exchange_gauge_ghosts_grid(&mut comm, &mut gauge, &plan).unwrap();
+                    gauge
+                })
+            })
+            .collect();
+        let faces = Stencil::face_sites_dim(&d, 2);
+        for h in handles {
+            let gauge = h.join().unwrap();
+            for p in [Parity::Even, Parity::Odd] {
+                for face in 0..faces {
+                    let c = Stencil::face_coord(&d, 2, p, d.z - 1, face);
+                    let expect: Su3<f64> = gauge.link(p, 2, d.cb_index(c)).cast();
+                    let got: Su3<f64> = gauge.ghost_link_dim(p, 2, face).cast();
+                    assert!((got - expect).norm_sqr() < 1e-20, "parity {p:?} face {face}");
+                }
             }
         }
     }

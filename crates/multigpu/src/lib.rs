@@ -3,18 +3,23 @@
 //! The paper's primary contribution: parallelization of the QUDA solvers
 //! over multiple GPUs by slicing the time dimension (Section VI).
 //!
-//! * [`slice`](mod@slice) — scatter/gather of global fields to time-slice domains,
-//!   including the globally-correct clover term;
-//! * [`ghost`] — spinor-face and gauge-ghost exchange (Figs. 2, 3);
+//! * [`slice`](mod@slice) — scatter/gather of global fields to process-grid
+//!   domains, including the globally-correct clover term;
+//! * [`ghost`] — dimension-generic spinor-face and gauge-ghost exchange
+//!   (Figs. 2, 3) over any [`DecompPlan`](quda_lattice::partition::DecompPlan)
+//!   process grid, with the legacy time-slice entry points as the
+//!   `1×1×1×N` special case;
 //! * [`rank_op`] — the per-rank operator with the no-overlap and overlapped
-//!   communication strategies (Section VI-D) and globalized reductions
-//!   (Section VI-E);
+//!   communication strategies (Section VI-D), per-direction interior/face
+//!   scheduling, and globalized reductions (Section VI-E);
 //! * [`driver`] — thread-per-GPU solve driver covering every precision mode
-//!   of Section VII-A;
+//!   of Section VII-A, over either a [`ParallelSolveSpec`] (1-d temporal)
+//!   or a [`GridSolveSpec`] (4-d process grid);
 //! * [`perf`] — the calibrated performance model that regenerates the
 //!   paper's weak/strong scaling figures on the simulated "9g" cluster;
-//! * [`multidim`] — the future-work extension: a 2-d (Z,T) process-grid
-//!   model quantifying when multi-dimensional decomposition wins.
+//! * [`multidim`] — the future-work extension: a 4-d (X,Y,Z,T) process-grid
+//!   model quantifying when multi-dimensional decomposition wins,
+//!   cross-checked against the real exchange driver.
 
 #![warn(missing_docs)]
 // The no-panic invariant (xtask lint rule `no-panic`), also machine-checked
@@ -29,12 +34,18 @@ pub mod rank_op;
 pub mod slice;
 
 pub use driver::{
-    solve_full_parallel, solve_full_parallel_chaos, solve_full_parallel_traced,
-    verify_full_solution, ChaosSpec, CommHealth, ParallelSolveSpec, PrecisionMode, SolverKind,
-    TracedSolve,
+    solve_full_grid, solve_full_grid_chaos, solve_full_grid_traced, solve_full_parallel,
+    solve_full_parallel_chaos, solve_full_parallel_traced, verify_full_solution, ChaosSpec,
+    CommHealth, GridSolveSpec, ParallelSolveSpec, PrecisionMode, SolverKind, TracedSolve,
 };
-pub use ghost::{exchange_gauge_ghosts, exchange_spinor_ghosts, face_wire_bytes};
-pub use multidim::{best_grid, sustained_gflops_2d, ProcessGrid};
+pub use ghost::{
+    exchange_gauge_ghosts, exchange_gauge_ghosts_grid, exchange_spinor_ghosts,
+    exchange_spinor_ghosts_grid, face_wire_bytes, face_wire_bytes_dyn,
+};
+pub use multidim::{best_grid, sustained_gflops_grid, ProcessGrid};
 pub use perf::{evaluate, min_gpus, solver_memory_per_gpu, PerfInput, PerfReport};
 pub use rank_op::{CommStrategy, ParallelWilsonCloverOp};
-pub use slice::{gather_spinor, local_clover, slice_config, slice_spinor};
+pub use slice::{
+    gather_spinor, gather_spinor_grid, local_clover, local_clover_grid, slice_config,
+    slice_config_grid, slice_spinor, slice_spinor_grid,
+};

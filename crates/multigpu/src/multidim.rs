@@ -1,29 +1,37 @@
-//! Multi-dimensional decomposition — the paper's future work, modeled.
+//! Multi-dimensional decomposition performance model.
 //!
 //! Section VI-A: "If one were to attempt to scale to hundreds of GPUs or
 //! more, multi-dimensional parallelization would clearly be needed to keep
 //! the local surface to volume ratio under control ... Work in this
-//! direction is underway." This module extends the performance model to a
-//! 2-d (Z, T) process grid so that trade-off can be quantified: the 1-d
-//! slicing runs out of time-extent at `T/2` GPUs and its face cost is
-//! constant while the local volume shrinks; a 2-d grid keeps the surface
-//! growing with the square root instead.
+//! direction is underway." This module models a full 4-d (X,Y,Z,T) process
+//! grid so that trade-off can be quantified: the 1-d slicing runs out of
+//! time-extent at `T/2` GPUs and its face cost is constant while the local
+//! volume shrinks; a multi-dimensional grid keeps the surface growing with
+//! a fractional power instead.
 //!
 //! Faces in non-temporal directions carry the same 12 reals per site — "it
 //! is true in general (for all directions) that only 12 numbers need be
 //! transferred", with the projector applied explicitly before the transfer
 //! (footnote 3) — so the message model is unchanged; only the face areas
-//! and count differ.
+//! and count differ. The model is cross-checked against the real
+//! [`crate::ghost`] exchange driver: every candidate grid maps onto a
+//! [`DecompPlan`] and the modeled per-direction face bytes equal the bytes
+//! the driver actually puts on the wire.
 
 use crate::perf::{face_bytes, mode_tags, PerfInput};
 use quda_fields::precision::PrecisionTag;
 use quda_gpusim::kernel::{kernel_time, KernelWork};
 use quda_gpusim::transfer::{allreduce_time, network_time, pcie_time, CopyKind, Direction};
 use quda_lattice::geometry::LatticeDims;
+use quda_lattice::partition::DecompPlan;
 
-/// A 2-d process grid over the Z and T dimensions.
+/// A 4-d process grid over the X, Y, Z and T dimensions.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct ProcessGrid {
+    /// Ranks along X.
+    pub nx: usize,
+    /// Ranks along Y.
+    pub ny: usize,
     /// Ranks along Z.
     pub nz: usize,
     /// Ranks along T.
@@ -31,67 +39,107 @@ pub struct ProcessGrid {
 }
 
 impl ProcessGrid {
+    /// The paper's 1-d temporal slicing over `nt` ranks.
+    pub fn one_d(nt: usize) -> ProcessGrid {
+        ProcessGrid { nx: 1, ny: 1, nz: 1, nt }
+    }
+
+    /// Grid extents in dimension order `[X, Y, Z, T]`.
+    pub fn extents(&self) -> [usize; 4] {
+        [self.nx, self.ny, self.nz, self.nt]
+    }
+
     /// Total GPUs.
     pub fn ranks(&self) -> usize {
-        self.nz * self.nt
+        // Grid-shape arithmetic, not rank-local data.
+        // quda-lint: allow(global-reduce)
+        self.extents().iter().product()
     }
 
     /// Whether the grid divides the lattice with even local extents.
     pub fn divides(&self, dims: LatticeDims) -> bool {
-        dims.z % self.nz == 0
-            && dims.t % self.nt == 0
-            && (dims.z / self.nz) % 2 == 0
-            && (dims.t / self.nt) % 2 == 0
-            && dims.z / self.nz >= 2
-            && dims.t / self.nt >= 2
+        self.extents().iter().enumerate().all(|(dim, &n)| {
+            let ext = dims.extent(dim);
+            ext % n == 0 && (ext / n) % 2 == 0 && ext / n >= 2
+        })
     }
 
     /// Local sub-lattice.
     pub fn local_dims(&self, dims: LatticeDims) -> LatticeDims {
-        LatticeDims::new(dims.x, dims.y, dims.z / self.nz, dims.t / self.nt)
+        LatticeDims::new(dims.x / self.nx, dims.y / self.ny, dims.z / self.nz, dims.t / self.nt)
     }
 
-    /// All valid grids for `ranks` GPUs on `dims`, 1-d included.
+    /// The real exchange driver's decomposition plan for this grid, or
+    /// `None` when the grid does not divide `dims`.
+    pub fn decomp(&self, dims: LatticeDims) -> Option<DecompPlan> {
+        DecompPlan::try_new(dims, self.extents()).ok()
+    }
+
+    /// All valid grids for `ranks` GPUs on `dims` among power-of-two
+    /// factorizations, 1-d included.
     pub fn candidates(dims: LatticeDims, ranks: usize) -> Vec<ProcessGrid> {
+        let pow2_divisors = |n: usize| {
+            let mut d = Vec::new();
+            let mut p = 1;
+            while p <= n {
+                if n % p == 0 {
+                    d.push(p);
+                }
+                p *= 2;
+            }
+            d
+        };
         let mut out = Vec::new();
-        let mut nz = 1;
-        while nz <= ranks {
-            if ranks % nz == 0 {
-                let g = ProcessGrid { nz, nt: ranks / nz };
-                if g.divides(dims) {
-                    out.push(g);
+        for nx in pow2_divisors(ranks) {
+            for ny in pow2_divisors(ranks / nx) {
+                for nz in pow2_divisors(ranks / nx / ny) {
+                    let g = ProcessGrid { nx, ny, nz, nt: ranks / nx / ny / nz };
+                    if g.divides(dims) {
+                        out.push(g);
+                    }
                 }
             }
-            nz *= 2;
         }
         out
+    }
+
+    /// The partitioned dimensions, ascending.
+    pub fn cut_dims(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..4).filter(|&d| self.extents()[d] > 1)
+    }
+
+    /// Face sites (per parity) of one face in the given dimension.
+    pub fn face_sites_dim(&self, dims: LatticeDims, dim: usize) -> usize {
+        let ld = self.local_dims(dims);
+        ld.volume() / ld.extent(dim) / 2
     }
 
     /// Face sites (per parity) exchanged per hopping application, summed
     /// over the partitioned directions (each cut direction has 2 faces).
     pub fn face_sites_cb(&self, dims: LatticeDims) -> usize {
-        let ld = self.local_dims(dims);
-        let mut faces = 0;
-        if self.nt > 1 {
-            faces += ld.x * ld.y * ld.z / 2; // T faces (one per direction end)
-        }
-        if self.nz > 1 {
-            faces += ld.x * ld.y * ld.t / 2; // Z faces
-        }
-        faces
+        // Face-area arithmetic, not rank-local data.
+        // quda-lint: allow(global-reduce)
+        self.cut_dims().map(|d| self.face_sites_dim(dims, d)).sum()
     }
 }
 
-/// Modeled sustained aggregate Gflops of the solver on a 2-d grid, using
-/// the no-overlap strategy (conservative; overlap benefits both equally).
-pub fn sustained_gflops_2d(inp: &PerfInput, grid: ProcessGrid) -> Option<f64> {
+impl std::fmt::Display for ProcessGrid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}x{}", self.nx, self.ny, self.nz, self.nt)
+    }
+}
+
+/// Modeled sustained aggregate Gflops of the solver on a process grid,
+/// using the no-overlap strategy (conservative; overlap benefits all grids
+/// equally).
+pub fn sustained_gflops_grid(inp: &PerfInput, grid: ProcessGrid) -> Option<f64> {
     if !grid.divides(inp.global) {
         return None;
     }
     let (_, sloppy) = mode_tags(inp.mode);
     let ld = grid.local_dims(inp.global);
     let sites = ld.half_volume() as u64;
-    let t_dslash = dslash_time_2d(inp, grid, sloppy);
+    let t_dslash = dslash_time_grid(inp, grid, sloppy);
     // Two clover kernels per operator application (as in the 1-d model).
     let clover = |axpy: bool| {
         let b = sloppy.storage_bytes() as u64;
@@ -122,7 +170,7 @@ pub fn sustained_gflops_2d(inp: &PerfInput, grid: ProcessGrid) -> Option<f64> {
     Some(grid.ranks() as f64 * flops / t_iter / 1e9)
 }
 
-fn dslash_time_2d(inp: &PerfInput, grid: ProcessGrid, tag: PrecisionTag) -> f64 {
+fn dslash_time_grid(inp: &PerfInput, grid: ProcessGrid, tag: PrecisionTag) -> f64 {
     let ld = grid.local_dims(inp.global);
     let sites = ld.half_volume() as u64;
     let b = tag.storage_bytes() as u64;
@@ -136,10 +184,13 @@ fn dslash_time_2d(inp: &PerfInput, grid: ProcessGrid, tag: PrecisionTag) -> f64 
         },
     );
     let t = &inp.calib.transfer;
+    // Modeled seconds accumulate locally by design (perf model, no ranks).
+    // quda-lint: allow(global-reduce)
     let mut comm = 0.0;
-    let mut add_direction = |face_sites: usize| {
+    for dim in grid.cut_dims() {
+        let face_sites = grid.face_sites_dim(inp.global, dim);
         if face_sites == 0 {
-            return;
+            continue;
         }
         let msg = face_bytes(tag, face_sites);
         let gather = crate::perf::d2h_copies(tag) as f64 * t.sync_latency_s
@@ -147,12 +198,6 @@ fn dslash_time_2d(inp: &PerfInput, grid: ProcessGrid, tag: PrecisionTag) -> f64 
         let scatter = crate::perf::h2d_copies(tag) as f64 * t.sync_latency_s
             + msg as f64 / bw(t, Direction::H2D, inp);
         comm += 2.0 * gather + network_time(&inp.calib.network, msg) + 2.0 * scatter;
-    };
-    if grid.nt > 1 {
-        add_direction(ld.x * ld.y * ld.z / 2);
-    }
-    if grid.nz > 1 {
-        add_direction(ld.x * ld.y * ld.t / 2);
     }
     kernel + comm
 }
@@ -168,7 +213,7 @@ fn bw(t: &quda_gpusim::calib::TransferCalib, dir: Direction, inp: &PerfInput) ->
 pub fn best_grid(inp: &PerfInput, ranks: usize) -> Option<(ProcessGrid, f64)> {
     ProcessGrid::candidates(inp.global, ranks)
         .into_iter()
-        .filter_map(|g| sustained_gflops_2d(inp, g).map(|f| (g, f)))
+        .filter_map(|g| sustained_gflops_grid(inp, g).map(|f| (g, f)))
         .max_by(|a, b| a.1.total_cmp(&b.1))
 }
 
@@ -176,6 +221,7 @@ pub fn best_grid(inp: &PerfInput, ranks: usize) -> Option<(ProcessGrid, f64)> {
 mod tests {
     use super::*;
     use crate::driver::PrecisionMode;
+    use crate::ghost::face_wire_bytes_dyn;
     use crate::rank_op::CommStrategy;
 
     fn inp(ranks: usize) -> PerfInput {
@@ -192,21 +238,38 @@ mod tests {
         // The pure-T grid is the paper's decomposition; its Gflops should
         // be within a few percent of the main model's no-overlap path.
         let i = inp(16);
-        let g2d = sustained_gflops_2d(&i, ProcessGrid { nz: 1, nt: 16 }).unwrap();
+        let g2d = sustained_gflops_grid(&i, ProcessGrid::one_d(16)).unwrap();
         let g1d = crate::perf::evaluate(&i).sustained_gflops;
         let ratio = g2d / g1d;
-        assert!((0.85..1.15).contains(&ratio), "2d(1xT) {g2d} vs 1d {g1d}");
+        assert!((0.85..1.15).contains(&ratio), "grid(1x1x1xT) {g2d} vs 1d {g1d}");
     }
 
     #[test]
     fn one_d_runs_out_of_time_extent() {
-        // 32^3x256 with local T >= 2 even: at most 128... but valid
-        // power-of-two candidates stop giving a pure-T grid at 128 ranks;
-        // at 256 ranks only 2-d grids remain.
+        // 32^3x256 with local T >= 2 even: the pure-T slice stops at 128
+        // ranks; at 256 ranks only multi-dimensional grids remain.
         let dims = LatticeDims::spatial_cube(32, 256);
         let grids = ProcessGrid::candidates(dims, 256);
         assert!(!grids.is_empty());
-        assert!(grids.iter().all(|g| g.nz > 1), "pure 1-d cannot reach 256 ranks: {grids:?}");
+        assert!(grids.iter().all(|g| g.nt < 256), "pure 1-d cannot reach 256 ranks: {grids:?}");
+    }
+
+    #[test]
+    fn candidates_include_four_d_grids() {
+        // The original model only cut (Z,T); the 4-d enumeration must also
+        // produce X- and Y-cut grids, including a fully 4-d one.
+        let dims = LatticeDims::spatial_cube(32, 256);
+        let grids = ProcessGrid::candidates(dims, 16);
+        assert!(grids.contains(&ProcessGrid { nx: 2, ny: 2, nz: 2, nt: 2 }), "{grids:?}");
+        assert!(grids.contains(&ProcessGrid { nx: 16, ny: 1, nz: 1, nt: 1 }), "{grids:?}");
+        assert!(grids.contains(&ProcessGrid::one_d(16)));
+        // Every candidate divides the lattice and has the right rank count.
+        for g in &grids {
+            assert!(g.divides(dims));
+            assert_eq!(g.ranks(), 16);
+        }
+        // X extent 32 with even local extents >= 2 caps nx at 16.
+        assert!(ProcessGrid::candidates(dims, 32).iter().all(|g| g.nx <= 16));
     }
 
     #[test]
@@ -215,10 +278,10 @@ mod tests {
         // T-only slice has local T = 2 (face sites = interior sites); a
         // balanced grid does better.
         let i = inp(128);
-        let t_only = sustained_gflops_2d(&i, ProcessGrid { nz: 1, nt: 128 }).unwrap();
+        let t_only = sustained_gflops_grid(&i, ProcessGrid::one_d(128)).unwrap();
         let (best, best_gflops) = best_grid(&i, 128).unwrap();
-        assert!(best.nz > 1, "expected a 2-d grid to win, got {best:?}");
-        assert!(best_gflops > t_only, "2-d {best_gflops} vs 1-d {t_only}");
+        assert!(best.nt < 128, "expected a multi-d grid to win, got {best:?}");
+        assert!(best_gflops > t_only, "multi-d {best_gflops} vs 1-d {t_only}");
     }
 
     #[test]
@@ -227,15 +290,61 @@ mod tests {
         // directions — the reason the paper chose it.
         let i = inp(8);
         let (best, _) = best_grid(&i, 8).unwrap();
-        assert_eq!(best, ProcessGrid { nz: 1, nt: 8 });
+        assert_eq!(best, ProcessGrid::one_d(8));
     }
 
     #[test]
     fn face_site_accounting() {
         let dims = LatticeDims::spatial_cube(32, 256);
-        let g = ProcessGrid { nz: 2, nt: 8 };
+        let g = ProcessGrid { nx: 1, ny: 1, nz: 2, nt: 8 };
         let ld = g.local_dims(dims);
         assert_eq!(ld, LatticeDims::new(32, 32, 16, 32));
         assert_eq!(g.face_sites_cb(dims), 32 * 32 * 16 / 2 + 32 * 32 * 32 / 2);
+        let g4 = ProcessGrid { nx: 2, ny: 2, nz: 2, nt: 2 };
+        let ld4 = g4.local_dims(dims);
+        assert_eq!(ld4, LatticeDims::new(16, 16, 16, 128));
+        // Three spatial faces of 16x16x128 plus one temporal face of 16^3.
+        assert_eq!(g4.face_sites_cb(dims), 3 * (16 * 16 * 128 / 2) + 16 * 16 * 16 / 2);
+    }
+
+    #[test]
+    fn model_face_bytes_match_driver_wire_bytes() {
+        // ISSUE 7 satellite: for every candidate grid, the model's
+        // per-direction face byte prediction must equal the byte count the
+        // real exchange driver computes for the equivalent DecompPlan via
+        // the shared face_wire_bytes sizing.
+        let dims = LatticeDims::new(8, 8, 8, 16);
+        let tags =
+            [PrecisionTag::Double, PrecisionTag::Single, PrecisionTag::Half, PrecisionTag::Quarter];
+        for ranks in [2usize, 4, 8, 16] {
+            let grids = ProcessGrid::candidates(dims, ranks);
+            assert!(!grids.is_empty(), "no candidate grids for {ranks} ranks");
+            for g in grids {
+                let plan = g.decomp(dims).expect("candidate grids map onto valid plans");
+                assert_eq!(plan.local_dims(), g.local_dims(dims));
+                let cut: Vec<usize> = g.cut_dims().collect();
+                let active: Vec<usize> = plan.active_dims().collect();
+                assert_eq!(cut, active, "grid {g} cuts the same dims the driver partitions");
+                for dim in active {
+                    let model_sites = g.face_sites_dim(dims, dim);
+                    assert_eq!(
+                        model_sites,
+                        plan.face_sites_cb(dim),
+                        "grid {g} dim {dim}: model face sites != driver face sites"
+                    );
+                    for tag in tags {
+                        assert_eq!(
+                            face_bytes(tag, model_sites),
+                            face_wire_bytes_dyn(
+                                tag.storage_bytes(),
+                                tag.needs_norm(),
+                                plan.face_sites_cb(dim)
+                            ),
+                            "grid {g} dim {dim} tag {tag:?}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

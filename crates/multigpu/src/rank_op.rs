@@ -1,15 +1,20 @@
 //! The per-rank parallel Wilson-clover operator (Section VI).
 //!
-//! Each rank owns a `T/N` time-slice of the lattice, a [`WilsonCloverOp`]
-//! built on the local volume with an *open* temporal boundary, and a
-//! [`Communicator`]. Every hopping-term application exchanges the spinor
-//! faces first — either blocking ([`CommStrategy::NoOverlap`]) or split
-//! around the interior kernel ([`CommStrategy::Overlap`], the three-stream
-//! scheme of Section VI-D2). Reductions are globalized through the
-//! communicator (Section VI-E).
+//! Each rank owns one domain of a [`DecompPlan`] process grid (the paper's
+//! `T/N` time-slice being the `1×1×1×N` special case), a [`WilsonCloverOp`]
+//! built on the local volume with an *open* boundary in every partitioned
+//! dimension, and a [`Communicator`]. Every hopping-term application
+//! exchanges the spinor faces of each open dimension first — either
+//! blocking ([`CommStrategy::NoOverlap`]) or split around the interior
+//! kernel ([`CommStrategy::Overlap`], the three-stream scheme of Section
+//! VI-D2, with each direction's receive and exterior update progressing
+//! independently). Reductions are globalized through the communicator
+//! (Section VI-E).
 
-use crate::ghost::{exchange_gauge_ghosts, exchange_spinor_ghosts, recv_faces, send_faces};
-use crate::slice::{local_clover, slice_config};
+use crate::ghost::{
+    exchange_gauge_ghosts_grid, exchange_spinor_ghosts_grid, recv_faces_dim, send_faces_dim,
+};
+use crate::slice::{local_clover_grid, slice_config_grid};
 use quda_comm::{CommError, CommStats, Communicator};
 use quda_dirac::clover_apply::{clover_apply_cb, clover_axpy_cb};
 use quda_dirac::dslash::{dslash_cb, DslashRegion};
@@ -18,7 +23,7 @@ use quda_fields::host::GaugeConfig;
 use quda_fields::precision::Precision;
 use quda_fields::SpinorFieldCb;
 use quda_lattice::geometry::{LatticeDims, Parity};
-use quda_lattice::partition::TimePartition;
+use quda_lattice::partition::{DecompPlan, TimePartition};
 use quda_math::complex::C64;
 use quda_math::real::Real;
 use quda_obs::{Phase, Tracer};
@@ -43,8 +48,8 @@ pub struct ParallelWilsonCloverOp<P: Precision> {
     pub strategy: CommStrategy,
     /// Whether the lattice is actually split (more than one rank).
     pub partitioned: bool,
-    /// The partition this rank belongs to.
-    pub part: TimePartition,
+    /// The process-grid plan this rank belongs to.
+    pub plan: DecompPlan,
     tmp1: SpinorFieldCb<P>,
     tmp2: SpinorFieldCb<P>,
     /// Face exchanges performed (2 per operator application).
@@ -56,12 +61,13 @@ pub struct ParallelWilsonCloverOp<P: Precision> {
 }
 
 /// Apply the hopping term with the face exchange appropriate to the
-/// strategy. Free function so callers can split borrows across the
-/// operator's fields.
+/// strategy, iterating the plan's partitioned dimensions. Free function so
+/// callers can split borrows across the operator's fields.
 #[allow(clippy::too_many_arguments)]
 fn dslash_exchanged<P: Precision>(
     comm: &mut Communicator,
     op: &WilsonCloverOp<P>,
+    plan: &DecompPlan,
     strategy: CommStrategy,
     partitioned: bool,
     out: &mut SpinorFieldCb<P>,
@@ -84,9 +90,20 @@ fn dslash_exchanged<P: Precision>(
         );
         return Ok(0);
     }
+    // The exchanged operand is the *input* spinor: the opposite parity of
+    // the slice being produced (the X/Y/Z face enumerations need it).
+    let in_parity = out_parity.other();
     match strategy {
         CommStrategy::NoOverlap => {
-            exchange_spinor_ghosts(comm, input, &op.basis, &op.stencil, dagger)?;
+            exchange_spinor_ghosts_grid(
+                comm,
+                input,
+                &op.basis,
+                &op.stencil,
+                plan,
+                in_parity,
+                dagger,
+            )?;
             let _kernel = tracer.span(Phase::Kernel);
             dslash_cb(
                 out,
@@ -100,9 +117,11 @@ fn dslash_exchanged<P: Precision>(
             );
         }
         CommStrategy::Overlap => {
-            send_faces(comm, input, &op.basis, &op.stencil, dagger)?;
+            for dim in plan.active_dims() {
+                send_faces_dim(comm, input, &op.basis, &op.stencil, plan, dim, in_parity, dagger)?;
+            }
             {
-                // Compute running while the faces are in flight — the
+                // Compute running while all faces are in flight — the
                 // hidden-communication window the breakdown's overlap
                 // efficiency measures.
                 let _interior = tracer.span(Phase::Interior);
@@ -117,18 +136,25 @@ fn dslash_exchanged<P: Precision>(
                     DslashRegion::Interior,
                 );
             }
-            recv_faces(comm, input)?;
-            let _exterior = tracer.span(Phase::Exterior);
-            dslash_cb(
-                out,
-                &op.gauge,
-                input,
-                out_parity,
-                &op.stencil,
-                &op.basis,
-                dagger,
-                DslashRegion::Faces,
-            );
+            // Each direction progresses independently: as soon as one
+            // dimension's ghosts land, its boundary sites are updated,
+            // while the remaining directions are still in flight
+            // (ascending-dim order updates every boundary site exactly
+            // once — corner sites run with their last-arriving face).
+            for dim in plan.active_dims() {
+                recv_faces_dim(comm, input, plan, dim)?;
+                let _exterior = tracer.span(Phase::exterior_dim(dim));
+                dslash_cb(
+                    out,
+                    &op.gauge,
+                    input,
+                    out_parity,
+                    &op.stencil,
+                    &op.basis,
+                    dagger,
+                    DslashRegion::FacesDim(dim),
+                );
+            }
         }
     }
     Ok(1)
@@ -145,31 +171,48 @@ impl<P: Precision> ParallelWilsonCloverOp<P> {
         global: &GaugeConfig,
         part: TimePartition,
         rank: usize,
+        comm: Communicator,
+        wilson: WilsonParams,
+        strategy: CommStrategy,
+    ) -> Result<Self, CommError> {
+        Self::new_grid(global, DecompPlan::from_time(&part), rank, comm, wilson, strategy)
+    }
+
+    /// Build a rank's operator for an arbitrary [`DecompPlan`] process
+    /// grid: slices the gauge field to the rank's sub-block, computes the
+    /// globally correct clover term, opens every partitioned dimension of
+    /// the local stencil, and performs the one-time gauge ghost exchange on
+    /// each open dimension's ring. A `1×1×1×N` plan reproduces
+    /// [`ParallelWilsonCloverOp::new`] exactly — including its wire
+    /// traffic.
+    pub fn new_grid(
+        global: &GaugeConfig,
+        plan: DecompPlan,
+        rank: usize,
         mut comm: Communicator,
         wilson: WilsonParams,
         strategy: CommStrategy,
     ) -> Result<Self, CommError> {
         assert_eq!(comm.rank(), rank);
-        assert_eq!(comm.size(), part.n_ranks);
-        let local_cfg = slice_config(global, &part, rank);
-        let clover = local_clover(global, &part, rank, wilson.c_sw);
-        let mut op = WilsonCloverOp::<P>::from_config_with(
+        assert_eq!(comm.size(), plan.n_ranks());
+        let local_cfg = slice_config_grid(global, &plan, rank);
+        let clover = local_clover_grid(global, &plan, rank, wilson.c_sw);
+        let mut op = WilsonCloverOp::<P>::from_config_open(
             &local_cfg,
             wilson,
-            part.is_partitioned(),
+            plan.open_dims(),
             Some(clover),
         );
-        if part.is_partitioned() {
-            exchange_gauge_ghosts(&mut comm, &mut op.gauge, part.local_dims())?;
-        }
+        // No-op on an unpartitioned plan (no active dimensions).
+        exchange_gauge_ghosts_grid(&mut comm, &mut op.gauge, &plan)?;
         let tmp1 = op.alloc_spinor();
         let tmp2 = op.alloc_spinor();
         Ok(ParallelWilsonCloverOp {
             op,
             comm,
             strategy,
-            partitioned: part.is_partitioned(),
-            part,
+            partitioned: plan.is_partitioned(),
+            plan,
             tmp1,
             tmp2,
             exchange_count: 0,
@@ -225,6 +268,7 @@ impl<P: Precision> ParallelWilsonCloverOp<P> {
         self.exchange_count += dslash_exchanged(
             &mut self.comm,
             &self.op,
+            &self.plan,
             self.strategy,
             self.partitioned,
             &mut self.tmp1,
@@ -241,6 +285,7 @@ impl<P: Precision> ParallelWilsonCloverOp<P> {
         self.exchange_count += dslash_exchanged(
             &mut self.comm,
             &self.op,
+            &self.plan,
             self.strategy,
             self.partitioned,
             &mut self.tmp1,
@@ -280,6 +325,7 @@ impl<P: Precision> ParallelWilsonCloverOp<P> {
         self.exchange_count += dslash_exchanged(
             &mut self.comm,
             &self.op,
+            &self.plan,
             self.strategy,
             self.partitioned,
             &mut self.tmp2,
@@ -311,6 +357,7 @@ impl<P: Precision> ParallelWilsonCloverOp<P> {
         self.exchange_count += dslash_exchanged(
             &mut self.comm,
             &self.op,
+            &self.plan,
             self.strategy,
             self.partitioned,
             &mut self.tmp1,
@@ -467,6 +514,83 @@ mod tests {
         let (expect, got) = parallel_matpc(CommStrategy::Overlap, true);
         let dist = expect.max_site_dist(&got);
         assert!(dist < 1e-12, "max site distance {dist}");
+    }
+
+    fn grid_matpc(
+        grid: [usize; 4],
+        strategy: CommStrategy,
+        dagger: bool,
+    ) -> (HostSpinorField, HostSpinorField) {
+        let d = LatticeDims::new(4, 4, 4, 8);
+        let cfg = weak_field(d, 0.15, 11);
+        let wp = WilsonParams { mass: 0.2, c_sw: 1.0 };
+        let plan = DecompPlan::new(d, grid);
+        let input = random_spinor_field(d, 5);
+
+        // Reference: single-device operator on the full lattice.
+        let ref_op = WilsonCloverOp::<Double>::from_config(&cfg, wp);
+        let mut x = ref_op.alloc_spinor();
+        x.upload(&input, Parity::Odd);
+        let mut out = ref_op.alloc_spinor();
+        let (mut t1, mut t2) = (ref_op.alloc_spinor(), ref_op.alloc_spinor());
+        ref_op.apply_matpc(&mut out, &x, &mut t1, &mut t2, dagger);
+        let mut expect = HostSpinorField::zero(d);
+        out.download(&mut expect, Parity::Odd);
+
+        // Parallel: one thread per grid domain.
+        let world = quda_comm::comm_world(plan.n_ranks());
+        let handles: Vec<_> = world
+            .into_iter()
+            .enumerate()
+            .map(|(rank, comm)| {
+                let cfg = cfg.clone();
+                let input = input.clone();
+                std::thread::spawn(move || {
+                    let mut op = ParallelWilsonCloverOp::<Double>::new_grid(
+                        &cfg, plan, rank, comm, wp, strategy,
+                    )
+                    .unwrap();
+                    let local_in = crate::slice::slice_spinor_grid(&input, &plan, rank);
+                    let mut x = op.alloc();
+                    x.upload(&local_in, Parity::Odd);
+                    let mut out = op.alloc();
+                    op.apply_matpc_par(&mut out, &mut x, dagger);
+                    let mut host = HostSpinorField::zero(plan.local_dims());
+                    out.download(&mut host, Parity::Odd);
+                    (rank, host)
+                })
+            })
+            .collect();
+        let mut locals: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        locals.sort_by_key(|(r, _)| *r);
+        let locals: Vec<_> = locals.into_iter().map(|(_, f)| f).collect();
+        let got = crate::slice::gather_spinor_grid(&locals, &plan);
+        (expect, got)
+    }
+
+    #[test]
+    fn two_d_grid_matches_single_device() {
+        for strategy in [CommStrategy::NoOverlap, CommStrategy::Overlap] {
+            let (expect, got) = grid_matpc([1, 1, 2, 2], strategy, false);
+            let dist = expect.max_site_dist(&got);
+            assert!(dist < 1e-12, "{strategy:?}: max site distance {dist}");
+        }
+    }
+
+    #[test]
+    fn three_d_grid_matches_single_device() {
+        let (expect, got) = grid_matpc([2, 1, 2, 2], CommStrategy::Overlap, false);
+        let dist = expect.max_site_dist(&got);
+        assert!(dist < 1e-12, "max site distance {dist}");
+    }
+
+    #[test]
+    fn four_d_grid_matches_single_device() {
+        for dagger in [false, true] {
+            let (expect, got) = grid_matpc([2, 2, 2, 2], CommStrategy::Overlap, dagger);
+            let dist = expect.max_site_dist(&got);
+            assert!(dist < 1e-12, "dagger={dagger}: max site distance {dist}");
+        }
     }
 
     #[test]

@@ -1,19 +1,28 @@
-//! Scattering global host fields to time-slice domains and gathering them
+//! Scattering global host fields to domain sub-lattices and gathering them
 //! back — the data movement Chroma performs around a parallel QUDA solve.
+//!
+//! The `*_grid` functions address any [`DecompPlan`] process grid; the
+//! original time-slice entry points are thin wrappers over the equivalent
+//! `1×1×1×N` plan.
 
 use quda_fields::clover_build::{clover_site, sigma_matrices};
 use quda_fields::host::{GaugeConfig, HostSpinorField};
-use quda_lattice::geometry::{Coord, LatticeDims, Parity};
-use quda_lattice::partition::TimePartition;
+use quda_lattice::geometry::{LatticeDims, Parity};
+use quda_lattice::partition::{DecompPlan, TimePartition};
 use quda_math::clover::CloverSite;
 
 /// The local gauge configuration of `rank`: its `T/N` time-slices.
 pub fn slice_config(global: &GaugeConfig, part: &TimePartition, rank: usize) -> GaugeConfig {
-    assert_eq!(global.dims, part.global);
-    let local_dims = part.local_dims();
+    slice_config_grid(global, &DecompPlan::from_time(part), rank)
+}
+
+/// The local gauge configuration of `rank` under a process-grid plan.
+pub fn slice_config_grid(global: &GaugeConfig, plan: &DecompPlan, rank: usize) -> GaugeConfig {
+    assert_eq!(global.dims, plan.global());
+    let local_dims = plan.local_dims();
     let mut local = GaugeConfig::unit(local_dims);
     for c in local_dims.coords() {
-        let gc = Coord::new(c.x, c.y, c.z, part.global_t_of(rank, c.t));
+        let gc = plan.global_coord(rank, c);
         for mu in 0..4 {
             *local.link_mut(c, mu) = *global.link(gc, mu);
         }
@@ -27,26 +36,39 @@ pub fn slice_spinor(
     part: &TimePartition,
     rank: usize,
 ) -> HostSpinorField {
-    assert_eq!(global.dims, part.global);
-    let local_dims = part.local_dims();
+    slice_spinor_grid(global, &DecompPlan::from_time(part), rank)
+}
+
+/// The local part of a host spinor field under a process-grid plan.
+pub fn slice_spinor_grid(
+    global: &HostSpinorField,
+    plan: &DecompPlan,
+    rank: usize,
+) -> HostSpinorField {
+    assert_eq!(global.dims, plan.global());
+    let local_dims = plan.local_dims();
     let mut local = HostSpinorField::zero(local_dims);
     for c in local_dims.coords() {
-        let gc = Coord::new(c.x, c.y, c.z, part.global_t_of(rank, c.t));
-        *local.get_mut(c) = *global.get(gc);
+        *local.get_mut(c) = *global.get(plan.global_coord(rank, c));
     }
     local
 }
 
 /// Reassemble a global field from every rank's local field (rank order).
 pub fn gather_spinor(locals: &[HostSpinorField], part: &TimePartition) -> HostSpinorField {
-    assert_eq!(locals.len(), part.n_ranks);
-    let mut global = HostSpinorField::zero(part.global);
-    let local_dims = part.local_dims();
+    gather_spinor_grid(locals, &DecompPlan::from_time(part))
+}
+
+/// Reassemble a global field from every rank's local field (rank order)
+/// under a process-grid plan.
+pub fn gather_spinor_grid(locals: &[HostSpinorField], plan: &DecompPlan) -> HostSpinorField {
+    assert_eq!(locals.len(), plan.n_ranks());
+    let mut global = HostSpinorField::zero(plan.global());
+    let local_dims = plan.local_dims();
     for (rank, local) in locals.iter().enumerate() {
         assert_eq!(local.dims, local_dims);
         for c in local_dims.coords() {
-            let gc = Coord::new(c.x, c.y, c.z, part.global_t_of(rank, c.t));
-            *global.get_mut(gc) = *local.get(c);
+            *global.get_mut(plan.global_coord(rank, c)) = *local.get(c);
         }
     }
     global
@@ -62,13 +84,25 @@ pub fn local_clover(
     rank: usize,
     c_sw: f64,
 ) -> [Vec<CloverSite<f64>>; 2] {
+    local_clover_grid(global, &DecompPlan::from_time(part), rank, c_sw)
+}
+
+/// [`local_clover`] under a process-grid plan: clover leaves of *any*
+/// boundary slice (not just temporal) reach into the neighboring domain,
+/// so every parity-site is computed at its global coordinate. Local parity
+/// equals global parity because every domain origin is even.
+pub fn local_clover_grid(
+    global: &GaugeConfig,
+    plan: &DecompPlan,
+    rank: usize,
+    c_sw: f64,
+) -> [Vec<CloverSite<f64>>; 2] {
     let sigma = sigma_matrices();
-    let local_dims = part.local_dims();
+    let local_dims = plan.local_dims();
     let build = |parity: Parity| -> Vec<CloverSite<f64>> {
         (0..local_dims.half_volume())
             .map(|cb| {
-                let c = local_dims.cb_coord(parity, cb);
-                let gc = Coord::new(c.x, c.y, c.z, part.global_t_of(rank, c.t));
+                let gc = plan.global_coord(rank, local_dims.cb_coord(parity, cb));
                 clover_site(global, &sigma, gc, c_sw)
             })
             .collect()
@@ -85,6 +119,7 @@ pub fn local_dims(part: &TimePartition) -> LatticeDims {
 mod tests {
     use super::*;
     use quda_fields::gauge_gen::{random_spinor_field, weak_field};
+    use quda_lattice::geometry::Coord;
 
     fn setup() -> (GaugeConfig, TimePartition) {
         let d = LatticeDims::new(4, 4, 2, 8);
@@ -130,6 +165,58 @@ mod tests {
                     // Parities agree because local T extents are even.
                     assert_eq!(gc.parity(), p);
                     let expect = &global_both[p.as_usize()][gcb];
+                    let got = &local[p.as_usize()][cb];
+                    let mut diff = 0.0f64;
+                    for b in 0..2 {
+                        for i in 0..6 {
+                            diff = diff.max((expect.block[b].diag[i] - got.block[b].diag[i]).abs());
+                        }
+                        for k in 0..15 {
+                            diff = diff.max(
+                                (expect.block[b].offdiag[k].re - got.block[b].offdiag[k].re).abs(),
+                            );
+                        }
+                    }
+                    assert!(diff < 1e-14, "rank={rank} p={p:?} cb={cb} diff={diff}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_scatter_gather_roundtrip_four_d() {
+        let d = LatticeDims::new(4, 4, 4, 8);
+        let plan = DecompPlan::new(d, [2, 1, 2, 2]);
+        let global = random_spinor_field(d, 17);
+        let locals: Vec<_> =
+            (0..plan.n_ranks()).map(|r| slice_spinor_grid(&global, &plan, r)).collect();
+        let back = gather_spinor_grid(&locals, &plan);
+        assert_eq!(back.max_site_dist(&global), 0.0);
+        // Each local field really is the rank's sub-block.
+        for (r, local) in locals.iter().enumerate() {
+            for c in plan.local_dims().coords() {
+                assert_eq!(local.get(c), global.get(plan.global_coord(r, c)));
+            }
+        }
+    }
+
+    #[test]
+    fn grid_local_clover_matches_global_on_spatial_split() {
+        // Clover leaves at X/Z domain boundaries reach into neighboring
+        // domains; the grid slicer must still reproduce the full-lattice
+        // clover at every local site.
+        let d = LatticeDims::new(4, 4, 4, 4);
+        let plan = DecompPlan::new(d, [2, 1, 2, 1]);
+        let cfg = weak_field(d, 0.15, 29);
+        let global_both = quda_fields::clover_build::clover_both_parities(&cfg, 1.3);
+        for rank in 0..plan.n_ranks() {
+            let local = local_clover_grid(&cfg, &plan, rank, 1.3);
+            let ld = plan.local_dims();
+            for p in [Parity::Even, Parity::Odd] {
+                for cb in 0..ld.half_volume() {
+                    let gc = plan.global_coord(rank, ld.cb_coord(p, cb));
+                    assert_eq!(gc.parity(), p, "even origins keep parities aligned");
+                    let expect = &global_both[p.as_usize()][plan.global().cb_index(gc)];
                     let got = &local[p.as_usize()][cb];
                     let mut diff = 0.0f64;
                     for b in 0..2 {

@@ -12,7 +12,7 @@
 
 /// Number of distinct phases; arrays indexed by [`Phase::index`] have
 /// this length.
-pub const PHASE_COUNT: usize = 17;
+pub const PHASE_COUNT: usize = 23;
 
 /// One phase of a traced solve. `Copy` and dense-indexable so per-rank
 /// aggregation is a fixed-size array, not a hash map.
@@ -53,6 +53,20 @@ pub enum Phase {
     Prepare,
     /// Full-solution reconstruction after the Krylov loop.
     Reconstruct,
+    /// Waiting for an X-face message (4-d decomposition; the T axis keeps
+    /// the original [`Phase::Wire`] so 1-d traces are unchanged).
+    WireX,
+    /// Waiting for a Y-face message.
+    WireY,
+    /// Waiting for a Z-face message.
+    WireZ,
+    /// X-boundary dslash after that direction's ghosts arrive (the T axis
+    /// keeps [`Phase::Exterior`]).
+    ExteriorX,
+    /// Y-boundary dslash after that direction's ghosts arrive.
+    ExteriorY,
+    /// Z-boundary dslash after that direction's ghosts arrive.
+    ExteriorZ,
 }
 
 impl Phase {
@@ -75,11 +89,40 @@ impl Phase {
         Phase::ReliableUpdate,
         Phase::Prepare,
         Phase::Reconstruct,
+        Phase::WireX,
+        Phase::WireY,
+        Phase::WireZ,
+        Phase::ExteriorX,
+        Phase::ExteriorY,
+        Phase::ExteriorZ,
     ];
 
     /// Dense index in `0..PHASE_COUNT`.
     pub fn index(self) -> usize {
         self as usize
+    }
+
+    /// The wire-wait phase for faces of lattice dimension `dim` (0..=3 =
+    /// X,Y,Z,T). The T axis maps onto the original [`Phase::Wire`] so
+    /// existing 1-d traces keep their phase labels.
+    pub fn wire_dim(dim: usize) -> Phase {
+        match dim {
+            0 => Phase::WireX,
+            1 => Phase::WireY,
+            2 => Phase::WireZ,
+            _ => Phase::Wire,
+        }
+    }
+
+    /// The exterior-update phase for faces of lattice dimension `dim`; T
+    /// maps onto the original [`Phase::Exterior`].
+    pub fn exterior_dim(dim: usize) -> Phase {
+        match dim {
+            0 => Phase::ExteriorX,
+            1 => Phase::ExteriorY,
+            2 => Phase::ExteriorZ,
+            _ => Phase::Exterior,
+        }
     }
 
     /// Stable lowercase name used in exports and reports.
@@ -102,6 +145,12 @@ impl Phase {
             Phase::ReliableUpdate => "reliable_update",
             Phase::Prepare => "prepare",
             Phase::Reconstruct => "reconstruct",
+            Phase::WireX => "wire_x",
+            Phase::WireY => "wire_y",
+            Phase::WireZ => "wire_z",
+            Phase::ExteriorX => "exterior_x",
+            Phase::ExteriorY => "exterior_y",
+            Phase::ExteriorZ => "exterior_z",
         }
     }
 }
@@ -114,6 +163,24 @@ mod tests {
     fn indices_are_dense_and_match_all() {
         for (i, p) in Phase::ALL.iter().enumerate() {
             assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    fn per_dimension_helpers_map_t_onto_legacy_phases() {
+        assert_eq!(Phase::wire_dim(3), Phase::Wire);
+        assert_eq!(Phase::exterior_dim(3), Phase::Exterior);
+        let wires: Vec<Phase> = (0..4).map(Phase::wire_dim).collect();
+        let exts: Vec<Phase> = (0..4).map(Phase::exterior_dim).collect();
+        for (i, a) in wires.iter().enumerate() {
+            for b in &wires[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        for (i, a) in exts.iter().enumerate() {
+            for b in &exts[i + 1..] {
+                assert_ne!(a, b);
+            }
         }
     }
 

@@ -171,8 +171,13 @@ impl Trace {
 
         let hidden: f64 =
             phases.iter().find(|s| s.phase == Phase::Interior).map_or(0.0, |s| s.inclusive_seconds);
-        let exposed: f64 =
-            phases.iter().find(|s| s.phase == Phase::Wire).map_or(0.0, |s| s.inclusive_seconds);
+        // Exposed wire-wait sums every per-direction wait of the 4-d
+        // decomposition (T keeps the plain `Wire` phase).
+        let exposed: f64 = phases
+            .iter()
+            .filter(|s| matches!(s.phase, Phase::Wire | Phase::WireX | Phase::WireY | Phase::WireZ))
+            .map(|s| s.inclusive_seconds)
+            .sum();
         let overlap_efficiency =
             if hidden + exposed > 0.0 { hidden / (hidden + exposed) } else { 0.0 };
 
@@ -251,8 +256,18 @@ fn phase_cat(phase: Phase) -> &'static str {
         Phase::CommSend | Phase::CommRecv | Phase::Retry | Phase::AllReduce | Phase::Lockstep => {
             "comm"
         }
-        Phase::Gather | Phase::Wire | Phase::Scatter => "ghost",
-        Phase::Interior | Phase::Exterior | Phase::Kernel => "kernel",
+        Phase::Gather
+        | Phase::Wire
+        | Phase::WireX
+        | Phase::WireY
+        | Phase::WireZ
+        | Phase::Scatter => "ghost",
+        Phase::Interior
+        | Phase::Exterior
+        | Phase::ExteriorX
+        | Phase::ExteriorY
+        | Phase::ExteriorZ
+        | Phase::Kernel => "kernel",
         Phase::Matvec
         | Phase::Blas
         | Phase::Reduce

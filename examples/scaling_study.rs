@@ -9,12 +9,14 @@
 use quda_core::{CommStrategy, PrecisionMode, Quda, QudaInvertParam};
 use quda_fields::gauge_gen::{random_spinor_field, weak_field};
 use quda_lattice::geometry::LatticeDims;
+use quda_multigpu::multidim::{best_grid, sustained_gflops_grid, ProcessGrid};
 use quda_multigpu::perf::{evaluate, PerfInput};
 
 fn main() {
     functional_agreement();
     println!();
     modeled_strong_scaling();
+    modeled_multidim_scaling();
 }
 
 /// Part 1 — run the *same* solve on 1, 2, and 4 thread-GPUs and show the
@@ -84,5 +86,47 @@ fn modeled_strong_scaling() {
             );
         }
         println!();
+    }
+}
+
+/// Part 3 — past the 1-d slice's reach: 64–256 simulated ranks need a
+/// multi-dimensional process grid (Section VI-A future work; the ISSUE 7
+/// dimension-generic exchange makes these grids real, not just modeled).
+fn modeled_multidim_scaling() {
+    let sweep = [64usize, 128, 256];
+    let row = |ranks: usize, dims: LatticeDims| {
+        // The grid model reads only the global dims from PerfInput; the
+        // rank layout is supplied per grid.
+        let inp = PerfInput::paper(
+            dims,
+            ranks.clamp(1, 128),
+            PrecisionMode::Single,
+            CommStrategy::NoOverlap,
+        );
+        let t_only = sustained_gflops_grid(&inp, ProcessGrid::one_d(ranks));
+        match (t_only, best_grid(&inp, ranks)) {
+            (Some(t), Some((g, b))) => {
+                println!("    {ranks:>5} {t:>14.0} {b:>14.0} {:>12}", g.to_string())
+            }
+            (None, Some((g, b))) => {
+                println!(
+                    "    {ranks:>5} {:>14} {b:>14.0} {:>12}  (1-d impossible)",
+                    "-",
+                    g.to_string()
+                )
+            }
+            _ => println!("    {ranks:>5} no valid grid"),
+        }
+    };
+    println!("modeled multi-dimensional scaling, single precision, no overlap:");
+    println!("  strong scaling, V = 32^3x256:");
+    println!("    {:>5} {:>14} {:>14} {:>12}", "GPUs", "T-only Gflops", "best Gflops", "best grid");
+    for ranks in sweep {
+        row(ranks, LatticeDims::spatial_cube(32, 256));
+    }
+    println!("  weak scaling, V = 32^3x(2 GPUs):");
+    println!("    {:>5} {:>14} {:>14} {:>12}", "GPUs", "T-only Gflops", "best Gflops", "best grid");
+    for ranks in sweep {
+        row(ranks, LatticeDims::new(32, 32, 32, 2 * ranks));
     }
 }

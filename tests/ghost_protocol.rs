@@ -287,3 +287,137 @@ fn duplicated_faces_are_deduplicated() {
         assert_eq!(dist, 0.0);
     }
 }
+
+// ---- non-temporal faces (ISSUE 7 satellite): the protocol guarantees hold
+// for every partitioned dimension, not just the paper's T slicing. ----
+
+/// One matpc on a 2-rank world cut along `grid`'s single open dimension,
+/// under `plan`; returns each rank's (max |out − fault-free out|, stats).
+fn grid_matpc_under_faults(
+    dims: LatticeDims,
+    grid: [usize; 4],
+    plan: quda_comm::FaultPlan,
+) -> Vec<(f64, quda_comm::CommStats)> {
+    use quda_lattice::partition::DecompPlan;
+    let decomp = DecompPlan::new(dims, grid);
+    let cfg = weak_field(dims, 0.1, 31);
+    let host = random_spinor_field(dims, 32);
+
+    let apply = move |rank: usize, comm: quda_comm::Communicator| {
+        let mut op = ParallelWilsonCloverOp::<Double>::new_grid(
+            &cfg,
+            decomp,
+            rank,
+            comm,
+            WilsonParams { mass: 0.3, c_sw: 1.0 },
+            CommStrategy::NoOverlap,
+        )
+        .expect("op init");
+        let mut x = op.alloc();
+        x.upload(&quda_multigpu::slice_spinor_grid(&host, &decomp, rank), Parity::Odd);
+        let mut out = op.alloc();
+        op.apply_matpc_par(&mut out, &mut x, false);
+        assert!(op.comm_fault().is_none(), "fault: {:?}", op.comm_fault());
+        let mut vals = Vec::with_capacity(out.sites() * 24);
+        for cb in 0..out.sites() {
+            let site = out.get(cb);
+            for sp in 0..4 {
+                for co in 0..3 {
+                    vals.push(site.s[sp].c[co].re);
+                    vals.push(site.s[sp].c[co].im);
+                }
+            }
+        }
+        (vals, op.comm_stats())
+    };
+
+    let clean = on_two_ranks(apply.clone());
+    let faulty = on_two_faulty_ranks(plan, quda_comm::CommConfig::default(), apply);
+    clean
+        .into_iter()
+        .zip(faulty)
+        .map(|((cv, _), (fv, stats))| {
+            let dist = cv.iter().zip(&fv).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+            (dist, stats)
+        })
+        .collect()
+}
+
+#[test]
+fn dropped_x_faces_are_recovered_bit_identically() {
+    // The X-face wire (non-contiguous gather, tags::face(0, ·)) rides the
+    // same link-level recovery as the T face: a 20% drop rate must leave
+    // the ghost zones bit-identical.
+    let results =
+        grid_matpc_under_faults(dims(), [2, 1, 1, 1], quda_comm::FaultPlan::new(41).drop(0.2));
+    let recovered: u64 = results.iter().map(|(_, s)| s.recovered).sum();
+    assert!(recovered > 0, "expected at least one dropped X-face");
+    for (dist, _) in results {
+        assert_eq!(dist, 0.0, "X-face recovery must be bit-identical");
+    }
+}
+
+#[test]
+fn corrupted_z_faces_are_detected_and_retransmitted() {
+    // Bit-flipped Z-face frames must be flagged by the checksum and
+    // replayed — never scattered into a ghost zone.
+    let d = LatticeDims::new(4, 4, 4, 4);
+    let plan = quda_comm::FaultPlan::new(42).bit_flip(0.3).truncate(0.1);
+    let results = grid_matpc_under_faults(d, [1, 1, 2, 1], plan);
+    let caught: u64 = results.iter().map(|(_, s)| s.checksum_failures).sum();
+    let recovered: u64 = results.iter().map(|(_, s)| s.recovered).sum();
+    assert!(caught > 0, "expected corrupted Z-face frames to be flagged");
+    assert!(recovered >= caught);
+    for (dist, _) in results {
+        assert_eq!(dist, 0.0);
+    }
+}
+
+/// A rank killed mid-exchange in dimension `grid` must surface as a
+/// *located* `RankDead` within the timeout — never a hang (ISSUE 7
+/// satellite: the non-T faces inherit the full failure-detection protocol).
+fn dead_rank_is_located(dims: LatticeDims, grid: [usize; 4]) {
+    use quda_lattice::partition::DecompPlan;
+    use quda_multigpu::{
+        solve_full_grid_chaos, ChaosSpec, GridSolveSpec, PrecisionMode, SolverKind,
+    };
+    let spec = GridSolveSpec {
+        plan: DecompPlan::new(dims, grid),
+        wilson: WilsonParams { mass: 0.3, c_sw: 1.0 },
+        mode: PrecisionMode::Double,
+        strategy: CommStrategy::Overlap,
+        solver: SolverKind::BiCgStab,
+        params: quda_solvers::params::SolverParams { tol: 1e-10, max_iter: 2000, delta: 1e-1 },
+    };
+    let cfg = weak_field(dims, 0.1, 51);
+    let b = random_spinor_field(dims, 52);
+    let chaos = ChaosSpec {
+        // 9 messages in: past the gauge-ghost init, inside the spinor-face
+        // exchange of the first few operator applications.
+        plan: Some(quda_comm::FaultPlan::new(43).kill_rank(1, 9)),
+        comm: quda_comm::CommConfig {
+            timeout: std::time::Duration::from_secs(2),
+            ..quda_comm::CommConfig::default()
+        },
+        ..ChaosSpec::default()
+    };
+    let t0 = std::time::Instant::now();
+    let err = solve_full_grid_chaos(&cfg, &b, &spec, &chaos)
+        .expect_err("a dead rank must abort the grid solve");
+    assert_eq!(err, quda_comm::CommError::RankDead { rank: 1 });
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(30),
+        "world took {:?} to notice the dead rank",
+        t0.elapsed()
+    );
+}
+
+#[test]
+fn dead_rank_during_x_face_exchange_is_located_not_hung() {
+    dead_rank_is_located(dims(), [2, 1, 1, 1]);
+}
+
+#[test]
+fn dead_rank_during_z_face_exchange_is_located_not_hung() {
+    dead_rank_is_located(LatticeDims::new(4, 4, 4, 4), [1, 1, 2, 1]);
+}
