@@ -103,6 +103,15 @@ pub enum CommError {
         /// Elements received.
         got: usize,
     },
+    /// The worker thread driving a rank panicked (a bug, not a scheduled
+    /// fault): distinct from [`CommError::RankDead`] so a crashed *program*
+    /// is never mistaken for a killed *process*.
+    RankPanicked {
+        /// The rank whose worker thread panicked.
+        rank: usize,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
     /// The lockstep sanitizer found ranks executing *different* collective
     /// sequences — the divergence that would otherwise surface only as a
     /// silent hang or a wrong answer at scale.
@@ -134,6 +143,9 @@ impl fmt::Display for CommError {
             }
             CommError::SizeMismatch { expected, got } => {
                 write!(f, "collective size mismatch: expected {expected} elements, got {got}")
+            }
+            CommError::RankPanicked { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
             }
             CommError::LockstepDivergence { rank, index, expected, got } => {
                 write!(f, "lockstep divergence at collective #{index}: rank {rank} ")?;
@@ -186,6 +198,13 @@ mod tests {
         assert!(d.to_string().contains("checksum"));
         let e = CommError::Decode { from: 0, tag: 1, error: d };
         assert!(e.to_string().contains("undecodable"));
+    }
+
+    #[test]
+    fn rank_panicked_carries_message() {
+        let e = CommError::RankPanicked { rank: 3, message: "index out of bounds".into() };
+        assert_eq!(e.to_string(), "rank 3 panicked: index out of bounds");
+        assert_ne!(e, CommError::RankDead { rank: 3 });
     }
 
     #[test]

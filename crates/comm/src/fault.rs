@@ -30,10 +30,14 @@ pub enum FaultAction {
     BitFlip,
 }
 
+/// A send-count-scheduled per-rank event (death or injected panic),
+/// scoped to one world *generation* so that a kill consumed by an elastic
+/// recovery does not re-fire in the respawned world.
 #[derive(Clone, Copy, Debug)]
-struct DeadRank {
+struct RankSchedule {
     rank: usize,
     after_sends: u64,
+    generation: u32,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -82,9 +86,15 @@ pub struct FaultPlan {
     truncate_prob: f64,
     bitflip_prob: f64,
     delay: Duration,
-    dead: Vec<DeadRank>,
+    dead: Vec<RankSchedule>,
+    panics: Vec<RankSchedule>,
     slow: Vec<SlowRank>,
     collective: Vec<CollectiveFaultAt>,
+    /// Which world incarnation this plan instance is driving. Kills and
+    /// panics only fire when their scheduled generation matches; the
+    /// elastic driver bumps this (via [`FaultPlan::with_generation`]) each
+    /// time it respawns the world.
+    active_generation: u32,
 }
 
 /// splitmix64: a tiny, high-quality mixer; enough to turn message
@@ -140,9 +150,59 @@ impl FaultPlan {
 
     /// Kill `rank` once it has performed `after_sends` sends: the send
     /// fails with `RankDead` and the rank is marked dead world-wide.
-    pub fn kill_rank(mut self, rank: usize, after_sends: u64) -> Self {
-        self.dead.push(DeadRank { rank, after_sends });
+    ///
+    /// Multiple calls accumulate, so one plan can schedule several timed
+    /// kills. A plain `kill_rank` is scoped to generation 0 (the first
+    /// world incarnation); use [`FaultPlan::kill_rank_in_generation`] to
+    /// schedule sequential deaths across elastic-recovery respawns.
+    pub fn kill_rank(self, rank: usize, after_sends: u64) -> Self {
+        self.kill_rank_in_generation(0, rank, after_sends)
+    }
+
+    /// Kill `rank` after `after_sends` sends, but only while the plan's
+    /// active generation (see [`FaultPlan::with_generation`]) equals
+    /// `generation`. This is how the chaos suite injects *sequential*
+    /// deaths: a generation-1 kill stays dormant until the elastic driver
+    /// has already survived the generation-0 one and respawned the world.
+    pub fn kill_rank_in_generation(
+        mut self,
+        generation: u32,
+        rank: usize,
+        after_sends: u64,
+    ) -> Self {
+        self.dead.push(RankSchedule { rank, after_sends, generation });
         self
+    }
+
+    /// Panic `rank`'s worker thread once it has performed `after_sends`
+    /// sends — simulates a *bug* (crash) rather than a scheduled death, so
+    /// the driver's `RankPanicked` classification can be exercised.
+    pub fn panic_rank(self, rank: usize, after_sends: u64) -> Self {
+        self.panic_rank_in_generation(0, rank, after_sends)
+    }
+
+    /// Generation-scoped variant of [`FaultPlan::panic_rank`].
+    pub fn panic_rank_in_generation(
+        mut self,
+        generation: u32,
+        rank: usize,
+        after_sends: u64,
+    ) -> Self {
+        self.panics.push(RankSchedule { rank, after_sends, generation });
+        self
+    }
+
+    /// A copy of this plan with its active generation set to `generation`.
+    /// Message-level fault probabilities are unaffected; only kill/panic
+    /// schedules are generation-filtered.
+    pub fn with_generation(mut self, generation: u32) -> Self {
+        self.active_generation = generation;
+        self
+    }
+
+    /// The world incarnation this plan instance is driving.
+    pub fn generation(&self) -> u32 {
+        self.active_generation
     }
 
     /// Add `per_send` latency to every send `rank` performs.
@@ -196,9 +256,20 @@ impl FaultPlan {
         FaultAction::Deliver
     }
 
-    /// Whether `rank` is scheduled dead once it has made `sends` sends.
+    /// Whether `rank` is scheduled dead once it has made `sends` sends
+    /// (in the plan's active generation).
     pub fn is_dead(&self, rank: usize, sends: u64) -> bool {
-        self.dead.iter().any(|d| d.rank == rank && sends >= d.after_sends)
+        self.dead.iter().any(|d| {
+            d.generation == self.active_generation && d.rank == rank && sends >= d.after_sends
+        })
+    }
+
+    /// Whether `rank`'s worker thread is scheduled to panic once it has
+    /// made `sends` sends (in the plan's active generation).
+    pub fn should_panic(&self, rank: usize, sends: u64) -> bool {
+        self.panics.iter().any(|p| {
+            p.generation == self.active_generation && p.rank == rank && sends >= p.after_sends
+        })
     }
 
     /// The per-send latency penalty for `rank`, if it is scheduled slow.
@@ -278,5 +349,46 @@ mod tests {
         assert!(!plan.is_dead(1, 1000));
         assert_eq!(plan.slow_penalty(1), Some(Duration::from_millis(3)));
         assert_eq!(plan.slow_penalty(0), None);
+    }
+
+    #[test]
+    fn multiple_kills_accumulate_in_one_plan() {
+        let plan = FaultPlan::new(0).kill_rank(1, 5).kill_rank(3, 20);
+        assert!(plan.is_dead(1, 5));
+        assert!(plan.is_dead(3, 20));
+        assert!(!plan.is_dead(2, 1000));
+    }
+
+    #[test]
+    fn kills_are_generation_scoped() {
+        let plan = FaultPlan::new(0)
+            .kill_rank_in_generation(0, 1, 5)
+            .kill_rank_in_generation(1, 2, 7)
+            .kill_rank_in_generation(2, 1, 3);
+        // Generation 0 (the default): only the generation-0 kill fires.
+        assert!(plan.is_dead(1, 5));
+        assert!(!plan.is_dead(2, 1000));
+        assert_eq!(plan.generation(), 0);
+        // After a respawn, the consumed kill stays dormant and the next
+        // scheduled one becomes live.
+        let g1 = plan.clone().with_generation(1);
+        assert!(!g1.is_dead(1, 1000));
+        assert!(g1.is_dead(2, 7));
+        assert_eq!(g1.generation(), 1);
+        let g2 = plan.with_generation(2);
+        assert!(g2.is_dead(1, 3));
+        assert!(!g2.is_dead(2, 1000));
+    }
+
+    #[test]
+    fn panic_schedule_is_generation_scoped() {
+        let plan = FaultPlan::new(0).panic_rank(1, 4).panic_rank_in_generation(1, 2, 6);
+        assert!(!plan.should_panic(1, 3));
+        assert!(plan.should_panic(1, 4));
+        assert!(!plan.should_panic(2, 100));
+        assert!(!plan.is_dead(1, 100), "a panic schedule is not a death schedule");
+        let g1 = plan.with_generation(1);
+        assert!(!g1.should_panic(1, 100));
+        assert!(g1.should_panic(2, 6));
     }
 }

@@ -255,6 +255,15 @@ impl Communicator {
                 self.shared.alive[self.rank].store(false, Ordering::SeqCst);
                 return Err(CommError::RankDead { rank: self.rank });
             }
+            if plan.should_panic(self.rank, self.total_sends) {
+                // Deliberate fault injection: simulate a *bug* in the rank
+                // worker (not a scheduled death) so the driver's panic
+                // classification path is exercised. The unwinding drop of
+                // this communicator marks the liveness board dead, exactly
+                // like a real crash would.
+                // quda-lint: allow(no-panic)
+                panic!("injected panic after {} sends", self.total_sends);
+            }
             if let Some(penalty) = plan.slow_penalty(self.rank) {
                 thread::sleep(penalty);
             }

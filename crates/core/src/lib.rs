@@ -45,16 +45,17 @@ pub mod params;
 
 pub use params::{InvertReport, InvertStats, QudaDeviceParam, QudaGaugeParam, QudaInvertParam};
 pub use quda_comm::CommError;
+pub use quda_multigpu::driver::ChaosSpec;
 pub use quda_multigpu::driver::SolverKind;
 pub use quda_multigpu::rank_op::CommStrategy;
-pub use quda_multigpu::{CommHealth, PrecisionMode};
+pub use quda_multigpu::{CommHealth, PrecisionMode, RecoveryEvent, RecoveryReport};
 pub use quda_obs::{Phase, PhaseBreakdown, Trace, TraceConfig};
 
 use quda_dirac::WilsonParams;
 use quda_fields::host::{GaugeConfig, HostSpinorField};
 use quda_lattice::partition::TimePartition;
 use quda_multigpu::driver::{
-    solve_full_parallel_traced, verify_full_solution, ChaosSpec, ParallelSolveSpec,
+    solve_full_parallel_elastic, verify_full_solution, ElasticPolicy, ParallelSolveSpec,
 };
 use quda_multigpu::perf::{evaluate, solver_memory_per_gpu, PerfInput};
 use quda_solvers::params::SolverParams;
@@ -223,6 +224,27 @@ impl Quda {
         source: &HostSpinorField,
         param: &QudaInvertParam,
     ) -> Result<(HostSpinorField, InvertReport), QudaError> {
+        let chaos = ChaosSpec {
+            lockstep: param
+                .lockstep
+                .then(|| quda_comm::LockstepConfig::from_env().unwrap_or_default()),
+            ..ChaosSpec::default()
+        };
+        self.invert_with_chaos(source, param, &chaos)
+    }
+
+    /// [`Quda::invert`] under an explicit fault-injection and timeout
+    /// policy — the entry point chaos tests and resilience benchmarks
+    /// drive. With [`QudaInvertParam::max_rank_deaths`] above `0` the solve
+    /// runs elastically: injected rank deaths are survived by rolling back
+    /// to the last checkpoint on a rebuilt world, and every recovery is
+    /// reported in [`InvertReport::recovery`].
+    pub fn invert_with_chaos(
+        &mut self,
+        source: &HostSpinorField,
+        param: &QudaInvertParam,
+        chaos: &ChaosSpec,
+    ) -> Result<(HostSpinorField, InvertReport), QudaError> {
         let cfg = self.gauge.as_ref().ok_or(QudaError::NoGauge)?;
         if source.dims != cfg.dims {
             return Err(QudaError::DimsMismatch);
@@ -258,14 +280,10 @@ impl Quda {
             solver: param.solver,
             params: SolverParams { tol: param.tol, max_iter: param.max_iter, delta: param.delta },
         };
-        let chaos = ChaosSpec {
-            lockstep: param
-                .lockstep
-                .then(|| quda_comm::LockstepConfig::from_env().unwrap_or_default()),
-            ..ChaosSpec::default()
-        };
-        let solve = solve_full_parallel_traced(cfg, source, &spec, &chaos, param.trace)
+        let policy = ElasticPolicy { max_rank_deaths: param.max_rank_deaths, chaos: chaos.clone() };
+        let elastic = solve_full_parallel_elastic(cfg, source, &spec, &policy, param.trace)
             .map_err(QudaError::Comm)?;
+        let (solve, recovery) = (elastic.solve, elastic.recovery);
         let (x, result) = (solve.solution, solve.result);
         let true_residual = verify_full_solution(cfg, &wilson, &x, source);
 
@@ -298,6 +316,7 @@ impl Quda {
                 phases: solve.trace.breakdown(),
                 comm: solve.comm,
                 trace: solve.trace,
+                recovery,
             },
         ))
     }

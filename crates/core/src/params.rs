@@ -6,7 +6,7 @@ use quda_gpusim::transfer::NumaPlacement;
 use quda_lattice::geometry::LatticeDims;
 use quda_multigpu::driver::SolverKind;
 use quda_multigpu::rank_op::CommStrategy;
-use quda_multigpu::{CommHealth, PrecisionMode};
+use quda_multigpu::{CommHealth, PrecisionMode, RecoveryReport};
 use quda_obs::{PhaseBreakdown, Trace, TraceConfig};
 use quda_solvers::params::SolverParams;
 
@@ -58,6 +58,11 @@ pub struct QudaInvertParam {
     /// `CommError::LockstepDivergence` instead of a hang. Defaults to the
     /// `QUDA_LOCKSTEP` environment variable (off when unset).
     pub lockstep: bool,
+    /// Rank deaths the inversion may survive by checkpointing at
+    /// reliable-update boundaries and resuming on a rebuilt world
+    /// (DESIGN.md §12). The default `0` is bit-identical to the classic
+    /// fail-fast driver: no checkpoints, first death aborts.
+    pub max_rank_deaths: usize,
 }
 
 impl QudaInvertParam {
@@ -76,6 +81,7 @@ impl QudaInvertParam {
             num_gpus,
             trace: TraceConfig::Off,
             lockstep: quda_comm::LockstepConfig::from_env().is_some(),
+            max_rank_deaths: 0,
         }
     }
 
@@ -112,6 +118,13 @@ impl QudaInvertParam {
     /// Turn the comm lockstep sanitizer on or off for this inversion.
     pub fn with_lockstep(mut self, lockstep: bool) -> Self {
         self.lockstep = lockstep;
+        self
+    }
+
+    /// Allow the inversion to survive up to `n` rank deaths by resuming
+    /// from checkpoints on a rebuilt world.
+    pub fn with_max_rank_deaths(mut self, n: usize) -> Self {
+        self.max_rank_deaths = n;
         self
     }
 
@@ -171,6 +184,11 @@ pub struct InvertReport {
     /// The raw recorded trace; individual spans are only retained under
     /// [`TraceConfig::Full`].
     pub trace: Trace,
+    /// Elastic-recovery telemetry: every survived rank death (with its
+    /// recovery latency and resume epoch) plus checkpoint overhead
+    /// counters. Empty unless [`QudaInvertParam::max_rank_deaths`] was
+    /// raised above `0` *and* checkpoints/deaths actually occurred.
+    pub recovery: RecoveryReport,
 }
 
 impl std::ops::Deref for InvertReport {

@@ -21,11 +21,26 @@ pub trait Precision: Copy + Clone + Send + Sync + 'static {
     /// Name as the paper uses it ("double", "single", "half").
     const NAME: &'static str;
 
+    /// Runtime tag for this precision.
+    const TAG: PrecisionTag;
+
     /// Store a value already normalized to the representable range
     /// (for half: `[-1, 1]`; for float types: any value).
     fn store(x: Self::Arith) -> Self::Elem;
     /// Load a stored element back to the arithmetic type.
     fn load(e: Self::Elem) -> Self::Arith;
+
+    /// Append the *raw storage bytes* of `e` (little-endian) to `out`.
+    ///
+    /// This is a bit-exact serialization of the stored element — no
+    /// quantization or dequantization happens, so a
+    /// `elem_to_le_bytes`/`elem_from_le_bytes` round trip reproduces the
+    /// element exactly for every precision (the checkpoint layer depends
+    /// on this).
+    fn elem_to_le_bytes(e: Self::Elem, out: &mut Vec<u8>);
+    /// Decode one element from exactly [`Self::STORAGE_BYTES`]
+    /// little-endian bytes. Returns `None` if `bytes` is too short.
+    fn elem_from_le_bytes(bytes: &[u8]) -> Option<Self::Elem>;
 }
 
 /// IEEE double precision storage (`f64`).
@@ -51,6 +66,7 @@ impl Precision for Double {
     const STORAGE_BYTES: usize = 8;
     const NEEDS_NORM: bool = false;
     const NAME: &'static str = "double";
+    const TAG: PrecisionTag = PrecisionTag::Double;
 
     #[inline(always)]
     fn store(x: f64) -> f64 {
@@ -60,6 +76,13 @@ impl Precision for Double {
     fn load(e: f64) -> f64 {
         e
     }
+
+    fn elem_to_le_bytes(e: f64, out: &mut Vec<u8>) {
+        out.extend_from_slice(&e.to_le_bytes());
+    }
+    fn elem_from_le_bytes(bytes: &[u8]) -> Option<f64> {
+        Some(f64::from_le_bytes(bytes.get(..8)?.try_into().ok()?))
+    }
 }
 
 impl Precision for Single {
@@ -68,6 +91,7 @@ impl Precision for Single {
     const STORAGE_BYTES: usize = 4;
     const NEEDS_NORM: bool = false;
     const NAME: &'static str = "single";
+    const TAG: PrecisionTag = PrecisionTag::Single;
 
     #[inline(always)]
     fn store(x: f32) -> f32 {
@@ -77,6 +101,13 @@ impl Precision for Single {
     fn load(e: f32) -> f32 {
         e
     }
+
+    fn elem_to_le_bytes(e: f32, out: &mut Vec<u8>) {
+        out.extend_from_slice(&e.to_le_bytes());
+    }
+    fn elem_from_le_bytes(bytes: &[u8]) -> Option<f32> {
+        Some(f32::from_le_bytes(bytes.get(..4)?.try_into().ok()?))
+    }
 }
 
 impl Precision for Half {
@@ -85,6 +116,7 @@ impl Precision for Half {
     const STORAGE_BYTES: usize = 2;
     const NEEDS_NORM: bool = true;
     const NAME: &'static str = "half";
+    const TAG: PrecisionTag = PrecisionTag::Half;
 
     #[inline(always)]
     fn store(x: f32) -> Fixed16 {
@@ -97,6 +129,15 @@ impl Precision for Half {
     fn load(e: Fixed16) -> f32 {
         e.dequantize()
     }
+
+    fn elem_to_le_bytes(e: Fixed16, out: &mut Vec<u8>) {
+        out.extend_from_slice(&e.0.to_le_bytes());
+    }
+    fn elem_from_le_bytes(bytes: &[u8]) -> Option<Fixed16> {
+        // Re-materializes an element already normalized when serialized.
+        // quda-lint: allow(half-normalization)
+        Some(Fixed16(i16::from_le_bytes(bytes.get(..2)?.try_into().ok()?)))
+    }
 }
 
 impl Precision for Quarter {
@@ -105,6 +146,7 @@ impl Precision for Quarter {
     const STORAGE_BYTES: usize = 1;
     const NEEDS_NORM: bool = true;
     const NAME: &'static str = "quarter";
+    const TAG: PrecisionTag = PrecisionTag::Quarter;
 
     #[inline(always)]
     fn store(x: f32) -> Fixed8 {
@@ -115,6 +157,15 @@ impl Precision for Quarter {
     #[inline(always)]
     fn load(e: Fixed8) -> f32 {
         e.dequantize()
+    }
+
+    fn elem_to_le_bytes(e: Fixed8, out: &mut Vec<u8>) {
+        out.extend_from_slice(&e.0.to_le_bytes());
+    }
+    fn elem_from_le_bytes(bytes: &[u8]) -> Option<Fixed8> {
+        // Re-materializes an element already normalized when serialized.
+        // quda-lint: allow(half-normalization)
+        Some(Fixed8(i8::from_le_bytes(bytes.get(..1)?.try_into().ok()?)))
     }
 }
 
@@ -157,6 +208,27 @@ impl PrecisionTag {
     pub fn needs_norm(self) -> bool {
         matches!(self, PrecisionTag::Half | PrecisionTag::Quarter)
     }
+
+    /// Stable one-byte encoding used by the checkpoint wire format.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            PrecisionTag::Double => 0,
+            PrecisionTag::Single => 1,
+            PrecisionTag::Half => 2,
+            PrecisionTag::Quarter => 3,
+        }
+    }
+
+    /// Inverse of [`PrecisionTag::to_byte`].
+    pub fn from_byte(b: u8) -> Option<PrecisionTag> {
+        match b {
+            0 => Some(PrecisionTag::Double),
+            1 => Some(PrecisionTag::Single),
+            2 => Some(PrecisionTag::Half),
+            3 => Some(PrecisionTag::Quarter),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +243,37 @@ mod tests {
         assert_eq!(PrecisionTag::Double.name(), Double::NAME);
         assert_eq!(PrecisionTag::Half.needs_norm(), Half::NEEDS_NORM);
         assert!(!PrecisionTag::Single.needs_norm());
+    }
+
+    #[test]
+    fn tag_byte_encoding_round_trips() {
+        for tag in
+            [PrecisionTag::Double, PrecisionTag::Single, PrecisionTag::Half, PrecisionTag::Quarter]
+        {
+            assert_eq!(PrecisionTag::from_byte(tag.to_byte()), Some(tag));
+        }
+        assert_eq!(PrecisionTag::from_byte(4), None);
+        assert_eq!(Double::TAG, PrecisionTag::Double);
+        assert_eq!(Quarter::TAG, PrecisionTag::Quarter);
+    }
+
+    #[test]
+    fn le_byte_round_trip_is_bit_exact() {
+        let mut buf = Vec::new();
+        Double::elem_to_le_bytes(-0.1, &mut buf);
+        assert_eq!(buf.len(), Double::STORAGE_BYTES);
+        assert_eq!(Double::elem_from_le_bytes(&buf), Some(-0.1));
+        buf.clear();
+        Single::elem_to_le_bytes(f32::NAN, &mut buf);
+        let back = Single::elem_from_le_bytes(&buf).unwrap();
+        assert_eq!(back.to_bits(), f32::NAN.to_bits());
+        buf.clear();
+        Half::elem_to_le_bytes(Fixed16(-12345), &mut buf);
+        assert_eq!(Half::elem_from_le_bytes(&buf), Some(Fixed16(-12345)));
+        buf.clear();
+        Quarter::elem_to_le_bytes(Fixed8(-7), &mut buf);
+        assert_eq!(Quarter::elem_from_le_bytes(&buf), Some(Fixed8(-7)));
+        assert_eq!(Quarter::elem_from_le_bytes(&[]), None);
     }
 
     #[test]

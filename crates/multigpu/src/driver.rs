@@ -5,6 +5,7 @@
 //! calculation drives through the parallel library.
 
 use crate::rank_op::{CommStrategy, ParallelWilsonCloverOp};
+use crate::reshard::{CheckpointStore, GlobalCheckpoint};
 use crate::slice::{gather_spinor_grid, slice_spinor_grid};
 use quda_comm::{CommConfig, CommError, CommStats, FaultPlan, LockstepConfig};
 use quda_dirac::WilsonParams;
@@ -14,8 +15,11 @@ use quda_lattice::geometry::Parity;
 use quda_lattice::partition::{DecompPlan, TimePartition};
 use quda_obs::{Recorder, Trace, TraceConfig};
 use quda_solvers::blas;
+use quda_solvers::checkpoint::{CheckpointSink, NoCheckpoint, SolverCheckpoint};
 use quda_solvers::operator::LinearOperator;
 use quda_solvers::params::{SolveResult, SolverParams};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// The solver precision modes measured in the paper (Section VII-A).
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -295,6 +299,191 @@ pub fn solve_full_grid_traced(
     }
 }
 
+/// How far the elastic driver is allowed to go to keep a solve alive
+/// (DESIGN.md §12).
+#[derive(Clone, Debug, Default)]
+pub struct ElasticPolicy {
+    /// Rank deaths the solve may survive before giving up and surfacing
+    /// the error. `0` is *bit-identical* to the fail-fast driver: no
+    /// checkpoints are taken and the first death aborts the world.
+    pub max_rank_deaths: usize,
+    /// Fault-injection and timeout policy applied to every world
+    /// incarnation. Kill/panic schedules fire in the incarnation whose
+    /// generation they are scoped to (see [`FaultPlan::with_generation`]).
+    pub chaos: ChaosSpec,
+}
+
+/// One survived rank death.
+#[derive(Clone, Debug)]
+pub struct RecoveryEvent {
+    /// The rank whose death aborted the previous incarnation.
+    pub dead_rank: usize,
+    /// Human-readable root cause (`RankDead` or the panic message).
+    pub cause: String,
+    /// Checkpoint epoch the replacement world resumed from, or `None` if
+    /// no consistent checkpoint could be assembled and the solve restarted
+    /// from scratch.
+    pub resumed_epoch: Option<u64>,
+    /// Wall-clock time to assemble and validate the resume snapshot.
+    pub latency: Duration,
+}
+
+/// Recovery telemetry of an elastic solve.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Every survived death, in order.
+    pub events: Vec<RecoveryEvent>,
+    /// Checkpoints deposited across all ranks and incarnations.
+    pub checkpoints_taken: u64,
+    /// Serialized checkpoint bytes written across all deposits.
+    pub checkpoint_bytes: u64,
+}
+
+impl RecoveryReport {
+    /// Number of rank deaths the solve survived.
+    pub fn deaths_survived(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// The outcome of an elastic solve: the traced solve plus its recovery
+/// telemetry.
+#[derive(Clone, Debug)]
+pub struct ElasticSolve {
+    /// The completed solve (solution, stats, trace, comm health).
+    pub solve: TracedSolve,
+    /// What it took to get there.
+    pub recovery: RecoveryReport,
+}
+
+/// [`solve_full_grid_traced`] that *survives rank death*: every rank
+/// deposits checkpoints into a world-shared store at reliable-update
+/// boundaries, and when a rank dies (or its thread panics) mid-solve the
+/// supervisor tears the world down, assembles the newest globally
+/// consistent checkpoint, re-shards it onto a fresh world, and resumes
+/// mid-Krylov — up to [`ElasticPolicy::max_rank_deaths`] times.
+///
+/// With a budget of `0` the checkpoint sink is disabled and the attempt
+/// runs the exact classic rank bodies — bit-identical to
+/// [`solve_full_grid_traced`], failing fast on the first death.
+pub fn solve_full_grid_elastic(
+    cfg: &GaugeConfig,
+    b: &HostSpinorField,
+    spec: &GridSolveSpec,
+    policy: &ElasticPolicy,
+    trace: TraceConfig,
+) -> Result<ElasticSolve, CommError> {
+    match spec.mode {
+        PrecisionMode::Double => {
+            run_world_elastic::<Double, Double>(cfg, b, spec, false, policy, trace)
+        }
+        PrecisionMode::Single => {
+            run_world_elastic::<Single, Single>(cfg, b, spec, false, policy, trace)
+        }
+        PrecisionMode::Half => run_world_elastic::<Half, Half>(cfg, b, spec, false, policy, trace),
+        PrecisionMode::SingleHalf => {
+            run_world_elastic::<Single, Half>(cfg, b, spec, true, policy, trace)
+        }
+        PrecisionMode::DoubleHalf => {
+            run_world_elastic::<Double, Half>(cfg, b, spec, true, policy, trace)
+        }
+        PrecisionMode::DoubleSingle => {
+            run_world_elastic::<Double, Single>(cfg, b, spec, true, policy, trace)
+        }
+        PrecisionMode::DoubleQuarter => {
+            run_world_elastic::<Double, Quarter>(cfg, b, spec, true, policy, trace)
+        }
+    }
+}
+
+/// [`solve_full_grid_elastic`] over a 1-d temporal partition.
+pub fn solve_full_parallel_elastic(
+    cfg: &GaugeConfig,
+    b: &HostSpinorField,
+    spec: &ParallelSolveSpec,
+    policy: &ElasticPolicy,
+    trace: TraceConfig,
+) -> Result<ElasticSolve, CommError> {
+    solve_full_grid_elastic(cfg, b, &spec.to_grid(), policy, trace)
+}
+
+fn run_world_elastic<H: Precision, L: Precision>(
+    cfg: &GaugeConfig,
+    b: &HostSpinorField,
+    spec: &GridSolveSpec,
+    mixed: bool,
+    policy: &ElasticPolicy,
+    trace: TraceConfig,
+) -> Result<ElasticSolve, CommError> {
+    let plan = spec.plan;
+    // One recorder across every incarnation: recovery and checkpoint spans
+    // of all generations land in the same per-rank buffers.
+    let recorder = Recorder::new(plan.n_ranks(), trace);
+    let store = Arc::new(CheckpointStore::new(plan.n_ranks()));
+    let mut events: Vec<RecoveryEvent> = Vec::new();
+    let mut resume: Option<GlobalCheckpoint> = None;
+    let mut generation: u32 = 0;
+    loop {
+        // Kills are generation-scoped: a schedule consumed by the previous
+        // incarnation must not re-fire in the replacement world.
+        let chaos = ChaosSpec {
+            plan: policy.chaos.plan.clone().map(|p| p.with_generation(generation)),
+            comm: policy.chaos.comm,
+            lockstep: policy.chaos.lockstep,
+        };
+        // A zero death budget disables the sink entirely: no deposits, no
+        // resume state — `run_attempt` then runs the exact classic rank
+        // bodies, keeping budget 0 bit-identical to the fail-fast path.
+        let elastic =
+            if policy.max_rank_deaths == 0 { None } else { Some((&store, resume.as_ref())) };
+        let attempt = run_attempt::<H, L>(cfg, b, spec, mixed, &chaos, &recorder, elastic);
+        match attempt {
+            Ok((locals, stats, per_rank)) => {
+                let st = store.stats();
+                return Ok(ElasticSolve {
+                    solve: TracedSolve {
+                        solution: gather_spinor_grid(&locals, &plan),
+                        result: stats,
+                        trace: recorder.finish(),
+                        comm: CommHealth::from_per_rank(per_rank),
+                    },
+                    recovery: RecoveryReport {
+                        events,
+                        checkpoints_taken: st.checkpoints_taken,
+                        checkpoint_bytes: st.bytes_written,
+                    },
+                });
+            }
+            Err(e) => {
+                let dead_rank = match &e {
+                    CommError::RankDead { rank } => *rank,
+                    CommError::RankPanicked { rank, .. } => *rank,
+                    // Anything that is not a rank death (timeout storm,
+                    // lockstep divergence, ...) is not survivable.
+                    _ => return Err(e),
+                };
+                if events.len() >= policy.max_rank_deaths {
+                    return Err(e);
+                }
+                // Roll every rank back to the newest globally consistent
+                // checkpoint. If none can be assembled (death before the
+                // first deposit landed everywhere, or a corrupt store) the
+                // replacement world restarts the solve from scratch.
+                let t0 = quda_obs::clock::monotonic();
+                resume = store.take_global::<H>(&plan).ok();
+                let latency = quda_obs::clock::monotonic().saturating_sub(t0);
+                generation += 1;
+                events.push(RecoveryEvent {
+                    dead_rank,
+                    cause: e.to_string(),
+                    resumed_epoch: resume.as_ref().map(|g| g.epoch),
+                    latency,
+                });
+            }
+        }
+    }
+}
+
 fn run_world<H: Precision, L: Precision>(
     cfg: &GaugeConfig,
     b: &HostSpinorField,
@@ -305,6 +494,42 @@ fn run_world<H: Precision, L: Precision>(
 ) -> Result<TracedSolve, CommError> {
     let plan = spec.plan;
     let recorder = Recorder::new(plan.n_ranks(), trace);
+    let (locals, stats, per_rank) =
+        run_attempt::<H, L>(cfg, b, spec, mixed, chaos, &recorder, None)?;
+    Ok(TracedSolve {
+        solution: gather_spinor_grid(&locals, &plan),
+        result: stats,
+        trace: recorder.finish(),
+        comm: CommHealth::from_per_rank(per_rank),
+    })
+}
+
+/// Recover a readable message from a rank thread's panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Spawn one world incarnation (thread per rank), run the solve on every
+/// rank, and join. `elastic` wires each rank to the shared
+/// [`CheckpointStore`] and, after a recovery, hands it its re-sharded slice
+/// of the resume snapshot; `None` is the classic fail-fast path with
+/// checkpointing disabled (bit-identical to the pre-elastic driver).
+fn run_attempt<H: Precision, L: Precision>(
+    cfg: &GaugeConfig,
+    b: &HostSpinorField,
+    spec: &GridSolveSpec,
+    mixed: bool,
+    chaos: &ChaosSpec,
+    recorder: &Recorder,
+    elastic: Option<(&Arc<CheckpointStore>, Option<&GlobalCheckpoint>)>,
+) -> Result<(Vec<HostSpinorField>, SolveResult, Vec<CommStats>), CommError> {
+    let plan = spec.plan;
     let world_hi = quda_comm::comm_world_with(plan.n_ranks(), chaos.comm, chaos.plan.clone());
     let world_lo = quda_comm::comm_world_with(plan.n_ranks(), chaos.comm, chaos.plan.clone());
     let handles: Vec<_> = world_hi
@@ -323,21 +548,37 @@ fn run_world<H: Precision, L: Precision>(
                 comm_hi.enable_lockstep(ls);
                 comm_lo.enable_lockstep(ls);
             }
+            let sink = elastic.map(|(store, resume)| RankSink {
+                store: Arc::clone(store),
+                rank,
+                resume: resume.map(|g| g.reshard::<H>(&plan, rank)),
+            });
             std::thread::spawn(move || {
-                run_rank::<H, L>(&cfg, &b, &spec, rank, comm_hi, comm_lo, mixed)
+                run_rank::<H, L>(&cfg, &b, &spec, rank, comm_hi, comm_lo, mixed, sink)
             })
         })
         .collect();
-    // Handles are in rank order. A panicked rank thread (its communicator is
-    // marked dead by `Drop`, so peers unblock) is reported as `RankDead`.
+    // Handles are in rank order. A panicked rank thread (its communicator
+    // is marked dead by `Drop`, so peers unblock) is reported as
+    // `RankPanicked` carrying the panic message — distinct from a rank the
+    // fault plan killed, which reports its own `RankDead`.
     let results: Vec<Result<_, CommError>> = handles
         .into_iter()
         .enumerate()
-        .map(|(rank, h)| h.join().unwrap_or(Err(CommError::RankDead { rank })))
+        .map(|(rank, h)| match h.join() {
+            Ok(r) => r,
+            Err(payload) => Err(CommError::RankPanicked { rank, message: panic_message(payload) }),
+        })
         .collect();
-    // Prefer the root cause over cascade effects: a rank that reports its
-    // *own* death (fault-killed, or its thread panicked) is the origin;
-    // every other rank merely observed a neighbour going silent afterwards.
+    // Prefer the root cause over cascade effects: a rank whose own thread
+    // panicked, or that reports its *own* death (fault-killed), is the
+    // origin; every other rank merely observed a neighbour going silent
+    // afterwards.
+    for r in results.iter() {
+        if let Err(e @ CommError::RankPanicked { .. }) = r {
+            return Err(e.clone());
+        }
+    }
     for (rank, r) in results.iter().enumerate() {
         if let Err(CommError::RankDead { rank: dead }) = r {
             if *dead == rank {
@@ -362,12 +603,26 @@ fn run_world<H: Precision, L: Precision>(
     // the default only keeps this path panic-free.
     let mut stats = stats.unwrap_or_default();
     stats.comm_recoveries = comm_recoveries;
-    Ok(TracedSolve {
-        solution: gather_spinor_grid(&locals, &plan),
-        result: stats,
-        trace: recorder.finish(),
-        comm: CommHealth::from_per_rank(per_rank),
-    })
+    Ok((locals, stats, per_rank))
+}
+
+/// One rank's checkpoint plumbing: snapshots go to the world-shared store,
+/// and the resume slice (installed by the supervisor after a recovery) is
+/// handed to the solver exactly once.
+struct RankSink {
+    store: Arc<CheckpointStore>,
+    rank: usize,
+    resume: Option<SolverCheckpoint>,
+}
+
+impl CheckpointSink for RankSink {
+    fn save(&mut self, ckpt: SolverCheckpoint) {
+        self.store.deposit(self.rank, ckpt.counters.epoch, ckpt.to_bytes());
+    }
+
+    fn resume(&mut self) -> Option<SolverCheckpoint> {
+        self.resume.take()
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -379,7 +634,22 @@ fn run_rank<H: Precision, L: Precision>(
     comm_hi: quda_comm::Communicator,
     comm_lo: quda_comm::Communicator,
     mixed: bool,
+    sink: Option<RankSink>,
 ) -> Result<(HostSpinorField, SolveResult, CommStats), CommError> {
+    // The classic path hands the solver the disabled sink, which makes the
+    // checkpoint machinery zero-cost and the numerics bit-identical.
+    let mut elastic_sink;
+    let mut classic_sink;
+    let sink: &mut dyn CheckpointSink = match sink {
+        Some(s) => {
+            elastic_sink = s;
+            &mut elastic_sink
+        }
+        None => {
+            classic_sink = NoCheckpoint;
+            &mut classic_sink
+        }
+    };
     let plan = spec.plan;
     let mut op_hi = ParallelWilsonCloverOp::<H>::new_grid(
         cfg,
@@ -419,12 +689,13 @@ fn run_rank<H: Precision, L: Precision>(
             spec.wilson,
             spec.strategy,
         )?;
-        let res = quda_solvers::mixed::bicgstab_reliable(
+        let res = quda_solvers::mixed::bicgstab_reliable_ckpt(
             &mut op_hi,
             &mut op_lo,
             &mut x_odd,
             &bhat,
             &spec.params,
+            &mut *sink,
         );
         if let Some(e) = op_lo.take_comm_fault() {
             return Err(e);
@@ -433,10 +704,16 @@ fn run_rank<H: Precision, L: Precision>(
         res
     } else {
         match spec.solver {
-            SolverKind::BiCgStab => {
-                quda_solvers::bicgstab::bicgstab(&mut op_hi, &mut x_odd, &bhat, &spec.params)
+            SolverKind::BiCgStab => quda_solvers::bicgstab::bicgstab_ckpt(
+                &mut op_hi,
+                &mut x_odd,
+                &bhat,
+                &spec.params,
+                &mut *sink,
+            ),
+            SolverKind::Cgnr => {
+                quda_solvers::cg::cgnr_ckpt(&mut op_hi, &mut x_odd, &bhat, &spec.params, &mut *sink)
             }
-            SolverKind::Cgnr => quda_solvers::cg::cgnr(&mut op_hi, &mut x_odd, &bhat, &spec.params),
         }
     };
     // A solver abort caused by a communication failure is surfaced as the
@@ -696,6 +973,134 @@ mod tests {
             assert_eq!(r_clean.iterations, r.iterations, "seed {seed}");
             assert_eq!(x_clean.max_site_dist(&x), 0.0, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn panicked_rank_surfaces_typed_panic_error() {
+        // A rank whose worker thread panics (injected bug, not a scheduled
+        // death) must surface as `RankPanicked` carrying the panic message
+        // — previously it was mislabelled as a plain `RankDead`.
+        let s = spec(4, PrecisionMode::Double, CommStrategy::NoOverlap, 1e-10);
+        let cfg = weak_field(s.part.global, 0.15, 5);
+        let b = random_spinor_field(s.part.global, 6);
+        let chaos = ChaosSpec {
+            plan: Some(quda_comm::FaultPlan::new(3).panic_rank(1, 30)),
+            comm: CommConfig {
+                timeout: std::time::Duration::from_secs(2),
+                ..CommConfig::default()
+            },
+            ..ChaosSpec::default()
+        };
+        let err = solve_full_parallel_chaos(&cfg, &b, &s, &chaos)
+            .expect_err("a panicked rank must abort the solve");
+        match err {
+            CommError::RankPanicked { rank, message } => {
+                assert_eq!(rank, 1);
+                assert!(message.contains("injected panic"), "message: {message}");
+            }
+            other => panic!("expected RankPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn elastic_solve_survives_a_rank_death() {
+        let s = spec(2, PrecisionMode::DoubleHalf, CommStrategy::NoOverlap, 1e-10);
+        let cfg = weak_field(s.part.global, 0.15, 61);
+        let b = random_spinor_field(s.part.global, 62);
+        let (x_clean, r_clean) = solve_full_parallel(&cfg, &b, &s).expect("fault-free solve");
+        let policy = ElasticPolicy {
+            max_rank_deaths: 1,
+            chaos: ChaosSpec {
+                plan: Some(quda_comm::FaultPlan::new(11).kill_rank(1, 150)),
+                comm: CommConfig {
+                    timeout: std::time::Duration::from_secs(2),
+                    ..CommConfig::default()
+                },
+                ..ChaosSpec::default()
+            },
+        };
+        let es = solve_full_parallel_elastic(&cfg, &b, &s, &policy, TraceConfig::Off)
+            .expect("elastic solve must survive one death");
+        assert!(es.solve.result.converged);
+        assert_eq!(es.recovery.deaths_survived(), 1);
+        let ev = &es.recovery.events[0];
+        assert_eq!(ev.dead_rank, 1);
+        assert!(ev.latency > Duration::ZERO, "recovery latency must be measured");
+        assert!(es.recovery.checkpoints_taken > 0, "no checkpoints were deposited");
+        // Same answer as the fault-free solve, to solver tolerance.
+        let rel = verify_full_solution(&cfg, &s.wilson, &es.solve.solution, &b);
+        let rel_clean = verify_full_solution(&cfg, &s.wilson, &x_clean, &b);
+        assert!(rel < 1e-9, "post-recovery residual {rel}");
+        assert!((rel - rel_clean).abs() < 1e-9, "fault-free {rel_clean} vs recovered {rel}");
+        assert!(r_clean.converged);
+    }
+
+    #[test]
+    fn elastic_budget_zero_is_bit_identical_fail_fast() {
+        let s = spec(2, PrecisionMode::Double, CommStrategy::NoOverlap, 1e-10);
+        let cfg = weak_field(s.part.global, 0.15, 71);
+        let b = random_spinor_field(s.part.global, 72);
+        // Fault-free: budget 0 must give the bit-identical classic answer
+        // (no checkpoints, no extra collectives, same numerics).
+        let policy = ElasticPolicy { max_rank_deaths: 0, chaos: ChaosSpec::default() };
+        let es = solve_full_parallel_elastic(&cfg, &b, &s, &policy, TraceConfig::Off)
+            .expect("fault-free solve");
+        let (x_classic, r_classic) = solve_full_parallel(&cfg, &b, &s).expect("classic solve");
+        assert_eq!(es.solve.solution.max_site_dist(&x_classic), 0.0);
+        assert_eq!(es.solve.result.iterations, r_classic.iterations);
+        assert_eq!(es.solve.result.final_residual, r_classic.final_residual);
+        assert_eq!(es.recovery.deaths_survived(), 0);
+        assert_eq!(es.recovery.checkpoints_taken, 0);
+        // With a kill injected, budget 0 fails fast with the same typed
+        // error as the classic driver.
+        let chaos = ChaosSpec {
+            plan: Some(quda_comm::FaultPlan::new(77).kill_rank(1, 25)),
+            comm: CommConfig {
+                timeout: std::time::Duration::from_secs(2),
+                ..CommConfig::default()
+            },
+            ..ChaosSpec::default()
+        };
+        let policy = ElasticPolicy { max_rank_deaths: 0, chaos };
+        let err = solve_full_parallel_elastic(&cfg, &b, &s, &policy, TraceConfig::Off)
+            .expect_err("budget 0 must fail fast");
+        assert_eq!(err, CommError::RankDead { rank: 1 });
+    }
+
+    /// Heavier elastic soak: two sequential deaths plus message-level
+    /// faults. Run via `cargo test -p quda-multigpu --features chaos`.
+    #[test]
+    #[cfg(feature = "chaos")]
+    fn chaos_soak_two_sequential_deaths_with_lossy_wire() {
+        let s = spec(4, PrecisionMode::DoubleHalf, CommStrategy::Overlap, 1e-10);
+        let cfg = weak_field(s.part.global, 0.15, 81);
+        let b = random_spinor_field(s.part.global, 82);
+        let (x_clean, _) = solve_full_parallel(&cfg, &b, &s).expect("fault-free solve");
+        let rel_clean = verify_full_solution(&cfg, &s.wilson, &x_clean, &b);
+        let policy = ElasticPolicy {
+            max_rank_deaths: 2,
+            chaos: ChaosSpec {
+                plan: Some(
+                    quda_comm::FaultPlan::new(9)
+                        .drop(0.005)
+                        .kill_rank_in_generation(0, 2, 150)
+                        .kill_rank_in_generation(1, 0, 200),
+                ),
+                comm: CommConfig {
+                    timeout: std::time::Duration::from_secs(2),
+                    ..CommConfig::default()
+                },
+                ..ChaosSpec::default()
+            },
+        };
+        let es = solve_full_parallel_elastic(&cfg, &b, &s, &policy, TraceConfig::Off)
+            .expect("elastic solve must survive both deaths");
+        assert!(es.solve.result.converged);
+        assert_eq!(es.recovery.deaths_survived(), 2);
+        assert_eq!(es.recovery.events[0].dead_rank, 2);
+        assert_eq!(es.recovery.events[1].dead_rank, 0);
+        let rel = verify_full_solution(&cfg, &s.wilson, &es.solve.solution, &b);
+        assert!(rel < 1e-9, "post-recovery residual {rel} (clean {rel_clean})");
     }
 
     #[test]

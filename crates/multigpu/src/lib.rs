@@ -31,12 +31,15 @@ pub mod ghost;
 pub mod multidim;
 pub mod perf;
 pub mod rank_op;
+pub mod reshard;
 pub mod slice;
 
 pub use driver::{
-    solve_full_grid, solve_full_grid_chaos, solve_full_grid_traced, solve_full_parallel,
-    solve_full_parallel_chaos, solve_full_parallel_traced, verify_full_solution, ChaosSpec,
-    CommHealth, GridSolveSpec, ParallelSolveSpec, PrecisionMode, SolverKind, TracedSolve,
+    solve_full_grid, solve_full_grid_chaos, solve_full_grid_elastic, solve_full_grid_traced,
+    solve_full_parallel, solve_full_parallel_chaos, solve_full_parallel_elastic,
+    solve_full_parallel_traced, verify_full_solution, ChaosSpec, CommHealth, ElasticPolicy,
+    ElasticSolve, GridSolveSpec, ParallelSolveSpec, PrecisionMode, RecoveryEvent, RecoveryReport,
+    SolverKind, TracedSolve,
 };
 pub use ghost::{
     exchange_gauge_ghosts, exchange_gauge_ghosts_grid, exchange_spinor_ghosts,
@@ -45,6 +48,7 @@ pub use ghost::{
 pub use multidim::{best_grid, sustained_gflops_grid, ProcessGrid};
 pub use perf::{evaluate, min_gpus, solver_memory_per_gpu, PerfInput, PerfReport};
 pub use rank_op::{CommStrategy, ParallelWilsonCloverOp};
+pub use reshard::{CheckpointStore, GlobalCheckpoint, ReshardError, StoreStats};
 pub use slice::{
     gather_spinor, gather_spinor_grid, local_clover, local_clover_grid, slice_config,
     slice_config_grid, slice_spinor, slice_spinor_grid,

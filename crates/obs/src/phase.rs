@@ -12,7 +12,7 @@
 
 /// Number of distinct phases; arrays indexed by [`Phase::index`] have
 /// this length.
-pub const PHASE_COUNT: usize = 23;
+pub const PHASE_COUNT: usize = 25;
 
 /// One phase of a traced solve. `Copy` and dense-indexable so per-rank
 /// aggregation is a fixed-size array, not a hash map.
@@ -67,6 +67,12 @@ pub enum Phase {
     ExteriorY,
     /// Z-boundary dslash after that direction's ghosts arrive.
     ExteriorZ,
+    /// Capturing and depositing a solver checkpoint at a reliable-update
+    /// boundary (elastic resilience, DESIGN.md §12).
+    Checkpoint,
+    /// Rank-side rehydration after a world rebuild: restoring the iterate
+    /// and residual from the last globally consistent checkpoint.
+    Recovery,
 }
 
 impl Phase {
@@ -95,6 +101,8 @@ impl Phase {
         Phase::ExteriorX,
         Phase::ExteriorY,
         Phase::ExteriorZ,
+        Phase::Checkpoint,
+        Phase::Recovery,
     ];
 
     /// Dense index in `0..PHASE_COUNT`.
@@ -151,6 +159,8 @@ impl Phase {
             Phase::ExteriorX => "exterior_x",
             Phase::ExteriorY => "exterior_y",
             Phase::ExteriorZ => "exterior_z",
+            Phase::Checkpoint => "checkpoint",
+            Phase::Recovery => "recovery",
         }
     }
 }

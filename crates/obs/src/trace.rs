@@ -274,6 +274,7 @@ fn phase_cat(phase: Phase) -> &'static str {
         | Phase::ReliableUpdate
         | Phase::Prepare
         | Phase::Reconstruct => "solver",
+        Phase::Checkpoint | Phase::Recovery => "resilience",
     }
 }
 

@@ -2,12 +2,17 @@
 //! even-odd preconditioned Wilson-clover matrix (Section II, reference \[8\]).
 
 use crate::blas::{self, BlasCounters};
+use crate::checkpoint::{self, CheckpointCounters, CheckpointSink, NoCheckpoint};
 use crate::operator::{residual_norm2, traced, traced_iter, LinearOperator};
 use crate::params::{SolveResult, SolverParams};
 use quda_fields::precision::Precision;
 use quda_fields::SpinorFieldCb;
 use quda_math::complex::C64;
 use quda_obs::Phase;
+
+/// Deposit a checkpoint every this many iterations when a sink is enabled
+/// (matches the CG cadence; see `cg::CHECKPOINT_EVERY`).
+const CHECKPOINT_EVERY: usize = 16;
 
 /// Solve `M̂ x = b` with plain (uniform-precision) BiCGstab.
 ///
@@ -18,9 +23,37 @@ pub fn bicgstab<P: Precision>(
     b: &SpinorFieldCb<P>,
     params: &SolverParams,
 ) -> SolveResult {
+    bicgstab_ckpt(op, x, b, params, &mut NoCheckpoint)
+}
+
+/// [`bicgstab`] with an elastic-resilience checkpoint sink.
+///
+/// Uniform-precision BiCGstab has no reliable-update boundary, so the
+/// snapshot (the iterate only — BiCGstab recomputes `r = b − M̂x` at entry,
+/// so a resume is a warm start) is deposited at entry and every
+/// [`CHECKPOINT_EVERY`] iterations; iteration/matvec counters continue
+/// across incarnations.
+pub fn bicgstab_ckpt<P: Precision>(
+    op: &mut dyn LinearOperator<P>,
+    x: &mut SpinorFieldCb<P>,
+    b: &SpinorFieldCb<P>,
+    params: &SolverParams,
+    sink: &mut dyn CheckpointSink,
+) -> SolveResult {
     let mut c = BlasCounters::default();
-    let mut matvecs: u64 = 0;
     let tracer = op.tracer();
+
+    // A resume snapshot installed by the elastic supervisor: warm-start
+    // from the checkpointed iterate and continue its counters.
+    let mut resumed: Option<CheckpointCounters> = None;
+    if let Some(ck) = sink.resume() {
+        let mut span = tracer.span(Phase::Recovery);
+        span.set_bytes(ck.payload_bytes() as u64);
+        if ck.restore_x(x).is_ok() {
+            resumed = Some(ck.counters);
+        }
+    }
+    let mut matvecs: u64 = resumed.map_or(0, |ctr| ctr.matvecs_hi);
 
     let b_local = traced(&tracer, Phase::Blas, || blas::norm2(b, &mut c));
     let b_norm2 = traced(&tracer, Phase::Reduce, || op.reduce(b_local));
@@ -43,10 +76,35 @@ pub fn bicgstab<P: Precision>(
     let mut t = op.alloc();
 
     let mut rho = C64::new(r_norm2, 0.0); // <r0, r> with r0 = r.
-    let mut iterations = 0;
+    let mut iterations = resumed.map_or(0, |ctr| ctr.iterations as usize);
     let mut converged = r_norm2 <= target2;
     let mut history = Vec::new();
     let mut abort_error: Option<String> = None;
+    let mut ckpt_epoch: u64 = resumed.map_or(0, |ctr| ctr.epoch);
+    let save = |sink: &mut dyn CheckpointSink,
+                epoch: &mut u64,
+                iterations: usize,
+                matvecs: u64,
+                r2: f64,
+                x: &SpinorFieldCb<P>| {
+        *epoch += 1;
+        checkpoint::deposit(
+            sink,
+            &tracer,
+            CheckpointCounters {
+                epoch: *epoch,
+                iterations: iterations as u64,
+                matvecs_hi: matvecs,
+                r2,
+                ..Default::default()
+            },
+            x,
+            None,
+        );
+    };
+    if sink.enabled() {
+        save(&mut *sink, &mut ckpt_epoch, iterations, matvecs, r_norm2, x);
+    }
 
     while !converged && iterations < params.max_iter {
         // A fault parked by a poisoned operator (dead rank, exhausted
@@ -116,6 +174,9 @@ pub fn bicgstab<P: Precision>(
         iterations += 1;
         history.push((r_norm2 / b_norm2).sqrt());
         converged = r_norm2 <= target2;
+        if sink.enabled() && !converged && iterations % CHECKPOINT_EVERY == 0 {
+            save(&mut *sink, &mut ckpt_epoch, iterations, matvecs, r_norm2, x);
+        }
     }
 
     // True residual check.

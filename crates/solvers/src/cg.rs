@@ -5,6 +5,7 @@
 //! equations (CGNE or CGNR) is used, or ... BiCGstab").
 
 use crate::blas::{self, BlasCounters};
+use crate::checkpoint::{self, CheckpointCounters, CheckpointSink, NoCheckpoint};
 use crate::operator::{residual_norm2, traced, traced_iter, LinearOperator};
 use crate::params::{SolveResult, SolverParams};
 use quda_fields::precision::Precision;
@@ -29,9 +30,36 @@ pub fn cgnr<P: Precision>(
     b: &SpinorFieldCb<P>,
     params: &SolverParams,
 ) -> SolveResult {
+    cgnr_ckpt(op, x, b, params, &mut NoCheckpoint)
+}
+
+/// [`cgnr`] with an elastic-resilience checkpoint sink.
+///
+/// The snapshot (the iterate only — CGNR rebuilds its residual from `x` at
+/// entry, so a resume is a warm start) is deposited at entry and at the
+/// existing periodic rollback-checkpoint refresh; iteration/matvec counters
+/// continue across incarnations.
+pub fn cgnr_ckpt<P: Precision>(
+    op: &mut dyn LinearOperator<P>,
+    x: &mut SpinorFieldCb<P>,
+    b: &SpinorFieldCb<P>,
+    params: &SolverParams,
+    sink: &mut dyn CheckpointSink,
+) -> SolveResult {
     let mut c = BlasCounters::default();
-    let mut matvecs: u64 = 0;
     let tracer = op.tracer();
+
+    // A resume snapshot installed by the elastic supervisor: warm-start
+    // from the checkpointed iterate and continue its counters.
+    let mut resumed: Option<CheckpointCounters> = None;
+    if let Some(ck) = sink.resume() {
+        let mut span = tracer.span(Phase::Recovery);
+        span.set_bytes(ck.payload_bytes() as u64);
+        if ck.restore_x(x).is_ok() {
+            resumed = Some(ck.counters);
+        }
+    }
+    let mut matvecs: u64 = resumed.map_or(0, |ctr| ctr.matvecs_hi);
 
     let b_local = traced(&tracer, Phase::Blas, || blas::norm2(b, &mut c));
     let b_norm2 = traced(&tracer, Phase::Reduce, || op.reduce(b_local));
@@ -67,9 +95,35 @@ pub fn cgnr<P: Precision>(
     let mut recoveries: u64 = 0;
     let mut abort_error: Option<String> = None;
 
-    let mut iterations = 0;
+    let mut iterations = resumed.map_or(0, |ctr| ctr.iterations as usize);
+    let mut ckpt_epoch: u64 = resumed.map_or(0, |ctr| ctr.epoch);
     let mut converged = rsq <= target2;
     let mut history = Vec::new();
+    // Deposit an elastic checkpoint (iterate only; CGNR resumes warm-start).
+    let save = |sink: &mut dyn CheckpointSink,
+                epoch: &mut u64,
+                iterations: usize,
+                matvecs: u64,
+                rsq: f64,
+                x: &SpinorFieldCb<P>| {
+        *epoch += 1;
+        checkpoint::deposit(
+            sink,
+            &tracer,
+            CheckpointCounters {
+                epoch: *epoch,
+                iterations: iterations as u64,
+                matvecs_hi: matvecs,
+                r2: rsq,
+                ..Default::default()
+            },
+            x,
+            None,
+        );
+    };
+    if sink.enabled() {
+        save(&mut *sink, &mut ckpt_epoch, iterations, matvecs, rsq, x);
+    }
     while !converged && iterations < params.max_iter {
         // A fault parked by a poisoned operator is terminal.
         if let Some(f) = op.fault() {
@@ -132,6 +186,9 @@ pub fn cgnr<P: Precision>(
         converged = rsq <= target2;
         if iterations % CHECKPOINT_EVERY == 0 {
             blas::copy(&mut checkpoint_x, x, &mut c);
+            if sink.enabled() && !converged {
+                save(&mut *sink, &mut ckpt_epoch, iterations, matvecs, rsq, x);
+            }
         }
     }
 

@@ -21,6 +21,7 @@
 pub mod bicgstab;
 pub mod blas;
 pub mod cg;
+pub mod checkpoint;
 pub mod mixed;
 pub mod operator;
 pub mod params;
@@ -28,9 +29,13 @@ pub mod spectral;
 #[cfg(test)]
 pub(crate) mod test_faults;
 
-pub use bicgstab::bicgstab;
-pub use cg::cgnr;
-pub use mixed::{bicgstab_defect_correction, bicgstab_reliable};
+pub use bicgstab::{bicgstab, bicgstab_ckpt};
+pub use cg::{cgnr, cgnr_ckpt};
+pub use checkpoint::{
+    CheckpointCounters, CheckpointError, CheckpointSink, NoCheckpoint, SolverCheckpoint,
+    CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+};
+pub use mixed::{bicgstab_defect_correction, bicgstab_reliable, bicgstab_reliable_ckpt};
 pub use operator::{LinearOperator, MatPcOp, OpFault};
 pub use params::{SolveResult, SolverParams};
 pub use spectral::{estimate_spectrum, lambda_max, lambda_min, SpectrumEstimate};

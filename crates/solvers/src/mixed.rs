@@ -17,6 +17,7 @@
 //!   iterations" (Section V-D); the ablation benchmark quantifies it.
 
 use crate::blas::{self, BlasCounters};
+use crate::checkpoint::{self, CheckpointCounters, CheckpointSink, NoCheckpoint};
 use crate::operator::{residual_norm2, traced, traced_iter, LinearOperator};
 use crate::params::{SolveResult, SolverParams};
 use quda_fields::precision::Precision;
@@ -86,6 +87,34 @@ pub fn bicgstab_reliable<H: Precision, L: Precision>(
     b: &SpinorFieldCb<H>,
     params: &SolverParams,
 ) -> SolveResult {
+    bicgstab_reliable_ckpt(op_hi, op_lo, x, b, params, &mut NoCheckpoint)
+}
+
+/// [`bicgstab_reliable`] with an elastic-resilience checkpoint sink.
+///
+/// When `sink` is enabled, the solver deposits a [`SolverCheckpoint`] at
+/// solve entry and at every good reliable update — the points where the
+/// high-precision state has just been validated against the true residual.
+/// Because the reliable-update decision is made from a globally reduced
+/// norm, every rank deposits the same epochs at the same iterations, so no
+/// extra collectives are needed and the numerics are bit-identical to the
+/// checkpoint-free solve.
+///
+/// If `sink.resume()` yields a snapshot, the solve rolls *forward* from it
+/// instead of starting at zero: the iterate and true residual are restored
+/// and the Krylov space is rebuilt from the restored residual — exactly the
+/// protocol the corruption-rollback path already uses — and all progress
+/// counters continue from their checkpointed values. The supervisor must
+/// install a resume snapshot on either all ranks or none, since resuming
+/// changes the collective stream.
+pub fn bicgstab_reliable_ckpt<H: Precision, L: Precision>(
+    op_hi: &mut dyn LinearOperator<H>,
+    op_lo: &mut dyn LinearOperator<L>,
+    x: &mut SpinorFieldCb<H>,
+    b: &SpinorFieldCb<H>,
+    params: &SolverParams,
+    sink: &mut dyn CheckpointSink,
+) -> SolveResult {
     let mut c = BlasCounters::default();
     let mut matvecs_lo: u64 = 0;
     let mut matvecs_hi: u64 = 0;
@@ -102,19 +131,41 @@ pub fn bicgstab_reliable<H: Precision, L: Precision>(
     }
     let target2 = params.tol * params.tol * b_norm2;
 
-    // True residual in high precision.
+    // A resume snapshot installed by the elastic supervisor: restore the
+    // iterate and true residual instead of starting from the caller's
+    // guess. A snapshot that does not fit this solve (wrong precision or
+    // geometry) is ignored — the check is deterministic and identical on
+    // every rank, so all ranks fall back together.
     let mut r_hi = op_hi.alloc();
-    let mut r2 = residual_norm2(op_hi, &mut r_hi, x, b, &mut c);
-    matvecs_hi += 1;
-    if r2 <= target2 {
-        return SolveResult {
-            converged: true,
-            final_residual: (r2 / b_norm2).sqrt(),
-            matvecs: matvecs_hi,
-            op_flops: matvecs_hi * op_hi.flops_per_apply(),
-            blas: c,
-            ..Default::default()
-        };
+    let mut resumed: Option<CheckpointCounters> = None;
+    if let Some(ck) = sink.resume() {
+        let mut span = tracer.span(Phase::Recovery);
+        span.set_bytes(ck.payload_bytes() as u64);
+        if ck.has_residual() && ck.restore_x(x).is_ok() && ck.restore_r(&mut r_hi).is_ok() {
+            resumed = Some(ck.counters);
+        }
+    }
+
+    // True residual in high precision (restored, or computed fresh).
+    let mut r2;
+    if let Some(ctr) = resumed {
+        r2 = ctr.r2;
+        matvecs_hi = ctr.matvecs_hi;
+        matvecs_lo = ctr.matvecs_lo;
+        reliable_updates = ctr.reliable_updates;
+    } else {
+        r2 = residual_norm2(op_hi, &mut r_hi, x, b, &mut c);
+        matvecs_hi += 1;
+        if r2 <= target2 {
+            return SolveResult {
+                converged: true,
+                final_residual: (r2 / b_norm2).sqrt(),
+                matvecs: matvecs_hi,
+                op_flops: matvecs_hi * op_hi.flops_per_apply(),
+                blas: c,
+                ..Default::default()
+            };
+        }
     }
     let mut maxrr = r2.sqrt();
 
@@ -134,18 +185,45 @@ pub fn bicgstab_reliable<H: Precision, L: Precision>(
     // good state (start, then every good reliable update).
     let mut checkpoint_x = op_hi.alloc();
     blas::copy(&mut checkpoint_x, x, &mut c);
-    let mut recoveries: u64 = 0;
+    let mut recoveries: u64 = resumed.map_or(0, |ctr| ctr.recoveries);
     let mut abort_error: Option<String> = None;
 
     let mut rho = C64::new(r2, 0.0);
-    let mut iterations = 0;
+    let mut iterations = resumed.map_or(0, |ctr| ctr.iterations as usize);
     let mut converged = false;
     // Stall detection: when successive reliable updates stop improving the
     // true residual, the outer precision's rounding floor has been reached
     // and further sloppy iterations are wasted.
-    let mut last_update_r2 = r2;
-    let mut stalls = 0u32;
+    let mut last_update_r2 = resumed.map_or(r2, |ctr| ctr.last_update_r2);
+    let mut stalls = resumed.map_or(0u32, |ctr| ctr.stalls);
     let mut history = Vec::new();
+
+    // Elastic checkpointing: deposit a snapshot of the just-validated
+    // state at entry (epoch continues across incarnations), so a rank
+    // death before the first reliable update still leaves a consistent
+    // resume point behind.
+    let mut ckpt_epoch: u64 = resumed.map_or(0, |ctr| ctr.epoch);
+    if sink.enabled() {
+        ckpt_epoch += 1;
+        checkpoint::deposit(
+            sink,
+            &tracer,
+            CheckpointCounters {
+                epoch: ckpt_epoch,
+                iterations: iterations as u64,
+                matvecs_hi,
+                matvecs_lo,
+                reliable_updates,
+                recoveries,
+                stalls,
+                r2,
+                maxrr,
+                last_update_r2,
+            },
+            x,
+            Some(&r_hi),
+        );
+    }
 
     while iterations < params.max_iter {
         // A fault parked by a poisoned operator (dead rank, exhausted
@@ -243,6 +321,30 @@ pub fn bicgstab_reliable<H: Precision, L: Precision>(
                 // This state passed the high-precision check: refresh the
                 // rollback checkpoint.
                 blas::copy(&mut checkpoint_x, x, &mut c);
+                // ... and deposit it for the elastic supervisor. The
+                // reliable-update decision came from a globally reduced
+                // norm, so every rank deposits this epoch.
+                if sink.enabled() {
+                    ckpt_epoch += 1;
+                    checkpoint::deposit(
+                        sink,
+                        &tracer,
+                        CheckpointCounters {
+                            epoch: ckpt_epoch,
+                            iterations: iterations as u64,
+                            matvecs_hi,
+                            matvecs_lo,
+                            reliable_updates,
+                            recoveries,
+                            stalls,
+                            r2,
+                            maxrr,
+                            last_update_r2,
+                        },
+                        x,
+                        Some(&r_hi),
+                    );
+                }
             }
             Step::Continue
         };
