@@ -9,6 +9,12 @@
 //! calibrated performance model and the fixed-seed solves), so any diff
 //! there is a real behavior change, not measurement noise. Only
 //! `"measured_wall_seconds"` varies with the host; it is informational.
+//!
+//! With `--measured` the output additionally carries `"fig_hotpath"`:
+//! wall-clock kernel times for the streamed BLAS/dslash/face-codec hot
+//! paths against their naive per-site reference shapes (see
+//! [`quda_bench::hotpath`] for the clock methodology). Also
+//! host-dependent, also informational.
 
 use quda_bench::{curve_point, PAPER_GPU_COUNTS};
 use quda_core::{PrecisionMode, Quda, QudaInvertParam};
@@ -152,6 +158,7 @@ fn recovery_json() -> String {
 }
 
 fn main() {
+    let measured = std::env::args().any(|a| a == "--measured");
     let weak24 = |gpus: usize| LatticeDims::new(24, 24, 24, 32 * gpus);
     let strong32 = |_: usize| LatticeDims::spatial_cube(32, 256);
     let strong24 = |_: usize| LatticeDims::spatial_cube(24, 128);
@@ -226,6 +233,9 @@ fn main() {
     println!("    \"lockstep_counters_match\": {}", double_plain == double_lockstep);
     println!("  }},");
     println!("  \"fig_recovery\": {},", recovery_json());
+    if measured {
+        println!("  \"fig_hotpath\": {},", quda_bench::hotpath::fig_hotpath_json());
+    }
     println!("  \"measured_wall_seconds\": {{");
     println!("    \"comment\": \"host-dependent, informational only\",");
     println!("    \"double\": {wall_double:.3},");

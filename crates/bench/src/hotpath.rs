@@ -1,0 +1,155 @@
+//! Measured wall-clock kernel times for the hot-path refactor
+//! (`fig_hotpath` in `BENCH_baseline.json`).
+//!
+//! Methodology: every interval is taken with [`quda_obs::clock::monotonic`]
+//! — the workspace's single sanctioned wall-clock source — and each kernel
+//! is timed as the **best of `REPS` repetitions** of `INNER` back-to-back
+//! calls, which suppresses scheduler noise without averaging in cold-cache
+//! outliers. The streamed kernels are the production `quda_solvers::blas`
+//! entry points after the `cargo xtask hotpath` refactor (block-slice
+//! streaming with stack tile reductions); the `naive_*` references below
+//! re-create the pre-refactor shape — one `get`/`set` round trip per site —
+//! and live in this bench crate precisely because the hotpath pass bans
+//! that shape from the hot crates. Both variants are bit-identical by
+//! construction (same arithmetic, same order), so the ratio is pure
+//! memory-path speedup.
+//!
+//! All numbers are host-dependent and informational, like
+//! `measured_wall_seconds`; the committed baseline pins the *methodology*
+//! and the shape of the section, not the timings.
+
+use quda_dirac::{dslash_cb, DslashRegion};
+use quda_fields::gauge_gen::{random_spinor_field, weak_field};
+use quda_fields::precision::{Double, Precision};
+use quda_fields::{GaugeFieldCb, SpinorFieldCb};
+use quda_lattice::geometry::{LatticeDims, Parity};
+use quda_lattice::stencil::Stencil;
+use quda_math::gamma::{GammaBasis, SpinBasis};
+use quda_math::real::Real;
+use quda_math::spinor::HALF_SPINOR_REALS;
+use quda_obs::clock;
+use quda_solvers::blas::{self, BlasCounters};
+
+/// Timed repetitions per kernel (the minimum is reported).
+const REPS: usize = 15;
+/// Back-to-back kernel calls inside one timed interval.
+const INNER: usize = 8;
+
+/// Best-of-`REPS` wall time of `INNER` calls of `f`, in microseconds per
+/// call.
+fn time_us(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = clock::monotonic();
+        for _ in 0..INNER {
+            f();
+        }
+        let dt = clock::monotonic().saturating_sub(t0);
+        best = best.min(dt.as_secs_f64());
+    }
+    best / INNER as f64 * 1e6
+}
+
+/// Pre-refactor `axpy` shape: one full get/scale/add/set round trip per
+/// site through the layout indexer.
+fn naive_axpy<P: Precision>(a: f64, x: &SpinorFieldCb<P>, y: &mut SpinorFieldCb<P>) {
+    let a = P::Arith::from_f64(a);
+    for cb in 0..x.sites() {
+        let v = y.get(cb) + x.get(cb).scale_re(a);
+        y.set(cb, &v);
+    }
+}
+
+/// Pre-refactor `xmy_norm` shape: per-site subtract plus a per-site spinor
+/// norm accumulated in site order (the exact fold the streamed kernel
+/// reproduces tile-wise).
+fn naive_xmy_norm<P: Precision>(x: &SpinorFieldCb<P>, y: &mut SpinorFieldCb<P>) -> f64 {
+    let mut acc = 0.0;
+    for cb in 0..x.sites() {
+        let v = x.get(cb) - y.get(cb);
+        y.set(cb, &v);
+        acc += v.norm_sqr();
+    }
+    acc
+}
+
+fn json_kernel(name: &str, streamed_us: f64, naive_us: f64, comma: &str) -> String {
+    format!(
+        "    \"{name}\": {{\"streamed_us\": {streamed_us:.1}, \"naive_us\": {naive_us:.1}, \
+         \"speedup\": {:.2}}}{comma}",
+        naive_us / streamed_us
+    )
+}
+
+/// Render the `fig_hotpath` JSON object (measured kernel walls).
+pub fn fig_hotpath_json() -> String {
+    let d = LatticeDims::new(16, 16, 16, 32);
+    let cfg = weak_field(d, 0.1, 77);
+    let host_x = random_spinor_field(d, 3);
+    let host_y = random_spinor_field(d, 4);
+    let mut x = SpinorFieldCb::<Double>::new(d, true);
+    let mut y = SpinorFieldCb::<Double>::new(d, true);
+    x.upload(&host_x, Parity::Odd);
+    y.upload(&host_y, Parity::Odd);
+    let mut c = BlasCounters::default();
+
+    // BLAS: streamed production kernels vs the banned per-site shape.
+    let axpy_streamed = time_us(|| blas::axpy(0.5, &x, &mut y, &mut c));
+    let axpy_naive = time_us(|| naive_axpy(0.5, &x, &mut y));
+    let xmy_streamed = time_us(|| {
+        blas::xmy_norm(&x, &mut y, &mut c);
+    });
+    let xmy_naive = time_us(|| {
+        naive_xmy_norm(&x, &mut y);
+    });
+
+    // Dslash with an open temporal boundary, interior region only — the
+    // kernel the overlap strategy runs while faces are in flight.
+    let mut gauge = GaugeFieldCb::<Double>::new(d, true);
+    gauge.upload(&cfg);
+    let stencil = Stencil::new(d, true);
+    let basis = SpinBasis::new(GammaBasis::NonRelativistic);
+    let mut out = SpinorFieldCb::<Double>::new(d, true);
+    let dslash_us = time_us(|| {
+        dslash_cb(&mut out, &gauge, &x, Parity::Even, &stencil, &basis, false, DslashRegion::All);
+    });
+    let dslash_interior_us = time_us(|| {
+        dslash_cb(
+            &mut out,
+            &gauge,
+            &x,
+            Parity::Even,
+            &stencil,
+            &basis,
+            false,
+            DslashRegion::Interior,
+        );
+    });
+
+    // Face codec round trip at double precision: encode one temporal face,
+    // decode it back into a reused scratch buffer (the `decode_face_into`
+    // form the scratch-reuse rule mandates).
+    let sites = d.half_spatial_volume();
+    let values: Vec<f64> =
+        (0..sites * HALF_SPINOR_REALS).map(|i| ((i * 37 % 101) as f64 - 50.0) * 0.01).collect();
+    let mut decoded = Vec::with_capacity(values.len());
+    let codec_us = time_us(|| {
+        let wire = quda_multigpu::encode_face::<Double>(&values);
+        quda_multigpu::decode_face_into::<Double>(&wire, sites, &mut decoded)
+            .expect("roundtrip decode");
+    });
+
+    format!(
+        "{{\n    \"comment\": \"best-of-{REPS} wall times over {INNER}-call intervals, \
+         quda-obs monotonic clock; naive = per-site get/set reference kernels kept in the \
+         bench crate (the shape `cargo xtask hotpath` bans from hot crates); host-dependent, \
+         informational only\",\n    \
+         \"lattice\": \"16x16x16x32\", \"precision\": \"double\",\n\
+         {}\n{}\n    \
+         \"dslash_all_us\": {dslash_us:.1},\n    \
+         \"dslash_interior_us\": {dslash_interior_us:.1},\n    \
+         \"face_codec_roundtrip_us\": {codec_us:.1}\n  }}",
+        json_kernel("axpy", axpy_streamed, axpy_naive, ","),
+        json_kernel("xmy_norm", xmy_streamed, xmy_naive, ","),
+    )
+}

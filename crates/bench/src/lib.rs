@@ -21,6 +21,8 @@
 
 #![warn(missing_docs)]
 
+pub mod hotpath;
+
 use quda_lattice::geometry::LatticeDims;
 use quda_multigpu::perf::{evaluate, PerfInput};
 use quda_multigpu::rank_op::CommStrategy;

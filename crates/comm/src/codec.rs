@@ -22,7 +22,7 @@ pub const FRAME_OVERHEAD: usize = 12;
 /// already established (constant-offset slicing or `chunks_exact`), keeping
 /// the hot decode paths free of panicking conversions.
 #[inline(always)]
-fn le_bytes<const N: usize>(bytes: &[u8]) -> [u8; N] {
+pub fn le_bytes<const N: usize>(bytes: &[u8]) -> [u8; N] {
     let mut a = [0u8; N];
     a.copy_from_slice(bytes);
     a

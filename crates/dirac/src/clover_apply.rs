@@ -15,11 +15,7 @@ pub fn clover_apply_cb<P: Precision>(
 ) {
     assert_eq!(out.sites(), input.sites());
     assert_eq!(term.sites(), input.sites());
-    for cb in 0..input.sites() {
-        let site = term.get(cb);
-        let result = map.apply_nr(&site, &input.get(cb));
-        out.set(cb, &result);
-    }
+    out.fill_sites(|cb| map.apply_nr(&term.get(cb), &input.get(cb)));
 }
 
 /// Fused `out[cb] = T[cb]·a[cb] + s·b[cb]` — the final combine of the
@@ -33,11 +29,7 @@ pub fn clover_axpy_cb<P: Precision>(
     map: &CloverBasisMap,
 ) {
     assert_eq!(a.sites(), b.sites());
-    for cb in 0..a.sites() {
-        let site = term.get(cb);
-        let result = map.apply_nr(&site, &a.get(cb)) + b.get(cb).scale_re(s);
-        out.set(cb, &result);
-    }
+    out.fill_sites(|cb| map.apply_nr(&term.get(cb), &a.get(cb)) + b.get(cb).scale_re(s));
 }
 
 #[cfg(test)]

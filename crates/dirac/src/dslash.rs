@@ -74,13 +74,16 @@ pub fn dslash_cb<P: Precision>(
         }
         Some((cb, dslash_site(gauge, input, out_parity, stencil, basis, dagger, cb)))
     };
-    let results: Vec<(usize, Spinor<P::Arith>)> = if sites >= PAR_THRESHOLD {
-        (0..sites).into_par_iter().filter_map(site_kernel).collect()
+    if sites >= PAR_THRESHOLD {
+        let results: Vec<(usize, Spinor<P::Arith>)> =
+            (0..sites).into_par_iter().filter_map(site_kernel).collect();
+        for (cb, sp) in results {
+            out.set(cb, &sp);
+        }
     } else {
-        (0..sites).filter_map(site_kernel).collect()
-    };
-    for (cb, sp) in results {
-        out.set(cb, &sp);
+        // Sequential launches write straight through: no intermediate
+        // buffer, so a steady-state solver iteration stays allocation-free.
+        (0..sites).filter_map(site_kernel).for_each(|(cb, sp)| out.set(cb, &sp));
     }
 }
 
@@ -261,11 +264,19 @@ pub fn dslash_site_count(stencil: &Stencil, region: DslashRegion) -> usize {
 }
 
 /// Apply a constant scale to every site: used to build `−½ D` from `D`.
+/// For the float precisions this streams the blocked storage directly
+/// (every live real is `re·s`, exactly what `scale_re` computes per
+/// component); the normalized precisions go through the site combinator.
 pub fn scale_sites<P: Precision>(field: &mut SpinorFieldCb<P>, s: P::Arith) {
-    for cb in 0..field.sites() {
-        let sp = field.get(cb).scale_re(s);
-        field.set(cb, &sp);
+    if let Some(blocks) = field.arith_blocks_mut() {
+        for b in blocks {
+            for r in b.iter_mut() {
+                *r *= s;
+            }
+        }
+        return;
     }
+    field.update_sites(|_, v| v.scale_re(s));
 }
 
 /// Re-export of [`ColorVec`] to keep kernel signatures local.

@@ -105,16 +105,20 @@ impl<P: Precision> GaugeFieldCb<P> {
         }
     }
 
-    fn link_to_reals(&self, u: &Su3<f64>) -> Vec<f64> {
+    /// Serialize `u` into `out` (stack scratch — link reads and writes sit
+    /// on the per-iteration dslash path and must not touch the heap);
+    /// returns the number of reals filled (12 compressed, 18 full).
+    fn link_to_reals(&self, u: &Su3<f64>, out: &mut [f64; 18]) -> usize {
         let rows = if self.compressed { 2 } else { 3 };
-        let mut reals = Vec::with_capacity(rows * 6);
+        let mut k = 0;
         for i in 0..rows {
             for j in 0..3 {
-                reals.push(u.m[i][j].re);
-                reals.push(u.m[i][j].im);
+                out[k] = u.m[i][j].re;
+                out[k + 1] = u.m[i][j].im;
+                k += 2;
             }
         }
-        reals
+        k
     }
 
     fn reals_to_link(&self, reals: &[f64]) -> Su3<P::Arith> {
@@ -149,30 +153,49 @@ impl<P: Precision> GaugeFieldCb<P> {
 
     /// Store the link `U_μ` at checkerboard site `cb` of `parity`.
     pub fn set_link(&mut self, parity: Parity, mu: usize, cb: usize, u: &Su3<f64>) {
-        let reals = self.link_to_reals(u);
+        let mut reals = [0.0f64; 18];
+        let n = self.link_to_reals(u, &mut reals);
         let layout = self.layout;
-        Self::write_reals(&mut self.data[parity.as_usize()][mu], &layout, (false, cb), &reals);
+        Self::write_reals(&mut self.data[parity.as_usize()][mu], &layout, (false, cb), &reals[..n]);
     }
 
     /// Load (and, if compressed, reconstruct) the link `U_μ` at `cb`.
     pub fn link(&self, parity: Parity, mu: usize, cb: usize) -> Su3<P::Arith> {
-        let mut reals = vec![0.0; self.link_reals()];
-        Self::read_reals(&self.data[parity.as_usize()][mu], &self.layout, (false, cb), &mut reals);
-        self.reals_to_link(&reals)
+        let mut reals = [0.0f64; 18];
+        let n = self.link_reals();
+        Self::read_reals(
+            &self.data[parity.as_usize()][mu],
+            &self.layout,
+            (false, cb),
+            &mut reals[..n],
+        );
+        self.reals_to_link(&reals[..n])
     }
 
     /// Store a ghost link into the pad region at `face` (Section VI-B).
     pub fn set_ghost_link(&mut self, parity: Parity, mu: usize, face: usize, u: &Su3<f64>) {
-        let reals = self.link_to_reals(u);
+        let mut reals = [0.0f64; 18];
+        let n = self.link_to_reals(u, &mut reals);
         let layout = self.layout;
-        Self::write_reals(&mut self.data[parity.as_usize()][mu], &layout, (true, face), &reals);
+        Self::write_reals(
+            &mut self.data[parity.as_usize()][mu],
+            &layout,
+            (true, face),
+            &reals[..n],
+        );
     }
 
     /// Load a ghost link from the pad region.
     pub fn ghost_link(&self, parity: Parity, mu: usize, face: usize) -> Su3<P::Arith> {
-        let mut reals = vec![0.0; self.link_reals()];
-        Self::read_reals(&self.data[parity.as_usize()][mu], &self.layout, (true, face), &mut reals);
-        self.reals_to_link(&reals)
+        let mut reals = [0.0f64; 18];
+        let n = self.link_reals();
+        Self::read_reals(
+            &self.data[parity.as_usize()][mu],
+            &self.layout,
+            (true, face),
+            &mut reals[..n],
+        );
+        self.reals_to_link(&reals[..n])
     }
 
     /// Face sites per parity of a `dir`-boundary slice.
@@ -188,14 +211,14 @@ impl<P: Precision> GaugeFieldCb<P> {
         if dir == 3 {
             return self.set_ghost_link(parity, 3, face, u);
         }
-        let n = self.link_reals();
-        let reals = self.link_to_reals(u);
+        let mut reals = [0.0f64; 18];
+        let n = self.link_to_reals(u, &mut reals);
         let fs = self.face_sites_dim(dir);
         let buf = &mut self.side_ghost[parity.as_usize()][dir];
         if buf.is_empty() {
             buf.resize(fs * n, P::Elem::default());
         }
-        for (k, &r) in reals.iter().enumerate() {
+        for (k, &r) in reals[..n].iter().enumerate() {
             buf[face * n + k] = P::store(P::Arith::from_f64(r));
         }
     }
@@ -212,11 +235,11 @@ impl<P: Precision> GaugeFieldCb<P> {
             // Never written (lazy store): identity, matching a fresh field.
             return Su3::identity();
         }
-        let mut reals = vec![0.0; n];
-        for (k, r) in reals.iter_mut().enumerate() {
+        let mut reals = [0.0f64; 18];
+        for (k, r) in reals[..n].iter_mut().enumerate() {
             *r = P::load(buf[face * n + k]).to_f64();
         }
-        self.reals_to_link(&reals)
+        self.reals_to_link(&reals[..n])
     }
 
     /// Upload an entire host configuration (both parities, all directions).

@@ -30,6 +30,22 @@ pub trait Precision: Copy + Clone + Send + Sync + 'static {
     /// Load a stored element back to the arithmetic type.
     fn load(e: Self::Elem) -> Self::Arith;
 
+    /// View a stored-element slice as arithmetic values, when storage *is*
+    /// the arithmetic type (the float precisions). `None` for the
+    /// normalized fixed-point precisions, whose elements are meaningless
+    /// without the per-site norm. This is the escape hatch that lets the
+    /// blas fast paths stream blocked storage directly instead of going
+    /// through per-site `get`/`set`.
+    fn arith_view(e: &[Self::Elem]) -> Option<&[Self::Arith]> {
+        let _ = e;
+        None
+    }
+    /// Mutable counterpart of [`Precision::arith_view`].
+    fn arith_view_mut(e: &mut [Self::Elem]) -> Option<&mut [Self::Arith]> {
+        let _ = e;
+        None
+    }
+
     /// Append the *raw storage bytes* of `e` (little-endian) to `out`.
     ///
     /// This is a bit-exact serialization of the stored element — no
@@ -77,6 +93,15 @@ impl Precision for Double {
         e
     }
 
+    #[inline(always)]
+    fn arith_view(e: &[f64]) -> Option<&[f64]> {
+        Some(e)
+    }
+    #[inline(always)]
+    fn arith_view_mut(e: &mut [f64]) -> Option<&mut [f64]> {
+        Some(e)
+    }
+
     fn elem_to_le_bytes(e: f64, out: &mut Vec<u8>) {
         out.extend_from_slice(&e.to_le_bytes());
     }
@@ -100,6 +125,15 @@ impl Precision for Single {
     #[inline(always)]
     fn load(e: f32) -> f32 {
         e
+    }
+
+    #[inline(always)]
+    fn arith_view(e: &[f32]) -> Option<&[f32]> {
+        Some(e)
+    }
+    #[inline(always)]
+    fn arith_view_mut(e: &mut [f32]) -> Option<&mut [f32]> {
+        Some(e)
     }
 
     fn elem_to_le_bytes(e: f32, out: &mut Vec<u8>) {
@@ -280,6 +314,22 @@ mod tests {
     fn float_precisions_store_exactly() {
         assert_eq!(Double::load(Double::store(0.1)), 0.1);
         assert_eq!(Single::load(Single::store(0.25f32)), 0.25);
+    }
+
+    #[test]
+    fn arith_view_is_identity_for_floats_only() {
+        let mut d = [1.0f64, -2.0];
+        assert_eq!(Double::arith_view(&d), Some(&[1.0f64, -2.0][..]));
+        assert!(Double::arith_view_mut(&mut d).is_some());
+        let mut s = [0.5f32];
+        assert_eq!(Single::arith_view(&s), Some(&[0.5f32][..]));
+        assert!(Single::arith_view_mut(&mut s).is_some());
+        let mut h = [Fixed16(100)];
+        assert!(Half::arith_view(&h).is_none());
+        assert!(Half::arith_view_mut(&mut h).is_none());
+        let mut q = [Fixed8(-3)];
+        assert!(Quarter::arith_view(&q).is_none());
+        assert!(Quarter::arith_view_mut(&mut q).is_none());
     }
 
     #[test]

@@ -228,6 +228,70 @@ impl<P: Precision> SpinorFieldCb<P> {
         }
     }
 
+    /// Per-block contiguous site storage as arithmetic values — `Some`
+    /// only for the float precisions, where the stored element *is* the
+    /// arithmetic type. Each item is one block's `n_vec × sites` live
+    /// reals; pads and the ghost end zone are excluded by construction, so
+    /// streaming kernels can consume the items directly (site `x` owns the
+    /// `n_vec` reals at `n_vec·x`, Eq. 5 with the block offset removed).
+    pub fn arith_blocks(&self) -> Option<impl Iterator<Item = &[P::Arith]>> {
+        let body = P::arith_view(&self.data[..self.layout.body_len()])?;
+        let row = self.layout.n_vec * self.layout.stride();
+        let live = self.layout.n_vec * self.layout.sites;
+        Some(body.chunks_exact(row).map(move |r| &r[..live]))
+    }
+
+    /// Mutable counterpart of [`SpinorFieldCb::arith_blocks`].
+    pub fn arith_blocks_mut(&mut self) -> Option<impl Iterator<Item = &mut [P::Arith]>> {
+        let row = self.layout.n_vec * self.layout.stride();
+        let live = self.layout.n_vec * self.layout.sites;
+        let body_len = self.layout.body_len();
+        let body = P::arith_view_mut(&mut self.data[..body_len])?;
+        Some(body.chunks_exact_mut(row).map(move |r| &mut r[..live]))
+    }
+
+    /// Sanctioned per-site write combinator: set every site to `f(cb)`.
+    /// The site loop lives here, next to the layout that defines it, so
+    /// kernel modules stay free of element-wise indexing.
+    pub fn fill_sites(&mut self, mut f: impl FnMut(usize) -> Spinor<P::Arith>) {
+        for cb in 0..self.sites() {
+            let v = f(cb);
+            self.set(cb, &v);
+        }
+    }
+
+    /// Sanctioned read-only fold over sites, in ascending site order (the
+    /// order every reduction kernel is defined to accumulate in).
+    pub fn fold_sites<A>(&self, init: A, mut f: impl FnMut(A, usize, Spinor<P::Arith>) -> A) -> A {
+        let mut acc = init;
+        for cb in 0..self.sites() {
+            acc = f(acc, cb, self.get(cb));
+        }
+        acc
+    }
+
+    /// Sanctioned read-modify-write over sites that threads an accumulator:
+    /// `f` maps `(acc, cb, old)` to `(new, acc)`; the new spinor is stored
+    /// back. This is the shape of the fused update+norm kernels.
+    pub fn update_fold_sites<A>(
+        &mut self,
+        init: A,
+        mut f: impl FnMut(A, usize, Spinor<P::Arith>) -> (Spinor<P::Arith>, A),
+    ) -> A {
+        let mut acc = init;
+        for cb in 0..self.sites() {
+            let (v, a) = f(acc, cb, self.get(cb));
+            self.set(cb, &v);
+            acc = a;
+        }
+        acc
+    }
+
+    /// Sanctioned read-modify-write over sites without an accumulator.
+    pub fn update_sites(&mut self, mut f: impl FnMut(usize, Spinor<P::Arith>) -> Spinor<P::Arith>) {
+        self.update_fold_sites((), |(), cb, v| (f(cb, v), ()));
+    }
+
     /// Zero all site data (leaves ghosts untouched).
     pub fn zero_sites(&mut self) {
         let zero = Spinor::zero();
@@ -471,6 +535,56 @@ mod tests {
         assert!((got.h[0].c[1].re - 7.0).abs() < 1e-3);
         assert!((got.h[1].c[0].im + 2.5).abs() < 1e-3);
         assert_eq!(f.side_norm[1].len(), 2 * f.face_sites_dim(1));
+    }
+
+    #[test]
+    fn arith_blocks_cover_exactly_the_live_reals() {
+        let mut f = SpinorFieldCb::<Double>::new(dims(), true);
+        for cb in 0..f.sites() {
+            f.set(cb, &sample_spinor(cb));
+        }
+        // Rebuild every site from the block view alone (Eq. 5: real n of
+        // site x sits at offset n_vec·x + n%n_vec of block n/n_vec).
+        let nv = f.layout.n_vec;
+        let blocks: Vec<Vec<f64>> = f.arith_blocks().unwrap().map(|b| b.to_vec()).collect();
+        assert_eq!(blocks.len(), f.layout.blocks());
+        for cb in 0..f.sites() {
+            let mut reals = [0.0; 24];
+            for (n, r) in reals.iter_mut().enumerate() {
+                *r = blocks[n / nv][nv * cb + n % nv];
+            }
+            assert_eq!(Spinor::from_reals(&reals), f.get(cb));
+        }
+        // Writes through the mutable view land where `get` reads.
+        for b in f.arith_blocks_mut().unwrap() {
+            for r in b.iter_mut() {
+                *r *= 2.0;
+            }
+        }
+        for cb in 0..f.sites() {
+            assert_eq!(f.get(cb), sample_spinor(cb).scale_re(2.0));
+        }
+        // Normalized precisions have no direct view.
+        let h = SpinorFieldCb::<Half>::new(dims(), false);
+        assert!(h.arith_blocks().is_none());
+    }
+
+    #[test]
+    fn combinators_match_explicit_loops() {
+        let mut f = SpinorFieldCb::<Single>::new(dims(), false);
+        f.fill_sites(|cb| sample_spinor(cb).cast());
+        for cb in 0..f.sites() {
+            assert_eq!(f.get(cb), sample_spinor(cb).cast::<f32>());
+        }
+        let n = f.fold_sites(0.0, |acc, _, v| acc + v.norm_sqr());
+        assert_eq!(n, f.norm_sqr());
+        let visited = f.update_fold_sites(0usize, |count, _, v| (v.scale_re(3.0), count + 1));
+        assert_eq!(visited, f.sites());
+        f.update_sites(|_, v| v.scale_re(1.0 / 3.0));
+        for cb in 0..f.sites() {
+            let expect = sample_spinor(cb).cast::<f32>().scale_re(3.0).scale_re(1.0 / 3.0);
+            assert_eq!(f.get(cb), expect);
+        }
     }
 
     #[test]

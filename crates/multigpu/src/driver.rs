@@ -427,6 +427,10 @@ fn run_world_elastic<H: Precision, L: Precision>(
         // Kills are generation-scoped: a schedule consumed by the previous
         // incarnation must not re-fire in the replacement world.
         let chaos = ChaosSpec {
+            // Cold elastic-recovery path: one clone per world incarnation
+            // (i.e. per rank death), never per solver iteration, and the
+            // schedule must be re-stamped with the new generation.
+            // quda-lint: allow(hot-alloc)
             plan: policy.chaos.plan.clone().map(|p| p.with_generation(generation)),
             comm: policy.chaos.comm,
             lockstep: policy.chaos.lockstep,
@@ -475,6 +479,9 @@ fn run_world_elastic<H: Precision, L: Precision>(
                 generation += 1;
                 events.push(RecoveryEvent {
                     dead_rank,
+                    // Cold: formatted once per rank death for the recovery
+                    // report, bounded by `max_rank_deaths`.
+                    // quda-lint: allow(hot-alloc)
                     cause: e.to_string(),
                     resumed_epoch: resume.as_ref().map(|g| g.epoch),
                     latency,
@@ -562,7 +569,7 @@ fn run_attempt<H: Precision, L: Precision>(
     // is marked dead by `Drop`, so peers unblock) is reported as
     // `RankPanicked` carrying the panic message — distinct from a rank the
     // fault plan killed, which reports its own `RankDead`.
-    let results: Vec<Result<_, CommError>> = handles
+    let mut results: Vec<Result<_, CommError>> = handles
         .into_iter()
         .enumerate()
         .map(|(rank, h)| match h.join() {
@@ -573,11 +580,11 @@ fn run_attempt<H: Precision, L: Precision>(
     // Prefer the root cause over cascade effects: a rank whose own thread
     // panicked, or that reports its *own* death (fault-killed), is the
     // origin; every other rank merely observed a neighbour going silent
-    // afterwards.
-    for r in results.iter() {
-        if let Err(e @ CommError::RankPanicked { .. }) = r {
-            return Err(e.clone());
-        }
+    // afterwards. Taking the error out by index moves it — no clone in the
+    // scan, and rank order of the surviving results is irrelevant past here
+    // because a panic aborts the attempt.
+    if let Some(i) = results.iter().position(|r| matches!(r, Err(CommError::RankPanicked { .. }))) {
+        results.swap_remove(i)?;
     }
     for (rank, r) in results.iter().enumerate() {
         if let Err(CommError::RankDead { rank: dead }) = r {

@@ -41,7 +41,7 @@ use quda_obs::Phase;
 
 /// Encode a gathered face (one f64 per real, `faces × 12` entries) at the
 /// wire precision of `P`.
-fn encode_face<P: Precision>(values: &[f64]) -> Bytes {
+pub fn encode_face<P: Precision>(values: &[f64]) -> Bytes {
     match (P::NEEDS_NORM, P::STORAGE_BYTES) {
         (false, 8) => quda_comm::pack_f64(values),
         (false, _) => {
@@ -74,37 +74,46 @@ fn encode_face<P: Precision>(values: &[f64]) -> Bytes {
     }
 }
 
-/// Decode a face payload back to f64 values.
+/// Decode a face payload back to f64 values, refilling `out` in place so
+/// a steady-state receive loop reuses the scratch buffer's capacity.
 ///
 /// The payload length is validated against what `sites` faces must occupy
 /// at precision `P` *before* any slicing, so a short or oversized message —
 /// whether from a faulty link or a confused peer — surfaces as a typed
-/// [`DecodeError`] instead of a panic.
-fn decode_face<P: Precision>(bytes: &[u8], sites: usize) -> Result<Vec<f64>, DecodeError> {
+/// [`DecodeError`] instead of a panic. On error `out` is left cleared.
+pub fn decode_face_into<P: Precision>(
+    bytes: &[u8],
+    sites: usize,
+    out: &mut Vec<f64>,
+) -> Result<(), DecodeError> {
+    out.clear();
     let expected = face_wire_bytes::<P>(sites);
     if bytes.len() != expected {
         return Err(DecodeError::Truncated { expected, got: bytes.len() });
     }
     match (P::NEEDS_NORM, P::STORAGE_BYTES) {
-        (false, 8) => quda_comm::unpack_f64(bytes),
-        (false, _) => Ok(quda_comm::unpack_f32(bytes)?.into_iter().map(|x| x as f64).collect()),
+        (false, 8) => {
+            out.extend(bytes.chunks_exact(8).map(|c| f64::from_le_bytes(quda_comm::le_bytes(c))));
+        }
+        (false, _) => {
+            out.extend(
+                bytes.chunks_exact(4).map(|c| f32::from_le_bytes(quda_comm::le_bytes(c)) as f64),
+            );
+        }
         (true, 1) => {
             let split = sites * HALF_SPINOR_REALS;
             let norms = quda_comm::unpack_f32(&bytes[split..])?;
             let ints: Vec<i8> = bytes[..split].iter().map(|&b| b as i8).collect();
-            let mut out = Vec::with_capacity(split);
-            half::dequantize_sites8(&ints, &norms, HALF_SPINOR_REALS, &mut out);
-            Ok(out)
+            half::dequantize_sites8(&ints, &norms, HALF_SPINOR_REALS, out);
         }
         (true, _) => {
             let split = sites * HALF_SPINOR_REALS * 2;
             let ints = quda_comm::unpack_i16(&bytes[..split])?;
             let norms = quda_comm::unpack_f32(&bytes[split..])?;
-            let mut out = Vec::with_capacity(ints.len());
-            half::dequantize_sites16(&ints, &norms, HALF_SPINOR_REALS, &mut out);
-            Ok(out)
+            half::dequantize_sites16(&ints, &norms, HALF_SPINOR_REALS, out);
         }
     }
+    Ok(())
 }
 
 /// Bytes on the wire for one face at precision `P` (used by traffic
@@ -173,6 +182,8 @@ pub fn recv_faces<P: Precision>(
 ) -> Result<(), CommError> {
     let faces = field.face_sites();
     let tracer = comm.tracer().clone();
+    // One scratch buffer serves both directions' decodes.
+    let mut values = Vec::with_capacity(faces * HALF_SPINOR_REALS);
     // From the backward neighbor: its last slice = our backward ghost.
     let from = comm.backward();
     let payload = {
@@ -183,7 +194,7 @@ pub fn recv_faces<P: Precision>(
     };
     {
         let _scatter = tracer.span(Phase::Scatter);
-        let values = decode_face::<P>(&payload, faces).map_err(|error| CommError::Decode {
+        decode_face_into::<P>(&payload, faces, &mut values).map_err(|error| CommError::Decode {
             from,
             tag: tags::FACE_T_FWD,
             error,
@@ -200,7 +211,7 @@ pub fn recv_faces<P: Precision>(
     };
     {
         let _scatter = tracer.span(Phase::Scatter);
-        let values = decode_face::<P>(&payload, faces).map_err(|error| CommError::Decode {
+        decode_face_into::<P>(&payload, faces, &mut values).map_err(|error| CommError::Decode {
             from,
             tag: tags::FACE_T_BWD,
             error,
@@ -307,6 +318,8 @@ pub fn recv_faces_dim<P: Precision>(
     let tag_fwd = tags::face(dim, true);
     let tag_bwd = tags::face(dim, false);
     let tracer = comm.tracer().clone();
+    // One scratch buffer serves both directions' decodes.
+    let mut values = Vec::with_capacity(faces * HALF_SPINOR_REALS);
     // From the backward neighbor: its last slice = our backward ghost.
     let from = plan.neighbor(rank, dim, false);
     let payload = {
@@ -317,7 +330,7 @@ pub fn recv_faces_dim<P: Precision>(
     };
     {
         let _scatter = tracer.span(Phase::Scatter);
-        let values = decode_face::<P>(&payload, faces).map_err(|error| CommError::Decode {
+        decode_face_into::<P>(&payload, faces, &mut values).map_err(|error| CommError::Decode {
             from,
             tag: tag_fwd,
             error,
@@ -334,7 +347,7 @@ pub fn recv_faces_dim<P: Precision>(
     };
     {
         let _scatter = tracer.span(Phase::Scatter);
-        let values = decode_face::<P>(&payload, faces).map_err(|error| CommError::Decode {
+        decode_face_into::<P>(&payload, faces, &mut values).map_err(|error| CommError::Decode {
             from,
             tag: tag_bwd,
             error,
@@ -399,9 +412,10 @@ pub fn exchange_gauge_ghosts<P: Precision>(
     dims: LatticeDims,
 ) -> Result<(), CommError> {
     let half_vs = dims.half_spatial_volume();
+    let mut flat = Vec::with_capacity(half_vs * 18);
     for parity in [Parity::Even, Parity::Odd] {
         let tag = tags::gauge(parity.as_usize());
-        let mut flat = Vec::with_capacity(half_vs * 18);
+        flat.clear();
         for face in 0..half_vs {
             let cb = (dims.t - 1) * half_vs + face;
             let u: Su3<f64> = gauge.link(parity, DIR_T, cb).cast();
@@ -452,13 +466,16 @@ pub fn exchange_gauge_ghosts_grid<P: Precision>(
 ) -> Result<(), CommError> {
     let dims = plan.local_dims();
     let rank = comm.rank();
+    let max_faces =
+        plan.active_dims().map(|d| Stencil::face_sites_dim(&dims, d)).max().unwrap_or(0);
+    let mut flat = Vec::with_capacity(max_faces * 18);
     for dim in plan.active_dims() {
         let faces = Stencil::face_sites_dim(&dims, dim);
         let to = plan.neighbor(rank, dim, true);
         let from = plan.neighbor(rank, dim, false);
         for parity in [Parity::Even, Parity::Odd] {
             let tag = tags::gauge_dim(dim, parity.as_usize());
-            let mut flat = Vec::with_capacity(faces * 18);
+            flat.clear();
             for face in 0..faces {
                 let c = Stencil::face_coord(&dims, dim, parity, dims.extent(dim) - 1, face);
                 let u: Su3<f64> = gauge.link(parity, dim, dims.cb_index(c)).cast();

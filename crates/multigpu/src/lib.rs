@@ -42,8 +42,8 @@ pub use driver::{
     SolverKind, TracedSolve,
 };
 pub use ghost::{
-    exchange_gauge_ghosts, exchange_gauge_ghosts_grid, exchange_spinor_ghosts,
-    exchange_spinor_ghosts_grid, face_wire_bytes, face_wire_bytes_dyn,
+    decode_face_into, encode_face, exchange_gauge_ghosts, exchange_gauge_ghosts_grid,
+    exchange_spinor_ghosts, exchange_spinor_ghosts_grid, face_wire_bytes, face_wire_bytes_dyn,
 };
 pub use multidim::{best_grid, sustained_gflops_grid, ProcessGrid};
 pub use perf::{evaluate, min_gpus, solver_memory_per_gpu, PerfInput, PerfReport};

@@ -78,7 +78,8 @@ pub fn bicgstab_ckpt<P: Precision>(
     let mut rho = C64::new(r_norm2, 0.0); // <r0, r> with r0 = r.
     let mut iterations = resumed.map_or(0, |ctr| ctr.iterations as usize);
     let mut converged = r_norm2 <= target2;
-    let mut history = Vec::new();
+    // Sized for the worst case so steady-state pushes never reallocate.
+    let mut history = Vec::with_capacity(params.max_iter);
     let mut abort_error: Option<String> = None;
     let mut ckpt_epoch: u64 = resumed.map_or(0, |ctr| ctr.epoch);
     let save = |sink: &mut dyn CheckpointSink,

@@ -9,11 +9,21 @@
 //!
 //! All reductions run over data sites only — the ghost end zone is excluded
 //! by construction (Section VI-C).
+//!
+//! Each kernel has two implementations with bit-identical results:
+//!
+//! * a [`fast`] path for the float precisions, which streams the blocked
+//!   storage (Eq. 5) directly through `arith_blocks` — contiguous slices,
+//!   no per-real index computation, no bounds checks in the hot loop;
+//! * a per-site fallback for the normalized fixed-point precisions, built
+//!   on the sanctioned `SpinorFieldCb` combinators (`fill_sites`,
+//!   `fold_sites`, `update_fold_sites`), which own the quantization.
 
 use quda_fields::precision::Precision;
 use quda_fields::SpinorFieldCb;
 use quda_math::complex::{Complex, C64};
 use quda_math::real::Real;
+use quda_math::spinor::Spinor;
 
 /// Identity of a fused kernel, with per-site costs for the perf model.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -93,12 +103,320 @@ pub const OP_CDOT_NORM: BlasOp = BlasOp {
     is_reduction: true,
 };
 
+/// Direct streaming implementations over the blocked float storage.
+///
+/// Every routine here is bit-identical to the per-site combinator path:
+/// the element-wise kernels apply the same scalar operations to the same
+/// stored reals (storage *is* the arithmetic type, `get`/`set` are pure
+/// load/store), and the reduction kernels replay the exact accumulation
+/// tree of `Spinor::norm_sqr`/`Spinor::dot` — per-colorvec partials
+/// folded from zero in ascending complex order, a four-way fold per site,
+/// and a global fold in ascending site order — out of tile-sized stack
+/// partials. No heap allocation anywhere, so steady-state solver
+/// iterations stay allocation-free.
+mod fast {
+    use super::*;
+
+    /// Sites per reduction tile: bounds the stack partials while letting
+    /// every block row be streamed in long contiguous runs.
+    const TILE: usize = 64;
+    /// Upper bound on `layout.blocks()` (24 reals/site, scalar worst case).
+    const MAX_BLOCKS: usize = 24;
+
+    /// Gather the per-block body slices into a stack array; `None` when
+    /// the precision has no direct arithmetic view.
+    fn blocks_of<'a, P: Precision>(
+        f: &'a SpinorFieldCb<P>,
+        out: &mut [&'a [P::Arith]; MAX_BLOCKS],
+    ) -> Option<usize> {
+        let mut n = 0;
+        for (slot, b) in out.iter_mut().zip(f.arith_blocks()?) {
+            *slot = b;
+            n += 1;
+        }
+        Some(n)
+    }
+
+    /// Zero every live real.
+    pub fn fill_zero<P: Precision>(x: &mut SpinorFieldCb<P>) -> bool {
+        let Some(blocks) = x.arith_blocks_mut() else { return false };
+        for b in blocks {
+            b.fill(P::Arith::ZERO);
+        }
+        true
+    }
+
+    /// `dst ← src` over every live real.
+    pub fn copy<P: Precision>(dst: &mut SpinorFieldCb<P>, src: &SpinorFieldCb<P>) -> bool {
+        let Some(s) = src.arith_blocks() else { return false };
+        let Some(d) = dst.arith_blocks_mut() else { return false };
+        for (db, sb) in d.zip(s) {
+            db.copy_from_slice(sb);
+        }
+        true
+    }
+
+    /// `y_i ← f(x_i, y_i)` over every live real.
+    pub fn zip2<P: Precision>(
+        x: &SpinorFieldCb<P>,
+        y: &mut SpinorFieldCb<P>,
+        f: impl Fn(P::Arith, P::Arith) -> P::Arith,
+    ) -> bool {
+        let Some(xb) = x.arith_blocks() else { return false };
+        let Some(yb) = y.arith_blocks_mut() else { return false };
+        for (xs, ys) in xb.zip(yb) {
+            for (xv, yv) in xs.iter().zip(ys.iter_mut()) {
+                *yv = f(*xv, *yv);
+            }
+        }
+        true
+    }
+
+    /// `y_k ← f(x_k, y_k)` over every live complex.
+    pub fn zip2c<P: Precision>(
+        x: &SpinorFieldCb<P>,
+        y: &mut SpinorFieldCb<P>,
+        f: impl Fn(Complex<P::Arith>, Complex<P::Arith>) -> Complex<P::Arith>,
+    ) -> bool {
+        let Some(xb) = x.arith_blocks() else { return false };
+        let Some(yb) = y.arith_blocks_mut() else { return false };
+        for (xs, ys) in xb.zip(yb) {
+            for (xz, yz) in xs.chunks_exact(2).zip(ys.chunks_exact_mut(2)) {
+                let v = f(Complex::new(xz[0], xz[1]), Complex::new(yz[0], yz[1]));
+                yz[0] = v.re;
+                yz[1] = v.im;
+            }
+        }
+        true
+    }
+
+    /// `w_k ← f(u_k, v_k, w_k)` over every live complex.
+    pub fn zip3c<P: Precision>(
+        u: &SpinorFieldCb<P>,
+        v: &SpinorFieldCb<P>,
+        w: &mut SpinorFieldCb<P>,
+        f: impl Fn(Complex<P::Arith>, Complex<P::Arith>, Complex<P::Arith>) -> Complex<P::Arith>,
+    ) -> bool {
+        let Some(ub) = u.arith_blocks() else { return false };
+        let Some(vb) = v.arith_blocks() else { return false };
+        let Some(wb) = w.arith_blocks_mut() else { return false };
+        for ((us, vs), ws) in ub.zip(vb).zip(wb) {
+            for ((uz, vz), wz) in
+                us.chunks_exact(2).zip(vs.chunks_exact(2)).zip(ws.chunks_exact_mut(2))
+            {
+                let r = f(
+                    Complex::new(uz[0], uz[1]),
+                    Complex::new(vz[0], vz[1]),
+                    Complex::new(wz[0], wz[1]),
+                );
+                wz[0] = r.re;
+                wz[1] = r.im;
+            }
+        }
+        true
+    }
+
+    /// Fold a tile's four colorvec partials per site and accumulate into
+    /// `acc`, replaying `Spinor::norm_sqr`'s four-way fold and the
+    /// site-order global fold.
+    fn fold_tile(partial: &[[f64; TILE]; 4], tl: usize, acc: &mut f64) {
+        let [p0, p1, p2, p3] = partial;
+        for (((&a0, &a1), &a2), &a3) in p0.iter().zip(p1).zip(p2).zip(p3).take(tl) {
+            let mut site = 0.0;
+            site += a0;
+            site += a1;
+            site += a2;
+            site += a3;
+            *acc += site;
+        }
+    }
+
+    /// Complex counterpart of [`fold_tile`] for `Spinor::dot`.
+    fn fold_tile_c(partial: &[[C64; TILE]; 4], tl: usize, acc: &mut C64) {
+        let [p0, p1, p2, p3] = partial;
+        for (((&a0, &a1), &a2), &a3) in p0.iter().zip(p1).zip(p2).zip(p3).take(tl) {
+            let mut site = C64::zero();
+            site += a0;
+            site += a1;
+            site += a2;
+            site += a3;
+            *acc += site;
+        }
+    }
+
+    /// `‖x‖²` with the exact per-site fold tree.
+    pub fn norm2<P: Precision>(x: &SpinorFieldCb<P>) -> Option<f64> {
+        let mut blk: [&[P::Arith]; MAX_BLOCKS] = [&[]; MAX_BLOCKS];
+        let nb = blocks_of(x, &mut blk)?;
+        let nv = x.layout.n_vec;
+        let half = nv / 2;
+        if half == 0 {
+            return None;
+        }
+        let sites = x.sites();
+        let mut n = 0.0;
+        let mut t0 = 0;
+        while t0 < sites {
+            let tl = TILE.min(sites - t0);
+            // partial[cv][t] accumulates colorvec cv's complex norms of
+            // tile site t in ascending complex order — the fold of
+            // ColorVec::norm_sqr, started from 0.0.
+            let mut partial = [[0.0f64; TILE]; 4];
+            for (b, &body) in blk.iter().take(nb).enumerate() {
+                let seg = &body[nv * t0..nv * (t0 + tl)];
+                for (t, site) in seg.chunks_exact(nv).enumerate() {
+                    for (c, z) in site.chunks_exact(2).enumerate() {
+                        let cv = (b * half + c) / 3;
+                        partial[cv][t] += Complex::new(z[0], z[1]).norm_sqr().to_f64();
+                    }
+                }
+            }
+            fold_tile(&partial, tl, &mut n);
+            t0 += TILE;
+        }
+        Some(n)
+    }
+
+    /// `⟨x, y⟩` with the exact per-site fold tree.
+    pub fn cdot<P: Precision>(x: &SpinorFieldCb<P>, y: &SpinorFieldCb<P>) -> Option<C64> {
+        let mut xblk: [&[P::Arith]; MAX_BLOCKS] = [&[]; MAX_BLOCKS];
+        let mut yblk: [&[P::Arith]; MAX_BLOCKS] = [&[]; MAX_BLOCKS];
+        let nb = blocks_of(x, &mut xblk)?;
+        blocks_of(y, &mut yblk)?;
+        let nv = x.layout.n_vec;
+        let half = nv / 2;
+        if half == 0 {
+            return None;
+        }
+        let sites = x.sites();
+        let mut acc = C64::zero();
+        let mut t0 = 0;
+        while t0 < sites {
+            let tl = TILE.min(sites - t0);
+            let mut partial = [[C64::zero(); TILE]; 4];
+            for (b, (&xs, &ys)) in xblk.iter().zip(yblk.iter()).take(nb).enumerate() {
+                let xseg = &xs[nv * t0..nv * (t0 + tl)];
+                let yseg = &ys[nv * t0..nv * (t0 + tl)];
+                for (t, (xsite, ysite)) in
+                    xseg.chunks_exact(nv).zip(yseg.chunks_exact(nv)).enumerate()
+                {
+                    for (c, (xz, yz)) in
+                        xsite.chunks_exact(2).zip(ysite.chunks_exact(2)).enumerate()
+                    {
+                        let cv = (b * half + c) / 3;
+                        let xv = Complex::new(xz[0], xz[1]).cast::<f64>();
+                        let yv = Complex::new(yz[0], yz[1]).cast::<f64>();
+                        partial[cv][t] += xv.conj() * yv;
+                    }
+                }
+            }
+            fold_tile_c(&partial, tl, &mut acc);
+            t0 += TILE;
+        }
+        Some(acc)
+    }
+
+    /// Fused `(⟨x, y⟩, ‖x‖²)` with the exact per-site fold trees.
+    pub fn cdot_norm_a<P: Precision>(
+        x: &SpinorFieldCb<P>,
+        y: &SpinorFieldCb<P>,
+    ) -> Option<(C64, f64)> {
+        let mut xblk: [&[P::Arith]; MAX_BLOCKS] = [&[]; MAX_BLOCKS];
+        let mut yblk: [&[P::Arith]; MAX_BLOCKS] = [&[]; MAX_BLOCKS];
+        let nb = blocks_of(x, &mut xblk)?;
+        blocks_of(y, &mut yblk)?;
+        let nv = x.layout.n_vec;
+        let half = nv / 2;
+        if half == 0 {
+            return None;
+        }
+        let sites = x.sites();
+        let mut dot = C64::zero();
+        let mut n = 0.0;
+        let mut t0 = 0;
+        while t0 < sites {
+            let tl = TILE.min(sites - t0);
+            let mut dpart = [[C64::zero(); TILE]; 4];
+            let mut npart = [[0.0f64; TILE]; 4];
+            for (b, (&xs, &ys)) in xblk.iter().zip(yblk.iter()).take(nb).enumerate() {
+                let xseg = &xs[nv * t0..nv * (t0 + tl)];
+                let yseg = &ys[nv * t0..nv * (t0 + tl)];
+                for (t, (xsite, ysite)) in
+                    xseg.chunks_exact(nv).zip(yseg.chunks_exact(nv)).enumerate()
+                {
+                    for (c, (xz, yz)) in
+                        xsite.chunks_exact(2).zip(ysite.chunks_exact(2)).enumerate()
+                    {
+                        let cv = (b * half + c) / 3;
+                        let xa = Complex::new(xz[0], xz[1]);
+                        let xv = xa.cast::<f64>();
+                        let yv = Complex::new(yz[0], yz[1]).cast::<f64>();
+                        dpart[cv][t] += xv.conj() * yv;
+                        npart[cv][t] += xa.norm_sqr().to_f64();
+                    }
+                }
+            }
+            fold_tile_c(&dpart, tl, &mut dot);
+            fold_tile(&npart, tl, &mut n);
+            t0 += TILE;
+        }
+        Some((dot, n))
+    }
+
+    /// Fused `y_k ← f(x_k, y_k); return ‖y‖²` with the exact fold tree —
+    /// the shape of `xmay_norm`, `xmy_norm` and `caxpy_norm`.
+    pub fn zip2c_norm<P: Precision>(
+        x: &SpinorFieldCb<P>,
+        y: &mut SpinorFieldCb<P>,
+        f: impl Fn(Complex<P::Arith>, Complex<P::Arith>) -> Complex<P::Arith>,
+    ) -> Option<f64> {
+        let mut xblk: [&[P::Arith]; MAX_BLOCKS] = [&[]; MAX_BLOCKS];
+        let nb = blocks_of(x, &mut xblk)?;
+        let nv = y.layout.n_vec;
+        let half = nv / 2;
+        if half == 0 {
+            return None;
+        }
+        let row = nv * y.layout.stride();
+        let live = nv * y.layout.sites;
+        let body_len = y.layout.body_len();
+        let ybody = P::arith_view_mut(&mut y.data[..body_len])?;
+        let sites = x.sites();
+        let mut n = 0.0;
+        let mut t0 = 0;
+        while t0 < sites {
+            let tl = TILE.min(sites - t0);
+            let mut partial = [[0.0f64; TILE]; 4];
+            for (b, yrow) in ybody.chunks_exact_mut(row).take(nb).enumerate() {
+                let yseg = &mut yrow[..live][nv * t0..nv * (t0 + tl)];
+                let xseg = &xblk[b][nv * t0..nv * (t0 + tl)];
+                for (t, (xsite, ysite)) in
+                    xseg.chunks_exact(nv).zip(yseg.chunks_exact_mut(nv)).enumerate()
+                {
+                    for (c, (xz, yz)) in
+                        xsite.chunks_exact(2).zip(ysite.chunks_exact_mut(2)).enumerate()
+                    {
+                        let v = f(Complex::new(xz[0], xz[1]), Complex::new(yz[0], yz[1]));
+                        yz[0] = v.re;
+                        yz[1] = v.im;
+                        let cv = (b * half + c) / 3;
+                        partial[cv][t] += v.norm_sqr().to_f64();
+                    }
+                }
+            }
+            fold_tile(&partial, tl, &mut n);
+            t0 += TILE;
+        }
+        Some(n)
+    }
+}
+
 /// Set every site to zero.
 pub fn zero<P: Precision>(x: &mut SpinorFieldCb<P>) {
-    let z = quda_math::spinor::Spinor::zero();
-    for cb in 0..x.sites() {
-        x.set(cb, &z);
+    if fast::fill_zero(x) {
+        return;
     }
+    x.fill_sites(|_| Spinor::zero());
 }
 
 /// `dst ← src`.
@@ -108,8 +426,8 @@ pub fn copy<P: Precision>(
     c: &mut BlasCounters,
 ) {
     debug_assert_eq!(dst.sites(), src.sites());
-    for cb in 0..src.sites() {
-        dst.set(cb, &src.get(cb));
+    if !fast::copy(dst, src) {
+        dst.fill_sites(|cb| src.get(cb));
     }
     c.charge(&OP_COPY, src.sites());
 }
@@ -122,9 +440,8 @@ pub fn axpy<P: Precision>(
     c: &mut BlasCounters,
 ) {
     let a = P::Arith::from_f64(a);
-    for cb in 0..x.sites() {
-        let v = y.get(cb) + x.get(cb).scale_re(a);
-        y.set(cb, &v);
+    if !fast::zip2(x, y, |xv, yv| yv + xv * a) {
+        y.update_sites(|cb, yv| yv + x.get(cb).scale_re(a));
     }
     c.charge(&OP_AXPY, x.sites());
 }
@@ -137,9 +454,8 @@ pub fn xpay<P: Precision>(
     c: &mut BlasCounters,
 ) {
     let a = P::Arith::from_f64(a);
-    for cb in 0..x.sites() {
-        let v = x.get(cb) + y.get(cb).scale_re(a);
-        y.set(cb, &v);
+    if !fast::zip2(x, y, |xv, yv| xv + yv * a) {
+        y.update_sites(|cb, yv| x.get(cb) + yv.scale_re(a));
     }
     c.charge(&OP_XPAY, x.sites());
 }
@@ -152,9 +468,8 @@ pub fn caxpy<P: Precision>(
     c: &mut BlasCounters,
 ) {
     let a = cast_c::<P>(a);
-    for cb in 0..x.sites() {
-        let v = y.get(cb) + x.get(cb).scale(a);
-        y.set(cb, &v);
+    if !fast::zip2c(x, y, |xz, yz| yz + xz * a) {
+        y.update_sites(|cb, yv| yv + x.get(cb).scale(a));
     }
     c.charge(&OP_CAXPY, x.sites());
 }
@@ -171,9 +486,8 @@ pub fn cxpaypbz<P: Precision>(
 ) {
     let a = cast_c::<P>(a);
     let b = cast_c::<P>(b);
-    for cb in 0..x.sites() {
-        let v = x.get(cb) + y.get(cb).scale(a) + z.get(cb).scale(b);
-        z.set(cb, &v);
+    if !fast::zip3c(x, y, z, |xz, yz, zz| xz + yz * a + zz * b) {
+        z.update_sites(|cb, zv| x.get(cb) + y.get(cb).scale(a) + zv.scale(b));
     }
     c.charge(&OP_CXPAYPBZ, x.sites());
 }
@@ -189,9 +503,8 @@ pub fn caxpbypz<P: Precision>(
 ) {
     let a = cast_c::<P>(a);
     let b = cast_c::<P>(b);
-    for cb in 0..p.sites() {
-        let v = x.get(cb) + p.get(cb).scale(a) + s.get(cb).scale(b);
-        x.set(cb, &v);
+    if !fast::zip3c(p, s, x, |pz, sz, xz| xz + pz * a + sz * b) {
+        x.update_sites(|cb, xv| xv + p.get(cb).scale(a) + s.get(cb).scale(b));
     }
     c.charge(&OP_CAXPBYPZ, p.sites());
 }
@@ -199,17 +512,19 @@ pub fn caxpbypz<P: Precision>(
 /// `‖x‖²` with f64 accumulation (local part; the parallel solver allreduces).
 pub fn norm2<P: Precision>(x: &SpinorFieldCb<P>, c: &mut BlasCounters) -> f64 {
     c.charge(&OP_NORM2, x.sites());
-    (0..x.sites()).map(|cb| x.get(cb).norm_sqr()).sum()
+    match fast::norm2(x) {
+        Some(n) => n,
+        None => x.fold_sites(0.0, |n, _, v| n + v.norm_sqr()),
+    }
 }
 
 /// `⟨x, y⟩` with f64 accumulation (local part).
 pub fn cdot<P: Precision>(x: &SpinorFieldCb<P>, y: &SpinorFieldCb<P>, c: &mut BlasCounters) -> C64 {
     c.charge(&OP_CDOT, x.sites());
-    let mut acc = C64::zero();
-    for cb in 0..x.sites() {
-        acc += x.get(cb).dot(&y.get(cb));
+    match fast::cdot(x, y) {
+        Some(d) => d,
+        None => x.fold_sites(C64::zero(), |acc, cb, xv| acc + xv.dot(&y.get(cb))),
     }
-    acc
 }
 
 /// Fused `y ← x − a·y; return ‖y‖²` (BiCGstab's `s = r − α v` step).
@@ -220,12 +535,13 @@ pub fn xmay_norm<P: Precision>(
     c: &mut BlasCounters,
 ) -> f64 {
     let ac = cast_c::<P>(a);
-    let mut n = 0.0;
-    for cb in 0..x.sites() {
-        let v = x.get(cb) - y.get(cb).scale(ac);
-        n += v.norm_sqr();
-        y.set(cb, &v);
-    }
+    let n = match fast::zip2c_norm(x, y, |xz, yz| xz - yz * ac) {
+        Some(n) => n,
+        None => y.update_fold_sites(0.0, |n, cb, yv| {
+            let v = x.get(cb) - yv.scale(ac);
+            (v, n + v.norm_sqr())
+        }),
+    };
     c.charge(&OP_XMAY_NORM, x.sites());
     n
 }
@@ -239,12 +555,13 @@ pub fn xmy_norm<P: Precision>(
     y: &mut SpinorFieldCb<P>,
     c: &mut BlasCounters,
 ) -> f64 {
-    let mut n = 0.0;
-    for cb in 0..x.sites() {
-        let v = x.get(cb) - y.get(cb);
-        n += v.norm_sqr();
-        y.set(cb, &v);
-    }
+    let n = match fast::zip2c_norm(x, y, |xz, yz| xz - yz) {
+        Some(n) => n,
+        None => y.update_fold_sites(0.0, |n, cb, yv| {
+            let v = x.get(cb) - yv;
+            (v, n + v.norm_sqr())
+        }),
+    };
     c.charge(&OP_XMAY_NORM, x.sites());
     n
 }
@@ -262,12 +579,13 @@ pub fn caxpy_norm<P: Precision>(
     c: &mut BlasCounters,
 ) -> f64 {
     let ac = cast_c::<P>(a);
-    let mut n = 0.0;
-    for cb in 0..x.sites() {
-        let v = y.get(cb) + x.get(cb).scale(ac);
-        n += v.norm_sqr();
-        y.set(cb, &v);
-    }
+    let n = match fast::zip2c_norm(x, y, |xz, yz| yz + xz * ac) {
+        Some(n) => n,
+        None => y.update_fold_sites(0.0, |n, cb, yv| {
+            let v = yv + x.get(cb).scale(ac);
+            (v, n + v.norm_sqr())
+        }),
+    };
     c.charge(&OP_CAXPY_NORM, x.sites());
     n
 }
@@ -279,14 +597,12 @@ pub fn cdot_norm_a<P: Precision>(
     c: &mut BlasCounters,
 ) -> (C64, f64) {
     c.charge(&OP_CDOT_NORM, x.sites());
-    let mut dot = C64::zero();
-    let mut n = 0.0;
-    for cb in 0..x.sites() {
-        let xs = x.get(cb);
-        dot += xs.dot(&y.get(cb));
-        n += xs.norm_sqr();
+    match fast::cdot_norm_a(x, y) {
+        Some(r) => r,
+        None => x.fold_sites((C64::zero(), 0.0), |(dot, n), cb, xs| {
+            (dot + xs.dot(&y.get(cb)), n + xs.norm_sqr())
+        }),
     }
-    (dot, n)
 }
 
 #[inline(always)]
@@ -298,7 +614,7 @@ fn cast_c<P: Precision>(a: C64) -> Complex<P::Arith> {
 mod tests {
     use super::*;
     use quda_fields::gauge_gen::random_spinor_field;
-    use quda_fields::precision::{Double, Single};
+    use quda_fields::precision::{Double, Half, Single};
     use quda_lattice::geometry::{LatticeDims, Parity};
 
     fn dims() -> LatticeDims {
@@ -308,6 +624,19 @@ mod tests {
     fn field(seed: u64) -> SpinorFieldCb<Double> {
         let host = random_spinor_field(dims(), seed);
         let mut f = SpinorFieldCb::new(dims(), false);
+        f.upload(&host, Parity::Odd);
+        f
+    }
+
+    /// A lattice whose site count is not a multiple of the reduction tile,
+    /// so the partial-tile tail path is exercised.
+    fn odd_dims() -> LatticeDims {
+        LatticeDims::new(4, 4, 2, 6)
+    }
+
+    fn field_p<P: Precision>(d: LatticeDims, seed: u64) -> SpinorFieldCb<P> {
+        let host = random_spinor_field(d, seed);
+        let mut f = SpinorFieldCb::new(d, false);
         f.upload(&host, Parity::Odd);
         f
     }
@@ -436,5 +765,98 @@ mod tests {
         let mut c = BlasCounters::default();
         let n = norm2(&x, &mut c);
         assert_eq!(n, x.sites() as f64);
+    }
+
+    /// The fast streaming paths must reproduce the per-site reference
+    /// *bit for bit*: same reals, same operations, same fold order. This
+    /// is what keeps solver trajectories byte-stable across the refactor.
+    fn assert_fast_paths_bit_identical<P: Precision>(d: LatticeDims) {
+        let x = field_p::<P>(d, 31);
+        let y0 = field_p::<P>(d, 32);
+        let mut c = BlasCounters::default();
+        let a = C64::new(0.375, -1.25);
+        let ar = 0.8125;
+
+        // norm2 / cdot / cdot_norm_a against explicit per-site folds.
+        let mut n_ref = 0.0;
+        let mut d_ref = C64::zero();
+        for cb in 0..x.sites() {
+            n_ref += x.get(cb).norm_sqr();
+            d_ref += x.get(cb).dot(&y0.get(cb));
+        }
+        assert_eq!(norm2(&x, &mut c).to_bits(), n_ref.to_bits());
+        let dd = cdot(&x, &y0, &mut c);
+        assert_eq!((dd.re.to_bits(), dd.im.to_bits()), (d_ref.re.to_bits(), d_ref.im.to_bits()));
+        let (dn, nn) = cdot_norm_a(&x, &y0, &mut c);
+        assert_eq!(dn.re.to_bits(), d_ref.re.to_bits());
+        assert_eq!(nn.to_bits(), n_ref.to_bits());
+
+        // Element-wise kernels against a per-site get/set replay.
+        let mut y = y0.clone();
+        let mut y_ref = y0.clone();
+        axpy(ar, &x, &mut y, &mut c);
+        let art = P::Arith::from_f64(ar);
+        for cb in 0..x.sites() {
+            let v = y_ref.get(cb) + x.get(cb).scale_re(art);
+            y_ref.set(cb, &v);
+        }
+        for cb in 0..x.sites() {
+            assert_eq!(y.get(cb), y_ref.get(cb), "axpy site {cb}");
+        }
+        caxpy(a, &x, &mut y, &mut c);
+        let act = Complex::new(P::Arith::from_f64(a.re), P::Arith::from_f64(a.im));
+        for cb in 0..x.sites() {
+            let v = y_ref.get(cb) + x.get(cb).scale(act);
+            y_ref.set(cb, &v);
+        }
+        for cb in 0..x.sites() {
+            assert_eq!(y.get(cb), y_ref.get(cb), "caxpy site {cb}");
+        }
+
+        // Fused write+norm kernel against a per-site replay.
+        let n = xmay_norm(&x, a, &mut y, &mut c);
+        let mut n_ref2 = 0.0;
+        for cb in 0..x.sites() {
+            let v = x.get(cb) - y_ref.get(cb).scale(act);
+            n_ref2 += v.norm_sqr();
+            y_ref.set(cb, &v);
+        }
+        assert_eq!(n.to_bits(), n_ref2.to_bits());
+        for cb in 0..x.sites() {
+            assert_eq!(y.get(cb), y_ref.get(cb), "xmay_norm site {cb}");
+        }
+    }
+
+    #[test]
+    fn fast_paths_bit_identical_double() {
+        assert_fast_paths_bit_identical::<Double>(dims());
+        assert_fast_paths_bit_identical::<Double>(odd_dims());
+    }
+
+    #[test]
+    fn fast_paths_bit_identical_single() {
+        assert_fast_paths_bit_identical::<Single>(dims());
+        assert_fast_paths_bit_identical::<Single>(odd_dims());
+    }
+
+    #[test]
+    fn half_precision_fallback_still_works() {
+        // Half has no direct view; the combinator path carries it.
+        let x = field_p::<Half>(odd_dims(), 41);
+        let mut y = field_p::<Half>(odd_dims(), 42);
+        let y0 = y.clone();
+        let mut c = BlasCounters::default();
+        axpy(0.5, &x, &mut y, &mut c);
+        for cb in 0..x.sites() {
+            let expect = y0.get(cb) + x.get(cb).scale_re(0.5);
+            let bound = expect.max_abs() / 16000.0 + 1e-5;
+            assert!((y.get(cb) - expect).max_abs() <= bound);
+        }
+        let n = norm2(&x, &mut c);
+        let mut n_ref = 0.0;
+        for cb in 0..x.sites() {
+            n_ref += x.get(cb).norm_sqr();
+        }
+        assert_eq!(n.to_bits(), n_ref.to_bits());
     }
 }

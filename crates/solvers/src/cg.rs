@@ -98,7 +98,8 @@ pub fn cgnr_ckpt<P: Precision>(
     let mut iterations = resumed.map_or(0, |ctr| ctr.iterations as usize);
     let mut ckpt_epoch: u64 = resumed.map_or(0, |ctr| ctr.epoch);
     let mut converged = rsq <= target2;
-    let mut history = Vec::new();
+    // Sized for the worst case so steady-state pushes never reallocate.
+    let mut history = Vec::with_capacity(params.max_iter);
     // Deposit an elastic checkpoint (iterate only; CGNR resumes warm-start).
     let save = |sink: &mut dyn CheckpointSink,
                 epoch: &mut u64,
@@ -162,6 +163,9 @@ pub fn cgnr_ckpt<P: Precision>(
             }
             recoveries += 1;
             if recoveries > crate::mixed::MAX_RECOVERIES {
+                // Formatted at most once per solve, on the abort path that
+                // ends the iteration loop.
+                // quda-lint: allow(hot-alloc)
                 abort_error = Some(format!(
                     "corrupted solver state persisted after {} rollbacks",
                     crate::mixed::MAX_RECOVERIES

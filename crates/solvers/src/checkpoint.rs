@@ -433,6 +433,9 @@ fn read_payload(cur: &mut Cursor<'_>) -> Result<FieldPayload, CheckpointError> {
     let mut sections: [Vec<u8>; 8] = Default::default();
     for s in &mut sections {
         let len = cur.u64()? as usize;
+        // Restore is a deposit boundary: the payload must own its bytes
+        // beyond the borrowed wire buffer, once per section per rollback.
+        // quda-lint: allow(hot-alloc)
         *s = cur.take(len)?.to_vec();
     }
     let [data, norm, sg0, sg1, sg2, sn0, sn1, sn2] = sections;

@@ -196,7 +196,8 @@ pub fn bicgstab_reliable_ckpt<H: Precision, L: Precision>(
     // and further sloppy iterations are wasted.
     let mut last_update_r2 = resumed.map_or(r2, |ctr| ctr.last_update_r2);
     let mut stalls = resumed.map_or(0u32, |ctr| ctr.stalls);
-    let mut history = Vec::new();
+    // Sized for the worst case so steady-state pushes never reallocate.
+    let mut history = Vec::with_capacity(params.max_iter);
 
     // Elastic checkpointing: deposit a snapshot of the just-validated
     // state at entry (epoch continues across incarnations), so a rank
@@ -370,6 +371,9 @@ pub fn bicgstab_reliable_ckpt<H: Precision, L: Precision>(
                 }
                 recoveries += 1;
                 if recoveries > MAX_RECOVERIES {
+                    // Formatted at most once per solve, on the abort path
+                    // that ends the iteration loop.
+                    // quda-lint: allow(hot-alloc)
                     abort_error = Some(format!(
                         "corrupted solver state persisted after {MAX_RECOVERIES} rollbacks"
                     ));
@@ -431,7 +435,7 @@ pub fn bicgstab_defect_correction<H: Precision, L: Precision>(
     let mut matvecs: u64 = 0;
     let mut op_flops: u64 = 0;
     let mut restarts: u64 = 0;
-    let mut history: Vec<f64> = Vec::new();
+    let mut history: Vec<f64> = Vec::with_capacity(params.max_iter);
     let tracer = op_hi.tracer();
 
     let b_local = traced(&tracer, Phase::Blas, || blas::norm2(b, &mut c));

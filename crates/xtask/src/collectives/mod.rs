@@ -22,7 +22,8 @@
 //! Findings use the same diagnostic format, `// quda-lint: allow(<rule>)`
 //! suppressions and test-code exemptions as the lexical lints.
 
-pub mod model;
+pub use crate::model;
+
 pub mod rules;
 
 use crate::report::Diagnostic;

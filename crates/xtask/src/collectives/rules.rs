@@ -7,7 +7,7 @@
 //! hot paths (`crates/{comm,multigpu,solvers,core}/src`), but evidence —
 //! a pairing `recv`, a callee definition — may live anywhere scanned.
 
-use super::model::{
+use crate::model::{
     contains, is_int_literal, is_recv_site, is_registry_tag, is_send_site, resolve_tag, BranchInfo,
     Model,
 };

@@ -17,6 +17,8 @@
 //! JSON (`--json`).
 
 pub mod collectives;
+pub mod hotpath;
+pub mod model;
 pub mod report;
 pub mod rules;
 pub mod source;
@@ -112,6 +114,40 @@ pub fn collectives_workspace(root: &Path) -> std::io::Result<LintReport> {
         diagnostics: collectives::analyze(&parsed),
         files_scanned,
         rules: collectives::rule_list().iter().map(|&(name, _)| name).collect(),
+    })
+}
+
+/// Run the hot-path analysis on source texts as if they lived at the
+/// given workspace-relative paths. Fixture-test entry point.
+pub fn hotpath_texts(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+    let parsed: Vec<SourceFile> =
+        files.iter().map(|(rel, text)| SourceFile::parse(rel, text)).collect();
+    hotpath::analyze(&parsed)
+}
+
+/// Walk the workspace and run the hot-path analysis over every `.rs`
+/// file (the rules are per-file, but sharing the walk with the other
+/// passes keeps exclusion and ordering identical).
+pub fn hotpath_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let mut paths = Vec::new();
+    for dir in SCAN_ROOTS {
+        collect_rs_files(&root.join(dir), &mut paths)?;
+    }
+    paths.sort();
+    let mut parsed = Vec::new();
+    for path in &paths {
+        let rel = path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/");
+        if excluded(&rel) {
+            continue;
+        }
+        let text = std::fs::read_to_string(path)?;
+        parsed.push(SourceFile::parse(&rel, &text));
+    }
+    let files_scanned = parsed.len();
+    Ok(LintReport {
+        diagnostics: hotpath::analyze(&parsed),
+        files_scanned,
+        rules: hotpath::rule_list().iter().map(|&(name, _)| name).collect(),
     })
 }
 

@@ -8,6 +8,9 @@
 //! * `collectives [--json]` — run the interprocedural collective-ordering
 //!   analysis over the whole workspace; exits non-zero on any finding.
 //! * `collectives --list` — print the collective rules.
+//! * `hotpath [--json]` — run the hot-path allocation/indexing/locking
+//!   analysis over the whole workspace; exits non-zero on any finding.
+//! * `hotpath --list` — print the hot-path rules.
 
 use std::process::ExitCode;
 
@@ -16,6 +19,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
         Some("collectives") => collectives(&args[1..]),
+        Some("hotpath") => hotpath(&args[1..]),
         Some(other) => {
             eprintln!("unknown xtask subcommand `{other}`");
             usage();
@@ -29,7 +33,55 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: cargo xtask <lint | collectives> [--json | --list]");
+    eprintln!("usage: cargo xtask <lint | collectives | hotpath> [--json | --list]");
+}
+
+fn hotpath(flags: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut list = false;
+    for flag in flags {
+        match flag.as_str() {
+            "--json" => json = true,
+            "--list" => list = true,
+            other => {
+                eprintln!("unknown hotpath flag `{other}`");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if list {
+        for (name, description) in xtask::hotpath::rule_list() {
+            println!("{name:<24} {description}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = xtask::find_workspace_root();
+    let report = match xtask::hotpath_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask hotpath: i/o error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        eprintln!(
+            "xtask hotpath: {} file(s) analyzed, {} rule(s), {} diagnostic(s)",
+            report.files_scanned,
+            report.rules.len(),
+            report.diagnostics.len()
+        );
+    }
+    if report.diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn collectives(flags: &[String]) -> ExitCode {

@@ -1,4 +1,4 @@
-//! Program model for the collective-ordering analysis.
+//! Program model shared by the analysis passes (`collectives`, `hotpath`).
 //!
 //! The model is deliberately sub-AST: each function body is scanned on the
 //! masked token view into flat lists of *call sites*, *branches* and
@@ -8,7 +8,8 @@
 //! position-accurate. The same trade-off as the lexical lints: no type
 //! information, but the collective API surface is small and name-stable
 //! enough (see `comm::Communicator`) that name-based classification plus a
-//! call-graph closure is precise in practice.
+//! call-graph closure is precise in practice. The hot-path pass reuses the
+//! same function/loop extraction for byte-range loop-containment tests.
 
 use crate::source::{find_word, matching, SourceFile};
 use std::collections::HashSet;
