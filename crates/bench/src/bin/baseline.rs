@@ -233,6 +233,7 @@ fn main() {
     println!("    \"lockstep_counters_match\": {}", double_plain == double_lockstep);
     println!("  }},");
     println!("  \"fig_recovery\": {},", recovery_json());
+    println!("  \"fig_batch\": {},", quda_bench::batchbench::fig_batch_json());
     if measured {
         println!("  \"fig_hotpath\": {},", quda_bench::hotpath::fig_hotpath_json());
     }

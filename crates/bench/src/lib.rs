@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batchbench;
 pub mod hotpath;
 
 use quda_lattice::geometry::LatticeDims;

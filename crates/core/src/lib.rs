@@ -43,7 +43,9 @@
 
 pub mod params;
 
-pub use params::{InvertReport, InvertStats, QudaDeviceParam, QudaGaugeParam, QudaInvertParam};
+pub use params::{
+    InvertReport, InvertStats, QudaDeviceParam, QudaGaugeParam, QudaInvertParam, QueueTelemetry,
+};
 pub use quda_comm::CommError;
 pub use quda_multigpu::driver::ChaosSpec;
 pub use quda_multigpu::driver::SolverKind;
@@ -51,14 +53,25 @@ pub use quda_multigpu::rank_op::CommStrategy;
 pub use quda_multigpu::{CommHealth, PrecisionMode, RecoveryEvent, RecoveryReport};
 pub use quda_obs::{Phase, PhaseBreakdown, Trace, TraceConfig};
 
+use std::sync::Arc;
+
 use quda_dirac::WilsonParams;
 use quda_fields::host::{GaugeConfig, HostSpinorField};
 use quda_lattice::partition::TimePartition;
 use quda_multigpu::driver::{
-    solve_full_parallel_elastic, verify_full_solution, ElasticPolicy, ParallelSolveSpec,
+    solve_full_parallel_elastic, solve_full_parallel_multi, verify_full_solution, ElasticPolicy,
+    ParallelSolveSpec,
 };
 use quda_multigpu::perf::{evaluate, solver_memory_per_gpu, PerfInput};
 use quda_solvers::params::SolverParams;
+
+/// Handle to a gauge configuration registered in a [`Quda`] context —
+/// the Rust shape of QUDA's `loadGaugeQuda`/`freeGaugeQuda` lifecycle.
+/// The underlying field is reference-counted: [`Quda::gauge_ref`] hands
+/// out [`Arc`] clones, so freeing the handle drops the context's
+/// reference without invalidating fields a service worker still holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GaugeId(u64);
 
 /// Errors the interface can report.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,6 +84,16 @@ pub enum QudaError {
     BadPartition(String),
     /// Source dims do not match the loaded gauge field.
     DimsMismatch,
+    /// A [`GaugeId`] that was never registered, or was already freed.
+    UnknownGauge(GaugeId),
+    /// More right-hand sides than one fused sweep can carry
+    /// (`quda_dirac::MAX_RHS_BATCH`); split the batch.
+    BatchTooLarge {
+        /// Right-hand sides requested.
+        requested: usize,
+        /// The per-batch cap.
+        max: usize,
+    },
     /// The working set does not fit device memory at this GPU count.
     OutOfDeviceMemory {
         /// Required bytes per GPU.
@@ -93,6 +116,10 @@ impl std::fmt::Display for QudaError {
             QudaError::NotUnitary => write!(f, "gauge links are not special-unitary"),
             QudaError::BadPartition(s) => write!(f, "bad partition: {s}"),
             QudaError::DimsMismatch => write!(f, "field dimensions do not match gauge field"),
+            QudaError::UnknownGauge(id) => write!(f, "unknown or freed gauge handle {id:?}"),
+            QudaError::BatchTooLarge { requested, max } => {
+                write!(f, "batch of {requested} right-hand sides exceeds the cap of {max}")
+            }
             QudaError::OutOfDeviceMemory { required, available } => {
                 write!(f, "out of device memory: need {required} B/GPU, have {available} B/GPU")
             }
@@ -121,7 +148,14 @@ impl From<CommError> for QudaError {
 pub struct Quda {
     num_gpus: usize,
     device: QudaDeviceParam,
-    gauge: Option<GaugeConfig>,
+    /// Registered gauge configurations, insertion-ordered. A `Vec` rather
+    /// than a map: contexts hold a handful of fields, and iteration order
+    /// matters for deterministic diagnostics.
+    gauges: Vec<(GaugeId, Arc<GaugeConfig>)>,
+    /// The handle inversions run against (the most recently loaded,
+    /// selected, or adopted gauge).
+    current: Option<GaugeId>,
+    next_gauge_id: u64,
     /// Enforce the device-memory footprint before running (off by default;
     /// turning it on reproduces the paper's "at least 8 GPUs are needed"
     /// behaviour at full lattice sizes). Set via
@@ -143,16 +177,11 @@ impl Quda {
         Ok(Quda {
             num_gpus,
             device: QudaDeviceParam::default(),
-            gauge: None,
+            gauges: Vec::new(),
+            current: None,
+            next_gauge_id: 0,
             enforce_memory: false,
         })
-    }
-
-    /// The pre-redesign constructor, which panicked on `num_gpus == 0`.
-    #[deprecated(since = "0.2.0", note = "use `Quda::new`, which returns Err for 0 GPUs")]
-    pub fn new_unchecked(num_gpus: usize) -> Self {
-        assert!(num_gpus >= 1);
-        Quda { num_gpus, device: QudaDeviceParam::default(), gauge: None, enforce_memory: false }
     }
 
     /// Select a different card model or NUMA placement.
@@ -169,20 +198,15 @@ impl Quda {
         self
     }
 
-    /// The pre-redesign field setter for the memory gate.
-    #[deprecated(since = "0.2.0", note = "use `Quda::with_memory_enforcement`")]
-    pub fn set_enforce_memory(&mut self, enforce: bool) {
-        self.enforce_memory = enforce;
-    }
-
     /// Number of devices this context parallelizes over.
     pub fn num_gpus(&self) -> usize {
         self.num_gpus
     }
 
-    /// Load a gauge configuration (validating unitarity), replacing any
-    /// previously loaded one — `loadGaugeQuda`.
-    pub fn load_gauge(&mut self, cfg: GaugeConfig) -> Result<(), QudaError> {
+    /// Load a gauge configuration (validating unitarity) and select it for
+    /// subsequent inversions — `loadGaugeQuda`. Previously loaded fields
+    /// stay registered under their handles until [`Quda::free_gauge`].
+    pub fn load_gauge(&mut self, cfg: GaugeConfig) -> Result<GaugeId, QudaError> {
         let param = QudaGaugeParam::new(cfg.dims);
         self.load_gauge_with(cfg, &param)
     }
@@ -192,22 +216,73 @@ impl Quda {
         &mut self,
         cfg: GaugeConfig,
         param: &QudaGaugeParam,
-    ) -> Result<(), QudaError> {
+    ) -> Result<GaugeId, QudaError> {
         if param.check_unitarity && !cfg.is_unitary(param.unitarity_tol) {
             return Err(QudaError::NotUnitary);
         }
-        self.gauge = Some(cfg);
+        Ok(self.register(Arc::new(cfg)))
+    }
+
+    /// Register an already-validated shared gauge field and select it —
+    /// the path inversion-service workers use, so a field cached once is
+    /// never copied or re-validated per worker.
+    pub fn adopt_gauge(&mut self, cfg: Arc<GaugeConfig>) -> GaugeId {
+        self.register(cfg)
+    }
+
+    fn register(&mut self, cfg: Arc<GaugeConfig>) -> GaugeId {
+        let id = GaugeId(self.next_gauge_id);
+        self.next_gauge_id += 1;
+        self.gauges.push((id, cfg));
+        self.current = Some(id);
+        id
+    }
+
+    /// Make `id` the gauge field subsequent inversions run against.
+    pub fn select_gauge(&mut self, id: GaugeId) -> Result<(), QudaError> {
+        if !self.gauges.iter().any(|(g, _)| *g == id) {
+            return Err(QudaError::UnknownGauge(id));
+        }
+        self.current = Some(id);
         Ok(())
     }
 
-    /// Drop the loaded gauge field — `freeGaugeQuda`.
-    pub fn free_gauge(&mut self) {
-        self.gauge = None;
+    /// Drop a registered gauge field — `freeGaugeQuda`. The context's
+    /// reference goes away; [`Arc`] clones handed out by
+    /// [`Quda::gauge_ref`] keep the field alive elsewhere. Freeing the
+    /// selected field leaves the context with no selection.
+    pub fn free_gauge(&mut self, id: GaugeId) -> Result<(), QudaError> {
+        let i =
+            self.gauges.iter().position(|(g, _)| *g == id).ok_or(QudaError::UnknownGauge(id))?;
+        self.gauges.remove(i);
+        if self.current == Some(id) {
+            self.current = None;
+        }
+        Ok(())
     }
 
-    /// Average plaquette of the loaded configuration.
+    /// A shared reference to a registered gauge field.
+    pub fn gauge_ref(&self, id: GaugeId) -> Result<Arc<GaugeConfig>, QudaError> {
+        self.gauges
+            .iter()
+            .find(|(g, _)| *g == id)
+            .map(|(_, c)| Arc::clone(c))
+            .ok_or(QudaError::UnknownGauge(id))
+    }
+
+    /// The currently selected gauge handle, if any.
+    pub fn current_gauge(&self) -> Option<GaugeId> {
+        self.current
+    }
+
+    fn selected(&self) -> Result<&Arc<GaugeConfig>, QudaError> {
+        let id = self.current.ok_or(QudaError::NoGauge)?;
+        self.gauges.iter().find(|(g, _)| *g == id).map(|(_, c)| c).ok_or(QudaError::NoGauge)
+    }
+
+    /// Average plaquette of the selected configuration.
     pub fn plaquette(&self) -> Result<f64, QudaError> {
-        Ok(self.gauge.as_ref().ok_or(QudaError::NoGauge)?.average_plaquette())
+        Ok(self.selected()?.average_plaquette())
     }
 
     /// Solve `M x = b` — `invertQuda`.
@@ -233,6 +308,48 @@ impl Quda {
         self.invert_with_chaos(source, param, &chaos)
     }
 
+    /// Solve `M x = bᵢ` for a batch of right-hand sides sharing the gauge
+    /// field, operator, and solver controls — the API the inversion
+    /// service batches onto (DESIGN.md §14).
+    ///
+    /// The batch runs as *one* blocked Krylov solve: fused multi-RHS
+    /// Dslash sweeps read the gauge links once per sweep and exchange one
+    /// set of face messages for the whole block. Each returned solution,
+    /// iteration count, and residual is **bit-identical** to a standalone
+    /// [`Quda::invert`] of that source (the batched-equivalence suite
+    /// enforces this at every precision). A batch of one *is* exactly
+    /// [`Quda::invert`]; batches above `quda_dirac::MAX_RHS_BATCH` are
+    /// rejected with [`QudaError::BatchTooLarge`], and batches of two or
+    /// more run the classic fail-fast driver, so they cannot be combined
+    /// with [`QudaInvertParam::max_rank_deaths`] above `0`.
+    pub fn invert_multi(
+        &mut self,
+        sources: &[HostSpinorField],
+        param: &QudaInvertParam,
+    ) -> Result<Vec<(HostSpinorField, InvertReport)>, QudaError> {
+        let chaos = ChaosSpec {
+            lockstep: param
+                .lockstep
+                .then(|| quda_comm::LockstepConfig::from_env().unwrap_or_default()),
+            ..ChaosSpec::default()
+        };
+        self.invert_multi_with_chaos(sources, param, &chaos)
+    }
+
+    /// [`Quda::invert_multi`] under an explicit fault-injection policy.
+    pub fn invert_multi_with_chaos(
+        &mut self,
+        sources: &[HostSpinorField],
+        param: &QudaInvertParam,
+        chaos: &ChaosSpec,
+    ) -> Result<Vec<(HostSpinorField, InvertReport)>, QudaError> {
+        match sources {
+            [] => Ok(Vec::new()),
+            [source] => Ok(vec![self.invert_with_chaos(source, param, chaos)?]),
+            _ => self.invert_batch(sources, param, chaos),
+        }
+    }
+
     /// [`Quda::invert`] under an explicit fault-injection and timeout
     /// policy — the entry point chaos tests and resilience benchmarks
     /// drive. With [`QudaInvertParam::max_rank_deaths`] above `0` the solve
@@ -245,7 +362,88 @@ impl Quda {
         param: &QudaInvertParam,
         chaos: &ChaosSpec,
     ) -> Result<(HostSpinorField, InvertReport), QudaError> {
-        let cfg = self.gauge.as_ref().ok_or(QudaError::NoGauge)?;
+        let cfg = Arc::clone(self.selected()?);
+        let (spec, wilson, mem) = self.solve_spec(&cfg, source, param)?;
+        let policy = ElasticPolicy { max_rank_deaths: param.max_rank_deaths, chaos: chaos.clone() };
+        let elastic = solve_full_parallel_elastic(&cfg, source, &spec, &policy, param.trace)
+            .map_err(QudaError::Comm)?;
+        let (solve, recovery) = (elastic.solve, elastic.recovery);
+        let (x, result) = (solve.solution, solve.result);
+        let stats = self.build_stats(&cfg, source, &x, &result, param, mem, &wilson);
+        Ok((
+            x,
+            InvertReport {
+                stats,
+                phases: solve.trace.breakdown(),
+                comm: solve.comm,
+                trace: solve.trace,
+                recovery,
+                queue: QueueTelemetry::default(),
+            },
+        ))
+    }
+
+    /// The batch-of-two-or-more path behind [`Quda::invert_multi`]: one
+    /// blocked solve, then a per-RHS verified report.
+    fn invert_batch(
+        &mut self,
+        sources: &[HostSpinorField],
+        param: &QudaInvertParam,
+        chaos: &ChaosSpec,
+    ) -> Result<Vec<(HostSpinorField, InvertReport)>, QudaError> {
+        if sources.len() > quda_dirac::MAX_RHS_BATCH {
+            return Err(QudaError::BatchTooLarge {
+                requested: sources.len(),
+                max: quda_dirac::MAX_RHS_BATCH,
+            });
+        }
+        if param.max_rank_deaths > 0 {
+            return Err(QudaError::BadPartition(
+                "batched inversions run the classic fail-fast driver; retry failed batch \
+                 members as fresh requests instead of max_rank_deaths > 0"
+                    .to_owned(),
+            ));
+        }
+        let cfg = Arc::clone(self.selected()?);
+        let (spec, wilson, mem) = self.solve_spec(&cfg, &sources[0], param)?;
+        for s in &sources[1..] {
+            if s.dims != cfg.dims {
+                return Err(QudaError::DimsMismatch);
+            }
+        }
+        // `max_rank_deaths` above is a rank-uniform request parameter, not
+        // the rank index, and this function runs on the driver thread before
+        // any rank threads exist — every rank the call below spawns reaches
+        // the collectives unconditionally.
+        // quda-lint: allow(rank-branch-collective)
+        let multi = solve_full_parallel_multi(&cfg, sources, &spec, chaos, param.trace)
+            .map_err(QudaError::Comm)?;
+        let mut out = Vec::with_capacity(sources.len());
+        for ((x, result), source) in multi.solutions.into_iter().zip(multi.results).zip(sources) {
+            let stats = self.build_stats(&cfg, source, &x, &result, param, mem, &wilson);
+            out.push((
+                x,
+                InvertReport {
+                    stats,
+                    phases: multi.trace.breakdown(),
+                    comm: multi.comm.clone(),
+                    trace: multi.trace.clone(),
+                    recovery: RecoveryReport::default(),
+                    queue: QueueTelemetry::default(),
+                },
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Validate source/partition/memory and build the solve spec shared by
+    /// the single and batched paths.
+    fn solve_spec(
+        &self,
+        cfg: &GaugeConfig,
+        source: &HostSpinorField,
+        param: &QudaInvertParam,
+    ) -> Result<(ParallelSolveSpec, WilsonParams, usize), QudaError> {
         if source.dims != cfg.dims {
             return Err(QudaError::DimsMismatch);
         }
@@ -270,7 +468,6 @@ impl Quda {
         if self.enforce_memory && mem > capacity {
             return Err(QudaError::OutOfDeviceMemory { required: mem, available: capacity });
         }
-
         let wilson = WilsonParams { mass: param.mass, c_sw: param.c_sw };
         let spec = ParallelSolveSpec {
             part: TimePartition::new(cfg.dims, num_gpus),
@@ -280,22 +477,32 @@ impl Quda {
             solver: param.solver,
             params: SolverParams { tol: param.tol, max_iter: param.max_iter, delta: param.delta },
         };
-        let policy = ElasticPolicy { max_rank_deaths: param.max_rank_deaths, chaos: chaos.clone() };
-        let elastic = solve_full_parallel_elastic(cfg, source, &spec, &policy, param.trace)
-            .map_err(QudaError::Comm)?;
-        let (solve, recovery) = (elastic.solve, elastic.recovery);
-        let (x, result) = (solve.solution, solve.result);
-        let true_residual = verify_full_solution(cfg, &wilson, &x, source);
+        Ok((spec, wilson, mem))
+    }
 
+    /// Independently verify one solution and fold in the performance
+    /// model's view of the same run shape.
+    #[allow(clippy::too_many_arguments)]
+    fn build_stats(
+        &self,
+        cfg: &GaugeConfig,
+        source: &HostSpinorField,
+        x: &HostSpinorField,
+        result: &quda_solvers::params::SolveResult,
+        param: &QudaInvertParam,
+        mem: usize,
+        wilson: &WilsonParams,
+    ) -> InvertStats {
+        let true_residual = verify_full_solution(cfg, wilson, x, source);
         // Performance model of this run shape on the simulated cluster.
+        let num_gpus = param.num_gpus.max(1);
         let mut perf_in = PerfInput::paper(cfg.dims, num_gpus, param.mode, param.strategy);
         perf_in.gpu = self.device.gpu;
         perf_in.numa = self.device.numa;
         let report = evaluate(&perf_in);
         let iterations = result.iterations.max(1);
         let modeled_seconds = report.iteration_time_s * iterations as f64;
-
-        let stats = InvertStats {
+        InvertStats {
             converged: result.converged,
             iterations: result.iterations,
             matvecs: result.matvecs,
@@ -308,17 +515,7 @@ impl Quda {
             memory_per_gpu: mem,
             recoveries: result.recoveries,
             comm_recoveries: result.comm_recoveries,
-        };
-        Ok((
-            x,
-            InvertReport {
-                stats,
-                phases: solve.trace.breakdown(),
-                comm: solve.comm,
-                trace: solve.trace,
-                recovery,
-            },
-        ))
+        }
     }
 }
 
@@ -430,8 +627,87 @@ mod tests {
     #[test]
     fn free_gauge_clears_state() {
         let mut q = ctx_with_gauge();
-        q.free_gauge();
+        let id = q.current_gauge().unwrap();
+        q.free_gauge(id).unwrap();
         assert!(matches!(q.plaquette(), Err(QudaError::NoGauge)));
+        assert_eq!(q.free_gauge(id), Err(QudaError::UnknownGauge(id)));
+        assert_eq!(q.select_gauge(id), Err(QudaError::UnknownGauge(id)));
+    }
+
+    #[test]
+    fn gauge_handles_select_and_outlive_free() {
+        let mut q = Quda::new(2).unwrap();
+        let a = q.load_gauge(weak_field(dims(), 0.15, 7)).unwrap();
+        let b = q.load_gauge(weak_field(dims(), 0.05, 8)).unwrap();
+        assert_ne!(a, b);
+        // Loading selects the newest; both stay registered.
+        assert_eq!(q.current_gauge(), Some(b));
+        let plaq_b = q.plaquette().unwrap();
+        q.select_gauge(a).unwrap();
+        let plaq_a = q.plaquette().unwrap();
+        assert_ne!(plaq_a, plaq_b);
+        // A handed-out Arc survives the context freeing its reference.
+        let held = q.gauge_ref(a).unwrap();
+        q.free_gauge(a).unwrap();
+        assert!(held.average_plaquette() > 0.0);
+        assert!(matches!(q.gauge_ref(a), Err(QudaError::UnknownGauge(_))));
+        // Freeing the selected gauge cleared the selection.
+        assert!(matches!(q.plaquette(), Err(QudaError::NoGauge)));
+        q.select_gauge(b).unwrap();
+        assert_eq!(q.plaquette().unwrap(), plaq_b);
+    }
+
+    #[test]
+    fn adopt_gauge_skips_validation_and_shares() {
+        let cfg = std::sync::Arc::new(weak_field(dims(), 0.15, 7));
+        let mut q = Quda::new(2).unwrap();
+        let id = q.adopt_gauge(std::sync::Arc::clone(&cfg));
+        assert_eq!(q.current_gauge(), Some(id));
+        // No copy was made: the registry holds the same allocation.
+        assert!(std::sync::Arc::ptr_eq(&q.gauge_ref(id).unwrap(), &cfg));
+    }
+
+    #[test]
+    fn invert_multi_trivial_batches() {
+        let mut q = ctx_with_gauge();
+        let p = QudaInvertParam::paper_mode(PrecisionMode::Double, 2);
+        assert!(q.invert_multi(&[], &p).unwrap().is_empty());
+        let too_many: Vec<HostSpinorField> =
+            (0..quda_dirac::MAX_RHS_BATCH + 1).map(|_| HostSpinorField::zero(dims())).collect();
+        assert!(matches!(
+            q.invert_multi(&too_many, &p),
+            Err(QudaError::BatchTooLarge { requested: 9, max: 8 })
+        ));
+    }
+
+    #[test]
+    fn invert_multi_matches_single_invert() {
+        let mut q = ctx_with_gauge();
+        let p = QudaInvertParam::paper_mode(PrecisionMode::Double, 2)
+            .with_mass(0.3)
+            .with_tol(1e-10)
+            .with_num_rhs(2);
+        let bs: Vec<HostSpinorField> =
+            (0..2).map(|k| random_spinor_field(dims(), 30 + k)).collect();
+        let batched = q.invert_multi(&bs, &p).unwrap();
+        assert_eq!(batched.len(), 2);
+        for ((x, rep), b) in batched.iter().zip(&bs) {
+            let (x_solo, rep_solo) = q.invert(b, &p).unwrap();
+            assert!(rep.converged);
+            assert_eq!(rep.iterations, rep_solo.iterations);
+            assert_eq!(x.max_site_dist(&x_solo), 0.0);
+            // Direct inversions carry default queue telemetry.
+            assert_eq!(rep.queue.batch_size, 0);
+        }
+    }
+
+    #[test]
+    fn batched_elastic_combination_rejected() {
+        let mut q = ctx_with_gauge();
+        let p = QudaInvertParam::paper_mode(PrecisionMode::Double, 2).with_max_rank_deaths(1);
+        let bs: Vec<HostSpinorField> =
+            (0..2).map(|k| random_spinor_field(dims(), 40 + k)).collect();
+        assert!(matches!(q.invert_multi(&bs, &p), Err(QudaError::BadPartition(_))));
     }
 
     #[test]

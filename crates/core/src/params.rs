@@ -63,6 +63,18 @@ pub struct QudaInvertParam {
     /// (DESIGN.md §12). The default `0` is bit-identical to the classic
     /// fail-fast driver: no checkpoints, first death aborts.
     pub max_rank_deaths: usize,
+    /// Right-hand sides the caller intends to solve together. A hint for
+    /// the inversion service's batcher (capped by the library's
+    /// `MAX_RHS_BATCH`); direct [`invert_multi`](crate::Quda::invert_multi)
+    /// calls take the batch size from the source slice instead.
+    pub num_rhs: usize,
+    /// Tenant identity for service-side admission control and weighted-fair
+    /// scheduling (DESIGN.md §14). Ignored by direct inversions.
+    pub tenant: u32,
+    /// Deadline for service-side scheduling: a queued request whose wait
+    /// exceeds this is rejected rather than dispatched. `None` (the
+    /// default) never expires. Ignored by direct inversions.
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl QudaInvertParam {
@@ -82,6 +94,9 @@ impl QudaInvertParam {
             trace: TraceConfig::Off,
             lockstep: quda_comm::LockstepConfig::from_env().is_some(),
             max_rank_deaths: 0,
+            num_rhs: 1,
+            tenant: 0,
+            deadline: None,
         }
     }
 
@@ -128,6 +143,26 @@ impl QudaInvertParam {
         self
     }
 
+    /// Hint how many right-hand sides the caller will batch together.
+    pub fn with_num_rhs(mut self, n: usize) -> Self {
+        self.num_rhs = n;
+        self
+    }
+
+    /// Tag requests with a tenant identity for the inversion service's
+    /// admission control and fair scheduler.
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Give queued service requests a deadline: expire rather than solve
+    /// once the queue wait exceeds it.
+    pub fn with_deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// Convert to the solver-layer parameter struct.
     pub fn solver_params(&self) -> SolverParams {
         SolverParams { tol: self.tol, max_iter: self.max_iter, delta: self.delta }
@@ -165,6 +200,25 @@ pub struct InvertStats {
     pub comm_recoveries: u64,
 }
 
+/// Per-request queueing telemetry attached by the inversion service
+/// (DESIGN.md §14): where the request waited, how it was batched, and how
+/// deep its tenant's queue was at submission. Direct inversions leave it
+/// at the default (zero wait, batch of one).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueueTelemetry {
+    /// Tenant the request was accounted to.
+    pub tenant: u32,
+    /// Time spent queued before the batch was dispatched.
+    pub queue_wait: std::time::Duration,
+    /// Number of right-hand sides in the dispatched batch (0 for direct
+    /// inversions that never crossed the service; the service always
+    /// reports at least 1).
+    pub batch_size: usize,
+    /// The tenant's queue depth observed at submission, *including* this
+    /// request — backpressure made visible.
+    pub queue_depth: usize,
+}
+
 /// Everything an inversion reports: the classic [`InvertStats`] plus the
 /// *measured* per-phase breakdown, the communication-health record, and
 /// (under [`TraceConfig::Full`]) the raw span trace.
@@ -189,6 +243,9 @@ pub struct InvertReport {
     /// counters. Empty unless [`QudaInvertParam::max_rank_deaths`] was
     /// raised above `0` *and* checkpoints/deaths actually occurred.
     pub recovery: RecoveryReport,
+    /// Queueing telemetry stamped by the inversion service; default for
+    /// direct inversions.
+    pub queue: QueueTelemetry,
 }
 
 impl std::ops::Deref for InvertReport {

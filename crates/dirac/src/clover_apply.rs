@@ -1,8 +1,23 @@
 //! Clover-term application kernels on checkerboard fields.
 
+use crate::dslash::MAX_RHS_BATCH;
 use quda_fields::precision::Precision;
 use quda_fields::{CloverFieldCb, SpinorFieldCb};
 use quda_math::clover::CloverBasisMap;
+
+/// Compact the active lane indices of `active` into `buf`, returning the
+/// populated prefix — the branch-free mask idiom shared with
+/// [`crate::dslash::dslash_cb_multi`].
+fn compact_active(active: &[bool], buf: &mut [usize; MAX_RHS_BATCH]) -> usize {
+    let mut n_active = 0;
+    for (r, &a) in active.iter().enumerate() {
+        if a {
+            buf[n_active] = r;
+            n_active += 1;
+        }
+    }
+    n_active
+}
 
 /// `out[cb] = T[cb] · in[cb]` where `T` is a packed clover-type field
 /// (either the shifted term `(4+m) + A` or its inverse), applied to spinors
@@ -30,6 +45,81 @@ pub fn clover_axpy_cb<P: Precision>(
 ) {
     assert_eq!(a.sites(), b.sites());
     out.fill_sites(|cb| map.apply_nr(&term.get(cb), &a.get(cb)) + b.get(cb).scale_re(s));
+}
+
+/// Batched [`clover_apply_cb`]: `outs[r][cb] = T[cb] · ins[r][cb]` for
+/// every lane with `active[r]`, decoding the packed clover site once for
+/// the whole block — the field-reuse that motivates multi-RHS batching.
+///
+/// Per active lane the output is bit-identical to [`clover_apply_cb`]
+/// (the decoded term is a pure read, and each lane's arithmetic chain is
+/// unchanged); inactive slots are untouched.
+pub fn clover_apply_cb_multi<P: Precision>(
+    outs: &mut [SpinorFieldCb<P>],
+    term: &CloverFieldCb<P>,
+    ins: &[SpinorFieldCb<P>],
+    map: &CloverBasisMap,
+    active: &[bool],
+) {
+    let n = ins.len();
+    assert_eq!(outs.len(), n);
+    assert_eq!(active.len(), n);
+    assert!(n <= MAX_RHS_BATCH, "batch exceeds MAX_RHS_BATCH");
+    for (out, input) in outs.iter_mut().zip(ins) {
+        assert_eq!(out.sites(), term.sites());
+        assert_eq!(input.sites(), term.sites());
+    }
+    let mut idx_buf = [0usize; MAX_RHS_BATCH];
+    let n_active = compact_active(active, &mut idx_buf);
+    if n_active == 0 {
+        return;
+    }
+    let idxs = &idx_buf[..n_active];
+    (0..term.sites()).for_each(|cb| {
+        let t = term.get(cb);
+        for &r in idxs {
+            let v = map.apply_nr(&t, &ins[r].get(cb));
+            outs[r].set(cb, &v);
+        }
+    });
+}
+
+/// Batched [`clover_axpy_cb`]: `outs[r][cb] = T[cb]·as_[r][cb] +
+/// s·bs[r][cb]` for every lane with `active[r]`, decoding the packed
+/// clover site once for the whole block. Per active lane bit-identical to
+/// [`clover_axpy_cb`]; inactive slots are untouched.
+pub fn clover_axpy_cb_multi<P: Precision>(
+    outs: &mut [SpinorFieldCb<P>],
+    term: &CloverFieldCb<P>,
+    as_: &[SpinorFieldCb<P>],
+    s: P::Arith,
+    bs: &[SpinorFieldCb<P>],
+    map: &CloverBasisMap,
+    active: &[bool],
+) {
+    let n = as_.len();
+    assert_eq!(outs.len(), n);
+    assert_eq!(bs.len(), n);
+    assert_eq!(active.len(), n);
+    assert!(n <= MAX_RHS_BATCH, "batch exceeds MAX_RHS_BATCH");
+    for ((out, a), b) in outs.iter_mut().zip(as_).zip(bs) {
+        assert_eq!(out.sites(), term.sites());
+        assert_eq!(a.sites(), term.sites());
+        assert_eq!(b.sites(), term.sites());
+    }
+    let mut idx_buf = [0usize; MAX_RHS_BATCH];
+    let n_active = compact_active(active, &mut idx_buf);
+    if n_active == 0 {
+        return;
+    }
+    let idxs = &idx_buf[..n_active];
+    (0..term.sites()).for_each(|cb| {
+        let t = term.get(cb);
+        for &r in idxs {
+            let v = map.apply_nr(&t, &as_[r].get(cb)) + bs[r].get(cb).scale_re(s);
+            outs[r].set(cb, &v);
+        }
+    });
 }
 
 #[cfg(test)]
@@ -82,6 +172,61 @@ mod tests {
         for cb in 0..x.sites() {
             let diff = (back.get(cb) - x.get(cb)).norm_sqr();
             assert!(diff < 1e-18, "cb={cb} diff={diff}");
+        }
+    }
+
+    #[test]
+    fn multi_kernels_bit_identical_to_scalar_and_skip_inactive() {
+        let d = dims();
+        let cfg = weak_field(d, 0.12, 31);
+        let sites = clover_sites_cb(&cfg, 1.1, Parity::Even);
+        let mut term = CloverFieldCb::<Double>::new(d);
+        for (cb, a) in sites.iter().enumerate() {
+            term.set(cb, &a.shifted(4.3));
+        }
+        let map = CloverBasisMap::new();
+        let n = 3usize;
+        let mut ins = Vec::new();
+        let mut bs = Vec::new();
+        for k in 0..n {
+            let mut f = SpinorFieldCb::<Double>::new(d, false);
+            f.upload(&random_spinor_field(d, 40 + k as u64), Parity::Even);
+            ins.push(f);
+            let mut g = SpinorFieldCb::<Double>::new(d, false);
+            g.upload(&random_spinor_field(d, 80 + k as u64), Parity::Even);
+            bs.push(g);
+        }
+        let active = [true, false, true];
+        let sentinel = quda_math::spinor::Spinor::point(1, 2).scale_re(7.5);
+
+        let mut outs: Vec<_> = (0..n).map(|_| SpinorFieldCb::<Double>::new(d, false)).collect();
+        for out in &mut outs {
+            out.fill_sites(|_| sentinel);
+        }
+        clover_apply_cb_multi(&mut outs, &term, &ins, &map, &active);
+        for r in 0..n {
+            let mut scalar = SpinorFieldCb::<Double>::new(d, false);
+            clover_apply_cb(&mut scalar, &term, &ins[r], &map);
+            for cb in 0..term.sites() {
+                if active[r] {
+                    assert_eq!(outs[r].get(cb), scalar.get(cb), "apply r={r} cb={cb}");
+                } else {
+                    assert_eq!(outs[r].get(cb), sentinel, "inactive slot touched r={r} cb={cb}");
+                }
+            }
+        }
+
+        let mut outs2: Vec<_> = (0..n).map(|_| SpinorFieldCb::<Double>::new(d, false)).collect();
+        clover_axpy_cb_multi(&mut outs2, &term, &ins, -0.25, &bs, &map, &active);
+        for r in 0..n {
+            if !active[r] {
+                continue;
+            }
+            let mut scalar = SpinorFieldCb::<Double>::new(d, false);
+            clover_axpy_cb(&mut scalar, &term, &ins[r], -0.25, &bs[r], &map);
+            for cb in 0..term.sites() {
+                assert_eq!(outs2[r].get(cb), scalar.get(cb), "axpy r={r} cb={cb}");
+            }
         }
     }
 

@@ -42,6 +42,14 @@ pub enum DslashRegion {
 /// Sites below this count run sequentially (rayon overhead dominates).
 const PAR_THRESHOLD: usize = 4096;
 
+/// Largest number of right-hand sides one batched dslash sweep carries.
+///
+/// The batched kernel keeps one accumulator per RHS on the stack, so the
+/// bound must be a compile-time constant; 8 covers the service's batching
+/// sweet spot (gauge reads amortize ~8× before the spinor traffic of the
+/// RHS block itself dominates, Eq. 3–5).
+pub const MAX_RHS_BATCH: usize = 8;
+
 /// Apply one parity of the hopping term:
 /// `out(x) = Σ_μ P∓μ U_μ(x) ψ(x+μ) + P±μ U†_μ(x−μ) ψ(x−μ)`
 /// for `x` of `out_parity`, reading `input` (the opposite parity).
@@ -84,6 +92,166 @@ pub fn dslash_cb<P: Precision>(
         // Sequential launches write straight through: no intermediate
         // buffer, so a steady-state solver iteration stays allocation-free.
         (0..sites).filter_map(site_kernel).for_each(|(cb, sp)| out.set(cb, &sp));
+    }
+}
+
+/// Batched multi-RHS hopping term: one gauge-link read per `(site, μ)`
+/// serves every active right-hand side (Eq. 3–5 amortization).
+///
+/// `outs[r]` receives the hopping term of `inputs[r]` for every `r` with
+/// `active[r]`; inactive slots are left untouched (per-RHS convergence
+/// masking in the blocked solvers). Per RHS the arithmetic — operand
+/// values, operation order, rounding — is exactly that of [`dslash_cb`],
+/// so batched and sequential launches produce bit-identical outputs; the
+/// only difference is that the (possibly compressed) link is decoded once
+/// per `(site, μ)` instead of once per RHS.
+#[allow(clippy::too_many_arguments)]
+pub fn dslash_cb_multi<P: Precision>(
+    outs: &mut [SpinorFieldCb<P>],
+    gauge: &GaugeFieldCb<P>,
+    inputs: &[SpinorFieldCb<P>],
+    out_parity: Parity,
+    stencil: &Stencil,
+    basis: &SpinBasis,
+    dagger: bool,
+    region: DslashRegion,
+    active: &[bool],
+) {
+    assert_eq!(outs.len(), inputs.len(), "outs/inputs must pair up per RHS");
+    assert_eq!(active.len(), inputs.len(), "active mask must cover every RHS");
+    assert!(inputs.len() <= MAX_RHS_BATCH, "batch exceeds MAX_RHS_BATCH");
+    // Compact the active RHS indices into a stack array so the site loop
+    // never branches on the mask.
+    let mut idx_buf = [0usize; MAX_RHS_BATCH];
+    let mut n_active = 0;
+    for (r, &a) in active.iter().enumerate() {
+        if a {
+            idx_buf[n_active] = r;
+            n_active += 1;
+        }
+    }
+    if n_active == 0 {
+        return;
+    }
+    let idxs = &idx_buf[..n_active];
+    let table = stencil.for_parity(out_parity);
+    let sites = inputs[idxs[0]].sites();
+    let in_region = |cb: usize| match region {
+        DslashRegion::All => true,
+        DslashRegion::Interior => table.last_face_dim[cb].is_none(),
+        DslashRegion::Faces => table.last_face_dim[cb].is_some(),
+        DslashRegion::FacesDim(d) => table.last_face_dim[cb] == Some(d as u8),
+    };
+    let site_kernel = |cb: usize| -> Option<(usize, [Spinor<P::Arith>; MAX_RHS_BATCH])> {
+        if !in_region(cb) {
+            return None;
+        }
+        let mut accs = [Spinor::zero(); MAX_RHS_BATCH];
+        dslash_site_multi(gauge, inputs, idxs, out_parity, stencil, basis, dagger, cb, &mut accs);
+        Some((cb, accs))
+    };
+    if sites >= PAR_THRESHOLD {
+        let results: Vec<(usize, [Spinor<P::Arith>; MAX_RHS_BATCH])> =
+            (0..sites).into_par_iter().filter_map(site_kernel).collect();
+        for (cb, accs) in results {
+            for (k, &r) in idxs.iter().enumerate() {
+                outs[r].set(cb, &accs[k]);
+            }
+        }
+    } else {
+        (0..sites).filter_map(site_kernel).for_each(|(cb, accs)| {
+            for (k, &r) in idxs.iter().enumerate() {
+                outs[r].set(cb, &accs[k]);
+            }
+        });
+    }
+}
+
+/// The per-site batched gather-multiply-reconstruct: identical per-RHS
+/// arithmetic to [`dslash_site`], with the link (and neighbor/ghost
+/// bookkeeping) resolved once per `(site, μ)` and reused across the block.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn dslash_site_multi<P: Precision>(
+    gauge: &GaugeFieldCb<P>,
+    inputs: &[SpinorFieldCb<P>],
+    idxs: &[usize],
+    out_parity: Parity,
+    stencil: &Stencil,
+    basis: &SpinBasis,
+    dagger: bool,
+    cb: usize,
+    accs: &mut [Spinor<P::Arith>; MAX_RHS_BATCH],
+) {
+    let table = stencil.for_parity(out_parity);
+    let in_parity = out_parity.other();
+    let n = idxs.len();
+    // Two color vectors (the projected half-spinor) per RHS, staged into one
+    // block per hop: the gather loop (neighbor resolution, ghost branches,
+    // projection) and the link-apply loop each stay tight, and the link is
+    // decoded once for the whole block.
+    const LANES: usize = 2 * MAX_RHS_BATCH;
+    let mut block = [ColorVec::zero(); LANES];
+    for mu in 0..4 {
+        // Forward hop: the link lives on the output site — one decode for
+        // the whole RHS block.
+        let proj_f = &basis.proj[mu][if dagger { 1 } else { 0 }];
+        let nref = table.fwd[mu][cb];
+        let u = gauge.link(out_parity, mu, cb);
+        for (k, &r) in idxs.iter().enumerate() {
+            let input = &inputs[r];
+            let h = match nref.kind {
+                BoundaryKind::Interior => proj_f.project(&input.get(nref.idx as usize)),
+                BoundaryKind::GhostForward => {
+                    if mu == DIR_T {
+                        ghost_half::<P>(input, false, nref.idx as usize, proj_f)
+                    } else {
+                        input.get_ghost_dim(mu, false, nref.idx as usize)
+                    }
+                }
+                BoundaryKind::GhostBackward => {
+                    unreachable!("forward hop cannot use backward ghost")
+                }
+            };
+            block[2 * k] = h.h[0];
+            block[2 * k + 1] = h.h[1];
+        }
+        for (k, acc) in accs[..n].iter_mut().enumerate() {
+            let t = HalfSpinor { h: [u.mul_vec(&block[2 * k]), u.mul_vec(&block[2 * k + 1])] };
+            *acc += proj_f.reconstruct(&t);
+        }
+
+        // Backward hop: the neighbor-site (or pad ghost) link, again decoded
+        // once per block.
+        let proj_b = &basis.proj[mu][if dagger { 0 } else { 1 }];
+        let nref = table.bwd[mu][cb];
+        let (u, from_ghost) = match nref.kind {
+            BoundaryKind::Interior => (gauge.link(in_parity, mu, nref.idx as usize), false),
+            BoundaryKind::GhostBackward => {
+                (gauge.ghost_link_dim(in_parity, mu, nref.idx as usize), true)
+            }
+            BoundaryKind::GhostForward => unreachable!("backward hop cannot use forward ghost"),
+        };
+        for (k, &r) in idxs.iter().enumerate() {
+            let input = &inputs[r];
+            let h = if from_ghost {
+                let face = nref.idx as usize;
+                if mu == DIR_T {
+                    ghost_half::<P>(input, true, face, proj_b)
+                } else {
+                    input.get_ghost_dim(mu, true, face)
+                }
+            } else {
+                proj_b.project(&input.get(nref.idx as usize))
+            };
+            block[2 * k] = h.h[0];
+            block[2 * k + 1] = h.h[1];
+        }
+        for (k, acc) in accs[..n].iter_mut().enumerate() {
+            let t =
+                HalfSpinor { h: [u.adj_mul_vec(&block[2 * k]), u.adj_mul_vec(&block[2 * k + 1])] };
+            *acc += proj_b.reconstruct(&t);
+        }
     }
 }
 
@@ -516,6 +684,146 @@ mod tests {
             assert_eq!(all.get(cb), split.get(cb), "cb={cb}");
         }
         assert_eq!(covered, d.half_volume());
+    }
+
+    #[test]
+    fn batched_dslash_bit_identical_to_sequential() {
+        // The service's batching contract: a block of N right-hand sides
+        // through one sweep must be *bit-identical*, per RHS, to N
+        // independent single launches — at every precision.
+        fn check<P: Precision>() {
+            let d = LatticeDims::new(4, 4, 4, 6);
+            let cfg = weak_field(d, 0.2, 17);
+            let mut gauge = GaugeFieldCb::<P>::new(d, true);
+            gauge.upload(&cfg);
+            let basis = SpinBasis::new(GammaBasis::NonRelativistic);
+            let stencil = Stencil::new(d, false);
+            let n = 5;
+            let inputs: Vec<SpinorFieldCb<P>> = (0..n)
+                .map(|r| {
+                    let host = random_spinor_field(d, 100 + r as u64);
+                    let mut dev = SpinorFieldCb::<P>::new(d, false);
+                    dev.upload(&host, Parity::Odd);
+                    dev
+                })
+                .collect();
+            // Mask one RHS out to exercise convergence masking: its output
+            // slot must stay untouched.
+            let mut active = vec![true; n];
+            active[2] = false;
+            let mut outs: Vec<SpinorFieldCb<P>> =
+                (0..n).map(|_| SpinorFieldCb::<P>::new(d, false)).collect();
+            dslash_cb_multi(
+                &mut outs,
+                &gauge,
+                &inputs,
+                Parity::Even,
+                &stencil,
+                &basis,
+                false,
+                DslashRegion::All,
+                &active,
+            );
+            for r in 0..n {
+                let mut single = SpinorFieldCb::<P>::new(d, false);
+                dslash_cb(
+                    &mut single,
+                    &gauge,
+                    &inputs[r],
+                    Parity::Even,
+                    &stencil,
+                    &basis,
+                    false,
+                    DslashRegion::All,
+                );
+                for cb in 0..single.sites() {
+                    if active[r] {
+                        assert_eq!(outs[r].get(cb), single.get(cb), "rhs={r} cb={cb}");
+                    } else {
+                        assert_eq!(
+                            outs[r].get(cb),
+                            SpinorFieldCb::<P>::new(d, false).get(cb),
+                            "masked rhs={r} must stay untouched"
+                        );
+                    }
+                }
+            }
+        }
+        check::<Double>();
+        check::<Single>();
+        check::<quda_fields::precision::Half>();
+        check::<quda_fields::precision::Quarter>();
+    }
+
+    #[test]
+    fn batched_dslash_region_split_matches_all() {
+        // Interior + per-dimension faces through the batched kernel must
+        // partition the volume exactly like the single-RHS kernel does.
+        let d = dims();
+        let open = [true, false, false, true];
+        let stencil = Stencil::with_open(d, open);
+        let cfg = weak_field(d, 0.2, 23);
+        let mut gauge = GaugeFieldCb::<Double>::new(d, true);
+        gauge.upload(&cfg);
+        let basis = SpinBasis::new(GammaBasis::NonRelativistic);
+        let n = 3;
+        let inputs: Vec<SpinorFieldCb<Double>> = (0..n)
+            .map(|r| {
+                let host = random_spinor_field(d, 40 + r as u64);
+                let mut full = SpinorFieldCb::<Double>::new(d, false);
+                full.upload(&host, Parity::Odd);
+                let mut dev = SpinorFieldCb::<Double>::new_open(d, open);
+                for cb in 0..dev.sites() {
+                    dev.set(cb, &full.get(cb));
+                }
+                dev
+            })
+            .collect();
+        let active = vec![true; n];
+        let mut all: Vec<SpinorFieldCb<Double>> =
+            (0..n).map(|_| SpinorFieldCb::<Double>::new(d, false)).collect();
+        dslash_cb_multi(
+            &mut all,
+            &gauge,
+            &inputs,
+            Parity::Even,
+            &stencil,
+            &basis,
+            false,
+            DslashRegion::All,
+            &active,
+        );
+        let mut split: Vec<SpinorFieldCb<Double>> =
+            (0..n).map(|_| SpinorFieldCb::<Double>::new(d, false)).collect();
+        dslash_cb_multi(
+            &mut split,
+            &gauge,
+            &inputs,
+            Parity::Even,
+            &stencil,
+            &basis,
+            false,
+            DslashRegion::Interior,
+            &active,
+        );
+        for dim in 0..4 {
+            dslash_cb_multi(
+                &mut split,
+                &gauge,
+                &inputs,
+                Parity::Even,
+                &stencil,
+                &basis,
+                false,
+                DslashRegion::FacesDim(dim),
+                &active,
+            );
+        }
+        for r in 0..n {
+            for cb in 0..all[r].sites() {
+                assert_eq!(all[r].get(cb), split[r].get(cb), "rhs={r} cb={cb}");
+            }
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@ use quda_fields::host::{GaugeConfig, HostSpinorField};
 use quda_fields::precision::{Double, Half, Precision, Quarter, Single};
 use quda_lattice::geometry::Parity;
 use quda_lattice::partition::{DecompPlan, TimePartition};
-use quda_obs::{Recorder, Trace, TraceConfig};
+use quda_obs::{Phase, Recorder, Trace, TraceConfig};
 use quda_solvers::blas;
 use quda_solvers::checkpoint::{CheckpointSink, NoCheckpoint, SolverCheckpoint};
 use quda_solvers::operator::LinearOperator;
@@ -741,6 +741,269 @@ fn run_rank<H: Precision, L: Precision>(
     Ok((x_host, result, rank_stats))
 }
 
+/// The full outcome of a batched multi-RHS parallel solve: per-RHS global
+/// solutions and solver statistics, plus the shared phase trace and
+/// communication-health record of the batch.
+#[derive(Clone, Debug)]
+pub struct MultiSolve {
+    /// Global solutions (both parities), in RHS order.
+    pub solutions: Vec<HostSpinorField>,
+    /// Per-RHS solver statistics. `comm_recoveries` carries the batch's
+    /// world-wide total on every entry — wire recoveries belong to the
+    /// shared exchange, not to one RHS.
+    pub results: Vec<SolveResult>,
+    /// The recorded per-rank phase trace (empty under [`TraceConfig::Off`]).
+    pub trace: Trace,
+    /// World-wide communication-health record.
+    pub comm: CommHealth,
+}
+
+/// Run a batched multi-RHS even-odd solve over a 1-d temporal partition.
+///
+/// Every system shares the gauge field, operator, and solver controls; the
+/// Krylov sweeps are fused through the blocked solvers so the gauge links
+/// are read once per sweep — and one face message per direction is sent —
+/// for the whole block. Each returned solution and iteration count is
+/// **bit-identical** to what [`solve_full_parallel`] produces for that
+/// source alone (the batched-equivalence suite enforces this).
+pub fn solve_full_parallel_multi(
+    cfg: &GaugeConfig,
+    bs: &[HostSpinorField],
+    spec: &ParallelSolveSpec,
+    chaos: &ChaosSpec,
+    trace: TraceConfig,
+) -> Result<MultiSolve, CommError> {
+    solve_full_grid_multi(cfg, bs, &spec.to_grid(), chaos, trace)
+}
+
+/// [`solve_full_parallel_multi`] over an arbitrary 4-d process grid.
+pub fn solve_full_grid_multi(
+    cfg: &GaugeConfig,
+    bs: &[HostSpinorField],
+    spec: &GridSolveSpec,
+    chaos: &ChaosSpec,
+    trace: TraceConfig,
+) -> Result<MultiSolve, CommError> {
+    assert!(
+        bs.len() <= quda_dirac::MAX_RHS_BATCH,
+        "batch of {} right-hand sides exceeds MAX_RHS_BATCH = {}",
+        bs.len(),
+        quda_dirac::MAX_RHS_BATCH
+    );
+    match spec.mode {
+        PrecisionMode::Double => {
+            run_world_multi::<Double, Double>(cfg, bs, spec, false, chaos, trace)
+        }
+        PrecisionMode::Single => {
+            run_world_multi::<Single, Single>(cfg, bs, spec, false, chaos, trace)
+        }
+        PrecisionMode::Half => run_world_multi::<Half, Half>(cfg, bs, spec, false, chaos, trace),
+        PrecisionMode::SingleHalf => {
+            run_world_multi::<Single, Half>(cfg, bs, spec, true, chaos, trace)
+        }
+        PrecisionMode::DoubleHalf => {
+            run_world_multi::<Double, Half>(cfg, bs, spec, true, chaos, trace)
+        }
+        PrecisionMode::DoubleSingle => {
+            run_world_multi::<Double, Single>(cfg, bs, spec, true, chaos, trace)
+        }
+        PrecisionMode::DoubleQuarter => {
+            run_world_multi::<Double, Quarter>(cfg, bs, spec, true, chaos, trace)
+        }
+    }
+}
+
+fn run_world_multi<H: Precision, L: Precision>(
+    cfg: &GaugeConfig,
+    bs: &[HostSpinorField],
+    spec: &GridSolveSpec,
+    mixed: bool,
+    chaos: &ChaosSpec,
+    trace: TraceConfig,
+) -> Result<MultiSolve, CommError> {
+    let plan = spec.plan;
+    let recorder = Recorder::new(plan.n_ranks(), trace);
+    let world_hi = quda_comm::comm_world_with(plan.n_ranks(), chaos.comm, chaos.plan.clone());
+    let world_lo = quda_comm::comm_world_with(plan.n_ranks(), chaos.comm, chaos.plan.clone());
+    let handles: Vec<_> = world_hi
+        .into_iter()
+        .zip(world_lo)
+        .enumerate()
+        .map(|(rank, (mut comm_hi, mut comm_lo))| {
+            let cfg = cfg.clone();
+            let bs = bs.to_vec();
+            let spec = *spec;
+            let tracer = recorder.tracer(rank);
+            comm_hi.set_tracer(tracer.clone());
+            comm_lo.set_tracer(tracer);
+            if let Some(ls) = chaos.lockstep {
+                comm_hi.enable_lockstep(ls);
+                comm_lo.enable_lockstep(ls);
+            }
+            std::thread::spawn(move || {
+                run_rank_multi::<H, L>(&cfg, &bs, &spec, rank, comm_hi, comm_lo, mixed)
+            })
+        })
+        .collect();
+    // Same root-cause attribution as the single-RHS attempt: panics first,
+    // then a rank reporting its own death, then cascade errors.
+    let mut rank_results: Vec<Result<_, CommError>> = handles
+        .into_iter()
+        .enumerate()
+        .map(|(rank, h)| match h.join() {
+            Ok(r) => r,
+            Err(payload) => Err(CommError::RankPanicked { rank, message: panic_message(payload) }),
+        })
+        .collect();
+    if let Some(i) =
+        rank_results.iter().position(|r| matches!(r, Err(CommError::RankPanicked { .. })))
+    {
+        rank_results.swap_remove(i)?;
+    }
+    for (rank, r) in rank_results.iter().enumerate() {
+        if let Err(CommError::RankDead { rank: dead }) = r {
+            if *dead == rank {
+                return Err(CommError::RankDead { rank: *dead });
+            }
+        }
+    }
+    let n = bs.len();
+    let mut by_rhs: Vec<Vec<HostSpinorField>> =
+        (0..n).map(|_| Vec::with_capacity(plan.n_ranks())).collect();
+    let mut results: Option<Vec<SolveResult>> = None;
+    let mut comm_recoveries = 0;
+    let mut per_rank = Vec::with_capacity(rank_results.len());
+    for r in rank_results {
+        let (fields, res, comm) = r?;
+        comm_recoveries += comm.recovered;
+        if results.is_none() {
+            results = Some(res);
+        }
+        for (k, f) in fields.into_iter().enumerate() {
+            by_rhs[k].push(f);
+        }
+        per_rank.push(comm);
+    }
+    let mut results = results.unwrap_or_default();
+    for res in &mut results {
+        res.comm_recoveries = comm_recoveries;
+    }
+    let mut solutions = Vec::with_capacity(n);
+    for locals in &by_rhs {
+        solutions.push(gather_spinor_grid(locals, &plan));
+    }
+    Ok(MultiSolve {
+        solutions,
+        results,
+        trace: recorder.finish(),
+        comm: CommHealth::from_per_rank(per_rank),
+    })
+}
+
+fn run_rank_multi<H: Precision, L: Precision>(
+    cfg: &GaugeConfig,
+    bs: &[HostSpinorField],
+    spec: &GridSolveSpec,
+    rank: usize,
+    comm_hi: quda_comm::Communicator,
+    comm_lo: quda_comm::Communicator,
+    mixed: bool,
+) -> Result<(Vec<HostSpinorField>, Vec<SolveResult>, CommStats), CommError> {
+    let plan = spec.plan;
+    let mut op_hi = ParallelWilsonCloverOp::<H>::new_grid(
+        cfg,
+        plan,
+        rank,
+        comm_hi,
+        spec.wilson,
+        spec.strategy,
+    )?;
+    let n = bs.len();
+
+    // Per-RHS even-odd preparation: upload both parities and form
+    // b̂_o = b_o + ½ D_oe T_ee⁻¹ b_e for every source.
+    let mut b_evens = Vec::with_capacity(n);
+    let mut bhats = Vec::with_capacity(n);
+    let mut x_odds = Vec::with_capacity(n);
+    for b in bs {
+        let local_b = slice_spinor_grid(b, &plan, rank);
+        let mut b_even = op_hi.alloc();
+        b_even.upload(&local_b, Parity::Even);
+        let mut b_odd = op_hi.alloc();
+        b_odd.upload(&local_b, Parity::Odd);
+        let mut bhat = op_hi.alloc();
+        op_hi.prepare_source_par(&mut bhat, &b_even, &b_odd)?;
+        let mut x_odd = op_hi.alloc();
+        blas::zero(&mut x_odd);
+        b_evens.push(b_even);
+        bhats.push(bhat);
+        x_odds.push(x_odd);
+    }
+
+    // One blocked Krylov solve for the whole batch, under a `Batch` span so
+    // traces show the fused region.
+    let tracer = op_hi.tracer();
+    let mut lo_stats = CommStats::default();
+    let results = {
+        let _batch = tracer.span(Phase::Batch);
+        if mixed {
+            assert_eq!(
+                spec.solver,
+                SolverKind::BiCgStab,
+                "mixed-precision modes use the reliably updated BiCGstab solver"
+            );
+            let mut op_lo = ParallelWilsonCloverOp::<L>::new_grid(
+                cfg,
+                plan,
+                rank,
+                comm_lo,
+                spec.wilson,
+                spec.strategy,
+            )?;
+            let res = quda_solvers::multi::bicgstab_reliable_multi(
+                &mut op_hi,
+                &mut op_lo,
+                &mut x_odds,
+                &bhats,
+                &spec.params,
+            );
+            if let Some(e) = op_lo.take_comm_fault() {
+                return Err(e);
+            }
+            lo_stats = op_lo.comm_stats();
+            res
+        } else {
+            match spec.solver {
+                SolverKind::BiCgStab => quda_solvers::multi::bicgstab_multi(
+                    &mut op_hi,
+                    &mut x_odds,
+                    &bhats,
+                    &spec.params,
+                ),
+                SolverKind::Cgnr => {
+                    quda_solvers::multi::cgnr_multi(&mut op_hi, &mut x_odds, &bhats, &spec.params)
+                }
+            }
+        }
+    };
+    if let Some(e) = op_hi.take_comm_fault() {
+        return Err(e);
+    }
+
+    // Per-RHS even reconstruction x_e = T_ee⁻¹ (b_e + ½ D_eo x_o).
+    let mut x_hosts = Vec::with_capacity(n);
+    for k in 0..n {
+        let mut x_even = op_hi.alloc();
+        op_hi.reconstruct_even_par(&mut x_even, &b_evens[k], &mut x_odds[k])?;
+        let mut x_host = HostSpinorField::zero(plan.local_dims());
+        x_even.download(&mut x_host, Parity::Even);
+        x_odds[k].download(&mut x_host, Parity::Odd);
+        x_hosts.push(x_host);
+    }
+    let rank_stats = op_hi.comm_stats().merged(lo_stats);
+    Ok((x_hosts, results, rank_stats))
+}
+
 /// Verify a solution of the *full* system on the host:
 /// returns `‖b − M x‖ / ‖b‖` computed with the dense reference operator.
 pub fn verify_full_solution(
@@ -849,6 +1112,49 @@ mod tests {
             run(&spec(2, PrecisionMode::DoubleHalf, CommStrategy::NoOverlap, 1e-10), 41);
         assert!(res.converged, "residual {rel}");
         assert!(rel < 1e-9, "full-system residual {rel}");
+    }
+
+    #[test]
+    fn batched_parallel_solve_bit_identical_to_sequential() {
+        for mode in [PrecisionMode::Double, PrecisionMode::SingleHalf] {
+            let tol = if mode == PrecisionMode::Double { 1e-10 } else { 2e-6 };
+            let s = spec(2, mode, CommStrategy::NoOverlap, tol);
+            let cfg = weak_field(s.part.global, 0.15, 51);
+            let bs: Vec<HostSpinorField> =
+                (0..3).map(|k| random_spinor_field(s.part.global, 60 + k)).collect();
+            let multi =
+                solve_full_parallel_multi(&cfg, &bs, &s, &ChaosSpec::default(), TraceConfig::Off)
+                    .expect("batched solve");
+            assert_eq!(multi.solutions.len(), 3);
+            assert_eq!(multi.results.len(), 3);
+            for (k, b) in bs.iter().enumerate() {
+                let (x_solo, r_solo) = solve_full_parallel(&cfg, b, &s).expect("solo solve");
+                assert!(multi.results[k].converged, "mode {mode:?} rhs {k} did not converge");
+                assert_eq!(
+                    multi.results[k].iterations, r_solo.iterations,
+                    "mode {mode:?} rhs {k} iteration count drifted"
+                );
+                assert_eq!(
+                    multi.solutions[k].max_site_dist(&x_solo),
+                    0.0,
+                    "mode {mode:?} rhs {k} solution not bit-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_solve_records_batch_phase_span() {
+        let s = spec(2, PrecisionMode::Double, CommStrategy::NoOverlap, 1e-10);
+        let cfg = weak_field(s.part.global, 0.15, 71);
+        let bs: Vec<HostSpinorField> =
+            (0..2).map(|k| random_spinor_field(s.part.global, 80 + k)).collect();
+        let multi =
+            solve_full_parallel_multi(&cfg, &bs, &s, &ChaosSpec::default(), TraceConfig::Summary)
+                .expect("batched solve");
+        let breakdown = multi.trace.breakdown();
+        let batch = breakdown.get(Phase::Batch).expect("no Batch span recorded");
+        assert!(batch.count > 0, "no Batch span recorded");
     }
 
     #[test]

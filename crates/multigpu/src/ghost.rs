@@ -119,15 +119,24 @@ pub fn decode_face_into<P: Precision>(
 /// Bytes on the wire for one face at precision `P` (used by traffic
 /// accounting and tested against the actual payloads).
 pub fn face_wire_bytes<P: Precision>(face_sites: usize) -> usize {
-    face_wire_bytes_dyn(P::STORAGE_BYTES, P::NEEDS_NORM, face_sites)
+    face_wire_bytes_dyn(P::STORAGE_BYTES, P::NEEDS_NORM, face_sites, 1)
 }
 
 /// Runtime-parameterized face sizing — the single definition of the wire
 /// format's byte count, shared by the generic exchange path above and the
 /// performance model (which works from `PrecisionTag`s, not generics).
-pub fn face_wire_bytes_dyn(storage_bytes: usize, needs_norm: bool, face_sites: usize) -> usize {
-    let data = face_sites * HALF_SPINOR_REALS * storage_bytes;
-    let norms = if needs_norm { face_sites * 4 } else { 0 };
+///
+/// `n_rhs` is the number of right-hand sides riding in one fused message
+/// (the batched exchange concatenates the RHS blocks face-by-face, so the
+/// payload scales linearly); the classic single-RHS paths pass 1.
+pub fn face_wire_bytes_dyn(
+    storage_bytes: usize,
+    needs_norm: bool,
+    face_sites: usize,
+    n_rhs: usize,
+) -> usize {
+    let data = face_sites * n_rhs * HALF_SPINOR_REALS * storage_bytes;
+    let norms = if needs_norm { face_sites * n_rhs * 4 } else { 0 };
     data + norms
 }
 
@@ -398,6 +407,142 @@ pub fn exchange_spinor_ghosts_grid<P: Precision>(
     Ok(())
 }
 
+/// Gather the `dim` boundary faces of every *active* RHS into one fused
+/// message per direction and start the sends.
+///
+/// The RHS blocks are concatenated face-by-face before encoding. Because
+/// every wire codec works in independent per-site blocks (plain reals for
+/// the float precisions, per-site quantization groups for half/quarter),
+/// encoding the concatenation is byte-identical to concatenating the
+/// per-RHS encodings — each RHS's decoded ghost values are bit-identical
+/// to what a single-RHS exchange would deliver, while the message *count*
+/// stays that of one RHS (the batching win: per-message latency and tag
+/// traffic amortize across the block).
+#[allow(clippy::too_many_arguments)]
+pub fn send_faces_dim_multi<P: Precision>(
+    comm: &mut Communicator,
+    fields: &[SpinorFieldCb<P>],
+    active: &[bool],
+    basis: &quda_math::gamma::SpinBasis,
+    stencil: &Stencil,
+    plan: &DecompPlan,
+    dim: usize,
+    parity: Parity,
+    dagger: bool,
+) -> Result<(), CommError> {
+    assert_eq!(fields.len(), active.len());
+    let n_active = active.iter().filter(|&&a| a).count();
+    assert!(n_active > 0, "fused send needs at least one active RHS");
+    let faces = fields[0].face_sites_dim(dim);
+    let rank = comm.rank();
+    let tracer = comm.tracer().clone();
+    let gather_block = |to_forward: bool| -> Bytes {
+        let mut gather = tracer.span(Phase::Gather);
+        let mut vals = Vec::with_capacity(n_active * faces * HALF_SPINOR_REALS);
+        for (field, _) in fields.iter().zip(active.iter()).filter(|(_, &a)| a) {
+            assert!(field.has_ghost_dim(dim), "field has no ghost zone for dim {dim}");
+            for f in 0..faces {
+                let h =
+                    gather_face_site_dim(field, basis, stencil, dim, to_forward, f, parity, dagger);
+                for r in h.to_reals() {
+                    vals.push(r.to_f64());
+                }
+            }
+        }
+        let wire = encode_face::<P>(&vals);
+        gather.set_bytes(wire.len() as u64);
+        wire
+    };
+    // Last dim-slices → forward neighbor on this dimension's ring.
+    let fwd_wire = gather_block(true);
+    comm.send(plan.neighbor(rank, dim, true), tags::face(dim, true), fwd_wire)?;
+    // First dim-slices → backward neighbor.
+    let bwd_wire = gather_block(false);
+    comm.send(plan.neighbor(rank, dim, false), tags::face(dim, false), bwd_wire)
+}
+
+/// Receive both fused faces of dimension `dim` and scatter each RHS's
+/// segment into that field's ghost zone (the receiving half of
+/// [`send_faces_dim_multi`]).
+pub fn recv_faces_dim_multi<P: Precision>(
+    comm: &mut Communicator,
+    fields: &mut [SpinorFieldCb<P>],
+    active: &[bool],
+    plan: &DecompPlan,
+    dim: usize,
+) -> Result<(), CommError> {
+    assert_eq!(fields.len(), active.len());
+    let n_active = active.iter().filter(|&&a| a).count();
+    assert!(n_active > 0, "fused receive needs at least one active RHS");
+    let faces = fields[0].face_sites_dim(dim);
+    let rank = comm.rank();
+    let tag_fwd = tags::face(dim, true);
+    let tag_bwd = tags::face(dim, false);
+    let tracer = comm.tracer().clone();
+    // One fused scratch buffer serves both directions' decodes.
+    let mut values = Vec::with_capacity(n_active * faces * HALF_SPINOR_REALS);
+    let seg = faces * HALF_SPINOR_REALS;
+    // From the backward neighbor: its last slices = our backward ghosts.
+    let from = plan.neighbor(rank, dim, false);
+    let payload = {
+        let mut wire = tracer.span(Phase::wire_dim(dim));
+        let payload = comm.recv(from, tag_fwd)?;
+        wire.set_bytes(payload.len() as u64);
+        payload
+    };
+    {
+        let _scatter = tracer.span(Phase::Scatter);
+        decode_face_into::<P>(&payload, n_active * faces, &mut values)
+            .map_err(|error| CommError::Decode { from, tag: tag_fwd, error })?;
+        for (k, (field, _)) in fields.iter_mut().zip(active.iter()).filter(|(_, &a)| a).enumerate()
+        {
+            store_ghost_dim(field, dim, true, &values[k * seg..(k + 1) * seg]);
+        }
+    }
+    // From the forward neighbor: its first slices = our forward ghosts.
+    let from = plan.neighbor(rank, dim, true);
+    let payload = {
+        let mut wire = tracer.span(Phase::wire_dim(dim));
+        let payload = comm.recv(from, tag_bwd)?;
+        wire.set_bytes(payload.len() as u64);
+        payload
+    };
+    {
+        let _scatter = tracer.span(Phase::Scatter);
+        decode_face_into::<P>(&payload, n_active * faces, &mut values)
+            .map_err(|error| CommError::Decode { from, tag: tag_bwd, error })?;
+        for (k, (field, _)) in fields.iter_mut().zip(active.iter()).filter(|(_, &a)| a).enumerate()
+        {
+            store_ghost_dim(field, dim, false, &values[k * seg..(k + 1) * seg]);
+        }
+    }
+    Ok(())
+}
+
+/// Blocking fused exchange over every partitioned dimension of `plan` for
+/// a whole RHS block: all sends first, then all receives — the batched
+/// analog of [`exchange_spinor_ghosts_grid`], with one message per
+/// `(dimension, direction)` regardless of the batch size.
+#[allow(clippy::too_many_arguments)]
+pub fn exchange_spinor_ghosts_grid_multi<P: Precision>(
+    comm: &mut Communicator,
+    fields: &mut [SpinorFieldCb<P>],
+    active: &[bool],
+    basis: &quda_math::gamma::SpinBasis,
+    stencil: &Stencil,
+    plan: &DecompPlan,
+    parity: Parity,
+    dagger: bool,
+) -> Result<(), CommError> {
+    for dim in plan.active_dims() {
+        send_faces_dim_multi(comm, fields, active, basis, stencil, plan, dim, parity, dagger)?;
+    }
+    for dim in plan.active_dims() {
+        recv_faces_dim_multi(comm, fields, active, plan, dim)?;
+    }
+    Ok(())
+}
+
 /// One-time exchange of the gauge ghost slice at program initialization
 /// (Section VI-B: "since the link matrices are constant throughout the
 /// execution of the linear solver, we transfer the adjoining link matrices
@@ -628,6 +773,109 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn fused_multi_rhs_exchange_bit_identical_to_sequential() {
+        // The fused batched exchange must leave every active RHS's ghost
+        // zone bit-identical to what a single-RHS exchange delivers, at
+        // every wire precision, while sending one message per direction.
+        fn check<P: Precision>() {
+            let d = dims();
+            let open = [false, false, false, true];
+            let basis = SpinBasis::new(GammaBasis::NonRelativistic);
+            let stencil = Stencil::new(d, true);
+            let plan = DecompPlan::new(d, [1, 1, 1, 1]);
+            let n = 4;
+            let mut fused: Vec<SpinorFieldCb<P>> = (0..n)
+                .map(|r| {
+                    let mut f = SpinorFieldCb::<P>::new_open(d, open);
+                    f.upload(&random_spinor_field(d, 60 + r as u64), Parity::Odd);
+                    f
+                })
+                .collect();
+            let mut active = vec![true; n];
+            active[1] = false;
+            let mut world = quda_comm::comm_world(1);
+            let mut comm = world.pop().unwrap();
+            let before = comm.sent_messages();
+            send_faces_dim_multi(
+                &mut comm,
+                &fused,
+                &active,
+                &basis,
+                &stencil,
+                &plan,
+                3,
+                Parity::Odd,
+                false,
+            )
+            .unwrap();
+            recv_faces_dim_multi(&mut comm, &mut fused, &active, &plan, 3).unwrap();
+            assert_eq!(comm.sent_messages() - before, 2, "one fused message per direction");
+            for r in 0..n {
+                if !active[r] {
+                    continue;
+                }
+                let mut single = SpinorFieldCb::<P>::new_open(d, open);
+                single.upload(&random_spinor_field(d, 60 + r as u64), Parity::Odd);
+                send_faces_dim(&mut comm, &single, &basis, &stencil, &plan, 3, Parity::Odd, false)
+                    .unwrap();
+                recv_faces_dim(&mut comm, &mut single, &plan, 3).unwrap();
+                for face in 0..single.face_sites_dim(3) {
+                    for backward in [true, false] {
+                        assert_eq!(
+                            fused[r].get_ghost_dim(3, backward, face),
+                            single.get_ghost_dim(3, backward, face),
+                            "rhs={r} backward={backward} face={face}"
+                        );
+                    }
+                }
+            }
+        }
+        check::<Double>();
+        check::<Single>();
+        check::<Half>();
+        check::<quda_fields::precision::Quarter>();
+    }
+
+    #[test]
+    fn fused_wire_bytes_match_rhs_scaled_sizing() {
+        // The fused payload must match `face_wire_bytes_dyn(.., n_rhs)` —
+        // the single source of truth the ghost-sizing lint enforces.
+        let d = dims();
+        let open = [false, false, false, true];
+        let basis = SpinBasis::new(GammaBasis::NonRelativistic);
+        let stencil = Stencil::new(d, true);
+        let plan = DecompPlan::new(d, [1, 1, 1, 1]);
+        let n = 3;
+        let mut fields: Vec<SpinorFieldCb<Half>> = (0..n)
+            .map(|r| {
+                let mut f = SpinorFieldCb::<Half>::new_open(d, open);
+                f.upload(&random_spinor_field(d, 80 + r as u64), Parity::Odd);
+                f
+            })
+            .collect();
+        let active = vec![true; n];
+        let mut world = quda_comm::comm_world(1);
+        let mut comm = world.pop().unwrap();
+        let before = comm.sent_bytes();
+        send_faces_dim_multi(
+            &mut comm,
+            &fields,
+            &active,
+            &basis,
+            &stencil,
+            &plan,
+            3,
+            Parity::Odd,
+            false,
+        )
+        .unwrap();
+        let faces = fields[0].face_sites_dim(3);
+        let expect = face_wire_bytes_dyn(Half::STORAGE_BYTES, Half::NEEDS_NORM, faces, n) as u64;
+        assert_eq!(comm.sent_bytes() - before, 2 * expect);
+        recv_faces_dim_multi(&mut comm, &mut fields, &active, &plan, 3).unwrap();
     }
 
     #[test]

@@ -35,15 +35,17 @@ pub mod reshard;
 pub mod slice;
 
 pub use driver::{
-    solve_full_grid, solve_full_grid_chaos, solve_full_grid_elastic, solve_full_grid_traced,
-    solve_full_parallel, solve_full_parallel_chaos, solve_full_parallel_elastic,
-    solve_full_parallel_traced, verify_full_solution, ChaosSpec, CommHealth, ElasticPolicy,
-    ElasticSolve, GridSolveSpec, ParallelSolveSpec, PrecisionMode, RecoveryEvent, RecoveryReport,
-    SolverKind, TracedSolve,
+    solve_full_grid, solve_full_grid_chaos, solve_full_grid_elastic, solve_full_grid_multi,
+    solve_full_grid_traced, solve_full_parallel, solve_full_parallel_chaos,
+    solve_full_parallel_elastic, solve_full_parallel_multi, solve_full_parallel_traced,
+    verify_full_solution, ChaosSpec, CommHealth, ElasticPolicy, ElasticSolve, GridSolveSpec,
+    MultiSolve, ParallelSolveSpec, PrecisionMode, RecoveryEvent, RecoveryReport, SolverKind,
+    TracedSolve,
 };
 pub use ghost::{
     decode_face_into, encode_face, exchange_gauge_ghosts, exchange_gauge_ghosts_grid,
-    exchange_spinor_ghosts, exchange_spinor_ghosts_grid, face_wire_bytes, face_wire_bytes_dyn,
+    exchange_spinor_ghosts, exchange_spinor_ghosts_grid, exchange_spinor_ghosts_grid_multi,
+    face_wire_bytes, face_wire_bytes_dyn,
 };
 pub use multidim::{best_grid, sustained_gflops_grid, ProcessGrid};
 pub use perf::{evaluate, min_gpus, solver_memory_per_gpu, PerfInput, PerfReport};

@@ -338,7 +338,8 @@ mod tests {
                             face_wire_bytes_dyn(
                                 tag.storage_bytes(),
                                 tag.needs_norm(),
-                                plan.face_sites_cb(dim)
+                                plan.face_sites_cb(dim),
+                                1
                             ),
                             "grid {g} dim {dim} tag {tag:?}"
                         );

@@ -110,7 +110,7 @@ pub fn mode_tags(mode: PrecisionMode) -> (PrecisionTag, PrecisionTag) {
 /// Bytes of one spinor face message (Section VI-C: 12 reals per site plus a
 /// normalization per site in half precision).
 pub fn face_bytes(tag: PrecisionTag, face_sites: usize) -> usize {
-    crate::ghost::face_wire_bytes_dyn(tag.storage_bytes(), tag.needs_norm(), face_sites)
+    crate::ghost::face_wire_bytes_dyn(tag.storage_bytes(), tag.needs_norm(), face_sites, 1)
 }
 
 /// `cudaMemcpy` calls needed to gather one face to the host: one per face

@@ -12,12 +12,15 @@
 //! (Section VI-E).
 
 use crate::ghost::{
-    exchange_gauge_ghosts_grid, exchange_spinor_ghosts_grid, recv_faces_dim, send_faces_dim,
+    exchange_gauge_ghosts_grid, exchange_spinor_ghosts_grid, exchange_spinor_ghosts_grid_multi,
+    recv_faces_dim, recv_faces_dim_multi, send_faces_dim, send_faces_dim_multi,
 };
 use crate::slice::{local_clover_grid, slice_config_grid};
 use quda_comm::{CommError, CommStats, Communicator};
-use quda_dirac::clover_apply::{clover_apply_cb, clover_axpy_cb};
-use quda_dirac::dslash::{dslash_cb, DslashRegion};
+use quda_dirac::clover_apply::{
+    clover_apply_cb, clover_apply_cb_multi, clover_axpy_cb, clover_axpy_cb_multi,
+};
+use quda_dirac::dslash::{dslash_cb, dslash_cb_multi, DslashRegion, MAX_RHS_BATCH};
 use quda_dirac::{WilsonCloverOp, WilsonParams, INNER_PARITY, SOLVE_PARITY};
 use quda_fields::host::GaugeConfig;
 use quda_fields::precision::Precision;
@@ -52,6 +55,10 @@ pub struct ParallelWilsonCloverOp<P: Precision> {
     pub plan: DecompPlan,
     tmp1: SpinorFieldCb<P>,
     tmp2: SpinorFieldCb<P>,
+    // Per-RHS scratch for the batched application, grown on demand to the
+    // largest batch seen so steady-state sweeps never allocate.
+    tmp1s: Vec<SpinorFieldCb<P>>,
+    tmp2s: Vec<SpinorFieldCb<P>>,
     /// Face exchanges performed (2 per operator application).
     pub exchange_count: u64,
     // First communication error seen; once set the operator is *poisoned*:
@@ -160,6 +167,114 @@ fn dslash_exchanged<P: Precision>(
     Ok(1)
 }
 
+/// Batched analog of [`dslash_exchanged`]: one fused face message per
+/// `(dimension, direction)` for the whole RHS block, and one gauge-link
+/// decode per `(site, μ)` shared across the block. Per active RHS the
+/// result is bit-identical to [`dslash_exchanged`] (same decoded ghost
+/// values, same kernel arithmetic).
+#[allow(clippy::too_many_arguments)]
+fn dslash_exchanged_multi<P: Precision>(
+    comm: &mut Communicator,
+    op: &WilsonCloverOp<P>,
+    plan: &DecompPlan,
+    strategy: CommStrategy,
+    partitioned: bool,
+    outs: &mut [SpinorFieldCb<P>],
+    inputs: &mut [SpinorFieldCb<P>],
+    active: &[bool],
+    out_parity: Parity,
+    dagger: bool,
+) -> Result<u64, CommError> {
+    let tracer = comm.tracer().clone();
+    if !partitioned {
+        let _kernel = tracer.span(Phase::Kernel);
+        dslash_cb_multi(
+            outs,
+            &op.gauge,
+            inputs,
+            out_parity,
+            &op.stencil,
+            &op.basis,
+            dagger,
+            DslashRegion::All,
+            active,
+        );
+        return Ok(0);
+    }
+    let in_parity = out_parity.other();
+    match strategy {
+        CommStrategy::NoOverlap => {
+            exchange_spinor_ghosts_grid_multi(
+                comm,
+                inputs,
+                active,
+                &op.basis,
+                &op.stencil,
+                plan,
+                in_parity,
+                dagger,
+            )?;
+            let _kernel = tracer.span(Phase::Kernel);
+            dslash_cb_multi(
+                outs,
+                &op.gauge,
+                inputs,
+                out_parity,
+                &op.stencil,
+                &op.basis,
+                dagger,
+                DslashRegion::All,
+                active,
+            );
+        }
+        CommStrategy::Overlap => {
+            for dim in plan.active_dims() {
+                send_faces_dim_multi(
+                    comm,
+                    inputs,
+                    active,
+                    &op.basis,
+                    &op.stencil,
+                    plan,
+                    dim,
+                    in_parity,
+                    dagger,
+                )?;
+            }
+            {
+                let _interior = tracer.span(Phase::Interior);
+                dslash_cb_multi(
+                    outs,
+                    &op.gauge,
+                    inputs,
+                    out_parity,
+                    &op.stencil,
+                    &op.basis,
+                    dagger,
+                    DslashRegion::Interior,
+                    active,
+                );
+            }
+            for dim in plan.active_dims() {
+                recv_faces_dim_multi(comm, inputs, active, plan, dim)?;
+                let _exterior = tracer.span(Phase::exterior_dim(dim));
+                dslash_cb_multi(
+                    outs,
+                    &op.gauge,
+                    inputs,
+                    out_parity,
+                    &op.stencil,
+                    &op.basis,
+                    dagger,
+                    DslashRegion::FacesDim(dim),
+                    active,
+                );
+            }
+        }
+    }
+    Ok(1)
+}
+
 impl<P: Precision> ParallelWilsonCloverOp<P> {
     /// Build a rank's operator from the global configuration: slices the
     /// gauge field, computes the (globally correct) clover term, uploads at
@@ -215,6 +330,8 @@ impl<P: Precision> ParallelWilsonCloverOp<P> {
             plan,
             tmp1,
             tmp2,
+            tmp1s: Vec::new(),
+            tmp2s: Vec::new(),
             exchange_count: 0,
             fault: None,
         })
@@ -302,6 +419,92 @@ impl<P: Precision> ParallelWilsonCloverOp<P> {
             &self.op.map,
         );
         self.op.matpc_count.set(self.op.matpc_count.get() + 1);
+        Ok(())
+    }
+
+    /// Batched parallel matpc: `outs[r] = M̂ ins[r]` for every active RHS,
+    /// with one fused face exchange per hopping term for the whole block.
+    ///
+    /// Per active RHS the result is bit-identical to
+    /// [`ParallelWilsonCloverOp::apply_matpc_par`]; inactive slots are left
+    /// untouched. Fault semantics match the single-RHS path: a
+    /// communication failure poisons the operator and the application
+    /// becomes a no-op.
+    pub fn apply_matpc_par_multi(
+        &mut self,
+        outs: &mut [SpinorFieldCb<P>],
+        ins: &mut [SpinorFieldCb<P>],
+        active: &[bool],
+        dagger: bool,
+    ) {
+        if self.fault.is_some() {
+            return;
+        }
+        if let Err(e) = self.try_apply_matpc_par_multi(outs, ins, active, dagger) {
+            self.fault = Some(e);
+        }
+    }
+
+    fn try_apply_matpc_par_multi(
+        &mut self,
+        outs: &mut [SpinorFieldCb<P>],
+        ins: &mut [SpinorFieldCb<P>],
+        active: &[bool],
+        dagger: bool,
+    ) -> Result<(), CommError> {
+        let n = ins.len();
+        assert_eq!(outs.len(), n);
+        assert_eq!(active.len(), n);
+        assert!(n <= MAX_RHS_BATCH, "batch exceeds MAX_RHS_BATCH");
+        let n_active = active.iter().filter(|&&a| a).count();
+        if n_active == 0 {
+            return Ok(());
+        }
+        while self.tmp1s.len() < n {
+            self.tmp1s.push(self.op.alloc_spinor());
+            self.tmp2s.push(self.op.alloc_spinor());
+        }
+        self.exchange_count += dslash_exchanged_multi(
+            &mut self.comm,
+            &self.op,
+            &self.plan,
+            self.strategy,
+            self.partitioned,
+            &mut self.tmp1s[..n],
+            ins,
+            active,
+            INNER_PARITY,
+            dagger,
+        )?;
+        clover_apply_cb_multi(
+            &mut self.tmp2s[..n],
+            &self.op.clover_inv[INNER_PARITY.as_usize()],
+            &self.tmp1s[..n],
+            &self.op.map,
+            active,
+        );
+        self.exchange_count += dslash_exchanged_multi(
+            &mut self.comm,
+            &self.op,
+            &self.plan,
+            self.strategy,
+            self.partitioned,
+            &mut self.tmp1s[..n],
+            &mut self.tmp2s[..n],
+            active,
+            SOLVE_PARITY,
+            dagger,
+        )?;
+        clover_axpy_cb_multi(
+            outs,
+            &self.op.clover[SOLVE_PARITY.as_usize()],
+            ins,
+            P::Arith::from_f64(-0.25),
+            &self.tmp1s[..n],
+            &self.op.map,
+            active,
+        );
+        self.op.matpc_count.set(self.op.matpc_count.get() + n_active as u64);
         Ok(())
     }
 
@@ -399,6 +602,24 @@ impl<P: Precision> LinearOperator<P> for ParallelWilsonCloverOp<P> {
         self.apply_matpc_par(out, input, true);
     }
 
+    fn apply_multi(
+        &mut self,
+        outs: &mut [SpinorFieldCb<P>],
+        ins: &mut [SpinorFieldCb<P>],
+        active: &[bool],
+    ) {
+        self.apply_matpc_par_multi(outs, ins, active, false);
+    }
+
+    fn apply_dagger_multi(
+        &mut self,
+        outs: &mut [SpinorFieldCb<P>],
+        ins: &mut [SpinorFieldCb<P>],
+        active: &[bool],
+    ) {
+        self.apply_matpc_par_multi(outs, ins, active, true);
+    }
+
     fn flops_per_apply(&self) -> u64 {
         self.op.dims.half_volume() as u64 * quda_dirac::flops::MATPC_FLOPS_PER_SITE
     }
@@ -425,6 +646,20 @@ impl<P: Precision> LinearOperator<P> for ParallelWilsonCloverOp<P> {
             Err(e) => {
                 self.fault = Some(e);
                 C64::new(f64::NAN, f64::NAN)
+            }
+        }
+    }
+
+    fn reduce_vec(&mut self, locals: &mut [f64]) {
+        if self.fault.is_some() {
+            locals.fill(f64::NAN);
+            return;
+        }
+        match self.comm.allreduce_vec(locals) {
+            Ok(v) => locals.copy_from_slice(&v),
+            Err(e) => {
+                self.fault = Some(e);
+                locals.fill(f64::NAN);
             }
         }
     }
@@ -591,6 +826,123 @@ mod tests {
             let dist = expect.max_site_dist(&got);
             assert!(dist < 1e-12, "dagger={dagger}: max site distance {dist}");
         }
+    }
+
+    #[test]
+    fn batched_matpc_bit_identical_to_sequential_across_ranks() {
+        // A 2-rank batched application must be bit-identical, per RHS, to
+        // the single-RHS path — for both strategies, with a masked slot.
+        for strategy in [CommStrategy::NoOverlap, CommStrategy::Overlap] {
+            let (cfg, part, wp) = global_setup();
+            let d = part.local_dims();
+            let n = 3;
+            let hosts: Vec<HostSpinorField> =
+                (0..n).map(|r| random_spinor_field(d, 90 + r as u64)).collect();
+            let mut active = vec![true; n];
+            active[1] = false;
+            let run = |batched: bool| -> Vec<Vec<HostSpinorField>> {
+                let world = quda_comm::comm_world(part.n_ranks);
+                let handles: Vec<_> = world
+                    .into_iter()
+                    .enumerate()
+                    .map(|(rank, comm)| {
+                        let cfg = cfg.clone();
+                        let hosts = hosts.clone();
+                        let active = active.clone();
+                        std::thread::spawn(move || {
+                            let mut op = ParallelWilsonCloverOp::<Double>::new(
+                                &cfg, part, rank, comm, wp, strategy,
+                            )
+                            .unwrap();
+                            let mut ins: Vec<_> = hosts
+                                .iter()
+                                .map(|h| {
+                                    let mut x = op.alloc();
+                                    x.upload(h, Parity::Odd);
+                                    x
+                                })
+                                .collect();
+                            let mut outs: Vec<_> = (0..ins.len()).map(|_| op.alloc()).collect();
+                            if batched {
+                                op.apply_matpc_par_multi(&mut outs, &mut ins, &active, false);
+                            } else {
+                                for r in 0..ins.len() {
+                                    if active[r] {
+                                        op.apply_matpc_par(&mut outs[r], &mut ins[r], false);
+                                    }
+                                }
+                            }
+                            let downs: Vec<HostSpinorField> = outs
+                                .iter()
+                                .map(|o| {
+                                    let mut h = HostSpinorField::zero(part.local_dims());
+                                    o.download(&mut h, Parity::Odd);
+                                    h
+                                })
+                                .collect();
+                            (rank, downs)
+                        })
+                    })
+                    .collect();
+                let mut locals: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+                locals.sort_by_key(|(r, _)| *r);
+                locals.into_iter().map(|(_, f)| f).collect()
+            };
+            let batched = run(true);
+            let sequential = run(false);
+            for rank in 0..part.n_ranks {
+                for r in 0..n {
+                    let dist = batched[rank][r].max_site_dist(&sequential[rank][r]);
+                    assert_eq!(
+                        dist, 0.0,
+                        "{strategy:?} rank={rank} rhs={r}: batched differs from sequential"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_matpc_sends_one_message_set_per_sweep() {
+        // The whole point of the fused path: the wire message count of a
+        // batch-N application equals that of a batch-1 application.
+        let (cfg, part, wp) = global_setup();
+        let d = part.local_dims();
+        let count_msgs = |n: usize| -> u64 {
+            let world = quda_comm::comm_world(part.n_ranks);
+            let handles: Vec<_> = world
+                .into_iter()
+                .enumerate()
+                .map(|(rank, comm)| {
+                    let cfg = cfg.clone();
+                    std::thread::spawn(move || {
+                        let mut op = ParallelWilsonCloverOp::<Double>::new(
+                            &cfg,
+                            part,
+                            rank,
+                            comm,
+                            wp,
+                            CommStrategy::NoOverlap,
+                        )
+                        .unwrap();
+                        let before = op.comm.sent_messages();
+                        let mut ins: Vec<_> = (0..n)
+                            .map(|r| {
+                                let mut x = op.alloc();
+                                x.upload(&random_spinor_field(d, r as u64), Parity::Odd);
+                                x
+                            })
+                            .collect();
+                        let mut outs: Vec<_> = (0..n).map(|_| op.alloc()).collect();
+                        let active = vec![true; n];
+                        op.apply_matpc_par_multi(&mut outs, &mut ins, &active, false);
+                        op.comm.sent_messages() - before
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).max().unwrap()
+        };
+        assert_eq!(count_msgs(1), count_msgs(4), "message count must not scale with batch size");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 /// Number of distinct phases; arrays indexed by [`Phase::index`] have
 /// this length.
-pub const PHASE_COUNT: usize = 25;
+pub const PHASE_COUNT: usize = 26;
 
 /// One phase of a traced solve. `Copy` and dense-indexable so per-rank
 /// aggregation is a fixed-size array, not a hash map.
@@ -73,6 +73,10 @@ pub enum Phase {
     /// Rank-side rehydration after a world rebuild: restoring the iterate
     /// and residual from the last globally consistent checkpoint.
     Recovery,
+    /// One blocked multi-RHS Krylov solve: the span the inversion service
+    /// opens around a batched solver call (DESIGN.md §14). Per-iteration
+    /// phases (`Matvec`, `Blas`, …) nest inside it.
+    Batch,
 }
 
 impl Phase {
@@ -103,6 +107,7 @@ impl Phase {
         Phase::ExteriorZ,
         Phase::Checkpoint,
         Phase::Recovery,
+        Phase::Batch,
     ];
 
     /// Dense index in `0..PHASE_COUNT`.
@@ -161,6 +166,7 @@ impl Phase {
             Phase::ExteriorZ => "exterior_z",
             Phase::Checkpoint => "checkpoint",
             Phase::Recovery => "recovery",
+            Phase::Batch => "batch",
         }
     }
 }

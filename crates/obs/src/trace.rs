@@ -273,7 +273,8 @@ fn phase_cat(phase: Phase) -> &'static str {
         | Phase::Reduce
         | Phase::ReliableUpdate
         | Phase::Prepare
-        | Phase::Reconstruct => "solver",
+        | Phase::Reconstruct
+        | Phase::Batch => "solver",
         Phase::Checkpoint | Phase::Recovery => "resilience",
     }
 }

@@ -1,0 +1,71 @@
+//! Service and per-tenant configuration.
+
+use quda_dirac::MAX_RHS_BATCH;
+
+/// Static configuration of a [`Service`](crate::Service).
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads. Each worker owns a [`quda_core::Quda`] context and
+    /// dispatches one batch at a time.
+    pub workers: usize,
+    /// Most right-hand sides fused into one blocked solve. Clamped to
+    /// `1..=MAX_RHS_BATCH` ([`quda_dirac::MAX_RHS_BATCH`]).
+    pub max_batch: usize,
+    /// Bounded queue depth per tenant; a submission past it is rejected
+    /// with [`ServiceError::QueueFull`](crate::ServiceError::QueueFull).
+    pub queue_capacity: usize,
+    /// Scheduling weight for tenants without an explicit
+    /// [`TenantConfig`]; higher weight means a larger share.
+    pub default_weight: u32,
+    /// Record the tenant of every dispatched request in
+    /// [`ServiceStats::dispatch_log`](crate::ServiceStats::dispatch_log)
+    /// — the fairness suite's observability hook. Off by default: the log
+    /// grows with every request.
+    pub log_dispatch_order: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 1,
+            max_batch: MAX_RHS_BATCH,
+            queue_capacity: 64,
+            default_weight: 1,
+            log_dispatch_order: false,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// The effective per-batch RHS cap.
+    pub fn batch_cap(&self) -> usize {
+        self.max_batch.clamp(1, MAX_RHS_BATCH)
+    }
+}
+
+/// Per-tenant overrides registered via
+/// [`Service::configure_tenant`](crate::Service::configure_tenant).
+#[derive(Clone, Copy, Debug)]
+pub struct TenantConfig {
+    /// Scheduling weight: a tenant with weight 2 gets twice the service
+    /// share of a weight-1 tenant while both are backlogged. Clamped to a
+    /// minimum of 1.
+    pub weight: u32,
+    /// Queue depth bound for this tenant.
+    pub queue_capacity: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_cap_clamps_to_library_limit() {
+        let mut c = ServiceConfig::default();
+        assert_eq!(c.batch_cap(), MAX_RHS_BATCH);
+        c.max_batch = 0;
+        assert_eq!(c.batch_cap(), 1);
+        c.max_batch = 100;
+        assert_eq!(c.batch_cap(), MAX_RHS_BATCH);
+    }
+}

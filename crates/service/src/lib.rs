@@ -1,0 +1,69 @@
+//! # quda-service
+//!
+//! A long-running, multi-tenant inversion service over the [`quda_core`]
+//! interface (DESIGN.md §14).
+//!
+//! Lattice-QCD analysis campaigns invert the same Dirac operator against
+//! thousands of right-hand sides: one propagator per source position,
+//! spin, and color, all on a handful of gauge configurations. Calling
+//! [`quda_core::Quda::invert`] once per source leaves the dominant cost —
+//! reading the gauge field — unamortized. This crate runs the inversions
+//! as a service instead:
+//!
+//! * **Cached gauge fields** — configurations are loaded once, validated
+//!   once, and shared by reference count ([`std::sync::Arc`]) across every
+//!   worker; see [`Service::load_gauge`].
+//! * **Batching** — queued requests with the same [`BatchKey`] (gauge,
+//!   operator, precision, solver controls) are fused into one blocked
+//!   multi-RHS solve, so gauge links are read once per Krylov sweep and
+//!   one set of face messages moves per exchange. Batched solutions are
+//!   bit-identical to sequential ones (the batched-equivalence suite
+//!   enforces this).
+//! * **Admission control** — per-tenant bounded queues reject with
+//!   [`ServiceError::QueueFull`] instead of growing without bound, and
+//!   requests carry optional deadlines that expire in the queue rather
+//!   than wasting a solve.
+//! * **Weighted-fair scheduling** — tenants are served by start-time
+//!   virtual-time fairness, so a flooding tenant cannot starve a trickle
+//!   tenant (see `tests/fairness.rs`).
+//!
+//! ```no_run
+//! use quda_core::{QudaInvertParam, PrecisionMode};
+//! use quda_fields::gauge_gen::weak_field;
+//! use quda_fields::host::HostSpinorField;
+//! use quda_lattice::geometry::{Coord, LatticeDims};
+//! use quda_service::{Service, ServiceConfig, SolveRequest};
+//!
+//! let dims = LatticeDims::new(4, 4, 4, 8);
+//! let mut service = Service::new(ServiceConfig::default());
+//! let gauge = service.load_gauge(weak_field(dims, 0.1, 42)).unwrap();
+//! service.start();
+//! let param = QudaInvertParam::paper_mode(PrecisionMode::Double, 2)
+//!     .with_mass(0.3)
+//!     .with_tol(1e-10)
+//!     .with_tenant(7);
+//! let source = HostSpinorField::point_source(dims, Coord::new(0, 0, 0, 0), 0, 0);
+//! let ticket = service.submit(SolveRequest { gauge, source, param }).unwrap();
+//! let (solution, report) = ticket.wait().unwrap();
+//! assert!(report.converged);
+//! assert!(report.queue.batch_size >= 1);
+//! let stats = service.shutdown();
+//! assert_eq!(stats.completed, 1);
+//! # let _ = solution;
+//! ```
+
+#![warn(missing_docs)]
+// Service threads must not panic: a dead worker strands every queued
+// ticket. Locks recover from poisoning via `PoisonError::into_inner`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod batch;
+pub mod config;
+pub mod request;
+pub mod service;
+pub mod tenant;
+
+pub use batch::BatchKey;
+pub use config::{ServiceConfig, TenantConfig};
+pub use request::{ServiceError, ServiceGaugeId, SolveRequest, Ticket};
+pub use service::{Service, ServiceStats, TenantStats};

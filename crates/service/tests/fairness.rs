@@ -1,0 +1,102 @@
+//! Weighted-fair scheduling under adversarial load: a tenant flooding its
+//! queue must not starve a trickle tenant (DESIGN.md §14).
+
+use quda_core::{PrecisionMode, QudaInvertParam};
+use quda_fields::gauge_gen::{random_spinor_field, weak_field};
+use quda_lattice::geometry::LatticeDims;
+use quda_service::{Service, ServiceConfig, SolveRequest, TenantConfig};
+
+const FLOODER: u32 = 1;
+const TRICKLE: u32 = 2;
+
+fn dims() -> LatticeDims {
+    LatticeDims::new(4, 4, 2, 4)
+}
+
+fn param(tenant: u32) -> QudaInvertParam {
+    QudaInvertParam::paper_mode(PrecisionMode::Double, 2)
+        .with_mass(0.3)
+        .with_tol(1e-8)
+        .with_tenant(tenant)
+}
+
+/// Preload a paused single-worker service (batch size 1, so the dispatch
+/// log is exactly the service order), then start it and read the order.
+fn run_preloaded(flood: usize, trickle: usize, weights: (u32, u32)) -> Vec<u32> {
+    let mut service = Service::new(ServiceConfig {
+        workers: 1,
+        max_batch: 1,
+        queue_capacity: flood + trickle,
+        default_weight: 1,
+        log_dispatch_order: true,
+    });
+    service.configure_tenant(
+        FLOODER,
+        TenantConfig { weight: weights.0, queue_capacity: flood + trickle },
+    );
+    service.configure_tenant(
+        TRICKLE,
+        TenantConfig { weight: weights.1, queue_capacity: flood + trickle },
+    );
+    let gauge = service.load_gauge(weak_field(dims(), 0.15, 7)).unwrap();
+    let mut tickets = Vec::with_capacity(flood + trickle);
+    for seed in 0..flood {
+        let source = random_spinor_field(dims(), 100 + seed as u64);
+        tickets
+            .push(service.submit(SolveRequest { gauge, source, param: param(FLOODER) }).unwrap());
+    }
+    for seed in 0..trickle {
+        let source = random_spinor_field(dims(), 900 + seed as u64);
+        tickets
+            .push(service.submit(SolveRequest { gauge, source, param: param(TRICKLE) }).unwrap());
+    }
+    service.start();
+    for t in tickets {
+        let (_, report) = t.wait().expect("service solve");
+        assert!(report.converged);
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.completed as usize, flood + trickle);
+    stats.dispatch_log
+}
+
+#[test]
+fn flooding_tenant_cannot_starve_trickle_tenant() {
+    let log = run_preloaded(50, 5, (1, 1));
+    assert_eq!(log.len(), 55);
+    // Equal weights: while both are backlogged the scheduler alternates,
+    // so every trickle request is served within the first 11 dispatches —
+    // not after the flooder's 50.
+    let last_trickle = log
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| **t == TRICKLE)
+        .map(|(i, _)| i)
+        .max()
+        .expect("trickle tenant never dispatched");
+    assert!(
+        last_trickle <= 10,
+        "trickle tenant starved: last of its 5 requests dispatched at position \
+         {last_trickle} of {} (log prefix: {:?})",
+        log.len(),
+        &log[..12.min(log.len())]
+    );
+    // And the flooder still gets its fair half of the shared window.
+    let flood_in_prefix = log[..10].iter().filter(|t| **t == FLOODER).count();
+    assert_eq!(flood_in_prefix, 5, "log prefix: {:?}", &log[..10]);
+}
+
+#[test]
+fn weights_set_the_service_ratio() {
+    // Flooder paying for weight 3 gets three dispatches per trickle one
+    // while both are backlogged.
+    let log = run_preloaded(30, 8, (3, 1));
+    let prefix = &log[..16];
+    let flood = prefix.iter().filter(|t| **t == FLOODER).count();
+    let trickle = prefix.iter().filter(|t| **t == TRICKLE).count();
+    assert!(
+        (flood as i64 - 12).abs() <= 1 && (trickle as i64 - 4).abs() <= 1,
+        "expected ~3:1 service ratio in the shared window, got {flood}:{trickle} \
+         (prefix {prefix:?})"
+    );
+}

@@ -9,6 +9,9 @@
 //! * [`cg`](mod@cg) — CG on the normal equations (CGNR);
 //! * [`mixed`] — mixed-precision reliable updates and the defect-correction
 //!   baseline (Section V-D);
+//! * [`multi`] — blocked multi-RHS variants of the above, batching
+//!   compatible systems through fused gauge sweeps while staying
+//!   bit-identical per RHS (DESIGN.md §14);
 //! * [`params`] — solver parameters matching Section VII-A;
 //! * [`spectral`] — power/inverse-power spectrum probes quantifying the
 //!   condition-number claims of Section II.
@@ -23,6 +26,7 @@ pub mod blas;
 pub mod cg;
 pub mod checkpoint;
 pub mod mixed;
+pub mod multi;
 pub mod operator;
 pub mod params;
 pub mod spectral;
@@ -36,6 +40,7 @@ pub use checkpoint::{
     CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
 };
 pub use mixed::{bicgstab_defect_correction, bicgstab_reliable, bicgstab_reliable_ckpt};
+pub use multi::{bicgstab_multi, bicgstab_reliable_multi, cgnr_multi};
 pub use operator::{LinearOperator, MatPcOp, OpFault};
 pub use params::{SolveResult, SolverParams};
 pub use spectral::{estimate_spectrum, lambda_max, lambda_min, SpectrumEstimate};

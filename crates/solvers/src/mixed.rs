@@ -34,7 +34,7 @@ pub(crate) const MAX_RECOVERIES: u64 = 8;
 
 /// A reliable update that *grows* the true residual by more than this
 /// factor is treated as corrupted state rather than ordinary sloppy drift.
-const DIVERGE_FACTOR: f64 = 1e6;
+pub(crate) const DIVERGE_FACTOR: f64 = 1e6;
 
 /// Outcome of one sloppy BiCGstab iteration (including any reliable
 /// update): drives the control flow of [`bicgstab_reliable`]'s main loop.
@@ -56,7 +56,7 @@ enum Step {
 
 /// Add a low-precision correction into a high-precision vector:
 /// `x_hi += conv(e_lo)`.
-fn accumulate<H: Precision, L: Precision>(
+pub(crate) fn accumulate<H: Precision, L: Precision>(
     x_hi: &mut SpinorFieldCb<H>,
     e_lo: &SpinorFieldCb<L>,
     scratch_hi: &mut SpinorFieldCb<H>,

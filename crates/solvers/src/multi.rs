@@ -1,0 +1,1167 @@
+//! Blocked (multi-right-hand-side) Krylov solvers.
+//!
+//! The inversion service batches compatible solve requests so the gauge
+//! links are read **once per Dslash sweep** for the whole block instead of
+//! once per right-hand side — the dominant memory traffic of the solver
+//! (Section IV-B: the Dslash is memory-bandwidth bound). The solvers here
+//! drive that fused sweep through [`LinearOperator::apply_multi`] while
+//! keeping every scalar recurrence *per RHS*:
+//!
+//! * each right-hand side carries its own residual, search direction, and
+//!   scalar state (α, β, ρ, ω, …);
+//! * the per-RHS reductions of each algorithmic point are packed, in RHS
+//!   order, into **one fused vector allreduce**
+//!   ([`LinearOperator::reduce_vec`]). A vector allreduce combines every
+//!   component in the same rank order as a scalar allreduce, so the
+//!   reduced values — and therefore the iteration counts and the
+//!   solutions — stay **bit-identical** to a sequence of batch-1 solves,
+//!   while the collective count per iteration drops from `O(batch)` to a
+//!   constant;
+//! * a right-hand side that converges (or breaks down) drops out of the
+//!   *active mask*: its vectors are frozen and the remaining systems keep
+//!   iterating in a smaller fused sweep.
+//!
+//! Because every active-mask decision is derived from globally reduced
+//! values, the mask is identical on every rank and the collective stream
+//! stays rank-uniform — the batched solvers pass the `QUDA_LOCKSTEP=1`
+//! sanitizer unchanged. Rollbacks, reliable updates, and true-residual
+//! tails go through the single-RHS operator paths, which the
+//! [`LinearOperator::apply_multi`] contract guarantees are bit-identical
+//! to the batched sweep.
+//!
+//! Elastic checkpoint sinks are intentionally *not* supported here: the
+//! service retries a failed batch member as a fresh request instead of
+//! resuming mid-Krylov (DESIGN.md §14).
+
+use crate::blas::{self, BlasCounters};
+use crate::mixed::{accumulate, DIVERGE_FACTOR, MAX_RECOVERIES};
+use crate::operator::{residual_norm2, traced, traced_iter, LinearOperator};
+use crate::params::{SolveResult, SolverParams};
+use quda_fields::precision::Precision;
+use quda_fields::SpinorFieldCb;
+use quda_math::complex::C64;
+use quda_obs::Phase;
+
+/// Refresh the CGNR rollback checkpoint every this many iterations
+/// (matches `cg::CHECKPOINT_EVERY`).
+const CHECKPOINT_EVERY: usize = 16;
+
+/// Compute `rs[k] ← bs[k] − M̂ xs[k]` and the *global* `‖rs[k]‖²` into
+/// `out[k]` for every lane with `live[k]`, in one fused sweep and one
+/// fused reduction.
+///
+/// Bit-identical per lane to [`residual_norm2`]: the
+/// [`LinearOperator::apply_multi`] contract pins the batched mat-vec to
+/// the single apply, and [`LinearOperator::reduce_vec`] combines each
+/// component in the same rank order as the scalar allreduce. Dead lanes
+/// keep their `out` slot untouched locally (the collective still sums the
+/// stale slot; it is never read back).
+fn residual_norm2_multi<P: Precision>(
+    op: &mut dyn LinearOperator<P>,
+    rs: &mut [SpinorFieldCb<P>],
+    xs: &mut [SpinorFieldCb<P>],
+    bs: &[SpinorFieldCb<P>],
+    cs: &mut [BlasCounters],
+    live: &[bool],
+    out: &mut [f64],
+) {
+    let tracer = op.tracer();
+    traced(&tracer, Phase::Matvec, || op.apply_multi(rs, xs, live));
+    for (k, alive) in live.iter().enumerate() {
+        if *alive {
+            out[k] =
+                traced(&tracer, Phase::Blas, || blas::xmy_norm(&bs[k], &mut rs[k], &mut cs[k]));
+        }
+    }
+    traced(&tracer, Phase::Reduce, || op.reduce_vec(out));
+}
+
+/// Outcome of one per-RHS iteration body; mirrors `mixed::Step` but is
+/// recorded per right-hand side and resolved once per fused sweep.
+#[derive(Clone, Copy)]
+enum Step {
+    /// Iteration completed normally; keep going.
+    Continue,
+    /// The reliable update's true residual met the target.
+    Converged,
+    /// The outer precision's rounding floor was reached (stalled updates).
+    Floor,
+    /// `r0·v` or ρ vanished: re-seed the shadow residual and retry.
+    Breakdown,
+    /// `‖t‖² = 0`: the Krylov space is exhausted.
+    Exhausted,
+    /// A non-finite or diverged quantity appeared: roll this RHS back.
+    Corrupt,
+}
+
+/// Solve `M̂ xs[k] = bs[k]` for every `k` with blocked uniform-precision
+/// BiCGstab.
+///
+/// Each `xs[k]` is used as the initial guess and holds its solution on
+/// return. The returned results are in RHS order, and each is bit-identical
+/// (solution, iteration count, residual history) to what
+/// [`bicgstab`](crate::bicgstab::bicgstab) would produce for that system
+/// alone — the batching changes memory traffic, not numerics.
+pub fn bicgstab_multi<P: Precision>(
+    op: &mut dyn LinearOperator<P>,
+    xs: &mut [SpinorFieldCb<P>],
+    bs: &[SpinorFieldCb<P>],
+    params: &SolverParams,
+) -> Vec<SolveResult> {
+    let n = xs.len();
+    assert_eq!(bs.len(), n, "solution/source batch length mismatch");
+    if n == 0 {
+        return Vec::new();
+    }
+    let tracer = op.tracer();
+    let mut cs: Vec<BlasCounters> = (0..n).map(|_| BlasCounters::default()).collect();
+    let mut matvecs = vec![0u64; n];
+    let mut iterations = vec![0usize; n];
+    let mut converged = vec![false; n];
+    let mut zero_b = vec![false; n];
+    let mut active = vec![false; n];
+    let mut abort_error: Vec<Option<String>> = (0..n).map(|_| None).collect();
+    let mut history: Vec<Vec<f64>> = (0..n).map(|_| Vec::with_capacity(params.max_iter)).collect();
+
+    let mut b_norm2 = vec![0.0f64; n];
+    for k in 0..n {
+        b_norm2[k] = traced(&tracer, Phase::Blas, || blas::norm2(&bs[k], &mut cs[k]));
+    }
+    traced(&tracer, Phase::Reduce, || op.reduce_vec(&mut b_norm2));
+    for k in 0..n {
+        if b_norm2[k] == 0.0 {
+            blas::zero(&mut xs[k]);
+            zero_b[k] = true;
+            converged[k] = true;
+        } else {
+            active[k] = true;
+        }
+    }
+    let target2: Vec<f64> = (0..n).map(|k| params.tol * params.tol * b_norm2[k]).collect();
+
+    // Entry residuals r = b − M̂ x: one fused sweep, one fused reduction.
+    let mut rs: Vec<_> = (0..n).map(|_| op.alloc()).collect();
+    let mut r_norm2 = vec![0.0f64; n];
+    residual_norm2_multi(op, &mut rs, xs, bs, &mut cs, &active, &mut r_norm2);
+    for k in 0..n {
+        if !active[k] {
+            continue;
+        }
+        matvecs[k] += 1;
+        if r_norm2[k] <= target2[k] {
+            converged[k] = true;
+            active[k] = false;
+        }
+    }
+
+    let mut r0s: Vec<_> = (0..n).map(|_| op.alloc()).collect();
+    let mut ps: Vec<_> = (0..n).map(|_| op.alloc()).collect();
+    let mut vs: Vec<_> = (0..n).map(|_| op.alloc()).collect();
+    let mut ts: Vec<_> = (0..n).map(|_| op.alloc()).collect();
+    for k in 0..n {
+        if zero_b[k] {
+            continue;
+        }
+        blas::copy(&mut r0s[k], &rs[k], &mut cs[k]);
+        blas::copy(&mut ps[k], &rs[k], &mut cs[k]);
+    }
+    let mut rho: Vec<C64> = (0..n).map(|k| C64::new(r_norm2[k], 0.0)).collect();
+    let mut alphas = vec![C64::new(0.0, 0.0); n];
+    let mut omegas = vec![C64::new(0.0, 0.0); n];
+    let mut stage = vec![false; n];
+    // Staging buffers for the fused reductions, one slot layout per
+    // algorithmic point. Slots of lanes that dropped out carry stale
+    // values: they are still summed by the collective (every rank agrees
+    // on the lane masks) but never read back.
+    let mut red_a = vec![0.0f64; 2 * n]; // r0·v as (re, im) per lane
+    let mut red_b = vec![0.0f64; n]; // ‖s‖² per lane
+    let mut red_d = vec![0.0f64; 3 * n]; // (t·s re, t·s im, ‖t‖²) / (‖r‖², ρ re, ρ im)
+    let mut sweep: u64 = 0;
+
+    loop {
+        for k in 0..n {
+            if active[k] && iterations[k] >= params.max_iter {
+                active[k] = false;
+            }
+        }
+        if !active.iter().any(|&a| a) {
+            break;
+        }
+        // A fault parked by a poisoned operator is terminal for every
+        // in-flight system: there is no checkpoint to roll back to.
+        if let Some(f) = op.fault() {
+            for k in 0..n {
+                if active[k] {
+                    // Abort path, entered at most once per batch.
+                    // quda-lint: allow(hot-alloc)
+                    abort_error[k] = Some(f.message.clone());
+                    active[k] = false;
+                }
+            }
+            break;
+        }
+        sweep += 1;
+        // v = M̂ p for the whole active block: one fused gauge sweep.
+        traced_iter(&tracer, Phase::Matvec, sweep, || op.apply_multi(&mut vs, &mut ps, &active));
+        stage.copy_from_slice(&active);
+        // α needs the globally reduced r0·v before the half-step residual
+        // can be formed, so the sweep's scalar work runs in packed passes
+        // around each fused collective.
+        for k in 0..n {
+            if !active[k] {
+                continue;
+            }
+            matvecs[k] += 1;
+            let r0v_local =
+                traced(&tracer, Phase::Blas, || blas::cdot(&r0s[k], &vs[k], &mut cs[k]));
+            red_a[2 * k] = r0v_local.re;
+            red_a[2 * k + 1] = r0v_local.im;
+        }
+        traced(&tracer, Phase::Reduce, || op.reduce_vec(&mut red_a));
+        for k in 0..n {
+            if !active[k] {
+                continue;
+            }
+            let r0v = C64::new(red_a[2 * k], red_a[2 * k + 1]);
+            if !r0v.re.is_finite() || !r0v.im.is_finite() {
+                active[k] = false; // corrupted reduction; the tail decides
+                stage[k] = false;
+                continue;
+            }
+            if r0v.norm_sqr() == 0.0 {
+                active[k] = false; // breakdown
+                stage[k] = false;
+                continue;
+            }
+            let alpha = rho[k].div(r0v);
+            alphas[k] = alpha;
+            red_b[k] = traced(&tracer, Phase::Blas, || {
+                blas::caxpy_norm(-alpha, &vs[k], &mut rs[k], &mut cs[k])
+            });
+        }
+        traced(&tracer, Phase::Reduce, || op.reduce_vec(&mut red_b));
+        for k in 0..n {
+            if !stage[k] {
+                continue;
+            }
+            let s_norm2 = red_b[k];
+            if !s_norm2.is_finite() {
+                active[k] = false;
+                stage[k] = false;
+                continue;
+            }
+            if s_norm2 <= target2[k] {
+                // Early exit on the half-step: x += α p.
+                traced(&tracer, Phase::Blas, || {
+                    blas::caxpy(alphas[k], &ps[k], &mut xs[k], &mut cs[k])
+                });
+                iterations[k] += 1;
+                converged[k] = true;
+                active[k] = false;
+                stage[k] = false;
+            }
+        }
+        if stage.iter().any(|&s| s) {
+            // t = M̂ s for the systems still in flight this sweep.
+            traced_iter(&tracer, Phase::Matvec, sweep, || op.apply_multi(&mut ts, &mut rs, &stage));
+        }
+        if !stage.iter().any(|&s| s) {
+            continue;
+        }
+        for k in 0..n {
+            if !stage[k] {
+                continue;
+            }
+            matvecs[k] += 1;
+            let (dot, nn) =
+                traced(&tracer, Phase::Blas, || blas::cdot_norm_a(&ts[k], &rs[k], &mut cs[k]));
+            red_d[3 * k] = dot.re;
+            red_d[3 * k + 1] = dot.im;
+            red_d[3 * k + 2] = nn;
+        }
+        traced(&tracer, Phase::Reduce, || op.reduce_vec(&mut red_d));
+        for k in 0..n {
+            if !stage[k] {
+                continue;
+            }
+            let ts_c = C64::new(red_d[3 * k], red_d[3 * k + 1]);
+            let tt = red_d[3 * k + 2];
+            if tt == 0.0 {
+                active[k] = false;
+                stage[k] = false;
+                continue;
+            }
+            let omega = ts_c.scale(1.0 / tt);
+            omegas[k] = omega;
+            let (r_local, rho_local) = traced(&tracer, Phase::Blas, || {
+                blas::caxpbypz(alphas[k], &ps[k], omega, &rs[k], &mut xs[k], &mut cs[k]);
+                let r_local = blas::caxpy_norm(-omega, &ts[k], &mut rs[k], &mut cs[k]);
+                (r_local, blas::cdot(&r0s[k], &rs[k], &mut cs[k]))
+            });
+            red_d[3 * k] = r_local;
+            red_d[3 * k + 1] = rho_local.re;
+            red_d[3 * k + 2] = rho_local.im;
+        }
+        traced(&tracer, Phase::Reduce, || op.reduce_vec(&mut red_d));
+        for k in 0..n {
+            if !stage[k] {
+                continue;
+            }
+            r_norm2[k] = red_d[3 * k];
+            if !r_norm2[k].is_finite() {
+                active[k] = false;
+                continue;
+            }
+            let rho_new = C64::new(red_d[3 * k + 1], red_d[3 * k + 2]);
+            let beta = rho_new.div(rho[k]) * alphas[k].div(omegas[k]);
+            rho[k] = rho_new;
+            traced(&tracer, Phase::Blas, || {
+                blas::cxpaypbz(&rs[k], -(beta * omegas[k]), &vs[k], beta, &mut ps[k], &mut cs[k])
+            });
+            iterations[k] += 1;
+            history[k].push((r_norm2[k] / b_norm2[k]).sqrt());
+            if r_norm2[k] <= target2[k] {
+                converged[k] = true;
+                active[k] = false;
+            }
+        }
+    }
+
+    // True-residual checks: one fused sweep, one fused reduction (the
+    // `t` workspaces are dead after the loop and serve as scratch).
+    for k in 0..n {
+        stage[k] = !zero_b[k];
+    }
+    let mut true_r2 = vec![0.0f64; n];
+    residual_norm2_multi(op, &mut ts, xs, bs, &mut cs, &stage, &mut true_r2);
+    let mut results = Vec::with_capacity(n);
+    for k in 0..n {
+        if zero_b[k] {
+            results.push(SolveResult { converged: true, ..Default::default() });
+            continue;
+        }
+        matvecs[k] += 1;
+        let final_residual = (true_r2[k] / b_norm2[k]).sqrt();
+        results.push(SolveResult {
+            converged: converged[k]
+                && final_residual <= params.tol * 10.0
+                && abort_error[k].is_none(),
+            iterations: iterations[k],
+            matvecs: matvecs[k],
+            reliable_updates: 0,
+            final_residual,
+            op_flops: matvecs[k] * op.flops_per_apply(),
+            blas: std::mem::take(&mut cs[k]),
+            residual_history: std::mem::take(&mut history[k]),
+            recoveries: 0,
+            comm_recoveries: 0,
+            error: abort_error[k].take(),
+        });
+    }
+    results
+}
+
+/// Solve `M̂ xs[k] = bs[k]` for every `k` with blocked CG on the normal
+/// equations.
+///
+/// Bit-identical per RHS to [`cgnr`](crate::cg::cgnr), including the
+/// corruption rollback protocol (each RHS keeps its own rollback
+/// checkpoint and recovery budget).
+pub fn cgnr_multi<P: Precision>(
+    op: &mut dyn LinearOperator<P>,
+    xs: &mut [SpinorFieldCb<P>],
+    bs: &[SpinorFieldCb<P>],
+    params: &SolverParams,
+) -> Vec<SolveResult> {
+    let n = xs.len();
+    assert_eq!(bs.len(), n, "solution/source batch length mismatch");
+    if n == 0 {
+        return Vec::new();
+    }
+    let tracer = op.tracer();
+    let mut cs: Vec<BlasCounters> = (0..n).map(|_| BlasCounters::default()).collect();
+    let mut matvecs = vec![0u64; n];
+    let mut iterations = vec![0usize; n];
+    let mut converged = vec![false; n];
+    let mut zero_b = vec![false; n];
+    let mut active = vec![false; n];
+    let mut recoveries = vec![0u64; n];
+    let mut abort_error: Vec<Option<String>> = (0..n).map(|_| None).collect();
+    let mut history: Vec<Vec<f64>> = (0..n).map(|_| Vec::with_capacity(params.max_iter)).collect();
+
+    let mut b_norm2 = vec![0.0f64; n];
+    for k in 0..n {
+        b_norm2[k] = traced(&tracer, Phase::Blas, || blas::norm2(&bs[k], &mut cs[k]));
+    }
+    traced(&tracer, Phase::Reduce, || op.reduce_vec(&mut b_norm2));
+    for k in 0..n {
+        if b_norm2[k] == 0.0 {
+            blas::zero(&mut xs[k]);
+            zero_b[k] = true;
+            converged[k] = true;
+        } else {
+            active[k] = true;
+        }
+    }
+
+    // Normal-equation right-hand sides b' = M̂† b, one fused dagger sweep.
+    let mut b_works: Vec<_> = (0..n).map(|_| op.alloc()).collect();
+    let mut bps: Vec<_> = (0..n).map(|_| op.alloc()).collect();
+    for k in 0..n {
+        if active[k] {
+            blas::copy(&mut b_works[k], &bs[k], &mut cs[k]);
+        }
+    }
+    op.apply_dagger_multi(&mut bps, &mut b_works, &active);
+    let mut bp_norm2 = vec![0.0f64; n];
+    for k in 0..n {
+        if !active[k] {
+            continue;
+        }
+        matvecs[k] += 1;
+        bp_norm2[k] = blas::norm2(&bps[k], &mut cs[k]);
+    }
+    traced(&tracer, Phase::Reduce, || op.reduce_vec(&mut bp_norm2));
+    let target2: Vec<f64> = (0..n).map(|k| params.tol * params.tol * bp_norm2[k]).collect();
+
+    // r = b' − A x with A = M̂†M̂ (each x may carry an initial guess).
+    let mut mids: Vec<_> = (0..n).map(|_| op.alloc()).collect();
+    let mut rs: Vec<_> = (0..n).map(|_| op.alloc()).collect();
+    op.apply_multi(&mut mids, xs, &active);
+    op.apply_dagger_multi(&mut rs, &mut mids, &active);
+    let mut rsq = vec![0.0f64; n];
+    for k in 0..n {
+        if !active[k] {
+            continue;
+        }
+        matvecs[k] += 2;
+        rsq[k] = blas::xmy_norm(&bps[k], &mut rs[k], &mut cs[k]);
+    }
+    traced(&tracer, Phase::Reduce, || op.reduce_vec(&mut rsq));
+    for k in 0..n {
+        if active[k] && rsq[k] <= target2[k] {
+            converged[k] = true;
+            active[k] = false;
+        }
+    }
+
+    let mut ps: Vec<_> = (0..n).map(|_| op.alloc()).collect();
+    let mut aps: Vec<_> = (0..n).map(|_| op.alloc()).collect();
+    let mut checkpoint_xs: Vec<_> = (0..n).map(|_| op.alloc()).collect();
+    for k in 0..n {
+        if zero_b[k] {
+            continue;
+        }
+        blas::copy(&mut ps[k], &rs[k], &mut cs[k]);
+        blas::copy(&mut checkpoint_xs[k], &xs[k], &mut cs[k]);
+    }
+    // Per-sweep lane masks and the fused-reduction staging buffer (stale
+    // slots of dropped lanes are summed but never read).
+    let mut stage = vec![false; n];
+    let mut corrupt = vec![false; n];
+    let mut red = vec![0.0f64; n];
+    let mut sweep: u64 = 0;
+
+    loop {
+        for k in 0..n {
+            if active[k] && iterations[k] >= params.max_iter {
+                active[k] = false;
+            }
+        }
+        if !active.iter().any(|&a| a) {
+            break;
+        }
+        if let Some(f) = op.fault() {
+            for k in 0..n {
+                if active[k] {
+                    // Abort path, entered at most once per batch.
+                    // quda-lint: allow(hot-alloc)
+                    abort_error[k] = Some(f.message.clone());
+                    active[k] = false;
+                }
+            }
+            break;
+        }
+        sweep += 1;
+        // Ap = M̂† M̂ p for the whole active block: two fused gauge sweeps.
+        traced_iter(&tracer, Phase::Matvec, sweep, || {
+            op.apply_multi(&mut mids, &mut ps, &active);
+            op.apply_dagger_multi(&mut aps, &mut mids, &active);
+        });
+        // α needs the globally reduced p·Ap before x and r can move, so
+        // the sweep's scalar work runs in packed passes around each fused
+        // collective.
+        stage.copy_from_slice(&active);
+        corrupt.fill(false);
+        for k in 0..n {
+            if !active[k] {
+                continue;
+            }
+            matvecs[k] += 2;
+            red[k] = traced(&tracer, Phase::Blas, || blas::cdot(&ps[k], &aps[k], &mut cs[k]).re);
+        }
+        traced(&tracer, Phase::Reduce, || op.reduce_vec(&mut red));
+        for k in 0..n {
+            if !active[k] {
+                continue;
+            }
+            let p_ap = red[k];
+            // Non-finiteness must be tested before positivity (a NaN would
+            // sail through the check and poison x via α).
+            if !p_ap.is_finite() {
+                corrupt[k] = true;
+                stage[k] = false;
+                continue;
+            }
+            if p_ap <= 0.0 {
+                active[k] = false; // loss of positivity: breakdown
+                stage[k] = false;
+                continue;
+            }
+            let alpha = rsq[k] / p_ap;
+            red[k] = traced(&tracer, Phase::Blas, || {
+                blas::axpy(alpha, &ps[k], &mut xs[k], &mut cs[k]);
+                blas::caxpy_norm(C64::new(-alpha, 0.0), &aps[k], &mut rs[k], &mut cs[k])
+            });
+        }
+        traced(&tracer, Phase::Reduce, || op.reduce_vec(&mut red));
+        for k in 0..n {
+            if !active[k] {
+                continue;
+            }
+            let mut rsq_new = rsq[k];
+            if stage[k] {
+                rsq_new = red[k];
+                corrupt[k] = !rsq_new.is_finite();
+            }
+            if corrupt[k] {
+                if let Some(f) = op.fault() {
+                    // quda-lint: allow(hot-alloc)
+                    abort_error[k] = Some(f.message);
+                    active[k] = false;
+                    continue;
+                }
+                recoveries[k] += 1;
+                if recoveries[k] > MAX_RECOVERIES {
+                    // Formatted at most once per RHS, on its abort path.
+                    // quda-lint: allow(hot-alloc)
+                    abort_error[k] = Some(format!(
+                        "corrupted solver state persisted after {MAX_RECOVERIES} rollbacks"
+                    ));
+                    active[k] = false;
+                    continue;
+                }
+                // Roll this RHS back and rebuild r = b' − A x from its
+                // checkpoint; the single-RHS applies are bit-identical to
+                // the fused sweep, so only this system is perturbed.
+                blas::copy(&mut xs[k], &checkpoint_xs[k], &mut cs[k]);
+                op.apply(&mut mids[k], &mut xs[k]);
+                op.apply_dagger(&mut rs[k], &mut mids[k]);
+                matvecs[k] += 2;
+                rsq[k] = op.reduce(blas::xmy_norm(&bps[k], &mut rs[k], &mut cs[k]));
+                blas::copy(&mut ps[k], &rs[k], &mut cs[k]);
+                continue;
+            }
+            let beta = rsq_new / rsq[k];
+            rsq[k] = rsq_new;
+            traced(&tracer, Phase::Blas, || blas::xpay(&rs[k], beta, &mut ps[k], &mut cs[k]));
+            iterations[k] += 1;
+            history[k].push((rsq[k] / bp_norm2[k].max(f64::MIN_POSITIVE)).sqrt());
+            if iterations[k] % CHECKPOINT_EVERY == 0 {
+                blas::copy(&mut checkpoint_xs[k], &xs[k], &mut cs[k]);
+            }
+            if rsq[k] <= target2[k] {
+                converged[k] = true;
+                active[k] = false;
+            }
+        }
+    }
+
+    // True residuals of the original systems: one fused sweep, one fused
+    // reduction (the `Ap` workspaces are dead after the loop).
+    for k in 0..n {
+        stage[k] = !zero_b[k];
+    }
+    let mut true_r2 = vec![0.0f64; n];
+    residual_norm2_multi(op, &mut aps, xs, bs, &mut cs, &stage, &mut true_r2);
+    let mut results = Vec::with_capacity(n);
+    for k in 0..n {
+        if zero_b[k] {
+            results.push(SolveResult { converged: true, ..Default::default() });
+            continue;
+        }
+        matvecs[k] += 1;
+        let final_residual = (true_r2[k] / b_norm2[k]).sqrt();
+        results.push(SolveResult {
+            converged: converged[k] && abort_error[k].is_none(),
+            iterations: iterations[k],
+            matvecs: matvecs[k],
+            reliable_updates: 0,
+            final_residual,
+            op_flops: matvecs[k] * op.flops_per_apply(),
+            blas: std::mem::take(&mut cs[k]),
+            residual_history: std::mem::take(&mut history[k]),
+            recoveries: recoveries[k],
+            comm_recoveries: 0,
+            error: abort_error[k].take(),
+        });
+    }
+    results
+}
+
+/// Solve `M̂ xs[k] = bs[k]` for every `k` with blocked mixed-precision
+/// BiCGstab with reliable updates.
+///
+/// The sloppy Krylov sweeps are fused across the active block; reliable
+/// updates, rollbacks, and the tail run per RHS in high precision through
+/// the single-RHS paths. Bit-identical per RHS to
+/// [`bicgstab_reliable`](crate::mixed::bicgstab_reliable).
+pub fn bicgstab_reliable_multi<H: Precision, L: Precision>(
+    op_hi: &mut dyn LinearOperator<H>,
+    op_lo: &mut dyn LinearOperator<L>,
+    xs: &mut [SpinorFieldCb<H>],
+    bs: &[SpinorFieldCb<H>],
+    params: &SolverParams,
+) -> Vec<SolveResult> {
+    let n = xs.len();
+    assert_eq!(bs.len(), n, "solution/source batch length mismatch");
+    if n == 0 {
+        return Vec::new();
+    }
+    // Both operators live on the same rank; the sloppy one drives the
+    // iteration, so use its recorder handle.
+    let tracer = op_lo.tracer();
+    let mut cs: Vec<BlasCounters> = (0..n).map(|_| BlasCounters::default()).collect();
+    let mut matvecs_lo = vec![0u64; n];
+    let mut matvecs_hi = vec![0u64; n];
+    let mut reliable_updates = vec![0u64; n];
+    let mut recoveries = vec![0u64; n];
+    let mut iterations = vec![0usize; n];
+    let mut converged = vec![false; n];
+    let mut stalls = vec![0u32; n];
+    let mut abort_error: Vec<Option<String>> = (0..n).map(|_| None).collect();
+    let mut history: Vec<Vec<f64>> = (0..n).map(|_| Vec::with_capacity(params.max_iter)).collect();
+    // Slots resolved before the loop (zero sources, converged guesses).
+    let mut results: Vec<Option<SolveResult>> = (0..n).map(|_| None).collect();
+
+    let mut b_norm2 = vec![0.0f64; n];
+    for k in 0..n {
+        b_norm2[k] = traced(&tracer, Phase::Blas, || blas::norm2(&bs[k], &mut cs[k]));
+    }
+    traced(&tracer, Phase::Reduce, || op_hi.reduce_vec(&mut b_norm2));
+    for k in 0..n {
+        if b_norm2[k] == 0.0 {
+            blas::zero(&mut xs[k]);
+            results[k] = Some(SolveResult { converged: true, ..Default::default() });
+        }
+    }
+    let target2: Vec<f64> = (0..n).map(|k| params.tol * params.tol * b_norm2[k]).collect();
+
+    // Entry true residuals in high precision: one fused sweep, one fused
+    // reduction.
+    let mut r_his: Vec<_> = (0..n).map(|_| op_hi.alloc()).collect();
+    let mut r2 = vec![0.0f64; n];
+    let live: Vec<bool> = (0..n).map(|k| results[k].is_none()).collect();
+    residual_norm2_multi(op_hi, &mut r_his, xs, bs, &mut cs, &live, &mut r2);
+    for k in 0..n {
+        if results[k].is_some() {
+            continue;
+        }
+        matvecs_hi[k] += 1;
+        if r2[k] <= target2[k] {
+            results[k] = Some(SolveResult {
+                converged: true,
+                final_residual: (r2[k] / b_norm2[k]).sqrt(),
+                matvecs: matvecs_hi[k],
+                op_flops: matvecs_hi[k] * op_hi.flops_per_apply(),
+                blas: std::mem::take(&mut cs[k]),
+                ..Default::default()
+            });
+        }
+    }
+    let mut active: Vec<bool> = (0..n).map(|k| results[k].is_none()).collect();
+    let mut maxrr: Vec<f64> = (0..n).map(|k| r2[k].sqrt()).collect();
+    let mut last_update_r2 = r2.clone();
+
+    // Sloppy-precision working sets.
+    let mut rs: Vec<_> = (0..n).map(|_| op_lo.alloc()).collect();
+    let mut r0s: Vec<_> = (0..n).map(|_| op_lo.alloc()).collect();
+    let mut ps: Vec<_> = (0..n).map(|_| op_lo.alloc()).collect();
+    let mut vs: Vec<_> = (0..n).map(|_| op_lo.alloc()).collect();
+    let mut ts: Vec<_> = (0..n).map(|_| op_lo.alloc()).collect();
+    let mut x_sloppys: Vec<_> = (0..n).map(|_| op_lo.alloc()).collect();
+    let mut scratch_his: Vec<_> = (0..n).map(|_| op_hi.alloc()).collect();
+    // Per-RHS rollback checkpoints: the high-precision solution as of the
+    // last known good state (start, then every good reliable update).
+    let mut checkpoint_xs: Vec<_> = (0..n).map(|_| op_hi.alloc()).collect();
+    for k in 0..n {
+        if !active[k] {
+            continue;
+        }
+        rs[k].convert_from(&r_his[k]);
+        blas::copy(&mut r0s[k], &rs[k], &mut cs[k]);
+        blas::copy(&mut ps[k], &rs[k], &mut cs[k]);
+        blas::zero(&mut x_sloppys[k]);
+        blas::copy(&mut checkpoint_xs[k], &xs[k], &mut cs[k]);
+    }
+    let mut rho: Vec<C64> = (0..n).map(|k| C64::new(r2[k], 0.0)).collect();
+    let mut alphas = vec![C64::new(0.0, 0.0); n];
+    let mut omegas = vec![C64::new(0.0, 0.0); n];
+    let mut stage = vec![false; n];
+    let mut steps = vec![Step::Continue; n];
+    // Staging buffers for the fused sloppy-precision reductions (stale
+    // slots of dropped lanes are summed but never read). Reliable updates
+    // stay on the per-RHS high-precision paths.
+    let mut red_a = vec![0.0f64; 2 * n]; // r0·v as (re, im) per lane
+    let mut red_b = vec![0.0f64; n]; // ‖s‖² per lane
+    let mut red_d = vec![0.0f64; 3 * n]; // (t·s re, t·s im, ‖t‖²) / (‖r‖², ρ re, ρ im)
+    let mut sweep: u64 = 0;
+
+    loop {
+        for k in 0..n {
+            if active[k] && iterations[k] >= params.max_iter {
+                active[k] = false;
+            }
+        }
+        if !active.iter().any(|&a| a) {
+            break;
+        }
+        // A fault parked by a poisoned operator (dead rank, exhausted
+        // retries) is terminal: no rollback can bring the peer back.
+        if let Some(f) = op_lo.fault().or_else(|| op_hi.fault()) {
+            for k in 0..n {
+                if active[k] {
+                    // Abort path, entered at most once per batch.
+                    // quda-lint: allow(hot-alloc)
+                    abort_error[k] = Some(f.message.clone());
+                    active[k] = false;
+                }
+            }
+            break;
+        }
+        sweep += 1;
+        // v = M̂ p for the whole active block: one fused sloppy sweep.
+        traced_iter(&tracer, Phase::Matvec, sweep, || op_lo.apply_multi(&mut vs, &mut ps, &active));
+        stage.copy_from_slice(&active);
+        steps.fill(Step::Continue);
+        // α needs the globally reduced r0·v before the half-step residual
+        // can be formed, so the sweep's scalar work runs in packed passes
+        // around each fused collective.
+        for k in 0..n {
+            if !active[k] {
+                continue;
+            }
+            matvecs_lo[k] += 1;
+            let r0v_local =
+                traced(&tracer, Phase::Blas, || blas::cdot(&r0s[k], &vs[k], &mut cs[k]));
+            red_a[2 * k] = r0v_local.re;
+            red_a[2 * k + 1] = r0v_local.im;
+        }
+        traced(&tracer, Phase::Reduce, || op_lo.reduce_vec(&mut red_a));
+        for k in 0..n {
+            if !active[k] {
+                continue;
+            }
+            let r0v = C64::new(red_a[2 * k], red_a[2 * k + 1]);
+            if !r0v.re.is_finite() || !r0v.im.is_finite() {
+                steps[k] = Step::Corrupt;
+                stage[k] = false;
+                continue;
+            }
+            if r0v.norm_sqr() == 0.0 || rho[k].norm_sqr() == 0.0 {
+                steps[k] = Step::Breakdown;
+                stage[k] = false;
+                continue;
+            }
+            let alpha = rho[k].div(r0v);
+            alphas[k] = alpha;
+            red_b[k] = traced(&tracer, Phase::Blas, || {
+                blas::caxpy_norm(-alpha, &vs[k], &mut rs[k], &mut cs[k])
+            });
+        }
+        traced(&tracer, Phase::Reduce, || op_lo.reduce_vec(&mut red_b));
+        for k in 0..n {
+            if !stage[k] {
+                continue;
+            }
+            if !red_b[k].is_finite() {
+                steps[k] = Step::Corrupt;
+                stage[k] = false;
+            }
+        }
+        if stage.iter().any(|&s| s) {
+            // t = M̂ s for the systems still in flight this sweep.
+            traced_iter(&tracer, Phase::Matvec, sweep, || {
+                op_lo.apply_multi(&mut ts, &mut rs, &stage)
+            });
+        }
+        for k in 0..n {
+            if !stage[k] {
+                continue;
+            }
+            matvecs_lo[k] += 1;
+            let (dot, nn) =
+                traced(&tracer, Phase::Blas, || blas::cdot_norm_a(&ts[k], &rs[k], &mut cs[k]));
+            red_d[3 * k] = dot.re;
+            red_d[3 * k + 1] = dot.im;
+            red_d[3 * k + 2] = nn;
+        }
+        if stage.iter().any(|&s| s) {
+            traced(&tracer, Phase::Reduce, || op_lo.reduce_vec(&mut red_d));
+        }
+        for k in 0..n {
+            if !stage[k] {
+                continue;
+            }
+            let ts_c = C64::new(red_d[3 * k], red_d[3 * k + 1]);
+            let tt = red_d[3 * k + 2];
+            if !tt.is_finite() || !ts_c.re.is_finite() || !ts_c.im.is_finite() {
+                steps[k] = Step::Corrupt;
+                stage[k] = false;
+                continue;
+            }
+            if tt == 0.0 {
+                steps[k] = Step::Exhausted;
+                stage[k] = false;
+                continue;
+            }
+            let omega = ts_c.scale(1.0 / tt);
+            omegas[k] = omega;
+            let (r2_local, rho_local) = traced(&tracer, Phase::Blas, || {
+                blas::caxpbypz(alphas[k], &ps[k], omega, &rs[k], &mut x_sloppys[k], &mut cs[k]);
+                let r2_local = blas::caxpy_norm(-omega, &ts[k], &mut rs[k], &mut cs[k]);
+                (r2_local, blas::cdot(&r0s[k], &rs[k], &mut cs[k]))
+            });
+            red_d[3 * k] = r2_local;
+            red_d[3 * k + 1] = rho_local.re;
+            red_d[3 * k + 2] = rho_local.im;
+        }
+        if stage.iter().any(|&s| s) {
+            traced(&tracer, Phase::Reduce, || op_lo.reduce_vec(&mut red_d));
+        }
+        for k in 0..n {
+            if !stage[k] {
+                continue;
+            }
+            steps[k] = 'body: {
+                let r2_iter = red_d[3 * k];
+                if !r2_iter.is_finite() {
+                    break 'body Step::Corrupt;
+                }
+                let rho_new = C64::new(red_d[3 * k + 1], red_d[3 * k + 2]);
+                let omega = omegas[k];
+                let beta = rho_new.div(rho[k]) * alphas[k].div(omega);
+                rho[k] = rho_new;
+                traced(&tracer, Phase::Blas, || {
+                    blas::cxpaypbz(&rs[k], -(beta * omega), &vs[k], beta, &mut ps[k], &mut cs[k])
+                });
+                iterations[k] += 1;
+                history[k].push((r2_iter / b_norm2[k]).sqrt());
+
+                let r_norm = r2_iter.sqrt();
+                maxrr[k] = maxrr[k].max(r_norm);
+                let want_update = r_norm < params.delta * maxrr[k] || r2_iter <= target2[k];
+                if want_update {
+                    // A guard (not a closure) so the `break 'body` exits
+                    // below still close the span on the way out.
+                    let mut ru_span = tracer.span(Phase::ReliableUpdate);
+                    ru_span.set_iter(sweep);
+                    // Reliable update: accumulate and recompute the true
+                    // residual in high precision, for this RHS only.
+                    accumulate(&mut xs[k], &x_sloppys[k], &mut scratch_his[k], &mut cs[k]);
+                    blas::zero(&mut x_sloppys[k]);
+                    r2[k] = residual_norm2(op_hi, &mut r_his[k], &mut xs[k], &bs[k], &mut cs[k]);
+                    matvecs_hi[k] += 1;
+                    reliable_updates[k] += 1;
+                    if !r2[k].is_finite() || r2[k] > last_update_r2[k] * DIVERGE_FACTOR {
+                        break 'body Step::Corrupt;
+                    }
+                    if r2[k] <= target2[k] {
+                        break 'body Step::Converged;
+                    }
+                    if r2[k] >= last_update_r2[k] * 0.8 {
+                        stalls[k] += 1;
+                        if stalls[k] >= 3 {
+                            break 'body Step::Floor;
+                        }
+                    } else {
+                        stalls[k] = 0;
+                    }
+                    last_update_r2[k] = r2[k];
+                    rs[k].convert_from(&r_his[k]);
+                    maxrr[k] = r2[k].sqrt();
+                    // The search direction p survives the update (single
+                    // Krylov space); only ρ is re-evaluated against the
+                    // refreshed residual.
+                    rho[k] = op_lo.reduce_c(blas::cdot(&r0s[k], &rs[k], &mut cs[k]));
+                    // This state passed the high-precision check: refresh
+                    // this RHS's rollback checkpoint.
+                    blas::copy(&mut checkpoint_xs[k], &xs[k], &mut cs[k]);
+                }
+                Step::Continue
+            };
+        }
+        // Resolve each RHS's step once per sweep, exactly where the
+        // batch-1 solver resolves it once per iteration.
+        for k in 0..n {
+            if !active[k] {
+                continue;
+            }
+            match steps[k] {
+                Step::Continue => {}
+                Step::Converged => {
+                    converged[k] = true;
+                    active[k] = false;
+                }
+                Step::Floor | Step::Exhausted => {
+                    active[k] = false;
+                }
+                Step::Breakdown => {
+                    // BiCGstab breakdown: re-seed the shadow residual.
+                    blas::copy(&mut r0s[k], &rs[k], &mut cs[k]);
+                    rho[k] = C64::new(op_lo.reduce(blas::norm2(&rs[k], &mut cs[k])), 0.0);
+                    blas::copy(&mut ps[k], &rs[k], &mut cs[k]);
+                }
+                Step::Corrupt => {
+                    // NaN caused by a comm failure is not transient;
+                    // surface the typed fault instead of burning the
+                    // rollback budget.
+                    if let Some(f) = op_lo.fault().or_else(|| op_hi.fault()) {
+                        // quda-lint: allow(hot-alloc)
+                        abort_error[k] = Some(f.message);
+                        active[k] = false;
+                        continue;
+                    }
+                    recoveries[k] += 1;
+                    if recoveries[k] > MAX_RECOVERIES {
+                        // Formatted at most once per RHS, on its abort path.
+                        // quda-lint: allow(hot-alloc)
+                        abort_error[k] = Some(format!(
+                            "corrupted solver state persisted after {MAX_RECOVERIES} rollbacks"
+                        ));
+                        active[k] = false;
+                        continue;
+                    }
+                    // Roll this RHS back to its checkpoint and rebuild its
+                    // Krylov space from a fresh true residual.
+                    blas::copy(&mut xs[k], &checkpoint_xs[k], &mut cs[k]);
+                    r2[k] = residual_norm2(op_hi, &mut r_his[k], &mut xs[k], &bs[k], &mut cs[k]);
+                    matvecs_hi[k] += 1;
+                    rs[k].convert_from(&r_his[k]);
+                    blas::copy(&mut r0s[k], &rs[k], &mut cs[k]);
+                    blas::copy(&mut ps[k], &rs[k], &mut cs[k]);
+                    blas::zero(&mut x_sloppys[k]);
+                    rho[k] = C64::new(r2[k], 0.0);
+                    maxrr[k] = r2[k].sqrt();
+                    last_update_r2[k] = r2[k];
+                    stalls[k] = 0;
+                }
+            }
+        }
+    }
+
+    // Per-RHS tails: fold in any un-accumulated sloppy progress (pointless
+    // after a terminal error — the sloppy state is untrustworthy).
+    for k in 0..n {
+        if results[k].is_some() {
+            continue;
+        }
+        if !converged[k] && abort_error[k].is_none() {
+            accumulate(&mut xs[k], &x_sloppys[k], &mut scratch_his[k], &mut cs[k]);
+            r2[k] = residual_norm2(op_hi, &mut r_his[k], &mut xs[k], &bs[k], &mut cs[k]);
+            matvecs_hi[k] += 1;
+            converged[k] = r2[k] <= target2[k];
+        }
+        results[k] = Some(SolveResult {
+            converged: converged[k],
+            iterations: iterations[k],
+            matvecs: matvecs_lo[k] + matvecs_hi[k],
+            reliable_updates: reliable_updates[k],
+            final_residual: (r2[k] / b_norm2[k]).sqrt(),
+            op_flops: matvecs_lo[k] * op_lo.flops_per_apply()
+                + matvecs_hi[k] * op_hi.flops_per_apply(),
+            blas: std::mem::take(&mut cs[k]),
+            residual_history: std::mem::take(&mut history[k]),
+            recoveries: recoveries[k],
+            comm_recoveries: 0,
+            error: abort_error[k].take(),
+        });
+    }
+    results.into_iter().map(|r| r.unwrap_or_default()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::MatPcOp;
+    use quda_dirac::{WilsonCloverOp, WilsonParams};
+    use quda_fields::gauge_gen::{random_spinor_field, weak_field};
+    use quda_fields::precision::{Double, Single};
+    use quda_lattice::geometry::{LatticeDims, Parity};
+
+    const N: usize = 3;
+
+    fn op<P: Precision>(seed: u64) -> MatPcOp<P> {
+        let d = LatticeDims::new(4, 4, 4, 4);
+        let cfg = weak_field(d, 0.15, seed);
+        MatPcOp::new(WilsonCloverOp::<P>::from_config(&cfg, WilsonParams { mass: 0.2, c_sw: 1.0 }))
+    }
+
+    fn sources<P: Precision>(op: &MatPcOp<P>, seed: u64, n: usize) -> Vec<SpinorFieldCb<P>> {
+        let d = op.op.dims;
+        (0..n)
+            .map(|k| {
+                let host = random_spinor_field(d, seed + k as u64);
+                let mut b = op.alloc();
+                b.upload(&host, Parity::Odd);
+                b
+            })
+            .collect()
+    }
+
+    fn assert_bit_identical<P: Precision>(
+        multi: &SpinorFieldCb<P>,
+        solo: &SpinorFieldCb<P>,
+        k: usize,
+    ) {
+        let mut diff2 = 0.0;
+        for cb in 0..solo.sites() {
+            diff2 += (multi.get(cb) - solo.get(cb)).norm_sqr();
+        }
+        assert_eq!(diff2, 0.0, "rhs {k}: batched solution differs from sequential");
+    }
+
+    #[test]
+    fn blocked_bicgstab_bit_identical_to_sequential() {
+        let mut op = op::<Double>(21);
+        let bs = sources(&op, 300, N);
+        let params = SolverParams { tol: 1e-10, max_iter: 500, delta: 0.0 };
+
+        let mut xs: Vec<_> = (0..N).map(|_| op.alloc()).collect();
+        for x in &mut xs {
+            blas::zero(x);
+        }
+        let multi = bicgstab_multi(&mut op, &mut xs, &bs, &params);
+
+        for k in 0..N {
+            let mut x = op.alloc();
+            blas::zero(&mut x);
+            let solo = crate::bicgstab::bicgstab(&mut op, &mut x, &bs[k], &params);
+            assert!(solo.converged && multi[k].converged, "rhs {k} did not converge");
+            assert_eq!(multi[k].iterations, solo.iterations, "rhs {k}: iteration count");
+            assert_eq!(multi[k].matvecs, solo.matvecs, "rhs {k}: matvec count");
+            assert_eq!(
+                multi[k].final_residual.to_bits(),
+                solo.final_residual.to_bits(),
+                "rhs {k}: final residual"
+            );
+            assert_eq!(multi[k].residual_history, solo.residual_history, "rhs {k}: history");
+            assert_bit_identical(&xs[k], &x, k);
+        }
+    }
+
+    #[test]
+    fn blocked_cgnr_bit_identical_to_sequential() {
+        let mut op = op::<Double>(22);
+        let bs = sources(&op, 400, N);
+        let params = SolverParams { tol: 1e-10, max_iter: 1000, delta: 0.0 };
+
+        let mut xs: Vec<_> = (0..N).map(|_| op.alloc()).collect();
+        for x in &mut xs {
+            blas::zero(x);
+        }
+        let multi = cgnr_multi(&mut op, &mut xs, &bs, &params);
+
+        for k in 0..N {
+            let mut x = op.alloc();
+            blas::zero(&mut x);
+            let solo = crate::cg::cgnr(&mut op, &mut x, &bs[k], &params);
+            assert!(solo.converged && multi[k].converged, "rhs {k} did not converge");
+            assert_eq!(multi[k].iterations, solo.iterations, "rhs {k}: iteration count");
+            assert_eq!(multi[k].matvecs, solo.matvecs, "rhs {k}: matvec count");
+            assert_bit_identical(&xs[k], &x, k);
+        }
+    }
+
+    #[test]
+    fn blocked_reliable_bicgstab_bit_identical_to_sequential() {
+        let mut hi = op::<Double>(23);
+        let mut lo = op::<Single>(23);
+        let bs = sources(&hi, 500, N);
+        let params = SolverParams { tol: 1e-10, max_iter: 2000, delta: 1e-2 };
+
+        let mut xs: Vec<_> = (0..N).map(|_| hi.alloc()).collect();
+        for x in &mut xs {
+            blas::zero(x);
+        }
+        let multi = bicgstab_reliable_multi(&mut hi, &mut lo, &mut xs, &bs, &params);
+
+        for k in 0..N {
+            let mut x = hi.alloc();
+            blas::zero(&mut x);
+            let solo = crate::mixed::bicgstab_reliable(&mut hi, &mut lo, &mut x, &bs[k], &params);
+            assert!(solo.converged && multi[k].converged, "rhs {k} did not converge");
+            assert_eq!(multi[k].iterations, solo.iterations, "rhs {k}: iteration count");
+            assert_eq!(multi[k].matvecs, solo.matvecs, "rhs {k}: matvec count");
+            assert_eq!(
+                multi[k].reliable_updates, solo.reliable_updates,
+                "rhs {k}: reliable updates"
+            );
+            assert_bit_identical(&xs[k], &x, k);
+        }
+    }
+
+    #[test]
+    fn zero_source_slot_resolves_trivially_amid_live_systems() {
+        let mut op = op::<Double>(24);
+        let mut bs = sources(&op, 600, N);
+        blas::zero(&mut bs[1]);
+        let params = SolverParams { tol: 1e-10, max_iter: 500, delta: 0.0 };
+        let mut xs: Vec<_> = (0..N).map(|_| op.alloc()).collect();
+        for x in &mut xs {
+            blas::zero(x);
+        }
+        let multi = bicgstab_multi(&mut op, &mut xs, &bs, &params);
+        assert!(multi[1].converged);
+        assert_eq!(multi[1].iterations, 0);
+        assert_eq!(xs[1].norm_sqr(), 0.0);
+        assert!(multi[0].converged && multi[2].converged);
+        assert!(multi[0].iterations > 0 && multi[2].iterations > 0);
+    }
+
+    #[test]
+    fn empty_batch_returns_no_results() {
+        let mut op = op::<Double>(25);
+        let params = SolverParams::default();
+        let res = bicgstab_multi(&mut op, &mut [], &[], &params);
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn poisoned_operator_aborts_every_rhs() {
+        use crate::test_faults::FaultyOp;
+        let base = op::<Double>(26);
+        let bs = {
+            let d = base.op.dims;
+            (0..N)
+                .map(|k| {
+                    let host = random_spinor_field(d, 700 + k as u64);
+                    let mut b = base.alloc();
+                    b.upload(&host, Parity::Odd);
+                    b
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut op = FaultyOp::poisoned(base, "allreduce failed: rank 1 is dead");
+        let mut xs: Vec<_> = (0..N).map(|_| op.alloc()).collect();
+        for x in &mut xs {
+            blas::zero(x);
+        }
+        let params = SolverParams { tol: 1e-8, max_iter: 100, delta: 0.0 };
+        let res = bicgstab_multi(&mut op, &mut xs, &bs, &params);
+        for (k, r) in res.iter().enumerate() {
+            assert!(!r.converged, "rhs {k} must not converge");
+            assert_eq!(r.error.as_deref(), Some("allreduce failed: rank 1 is dead"));
+        }
+    }
+}

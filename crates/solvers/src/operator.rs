@@ -48,9 +48,58 @@ pub trait LinearOperator<P: Precision> {
     fn reduce_c(&mut self, local: C64) -> C64 {
         local
     }
+    /// Globalize a batch of local real reductions in place, one fused
+    /// collective for the whole slice.
+    ///
+    /// The contract: component `k` on return is bit-identical to
+    /// `reduce(locals[k])` — a vector allreduce combines every component
+    /// in the same rank order as a scalar allreduce, so the blocked
+    /// solvers can fuse the per-RHS reductions of one algorithmic point
+    /// (packing complex values as re/im pairs) into a single collective
+    /// without perturbing any member's value. The default loops
+    /// [`LinearOperator::reduce`], which is exact for single-device
+    /// operators where reduction is the identity.
+    fn reduce_vec(&mut self, locals: &mut [f64]) {
+        for v in locals.iter_mut() {
+            *v = self.reduce(*v);
+        }
+    }
     /// Number of local data sites.
     fn sites(&self) -> usize {
         self.dims().half_volume()
+    }
+    /// Batched `outs[r] ← M̂ ins[r]` for every `r` with `active[r]`.
+    ///
+    /// The default loops [`LinearOperator::apply`] per RHS; a partitioned
+    /// implementation overrides it with a fused sweep that reads each
+    /// gauge link once per site and ships one face message per direction
+    /// for the whole block. The contract every override must keep: per
+    /// active RHS the output is **bit-identical** to a single `apply`,
+    /// and inactive slots are untouched — that is what lets the blocked
+    /// solvers freeze converged systems without perturbing the rest.
+    fn apply_multi(
+        &mut self,
+        outs: &mut [SpinorFieldCb<P>],
+        ins: &mut [SpinorFieldCb<P>],
+        active: &[bool],
+    ) {
+        for ((out, input), _) in outs.iter_mut().zip(ins.iter_mut()).zip(active).filter(|(_, &a)| a)
+        {
+            self.apply(out, input);
+        }
+    }
+    /// Batched `outs[r] ← M̂† ins[r]`; same contract as
+    /// [`LinearOperator::apply_multi`].
+    fn apply_dagger_multi(
+        &mut self,
+        outs: &mut [SpinorFieldCb<P>],
+        ins: &mut [SpinorFieldCb<P>],
+        active: &[bool],
+    ) {
+        for ((out, input), _) in outs.iter_mut().zip(ins.iter_mut()).zip(active).filter(|(_, &a)| a)
+        {
+            self.apply_dagger(out, input);
+        }
     }
     /// A pending fault recorded by the implementation, if any.
     ///

@@ -50,9 +50,15 @@ pub fn rule_list() -> [(&'static str, &'static str); 4] {
 /// The crates whose `src/` trees the rules police — the hot crates of the
 /// paper's bandwidth model.
 fn in_scope(rel_path: &str) -> bool {
-    ["crates/solvers/src/", "crates/dirac/src/", "crates/multigpu/src/", "crates/math/src/"]
-        .iter()
-        .any(|p| rel_path.starts_with(p))
+    [
+        "crates/solvers/src/",
+        "crates/dirac/src/",
+        "crates/multigpu/src/",
+        "crates/math/src/",
+        "crates/service/src/",
+    ]
+    .iter()
+    .any(|p| rel_path.starts_with(p))
 }
 
 /// The designated element-wise kernel modules `hot-index` polices: the

@@ -371,7 +371,15 @@ fn mask(text: &str) -> (String, Vec<Comment>) {
             let mut j = q_at + 1;
             while j < bytes.len() {
                 match bytes[j] {
-                    b'\\' => j += 2,
+                    // An escaped newline (string line-continuation) still
+                    // ends a source line — count it or every comment below
+                    // is attributed one line too early.
+                    b'\\' => {
+                        if bytes.get(j + 1) == Some(&b'\n') {
+                            line += 1;
+                        }
+                        j += 2;
+                    }
                     b'"' => {
                         j += 1;
                         break;
@@ -446,6 +454,14 @@ mod tests {
         assert_eq!(f.masked.len(), src.len());
         assert_eq!(f.comments.len(), 1);
         assert!(f.comments[0].text.contains("panic! here"));
+    }
+
+    #[test]
+    fn string_line_continuation_keeps_line_count() {
+        let src = "let s = \"first \\\n         second\";\n// after\nlet t = 1;\n";
+        let f = SourceFile::parse("crates/demo/src/a.rs", src);
+        assert_eq!(f.comments.len(), 1);
+        assert_eq!(f.comments[0].line, 3);
     }
 
     #[test]
